@@ -1,0 +1,77 @@
+// Constrained frequent sets (the CAP framework of Ng et al., which the
+// paper extends) vs constrained correlated sets (this paper), on the same
+// data, constraints and thresholds: output sizes and database work. Shows
+// why the paper argues for minimal correlated sets — the frequent-set
+// answer grows combinatorially while the correlated answer stays the size
+// of its border — and that the constraint-pushing machinery benefits both
+// frameworks.
+
+#include <cstdio>
+
+#include "assoc/constrained_apriori.h"
+#include "constraints/agg_constraint.h"
+#include "core/miner.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "util/csv.h"
+
+namespace ccs {
+namespace {
+
+void Run() {
+  IbmGeneratorConfig config;
+  config.num_transactions = 10000;
+  config.num_items = 100;
+  config.avg_transaction_size = 10.0;
+  config.avg_pattern_size = 4.0;
+  config.num_patterns = 50;
+  config.seed = 42;
+  const TransactionDatabase db = IbmGenerator(config).Generate();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(config.num_items);
+
+  MiningOptions corr_options;
+  corr_options.significance = 0.9;
+  corr_options.min_support = db.num_transactions() / 20;
+  corr_options.min_cell_fraction = 0.25;
+  corr_options.max_set_size = 4;
+  AprioriOptions freq_options;
+  freq_options.min_support = corr_options.min_support;
+  freq_options.max_set_size = corr_options.max_set_size;
+
+  CsvTable table({"selectivity", "framework", "answers", "work_units",
+                  "cpu_ms"});
+  for (double selectivity : {0.2, 0.5, 0.8}) {
+    ConstraintSet constraints;
+    constraints.Add(
+        MaxLe(PriceThresholdForSelectivity(catalog, selectivity)));
+    const AprioriResult frequent =
+        MineConstrainedApriori(db, catalog, constraints, freq_options);
+    table.BeginRow();
+    table.AddCell(selectivity, 2);
+    table.AddCell(std::string("CAP frequent sets"));
+    table.AddCell(static_cast<std::uint64_t>(frequent.frequent.size()));
+    table.AddCell(frequent.stats.TotalTablesBuilt());
+    table.AddCell(frequent.stats.elapsed_seconds * 1e3, 1);
+    const MiningResult correlated = Mine(Algorithm::kBmsPlusPlus, db,
+                                         catalog, constraints, corr_options);
+    table.BeginRow();
+    table.AddCell(selectivity, 2);
+    table.AddCell(std::string("BMS++ correlated"));
+    table.AddCell(static_cast<std::uint64_t>(correlated.answers.size()));
+    table.AddCell(correlated.stats.TotalTablesBuilt());
+    table.AddCell(correlated.stats.elapsed_seconds * 1e3, 1);
+  }
+  std::printf("==== constrained frequent (CAP) vs constrained correlated "
+              "(BMS++) ====\n");
+  std::printf("constraint: max(S.price) <= v; work_units = support counts "
+              "resp. contingency tables\n\n%s",
+              table.ToAlignedText().c_str());
+}
+
+}  // namespace
+}  // namespace ccs
+
+int main() {
+  ccs::Run();
+  return 0;
+}

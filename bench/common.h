@@ -1,0 +1,76 @@
+#ifndef CCS_BENCH_COMMON_H_
+#define CCS_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benchmarks. Every figure
+// binary sweeps a parameter (basket count or constraint selectivity) over
+// the two synthetic data sets of the paper, runs the algorithms the figure
+// compares, and prints one row per (data set, x, algorithm) with the cpu
+// time and the sets-considered counter (the paper's cost unit).
+//
+// Scale: the paper's machine is a 200 MHz Pentium; absolute axes differ.
+// CCS_BENCH_SCALE=full grows the sweep to paper-like basket counts,
+// CCS_BENCH_SCALE=smoke shrinks it for CI. Default: a laptop-minute scale.
+// CCS_BENCH_CSV_DIR=<dir>: also write each figure's series as CSV there.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "core/miner.h"
+#include "datagen/catalog_generator.h"
+#include "txn/database.h"
+#include "util/csv.h"
+
+namespace ccs::bench {
+
+// Benchmark scale from CCS_BENCH_SCALE (smoke | default | full).
+enum class Scale { kSmoke, kDefault, kFull };
+Scale GetScale();
+
+// The basket-count sweep for "cpu vs number of baskets" figures.
+std::vector<std::size_t> BasketSweep();
+
+// The selectivity sweep for "cpu vs selectivity" figures.
+std::vector<double> SelectivitySweep();
+
+// Number of catalog items used by all figure benches.
+std::size_t NumItems();
+
+// Data set 1: IBM Quest-style (Agrawal-Srikant), "simulate the real world".
+TransactionDatabase MakeData1(std::size_t num_baskets, std::uint64_t seed);
+
+// Data set 2: planted correlation rules ("known in advance").
+TransactionDatabase MakeData2(std::size_t num_baskets, std::uint64_t seed);
+
+// The experiments' catalog. Method 1 (IBM data): price(i) = i + 1 ("item 1
+// has a price of $1"). Method 2 (rule data): the same price ladder under a
+// fixed permutation, so the planted rule items (low ids) spread across the
+// price range instead of all being cheap.
+ItemCatalog MakeCatalog(int method);
+
+// The paper's statistical parameters, scaled to the database: alpha = 0.9
+// chi-squared confidence, support fraction of the basket count, cell
+// fraction p% = 25%, level cap 4 (the paper's correlations never exceeded
+// size 4).
+MiningOptions StandardOptions(const TransactionDatabase& db);
+
+// One measured run appended to `table` as
+// (dataset, x, algorithm, answers, tables_built, cpu_ms).
+void RunAndRecord(const char* dataset, const std::string& x,
+                  Algorithm algorithm, const TransactionDatabase& db,
+                  const ItemCatalog& catalog,
+                  const ConstraintSet& constraints,
+                  const MiningOptions& options, CsvTable& table);
+
+// Prints the table under a figure banner and, when CCS_BENCH_CSV_DIR is
+// set, writes <dir>/<figure_id>.csv.
+void ReportFigure(const std::string& figure_id, const std::string& title,
+                  const CsvTable& table);
+
+// The standard column set for figure tables.
+CsvTable MakeFigureTable();
+
+}  // namespace ccs::bench
+
+#endif  // CCS_BENCH_COMMON_H_

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the primitives the cost model is
+// built on: tid-set word operations, contingency-table construction at
+// each set size, the chi-squared machinery, and candidate generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "datagen/ibm_generator.h"
+#include "stats/chi_squared.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+DynamicBitset RandomBitset(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  DynamicBitset out(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBernoulli(0.3)) out.Set(i);
+  }
+  return out;
+}
+
+void BM_BitsetCountAnd(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const DynamicBitset a = RandomBitset(bits, 1);
+  const DynamicBitset b = RandomBitset(bits, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicBitset::CountAnd(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 4));
+}
+BENCHMARK(BM_BitsetCountAnd)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_BitsetAssignAnd(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const DynamicBitset a = RandomBitset(bits, 1);
+  const DynamicBitset b = RandomBitset(bits, 2);
+  DynamicBitset out;
+  for (auto _ : state) {
+    out.AssignAnd(a, b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BitsetAssignAnd)->Arg(100000)->Arg(1000000);
+
+TransactionDatabase BenchDb(std::size_t baskets) {
+  IbmGeneratorConfig config;
+  config.num_transactions = baskets;
+  config.num_items = 100;
+  config.avg_transaction_size = 10.0;
+  config.num_patterns = 50;
+  config.seed = 5;
+  return IbmGenerator(config).Generate();
+}
+
+void BM_ContingencyTableBuild(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const TransactionDatabase db = BenchDb(20000);
+  ContingencyTableBuilder builder(db);
+  Itemset s;
+  for (ItemId i = 0; i < k; ++i) s = s.WithItem(i * 7 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.num_transactions()));
+}
+BENCHMARK(BM_ContingencyTableBuild)->DenseRange(2, 6);
+
+void BM_ContingencyTableBuildScalar(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const TransactionDatabase db = BenchDb(20000);
+  ContingencyTableBuilder builder(db);
+  Itemset s;
+  for (ItemId i = 0; i < k; ++i) s = s.WithItem(i * 7 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.BuildScalar(s));
+  }
+}
+BENCHMARK(BM_ContingencyTableBuildScalar)->DenseRange(2, 4);
+
+void BM_ChiSquaredStatistic(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> cells(std::size_t{1} << k);
+  Rng rng(9);
+  for (auto& c : cells) c = rng.NextBounded(1000);
+  const stats::ContingencyTable table(k, std::move(cells));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.ChiSquaredStatistic());
+  }
+}
+BENCHMARK(BM_ChiSquaredStatistic)->DenseRange(2, 6);
+
+void BM_ChiSquaredQuantile(benchmark::State& state) {
+  double prob = 0.90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ChiSquaredQuantile(prob, 1));
+    prob = prob == 0.90 ? 0.95 : 0.90;  // defeat caching by alternation
+  }
+}
+BENCHMARK(BM_ChiSquaredQuantile);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const auto n = static_cast<ItemId>(state.range(0));
+  std::vector<ItemId> universe;
+  for (ItemId i = 0; i < n; ++i) universe.push_back(i);
+  const std::vector<Itemset> seeds = AllPairs(universe);
+  const ItemsetSet closed(seeds.begin(), seeds.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExtendSeeds(seeds, universe, [&closed](const Itemset& s) {
+          return AllCoSubsetsIn(s, closed);
+        }));
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_ItemsetHash(benchmark::State& state) {
+  std::vector<Itemset> sets;
+  Rng rng(3);
+  for (int i = 0; i < 1024; ++i) {
+    Itemset s;
+    while (s.size() < 4) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(1000));
+      if (!s.Contains(item)) s = s.WithItem(item);
+    }
+    sets.push_back(s);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i++ & 1023].Hash());
+  }
+}
+BENCHMARK(BM_ItemsetHash);
+
+}  // namespace
+}  // namespace ccs
+
+BENCHMARK_MAIN();

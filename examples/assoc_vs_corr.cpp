@@ -1,0 +1,118 @@
+// Associations vs correlations — the paper's motivating contrast (after
+// Brin et al., "Beyond Market Baskets"): confidence-based association
+// rules can look strong while the items are independent or even
+// *negatively* correlated, and the chi-squared machinery of this library
+// is exactly what separates the two. This example plants three regimes
+//
+//   tea  -> coffee : negatively correlated, yet a high-confidence rule
+//   bread -> butter: positively correlated and a high-confidence rule
+//   milk  -> sugar : independent, still a decent-confidence rule
+//
+// then shows (a) classical Apriori + rules happily reporting all three,
+// and (b) the correlation miner keeping only the genuinely dependent pair,
+// with the full statistical detail from the report module.
+
+#include <cstdio>
+
+#include "assoc/apriori.h"
+#include "assoc/rules.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "txn/catalog.h"
+#include "util/rng.h"
+
+namespace {
+
+constexpr ccs::ItemId kTea = 0;
+constexpr ccs::ItemId kCoffee = 1;
+constexpr ccs::ItemId kBread = 2;
+constexpr ccs::ItemId kButter = 3;
+constexpr ccs::ItemId kMilk = 4;
+constexpr ccs::ItemId kSugar = 5;
+
+ccs::ItemCatalog BuildCatalog() {
+  ccs::ItemCatalog catalog;
+  catalog.AddItem(3.0, "beverage", "tea");
+  catalog.AddItem(4.0, "beverage", "coffee");
+  catalog.AddItem(2.0, "bakery", "bread");
+  catalog.AddItem(3.5, "dairy", "butter");
+  catalog.AddItem(2.5, "dairy", "milk");
+  catalog.AddItem(1.5, "baking", "sugar");
+  return catalog;
+}
+
+ccs::TransactionDatabase BuildBaskets(std::size_t count) {
+  ccs::Rng rng(2718);
+  ccs::TransactionDatabase db(6);
+  for (std::size_t t = 0; t < count; ++t) {
+    ccs::Transaction txn;
+    // Coffee is everywhere (90%); tea drinkers (25%) buy coffee *less*
+    // often (70%): P(coffee | tea) = 0.7 is a high-confidence rule even
+    // though the true association is negative (0.7 < 0.9).
+    const bool tea = rng.NextBernoulli(0.25);
+    if (tea) txn.push_back(kTea);
+    if (rng.NextBernoulli(tea ? 0.70 : 0.966)) txn.push_back(kCoffee);
+    // bread -> butter: genuinely positive.
+    const bool bread = rng.NextBernoulli(0.4);
+    if (bread) txn.push_back(kBread);
+    if (rng.NextBernoulli(bread ? 0.8 : 0.2)) txn.push_back(kButter);
+    // milk and sugar: independent.
+    if (rng.NextBernoulli(0.5)) txn.push_back(kMilk);
+    if (rng.NextBernoulli(0.6)) txn.push_back(kSugar);
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kBaskets = 20000;
+  const ccs::TransactionDatabase db = BuildBaskets(kBaskets);
+  const ccs::ItemCatalog catalog = BuildCatalog();
+
+  // --- The association view ---
+  ccs::AprioriOptions apriori_options;
+  apriori_options.min_support = kBaskets / 10;
+  apriori_options.max_set_size = 2;
+  const ccs::AprioriResult frequent = ccs::MineApriori(db, apriori_options);
+  ccs::RuleOptions rule_options;
+  rule_options.min_confidence = 0.6;
+  rule_options.num_transactions = db.num_transactions();
+  std::printf("association rules (confidence >= %.2f):\n",
+              rule_options.min_confidence);
+  for (const ccs::AssociationRule& rule :
+       ccs::GenerateRules(frequent, rule_options)) {
+    if (rule.antecedent.size() != 1 || rule.consequent.size() != 1) continue;
+    std::printf("  %s => %s  confidence %.2f  lift %.2f%s\n",
+                catalog.item_name(rule.antecedent[0]).c_str(),
+                catalog.item_name(rule.consequent[0]).c_str(),
+                rule.confidence, rule.lift,
+                rule.lift < 0.95   ? "   <-- negatively correlated!"
+                : rule.lift < 1.05 ? "   <-- independent"
+                                   : "");
+  }
+
+  // --- The correlation view ---
+  ccs::MiningOptions options;
+  options.significance = 0.95;
+  options.min_support = kBaskets / 20;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 3;
+  ccs::ConstraintSet no_constraints;
+  const ccs::MiningResult correlated = ccs::Mine(
+      ccs::Algorithm::kBms, db, catalog, no_constraints, options);
+  std::printf("\nminimal correlated sets at 95%% confidence "
+              "(chi-squared, with detail):\n");
+  const auto reports =
+      ccs::BuildReports(correlated.answers, db, catalog, options);
+  std::printf("%s", ccs::ReportsToTable(reports).ToAlignedText().c_str());
+  std::printf(
+      "\nNote how {tea, coffee} appears here (the chi-squared test flags\n"
+      "*any* dependence, including the negative one confidence hides),\n"
+      "while {milk, sugar} does not — and how lift alone already hinted\n"
+      "at it. The paper's framework then lets constraints focus this\n"
+      "output; see the other examples.\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+// ccsmine_cli — command-line miner over basket/catalog files, exercising
+// the whole public API surface: I/O, the full query language, algorithm
+// selection, profiling and report output.
+//
+// Usage:
+//   ccsmine_cli --generate ibm|rules|zipf --baskets N [--items N] [--seed N]
+//               [--query "min_valid where max(S.price) <= 50 with alpha=0.95"]
+//               [--algorithm BMS|BMS+|BMS++|BMS*|BMS**|BMS**opt]
+//               [--alpha 0.9] [--support-frac 0.05] [--cell-frac 0.25]
+//               [--max-size 4] [--stats] [--profile] [--report]
+//               [--save-baskets FILE]
+//   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
+//
+// The --query string uses the full ParseQuery grammar (semantics, where-,
+// and with-clauses); bare constraint strings are accepted too. Explicit
+// --algorithm/--alpha/... flags override the query'"'"'s choices.
+// With --save-baskets / the file loaders this doubles as a round-trip test
+// of the text formats.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/miner.h"
+#include "core/report.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/rule_generator.h"
+#include "datagen/zipf_generator.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "txn/io.h"
+#include "txn/profile.h"
+
+namespace {
+
+struct CliOptions {
+  std::string generate = "ibm";
+  std::string baskets_file;
+  std::string catalog_file;
+  std::string save_baskets;
+  std::string query;
+  std::string algorithm;  // empty: follow the query's semantics
+  std::size_t baskets = 10000;
+  std::size_t items = 100;
+  std::uint64_t seed = 42;
+  double alpha = 0.9;
+  double support_frac = 0.05;
+  double cell_frac = 0.25;
+  std::size_t max_size = 4;
+  bool stats = false;
+  bool profile = false;
+  bool report = false;
+  // Which of the scalar flags were given explicitly (they override the
+  // query's with-clause).
+  bool alpha_set = false;
+  bool support_set = false;
+  bool cell_set = false;
+  bool max_size_set = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--generate ibm|rules|zipf] [--baskets N]\n"
+               "          [--items N] [--seed N] [--query Q] [--algorithm A]\n"
+               "          [--alpha F] [--support-frac F] [--cell-frac F]\n"
+               "          [--max-size N] [--stats] [--profile] [--report]\n"
+               "          [--baskets-file F --catalog-file F]\n"
+               "          [--save-baskets F]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--stats") {
+      out->stats = true;
+      continue;
+    }
+    if (flag == "--profile") {
+      out->profile = true;
+      continue;
+    }
+    if (flag == "--report") {
+      out->report = true;
+      continue;
+    }
+    const char* value = next();
+    if (value == nullptr) return false;
+    if (flag == "--generate") {
+      out->generate = value;
+    } else if (flag == "--baskets") {
+      out->baskets = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--items") {
+      out->items = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--seed") {
+      out->seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--query") {
+      out->query = value;
+    } else if (flag == "--algorithm") {
+      out->algorithm = value;
+    } else if (flag == "--alpha") {
+      out->alpha = std::strtod(value, nullptr);
+      out->alpha_set = true;
+    } else if (flag == "--support-frac") {
+      out->support_frac = std::strtod(value, nullptr);
+      out->support_set = true;
+    } else if (flag == "--cell-frac") {
+      out->cell_frac = std::strtod(value, nullptr);
+      out->cell_set = true;
+    } else if (flag == "--max-size") {
+      out->max_size = std::strtoul(value, nullptr, 10);
+      out->max_size_set = true;
+    } else if (flag == "--baskets-file") {
+      out->baskets_file = value;
+    } else if (flag == "--catalog-file") {
+      out->catalog_file = value;
+    } else if (flag == "--save-baskets") {
+      out->save_baskets = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage(argv[0]);
+
+  // Data: from files or generated.
+  std::optional<ccs::TransactionDatabase> db;
+  std::optional<ccs::ItemCatalog> catalog;
+  if (!cli.baskets_file.empty()) {
+    if (cli.catalog_file.empty()) {
+      std::fprintf(stderr, "--baskets-file requires --catalog-file\n");
+      return 2;
+    }
+    std::string error;
+    catalog = ccs::ReadCatalogFromFile(cli.catalog_file, &error);
+    if (!catalog.has_value()) {
+      std::fprintf(stderr, "catalog: %s\n", error.c_str());
+      return 1;
+    }
+    db = ccs::ReadBasketsFromFile(cli.baskets_file, catalog->num_items(),
+                                  &error);
+    if (!db.has_value()) {
+      std::fprintf(stderr, "baskets: %s\n", error.c_str());
+      return 1;
+    }
+  } else if (cli.generate == "ibm") {
+    ccs::IbmGeneratorConfig config;
+    config.num_transactions = cli.baskets;
+    config.num_items = cli.items;
+    config.avg_transaction_size = 10.0;
+    config.avg_pattern_size = 4.0;
+    config.num_patterns = cli.items / 2;
+    config.seed = cli.seed;
+    db = ccs::IbmGenerator(config).Generate();
+    catalog = ccs::MakeLinearPriceCatalog(cli.items);
+  } else if (cli.generate == "rules") {
+    ccs::RuleGeneratorConfig config;
+    config.num_transactions = cli.baskets;
+    config.num_items = cli.items;
+    config.avg_transaction_size = 10.0;
+    config.seed = cli.seed;
+    db = ccs::RuleGenerator(config).Generate();
+    catalog = ccs::MakeLinearPriceCatalog(cli.items);
+  } else if (cli.generate == "zipf") {
+    ccs::ZipfGeneratorConfig config;
+    config.num_transactions = cli.baskets;
+    config.num_items = cli.items;
+    config.avg_transaction_size = 10.0;
+    config.num_groups = cli.items / 20;
+    config.seed = cli.seed;
+    db = ccs::ZipfGenerator(config).Generate();
+    catalog = ccs::MakeLinearPriceCatalog(cli.items);
+  } else {
+    std::fprintf(stderr, "unknown generator '%s'\n", cli.generate.c_str());
+    return 2;
+  }
+  if (!cli.save_baskets.empty() &&
+      !ccs::WriteBasketsToFile(*db, cli.save_baskets)) {
+    std::fprintf(stderr, "cannot write %s\n", cli.save_baskets.c_str());
+    return 1;
+  }
+
+  if (cli.profile) {
+    std::printf("%s", ccs::DatabaseProfile::Build(*db).ToString().c_str());
+  }
+
+  // Query: try the full grammar first, then the bare constraint language.
+  ccs::Query query;
+  if (!cli.query.empty()) {
+    std::string error;
+    auto parsed = ccs::ParseQuery(cli.query, &error);
+    if (!parsed.has_value()) {
+      std::string constraint_error;
+      auto constraints =
+          ccs::ParseConstraints(cli.query, &constraint_error);
+      if (!constraints.has_value()) {
+        std::fprintf(stderr, "query: %s\n", error.c_str());
+        return 1;
+      }
+      query.constraints = std::move(*constraints);
+    } else {
+      query = std::move(*parsed);
+    }
+  }
+  if (cli.alpha_set) query.significance = cli.alpha;
+  if (cli.support_set) query.support_fraction = cli.support_frac;
+  if (cli.cell_set) query.min_cell_fraction = cli.cell_frac;
+  if (cli.max_size_set) query.max_set_size = cli.max_size;
+
+  ccs::Algorithm algorithm = query.DefaultAlgorithm();
+  if (!cli.algorithm.empty()) {
+    const auto parsed = ccs::ParseAlgorithmName(cli.algorithm);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n",
+                   cli.algorithm.c_str());
+      return 2;
+    }
+    algorithm = *parsed;
+  }
+
+  const ccs::MiningOptions options = query.ResolveOptions(*db);
+  std::printf("# %zu baskets, %zu items | constraints: %s | algorithm: %s\n",
+              db->num_transactions(), db->num_items(),
+              query.constraints.ToString().c_str(),
+              ccs::AlgorithmName(algorithm));
+  const ccs::MiningResult result =
+      ccs::Mine(algorithm, *db, *catalog, query.constraints, options);
+  if (cli.report) {
+    const auto reports =
+        ccs::BuildReports(result.answers, *db, *catalog, options);
+    std::printf("%s", ccs::ReportsToTable(reports).ToAlignedText().c_str());
+  } else {
+    for (const ccs::Itemset& s : result.answers) {
+      std::printf("%s\n", s.ToString().c_str());
+    }
+  }
+  std::fprintf(stderr, "# %zu answers in %.1f ms (%llu tables)\n",
+               result.answers.size(),
+               result.stats.elapsed_seconds * 1e3,
+               static_cast<unsigned long long>(
+                   result.stats.TotalTablesBuilt()));
+  if (cli.stats) {
+    std::fprintf(stderr, "%s", result.stats.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ground-truth verification in the style of the paper's second synthetic
+// data method: plant correlation rules with known supports, mine with every
+// algorithm, and report how precisely the planted rules are recovered.
+//
+//   ./planted_rules [num_baskets] [num_rules]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/miner.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/rule_generator.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  ccs::RuleGeneratorConfig config;
+  config.num_transactions =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  config.num_rules = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+  config.num_items = 200;
+  config.avg_transaction_size = 12.0;
+  config.rule_size = 2;
+  config.seed = 123;
+
+  ccs::RuleGenerator generator(config);
+  const ccs::TransactionDatabase db = generator.Generate();
+  const ccs::ItemCatalog catalog =
+      ccs::MakeLinearPriceCatalog(config.num_items);
+
+  std::printf("planted %zu rules into %zu baskets:\n", config.num_rules,
+              db.num_transactions());
+  for (std::size_t r = 0; r < config.num_rules; ++r) {
+    std::printf("  rule %zu: items {%u, %u} with inclusion probability "
+                "%.2f\n",
+                r, generator.rules()[r][0], generator.rules()[r][1],
+                generator.rule_supports()[r]);
+  }
+
+  ccs::MiningOptions options;
+  options.significance = 0.95;
+  options.min_support = db.num_transactions() / 10;
+  options.min_cell_fraction = 0.25;
+
+  ccs::ConstraintSet no_constraints;
+  ccs::CsvTable table(
+      {"algorithm", "answers", "planted_found", "tables_built", "cpu_ms"});
+  for (ccs::Algorithm a : ccs::kAllAlgorithms) {
+    const ccs::MiningResult result =
+        ccs::Mine(a, db, catalog, no_constraints, options);
+    std::size_t found = 0;
+    for (const auto& rule : generator.rules()) {
+      ccs::Itemset planted;
+      for (ccs::ItemId i : rule) planted = planted.WithItem(i);
+      if (result.ContainsAnswer(planted)) ++found;
+    }
+    table.BeginRow();
+    table.AddCell(std::string(ccs::AlgorithmName(a)));
+    table.AddCell(static_cast<std::uint64_t>(result.answers.size()));
+    table.AddCell(std::string(std::to_string(found) + "/" +
+                              std::to_string(config.num_rules)));
+    table.AddCell(result.stats.TotalTablesBuilt());
+    table.AddCell(result.stats.elapsed_seconds * 1e3, 1);
+  }
+  std::printf("\n%s", table.ToAlignedText().c_str());
+  std::printf(
+      "\nEvery algorithm must list each planted pair among its minimal\n"
+      "correlated sets (the unconstrained query makes all six agree).\n");
+  return 0;
+}

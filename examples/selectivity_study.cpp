@@ -1,0 +1,67 @@
+// Miniature of the paper's selectivity experiments: sweep the selectivity
+// of a constraint and watch where each algorithm spends its database work.
+// Shows the BMS*/BMS** crossover and BMS++'s insensitivity.
+//
+//   ./selectivity_study [num_baskets]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "constraints/agg_constraint.h"
+#include "core/miner.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  ccs::IbmGeneratorConfig data;
+  data.num_transactions =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  data.num_items = 120;
+  data.avg_transaction_size = 10.0;
+  data.avg_pattern_size = 4.0;
+  data.num_patterns = 60;
+  data.seed = 77;
+  const ccs::TransactionDatabase db = ccs::IbmGenerator(data).Generate();
+  const ccs::ItemCatalog catalog =
+      ccs::MakeLinearPriceCatalog(data.num_items);
+
+  ccs::MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = db.num_transactions() / 20;  // 5% - keeps the
+  // frequent universe small, as the paper's 25% threshold does at scale
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;  // the paper never saw correlations past size 4
+
+  std::printf("monotone succinct constraint min(S.price) <= v over %zu "
+              "baskets\n\n",
+              db.num_transactions());
+  ccs::CsvTable table({"selectivity", "algorithm", "answers",
+                       "tables_built", "cpu_ms"});
+  const ccs::Algorithm algorithms[] = {
+      ccs::Algorithm::kBmsPlus, ccs::Algorithm::kBmsPlusPlus,
+      ccs::Algorithm::kBmsStar, ccs::Algorithm::kBmsStarStar,
+      ccs::Algorithm::kBmsStarStarOpt};
+  for (double selectivity : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    const double v = ccs::PriceThresholdForSelectivity(catalog, selectivity);
+    ccs::ConstraintSet constraints;
+    constraints.Add(ccs::MinLe(v));
+    for (ccs::Algorithm a : algorithms) {
+      const ccs::MiningResult result =
+          ccs::Mine(a, db, catalog, constraints, options);
+      table.BeginRow();
+      table.AddCell(selectivity, 2);
+      table.AddCell(std::string(ccs::AlgorithmName(a)));
+      table.AddCell(static_cast<std::uint64_t>(result.answers.size()));
+      table.AddCell(result.stats.TotalTablesBuilt());
+      table.AddCell(result.stats.elapsed_seconds * 1e3, 1);
+    }
+  }
+  std::printf("%s", table.ToAlignedText().c_str());
+  std::printf(
+      "\nReading guide: BMS+ ignores the constraint (flat cost); BMS** is\n"
+      "cheap at low selectivity and overtakes BMS* as selectivity rises —\n"
+      "the paper's Figure 8 crossover. BMS++ computes the other (valid\n"
+      "minimal) semantics and tracks the cheaper of the two regimes.\n");
+  return 0;
+}

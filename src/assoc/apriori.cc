@@ -1,0 +1,84 @@
+#include "assoc/apriori.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+std::uint64_t AprioriResult::SupportOf(const Itemset& s) const {
+  const auto it = std::lower_bound(
+      frequent.begin(), frequent.end(), s,
+      [](const FrequentItemset& f, const Itemset& key) {
+        return f.items < key;
+      });
+  if (it == frequent.end() || !(it->items == s)) return 0;
+  return it->support;
+}
+
+AprioriResult MineApriori(const TransactionDatabase& db,
+                          const AprioriOptions& options) {
+  CCS_CHECK(db.finalized());
+  CCS_CHECK_GE(options.max_set_size, 1u);
+  CCS_CHECK_LE(options.max_set_size, Itemset::kMaxSize);
+  Stopwatch timer;
+  AprioriResult result;
+
+  // Level 1 from the precomputed item supports.
+  std::vector<ItemId> frequent_items;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const std::uint64_t support = db.ItemSupport(i);
+    ++result.stats.Level(1).candidates;
+    if (support >= options.min_support) {
+      frequent_items.push_back(i);
+      result.frequent.push_back({Itemset{i}, support});
+      ++result.stats.Level(1).sig_added;
+    }
+  }
+
+  // Levels >= 2: count candidate supports by tid-set intersection. The
+  // running intersection for each seed is reused across its extensions by
+  // recomputing per candidate; at our scales the AND dominates anyway and
+  // stays O(|D|/64) words per set.
+  std::vector<Itemset> frontier;
+  for (ItemId i : frequent_items) frontier.push_back(Itemset{i});
+  DynamicBitset scratch;
+  for (std::size_t k = 2;
+       k <= options.max_set_size && !frontier.empty(); ++k) {
+    const ItemsetSet closed(frontier.begin(), frontier.end());
+    const std::vector<Itemset> candidates =
+        k == 2 ? AllPairs(frequent_items)
+               : ExtendSeeds(frontier, frequent_items,
+                             [&closed](const Itemset& s) {
+                               return AllCoSubsetsIn(s, closed);
+                             });
+    LevelStats& level = result.stats.Level(k);
+    frontier.clear();
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      scratch = db.tidset(s[0]);
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        scratch.AndWith(db.tidset(s[i]));
+      }
+      const std::uint64_t support =
+          DynamicBitset::CountAnd(scratch, db.tidset(s[s.size() - 1]));
+      ++level.tables_built;  // one intersection pass per candidate
+      if (support >= options.min_support) {
+        ++level.sig_added;
+        result.frequent.push_back({s, support});
+        frontier.push_back(s);
+      }
+    }
+  }
+
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,58 @@
+#ifndef CCS_ASSOC_APRIORI_H_
+#define CCS_ASSOC_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/itemset.h"
+#include "core/result.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Classical frequent-itemset mining (Agrawal & Srikant, VLDB'94) over the
+// same vertical-bitmap substrate the correlation miners use. This is the
+// framework the paper positions itself against: associations use frequency
+// as the significance measure where correlations use the chi-squared test
+// plus CT-support, and association mining returns *all* frequent sets
+// (rules are formed from them) where correlation mining returns minimal
+// sets.
+//
+// ccsmine ships it both as the reference comparator for the paper's
+// motivation ("associations are not appropriate for all situations") and
+// as the base of the CAP-style constrained frequent-set miner.
+
+struct FrequentItemset {
+  Itemset items;
+  std::uint64_t support = 0;
+
+  friend bool operator==(const FrequentItemset& a, const FrequentItemset& b) {
+    return a.items == b.items && a.support == b.support;
+  }
+};
+
+struct AprioriResult {
+  // All frequent itemsets of size >= 1, sorted by Itemset order.
+  std::vector<FrequentItemset> frequent;
+  MiningStats stats;
+
+  // Support of `s` if frequent, 0 otherwise (binary search).
+  std::uint64_t SupportOf(const Itemset& s) const;
+};
+
+struct AprioriOptions {
+  // Absolute minimum support count.
+  std::uint64_t min_support = 1;
+  // Level cap (inclusive).
+  std::size_t max_set_size = Itemset::kMaxSize;
+};
+
+// Level-wise Apriori. Candidate supports are counted by intersecting
+// tid-sets (the support of S equals the popcount of the AND of its items'
+// tid-sets), with the standard all-subsets-frequent candidate rule.
+AprioriResult MineApriori(const TransactionDatabase& db,
+                          const AprioriOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_ASSOC_APRIORI_H_

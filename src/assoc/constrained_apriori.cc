@@ -1,0 +1,91 @@
+#include "assoc/constrained_apriori.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+AprioriResult MineConstrainedApriori(const TransactionDatabase& db,
+                                     const ItemCatalog& catalog,
+                                     const ConstraintSet& constraints,
+                                     const AprioriOptions& options) {
+  CCS_CHECK(db.finalized());
+  CCS_CHECK_GE(options.max_set_size, 1u);
+  CCS_CHECK_LE(options.max_set_size, Itemset::kMaxSize);
+  Stopwatch timer;
+  AprioriResult result;
+
+  auto is_answer = [&](const Itemset& s) {
+    return constraints.TestMonotone(s.span(), catalog) &&
+           constraints.TestUnclassified(s.span(), catalog);
+  };
+
+  // GOOD1: frequency plus the anti-monotone singleton filter.
+  std::vector<ItemId> universe;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    ++result.stats.Level(1).candidates;
+    if (db.ItemSupport(i) < options.min_support) continue;
+    if (!constraints.SingletonSatisfiesAntiMonotone(i, catalog)) {
+      ++result.stats.Level(1).pruned_before_ct;
+      continue;
+    }
+    universe.push_back(i);
+    const Itemset s{i};
+    if (is_answer(s)) {
+      result.frequent.push_back({s, db.ItemSupport(i)});
+      ++result.stats.Level(1).sig_added;
+    }
+  }
+
+  std::vector<Itemset> frontier;
+  for (ItemId i : universe) frontier.push_back(Itemset{i});
+  DynamicBitset scratch;
+  for (std::size_t k = 2;
+       k <= options.max_set_size && !frontier.empty(); ++k) {
+    const ItemsetSet closed(frontier.begin(), frontier.end());
+    const std::vector<Itemset> candidates =
+        k == 2 ? AllPairs(universe)
+               : ExtendSeeds(frontier, universe,
+                             [&closed](const Itemset& s) {
+                               return AllCoSubsetsIn(s, closed);
+                             });
+    LevelStats& level = result.stats.Level(k);
+    frontier.clear();
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      // Anti-monotone constraints gate the (comparatively expensive)
+      // support count and the whole subtree above s.
+      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      scratch = db.tidset(s[0]);
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        scratch.AndWith(db.tidset(s[i]));
+      }
+      const std::uint64_t support =
+          DynamicBitset::CountAnd(scratch, db.tidset(s[s.size() - 1]));
+      ++level.tables_built;
+      if (support < options.min_support) continue;
+      frontier.push_back(s);
+      if (is_answer(s)) {
+        ++level.sig_added;
+        result.frequent.push_back({s, support});
+      } else {
+        ++level.notsig_added;
+      }
+    }
+  }
+
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,35 @@
+#ifndef CCS_ASSOC_CONSTRAINED_APRIORI_H_
+#define CCS_ASSOC_CONSTRAINED_APRIORI_H_
+
+#include "assoc/apriori.h"
+#include "constraints/constraint_set.h"
+#include "txn/catalog.h"
+
+namespace ccs {
+
+// Constrained frequent-set mining in the style of Ng et al. (SIGMOD'98) —
+// the CAP framework the paper builds on. The answer set is *all* frequent
+// sets that satisfy the constraints (no minimality: associations use all
+// frequent sets for rule formation), so unlike the BMS family both
+// directions of Theorem 1 are moot here and monotone constraints cannot
+// prune the frontier, only the output:
+//
+//  * succinct anti-monotone constraints shrink the item universe before
+//    any counting (the GOOD1 filter is exact for them);
+//  * non-succinct anti-monotone constraints are tested per candidate
+//    before its support is counted, and failing sets leave the frontier
+//    (their supersets fail too);
+//  * monotone and unclassified constraints gate the output only — a
+//    frequent set failing them stays on the frontier because a superset
+//    may yet satisfy them.
+//
+// Returned sets are exactly { S : S frequent & S satisfies C }, restricted
+// to the frequent-item universe as everywhere in this library.
+AprioriResult MineConstrainedApriori(const TransactionDatabase& db,
+                                     const ItemCatalog& catalog,
+                                     const ConstraintSet& constraints,
+                                     const AprioriOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_ASSOC_CONSTRAINED_APRIORI_H_

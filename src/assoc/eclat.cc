@@ -1,0 +1,88 @@
+#include "assoc/eclat.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+namespace {
+
+class EclatMiner {
+ public:
+  EclatMiner(const TransactionDatabase& db, const AprioriOptions& options,
+             AprioriResult* result)
+      : db_(db), options_(options), result_(result) {}
+
+  void Run() {
+    std::vector<ItemId> frequent_items;
+    for (ItemId i = 0; i < db_.num_items(); ++i) {
+      ++result_->stats.Level(1).candidates;
+      if (db_.ItemSupport(i) >= options_.min_support) {
+        frequent_items.push_back(i);
+        result_->frequent.push_back({Itemset{i}, db_.ItemSupport(i)});
+        ++result_->stats.Level(1).sig_added;
+      }
+    }
+    if (options_.max_set_size < 2) return;
+    scratch_.resize(options_.max_set_size);
+    // Depth-first from each frequent item; extensions use larger ids
+    // only, so each set is visited exactly once.
+    for (std::size_t idx = 0; idx < frequent_items.size(); ++idx) {
+      Extend(Itemset{frequent_items[idx]},
+             db_.tidset(frequent_items[idx]), frequent_items, idx + 1, 0);
+    }
+  }
+
+ private:
+  // prefix has the tid-set `tids` (at scratch depth `depth`); try all
+  // extensions from universe[from..].
+  void Extend(const Itemset& prefix, const DynamicBitset& tids,
+              const std::vector<ItemId>& universe, std::size_t from,
+              std::size_t depth) {
+    // stats.Level() may grow the level vector inside the recursion below;
+    // re-fetch the reference per use instead of holding it across calls.
+    const std::size_t level = prefix.size() + 1;
+    for (std::size_t i = from; i < universe.size(); ++i) {
+      const ItemId item = universe[i];
+      ++result_->stats.Level(level).candidates;
+      ++result_->stats.Level(level).tables_built;
+      const std::uint64_t support =
+          DynamicBitset::CountAnd(tids, db_.tidset(item));
+      if (support < options_.min_support) continue;
+      const Itemset extended = prefix.WithItem(item);
+      ++result_->stats.Level(level).sig_added;
+      result_->frequent.push_back({extended, support});
+      if (extended.size() < options_.max_set_size) {
+        DynamicBitset& child = scratch_[depth];
+        child.AssignAnd(tids, db_.tidset(item));
+        Extend(extended, child, universe, i + 1, depth + 1);
+      }
+    }
+  }
+
+  const TransactionDatabase& db_;
+  const AprioriOptions& options_;
+  AprioriResult* result_;
+  std::vector<DynamicBitset> scratch_;
+};
+
+}  // namespace
+
+AprioriResult MineEclat(const TransactionDatabase& db,
+                        const AprioriOptions& options) {
+  CCS_CHECK(db.finalized());
+  CCS_CHECK_GE(options.max_set_size, 1u);
+  CCS_CHECK_LE(options.max_set_size, Itemset::kMaxSize);
+  Stopwatch timer;
+  AprioriResult result;
+  EclatMiner(db, options, &result).Run();
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,24 @@
+#ifndef CCS_ASSOC_ECLAT_H_
+#define CCS_ASSOC_ECLAT_H_
+
+#include "assoc/apriori.h"
+
+namespace ccs {
+
+// Eclat (Zaki et al.): depth-first frequent-itemset mining over the
+// vertical layout. Where Apriori re-intersects every candidate's items
+// from scratch level by level, Eclat extends one prefix at a time and
+// reuses the prefix's materialized tid-set, so each frequent set costs a
+// single AND with the new item's column. Same answer set as MineApriori —
+// the test suite pins the two against each other — with a different cost
+// profile: memory for the prefix stack instead of repeated intersection
+// work, and no candidate-generation hash sets.
+//
+// Stats mapping: tables_built counts tid-set intersections (the database
+// work unit, as in Apriori), candidates counts extension attempts.
+AprioriResult MineEclat(const TransactionDatabase& db,
+                        const AprioriOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_ASSOC_ECLAT_H_

@@ -1,0 +1,186 @@
+#include "assoc/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+namespace {
+
+// A weighted transaction of a conditional pattern base: the path items
+// (any order) and how many original transactions it stands for.
+struct WeightedItems {
+  std::vector<ItemId> items;
+  std::uint64_t count = 1;
+};
+
+// Prefix tree over item-ranked transactions with per-item node chains.
+class FpTree {
+ public:
+  // Builds the tree from weighted transactions, keeping only items whose
+  // weighted support reaches min_support. Items are ranked by descending
+  // support (ties by id) so popular items share prefixes.
+  FpTree(const std::vector<WeightedItems>& transactions,
+         std::uint64_t min_support) {
+    std::unordered_map<ItemId, std::uint64_t> support;
+    for (const auto& txn : transactions) {
+      for (ItemId i : txn.items) support[i] += txn.count;
+    }
+    std::vector<std::pair<ItemId, std::uint64_t>> ranked;
+    for (const auto& [item, s] : support) {
+      if (s >= min_support) ranked.emplace_back(item, s);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (std::size_t r = 0; r < ranked.size(); ++r) {
+      rank_[ranked[r].first] = r;
+    }
+    // header_ holds items in ascending support order for the mining loop
+    // (least frequent first, the classic bottom-up order).
+    for (auto it = ranked.rbegin(); it != ranked.rend(); ++it) {
+      header_.push_back({it->first, it->second, -1});
+    }
+
+    nodes_.push_back({kInvalidItem, 0, -1, -1});  // root
+    children_.emplace_back();
+    for (const auto& txn : transactions) {
+      std::vector<ItemId> kept;
+      for (ItemId i : txn.items) {
+        if (rank_.contains(i)) kept.push_back(i);
+      }
+      std::sort(kept.begin(), kept.end(), [this](ItemId a, ItemId b) {
+        return rank_.at(a) < rank_.at(b);
+      });
+      Insert(kept, txn.count);
+    }
+  }
+
+  bool empty() const { return header_.empty(); }
+  std::size_t num_header_items() const { return header_.size(); }
+  ItemId header_item(std::size_t i) const { return header_[i].item; }
+  std::uint64_t header_support(std::size_t i) const {
+    return header_[i].support;
+  }
+
+  // Conditional pattern base of the i-th header item: for every node of
+  // that item, the path of ancestors (excluding the item and the root)
+  // weighted by the node's count.
+  std::vector<WeightedItems> PatternBase(std::size_t i) const {
+    std::vector<WeightedItems> base;
+    for (int node = header_[i].first_node; node != -1;
+         node = nodes_[node].next_same_item) {
+      WeightedItems path;
+      path.count = nodes_[node].count;
+      for (int up = nodes_[node].parent; up > 0; up = nodes_[up].parent) {
+        path.items.push_back(nodes_[up].item);
+      }
+      if (!path.items.empty()) base.push_back(std::move(path));
+    }
+    return base;
+  }
+
+ private:
+  struct Node {
+    ItemId item;
+    std::uint64_t count;
+    int parent;
+    int next_same_item;
+  };
+  struct HeaderEntry {
+    ItemId item;
+    std::uint64_t support;
+    int first_node;
+  };
+
+  void Insert(const std::vector<ItemId>& items, std::uint64_t count) {
+    int node = 0;
+    for (ItemId item : items) {
+      const auto it = children_[node].find(item);
+      if (it != children_[node].end()) {
+        node = it->second;
+        nodes_[node].count += count;
+        continue;
+      }
+      const int child = static_cast<int>(nodes_.size());
+      nodes_.push_back({item, count, node, -1});
+      // emplace_back may reallocate children_, so index it afresh below.
+      children_.emplace_back();
+      children_[node].emplace(item, child);
+      // Thread into the item's chain.
+      for (auto& entry : header_) {
+        if (entry.item == item) {
+          nodes_[child].next_same_item = entry.first_node;
+          entry.first_node = child;
+          break;
+        }
+      }
+      node = child;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::map<ItemId, int>> children_;
+  std::vector<HeaderEntry> header_;
+  std::unordered_map<ItemId, std::size_t> rank_;
+};
+
+class FpGrowthMiner {
+ public:
+  FpGrowthMiner(const AprioriOptions& options, AprioriResult* result)
+      : options_(options), result_(result) {}
+
+  void Mine(const FpTree& tree, const Itemset& suffix) {
+    // Note: stats.Level() may grow the level vector during the recursive
+    // call below, so the reference must be re-fetched per use rather than
+    // held across iterations.
+    const std::size_t level = suffix.size() + 1;
+    for (std::size_t i = 0; i < tree.num_header_items(); ++i) {
+      ++result_->stats.Level(level).candidates;
+      const Itemset extended = suffix.WithItem(tree.header_item(i));
+      ++result_->stats.Level(level).sig_added;
+      result_->frequent.push_back({extended, tree.header_support(i)});
+      if (extended.size() >= options_.max_set_size) continue;
+      const auto base = tree.PatternBase(i);
+      if (base.empty()) continue;
+      const FpTree conditional(base, options_.min_support);
+      ++result_->stats.Level(level).tables_built;
+      if (!conditional.empty()) Mine(conditional, extended);
+    }
+  }
+
+ private:
+  const AprioriOptions& options_;
+  AprioriResult* result_;
+};
+
+}  // namespace
+
+AprioriResult MineFpGrowth(const TransactionDatabase& db,
+                           const AprioriOptions& options) {
+  CCS_CHECK(db.finalized());
+  CCS_CHECK_GE(options.max_set_size, 1u);
+  CCS_CHECK_LE(options.max_set_size, Itemset::kMaxSize);
+  Stopwatch timer;
+  AprioriResult result;
+  std::vector<WeightedItems> transactions;
+  transactions.reserve(db.num_transactions());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    if (db.transaction(t).empty()) continue;
+    transactions.push_back({db.transaction(t), 1});
+  }
+  const FpTree tree(transactions, options.min_support);
+  FpGrowthMiner(options, &result).Mine(tree, Itemset{});
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,27 @@
+#ifndef CCS_ASSOC_FPGROWTH_H_
+#define CCS_ASSOC_FPGROWTH_H_
+
+#include "assoc/apriori.h"
+
+namespace ccs {
+
+// FP-growth (Han, Pei, Yin): frequent-itemset mining without candidate
+// generation. Transactions are compressed into a prefix tree (FP-tree)
+// whose paths share common frequent prefixes; mining proceeds by
+// extracting each item's conditional pattern base and recursing on the
+// conditional tree. Two database passes total — everything after that is
+// tree work.
+//
+// Shipped as the third frequent-set engine (with Apriori and Eclat) so the
+// association substrate matches what an adopting user expects from an
+// itemset-mining library; all three are pinned to each other in tests.
+//
+// Stats mapping: tables_built counts conditional trees constructed,
+// candidates counts header-table entries examined per recursion depth
+// (depth + 1 is reported as the "level").
+AprioriResult MineFpGrowth(const TransactionDatabase& db,
+                           const AprioriOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_ASSOC_FPGROWTH_H_

@@ -1,0 +1,95 @@
+#include "assoc/rules.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+// Enumerates every (antecedent, consequent) bipartition of `set` via the
+// 2^|set| - 2 proper non-empty item masks.
+template <typename Fn>
+void ForEachSplit(const Itemset& set, Fn fn) {
+  const std::uint32_t full = (1u << set.size()) - 1;
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    Itemset antecedent;
+    Itemset consequent;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (mask & (1u << i)) {
+        antecedent = antecedent.WithItem(set[i]);
+      } else {
+        consequent = consequent.WithItem(set[i]);
+      }
+    }
+    fn(antecedent, consequent);
+  }
+}
+
+std::vector<AssociationRule> Generate(const AprioriResult& mined,
+                                      const RuleOptions& options,
+                                      bool allow_missing_subsets) {
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& f : mined.frequent) {
+    if (f.items.size() < 2) continue;
+    ForEachSplit(f.items, [&](const Itemset& antecedent,
+                              const Itemset& consequent) {
+      const std::uint64_t antecedent_support = mined.SupportOf(antecedent);
+      if (antecedent_support == 0) {
+        CCS_CHECK(allow_missing_subsets);
+        return;
+      }
+      const double confidence = static_cast<double>(f.support) /
+                                static_cast<double>(antecedent_support);
+      if (confidence < options.min_confidence) return;
+      AssociationRule rule;
+      rule.antecedent = antecedent;
+      rule.consequent = consequent;
+      rule.support = f.support;
+      rule.confidence = confidence;
+      if (options.num_transactions > 0) {
+        const std::uint64_t consequent_support = mined.SupportOf(consequent);
+        if (consequent_support > 0) {
+          const double consequent_frequency =
+              static_cast<double>(consequent_support) /
+              static_cast<double>(options.num_transactions);
+          rule.lift = confidence / consequent_frequency;
+        } else if (!allow_missing_subsets) {
+          CCS_CHECK(false);  // Apriori output must contain all subsets.
+        }
+      }
+      rules.push_back(std::move(rule));
+    });
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (!(a.antecedent == b.antecedent)) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace
+
+std::string AssociationRule::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  (support %llu, confidence %.2f, lift %.2f)",
+                static_cast<unsigned long long>(support), confidence, lift);
+  return antecedent.ToString() + " => " + consequent.ToString() + buf;
+}
+
+std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
+                                           const RuleOptions& options) {
+  return Generate(mined, options, /*allow_missing_subsets=*/false);
+}
+
+std::vector<AssociationRule> GenerateRulesPartial(
+    const AprioriResult& mined, const RuleOptions& options) {
+  return Generate(mined, options, /*allow_missing_subsets=*/true);
+}
+
+}  // namespace ccs

@@ -1,0 +1,50 @@
+#ifndef CCS_ASSOC_RULES_H_
+#define CCS_ASSOC_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "assoc/apriori.h"
+
+namespace ccs {
+
+// Association rules X => Y formed from frequent itemsets (Agrawal et al.,
+// SIGMOD'93): X and Y disjoint and non-empty, support = supp(X u Y),
+// confidence = supp(X u Y) / supp(X). Lift compares the rule's confidence
+// with Y's unconditional frequency — the bridge to the correlation view
+// the paper advocates: lift ~ 1 rules are exactly the statistically
+// uninteresting ones a chi-squared test rejects.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  std::uint64_t support = 0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  // "{1, 2} => {3}  (support 120, confidence 0.82, lift 1.7)"
+  std::string ToString() const;
+};
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+  // Total transactions in the mined database; needed for lift. Must be
+  // > 0 when lift values are wanted; 0 leaves lift at 0.
+  std::uint64_t num_transactions = 0;
+};
+
+// Generates all rules meeting min_confidence from the frequent sets in
+// `mined` (which must include all subsets of every set — true for Apriori
+// output, not necessarily for constrained output; see
+// GenerateRulesPartial). Rules are ordered by (antecedent, consequent).
+std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
+                                           const RuleOptions& options);
+
+// Rule generation tolerant of incomplete subset information (constrained
+// mining may have pruned an antecedent): splits whose antecedent support
+// is unknown are skipped rather than miscomputed.
+std::vector<AssociationRule> GenerateRulesPartial(const AprioriResult& mined,
+                                                  const RuleOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_ASSOC_RULES_H_

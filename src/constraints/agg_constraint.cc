@@ -1,0 +1,143 @@
+#include "constraints/agg_constraint.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+Monotonicity Classify(Agg agg, Cmp cmp) {
+  switch (agg) {
+    case Agg::kMax:
+    case Agg::kSum:
+    case Agg::kCount:
+      // These aggregates are non-decreasing under item addition (price is
+      // non-negative), so "<= c" is violated only by growing: anti-monotone.
+      return cmp == Cmp::kLe ? Monotonicity::kAntiMonotone
+                             : Monotonicity::kMonotone;
+    case Agg::kMin:
+      // min is non-increasing under item addition.
+      return cmp == Cmp::kGe ? Monotonicity::kAntiMonotone
+                             : Monotonicity::kMonotone;
+    case Agg::kAvg:
+      return Monotonicity::kNeither;
+  }
+  return Monotonicity::kNeither;
+}
+
+bool IsSuccinctAgg(Agg agg) {
+  // Only the order statistics have powerset-generated solution spaces;
+  // sum/count/avg constrain a combination of items, not their identities.
+  return agg == Agg::kMin || agg == Agg::kMax;
+}
+
+}  // namespace
+
+const char* AggName(Agg agg) {
+  switch (agg) {
+    case Agg::kMin:
+      return "min";
+    case Agg::kMax:
+      return "max";
+    case Agg::kSum:
+      return "sum";
+    case Agg::kCount:
+      return "count";
+    case Agg::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+const char* CmpName(Cmp cmp) { return cmp == Cmp::kLe ? "<=" : ">="; }
+
+AggConstraint::AggConstraint(Agg agg, Cmp cmp, double threshold)
+    : agg_(agg),
+      cmp_(cmp),
+      threshold_(threshold),
+      monotonicity_(Classify(agg, cmp)),
+      succinct_(IsSuccinctAgg(agg)) {}
+
+bool AggConstraint::Test(ItemSpan items, const ItemCatalog& catalog) const {
+  double value = 0.0;
+  switch (agg_) {
+    case Agg::kMin: {
+      value = std::numeric_limits<double>::infinity();
+      for (ItemId i : items) value = std::min(value, catalog.price(i));
+      break;
+    }
+    case Agg::kMax: {
+      value = -std::numeric_limits<double>::infinity();
+      for (ItemId i : items) value = std::max(value, catalog.price(i));
+      break;
+    }
+    case Agg::kSum: {
+      for (ItemId i : items) value += catalog.price(i);
+      break;
+    }
+    case Agg::kCount: {
+      value = static_cast<double>(items.size());
+      break;
+    }
+    case Agg::kAvg: {
+      if (items.empty()) return false;
+      for (ItemId i : items) value += catalog.price(i);
+      value /= static_cast<double>(items.size());
+      break;
+    }
+  }
+  return cmp_ == Cmp::kLe ? value <= threshold_ : value >= threshold_;
+}
+
+std::string AggConstraint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", threshold_);
+  if (agg_ == Agg::kCount) {
+    return std::string("count(S) ") + CmpName(cmp_) + " " + buf;
+  }
+  return std::string(AggName(agg_)) + "(S.price) " + CmpName(cmp_) + " " +
+         buf;
+}
+
+ConstraintPtr MinLe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kMin, Cmp::kLe, c);
+}
+ConstraintPtr MinGe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kMin, Cmp::kGe, c);
+}
+ConstraintPtr MaxLe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kMax, Cmp::kLe, c);
+}
+ConstraintPtr MaxGe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kMax, Cmp::kGe, c);
+}
+ConstraintPtr SumLe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kSum, Cmp::kLe, c);
+}
+ConstraintPtr SumGe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kSum, Cmp::kGe, c);
+}
+ConstraintPtr CountLe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kCount, Cmp::kLe, c);
+}
+ConstraintPtr CountGe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kCount, Cmp::kGe, c);
+}
+ConstraintPtr AvgLe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kAvg, Cmp::kLe, c);
+}
+ConstraintPtr AvgGe(double c) {
+  return std::make_unique<AggConstraint>(Agg::kAvg, Cmp::kGe, c);
+}
+
+std::vector<ConstraintPtr> MakeEqualityConstraint(Agg agg, double c) {
+  CCS_CHECK(agg != Agg::kAvg);
+  std::vector<ConstraintPtr> out;
+  out.push_back(std::make_unique<AggConstraint>(agg, Cmp::kLe, c));
+  out.push_back(std::make_unique<AggConstraint>(agg, Cmp::kGe, c));
+  return out;
+}
+
+}  // namespace ccs

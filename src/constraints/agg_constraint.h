@@ -1,0 +1,78 @@
+#ifndef CCS_CONSTRAINTS_AGG_CONSTRAINT_H_
+#define CCS_CONSTRAINTS_AGG_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace ccs {
+
+// SQL-style aggregation constraints agg(S.price) cmp c (Lemma 1, case 1).
+enum class Agg { kMin, kMax, kSum, kCount, kAvg };
+enum class Cmp { kLe, kGe };
+
+const char* AggName(Agg agg);
+const char* CmpName(Cmp cmp);
+
+// Classification from Lemma 1 for a non-negative attribute domain:
+//
+//   agg    cmp   monotonicity    succinct
+//   ----   ---   -------------   --------
+//   max    <=    anti-monotone   yes   (S subset-of {i : price_i <= c})
+//   max    >=    monotone        yes   (one witness with price >= c)
+//   min    >=    anti-monotone   yes   (S subset-of {i : price_i >= c})
+//   min    <=    monotone        yes   (one witness with price <= c)
+//   sum    <=    anti-monotone   no
+//   sum    >=    monotone        no
+//   count  <=    anti-monotone   no
+//   count  >=    monotone        no
+//   avg    any   neither         no    (Section 6; post-filter only)
+//
+// Empty-set conventions (the mining engines never test the empty set, but
+// Test() is total): sum = 0, count = 0, min = +inf, max = -inf; avg on the
+// empty set is defined as unsatisfied.
+class AggConstraint final : public Constraint {
+ public:
+  AggConstraint(Agg agg, Cmp cmp, double threshold);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override { return monotonicity_; }
+  bool is_succinct() const override { return succinct_; }
+  std::string ToString() const override;
+  bool has_single_witness_form() const override {
+    return succinct_ && monotonicity_ == Monotonicity::kMonotone;
+  }
+
+  Agg agg() const { return agg_; }
+  Cmp cmp() const { return cmp_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  Agg agg_;
+  Cmp cmp_;
+  double threshold_;
+  Monotonicity monotonicity_;
+  bool succinct_;
+};
+
+// Convenience factories reading like the paper: MaxLe(50) is
+// max(S.price) <= 50.
+ConstraintPtr MinLe(double c);
+ConstraintPtr MinGe(double c);
+ConstraintPtr MaxLe(double c);
+ConstraintPtr MaxGe(double c);
+ConstraintPtr SumLe(double c);
+ConstraintPtr SumGe(double c);
+ConstraintPtr CountLe(double c);
+ConstraintPtr CountGe(double c);
+ConstraintPtr AvgLe(double c);
+ConstraintPtr AvgGe(double c);
+
+// Rewrites agg(S.price) = c as the pair {agg <= c, agg >= c} — one conjunct
+// monotone, the other anti-monotone (Section 2.2). Not defined for kAvg.
+std::vector<ConstraintPtr> MakeEqualityConstraint(Agg agg, double c);
+
+}  // namespace ccs
+
+#endif  // CCS_CONSTRAINTS_AGG_CONSTRAINT_H_

@@ -1,0 +1,30 @@
+#include "constraints/constraint.h"
+
+namespace ccs {
+
+const char* MonotonicityName(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kMonotone:
+      return "monotone";
+    case Monotonicity::kAntiMonotone:
+      return "anti-monotone";
+    case Monotonicity::kBoth:
+      return "both";
+    case Monotonicity::kNeither:
+      return "neither";
+  }
+  return "unknown";
+}
+
+bool Constraint::ItemAllowed(ItemId item, const ItemCatalog& catalog) const {
+  const ItemId singleton[] = {item};
+  return Test(ItemSpan(singleton, 1), catalog);
+}
+
+bool Constraint::IsNecessaryWitness(ItemId item,
+                                    const ItemCatalog& catalog) const {
+  const ItemId singleton[] = {item};
+  return Test(ItemSpan(singleton, 1), catalog);
+}
+
+}  // namespace ccs

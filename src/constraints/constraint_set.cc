@@ -1,0 +1,134 @@
+#include "constraints/constraint_set.h"
+
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+bool TestBucket(const std::vector<ConstraintPtr>& constraints,
+                const std::vector<std::size_t>& bucket, ItemSpan items,
+                const ItemCatalog& catalog) {
+  for (std::size_t i : bucket) {
+    if (!constraints[i]->Test(items, catalog)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ConstraintSet::Add(ConstraintPtr constraint) {
+  CCS_CHECK(constraint != nullptr);
+  constraints_.push_back(std::move(constraint));
+  Classify(*constraints_.back(), constraints_.size() - 1);
+}
+
+void ConstraintSet::AddAll(std::vector<ConstraintPtr> constraints) {
+  for (auto& c : constraints) Add(std::move(c));
+}
+
+const Constraint& ConstraintSet::at(std::size_t i) const {
+  CCS_CHECK_LT(i, constraints_.size());
+  return *constraints_[i];
+}
+
+void ConstraintSet::Classify(const Constraint& constraint,
+                             std::size_t index) {
+  const Monotonicity m = constraint.monotonicity();
+  if (IsAntiMonotone(m)) {
+    anti_monotone_.push_back(index);
+    if (!constraint.is_succinct()) {
+      anti_monotone_non_succinct_.push_back(index);
+    }
+  }
+  if (IsMonotone(m)) {
+    monotone_.push_back(index);
+    if (constraint.is_succinct()) {
+      if (constraint.has_single_witness_form() && pushed_index_ < 0) {
+        pushed_index_ = static_cast<int>(index);
+        // Prefer the exactly-characterized class for the necessary filter.
+        necessary_index_ = pushed_index_;
+      }
+      if (necessary_index_ < 0) {
+        necessary_index_ = static_cast<int>(index);
+      }
+    }
+    // Every monotone constraint — including the pushed one — is re-checked
+    // by the deferred tests; enforcement never relies on pruning alone.
+    monotone_deferred_.push_back(index);
+  }
+  if (m == Monotonicity::kNeither) {
+    unclassified_.push_back(index);
+  }
+}
+
+bool ConstraintSet::TestAll(ItemSpan items, const ItemCatalog& catalog) const {
+  for (const auto& c : constraints_) {
+    if (!c->Test(items, catalog)) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::TestAntiMonotone(ItemSpan items,
+                                     const ItemCatalog& catalog) const {
+  return TestBucket(constraints_, anti_monotone_, items, catalog);
+}
+
+bool ConstraintSet::TestAntiMonotoneNonSuccinct(
+    ItemSpan items, const ItemCatalog& catalog) const {
+  return TestBucket(constraints_, anti_monotone_non_succinct_, items,
+                    catalog);
+}
+
+bool ConstraintSet::TestMonotone(ItemSpan items,
+                                 const ItemCatalog& catalog) const {
+  return TestBucket(constraints_, monotone_, items, catalog);
+}
+
+bool ConstraintSet::TestMonotoneDeferred(ItemSpan items,
+                                         const ItemCatalog& catalog) const {
+  return TestBucket(constraints_, monotone_deferred_, items, catalog);
+}
+
+bool ConstraintSet::TestUnclassified(ItemSpan items,
+                                     const ItemCatalog& catalog) const {
+  return TestBucket(constraints_, unclassified_, items, catalog);
+}
+
+bool ConstraintSet::AllAntiMonotone() const {
+  for (const auto& c : constraints_) {
+    if (!IsAntiMonotone(c->monotonicity())) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::SingletonSatisfiesAntiMonotone(
+    ItemId item, const ItemCatalog& catalog) const {
+  const ItemId singleton[] = {item};
+  return TestAntiMonotone(ItemSpan(singleton, 1), catalog);
+}
+
+bool ConstraintSet::IsWitnessItem(ItemId item,
+                                  const ItemCatalog& catalog) const {
+  if (pushed_index_ < 0) return false;
+  return constraints_[static_cast<std::size_t>(pushed_index_)]
+      ->IsNecessaryWitness(item, catalog);
+}
+
+bool ConstraintSet::IsNecessaryWitnessItem(ItemId item,
+                                           const ItemCatalog& catalog) const {
+  if (necessary_index_ < 0) return false;
+  return constraints_[static_cast<std::size_t>(necessary_index_)]
+      ->IsNecessaryWitness(item, catalog);
+}
+
+std::string ConstraintSet::ToString() const {
+  if (constraints_.empty()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += constraints_[i]->ToString();
+  }
+  return out;
+}
+
+}  // namespace ccs

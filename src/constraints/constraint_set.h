@@ -1,0 +1,132 @@
+#ifndef CCS_CONSTRAINTS_CONSTRAINT_SET_H_
+#define CCS_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace ccs {
+
+// The conjunction C of a constrained correlation query, split (Section 3.1,
+// modification I) into
+//   C_ams  — anti-monotone and succinct,
+//   C_am~s — anti-monotone, not succinct,
+//   C_ms   — monotone and succinct,
+//   C_m~s  — monotone, not succinct,
+// plus a bucket for constraints that are neither monotone nor anti-monotone
+// (e.g. avg; Section 6), which only the post-filtering algorithms accept.
+//
+// Pushing policy for monotone succinct constraints: among those with a
+// single-witness form, one is *pushed* — its witness class feeds the L1+ /
+// L1- split of BMS++ / BMS** candidate generation and the constraint is
+// thereby fully enforced by construction of the candidates... almost: a
+// pushed constraint is also re-checked with the deferred monotone tests
+// (cheap CPU work) so that correctness never depends on the pruning
+// machinery. Monotone succinct constraints needing several witnesses are
+// deferred like C_m~s, per footnote 5 of the paper; their first witness
+// class still contributes to the necessary-condition filter used by BMS**
+// (footnote 7).
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  ConstraintSet(ConstraintSet&&) = default;
+  ConstraintSet& operator=(ConstraintSet&&) = default;
+  ConstraintSet(const ConstraintSet&) = delete;
+  ConstraintSet& operator=(const ConstraintSet&) = delete;
+
+  // Takes ownership. Constraints may be added in any order.
+  void Add(ConstraintPtr constraint);
+
+  // Convenience for MakeEqualityConstraint-style vectors.
+  void AddAll(std::vector<ConstraintPtr> constraints);
+
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  const Constraint& at(std::size_t i) const;
+
+  // --- Conjunction tests ---
+
+  // All constraints (the full C).
+  bool TestAll(ItemSpan items, const ItemCatalog& catalog) const;
+
+  // All anti-monotone constraints (C_am = C_ams and C_am~s).
+  bool TestAntiMonotone(ItemSpan items, const ItemCatalog& catalog) const;
+
+  // Only the non-succinct anti-monotone constraints (C_am~s) — the ones
+  // BMS++ must test per candidate because they cannot be folded into the
+  // item universe.
+  bool TestAntiMonotoneNonSuccinct(ItemSpan items,
+                                   const ItemCatalog& catalog) const;
+
+  // All monotone constraints (C_m).
+  bool TestMonotone(ItemSpan items, const ItemCatalog& catalog) const;
+
+  // Monotone constraints that are not fully enforced by the pushed witness
+  // filter: C_m~s plus multi-witness succinct ones plus (for safety) the
+  // pushed one itself.
+  bool TestMonotoneDeferred(ItemSpan items, const ItemCatalog& catalog) const;
+
+  // Constraints that are neither monotone nor anti-monotone.
+  bool TestUnclassified(ItemSpan items, const ItemCatalog& catalog) const;
+
+  // --- Classification summary ---
+
+  bool has_unclassified() const { return !unclassified_.empty(); }
+  bool has_monotone() const { return !monotone_.empty(); }
+  bool has_anti_monotone() const { return !anti_monotone_.empty(); }
+
+  // True when every constraint is anti-monotone (possibly also monotone,
+  // i.e. kBoth). In that case VALID_MIN = MIN_VALID (Theorem 1.2).
+  bool AllAntiMonotone() const;
+
+  // --- Item-level filters (preprocessing, Section 3.1 I) ---
+
+  // GOOD1 membership: the singleton {item} satisfies every anti-monotone
+  // constraint. (For succinct anti-monotone constraints this is exact
+  // pruning; for non-succinct ones it is sound filtering.)
+  bool SingletonSatisfiesAntiMonotone(ItemId item,
+                                      const ItemCatalog& catalog) const;
+
+  // Whether a monotone succinct constraint was pushed; when true,
+  // IsWitnessItem() defines the L1+ class.
+  bool has_pushed_witness() const { return pushed_index_ >= 0; }
+
+  // Index (into at()) of the pushed constraint, or -1.
+  int pushed_constraint_index() const { return pushed_index_; }
+
+  // Membership in the pushed constraint's witness class. Always false when
+  // nothing was pushed.
+  bool IsWitnessItem(ItemId item, const ItemCatalog& catalog) const;
+
+  // Necessary-condition filter (footnote 7): BMS** may restrict candidates
+  // to sets containing an item from the first witness class of the first
+  // monotone *succinct* constraint even when that constraint needs several
+  // witnesses — membership is then necessary but not sufficient. Falls back
+  // to the pushed single-witness class when one exists; when no monotone
+  // succinct constraint exists at all, has_necessary_witness() is false.
+  bool has_necessary_witness() const { return necessary_index_ >= 0; }
+  bool IsNecessaryWitnessItem(ItemId item, const ItemCatalog& catalog) const;
+
+  // "C1 & C2 & ..."; "true" for the empty conjunction.
+  std::string ToString() const;
+
+ private:
+  void Classify(const Constraint& constraint, std::size_t index);
+
+  std::vector<ConstraintPtr> constraints_;
+  // Indices into constraints_ per bucket.
+  std::vector<std::size_t> anti_monotone_;
+  std::vector<std::size_t> anti_monotone_non_succinct_;
+  std::vector<std::size_t> monotone_;
+  std::vector<std::size_t> monotone_deferred_;
+  std::vector<std::size_t> unclassified_;
+  int pushed_index_ = -1;
+  int necessary_index_ = -1;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CONSTRAINTS_CONSTRAINT_SET_H_

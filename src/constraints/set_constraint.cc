@@ -1,0 +1,204 @@
+#include "constraints/set_constraint.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  CCS_CHECK(!values.empty());
+  return values;
+}
+
+std::vector<ItemId> SortedUnique(std::vector<ItemId> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  CCS_CHECK(!values.empty());
+  return values;
+}
+
+std::string RenderTypeSet(const std::vector<std::string>& types) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += types[i];
+  }
+  return out + "}";
+}
+
+std::string RenderItemSet(const std::vector<ItemId>& items) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items[i]);
+  }
+  return out + "}";
+}
+
+// True iff the type of `item` is named `name` in `catalog`.
+bool ItemHasType(ItemId item, const std::string& name,
+                 const ItemCatalog& catalog) {
+  const TypeId id = catalog.FindType(name);
+  return id != kInvalidType && catalog.type(item) == id;
+}
+
+// True iff the type of `item` is any of `names`.
+bool ItemHasAnyType(ItemId item, const std::vector<std::string>& names,
+                    const ItemCatalog& catalog) {
+  for (const auto& name : names) {
+    if (ItemHasType(item, name, catalog)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- TypeContainsConstraint ---
+
+TypeContainsConstraint::TypeContainsConstraint(std::vector<std::string> types)
+    : types_(SortedUnique(std::move(types))) {}
+
+bool TypeContainsConstraint::Test(ItemSpan items,
+                                  const ItemCatalog& catalog) const {
+  for (const auto& name : types_) {
+    bool found = false;
+    for (ItemId i : items) {
+      if (ItemHasType(i, name, catalog)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string TypeContainsConstraint::ToString() const {
+  return RenderTypeSet(types_) + " subset S.type";
+}
+
+bool TypeContainsConstraint::IsNecessaryWitness(
+    ItemId item, const ItemCatalog& catalog) const {
+  // Containing an item of the first required type is necessary (and, for a
+  // single-type constraint, sufficient).
+  return ItemHasType(item, types_.front(), catalog);
+}
+
+// --- TypeSubsetConstraint ---
+
+TypeSubsetConstraint::TypeSubsetConstraint(std::vector<std::string> types)
+    : types_(SortedUnique(std::move(types))) {}
+
+bool TypeSubsetConstraint::Test(ItemSpan items,
+                                const ItemCatalog& catalog) const {
+  for (ItemId i : items) {
+    if (!ItemHasAnyType(i, types_, catalog)) return false;
+  }
+  return true;
+}
+
+std::string TypeSubsetConstraint::ToString() const {
+  return "S.type subset " + RenderTypeSet(types_);
+}
+
+// --- TypeDisjointConstraint ---
+
+TypeDisjointConstraint::TypeDisjointConstraint(std::vector<std::string> types)
+    : types_(SortedUnique(std::move(types))) {}
+
+bool TypeDisjointConstraint::Test(ItemSpan items,
+                                  const ItemCatalog& catalog) const {
+  for (ItemId i : items) {
+    if (ItemHasAnyType(i, types_, catalog)) return false;
+  }
+  return true;
+}
+
+std::string TypeDisjointConstraint::ToString() const {
+  return RenderTypeSet(types_) + " intersect S.type = {}";
+}
+
+// --- TypeIntersectsConstraint ---
+
+TypeIntersectsConstraint::TypeIntersectsConstraint(
+    std::vector<std::string> types)
+    : types_(SortedUnique(std::move(types))) {}
+
+bool TypeIntersectsConstraint::Test(ItemSpan items,
+                                    const ItemCatalog& catalog) const {
+  for (ItemId i : items) {
+    if (ItemHasAnyType(i, types_, catalog)) return true;
+  }
+  return false;
+}
+
+std::string TypeIntersectsConstraint::ToString() const {
+  return RenderTypeSet(types_) + " intersect S.type != {}";
+}
+
+// --- TypeCountConstraint ---
+
+TypeCountConstraint::TypeCountConstraint(Cmp cmp, std::size_t count)
+    : less_equal_(cmp == Cmp::kLe), count_(count) {}
+
+bool TypeCountConstraint::Test(ItemSpan items,
+                               const ItemCatalog& catalog) const {
+  std::unordered_set<TypeId> distinct;
+  for (ItemId i : items) distinct.insert(catalog.type(i));
+  return less_equal_ ? distinct.size() <= count_ : distinct.size() >= count_;
+}
+
+Monotonicity TypeCountConstraint::monotonicity() const {
+  // The distinct-type count is non-decreasing under item addition.
+  return less_equal_ ? Monotonicity::kAntiMonotone : Monotonicity::kMonotone;
+}
+
+std::string TypeCountConstraint::ToString() const {
+  return std::string("|S.type| ") + (less_equal_ ? "<=" : ">=") + " " +
+         std::to_string(count_);
+}
+
+// --- ContainsItemsConstraint ---
+
+ContainsItemsConstraint::ContainsItemsConstraint(std::vector<ItemId> items)
+    : required_(SortedUnique(std::move(items))) {}
+
+bool ContainsItemsConstraint::Test(ItemSpan items,
+                                   const ItemCatalog&) const {
+  return std::includes(items.begin(), items.end(), required_.begin(),
+                       required_.end());
+}
+
+std::string ContainsItemsConstraint::ToString() const {
+  return RenderItemSet(required_) + " subset S";
+}
+
+bool ContainsItemsConstraint::IsNecessaryWitness(ItemId item,
+                                                 const ItemCatalog&) const {
+  return item == required_.front();
+}
+
+// --- ExcludesItemsConstraint ---
+
+ExcludesItemsConstraint::ExcludesItemsConstraint(std::vector<ItemId> items)
+    : excluded_(SortedUnique(std::move(items))) {}
+
+bool ExcludesItemsConstraint::Test(ItemSpan items, const ItemCatalog&) const {
+  for (ItemId i : items) {
+    if (std::binary_search(excluded_.begin(), excluded_.end(), i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ExcludesItemsConstraint::ToString() const {
+  return "S intersect " + RenderItemSet(excluded_) + " = {}";
+}
+
+}  // namespace ccs

@@ -1,0 +1,152 @@
+#ifndef CCS_CONSTRAINTS_SET_CONSTRAINT_H_
+#define CCS_CONSTRAINTS_SET_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/constraint.h"
+
+namespace ccs {
+
+// Class and domain constraints (Lemma 1, cases 2 and 3) over the type
+// attribute and over raw item ids. All constraints here are succinct; the
+// solution space of each is generated from item-level selections.
+//
+// Type sets are stored as names and resolved against the catalog passed to
+// Test(), so a constraint object is catalog-independent. A name the catalog
+// has never seen resolves to "no item has this type".
+
+// CS subset-of S.type — S must contain at least one item of every type in
+// CS. Monotone, succinct; single-witness form only when |CS| = 1
+// (footnote 5 of the paper). IsNecessaryWitness exposes the first type's
+// class as the pushable necessary condition.
+class TypeContainsConstraint final : public Constraint {
+ public:
+  explicit TypeContainsConstraint(std::vector<std::string> types);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+  bool has_single_witness_form() const override { return types_.size() == 1; }
+  bool IsNecessaryWitness(ItemId item,
+                          const ItemCatalog& catalog) const override;
+
+ private:
+  std::vector<std::string> types_;  // sorted, unique
+};
+
+// S.type subset-of CS — every item's type must be in CS. Anti-monotone,
+// succinct.
+class TypeSubsetConstraint final : public Constraint {
+ public:
+  explicit TypeSubsetConstraint(std::vector<std::string> types);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kAntiMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::string> types_;  // sorted, unique
+};
+
+// CS intersect S.type = empty — no item of S has a type in CS (the paper's
+// "snacks not-in S.type"). Anti-monotone, succinct.
+class TypeDisjointConstraint final : public Constraint {
+ public:
+  explicit TypeDisjointConstraint(std::vector<std::string> types);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kAntiMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::string> types_;  // sorted, unique
+};
+
+// CS intersect S.type != empty — S contains at least one item whose type is
+// in CS. Monotone, succinct, single-witness.
+class TypeIntersectsConstraint final : public Constraint {
+ public:
+  explicit TypeIntersectsConstraint(std::vector<std::string> types);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+  bool has_single_witness_form() const override { return true; }
+
+ private:
+  std::vector<std::string> types_;  // sorted, unique
+};
+
+// count(distinct S.type) cmp c — e.g. the introduction's |S.type| = 1
+// "single department" query is TypeCount <= 1 (>= 1 is vacuous for
+// non-empty sets). "<=" is anti-monotone, ">=" monotone; not succinct.
+class TypeCountConstraint final : public Constraint {
+ public:
+  TypeCountConstraint(Cmp cmp, std::size_t count);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override;
+  bool is_succinct() const override { return false; }
+  std::string ToString() const override;
+
+ private:
+  bool less_equal_;
+  std::size_t count_;
+};
+
+// S must include every item in `items` (domain constraint CS subset-of S).
+// Monotone, succinct; single-witness when |CS| = 1.
+class ContainsItemsConstraint final : public Constraint {
+ public:
+  explicit ContainsItemsConstraint(std::vector<ItemId> items);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+  bool has_single_witness_form() const override {
+    return required_.size() == 1;
+  }
+  bool IsNecessaryWitness(ItemId item,
+                          const ItemCatalog& catalog) const override;
+
+ private:
+  std::vector<ItemId> required_;  // sorted, unique
+};
+
+// S must avoid every item in `items` (S intersect CS = empty).
+// Anti-monotone, succinct.
+class ExcludesItemsConstraint final : public Constraint {
+ public:
+  explicit ExcludesItemsConstraint(std::vector<ItemId> items);
+
+  bool Test(ItemSpan items, const ItemCatalog& catalog) const override;
+  Monotonicity monotonicity() const override {
+    return Monotonicity::kAntiMonotone;
+  }
+  bool is_succinct() const override { return true; }
+  std::string ToString() const override;
+
+ private:
+  std::vector<ItemId> excluded_;  // sorted, unique
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CONSTRAINTS_SET_CONSTRAINT_H_

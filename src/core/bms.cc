@@ -1,0 +1,76 @@
+#include "core/bms.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+BmsRunOutput RunBms(const TransactionDatabase& db,
+                    const MiningOptions& options) {
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  BmsRunOutput out;
+
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) >= options.min_support) {
+      out.frequent_items.push_back(i);
+    }
+  }
+
+  std::vector<Itemset> candidates = AllPairs(out.frequent_items);
+  for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
+       ++k) {
+    LevelStats& level = out.stats.Level(k);
+    while (out.unsupported_by_level.size() <= k) {
+      out.unsupported_by_level.emplace_back();
+    }
+    std::vector<Itemset> notsig;
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) {
+        out.unsupported_by_level[k].push_back(s);
+        continue;
+      }
+      ++level.ct_supported;
+      ++level.chi2_tests;
+      if (judge.IsCorrelated(table)) {
+        ++level.correlated;
+        ++level.sig_added;
+        out.sig.push_back(s);
+      } else {
+        ++level.notsig_added;
+        notsig.push_back(s);
+      }
+    }
+    while (out.notsig_by_level.size() <= k) out.notsig_by_level.emplace_back();
+    out.notsig_by_level[k] = notsig;
+    if (k == options.max_set_size) break;
+    const ItemsetSet closed(notsig.begin(), notsig.end());
+    candidates =
+        ExtendSeeds(notsig, out.frequent_items, [&closed](const Itemset& s) {
+          return AllCoSubsetsIn(s, closed);
+        });
+  }
+
+  std::sort(out.sig.begin(), out.sig.end());
+  out.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+MiningResult MineBms(const TransactionDatabase& db,
+                     const MiningOptions& options) {
+  BmsRunOutput run = RunBms(db, options);
+  MiningResult result;
+  result.answers = std::move(run.sig);
+  result.stats = std::move(run.stats);
+  return result;
+}
+
+}  // namespace ccs

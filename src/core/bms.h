@@ -1,0 +1,53 @@
+#ifndef CCS_CORE_BMS_H_
+#define CCS_CORE_BMS_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Algorithm BMS — Brin, Motwani, Silverstein (SIGMOD'97): all minimal
+// correlated and CT-supported itemsets, no constraints. Level-wise from
+// pairs upward; a candidate's contingency table is built (one database
+// scan's worth of work), CT-support is tested (anti-monotone pruning), and
+// the chi-squared test sends the set to SIG (correlated — minimal, since
+// all its subsets were uncorrelated) or NOTSIG (the frontier from which
+// the next level's candidates are formed: every co-dimension-1 subset of a
+// candidate must be in NOTSIG).
+//
+// Search space note (also applies to the whole BMS family and the oracle):
+// following the paper's preprocessing, the item universe is restricted to
+// frequent items, O(i) >= min_support. The literal CT-support predicate
+// alone does not imply singleton frequency (the all-absent cell can carry
+// a 2^k-cell table past a low p%), so the frequency filter is part of the
+// problem definition here, exactly as in the published algorithms.
+
+// Everything BMS discovered, in the form BMS+ and BMS* need for reuse.
+struct BmsRunOutput {
+  // Minimal correlated and CT-supported sets (SIG'), sorted.
+  std::vector<Itemset> sig;
+  // CT-supported but uncorrelated candidates (NOTSIG'), per level;
+  // notsig_by_level[k] holds the size-k sets (entries 0, 1 unused).
+  std::vector<std::vector<Itemset>> notsig_by_level;
+  // Candidates whose table failed CT-support, per level. BMS discards
+  // them; BMS* uses them to avoid rebuilding the same tables in its sweep.
+  std::vector<std::vector<Itemset>> unsupported_by_level;
+  // The frequent-item universe L1.
+  std::vector<ItemId> frequent_items;
+  MiningStats stats;
+};
+
+// Runs BMS and returns the full run output.
+BmsRunOutput RunBms(const TransactionDatabase& db,
+                    const MiningOptions& options);
+
+// Runs BMS and returns SIG as a MiningResult.
+MiningResult MineBms(const TransactionDatabase& db,
+                     const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_BMS_H_

@@ -1,0 +1,25 @@
+#include "core/bms_plus.h"
+
+#include "core/bms.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+MiningResult MineBmsPlus(const TransactionDatabase& db,
+                         const ItemCatalog& catalog,
+                         const ConstraintSet& constraints,
+                         const MiningOptions& options) {
+  Stopwatch timer;
+  BmsRunOutput run = RunBms(db, options);
+  MiningResult result;
+  for (const Itemset& s : run.sig) {
+    if (constraints.TestAll(s.span(), catalog)) {
+      result.answers.push_back(s);
+    }
+  }
+  result.stats = std::move(run.stats);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,27 @@
+#ifndef CCS_CORE_BMS_PLUS_H_
+#define CCS_CORE_BMS_PLUS_H_
+
+#include "constraints/constraint_set.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Algorithm BMS+ (Figure D): the naive algorithm for *valid minimal*
+// answers. Runs unconstrained BMS to completion and then outputs the SIG
+// members that satisfy the constraints. Ignores all pruning power of the
+// constraints — the baseline every experiment compares against.
+//
+// Constraints of any monotonicity are accepted (post-filtering imposes no
+// structural requirement), including the neither-monotone-nor-anti-monotone
+// kind of Section 6 (e.g. avg).
+MiningResult MineBmsPlus(const TransactionDatabase& db,
+                         const ItemCatalog& catalog,
+                         const ConstraintSet& constraints,
+                         const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_BMS_PLUS_H_

@@ -1,0 +1,122 @@
+#include "core/bms_plus_plus.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
+                             const ItemCatalog& catalog,
+                             const ConstraintSet& constraints,
+                             const MiningOptions& options) {
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  MiningResult result;
+
+  // I. Preprocessing: GOOD1 and the L1+/L1- split.
+  std::vector<ItemId> l1_plus;
+  std::vector<ItemId> l1_minus;
+  std::vector<bool> is_witness(db.num_items(), false);
+  const bool pushed = constraints.has_pushed_witness();
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) < options.min_support) continue;
+    if (!constraints.SingletonSatisfiesAntiMonotone(i, catalog)) continue;
+    if (!pushed || constraints.IsWitnessItem(i, catalog)) {
+      l1_plus.push_back(i);
+      is_witness[i] = true;
+    } else {
+      l1_minus.push_back(i);
+    }
+  }
+  std::vector<ItemId> l1;
+  l1.reserve(l1_plus.size() + l1_minus.size());
+  std::merge(l1_plus.begin(), l1_plus.end(), l1_minus.begin(),
+             l1_minus.end(), std::back_inserter(l1));
+
+  // II/III. Level-wise sweep.
+  // Memoized correlation verdicts for witness-free subsets probed by the
+  // minimality guard below (siblings share them).
+  ItemsetMap<bool> probed_subset_correlated;
+  std::vector<Itemset> candidates = WitnessedPairs(l1_plus, l1_minus);
+  for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
+       ++k) {
+    LevelStats& level = result.stats.Level(k);
+    std::vector<Itemset> notsig;
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      // Non-succinct anti-monotone constraints prune before any database
+      // work (Figure E's outer guard).
+      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) continue;
+      ++level.ct_supported;
+      ++level.chi2_tests;
+      if (judge.IsCorrelated(table)) {
+        ++level.correlated;
+        // Minimality guard. The witness exemption of the candidate rule
+        // never checked the witness-free co-subset (it exists exactly when
+        // the candidate has a single witness item). If that subset is
+        // correlated, the candidate is not a minimal correlated set and so
+        // not a VALID_MIN answer — Figure E admits it, which would break
+        // Definition 1; see DESIGN.md. Any deeper correlated witness-free
+        // subset forces this co-subset correlated too (upward closure), so
+        // one extra table settles minimality.
+        bool minimal = true;
+        if (pushed && k > 2) {
+          std::size_t witness_count = 0;
+          std::size_t witness_index = 0;
+          for (std::size_t i = 0; i < s.size(); ++i) {
+            if (is_witness[s[i]]) {
+              ++witness_count;
+              witness_index = i;
+            }
+          }
+          if (witness_count == 1) {
+            const Itemset subset = s.WithoutIndex(witness_index);
+            auto [it, inserted] =
+                probed_subset_correlated.try_emplace(subset, false);
+            if (inserted) {
+              const stats::ContingencyTable sub_table = builder.Build(subset);
+              ++level.tables_built;
+              ++level.chi2_tests;
+              it->second = judge.IsCorrelated(sub_table);
+            }
+            minimal = !it->second;
+          }
+        }
+        if (minimal &&
+            constraints.TestMonotoneDeferred(s.span(), catalog) &&
+            constraints.TestUnclassified(s.span(), catalog)) {
+          ++level.sig_added;
+          result.answers.push_back(s);
+        }
+        // Invalid or non-minimal correlated sets are dropped: no superset
+        // of a correlated set can be minimal correlated.
+      } else {
+        ++level.notsig_added;
+        notsig.push_back(s);
+      }
+    }
+    if (k == options.max_set_size) break;
+    const ItemsetSet closed(notsig.begin(), notsig.end());
+    candidates = ExtendSeeds(
+        notsig, l1, [&closed, &is_witness](const Itemset& s) {
+          return AllWitnessedCoSubsetsIn(s, closed, is_witness);
+        });
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

@@ -1,0 +1,39 @@
+#ifndef CCS_CORE_BMS_PLUS_PLUS_H_
+#define CCS_CORE_BMS_PLUS_PLUS_H_
+
+#include "constraints/constraint_set.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Algorithm BMS++ ("Constrained BMS for valid minimal answers",
+// Section 3.1): BMS with constraints pushed as deep as possible.
+//
+//  I.  Preprocessing — the frequent-item universe is filtered to GOOD1
+//      (singletons satisfying all anti-monotone constraints) and, when a
+//      single-witness monotone succinct constraint is present, split into
+//      L1+ (witness items) and L1- (the rest).
+//  II. Candidate formation — size-2 candidates need at least one L1+
+//      item; a size-k candidate needs every witnessed co-dimension-1
+//      subset in NOTSIG (witness-free subsets are exempt: no table was
+//      ever built for them).
+//  III.SIG/NOTSIG computation (Figure E) — non-succinct anti-monotone
+//      constraints are tested before the contingency table is built;
+//      deferred monotone constraints gate admission to SIG. A correlated
+//      set failing them is dropped entirely (it is minimal correlated but
+//      invalid, and its supersets cannot be minimal correlated).
+//
+// Computes VALID_MIN(Q). Monotone succinct constraints requiring several
+// witnesses are deferred per footnote 5. Neither-monotone constraints are
+// accepted and enforced at admission (equivalent to post-filtering).
+MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
+                             const ItemCatalog& catalog,
+                             const ConstraintSet& constraints,
+                             const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_BMS_PLUS_PLUS_H_

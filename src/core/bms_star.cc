@@ -1,0 +1,113 @@
+#include "core/bms_star.h"
+
+#include <algorithm>
+
+#include "core/bms.h"
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+MiningResult MineBmsStar(const TransactionDatabase& db,
+                         const ItemCatalog& catalog,
+                         const ConstraintSet& constraints,
+                         const MiningOptions& options) {
+  CCS_CHECK(!constraints.has_unclassified());
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+
+  // Step 1: full unconstrained BMS run.
+  BmsRunOutput run = RunBms(db, options);
+  MiningResult result;
+  result.stats = std::move(run.stats);
+
+  // Steps 2-3: harvest valid SIG' members; seed the sweep frontier with
+  // (i) correlated sets blocked by the monotone constraints and
+  // (ii) the uncorrelated CT-supported sets, both filtered by the
+  // anti-monotone constraints (their supersets all fail those).
+  // frontier[k] holds size-k sets; `correlated` tags each frontier set.
+  std::vector<std::vector<Itemset>> frontier(options.max_set_size + 2);
+  ItemsetMap<bool> correlated_flag;
+  // Everything the base run already judged; the sweep must not rebuild
+  // tables for these even when candidate generation re-derives them.
+  ItemsetSet already_processed(run.sig.begin(), run.sig.end());
+  for (const auto& level_sets : run.notsig_by_level) {
+    already_processed.insert(level_sets.begin(), level_sets.end());
+  }
+  for (const auto& level_sets : run.unsupported_by_level) {
+    already_processed.insert(level_sets.begin(), level_sets.end());
+  }
+  for (const Itemset& s : run.sig) {
+    if (!constraints.TestAntiMonotone(s.span(), catalog)) continue;
+    if (constraints.TestMonotone(s.span(), catalog)) {
+      result.answers.push_back(s);
+    } else if (s.size() <= options.max_set_size) {
+      frontier[s.size()].push_back(s);
+      correlated_flag[s] = true;
+    }
+  }
+  for (std::size_t k = 2;
+       k < run.notsig_by_level.size() && k <= options.max_set_size; ++k) {
+    for (const Itemset& s : run.notsig_by_level[k]) {
+      if (!constraints.TestAntiMonotone(s.span(), catalog)) continue;
+      frontier[k].push_back(s);
+      correlated_flag[s] = false;
+    }
+  }
+
+  // Steps 4-8: upward sweep. Candidates at level k+1 extend the level-k
+  // frontier; all co-dimension-1 subsets must be on the frontier.
+  for (std::size_t k = 2; k < options.max_set_size; ++k) {
+    std::vector<Itemset>& seeds = frontier[k];
+    if (seeds.empty()) continue;
+    std::sort(seeds.begin(), seeds.end());
+    const ItemsetSet closed(seeds.begin(), seeds.end());
+    const std::vector<Itemset> candidates = ExtendSeeds(
+        seeds, run.frequent_items,
+        [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
+    LevelStats& level = result.stats.Level(k + 1);
+    for (const Itemset& s : candidates) {
+      if (already_processed.contains(s)) continue;
+      ++level.candidates;
+      if (!constraints.TestAntiMonotone(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) continue;
+      ++level.ct_supported;
+      // Correlatedness is inherited from any correlated subset (the
+      // paper's "no need to re-run the chi-squared test"); only sets with
+      // exclusively uncorrelated subsets are tested.
+      bool correlated = false;
+      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
+        const auto it = correlated_flag.find(s.WithoutIndex(i));
+        correlated = it != correlated_flag.end() && it->second;
+      }
+      if (!correlated) {
+        ++level.chi2_tests;
+        correlated = judge.IsCorrelated(table);
+      }
+      if (correlated) ++level.correlated;
+      if (correlated && constraints.TestMonotone(s.span(), catalog)) {
+        ++level.sig_added;
+        result.answers.push_back(s);
+      } else {
+        ++level.notsig_added;
+        frontier[k + 1].push_back(s);
+        correlated_flag[s] = correlated;
+      }
+    }
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

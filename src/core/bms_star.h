@@ -1,0 +1,38 @@
+#ifndef CCS_CORE_BMS_STAR_H_
+#define CCS_CORE_BMS_STAR_H_
+
+#include "constraints/constraint_set.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Algorithm BMS* (Figure F): the naive algorithm for *minimal valid*
+// answers. Runs unconstrained BMS first, harvests the valid SIG' members,
+// and then sweeps the lattice upward, level by level, past the correlation
+// border until the monotone constraints are met; supersets of known
+// correlated sets need no further chi-squared tests.
+//
+// Candidate seeding (DESIGN.md, deviation 1): Figure F seeds the upward
+// sweep's NOTSIG only with minimal correlated sets that fail the monotone
+// constraints. That misses minimal valid sets some of whose co-dimension-1
+// subsets are merely *uncorrelated*. This implementation additionally seeds
+// NOTSIG with the CT-supported-but-uncorrelated sets of the base run
+// (NOTSIG') that satisfy the anti-monotone constraints, tracking for every
+// frontier set whether it is correlated, so the sweep is complete. A
+// candidate all of whose subsets are uncorrelated gets its own chi-squared
+// test; one with a correlated subset inherits correlatedness, as in the
+// paper.
+//
+// Requires every constraint to be monotone or anti-monotone (otherwise
+// MIN_VALID is not well-defined; Section 6).
+MiningResult MineBmsStar(const TransactionDatabase& db,
+                         const ItemCatalog& catalog,
+                         const ConstraintSet& constraints,
+                         const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_BMS_STAR_H_

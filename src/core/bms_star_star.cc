@@ -1,0 +1,191 @@
+#include "core/bms_star_star.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+namespace {
+
+// Shared preprocessing: the frequent GOOD1 universe and its witness split.
+// For BMS** the necessary witness class is used (footnote 7); BMS++ uses
+// the stricter single-witness pushed class, see bms_plus_plus.cc.
+struct Universe {
+  std::vector<ItemId> l1_plus;
+  std::vector<ItemId> l1_minus;
+  std::vector<ItemId> l1;
+  std::vector<bool> is_witness;
+};
+
+Universe BuildUniverse(const TransactionDatabase& db,
+                       const ItemCatalog& catalog,
+                       const ConstraintSet& constraints,
+                       const MiningOptions& options) {
+  Universe u;
+  u.is_witness.assign(db.num_items(), false);
+  const bool witnessed = constraints.has_necessary_witness();
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) < options.min_support) continue;
+    if (!constraints.SingletonSatisfiesAntiMonotone(i, catalog)) continue;
+    if (!witnessed || constraints.IsNecessaryWitnessItem(i, catalog)) {
+      u.l1_plus.push_back(i);
+      u.is_witness[i] = true;
+    } else {
+      u.l1_minus.push_back(i);
+    }
+  }
+  u.l1.reserve(u.l1_plus.size() + u.l1_minus.size());
+  std::merge(u.l1_plus.begin(), u.l1_plus.end(), u.l1_minus.begin(),
+             u.l1_minus.end(), std::back_inserter(u.l1));
+  return u;
+}
+
+}  // namespace
+
+MiningResult MineBmsStarStar(const TransactionDatabase& db,
+                             const ItemCatalog& catalog,
+                             const ConstraintSet& constraints,
+                             const MiningOptions& options) {
+  CCS_CHECK(!constraints.has_unclassified());
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  MiningResult result;
+  const Universe u = BuildUniverse(db, catalog, constraints, options);
+
+  // Phase 1: SUPP_k for every level, recording each supported set's
+  // chi-squared statistic.
+  std::vector<std::vector<Itemset>> supp(options.max_set_size + 1);
+  ItemsetMap<double> chi2_of;
+  std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
+       ++k) {
+    LevelStats& level = result.stats.Level(k);
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) continue;
+      ++level.ct_supported;
+      supp[k].push_back(s);
+      chi2_of[s] = table.ChiSquaredStatistic();
+    }
+    if (k == options.max_set_size) break;
+    const ItemsetSet closed(supp[k].begin(), supp[k].end());
+    candidates = ExtendSeeds(
+        supp[k], u.l1, [&closed, &u](const Itemset& s) {
+          return AllWitnessedCoSubsetsIn(s, closed, u.is_witness);
+        });
+  }
+
+  // Phase 2: pure-CPU upward sweep inside SUPP.
+  ItemsetMap<bool> correlated_flag;
+  std::vector<Itemset> current = supp[2];
+  for (std::size_t k = 2; k <= options.max_set_size; ++k) {
+    LevelStats& level = result.stats.Level(k);
+    ItemsetSet notsig_here;
+    for (const Itemset& s : current) {
+      bool correlated = false;
+      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
+        const auto it = correlated_flag.find(s.WithoutIndex(i));
+        correlated = it != correlated_flag.end() && it->second;
+      }
+      if (!correlated) {
+        ++level.chi2_tests;
+        correlated =
+            chi2_of[s] >= judge.Cutoff(static_cast<int>(s.size()));
+      }
+      if (correlated) ++level.correlated;
+      if (correlated &&
+          constraints.TestMonotoneDeferred(s.span(), catalog)) {
+        ++level.sig_added;
+        result.answers.push_back(s);
+      } else {
+        ++level.notsig_added;
+        notsig_here.insert(s);
+        correlated_flag[s] = correlated;
+      }
+    }
+    if (k == options.max_set_size) break;
+    current.clear();
+    for (const Itemset& s : supp[k + 1]) {
+      if (AllWitnessedCoSubsetsIn(s, notsig_here, u.is_witness)) {
+        current.push_back(s);
+      }
+    }
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
+                                const ItemCatalog& catalog,
+                                const ConstraintSet& constraints,
+                                const MiningOptions& options) {
+  CCS_CHECK(!constraints.has_unclassified());
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  MiningResult result;
+  const Universe u = BuildUniverse(db, catalog, constraints, options);
+
+  ItemsetMap<bool> correlated_flag;
+  std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
+       ++k) {
+    LevelStats& level = result.stats.Level(k);
+    std::vector<Itemset> notsig;
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) continue;
+      ++level.ct_supported;
+      bool correlated = false;
+      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
+        const auto it = correlated_flag.find(s.WithoutIndex(i));
+        correlated = it != correlated_flag.end() && it->second;
+      }
+      if (!correlated) {
+        ++level.chi2_tests;
+        correlated = judge.IsCorrelated(table);
+      }
+      if (correlated) ++level.correlated;
+      if (correlated &&
+          constraints.TestMonotoneDeferred(s.span(), catalog)) {
+        ++level.sig_added;
+        result.answers.push_back(s);
+      } else {
+        ++level.notsig_added;
+        notsig.push_back(s);
+        correlated_flag[s] = correlated;
+      }
+    }
+    if (k == options.max_set_size) break;
+    const ItemsetSet closed(notsig.begin(), notsig.end());
+    candidates = ExtendSeeds(
+        notsig, u.l1, [&closed, &u](const Itemset& s) {
+          return AllWitnessedCoSubsetsIn(s, closed, u.is_witness);
+        });
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ccs

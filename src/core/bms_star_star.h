@@ -1,0 +1,52 @@
+#ifndef CCS_CORE_BMS_STAR_STAR_H_
+#define CCS_CORE_BMS_STAR_STAR_H_
+
+#include "constraints/constraint_set.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Algorithm BMS** ("Constrained BMS for minimal valid answers",
+// Section 3.2 / Figure G): two phases.
+//
+//  Phase 1 — SUPP computation: a level-wise Apriori over CT-support and
+//  the anti-monotone constraints, with BMS++-style preprocessing and
+//  witness-based candidate formation (per footnote 7, the necessary
+//  witness class of a monotone succinct constraint is usable here
+//  regardless of how many witnesses the constraint needs). Every supported
+//  set's chi-squared statistic is recorded as it is built, so phase 2 is
+//  pure CPU work — the database cost of BMS** is exactly phase 1's table
+//  constructions.
+//
+//  Phase 2 — the upward sweep inside SUPP: level by level, a set that is
+//  correlated (its recorded statistic passes the cutoff, or a tracked
+//  subset was correlated) and satisfies the monotone constraints is a
+//  minimal valid answer; otherwise it joins NOTSIG and its extensions
+//  within SUPP stay candidates. The witness exemption applies: witness-free
+//  subsets can never satisfy the pushed monotone constraint, so they are
+//  "blocked" by definition and need not be in NOTSIG.
+//
+// Computes MIN_VALID(Q). Requires every constraint to be monotone or
+// anti-monotone.
+MiningResult MineBmsStarStar(const TransactionDatabase& db,
+                             const ItemCatalog& catalog,
+                             const ConstraintSet& constraints,
+                             const MiningOptions& options);
+
+// Optimized BMS** (the Section 6 "it seems possible to optimize BMS**
+// even further" remark): the two phases are fused into a single level-wise
+// pass. A set admitted to SIG never spawns candidates, so the supported
+// region *above* answers — which phase 1 of BMS** explores and pays
+// database scans for — is never visited. Identical output, never more
+// table constructions.
+MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
+                                const ItemCatalog& catalog,
+                                const ConstraintSet& constraints,
+                                const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_BMS_STAR_STAR_H_

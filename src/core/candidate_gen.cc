@@ -1,0 +1,76 @@
+#include "core/candidate_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccs {
+
+bool AllCoSubsetsIn(const Itemset& s, const ItemsetSet& closed) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!closed.contains(s.WithoutIndex(i))) return false;
+  }
+  return true;
+}
+
+bool AllWitnessedCoSubsetsIn(const Itemset& s, const ItemsetSet& closed,
+                             const std::vector<bool>& is_witness) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Itemset subset = s.WithoutIndex(i);
+    if (!ContainsWitness(subset, is_witness)) continue;
+    if (!closed.contains(subset)) return false;
+  }
+  return true;
+}
+
+bool ContainsWitness(const Itemset& s, const std::vector<bool>& is_witness) {
+  for (ItemId item : s) {
+    CCS_DCHECK(item < is_witness.size());
+    if (is_witness[item]) return true;
+  }
+  return false;
+}
+
+std::vector<Itemset> ExtendSeeds(
+    const std::vector<Itemset>& seeds, const std::vector<ItemId>& universe,
+    const std::function<bool(const Itemset&)>& keep) {
+  ItemsetSet seen;
+  std::vector<Itemset> out;
+  for (const Itemset& seed : seeds) {
+    if (seed.size() >= Itemset::kMaxSize) continue;
+    for (ItemId item : universe) {
+      if (seed.Contains(item)) continue;
+      Itemset candidate = seed.WithItem(item);
+      if (!seen.insert(candidate).second) continue;
+      if (keep(candidate)) out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Itemset> AllPairs(const std::vector<ItemId>& items) {
+  std::vector<Itemset> out;
+  out.reserve(items.size() * (items.size() > 0 ? items.size() - 1 : 0) / 2);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      out.push_back(Itemset{items[i], items[j]});
+    }
+  }
+  return out;
+}
+
+std::vector<Itemset> WitnessedPairs(const std::vector<ItemId>& plus,
+                                    const std::vector<ItemId>& minus) {
+  std::vector<Itemset> out = AllPairs(plus);
+  for (ItemId p : plus) {
+    for (ItemId m : minus) {
+      CCS_DCHECK(p != m);
+      out.push_back(Itemset{p, m});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ccs

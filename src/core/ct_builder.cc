@@ -1,0 +1,77 @@
+#include "core/ct_builder.h"
+
+#include "util/check.h"
+
+namespace ccs {
+
+ContingencyTableBuilder::ContingencyTableBuilder(
+    const TransactionDatabase& db)
+    : db_(&db) {}
+
+stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
+  CCS_CHECK(db_->finalized());
+  const std::size_t k = s.size();
+  CCS_CHECK_GE(k, 1u);
+  CCS_CHECK_LE(k, 20u);
+
+  std::vector<const DynamicBitset*> tids(k);
+  for (std::size_t i = 0; i < k; ++i) tids[i] = &db_->tidset(s[i]);
+
+  if (scratch_.size() < k) scratch_.resize(k);
+
+  std::vector<std::uint64_t> cells(std::size_t{1} << k, 0);
+  if (k == 1) {
+    const std::uint64_t present = tids[0]->Count();
+    cells[1] = present;
+    cells[0] = db_->num_transactions() - present;
+  } else {
+    // Seed with the first variable's split to avoid an all-ones universe
+    // bitset: depth 1 current = tidset / its complement.
+    CountRecursive(tids, 1, *tids[0], 1u, cells);
+    scratch_[0].AssignComplement(*tids[0]);
+    CountRecursive(tids, 1, scratch_[0], 0u, cells);
+  }
+
+  ++tables_built_;
+  return stats::ContingencyTable(static_cast<int>(k), std::move(cells));
+}
+
+void ContingencyTableBuilder::CountRecursive(
+    const std::vector<const DynamicBitset*>& tids, std::size_t depth,
+    const DynamicBitset& current, std::uint32_t mask,
+    std::vector<std::uint64_t>& cells) {
+  const std::size_t k = tids.size();
+  if (depth == k - 1) {
+    // Fused last level: popcounts without materializing children.
+    const std::uint64_t with = DynamicBitset::CountAnd(current, *tids[depth]);
+    const std::uint64_t without =
+        DynamicBitset::CountAndNot(current, *tids[depth]);
+    cells[mask | (std::uint32_t{1} << depth)] = with;
+    cells[mask] = without;
+    return;
+  }
+  DynamicBitset& child = scratch_[depth];
+  child.AssignAnd(current, *tids[depth]);
+  CountRecursive(tids, depth + 1, child, mask | (std::uint32_t{1} << depth),
+                 cells);
+  child.AssignAndNot(current, *tids[depth]);
+  CountRecursive(tids, depth + 1, child, mask, cells);
+}
+
+stats::ContingencyTable ContingencyTableBuilder::BuildScalar(
+    const Itemset& s) const {
+  const std::size_t k = s.size();
+  CCS_CHECK_GE(k, 1u);
+  CCS_CHECK_LE(k, 20u);
+  std::vector<std::uint64_t> cells(std::size_t{1} << k, 0);
+  for (std::size_t t = 0; t < db_->num_transactions(); ++t) {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (db_->Contains(t, s[i])) mask |= std::uint32_t{1} << i;
+    }
+    ++cells[mask];
+  }
+  return stats::ContingencyTable(static_cast<int>(k), std::move(cells));
+}
+
+}  // namespace ccs

@@ -1,0 +1,134 @@
+#include "core/explore.h"
+
+#include <algorithm>
+
+#include "core/candidate_gen.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+namespace {
+
+struct RegionInfo {
+  bool correlated = false;   // closure over the region
+  bool in_space = false;     // correlated & valid
+  bool has_subset_in_space = false;
+  bool has_superset_in_space = false;
+};
+
+}  // namespace
+
+SolutionSpace ExploreSolutionSpace(const TransactionDatabase& db,
+                                   const ItemCatalog& catalog,
+                                   const ConstraintSet& constraints,
+                                   const MiningOptions& options) {
+  Stopwatch timer;
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  SolutionSpace out;
+
+  // The exploration region is the CT-supported, anti-monotone-valid part
+  // of the frequent lattice (both properties downward closed, so the
+  // region is a single downward-closed body the sweep covers level-wise).
+  // Monotone and unclassified constraints only decide membership in the
+  // space; they cannot prune the region.
+  std::vector<ItemId> universe;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) < options.min_support) continue;
+    if (!constraints.SingletonSatisfiesAntiMonotone(i, catalog)) continue;
+    universe.push_back(i);
+  }
+
+  ItemsetMap<RegionInfo> region;
+  std::vector<std::vector<Itemset>> region_by_level(options.max_set_size + 1);
+  std::vector<Itemset> frontier;
+  std::vector<Itemset> candidates = AllPairs(universe);
+  for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
+       ++k) {
+    LevelStats& level = out.stats.Level(k);
+    frontier.clear();
+    for (const Itemset& s : candidates) {
+      ++level.candidates;
+      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+        ++level.pruned_before_ct;
+        continue;
+      }
+      const stats::ContingencyTable table = builder.Build(s);
+      ++level.tables_built;
+      if (!judge.IsCtSupported(table)) continue;
+      ++level.ct_supported;
+      RegionInfo info;
+      for (std::size_t i = 0; i < s.size() && !info.correlated; ++i) {
+        const auto it = region.find(s.WithoutIndex(i));
+        info.correlated = it != region.end() && it->second.correlated;
+      }
+      if (!info.correlated) {
+        ++level.chi2_tests;
+        info.correlated = judge.IsCorrelated(table);
+      }
+      if (info.correlated) {
+        ++level.correlated;
+        info.in_space = constraints.TestMonotone(s.span(), catalog) &&
+                        constraints.TestUnclassified(s.span(), catalog);
+      }
+      if (info.in_space) {
+        ++level.sig_added;
+        out.all.push_back(s);
+      } else {
+        ++level.notsig_added;
+      }
+      region.emplace(s, info);
+      region_by_level[k].push_back(s);
+      frontier.push_back(s);
+    }
+    if (k == options.max_set_size) break;
+    const ItemsetSet closed(frontier.begin(), frontier.end());
+    candidates = ExtendSeeds(frontier, universe,
+                             [&closed](const Itemset& s) {
+                               return AllCoSubsetsIn(s, closed);
+                             });
+  }
+  std::sort(out.all.begin(), out.all.end());
+
+  // Lower border: ascending DP for "some proper subset is in the space".
+  // A set's subset chain stays inside the region (downward closure), so
+  // co-dimension-1 propagation over the region map is complete even when
+  // unclassified constraints punch holes.
+  for (std::size_t k = 3; k < region_by_level.size(); ++k) {
+    for (const Itemset& s : region_by_level[k]) {
+      RegionInfo& info = region.find(s)->second;
+      for (std::size_t i = 0; i < s.size() && !info.has_subset_in_space;
+           ++i) {
+        const auto it = region.find(s.WithoutIndex(i));
+        if (it == region.end()) continue;
+        info.has_subset_in_space =
+            it->second.in_space || it->second.has_subset_in_space;
+      }
+    }
+  }
+  // Upper border: descending DP for "some proper superset is in the
+  // space". Supersets outside the region cannot be in the space (the
+  // region's defining properties are anti-monotone).
+  for (std::size_t k = region_by_level.size(); k-- > 2;) {
+    for (const Itemset& s : region_by_level[k]) {
+      const RegionInfo& info = region.find(s)->second;
+      const bool flag = info.in_space || info.has_superset_in_space;
+      if (!flag) continue;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const auto it = region.find(s.WithoutIndex(i));
+        if (it != region.end()) it->second.has_superset_in_space = true;
+      }
+    }
+  }
+
+  for (const Itemset& s : out.all) {
+    const RegionInfo& info = region.find(s)->second;
+    if (!info.has_subset_in_space) out.lower_border.push_back(s);
+    if (!info.has_superset_in_space) out.upper_border.push_back(s);
+  }
+  out.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace ccs

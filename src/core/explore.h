@@ -1,0 +1,50 @@
+#ifndef CCS_CORE_EXPLORE_H_
+#define CCS_CORE_EXPLORE_H_
+
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// The full solution space of a constrained correlation query:
+//   { S : S CT-supported & correlated & valid },
+// materialized up to options.max_set_size, together with its lower and
+// upper borders.
+//
+// Why this exists (Section 5 of the paper): returning only minimal answers
+// "does not completely cover all answers, unless we also know where the
+// upper border is". MIN_VALID is the lower border; the upper border is the
+// set of maximal solutions, bounded above by CT-support and the
+// anti-monotone constraints. This module computes all three.
+//
+// Unlike the BMS* family, unclassified (neither-monotone) constraints such
+// as avg are accepted here: they cannot prune the exploration, but they
+// may punch holes in the space (Section 6), and the border computations
+// below remain literal — a set is on the lower border iff no proper subset
+// of any size is in the space, so holes are handled correctly.
+struct SolutionSpace {
+  // Every member of the space, sorted; sizes 2..max_set_size.
+  std::vector<Itemset> all;
+  // Minimal members (no proper subset in the space). Equals MIN_VALID(Q)
+  // when the constraints are monotone/anti-monotone only.
+  std::vector<Itemset> lower_border;
+  // Maximal members within the explored levels (no proper superset in the
+  // space). Members of size max_set_size are reported maximal relative to
+  // the cap.
+  std::vector<Itemset> upper_border;
+  MiningStats stats;
+};
+
+SolutionSpace ExploreSolutionSpace(const TransactionDatabase& db,
+                                   const ItemCatalog& catalog,
+                                   const ConstraintSet& constraints,
+                                   const MiningOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_EXPLORE_H_

@@ -1,0 +1,75 @@
+#include "core/itemset.h"
+
+#include <algorithm>
+
+namespace ccs {
+
+Itemset::Itemset(std::initializer_list<ItemId> items)
+    : Itemset(std::span<const ItemId>(items.begin(), items.size())) {}
+
+Itemset::Itemset(std::span<const ItemId> items) {
+  CCS_CHECK_LE(items.size(), kMaxSize);
+  size_ = static_cast<std::uint32_t>(items.size());
+  std::copy(items.begin(), items.end(), items_.begin());
+  std::sort(items_.begin(), items_.begin() + size_);
+  for (std::size_t i = 1; i < size_; ++i) {
+    CCS_CHECK(items_[i - 1] != items_[i]);
+  }
+}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(begin(), end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return std::includes(other.begin(), other.end(), begin(), end());
+}
+
+Itemset Itemset::WithItem(ItemId item) const {
+  CCS_CHECK_LT(size_, kMaxSize);
+  CCS_DCHECK(!Contains(item));
+  Itemset out = *this;
+  std::size_t pos = size_;
+  while (pos > 0 && out.items_[pos - 1] > item) {
+    out.items_[pos] = out.items_[pos - 1];
+    --pos;
+  }
+  out.items_[pos] = item;
+  ++out.size_;
+  return out;
+}
+
+Itemset Itemset::WithoutIndex(std::size_t i) const {
+  CCS_CHECK_LT(i, size_);
+  Itemset out = *this;
+  for (std::size_t j = i + 1; j < size_; ++j) {
+    out.items_[j - 1] = out.items_[j];
+  }
+  --out.size_;
+  out.items_[out.size_] = 0;
+  return out;
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  return out + "}";
+}
+
+std::size_t Itemset::Hash() const {
+  // splitmix64-style mixing over the items; decent avalanche, no
+  // allocation.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + size_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + items_[i];
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ccs

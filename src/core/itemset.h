@@ -1,0 +1,102 @@
+#ifndef CCS_CORE_ITEMSET_H_
+#define CCS_CORE_ITEMSET_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "txn/item.h"
+#include "util/check.h"
+
+namespace ccs {
+
+// A small sorted set of item ids with inline storage — the unit the mining
+// algorithms shuffle through candidate queues, SIG and NOTSIG.
+//
+// The paper's experiments never see correlated sets beyond size four;
+// kMaxSize = 12 leaves generous headroom while keeping the type trivially
+// copyable (no heap traffic in candidate generation, cheap hashing).
+// Inserting beyond kMaxSize is a contract violation; the engines cap their
+// level at MiningOptions::max_set_size <= kMaxSize.
+class Itemset {
+ public:
+  static constexpr std::size_t kMaxSize = 12;
+
+  Itemset() = default;
+
+  // Items may be given in any order; duplicates are a contract violation.
+  Itemset(std::initializer_list<ItemId> items);
+  explicit Itemset(std::span<const ItemId> items);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ItemId operator[](std::size_t i) const {
+    CCS_DCHECK(i < size_);
+    return items_[i];
+  }
+
+  const ItemId* begin() const { return items_.data(); }
+  const ItemId* end() const { return items_.data() + size_; }
+
+  // View for constraint evaluation.
+  std::span<const ItemId> span() const {
+    return std::span<const ItemId>(items_.data(), size_);
+  }
+
+  bool Contains(ItemId item) const;
+
+  // True iff every item of *this is in `other`.
+  bool IsSubsetOf(const Itemset& other) const;
+
+  // Copy of *this with `item` inserted (must not already be present).
+  Itemset WithItem(ItemId item) const;
+
+  // Copy of *this with the item at position `i` removed.
+  Itemset WithoutIndex(std::size_t i) const;
+
+  // "{3, 17, 42}"
+  std::string ToString() const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.items_[i] != b.items_[i]) return false;
+    }
+    return true;
+  }
+
+  // Lexicographic; shorter prefixes first. Gives deterministic output
+  // ordering for results and tests.
+  friend bool operator<(const Itemset& a, const Itemset& b) {
+    const std::size_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.items_[i] != b.items_[i]) return a.items_[i] < b.items_[i];
+    }
+    return a.size_ < b.size_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  std::array<ItemId, kMaxSize> items_{};
+  std::uint32_t size_ = 0;
+};
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const { return s.Hash(); }
+};
+
+using ItemsetSet = std::unordered_set<Itemset, ItemsetHash>;
+
+template <typename V>
+using ItemsetMap = std::unordered_map<Itemset, V, ItemsetHash>;
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_ITEMSET_H_

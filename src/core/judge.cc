@@ -1,0 +1,53 @@
+#include "core/judge.h"
+
+#include "stats/fisher.h"
+
+#include "util/check.h"
+
+namespace ccs {
+
+CorrelationJudge::CorrelationJudge(const MiningOptions& options)
+    : options_(options), critical_values_(options.significance) {
+  CCS_CHECK(options.min_cell_fraction >= 0.0 &&
+            options.min_cell_fraction <= 1.0);
+  CCS_CHECK_GE(options.max_set_size, 2u);
+  CCS_CHECK_LE(options.max_set_size, Itemset::kMaxSize);
+}
+
+bool CorrelationJudge::IsCtSupported(
+    const stats::ContingencyTable& table) const {
+  return table.IsCtSupported(options_.min_support,
+                             options_.min_cell_fraction);
+}
+
+bool CorrelationJudge::IsCorrelated(const stats::ContingencyTable& table) {
+  // Singletons carry no independence hypothesis.
+  if (table.num_vars() < 2) return false;
+  if (options_.fisher_fallback && table.num_vars() == 2 &&
+      !table.SatisfiesCochranRule()) {
+    // Cell masks: bit0 = first variable, bit1 = second.
+    const double p = stats::FisherExactTwoSided(
+        table.cell(0b11), table.cell(0b01), table.cell(0b10),
+        table.cell(0b00));
+    return p <= 1.0 - options_.significance;
+  }
+  return table.ChiSquaredStatistic() >= Cutoff(table.num_vars());
+}
+
+double CorrelationJudge::Cutoff(int num_vars) {
+  return critical_values_.Get(DegreesOfFreedom(num_vars));
+}
+
+double CorrelationJudge::PValue(const stats::ContingencyTable& table) const {
+  if (table.num_vars() < 2) return 1.0;
+  const int df = DegreesOfFreedom(table.num_vars());
+  return stats::ChiSquaredSf(table.ChiSquaredStatistic(), df);
+}
+
+int CorrelationJudge::DegreesOfFreedom(int num_vars) const {
+  if (!options_.full_independence_df) return 1;
+  if (num_vars < 2) return 1;
+  return static_cast<int>((std::size_t{1} << num_vars)) - num_vars - 1;
+}
+
+}  // namespace ccs

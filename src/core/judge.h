@@ -1,0 +1,40 @@
+#ifndef CCS_CORE_JUDGE_H_
+#define CCS_CORE_JUDGE_H_
+
+#include "core/options.h"
+#include "stats/chi_squared.h"
+#include "stats/contingency.h"
+
+namespace ccs {
+
+// Applies the statistical predicates of a correlation query to contingency
+// tables: CT-support (anti-monotone) and the chi-squared correlation test
+// (treated as monotone; see MiningOptions::full_independence_df).
+class CorrelationJudge {
+ public:
+  explicit CorrelationJudge(const MiningOptions& options);
+
+  const MiningOptions& options() const { return options_; }
+
+  // CT-support at (options.min_support, options.min_cell_fraction).
+  bool IsCtSupported(const stats::ContingencyTable& table) const;
+
+  // chi-squared statistic >= cutoff for the table's size.
+  bool IsCorrelated(const stats::ContingencyTable& table);
+
+  // The cutoff applied to a table over `num_vars` variables.
+  double Cutoff(int num_vars);
+
+  // p-value of the table's statistic under the configured df policy.
+  double PValue(const stats::ContingencyTable& table) const;
+
+ private:
+  int DegreesOfFreedom(int num_vars) const;
+
+  MiningOptions options_;
+  stats::ChiSquaredCriticalValues critical_values_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_JUDGE_H_

@@ -1,0 +1,50 @@
+#ifndef CCS_CORE_OPTIONS_H_
+#define CCS_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "core/itemset.h"
+
+namespace ccs {
+
+// Statistical parameters of a (constrained) correlation query — the
+// paper's (alpha, s, p%) triple plus engine knobs.
+struct MiningOptions {
+  // Chi-squared confidence level alpha: a set is correlated when its
+  // statistic reaches the alpha-quantile of the chi-squared distribution.
+  // The paper's experiments use 0.9.
+  double significance = 0.9;
+
+  // CT-support count threshold s (absolute number of transactions). The
+  // harnesses convert the paper's percentage thresholds to counts.
+  std::uint64_t min_support = 1;
+
+  // CT-support cell fraction p%: at least this fraction of contingency
+  // cells must have count >= min_support. The paper uses 0.25.
+  double min_cell_fraction = 0.25;
+
+  // Degrees of freedom for the correlation cutoff. false (default): df = 1
+  // at every set size, as in Brin et al. — with the chi-squared statistic
+  // being non-decreasing under item addition, this keeps "is correlated"
+  // upward closed, which the minimality machinery relies on. true: the
+  // full-independence df = 2^k - k - 1, statistically cleaner for k > 2 but
+  // the cutoff then grows with k and upward closure is no longer
+  // guaranteed; use only with post-hoc analyses.
+  bool full_independence_df = false;
+
+  // When true, pairs whose contingency table violates Cochran's validity
+  // rule for the chi-squared approximation (expected counts too small) are
+  // judged by Fisher's exact test instead: correlated iff the exact
+  // two-sided p-value is at most 1 - significance. Off by default — the
+  // paper (like Brin et al.) uses the chi-squared statistic uniformly —
+  // but recommended for sparse data. Only 2x2 tables have an exact
+  // fallback; larger degenerate tables keep the chi-squared verdict.
+  bool fisher_fallback = false;
+
+  // Safety cap on the lattice level explored (inclusive).
+  std::size_t max_set_size = Itemset::kMaxSize;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_OPTIONS_H_

@@ -1,0 +1,145 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccs {
+
+template <typename Fn>
+void Oracle::ForEachSet(std::size_t k, Fn fn) const {
+  const std::size_t n = frequent_items_.size();
+  if (k > n) return;
+  std::vector<std::size_t> index(k);
+  for (std::size_t i = 0; i < k; ++i) index[i] = i;
+  while (true) {
+    Itemset s;
+    for (std::size_t i : index) s = s.WithItem(frequent_items_[i]);
+    fn(s);
+    // Advance the combination.
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (index[pos] != pos + n - k) break;
+      if (pos == 0) return;
+    }
+    if (index[pos] == pos + n - k) return;
+    ++index[pos];
+    for (std::size_t i = pos + 1; i < k; ++i) index[i] = index[i - 1] + 1;
+  }
+}
+
+Oracle::Oracle(const TransactionDatabase& db, const ItemCatalog& catalog,
+               const MiningOptions& options)
+    : db_(&db), catalog_(&catalog), options_(options) {
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) >= options.min_support) {
+      frequent_items_.push_back(i);
+    }
+  }
+  // Guard against accidental use on large universes: the lattice below is
+  // fully materialized.
+  CCS_CHECK_LE(frequent_items_.size(), 24u);
+
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  for (std::size_t k = 2; k <= options.max_set_size; ++k) {
+    ForEachSet(k, [&](const Itemset& s) {
+      SetInfo info;
+      const stats::ContingencyTable table = builder.Build(s);
+      info.ct_supported = judge.IsCtSupported(table);
+      info.correlated = judge.IsCorrelated(table);
+      if (!info.correlated && k > 2) {
+        // Upward closure from co-dimension-1 subsets (their own closure is
+        // already computed, so this covers all subsets).
+        for (std::size_t i = 0; i < s.size() && !info.correlated; ++i) {
+          const auto it = info_.find(s.WithoutIndex(i));
+          CCS_CHECK(it != info_.end());
+          info.correlated = it->second.correlated;
+        }
+      }
+      info_[s] = info;
+    });
+  }
+}
+
+bool Oracle::IsCtSupported(const Itemset& s) const {
+  const auto it = info_.find(s);
+  CCS_CHECK(it != info_.end());
+  return it->second.ct_supported;
+}
+
+bool Oracle::IsCorrelated(const Itemset& s) const {
+  const auto it = info_.find(s);
+  CCS_CHECK(it != info_.end());
+  return it->second.correlated;
+}
+
+std::vector<Itemset> Oracle::MinimalCorrelated() const {
+  std::vector<Itemset> out;
+  for (const auto& [s, info] : info_) {
+    if (!info.ct_supported || !info.correlated) continue;
+    bool minimal = true;
+    for (std::size_t i = 0; i < s.size() && minimal; ++i) {
+      const Itemset subset = s.WithoutIndex(i);
+      if (subset.size() < 2) continue;
+      const auto it = info_.find(subset);
+      CCS_CHECK(it != info_.end());
+      // Subsets of a CT-supported set are CT-supported; minimality hinges
+      // on no subset being correlated.
+      minimal = !it->second.correlated;
+    }
+    if (minimal) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Itemset> Oracle::ValidMinimal(
+    const ConstraintSet& constraints) const {
+  std::vector<Itemset> out;
+  for (const Itemset& s : MinimalCorrelated()) {
+    if (constraints.TestAll(s.span(), *catalog_)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Itemset> Oracle::MinimalValid(
+    const ConstraintSet& constraints) const {
+  // Definition 2, literally: the minimal elements of the solution space.
+  auto in_space = [&](const Itemset& s) {
+    const auto it = info_.find(s);
+    CCS_CHECK(it != info_.end());
+    return it->second.ct_supported && it->second.correlated &&
+           constraints.TestAll(s.span(), *catalog_);
+  };
+  // Co-dimension-1 minimality suffices: the solution space is closed
+  // between its borders — see the argument in bms_star.h / DESIGN.md.
+  // For full generality (unclassified constraints can punch holes in the
+  // space) all proper subsets of size >= 2 are checked.
+  std::vector<Itemset> out;
+  for (const auto& [s, info] : info_) {
+    if (!in_space(s)) continue;
+    bool minimal = true;
+    std::vector<Itemset> stack = {s};
+    ItemsetSet seen;
+    while (minimal && !stack.empty()) {
+      const Itemset top = stack.back();
+      stack.pop_back();
+      for (std::size_t i = 0; i < top.size() && minimal; ++i) {
+        const Itemset subset = top.WithoutIndex(i);
+        if (subset.size() < 2 || !seen.insert(subset).second) continue;
+        if (in_space(subset)) {
+          minimal = false;
+        } else {
+          stack.push_back(subset);
+        }
+      }
+    }
+    if (minimal) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ccs

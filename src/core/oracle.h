@@ -1,0 +1,68 @@
+#ifndef CCS_CORE_ORACLE_H_
+#define CCS_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Ground truth by exhaustive lattice enumeration — the reference the test
+// suite pins every algorithm against. Only usable on small universes: the
+// oracle materializes every itemset over the frequent items up to
+// options.max_set_size.
+//
+// Correlatedness is the upward closure of the chi-squared test — a set is
+// correlated when it or any subset passes the cutoff — which is the
+// operational notion all BMS-family algorithms implement (Brin et al.
+// prove the raw statistic is non-decreasing under item addition, making
+// the closure coincide with the direct test in the df = 1 configuration).
+class Oracle {
+ public:
+  Oracle(const TransactionDatabase& db, const ItemCatalog& catalog,
+         const MiningOptions& options);
+
+  // Minimal correlated and CT-supported sets — BMS ground truth.
+  std::vector<Itemset> MinimalCorrelated() const;
+
+  // VALID_MIN(Q): MinimalCorrelated() filtered by the constraints.
+  std::vector<Itemset> ValidMinimal(const ConstraintSet& constraints) const;
+
+  // MIN_VALID(Q): minimal elements of the space of CT-supported,
+  // correlated, valid sets (Definition 2, applied literally).
+  std::vector<Itemset> MinimalValid(const ConstraintSet& constraints) const;
+
+  // Predicates for individual sets (size >= 2, items frequent).
+  bool IsCtSupported(const Itemset& s) const;
+  bool IsCorrelated(const Itemset& s) const;  // closure semantics
+
+  const std::vector<ItemId>& frequent_items() const {
+    return frequent_items_;
+  }
+
+ private:
+  struct SetInfo {
+    bool ct_supported = false;
+    bool correlated = false;  // closure
+  };
+
+  // Enumerates all size-k subsets of frequent_items_, invoking fn on each.
+  template <typename Fn>
+  void ForEachSet(std::size_t k, Fn fn) const;
+
+  const TransactionDatabase* db_;
+  const ItemCatalog* catalog_;
+  MiningOptions options_;
+  std::vector<ItemId> frequent_items_;
+  ItemsetMap<SetInfo> info_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_ORACLE_H_

@@ -1,0 +1,73 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/ct_builder.h"
+#include "core/judge.h"
+
+namespace ccs {
+
+std::vector<AnswerReport> BuildReports(const std::vector<Itemset>& answers,
+                                       const TransactionDatabase& db,
+                                       const ItemCatalog& catalog,
+                                       const MiningOptions& options) {
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  std::vector<AnswerReport> reports;
+  reports.reserve(answers.size());
+  for (const Itemset& s : answers) {
+    AnswerReport report;
+    report.items = s;
+    report.min_price = std::numeric_limits<double>::infinity();
+    report.max_price = -std::numeric_limits<double>::infinity();
+    for (ItemId i : s) {
+      report.names.push_back(catalog.item_name(i));
+      const double price = catalog.price(i);
+      report.min_price = std::min(report.min_price, price);
+      report.max_price = std::max(report.max_price, price);
+      report.sum_price += price;
+    }
+    const stats::ContingencyTable table = builder.Build(s);
+    const auto all_present =
+        static_cast<std::uint32_t>((std::uint32_t{1} << s.size()) - 1);
+    report.joint_support = table.cell(all_present);
+    const double expected_joint = table.ExpectedCount(all_present);
+    report.joint_lift =
+        expected_joint > 0.0
+            ? static_cast<double>(report.joint_support) / expected_joint
+            : 0.0;
+    report.chi_squared = table.ChiSquaredStatistic();
+    report.p_value = judge.PValue(table);
+    report.supported_cell_fraction =
+        table.SupportedCellFraction(options.min_support);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+CsvTable ReportsToTable(const std::vector<AnswerReport>& reports) {
+  CsvTable table({"items", "names", "support", "chi2", "p_value", "lift",
+                  "cell_fraction", "min_price", "max_price", "sum_price"});
+  for (const AnswerReport& r : reports) {
+    std::string names;
+    for (std::size_t i = 0; i < r.names.size(); ++i) {
+      if (i > 0) names += " ";
+      names += r.names[i];
+    }
+    table.BeginRow();
+    table.AddCell(r.items.ToString());
+    table.AddCell(names);
+    table.AddCell(r.joint_support);
+    table.AddCell(r.chi_squared, 2);
+    table.AddCell(r.p_value, 4);
+    table.AddCell(r.joint_lift, 2);
+    table.AddCell(r.supported_cell_fraction, 2);
+    table.AddCell(r.min_price, 2);
+    table.AddCell(r.max_price, 2);
+    table.AddCell(r.sum_price, 2);
+  }
+  return table;
+}
+
+}  // namespace ccs

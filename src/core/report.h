@@ -1,0 +1,50 @@
+#ifndef CCS_CORE_REPORT_H_
+#define CCS_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/itemset.h"
+#include "core/options.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/csv.h"
+
+namespace ccs {
+
+// Per-answer statistical detail for presenting mining output to a user:
+// the chi-squared statistic and p-value behind the correlation verdict,
+// CT-support diagnostics, and the attribute aggregates the constraints
+// talk about. Computed on demand from the database (one contingency table
+// per reported set).
+struct AnswerReport {
+  Itemset items;
+  // Human-readable item names from the catalog.
+  std::vector<std::string> names;
+  std::uint64_t joint_support = 0;     // transactions containing all items
+  double chi_squared = 0.0;
+  double p_value = 1.0;                // under the options' df policy
+  double supported_cell_fraction = 0.0;
+  // Direction of the dependence on the all-present cell: observed joint
+  // count over its independence expectation (Brin et al.'s "interest" /
+  // lift of the full set). > 1 means the items co-occur more than
+  // independence predicts, < 1 less (negative dependence).
+  double joint_lift = 0.0;
+  double min_price = 0.0;
+  double max_price = 0.0;
+  double sum_price = 0.0;
+};
+
+// Builds a report row for every itemset in `answers`.
+std::vector<AnswerReport> BuildReports(const std::vector<Itemset>& answers,
+                                       const TransactionDatabase& db,
+                                       const ItemCatalog& catalog,
+                                       const MiningOptions& options);
+
+// Renders reports as a CsvTable with columns
+// (items, names, support, chi2, p_value, cells>=s, min, max, sum).
+CsvTable ReportsToTable(const std::vector<AnswerReport>& reports);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_REPORT_H_

@@ -1,0 +1,69 @@
+#include "core/result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccs {
+
+LevelStats& MiningStats::Level(std::size_t level) {
+  while (levels.size() <= level) {
+    levels.emplace_back();
+    levels.back().level = levels.size() - 1;
+  }
+  return levels[level];
+}
+
+std::uint64_t MiningStats::TotalCandidates() const {
+  std::uint64_t n = 0;
+  for (const auto& l : levels) n += l.candidates;
+  return n;
+}
+
+std::uint64_t MiningStats::TotalTablesBuilt() const {
+  std::uint64_t n = 0;
+  for (const auto& l : levels) n += l.tables_built;
+  return n;
+}
+
+std::uint64_t MiningStats::TotalChi2Tests() const {
+  std::uint64_t n = 0;
+  for (const auto& l : levels) n += l.chi2_tests;
+  return n;
+}
+
+std::string MiningStats::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "elapsed %.3fs, %llu candidates, %llu tables, %llu chi2\n",
+                elapsed_seconds,
+                static_cast<unsigned long long>(TotalCandidates()),
+                static_cast<unsigned long long>(TotalTablesBuilt()),
+                static_cast<unsigned long long>(TotalChi2Tests()));
+  out += buf;
+  for (const auto& l : levels) {
+    if (l.candidates == 0 && l.sig_added == 0 && l.notsig_added == 0) {
+      continue;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "  level %zu: cand=%llu pruned=%llu ct=%llu supported=%llu "
+        "chi2=%llu corr=%llu sig+=%llu notsig+=%llu\n",
+        l.level, static_cast<unsigned long long>(l.candidates),
+        static_cast<unsigned long long>(l.pruned_before_ct),
+        static_cast<unsigned long long>(l.tables_built),
+        static_cast<unsigned long long>(l.ct_supported),
+        static_cast<unsigned long long>(l.chi2_tests),
+        static_cast<unsigned long long>(l.correlated),
+        static_cast<unsigned long long>(l.sig_added),
+        static_cast<unsigned long long>(l.notsig_added));
+    out += buf;
+  }
+  return out;
+}
+
+bool MiningResult::ContainsAnswer(const Itemset& s) const {
+  return std::binary_search(answers.begin(), answers.end(), s);
+}
+
+}  // namespace ccs

@@ -1,0 +1,65 @@
+#ifndef CCS_CORE_RESULT_H_
+#define CCS_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/itemset.h"
+
+namespace ccs {
+
+// Per-lattice-level instrumentation. Section 3.3 analyzes the algorithms by
+// the number of sets each "needs to consider" (each considered set implies
+// a database scan to build its contingency table); these counters expose
+// exactly that quantity, split by what happened to each candidate.
+struct LevelStats {
+  std::size_t level = 0;
+  // Candidate sets formed at this level.
+  std::uint64_t candidates = 0;
+  // Candidates rejected by non-succinct anti-monotone constraints before
+  // their contingency table was built (BMS++/BMS** pruning).
+  std::uint64_t pruned_before_ct = 0;
+  // Contingency tables actually built (database work).
+  std::uint64_t tables_built = 0;
+  // Of those, how many were CT-supported.
+  std::uint64_t ct_supported = 0;
+  // Chi-squared tests performed.
+  std::uint64_t chi2_tests = 0;
+  // Sets found correlated (directly or inherited from a correlated subset).
+  std::uint64_t correlated = 0;
+  // Sets admitted to SIG at this level.
+  std::uint64_t sig_added = 0;
+  // Sets added to NOTSIG at this level.
+  std::uint64_t notsig_added = 0;
+};
+
+// Aggregate run statistics.
+struct MiningStats {
+  std::vector<LevelStats> levels;
+  double elapsed_seconds = 0.0;
+
+  LevelStats& Level(std::size_t level);
+
+  // The paper's |ALG| — total candidate sets considered.
+  std::uint64_t TotalCandidates() const;
+  // Total contingency tables built (total database scans' worth of work).
+  std::uint64_t TotalTablesBuilt() const;
+  std::uint64_t TotalChi2Tests() const;
+
+  // Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+// Result of a mining run: the answer itemsets (SIG), sorted
+// lexicographically for determinism, plus instrumentation.
+struct MiningResult {
+  std::vector<Itemset> answers;
+  MiningStats stats;
+
+  bool ContainsAnswer(const Itemset& s) const;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_RESULT_H_

@@ -1,0 +1,91 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+
+#include "core/bms_plus_plus.h"
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace ccs {
+
+SampledMiningResult MineBmsPlusPlusSampled(
+    const TransactionDatabase& db, const ItemCatalog& catalog,
+    const ConstraintSet& constraints, const MiningOptions& options,
+    const SamplingOptions& sampling) {
+  CCS_CHECK(sampling.sample_fraction > 0.0 &&
+            sampling.sample_fraction <= 1.0);
+  CCS_CHECK(sampling.support_slack > 0.0 && sampling.support_slack <= 1.0);
+  Stopwatch timer;
+  SampledMiningResult out;
+
+  // Draw the Bernoulli sample.
+  Rng rng(sampling.seed);
+  TransactionDatabase sample(db.num_items());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    if (rng.NextBernoulli(sampling.sample_fraction)) {
+      sample.Add(db.transaction(t));
+    }
+  }
+  sample.Finalize();
+  out.sample_size = sample.num_transactions();
+  if (out.sample_size == 0) {
+    out.result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // Mine the sample with the proportionally scaled, slackened support.
+  MiningOptions sample_options = options;
+  sample_options.min_support = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(options.min_support) *
+             sampling.sample_fraction * sampling.support_slack));
+  const MiningResult candidates =
+      MineBmsPlusPlus(sample, catalog, constraints, sample_options);
+  out.candidates_from_sample = candidates.answers.size();
+  out.result.stats = candidates.stats;
+
+  // Verification pass on the full database.
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  ItemsetMap<bool> correlated_cache;
+  auto is_correlated = [&](const Itemset& s) {
+    const auto [it, inserted] = correlated_cache.try_emplace(s, false);
+    if (inserted) {
+      const stats::ContingencyTable table = builder.Build(s);
+      it->second = judge.IsCorrelated(table);
+    }
+    return it->second;
+  };
+  for (const Itemset& s : candidates.answers) {
+    if (!constraints.TestAll(s.span(), catalog)) continue;
+    bool items_frequent = true;
+    for (ItemId i : s) {
+      items_frequent =
+          items_frequent && db.ItemSupport(i) >= options.min_support;
+    }
+    if (!items_frequent) continue;
+    const stats::ContingencyTable table = builder.Build(s);
+    if (!judge.IsCtSupported(table)) continue;
+    if (!judge.IsCorrelated(table)) continue;
+    // Minimality on the full data: no co-dimension-1 subset correlated
+    // (sufficient for "no proper subset correlated" by upward closure).
+    bool minimal = true;
+    for (std::size_t i = 0; i < s.size() && minimal; ++i) {
+      const Itemset subset = s.WithoutIndex(i);
+      if (subset.size() < 2) continue;
+      minimal = !is_correlated(subset);
+    }
+    if (!minimal) continue;
+    out.result.answers.push_back(s);
+  }
+  std::sort(out.result.answers.begin(), out.result.answers.end());
+  out.confirmed = out.result.answers.size();
+  // Account the verification tables on the final level's counters.
+  out.result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace ccs

@@ -1,0 +1,83 @@
+#include "datagen/catalog_generator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ccs {
+
+const std::vector<std::string>& DefaultTypeNames() {
+  static const auto* const kNames = new std::vector<std::string>{
+      "produce", "dairy",      "bakery",    "snacks",
+      "soda",    "frozenfood", "household", "meat"};
+  return *kNames;
+}
+
+ItemCatalog MakeLinearPriceCatalog(
+    std::size_t num_items, const std::vector<std::string>& type_names) {
+  CCS_CHECK(!type_names.empty());
+  ItemCatalog catalog;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    catalog.AddItem(static_cast<double>(i + 1),
+                    type_names[i % type_names.size()]);
+  }
+  return catalog;
+}
+
+ItemCatalog MakeLinearPriceCatalog(std::size_t num_items) {
+  return MakeLinearPriceCatalog(num_items, DefaultTypeNames());
+}
+
+ItemCatalog MakeUniformPriceCatalog(std::size_t num_items, double price_min,
+                                    double price_max, std::uint64_t seed) {
+  CCS_CHECK(price_min >= 0.0 && price_min <= price_max);
+  const auto& type_names = DefaultTypeNames();
+  Rng rng(seed);
+  ItemCatalog catalog;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    catalog.AddItem(rng.NextDouble(price_min, price_max),
+                    type_names[i % type_names.size()]);
+  }
+  return catalog;
+}
+
+ItemCatalog MakeScrambledPriceCatalog(std::size_t num_items,
+                                      std::uint64_t seed) {
+  std::vector<double> prices(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    prices[i] = static_cast<double>(i + 1);
+  }
+  Rng rng(seed);
+  // Fisher-Yates permutation of the price ladder.
+  for (std::size_t i = num_items; i > 1; --i) {
+    std::swap(prices[i - 1], prices[rng.NextBounded(i)]);
+  }
+  const auto& type_names = DefaultTypeNames();
+  ItemCatalog catalog;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    catalog.AddItem(prices[i], type_names[i % type_names.size()]);
+  }
+  return catalog;
+}
+
+double PriceThresholdForSelectivity(const ItemCatalog& catalog,
+                                    double selectivity) {
+  CCS_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  CCS_CHECK_GT(catalog.num_items(), 0u);
+  std::vector<double> prices;
+  prices.reserve(catalog.num_items());
+  for (ItemId i = 0; i < catalog.num_items(); ++i) {
+    prices.push_back(catalog.price(i));
+  }
+  std::sort(prices.begin(), prices.end());
+  const auto want = static_cast<std::size_t>(
+      selectivity * static_cast<double>(prices.size()));
+  if (want == 0) {
+    // A threshold below the cheapest item selects nothing.
+    return prices.front() > 0.0 ? prices.front() / 2.0 : -1.0;
+  }
+  return prices[want - 1];
+}
+
+}  // namespace ccs

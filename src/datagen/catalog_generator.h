@@ -1,0 +1,52 @@
+#ifndef CCS_DATAGEN_CATALOG_GENERATOR_H_
+#define CCS_DATAGEN_CATALOG_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txn/catalog.h"
+
+namespace ccs {
+
+// Catalog (attribute) generators for the experiments.
+//
+// The paper's selectivity experiments assign "the price of each item to be
+// its item number. So item 1 has a price of $1" — with 0-based ids this is
+// price(i) = i + 1, giving prices 1..N and making the selectivity of
+// price-threshold constraints directly controllable (a fraction f of items
+// has price <= f * N). Types are assigned round-robin from a name list so
+// every type class has ~N/num_types members.
+
+// price(i) = i + 1, types round-robin over `type_names`.
+ItemCatalog MakeLinearPriceCatalog(std::size_t num_items,
+                                   const std::vector<std::string>& type_names);
+
+// Same with the default market-basket type names
+// {produce, dairy, bakery, snacks, soda, frozenfood, household, meat}.
+ItemCatalog MakeLinearPriceCatalog(std::size_t num_items);
+
+// Uniform random prices in [price_min, price_max], types round-robin.
+ItemCatalog MakeUniformPriceCatalog(std::size_t num_items, double price_min,
+                                    double price_max, std::uint64_t seed);
+
+// Prices are a fixed pseudo-random permutation of 1..num_items (a linear
+// price ladder decoupled from item ids). Used by experiments whose data
+// generator assigns special roles to low item ids (e.g. the planted-rule
+// generator), so that price constraints cut across those roles instead of
+// aligning with them.
+ItemCatalog MakeScrambledPriceCatalog(std::size_t num_items,
+                                      std::uint64_t seed);
+
+// The default type name list used by MakeLinearPriceCatalog.
+const std::vector<std::string>& DefaultTypeNames();
+
+// The price threshold v such that a `price <= v` item predicate selects
+// (approximately) `selectivity` of the catalog's items. Used by the
+// selectivity sweeps of Figures 2, 6 and 8.
+double PriceThresholdForSelectivity(const ItemCatalog& catalog,
+                                    double selectivity);
+
+}  // namespace ccs
+
+#endif  // CCS_DATAGEN_CATALOG_GENERATOR_H_

@@ -1,0 +1,117 @@
+#include "datagen/ibm_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ccs {
+
+IbmGenerator::IbmGenerator(const IbmGeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  CCS_CHECK_GT(config_.num_items, 1u);
+  CCS_CHECK_GT(config_.num_patterns, 0u);
+  CCS_CHECK_GT(config_.avg_transaction_size, 0.0);
+  CCS_CHECK_GT(config_.avg_pattern_size, 0.0);
+  CCS_CHECK(config_.correlation >= 0.0 && config_.correlation <= 1.0);
+
+  patterns_.reserve(config_.num_patterns);
+  corruption_.reserve(config_.num_patterns);
+  std::vector<double> weights;
+  weights.reserve(config_.num_patterns);
+
+  for (std::size_t p = 0; p < config_.num_patterns; ++p) {
+    std::size_t size = rng_.NextPoisson(config_.avg_pattern_size);
+    size = std::clamp<std::size_t>(size, 1, config_.num_items);
+
+    std::unordered_set<ItemId> chosen;
+    // Reuse a random prefix-fraction of the previous pattern; the fraction
+    // is exponentially distributed with mean `correlation`, capped at 1.
+    if (p > 0 && !patterns_[p - 1].empty()) {
+      const double frac =
+          std::min(1.0, rng_.NextExponential(config_.correlation));
+      const auto reuse = static_cast<std::size_t>(
+          frac * static_cast<double>(patterns_[p - 1].size()));
+      Transaction prev = patterns_[p - 1];
+      // Random subset of the previous pattern of the given size.
+      for (std::size_t i = 0; i < reuse && i < size; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng_.NextBounded(prev.size() - i));
+        std::swap(prev[i], prev[j]);
+        chosen.insert(prev[i]);
+      }
+    }
+    while (chosen.size() < size) {
+      chosen.insert(static_cast<ItemId>(rng_.NextBounded(config_.num_items)));
+    }
+    Transaction pattern(chosen.begin(), chosen.end());
+    std::sort(pattern.begin(), pattern.end());
+    patterns_.push_back(std::move(pattern));
+
+    weights.push_back(rng_.NextExponential(1.0));
+    corruption_.push_back(std::clamp(
+        rng_.NextGaussian(config_.corruption_mean, config_.corruption_stddev),
+        0.0, 1.0));
+  }
+
+  // Normalize weights into a cumulative distribution for roulette picks.
+  double total = 0.0;
+  for (double w : weights) total += w;
+  cumulative_weights_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_weights_.push_back(acc);
+  }
+  cumulative_weights_.back() = 1.0;
+}
+
+std::size_t IbmGenerator::PickPattern() {
+  const double u = rng_.NextDouble();
+  const auto it = std::upper_bound(cumulative_weights_.begin(),
+                                   cumulative_weights_.end(), u);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_weights_.begin()),
+      patterns_.size() - 1);
+}
+
+TransactionDatabase IbmGenerator::Generate() {
+  TransactionDatabase db(config_.num_items);
+  for (std::size_t t = 0; t < config_.num_transactions; ++t) {
+    std::size_t budget = rng_.NextPoisson(config_.avg_transaction_size);
+    budget = std::clamp<std::size_t>(budget, 1, config_.num_items);
+
+    std::unordered_set<ItemId> basket;
+    // Guard against pathological loops when corruption keeps emptying the
+    // picked patterns: bound the number of pattern draws.
+    const std::size_t max_picks = 4 * budget + 16;
+    for (std::size_t pick = 0;
+         basket.size() < budget && pick < max_picks; ++pick) {
+      const std::size_t p = PickPattern();
+      // Corrupt: drop items while a uniform draw stays below the pattern's
+      // corruption level.
+      Transaction items = patterns_[p];
+      while (!items.empty() && rng_.NextDouble() < corruption_[p]) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng_.NextBounded(items.size()));
+        items[j] = items.back();
+        items.pop_back();
+      }
+      if (items.empty()) continue;
+      if (basket.size() + items.size() > budget) {
+        // Oversized pattern: add anyway in half the cases, skip otherwise.
+        if (!rng_.NextBernoulli(0.5)) continue;
+      }
+      basket.insert(items.begin(), items.end());
+    }
+    // Top up with random items if corruption left the basket too small.
+    while (basket.size() < budget) {
+      basket.insert(static_cast<ItemId>(rng_.NextBounded(config_.num_items)));
+    }
+    db.Add(Transaction(basket.begin(), basket.end()));
+  }
+  db.Finalize();
+  return db;
+}
+
+}  // namespace ccs

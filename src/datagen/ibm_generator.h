@@ -1,0 +1,69 @@
+#ifndef CCS_DATAGEN_IBM_GENERATOR_H_
+#define CCS_DATAGEN_IBM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/database.h"
+#include "util/rng.h"
+
+namespace ccs {
+
+// Synthetic basket generator in the style of Agrawal & Srikant (VLDB'94),
+// the "method 1" data of the paper (its purpose: simulate the real world).
+//
+// The original IBM Quest binary is not available; this is a from-scratch
+// re-implementation of the published procedure:
+//  * L maximal potentially-large itemsets are drawn; their sizes are
+//    Poisson-distributed with mean `avg_pattern_size`, items are picked
+//    uniformly except that a fraction of each pattern (exponentially
+//    distributed with mean `correlation`) is reused from the previous
+//    pattern, to model common cross-pattern items;
+//  * each pattern carries an exponential weight (normalized to sum 1) and a
+//    corruption level drawn from N(0.5, 0.1) clamped to [0, 1];
+//  * each transaction has Poisson(`avg_transaction_size`) slots and is
+//    filled by repeatedly picking patterns by weight, dropping items of a
+//    picked pattern while a uniform draw is below its corruption level; a
+//    pattern that no longer fits is added anyway in half the cases and
+//    dropped otherwise.
+//
+// The paper's settings map to: avg_transaction_size = 20,
+// avg_pattern_size = 4, num_items = 1000, num_transactions = 10k..100k.
+struct IbmGeneratorConfig {
+  std::size_t num_transactions = 10000;  // |D|
+  std::size_t num_items = 1000;          // N
+  double avg_transaction_size = 20.0;    // |T|
+  double avg_pattern_size = 4.0;         // |I|
+  std::size_t num_patterns = 2000;       // |L|
+  double correlation = 0.5;              // fraction reused from prev pattern
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class IbmGenerator {
+ public:
+  explicit IbmGenerator(const IbmGeneratorConfig& config);
+
+  // Generates the full database (finalized).
+  TransactionDatabase Generate();
+
+  // The potentially-large itemsets chosen during construction, exposed for
+  // tests and inspection (valid after construction; independent of
+  // Generate() calls).
+  const std::vector<Transaction>& patterns() const { return patterns_; }
+
+ private:
+  // Picks a pattern index according to the normalized weights.
+  std::size_t PickPattern();
+
+  IbmGeneratorConfig config_;
+  Rng rng_;
+  std::vector<Transaction> patterns_;
+  std::vector<double> cumulative_weights_;
+  std::vector<double> corruption_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_DATAGEN_IBM_GENERATOR_H_

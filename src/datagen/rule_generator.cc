@@ -1,0 +1,63 @@
+#include "datagen/rule_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ccs {
+
+RuleGenerator::RuleGenerator(const RuleGeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  CCS_CHECK_GT(config_.num_rules, 0u);
+  CCS_CHECK_GE(config_.rule_size, 2u);
+  CCS_CHECK(config_.support_min <= config_.support_max);
+  CCS_CHECK(config_.support_min >= 0.0 && config_.support_max <= 1.0);
+  CCS_CHECK_GE(config_.num_items, config_.num_rules * config_.rule_size);
+
+  rules_.reserve(config_.num_rules);
+  rule_supports_.reserve(config_.num_rules);
+  for (std::size_t r = 0; r < config_.num_rules; ++r) {
+    Transaction rule;
+    for (std::size_t j = 0; j < config_.rule_size; ++j) {
+      rule.push_back(static_cast<ItemId>(r * config_.rule_size + j));
+    }
+    rules_.push_back(std::move(rule));
+    rule_supports_.push_back(
+        rng_.NextDouble(config_.support_min, config_.support_max));
+  }
+}
+
+TransactionDatabase RuleGenerator::Generate() {
+  TransactionDatabase db(config_.num_items);
+  const std::size_t reserved = config_.num_rules * config_.rule_size;
+  const bool has_free_items = reserved < config_.num_items;
+  for (std::size_t t = 0; t < config_.num_transactions; ++t) {
+    std::unordered_set<ItemId> basket;
+    for (std::size_t r = 0; r < config_.num_rules; ++r) {
+      if (rng_.NextBernoulli(rule_supports_[r])) {
+        basket.insert(rules_[r].begin(), rules_[r].end());
+      }
+    }
+    std::size_t target = rng_.NextPoisson(config_.avg_transaction_size);
+    // The filler below only draws non-reserved items, so the reachable
+    // basket size is bounded by what the rules contributed plus the free
+    // pool; clamp the target accordingly (and to the universe).
+    const std::size_t reachable =
+        basket.size() + (config_.num_items - reserved);
+    target = std::clamp<std::size_t>(target, 1,
+                                     std::min(reachable, config_.num_items));
+    // Top up from the non-reserved items so the filler cannot distort the
+    // planted correlations.
+    while (has_free_items && basket.size() < target) {
+      const auto id = static_cast<ItemId>(
+          reserved + rng_.NextBounded(config_.num_items - reserved));
+      basket.insert(id);
+    }
+    db.Add(Transaction(basket.begin(), basket.end()));
+  }
+  db.Finalize();
+  return db;
+}
+
+}  // namespace ccs

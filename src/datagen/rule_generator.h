@@ -1,0 +1,61 @@
+#ifndef CCS_DATAGEN_RULE_GENERATOR_H_
+#define CCS_DATAGEN_RULE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/database.h"
+#include "util/rng.h"
+
+namespace ccs {
+
+// The paper's "method 2" generator: baskets are produced from a set of
+// prespecified correlation rules so that the mined output can be checked
+// against known ground truth (standard practice in ML experiments, per the
+// paper's references to CN2 / ID3 evaluations).
+//
+// Each rule r_i is a small itemset over a reserved, disjoint slice of the
+// item universe, with an inclusion probability s_i drawn uniformly from
+// [support_min, support_max] (the paper: 70%..90% of baskets). For every
+// basket, rule i contributes *all* of its items with probability s_i and
+// none otherwise — making the rule items strongly positively correlated
+// (joint frequency s_i vs. independence expectation s_i^rule_size), while
+// each individual item still has high support. The basket is then topped up
+// with uniformly random non-rule items until it reaches its
+// Poisson(avg_transaction_size) size, as the paper describes ("randomized
+// items are picked up in case the correlation rules do not generate enough
+// items for a particular basket").
+struct RuleGeneratorConfig {
+  std::size_t num_transactions = 10000;
+  std::size_t num_items = 1000;
+  double avg_transaction_size = 20.0;
+  std::size_t num_rules = 10;    // the paper uses ten rules
+  std::size_t rule_size = 2;     // items per rule
+  double support_min = 0.70;     // lower bound for s_i
+  double support_max = 0.90;     // upper bound for s_i
+  std::uint64_t seed = 1;
+};
+
+class RuleGenerator {
+ public:
+  explicit RuleGenerator(const RuleGeneratorConfig& config);
+
+  TransactionDatabase Generate();
+
+  // Ground truth: the planted rule itemsets (rule i occupies items
+  // [i*rule_size, (i+1)*rule_size)).
+  const std::vector<Transaction>& rules() const { return rules_; }
+
+  // The inclusion probability drawn for each rule.
+  const std::vector<double>& rule_supports() const { return rule_supports_; }
+
+ private:
+  RuleGeneratorConfig config_;
+  Rng rng_;
+  std::vector<Transaction> rules_;
+  std::vector<double> rule_supports_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_DATAGEN_RULE_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "datagen/zipf_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ccs {
+
+ZipfGenerator::ZipfGenerator(const ZipfGeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  CCS_CHECK_GT(config_.num_items, 1u);
+  CCS_CHECK_GT(config_.avg_transaction_size, 0.0);
+  CCS_CHECK_GE(config_.exponent, 0.0);
+  CCS_CHECK(config_.group_probability >= 0.0 &&
+            config_.group_probability <= 1.0);
+  CCS_CHECK_GE(config_.num_items,
+               config_.num_groups * config_.group_size);
+
+  cumulative_.resize(config_.num_items);
+  double total = 0.0;
+  for (std::size_t i = 0; i < config_.num_items; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), config_.exponent);
+    cumulative_[i] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;
+
+  // Disjoint planted groups over uniformly sampled items.
+  std::unordered_set<ItemId> used;
+  for (std::size_t g = 0; g < config_.num_groups; ++g) {
+    Transaction group;
+    while (group.size() < config_.group_size) {
+      const auto item =
+          static_cast<ItemId>(rng_.NextBounded(config_.num_items));
+      if (used.insert(item).second) group.push_back(item);
+    }
+    std::sort(group.begin(), group.end());
+    groups_.push_back(std::move(group));
+  }
+}
+
+ItemId ZipfGenerator::SampleItem() {
+  const double u = rng_.NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<ItemId>(
+      std::min<std::size_t>(it - cumulative_.begin(),
+                            config_.num_items - 1));
+}
+
+TransactionDatabase ZipfGenerator::Generate() {
+  TransactionDatabase db(config_.num_items);
+  for (std::size_t t = 0; t < config_.num_transactions; ++t) {
+    std::unordered_set<ItemId> basket;
+    for (const Transaction& group : groups_) {
+      if (rng_.NextBernoulli(config_.group_probability)) {
+        basket.insert(group.begin(), group.end());
+      }
+    }
+    std::size_t target = rng_.NextPoisson(config_.avg_transaction_size);
+    target = std::clamp<std::size_t>(target, 1, config_.num_items);
+    // Weighted sampling without replacement via rejection; the attempt
+    // bound keeps pathological skews from spinning when the head items
+    // are exhausted.
+    const std::size_t max_attempts = 20 * target + 50;
+    for (std::size_t attempt = 0;
+         basket.size() < target && attempt < max_attempts; ++attempt) {
+      basket.insert(SampleItem());
+    }
+    db.Add(Transaction(basket.begin(), basket.end()));
+  }
+  db.Finalize();
+  return db;
+}
+
+}  // namespace ccs

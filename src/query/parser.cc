@@ -1,0 +1,313 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/set_constraint.h"
+
+namespace ccs {
+namespace {
+
+enum class TokenKind {
+  kIdent,   // letters, digits, '_', '.', starting with a letter
+  kNumber,  // decimal literal
+  kSymbol,  // one of & { } ( ) , | and the ops <= >= =
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  // Tokenizes the whole input; returns false on an unexpected character.
+  bool Run(std::vector<Token>* tokens, std::string* error) {
+    std::size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_' || text_[j] == '.')) {
+          ++j;
+        }
+        tokens->push_back(
+            {TokenKind::kIdent, std::string(text_.substr(i, j - i)), i});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '.')) {
+          ++j;
+        }
+        tokens->push_back(
+            {TokenKind::kNumber, std::string(text_.substr(i, j - i)), i});
+        i = j;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        if (i + 1 >= text_.size() || text_[i + 1] != '=') {
+          *error = "expected '<=' or '>=' at position " + std::to_string(i);
+          return false;
+        }
+        tokens->push_back(
+            {TokenKind::kSymbol, std::string(text_.substr(i, 2)), i});
+        i += 2;
+        continue;
+      }
+      if (c == '&' || c == '{' || c == '}' || c == '(' || c == ')' ||
+          c == ',' || c == '|' || c == '=') {
+        tokens->push_back({TokenKind::kSymbol, std::string(1, c), i});
+        ++i;
+        continue;
+      }
+      *error = std::string("unexpected character '") + c +
+               "' at position " + std::to_string(i);
+      return false;
+    }
+    tokens->push_back({TokenKind::kEnd, "", text_.size()});
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  std::optional<ConstraintSet> Run() {
+    ConstraintSet out;
+    if (!ParseConstraintInto(out)) return std::nullopt;
+    while (Peek().kind == TokenKind::kSymbol && Peek().text == "&") {
+      Advance();
+      if (!ParseConstraintInto(out)) return std::nullopt;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      Fail("trailing input");
+      return std::nullopt;
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ =
+          message + " at position " + std::to_string(Peek().pos);
+    }
+    return false;
+  }
+
+  bool ExpectSymbol(const std::string& symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+      return Fail("expected '" + symbol + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectIdent(const std::string& ident) {
+    if (Peek().kind != TokenKind::kIdent || Peek().text != ident) {
+      return Fail("expected '" + ident + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  // op := '<=' | '>=' | '='; writes the parsed op.
+  bool ParseOp(std::string* op) {
+    if (Peek().kind != TokenKind::kSymbol ||
+        (Peek().text != "<=" && Peek().text != ">=" && Peek().text != "=")) {
+      return Fail("expected '<=', '>=' or '='");
+    }
+    *op = Advance().text;
+    return true;
+  }
+
+  bool ParseNumber(double* value) {
+    if (Peek().kind != TokenKind::kNumber) return Fail("expected a number");
+    *value = std::strtod(Advance().text.c_str(), nullptr);
+    return true;
+  }
+
+  // '{' ... '}' of identifiers (names != nullptr) or integers.
+  bool ParseBracedList(std::vector<std::string>* names,
+                       std::vector<ItemId>* items) {
+    if (!ExpectSymbol("{")) return false;
+    const bool want_names = names != nullptr;
+    while (true) {
+      if (want_names) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Fail("expected a type name");
+        }
+        names->push_back(Advance().text);
+      } else {
+        if (Peek().kind != TokenKind::kNumber ||
+            Peek().text.find('.') != std::string::npos) {
+          return Fail("expected an item id");
+        }
+        items->push_back(
+            static_cast<ItemId>(std::strtoul(Advance().text.c_str(),
+                                             nullptr, 10)));
+      }
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return ExpectSymbol("}");
+  }
+
+  // Emits agg op threshold, expanding '=' into the <= & >= pair.
+  bool EmitAgg(ConstraintSet& out, Agg agg, const std::string& op,
+               double threshold) {
+    if (op == "=") {
+      if (agg == Agg::kAvg) {
+        return Fail("avg does not support '='");
+      }
+      out.AddAll(MakeEqualityConstraint(agg, threshold));
+    } else {
+      out.Add(std::make_unique<AggConstraint>(
+          agg, op == "<=" ? Cmp::kLe : Cmp::kGe, threshold));
+    }
+    return true;
+  }
+
+  bool ParseConstraintInto(ConstraintSet& out) {
+    const Token& t = Peek();
+    // '|' 'S.type' '|' op NUMBER
+    if (t.kind == TokenKind::kSymbol && t.text == "|") {
+      Advance();
+      if (!ExpectIdent("S.type") || !ExpectSymbol("|")) return false;
+      std::string op;
+      double value = 0;
+      if (!ParseOp(&op) || !ParseNumber(&value)) return false;
+      const auto count = static_cast<std::size_t>(value);
+      if (op == "=") {
+        out.Add(std::make_unique<TypeCountConstraint>(Cmp::kLe, count));
+        out.Add(std::make_unique<TypeCountConstraint>(Cmp::kGe, count));
+      } else {
+        out.Add(std::make_unique<TypeCountConstraint>(
+            op == "<=" ? Cmp::kLe : Cmp::kGe, count));
+      }
+      return true;
+    }
+    // Braced set on the left: typeset/itemset subset|disjoint|intersects.
+    if (t.kind == TokenKind::kSymbol && t.text == "{") {
+      // Look ahead one token past '{' to decide names vs ids.
+      const Token& inner = tokens_[pos_ + 1];
+      std::vector<std::string> names;
+      std::vector<ItemId> items;
+      const bool is_names = inner.kind == TokenKind::kIdent;
+      if (!ParseBracedList(is_names ? &names : nullptr,
+                           is_names ? nullptr : &items)) {
+        return false;
+      }
+      if (Peek().kind != TokenKind::kIdent) {
+        return Fail("expected 'subset', 'disjoint' or 'intersects'");
+      }
+      const std::string verb = Advance().text;
+      if (is_names) {
+        if (!ExpectIdent("S.type")) return false;
+        if (verb == "subset") {
+          out.Add(std::make_unique<TypeContainsConstraint>(std::move(names)));
+        } else if (verb == "disjoint") {
+          out.Add(std::make_unique<TypeDisjointConstraint>(std::move(names)));
+        } else if (verb == "intersects") {
+          out.Add(
+              std::make_unique<TypeIntersectsConstraint>(std::move(names)));
+        } else {
+          return Fail("unknown set operator '" + verb + "'");
+        }
+      } else {
+        if (!ExpectIdent("S")) return false;
+        if (verb == "subset") {
+          out.Add(std::make_unique<ContainsItemsConstraint>(std::move(items)));
+        } else if (verb == "disjoint") {
+          out.Add(std::make_unique<ExcludesItemsConstraint>(std::move(items)));
+        } else {
+          return Fail("unknown set operator '" + verb + "'");
+        }
+      }
+      return true;
+    }
+    if (t.kind != TokenKind::kIdent) return Fail("expected a constraint");
+    // 'S.type' subset typeset
+    if (t.text == "S.type") {
+      Advance();
+      if (!ExpectIdent("subset")) return false;
+      std::vector<std::string> names;
+      if (!ParseBracedList(&names, nullptr)) return false;
+      out.Add(std::make_unique<TypeSubsetConstraint>(std::move(names)));
+      return true;
+    }
+    // agg '(' 'S.price' ')' op NUMBER | 'count' '(' 'S' ')' op NUMBER
+    Agg agg;
+    if (t.text == "min") {
+      agg = Agg::kMin;
+    } else if (t.text == "max") {
+      agg = Agg::kMax;
+    } else if (t.text == "sum") {
+      agg = Agg::kSum;
+    } else if (t.text == "avg") {
+      agg = Agg::kAvg;
+    } else if (t.text == "count") {
+      agg = Agg::kCount;
+    } else {
+      return Fail("unknown constraint '" + t.text + "'");
+    }
+    Advance();
+    if (!ExpectSymbol("(")) return false;
+    if (agg == Agg::kCount) {
+      if (!ExpectIdent("S")) return false;
+    } else {
+      if (!ExpectIdent("S.price")) return false;
+    }
+    if (!ExpectSymbol(")")) return false;
+    std::string op;
+    double value = 0;
+    if (!ParseOp(&op) || !ParseNumber(&value)) return false;
+    return EmitAgg(out, agg, op, value);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<ConstraintSet> ParseConstraints(std::string_view text,
+                                              std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  if (!lexer.Run(&tokens, err)) return std::nullopt;
+  Parser parser(std::move(tokens), err);
+  return parser.Run();
+}
+
+}  // namespace ccs

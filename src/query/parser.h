@@ -1,0 +1,42 @@
+#ifndef CCS_QUERY_PARSER_H_
+#define CCS_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "constraints/constraint_set.h"
+
+namespace ccs {
+
+// Recursive-descent parser for the paper's constraint language, so examples
+// and tools can state queries the way the paper writes them:
+//
+//   query      := constraint ('&' constraint)*
+//   constraint :=
+//       agg '(' 'S.price' ')' op NUMBER          agg in {min,max,sum,avg}
+//     | 'count' '(' 'S' ')' op NUMBER
+//     | typeset 'subset' 'S.type'                CS subset-of S.type
+//     | 'S.type' 'subset' typeset                S.type subset-of CS
+//     | typeset 'disjoint' 'S.type'              CS intersect S.type = {}
+//     | typeset 'intersects' 'S.type'            CS intersect S.type != {}
+//     | '|' 'S.type' '|' op NUMBER               distinct-type count
+//     | itemset 'subset' 'S'                     CS subset-of S
+//     | itemset 'disjoint' 'S'                   S intersect CS = {}
+//   op       := '<=' | '>=' | '='
+//   typeset  := '{' NAME (',' NAME)* '}'
+//   itemset  := '{' INT (',' INT)* '}'
+//
+// '=' on an aggregate is rewritten into the <=/>= conjunction pair
+// (Section 2.2); '=' on count/type-count likewise. Example:
+//
+//   "max(S.price) <= 50 & sum(S.price) >= 100 &
+//    {soda, frozenfood} subset S.type & {snacks} disjoint S.type"
+//
+// Returns the parsed conjunction, or nullopt with a diagnostic in *error.
+std::optional<ConstraintSet> ParseConstraints(std::string_view text,
+                                              std::string* error = nullptr);
+
+}  // namespace ccs
+
+#endif  // CCS_QUERY_PARSER_H_

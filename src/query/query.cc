@@ -1,0 +1,195 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "query/parser.h"
+
+namespace ccs {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// Finds keyword `word` as a whole lowercase word in `text`; npos if absent.
+std::size_t FindKeyword(const std::string& lower, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = lower.find(word, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 ||
+        !std::isalnum(static_cast<unsigned char>(lower[pos - 1]));
+    const std::size_t end = pos + word.size();
+    const bool right_ok =
+        end == lower.size() ||
+        !std::isalnum(static_cast<unsigned char>(lower[end]));
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+bool ParseParams(std::string_view text, Query* query, std::string* error) {
+  std::size_t start = 0;
+  const std::string params(text);
+  while (start <= params.size()) {
+    std::size_t comma = params.find(',', start);
+    if (comma == std::string::npos) comma = params.size();
+    const std::string_view entry =
+        Trim(std::string_view(params).substr(start, comma - start));
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      SetError(error, "expected 'name = value' in with-clause, got '" +
+                          std::string(entry) + "'");
+      return false;
+    }
+    const std::string name = ToLower(Trim(entry.substr(0, eq)));
+    const std::string value(Trim(entry.substr(eq + 1)));
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      SetError(error, "bad number '" + value + "' for '" + name + "'");
+      return false;
+    }
+    if (name == "alpha") {
+      if (number < 0.0 || number >= 1.0) {
+        SetError(error, "alpha must be in [0, 1)");
+        return false;
+      }
+      query->significance = number;
+    } else if (name == "support") {
+      if (number < 0.0 || number > 1.0) {
+        SetError(error, "support must be a fraction in [0, 1]");
+        return false;
+      }
+      query->support_fraction = number;
+    } else if (name == "cells") {
+      if (number < 0.0 || number > 1.0) {
+        SetError(error, "cells must be a fraction in [0, 1]");
+        return false;
+      }
+      query->min_cell_fraction = number;
+    } else if (name == "maxsize") {
+      if (number < 2.0 || number > Itemset::kMaxSize) {
+        SetError(error, "maxsize must be in [2, 12]");
+        return false;
+      }
+      query->max_set_size = static_cast<std::size_t>(number);
+    } else {
+      SetError(error, "unknown parameter '" + name + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MiningOptions Query::ResolveOptions(const TransactionDatabase& db) const {
+  MiningOptions options;
+  options.significance = significance;
+  options.min_support = static_cast<std::uint64_t>(
+      support_fraction * static_cast<double>(db.num_transactions()));
+  options.min_cell_fraction = min_cell_fraction;
+  options.max_set_size = max_set_size;
+  return options;
+}
+
+Algorithm Query::DefaultAlgorithm() const {
+  switch (semantics) {
+    case AnswerSemantics::kUnconstrained:
+      return Algorithm::kBms;
+    case AnswerSemantics::kValidMinimal:
+      return Algorithm::kBmsPlusPlus;
+    case AnswerSemantics::kMinimalValid:
+      return Algorithm::kBmsStarStar;
+  }
+  return Algorithm::kBms;
+}
+
+MiningResult Query::Execute(const TransactionDatabase& db,
+                            const ItemCatalog& catalog) const {
+  return Mine(DefaultAlgorithm(), db, catalog, constraints,
+              ResolveOptions(db));
+}
+
+std::optional<Query> ParseQuery(std::string_view text, std::string* error) {
+  Query query;
+  const std::string lower = ToLower(text);
+  const std::size_t where_pos = FindKeyword(lower, "where");
+  const std::size_t with_pos = FindKeyword(lower, "with");
+  if (where_pos != std::string::npos && with_pos != std::string::npos &&
+      with_pos < where_pos) {
+    SetError(error, "'with' must follow 'where'");
+    return std::nullopt;
+  }
+  const std::size_t head_end = std::min(where_pos, with_pos);
+  const std::string head = ToLower(Trim(text.substr(
+      0, head_end == std::string::npos ? text.size() : head_end)));
+  if (head == "valid_min" || head.empty()) {
+    query.semantics = AnswerSemantics::kValidMinimal;
+  } else if (head == "min_valid") {
+    query.semantics = AnswerSemantics::kMinimalValid;
+  } else if (head == "all") {
+    query.semantics = AnswerSemantics::kUnconstrained;
+  } else {
+    SetError(error,
+             "expected 'valid_min', 'min_valid' or 'all', got '" + head +
+                 "'");
+    return std::nullopt;
+  }
+
+  if (where_pos != std::string::npos) {
+    const std::size_t constraints_begin = where_pos + 5;
+    const std::size_t constraints_end =
+        with_pos == std::string::npos ? text.size() : with_pos;
+    const std::string_view constraint_text =
+        Trim(text.substr(constraints_begin,
+                         constraints_end - constraints_begin));
+    auto parsed = ParseConstraints(constraint_text, error);
+    if (!parsed.has_value()) return std::nullopt;
+    query.constraints = std::move(*parsed);
+    if (query.semantics == AnswerSemantics::kUnconstrained &&
+        !query.constraints.empty()) {
+      SetError(error, "'all' takes no where-clause");
+      return std::nullopt;
+    }
+  }
+
+  if (with_pos != std::string::npos) {
+    if (!ParseParams(text.substr(with_pos + 4), &query, error)) {
+      return std::nullopt;
+    }
+  }
+  if (query.semantics == AnswerSemantics::kMinimalValid &&
+      query.constraints.has_unclassified()) {
+    SetError(error,
+             "min_valid requires monotone or anti-monotone constraints "
+             "(avg is neither; see Section 6 of the paper)");
+    return std::nullopt;
+  }
+  return query;
+}
+
+}  // namespace ccs

@@ -1,0 +1,64 @@
+#ifndef CCS_QUERY_QUERY_H_
+#define CCS_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "constraints/constraint_set.h"
+#include "core/miner.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// A complete constrained correlation query: which answer set, which
+// constraints, which statistical parameters — everything the paper's
+// formal query expression carries, in one parseable unit:
+//
+//   query   := [semantics] [ 'where' constraints ] [ 'with' params ]
+//   semantics := 'valid_min' | 'min_valid' | 'all'
+//   params  := param (',' param)*
+//   param   := 'alpha' '=' NUMBER          chi-squared confidence
+//            | 'support' '=' NUMBER        CT-support fraction of |D|
+//            | 'cells' '=' NUMBER          p% cell fraction
+//            | 'maxsize' '=' NUMBER        level cap
+//
+// Examples:
+//   "valid_min where max(S.price) <= 50 with alpha = 0.95, support = 0.01"
+//   "min_valid where min(S.price) <= 20"
+//   "all"                                  (unconstrained BMS)
+//
+// The constraint sub-language is ParseConstraints' (see parser.h).
+struct Query {
+  AnswerSemantics semantics = AnswerSemantics::kValidMinimal;
+  ConstraintSet constraints;
+  double significance = 0.9;
+  // CT-support threshold as a fraction of the database size; resolved to
+  // an absolute count by Execute/ResolveOptions.
+  double support_fraction = 0.05;
+  double min_cell_fraction = 0.25;
+  std::size_t max_set_size = 4;
+
+  // MiningOptions for a concrete database.
+  MiningOptions ResolveOptions(const TransactionDatabase& db) const;
+
+  // The constraint-pushing algorithm for this query's semantics
+  // (BMS++ / BMS** / BMS).
+  Algorithm DefaultAlgorithm() const;
+
+  // Runs the query with DefaultAlgorithm().
+  MiningResult Execute(const TransactionDatabase& db,
+                       const ItemCatalog& catalog) const;
+};
+
+// Parses the full query syntax above. Returns nullopt with a diagnostic in
+// *error on malformed input.
+std::optional<Query> ParseQuery(std::string_view text,
+                                std::string* error = nullptr);
+
+}  // namespace ccs
+
+#endif  // CCS_QUERY_QUERY_H_

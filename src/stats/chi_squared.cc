@@ -1,0 +1,63 @@
+#include "stats/chi_squared.h"
+
+#include <cmath>
+
+#include "stats/gamma.h"
+#include "util/check.h"
+
+namespace ccs::stats {
+
+double ChiSquaredCdf(double x, int df) {
+  CCS_CHECK_GE(df, 1);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * df, 0.5 * x);
+}
+
+double ChiSquaredSf(double x, int df) {
+  CCS_CHECK_GE(df, 1);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(0.5 * df, 0.5 * x);
+}
+
+double ChiSquaredQuantile(double prob, int df) {
+  CCS_CHECK_GE(df, 1);
+  CCS_CHECK(prob < 1.0);
+  if (prob <= 0.0) return 0.0;
+  // Bracket the root: the mean of chi-squared(df) is df, the variance 2*df;
+  // grow the upper bound geometrically until the CDF exceeds prob.
+  double lo = 0.0;
+  double hi = df + 10.0 * std::sqrt(2.0 * df) + 10.0;
+  while (ChiSquaredCdf(hi, df) < prob) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ChiSquaredCdf(mid, df) < prob) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+ChiSquaredCriticalValues::ChiSquaredCriticalValues(double alpha)
+    : alpha_(alpha) {
+  CCS_CHECK(alpha >= 0.0);
+  CCS_CHECK(alpha < 1.0);
+  for (bool& c : cached_) c = false;
+  for (double& v : cache_) v = 0.0;
+}
+
+double ChiSquaredCriticalValues::Get(int df) {
+  CCS_CHECK_GE(df, 1);
+  if (df <= kCacheSize) {
+    if (!cached_[df]) {
+      cache_[df] = ChiSquaredQuantile(alpha_, df);
+      cached_[df] = true;
+    }
+    return cache_[df];
+  }
+  return ChiSquaredQuantile(alpha_, df);
+}
+
+}  // namespace ccs::stats

@@ -1,0 +1,47 @@
+#ifndef CCS_STATS_CHI_SQUARED_H_
+#define CCS_STATS_CHI_SQUARED_H_
+
+namespace ccs::stats {
+
+// Chi-squared distribution with `df` degrees of freedom (df >= 1).
+//
+// The correlation test of Brin et al. declares an itemset correlated at
+// significance level alpha when its chi-squared statistic is at least
+// ChiSquaredQuantile(alpha, df): the value x with CDF(x) = alpha,
+// equivalently the (1 - alpha) upper-tail critical value. The p-value of an
+// observed statistic is ChiSquaredSf(statistic, df).
+
+// CDF: probability that a chi-squared(df) variate is <= x.
+double ChiSquaredCdf(double x, int df);
+
+// Survival function 1 - CDF (the p-value of an observed statistic).
+double ChiSquaredSf(double x, int df);
+
+// Inverse CDF. Requires 0 <= prob < 1; returns 0 for prob <= 0.
+// Solved by bracketed bisection on the monotone CDF to ~1e-10 accuracy.
+double ChiSquaredQuantile(double prob, int df);
+
+// Cached critical value lookup for hot paths: quantile(alpha, df) with the
+// cache keyed on df for a fixed alpha. Thread-compatible (not thread-safe);
+// the mining engine owns one instance per run.
+class ChiSquaredCriticalValues {
+ public:
+  // alpha in [0, 1): confidence level of the test.
+  explicit ChiSquaredCriticalValues(double alpha);
+
+  double alpha() const { return alpha_; }
+
+  // Critical value for `df` degrees of freedom (df >= 1). Cached for
+  // df <= kCacheSize and computed on demand otherwise.
+  double Get(int df);
+
+ private:
+  static constexpr int kCacheSize = 64;
+  double alpha_;
+  double cache_[kCacheSize + 1];
+  bool cached_[kCacheSize + 1];
+};
+
+}  // namespace ccs::stats
+
+#endif  // CCS_STATS_CHI_SQUARED_H_

@@ -1,0 +1,93 @@
+#include "stats/contingency.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace ccs::stats {
+
+ContingencyTable::ContingencyTable(int num_vars,
+                                   std::vector<std::uint64_t> cells)
+    : num_vars_(num_vars), cells_(std::move(cells)) {
+  CCS_CHECK_GE(num_vars_, 1);
+  CCS_CHECK_LE(num_vars_, 20);
+  CCS_CHECK_EQ(cells_.size(), std::size_t{1} << num_vars_);
+  marginals_.assign(num_vars_, 0);
+  for (std::size_t mask = 0; mask < cells_.size(); ++mask) {
+    total_ += cells_[mask];
+    for (int v = 0; v < num_vars_; ++v) {
+      if (mask & (std::size_t{1} << v)) marginals_[v] += cells_[mask];
+    }
+  }
+}
+
+std::uint64_t ContingencyTable::cell(std::uint32_t mask) const {
+  CCS_CHECK_LT(mask, cells_.size());
+  return cells_[mask];
+}
+
+std::uint64_t ContingencyTable::MarginalCount(int var) const {
+  CCS_CHECK_GE(var, 0);
+  CCS_CHECK_LT(var, num_vars_);
+  return marginals_[var];
+}
+
+double ContingencyTable::ExpectedCount(std::uint32_t mask) const {
+  CCS_CHECK_LT(mask, cells_.size());
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  double expected = n;
+  for (int v = 0; v < num_vars_; ++v) {
+    const double p = static_cast<double>(marginals_[v]) / n;
+    expected *= (mask & (std::uint32_t{1} << v)) ? p : (1.0 - p);
+  }
+  return expected;
+}
+
+double ContingencyTable::ChiSquaredStatistic() const {
+  if (total_ == 0) return 0.0;
+  double chi2 = 0.0;
+  for (std::size_t mask = 0; mask < cells_.size(); ++mask) {
+    const double expected = ExpectedCount(static_cast<std::uint32_t>(mask));
+    const double observed = static_cast<double>(cells_[mask]);
+    if (expected <= 0.0) {
+      if (observed > 0.0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double diff = observed - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+int ContingencyTable::FullIndependenceDf() const {
+  if (num_vars_ < 2) return 1;
+  return static_cast<int>((std::size_t{1} << num_vars_)) - num_vars_ - 1;
+}
+
+double ContingencyTable::SupportedCellFraction(
+    std::uint64_t min_support) const {
+  std::size_t supported = 0;
+  for (std::uint64_t c : cells_) {
+    if (c >= min_support) ++supported;
+  }
+  return static_cast<double>(supported) / static_cast<double>(cells_.size());
+}
+
+bool ContingencyTable::IsCtSupported(std::uint64_t min_support,
+                                     double min_fraction) const {
+  return SupportedCellFraction(min_support) >= min_fraction;
+}
+
+bool ContingencyTable::SatisfiesCochranRule() const {
+  std::size_t at_least_five = 0;
+  for (std::size_t mask = 0; mask < cells_.size(); ++mask) {
+    const double expected = ExpectedCount(static_cast<std::uint32_t>(mask));
+    if (expected < 1.0) return false;
+    if (expected >= 5.0) ++at_least_five;
+  }
+  return static_cast<double>(at_least_five) >=
+         0.8 * static_cast<double>(cells_.size());
+}
+
+}  // namespace ccs::stats

@@ -1,0 +1,77 @@
+#ifndef CCS_STATS_CONTINGENCY_H_
+#define CCS_STATS_CONTINGENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccs::stats {
+
+// Full contingency table over k boolean variables (the items of an itemset).
+//
+// The table has 2^k cells, one per minterm. Cell `mask` counts the
+// transactions in which exactly the items with set bits in `mask` are
+// present and the others absent (bit j of the mask corresponds to variable
+// j). For {coffee, doughnuts} and the paper's Figure B, mask 0b11 is the
+// (coffee, doughnuts) cell, mask 0b01 is (coffee, no doughnuts), etc.
+//
+// Expected counts are computed under the full-independence hypothesis:
+//   E(mask) = N * prod_j (p_j if bit j set else 1 - p_j)
+// with p_j the marginal frequency of variable j. The chi-squared statistic
+// is sum over cells of (O - E)^2 / E.
+class ContingencyTable {
+ public:
+  // `cells` must have size 2^num_vars, num_vars in [1, 20].
+  ContingencyTable(int num_vars, std::vector<std::uint64_t> cells);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_cells() const { return cells_.size(); }
+
+  // Total number of transactions (sum over all cells).
+  std::uint64_t total() const { return total_; }
+
+  // Observed count of the given minterm.
+  std::uint64_t cell(std::uint32_t mask) const;
+
+  // Number of transactions containing variable `var` (its marginal count).
+  std::uint64_t MarginalCount(int var) const;
+
+  // Expected count of the minterm under independence. Zero when any
+  // involved marginal probability is degenerate (0 or 1) in the relevant
+  // direction, or when the table is empty.
+  double ExpectedCount(std::uint32_t mask) const;
+
+  // Pearson chi-squared statistic against full independence. Cells with
+  // expected count 0 contribute nothing when the observed count is also 0
+  // and +infinity otherwise (a degenerate table maximally contradicts
+  // independence). Returns 0 for an empty table.
+  double ChiSquaredStatistic() const;
+
+  // Degrees of freedom of the full-independence test: 2^k - k - 1 for
+  // k >= 2. For k = 1 (no independence hypothesis to test) returns 1 so the
+  // caller never divides by zero; sets of size 1 are never correlated.
+  int FullIndependenceDf() const;
+
+  // Fraction of cells whose observed count is >= min_support.
+  double SupportedCellFraction(std::uint64_t min_support) const;
+
+  // CT-support predicate of Brin et al.: at least `min_fraction` of the
+  // cells have observed count >= min_support.
+  bool IsCtSupported(std::uint64_t min_support, double min_fraction) const;
+
+  // Cochran's validity rule for the chi-squared approximation (which Brin
+  // et al. flag as a prerequisite of the test): every cell's expected
+  // count is at least 1 and at least 80% of cells have expected count at
+  // least 5. When this fails on a 2x2 table, Fisher's exact test
+  // (stats/fisher.h) is the reliable alternative.
+  bool SatisfiesCochranRule() const;
+
+ private:
+  int num_vars_;
+  std::vector<std::uint64_t> cells_;
+  std::vector<std::uint64_t> marginals_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ccs::stats
+
+#endif  // CCS_STATS_CONTINGENCY_H_

@@ -1,0 +1,61 @@
+#include "stats/fisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gamma.h"
+
+namespace ccs::stats {
+namespace {
+
+double LogFactorial(std::uint64_t n) {
+  return LogGamma(static_cast<double>(n) + 1.0);
+}
+
+// Log point-probability of a 2x2 table with entries (a, b, c, d) under the
+// hypergeometric distribution with fixed margins.
+double LogHypergeometric(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                         std::uint64_t d) {
+  const std::uint64_t n = a + b + c + d;
+  return LogFactorial(a + b) + LogFactorial(c + d) + LogFactorial(a + c) +
+         LogFactorial(b + d) - LogFactorial(n) - LogFactorial(a) -
+         LogFactorial(b) - LogFactorial(c) - LogFactorial(d);
+}
+
+}  // namespace
+
+double FisherExactTwoSided(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t n = a + b + c + d;
+  if (n == 0) return 1.0;
+  const std::uint64_t row = a + b;
+  const std::uint64_t col = a + c;
+  const std::uint64_t lo = col > (n - row) ? col - (n - row) : 0;
+  const std::uint64_t hi = std::min(row, col);
+  const double log_observed = LogHypergeometric(a, b, c, d);
+  double p = 0.0;
+  for (std::uint64_t x = lo; x <= hi; ++x) {
+    const double log_prob =
+        LogHypergeometric(x, row - x, col - x, n - row - col + x);
+    // Tolerance absorbs round-off so the observed table itself counts.
+    if (log_prob <= log_observed + 1e-9) p += std::exp(log_prob);
+  }
+  return std::min(p, 1.0);
+}
+
+double FisherExactGreater(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          std::uint64_t d) {
+  const std::uint64_t n = a + b + c + d;
+  if (n == 0) return 1.0;
+  const std::uint64_t row = a + b;
+  const std::uint64_t col = a + c;
+  const std::uint64_t hi = std::min(row, col);
+  double p = 0.0;
+  for (std::uint64_t x = a; x <= hi; ++x) {
+    p += std::exp(
+        LogHypergeometric(x, row - x, col - x, n - row - col + x));
+  }
+  return std::min(p, 1.0);
+}
+
+}  // namespace ccs::stats

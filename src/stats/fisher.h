@@ -1,0 +1,33 @@
+#ifndef CCS_STATS_FISHER_H_
+#define CCS_STATS_FISHER_H_
+
+#include <cstdint>
+
+namespace ccs::stats {
+
+// Fisher's exact test for 2x2 contingency tables.
+//
+// Brin et al. note the chi-squared approximation is only trustworthy when
+// the expected cell counts are large enough (the Cochran rule implemented
+// by ContingencyTable::SatisfiesCochranRule). For sparse pairs — low
+// supports or tiny samples — Fisher's exact test gives the exact
+// hypergeometric p-value with fixed margins, at O(min(row, column)) cost,
+// and the correlation judge can fall back to it.
+//
+// Layout matches ContingencyTable masks for a pair {x, y}:
+//   a = both present, b = only x, c = only y, d = neither.
+//
+// Returns the two-sided p-value: the total probability of all tables with
+// the observed margins whose point probability does not exceed the
+// observed table's (the standard "sum of small p" definition).
+double FisherExactTwoSided(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c, std::uint64_t d);
+
+// One-sided p-value for positive association: probability of observing
+// `a` or more joint occurrences under independence with fixed margins.
+double FisherExactGreater(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          std::uint64_t d);
+
+}  // namespace ccs::stats
+
+#endif  // CCS_STATS_FISHER_H_

@@ -1,0 +1,90 @@
+#include "stats/gamma.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ccs::stats {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+// P(a, x) by the power series gamma(a,x) = e^-x x^a sum x^n / (a)_{n+1}.
+// Converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Q(a, x) by the Lentz continued fraction. Converges quickly for x > a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  CCS_CHECK(x > 0.0);
+  // Lanczos approximation, g = 7, n = 9.
+  static constexpr double kCoefficients[] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps the approximation in its accurate range.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kCoefficients[0];
+  for (int i = 1; i < 9; ++i) sum += kCoefficients[i] / (z + i);
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double RegularizedGammaP(double a, double x) {
+  CCS_CHECK(a > 0.0);
+  CCS_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (std::isinf(x)) return 1.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  CCS_CHECK(a > 0.0);
+  CCS_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (std::isinf(x)) return 0.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+}  // namespace ccs::stats

@@ -1,0 +1,23 @@
+#ifndef CCS_STATS_GAMMA_H_
+#define CCS_STATS_GAMMA_H_
+
+namespace ccs::stats {
+
+// Natural log of the Gamma function for x > 0 (Lanczos approximation;
+// relative error below 1e-13 over the domain used here).
+double LogGamma(double x);
+
+// Regularized lower incomplete gamma function
+//   P(a, x) = gamma(a, x) / Gamma(a),  a > 0, x >= 0.
+// Computed by the series expansion for x < a + 1 and by the continued
+// fraction for the complement otherwise (Numerical Recipes gammp/gammq
+// scheme). Monotone non-decreasing in x, with P(a, 0) = 0 and
+// P(a, inf) = 1.
+double RegularizedGammaP(double a, double x);
+
+// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+}  // namespace ccs::stats
+
+#endif  // CCS_STATS_GAMMA_H_

@@ -1,0 +1,133 @@
+#include "txn/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ccs {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'C', 'S', 'B'};
+constexpr std::uint8_t kVersion = 1;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+void WriteVarint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+bool ReadVarint(std::istream& in, std::uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  while (true) {
+    const int byte = in.get();
+    if (byte == std::istream::traits_type::eof()) return false;
+    if (shift >= 63 && (byte & 0x7f) > 1) return false;  // overflow guard
+    *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+}
+
+}  // namespace
+
+bool WriteBasketsBinary(const TransactionDatabase& db, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  out.put(static_cast<char>(kVersion));
+  WriteVarint(out, db.num_items());
+  WriteVarint(out, db.num_transactions());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const Transaction& txn = db.transaction(t);
+    WriteVarint(out, txn.size());
+    ItemId previous = 0;
+    for (std::size_t i = 0; i < txn.size(); ++i) {
+      // First id absolute; then strictly increasing gaps, stored as
+      // (gap - 1) so consecutive ids cost one byte.
+      const std::uint64_t delta =
+          i == 0 ? txn[i] : static_cast<std::uint64_t>(txn[i]) - previous - 1;
+      WriteVarint(out, delta);
+      previous = txn[i];
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteBasketsBinaryToFile(const TransactionDatabase& db,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out && WriteBasketsBinary(db, out);
+}
+
+std::optional<TransactionDatabase> ReadBasketsBinary(std::istream& in,
+                                                     std::string* error) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, "bad magic (not a CCSB file)");
+    return std::nullopt;
+  }
+  const int version = in.get();
+  if (version != kVersion) {
+    SetError(error, "unsupported version " + std::to_string(version));
+    return std::nullopt;
+  }
+  std::uint64_t num_items = 0;
+  std::uint64_t num_transactions = 0;
+  if (!ReadVarint(in, &num_items) || !ReadVarint(in, &num_transactions) ||
+      num_items == 0) {
+    SetError(error, "truncated or invalid header");
+    return std::nullopt;
+  }
+  TransactionDatabase db(num_items);
+  for (std::uint64_t t = 0; t < num_transactions; ++t) {
+    std::uint64_t length = 0;
+    if (!ReadVarint(in, &length) || length > num_items) {
+      SetError(error, "bad transaction length at record " +
+                          std::to_string(t));
+      return std::nullopt;
+    }
+    Transaction txn;
+    txn.reserve(length);
+    std::uint64_t previous = 0;
+    for (std::uint64_t i = 0; i < length; ++i) {
+      std::uint64_t delta = 0;
+      if (!ReadVarint(in, &delta)) {
+        SetError(error, "truncated transaction at record " +
+                            std::to_string(t));
+        return std::nullopt;
+      }
+      const std::uint64_t id = i == 0 ? delta : previous + 1 + delta;
+      if (id >= num_items) {
+        SetError(error, "item id out of range at record " +
+                            std::to_string(t));
+        return std::nullopt;
+      }
+      txn.push_back(static_cast<ItemId>(id));
+      previous = id;
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+std::optional<TransactionDatabase> ReadBasketsBinaryFromFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadBasketsBinary(in, error);
+}
+
+}  // namespace ccs

@@ -1,0 +1,54 @@
+#include "txn/catalog.h"
+
+#include "util/check.h"
+
+namespace ccs {
+
+ItemId ItemCatalog::AddItem(double price, std::string_view type) {
+  return AddItem(price, type, std::string_view());
+}
+
+ItemId ItemCatalog::AddItem(double price, std::string_view type,
+                            std::string_view name) {
+  CCS_CHECK_GE(price, 0.0);
+  const auto id = static_cast<ItemId>(prices_.size());
+  prices_.push_back(price);
+  types_.push_back(InternType(type));
+  item_names_.emplace_back(name);
+  return id;
+}
+
+double ItemCatalog::price(ItemId item) const {
+  CCS_CHECK_LT(item, prices_.size());
+  return prices_[item];
+}
+
+TypeId ItemCatalog::type(ItemId item) const {
+  CCS_CHECK_LT(item, types_.size());
+  return types_[item];
+}
+
+const std::string& ItemCatalog::type_name(TypeId type) const {
+  CCS_CHECK_LT(type, type_names_.size());
+  return type_names_[type];
+}
+
+std::string ItemCatalog::item_name(ItemId item) const {
+  CCS_CHECK_LT(item, item_names_.size());
+  if (!item_names_[item].empty()) return item_names_[item];
+  return "item" + std::to_string(item);
+}
+
+TypeId ItemCatalog::FindType(std::string_view name) const {
+  const auto it = type_ids_.find(std::string(name));
+  return it == type_ids_.end() ? kInvalidType : it->second;
+}
+
+TypeId ItemCatalog::InternType(std::string_view name) {
+  const auto [it, inserted] =
+      type_ids_.try_emplace(std::string(name), type_names_.size());
+  if (inserted) type_names_.emplace_back(name);
+  return it->second;
+}
+
+}  // namespace ccs

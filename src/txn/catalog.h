@@ -1,0 +1,70 @@
+#ifndef CCS_TXN_CATALOG_H_
+#define CCS_TXN_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/item.h"
+
+namespace ccs {
+
+// Attribute catalog for the item universe: per-item price (the paper's
+// S.price, a non-negative value) and per-item type (the paper's S.type, a
+// category such as "soda" or "snacks", dictionary encoded).
+//
+// Constraints evaluate against this catalog; the transaction database only
+// stores item ids.
+class ItemCatalog {
+ public:
+  ItemCatalog() = default;
+
+  // Adds an item with the given price and type name, returning its id.
+  // Ids are assigned densely in insertion order. Price must be >= 0 (the
+  // paper's aggregation constraints assume a non-negative domain).
+  ItemId AddItem(double price, std::string_view type);
+
+  // Adds an item with an optional human-readable name (used by examples and
+  // debug output; empty means "item<id>").
+  ItemId AddItem(double price, std::string_view type, std::string_view name);
+
+  std::size_t num_items() const { return prices_.size(); }
+  std::size_t num_types() const { return type_names_.size(); }
+
+  double price(ItemId item) const;
+  TypeId type(ItemId item) const;
+  const std::string& type_name(TypeId type) const;
+
+  // Human-readable name of an item ("item<id>" if none was given).
+  std::string item_name(ItemId item) const;
+
+  // Returns the id of a type name, or kInvalidType if never seen.
+  TypeId FindType(std::string_view name) const;
+
+  // Interns a type name, creating a new id if necessary. Useful for
+  // constraints referencing types that no catalog item happens to have.
+  TypeId InternType(std::string_view name);
+
+  // All item ids whose price satisfies `price_pred` — a convenience for
+  // succinct-constraint witness precomputation and tests.
+  template <typename Pred>
+  std::vector<ItemId> ItemsWhere(Pred pred) const {
+    std::vector<ItemId> out;
+    for (ItemId i = 0; i < num_items(); ++i) {
+      if (pred(i)) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> prices_;
+  std::vector<TypeId> types_;
+  std::vector<std::string> item_names_;
+  std::vector<std::string> type_names_;
+  std::unordered_map<std::string, TypeId> type_ids_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_CATALOG_H_

@@ -1,0 +1,67 @@
+#include "txn/database.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccs {
+
+TransactionDatabase::TransactionDatabase(std::size_t num_items)
+    : num_items_(num_items) {
+  CCS_CHECK_GT(num_items, 0u);
+}
+
+void TransactionDatabase::Add(Transaction items) {
+  CCS_CHECK(!finalized_);
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (!items.empty()) {
+    CCS_CHECK_LT(items.back(), num_items_);
+  }
+  transactions_.push_back(std::move(items));
+}
+
+void TransactionDatabase::Finalize() {
+  CCS_CHECK(!finalized_);
+  tidsets_.assign(num_items_, DynamicBitset(transactions_.size()));
+  supports_.assign(num_items_, 0);
+  for (std::size_t t = 0; t < transactions_.size(); ++t) {
+    for (ItemId item : transactions_[t]) {
+      tidsets_[item].Set(t);
+      ++supports_[item];
+    }
+  }
+  finalized_ = true;
+}
+
+const Transaction& TransactionDatabase::transaction(std::size_t t) const {
+  CCS_CHECK_LT(t, transactions_.size());
+  return transactions_[t];
+}
+
+const DynamicBitset& TransactionDatabase::tidset(ItemId item) const {
+  CCS_CHECK(finalized_);
+  CCS_CHECK_LT(item, num_items_);
+  return tidsets_[item];
+}
+
+std::uint64_t TransactionDatabase::ItemSupport(ItemId item) const {
+  CCS_CHECK(finalized_);
+  CCS_CHECK_LT(item, num_items_);
+  return supports_[item];
+}
+
+bool TransactionDatabase::Contains(std::size_t t, ItemId item) const {
+  const Transaction& txn = transaction(t);
+  return std::binary_search(txn.begin(), txn.end(), item);
+}
+
+double TransactionDatabase::AverageTransactionSize() const {
+  if (transactions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& txn : transactions_) total += txn.size();
+  return static_cast<double>(total) /
+         static_cast<double>(transactions_.size());
+}
+
+}  // namespace ccs

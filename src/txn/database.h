@@ -1,0 +1,70 @@
+#ifndef CCS_TXN_DATABASE_H_
+#define CCS_TXN_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/item.h"
+#include "util/bitset.h"
+
+namespace ccs {
+
+// A transaction (basket): a duplicate-free, sorted list of item ids.
+using Transaction = std::vector<ItemId>;
+
+// In-memory basket database over a fixed item universe.
+//
+// Storage is dual:
+//  * horizontal — the raw transactions, for generators, I/O, and the scalar
+//    reference counting path;
+//  * vertical   — one DynamicBitset per item (its tid-set: bit t set iff
+//    transaction t contains the item), built once by Finalize() and used by
+//    the fast contingency-table builder.
+//
+// Usage: construct with the universe size, Add() transactions, Finalize(),
+// then mine. Adding after Finalize() is a contract violation.
+class TransactionDatabase {
+ public:
+  explicit TransactionDatabase(std::size_t num_items);
+
+  // Adds a basket. `items` may be unsorted and may contain duplicates;
+  // it is normalized. Every id must be < num_items().
+  void Add(Transaction items);
+
+  // Builds the vertical bitmap index. Must be called exactly once, after
+  // the last Add().
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_transactions() const { return transactions_.size(); }
+
+  const Transaction& transaction(std::size_t t) const;
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  // Tid-set of an item. Requires finalized().
+  const DynamicBitset& tidset(ItemId item) const;
+
+  // Number of transactions containing the item. Requires finalized().
+  std::uint64_t ItemSupport(ItemId item) const;
+
+  // True iff transaction t contains the item (binary search on the
+  // horizontal layout; works before Finalize()).
+  bool Contains(std::size_t t, ItemId item) const;
+
+  // Average basket size (0 for an empty database).
+  double AverageTransactionSize() const;
+
+ private:
+  std::size_t num_items_;
+  bool finalized_ = false;
+  std::vector<Transaction> transactions_;
+  std::vector<DynamicBitset> tidsets_;
+  std::vector<std::uint64_t> supports_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_DATABASE_H_

@@ -1,0 +1,150 @@
+#include "txn/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ccs {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Splits a CSV line on commas; no quoting support (the catalog format does
+// not produce quoted cells: names and types are restricted to simple
+// tokens by the generators, and the loader rejects embedded commas anyway).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+bool WriteBaskets(const TransactionDatabase& db, std::ostream& out) {
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const Transaction& txn = db.transaction(t);
+    for (std::size_t i = 0; i < txn.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << txn[i];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteBasketsToFile(const TransactionDatabase& db,
+                        const std::string& path) {
+  std::ofstream out(path);
+  return out && WriteBaskets(db, out);
+}
+
+std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
+                                               std::size_t num_items,
+                                               std::string* error) {
+  TransactionDatabase db(num_items);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Transaction txn;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      std::size_t consumed = 0;
+      unsigned long id = 0;
+      try {
+        id = std::stoul(token, &consumed);
+      } catch (...) {
+        consumed = 0;
+      }
+      if (consumed != token.size() || id >= num_items) {
+        SetError(error, "line " + std::to_string(line_no) +
+                            ": bad item id '" + token + "'");
+        return std::nullopt;
+      }
+      txn.push_back(static_cast<ItemId>(id));
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+std::optional<TransactionDatabase> ReadBasketsFromFile(const std::string& path,
+                                                       std::size_t num_items,
+                                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadBaskets(in, num_items, error);
+}
+
+bool WriteCatalog(const ItemCatalog& catalog, std::ostream& out) {
+  out << "item,price,type,name\n";
+  for (ItemId i = 0; i < catalog.num_items(); ++i) {
+    out << i << ',' << catalog.price(i) << ','
+        << catalog.type_name(catalog.type(i)) << ',' << catalog.item_name(i)
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteCatalogToFile(const ItemCatalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  return out && WriteCatalog(catalog, out);
+}
+
+std::optional<ItemCatalog> ReadCatalog(std::istream& in, std::string* error) {
+  ItemCatalog catalog;
+  std::string line;
+  if (!std::getline(in, line)) {
+    SetError(error, "empty catalog file");
+    return std::nullopt;
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = SplitCsvLine(line);
+    if (cells.size() < 3 || cells.size() > 4) {
+      SetError(error, "line " + std::to_string(line_no) +
+                          ": expected 3 or 4 cells");
+      return std::nullopt;
+    }
+    unsigned long id = 0;
+    double price = 0.0;
+    try {
+      id = std::stoul(cells[0]);
+      price = std::stod(cells[1]);
+    } catch (...) {
+      SetError(error, "line " + std::to_string(line_no) + ": bad number");
+      return std::nullopt;
+    }
+    if (id != catalog.num_items() || price < 0.0) {
+      SetError(error, "line " + std::to_string(line_no) +
+                          ": non-consecutive id or negative price");
+      return std::nullopt;
+    }
+    catalog.AddItem(price, cells[2], cells.size() == 4 ? cells[3] : "");
+  }
+  return catalog;
+}
+
+std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadCatalog(in, error);
+}
+
+}  // namespace ccs

@@ -1,0 +1,45 @@
+#ifndef CCS_TXN_IO_H_
+#define CCS_TXN_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "txn/catalog.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Plain-text serialization used by the examples:
+//
+// Basket files: one transaction per line, space-separated item ids.
+// Catalog files: CSV with header "item,price,type[,name]".
+//
+// Loaders return std::nullopt on malformed input or I/O failure and report
+// the first problem via `error` when non-null.
+
+// Writes "id id id\n" lines. Returns false on I/O failure.
+bool WriteBaskets(const TransactionDatabase& db, std::ostream& out);
+bool WriteBasketsToFile(const TransactionDatabase& db,
+                        const std::string& path);
+
+// Reads basket lines. `num_items` fixes the universe; any id >= num_items
+// is an error. The returned database is already finalized.
+std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
+                                               std::size_t num_items,
+                                               std::string* error = nullptr);
+std::optional<TransactionDatabase> ReadBasketsFromFile(
+    const std::string& path, std::size_t num_items,
+    std::string* error = nullptr);
+
+// Catalog CSV round-trip. Items must appear with consecutive ids from 0.
+bool WriteCatalog(const ItemCatalog& catalog, std::ostream& out);
+bool WriteCatalogToFile(const ItemCatalog& catalog, const std::string& path);
+std::optional<ItemCatalog> ReadCatalog(std::istream& in,
+                                       std::string* error = nullptr);
+std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,
+                                               std::string* error = nullptr);
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_IO_H_

@@ -1,0 +1,20 @@
+#ifndef CCS_TXN_ITEM_H_
+#define CCS_TXN_ITEM_H_
+
+#include <cstdint>
+
+namespace ccs {
+
+// Items are dense integer ids in [0, num_items) assigned by the catalog.
+using ItemId = std::uint32_t;
+
+// Type (category) attributes are dictionary-encoded; the catalog owns the
+// dictionary mapping TypeId <-> type name.
+using TypeId = std::uint32_t;
+
+inline constexpr ItemId kInvalidItem = static_cast<ItemId>(-1);
+inline constexpr TypeId kInvalidType = static_cast<TypeId>(-1);
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_ITEM_H_

@@ -1,0 +1,90 @@
+#include "txn/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ccs {
+
+std::size_t DatabaseProfile::NumFrequentItems(
+    std::uint64_t min_support) const {
+  // sorted_supports is descending: binary search for the boundary.
+  const auto it = std::lower_bound(
+      sorted_supports.begin(), sorted_supports.end(), min_support,
+      [](std::uint64_t support, std::uint64_t threshold) {
+        return support >= threshold;
+      });
+  return static_cast<std::size_t>(it - sorted_supports.begin());
+}
+
+std::uint64_t DatabaseProfile::SupportAtRank(std::size_t rank) const {
+  CCS_CHECK_LT(rank, sorted_supports.size());
+  return sorted_supports[rank];
+}
+
+double DatabaseProfile::SupportGini() const {
+  if (num_active_items == 0) return 0.0;
+  // Gini over the active (non-zero) tail of the descending list, computed
+  // with the rank formula over the ascending order.
+  double weighted = 0.0;
+  double total = 0.0;
+  const std::size_t n = num_active_items;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Ascending rank of the i-th descending entry is n - i.
+    const auto support =
+        static_cast<double>(sorted_supports[n - 1 - i]);
+    weighted += static_cast<double>(2 * (i + 1)) * support;
+    total += support;
+  }
+  if (total == 0.0) return 0.0;
+  return (weighted / (static_cast<double>(n) * total)) -
+         (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+}
+
+std::string DatabaseProfile::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu transactions over %zu items (%zu active)\n"
+      "basket size: avg %.2f, min %zu, max %zu\n"
+      "support curve: top %llu, median-active %llu, gini %.3f\n",
+      num_transactions, num_items, num_active_items, avg_transaction_size,
+      min_transaction_size, max_transaction_size,
+      static_cast<unsigned long long>(
+          sorted_supports.empty() ? 0 : sorted_supports.front()),
+      static_cast<unsigned long long>(
+          num_active_items == 0 ? 0
+                                : sorted_supports[num_active_items / 2]),
+      SupportGini());
+  return buf;
+}
+
+DatabaseProfile DatabaseProfile::Build(const TransactionDatabase& db) {
+  CCS_CHECK(db.finalized());
+  DatabaseProfile profile;
+  profile.num_transactions = db.num_transactions();
+  profile.num_items = db.num_items();
+  profile.avg_transaction_size = db.AverageTransactionSize();
+  profile.min_transaction_size = std::numeric_limits<std::size_t>::max();
+  profile.max_transaction_size = 0;
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const std::size_t size = db.transaction(t).size();
+    profile.min_transaction_size =
+        std::min(profile.min_transaction_size, size);
+    profile.max_transaction_size =
+        std::max(profile.max_transaction_size, size);
+  }
+  if (db.num_transactions() == 0) profile.min_transaction_size = 0;
+  profile.sorted_supports.reserve(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    profile.sorted_supports.push_back(db.ItemSupport(i));
+  }
+  std::sort(profile.sorted_supports.begin(), profile.sorted_supports.end(),
+            std::greater<>());
+  profile.num_active_items = profile.NumFrequentItems(1);
+  return profile;
+}
+
+}  // namespace ccs

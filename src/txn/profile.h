@@ -1,0 +1,47 @@
+#ifndef CCS_TXN_PROFILE_H_
+#define CCS_TXN_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txn/database.h"
+
+namespace ccs {
+
+// Descriptive statistics of a basket database — what an analyst looks at
+// before choosing (alpha, s, p%) for a mining run, and what the CLI's
+// --profile mode prints. Computed in one pass over the horizontal layout
+// plus the precomputed item supports.
+struct DatabaseProfile {
+  std::size_t num_transactions = 0;
+  std::size_t num_items = 0;      // universe size
+  std::size_t num_active_items = 0;  // items with support > 0
+  double avg_transaction_size = 0.0;
+  std::size_t min_transaction_size = 0;
+  std::size_t max_transaction_size = 0;
+  // Item supports sorted descending — the frequency curve.
+  std::vector<std::uint64_t> sorted_supports;
+
+  // Number of items whose support reaches `min_support` — the size of the
+  // mining universe a run with that threshold would see.
+  std::size_t NumFrequentItems(std::uint64_t min_support) const;
+
+  // Support of the item at popularity rank `rank` (0 = most popular).
+  std::uint64_t SupportAtRank(std::size_t rank) const;
+
+  // Gini coefficient of the support distribution over active items:
+  // 0 = all items equally popular, -> 1 = all mass on one item. The
+  // quick skewness read that separates Zipf-like data from uniform.
+  double SupportGini() const;
+
+  // Multi-line human-readable summary.
+  std::string ToString() const;
+
+  // Requires db.finalized().
+  static DatabaseProfile Build(const TransactionDatabase& db);
+};
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_PROFILE_H_

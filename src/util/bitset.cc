@@ -1,0 +1,101 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace ccs {
+
+void DynamicBitset::Resize(std::size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + kBitsPerWord - 1) / kBitsPerWord, 0);
+  ClearTrailingBits();
+}
+
+void DynamicBitset::SetAll() {
+  for (Word& w : words_) w = ~Word{0};
+  ClearTrailingBits();
+}
+
+void DynamicBitset::ResetAll() {
+  for (Word& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::None() const {
+  for (Word w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void DynamicBitset::AssignAnd(const DynamicBitset& a, const DynamicBitset& b) {
+  CCS_CHECK_EQ(a.num_bits_, b.num_bits_);
+  Resize(a.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+  }
+}
+
+void DynamicBitset::AssignAndNot(const DynamicBitset& a,
+                                 const DynamicBitset& b) {
+  CCS_CHECK_EQ(a.num_bits_, b.num_bits_);
+  Resize(a.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & ~b.words_[i];
+  }
+}
+
+void DynamicBitset::AssignComplement(const DynamicBitset& a) {
+  Resize(a.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = ~a.words_[i];
+  }
+  ClearTrailingBits();
+}
+
+void DynamicBitset::AndWith(const DynamicBitset& other) {
+  CCS_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+void DynamicBitset::OrWith(const DynamicBitset& other) {
+  CCS_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+std::size_t DynamicBitset::CountAnd(const DynamicBitset& a,
+                                    const DynamicBitset& b) {
+  CCS_CHECK_EQ(a.num_bits_, b.num_bits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return n;
+}
+
+std::size_t DynamicBitset::CountAndNot(const DynamicBitset& a,
+                                       const DynamicBitset& b) {
+  CCS_CHECK_EQ(a.num_bits_, b.num_bits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(a.words_[i] & ~b.words_[i]));
+  }
+  return n;
+}
+
+void DynamicBitset::ClearTrailingBits() {
+  const std::size_t used = num_bits_ % kBitsPerWord;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << used) - 1;
+  }
+}
+
+}  // namespace ccs

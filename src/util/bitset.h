@@ -1,0 +1,104 @@
+#ifndef CCS_UTIL_BITSET_H_
+#define CCS_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ccs {
+
+// A fixed-size dynamic bitset used as the vertical (tid-set) representation
+// of item columns: bit t is set iff transaction t contains the item.
+//
+// The hot operations for contingency-table construction are the bulk word
+// combinators AssignAnd / AssignAndNot and Count (popcount). All bulk
+// operations require operands of identical size.
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  DynamicBitset() = default;
+  // Creates a bitset with `num_bits` bits, all zero.
+  explicit DynamicBitset(std::size_t num_bits) { Resize(num_bits); }
+
+  DynamicBitset(const DynamicBitset&) = default;
+  DynamicBitset& operator=(const DynamicBitset&) = default;
+  DynamicBitset(DynamicBitset&&) = default;
+  DynamicBitset& operator=(DynamicBitset&&) = default;
+
+  // Resizes to `num_bits`; newly added bits are zero. Shrinking clears the
+  // now-out-of-range bits so Count() stays consistent.
+  void Resize(std::size_t num_bits);
+
+  std::size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Test(std::size_t pos) const {
+    CCS_DCHECK(pos < num_bits_);
+    return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1u;
+  }
+
+  void Set(std::size_t pos) {
+    CCS_DCHECK(pos < num_bits_);
+    words_[pos / kBitsPerWord] |= Word{1} << (pos % kBitsPerWord);
+  }
+
+  void Reset(std::size_t pos) {
+    CCS_DCHECK(pos < num_bits_);
+    words_[pos / kBitsPerWord] &= ~(Word{1} << (pos % kBitsPerWord));
+  }
+
+  void SetAll();
+  void ResetAll();
+
+  // Number of set bits.
+  std::size_t Count() const;
+
+  // True iff no bit is set.
+  bool None() const;
+
+  // this := a & b. Operands must have the same size as *this was resized to;
+  // *this is resized to match `a`.
+  void AssignAnd(const DynamicBitset& a, const DynamicBitset& b);
+
+  // this := a & ~b.
+  void AssignAndNot(const DynamicBitset& a, const DynamicBitset& b);
+
+  // this := ~a (within a's size; trailing bits stay zero).
+  void AssignComplement(const DynamicBitset& a);
+
+  // this &= other.
+  void AndWith(const DynamicBitset& other);
+
+  // this |= other.
+  void OrWith(const DynamicBitset& other);
+
+  // Popcount of (a & b) without materializing the intersection.
+  static std::size_t CountAnd(const DynamicBitset& a, const DynamicBitset& b);
+
+  // Popcount of (a & ~b).
+  static std::size_t CountAndNot(const DynamicBitset& a,
+                                 const DynamicBitset& b);
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  // Raw word access for tight loops (e.g. per-transaction mask extraction).
+  const std::vector<Word>& words() const { return words_; }
+  std::size_t num_words() const { return words_.size(); }
+
+ private:
+  // Zeroes bits past num_bits_ in the last word.
+  void ClearTrailingBits();
+
+  std::size_t num_bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_BITSET_H_

@@ -1,0 +1,49 @@
+#ifndef CCS_UTIL_CHECK_H_
+#define CCS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight CHECK macros in the spirit of absl/glog. The library does not
+// use exceptions (Google C++ style); contract violations abort with a
+// message that names the failing condition and source location.
+//
+// CCS_CHECK(cond)        - always evaluated.
+// CCS_CHECK_OP(a, op, b) - readable comparisons, e.g. CCS_CHECK_GE(n, 0).
+// CCS_DCHECK(cond)       - evaluated only in debug builds (NDEBUG off).
+
+namespace ccs::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CCS_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace ccs::internal
+
+#define CCS_CHECK(condition)                                        \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::ccs::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                               \
+  } while (false)
+
+#define CCS_CHECK_OP(a, op, b) CCS_CHECK((a)op(b))
+#define CCS_CHECK_EQ(a, b) CCS_CHECK_OP(a, ==, b)
+#define CCS_CHECK_NE(a, b) CCS_CHECK_OP(a, !=, b)
+#define CCS_CHECK_LT(a, b) CCS_CHECK_OP(a, <, b)
+#define CCS_CHECK_LE(a, b) CCS_CHECK_OP(a, <=, b)
+#define CCS_CHECK_GT(a, b) CCS_CHECK_OP(a, >, b)
+#define CCS_CHECK_GE(a, b) CCS_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define CCS_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define CCS_DCHECK(condition) CCS_CHECK(condition)
+#endif
+
+#endif  // CCS_UTIL_CHECK_H_

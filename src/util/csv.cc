@@ -1,0 +1,119 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CCS_CHECK(!header_.empty());
+}
+
+void CsvTable::BeginRow() {
+  CCS_CHECK(rows_.empty() || rows_.back().size() == header_.size());
+  rows_.emplace_back();
+}
+
+void CsvTable::AddCell(const std::string& value) {
+  CCS_CHECK(!rows_.empty());
+  CCS_CHECK_LT(rows_.back().size(), header_.size());
+  rows_.back().push_back(value);
+}
+
+void CsvTable::AddCell(std::int64_t value) {
+  AddCell(std::to_string(value));
+}
+
+void CsvTable::AddCell(std::uint64_t value) {
+  AddCell(std::to_string(value));
+}
+
+void CsvTable::AddCell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  AddCell(std::string(buf));
+}
+
+void CsvTable::AddRow(std::vector<std::string> cells) {
+  CCS_CHECK_EQ(cells.size(), header_.size());
+  CCS_CHECK(rows_.empty() || rows_.back().size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvTable::ToCsv() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteCell(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteCell(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CsvTable::ToAlignedText() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i > 0) rule += "  ";
+    rule.append(widths[i], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+bool CsvTable::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ccs

@@ -1,0 +1,49 @@
+#ifndef CCS_UTIL_CSV_H_
+#define CCS_UTIL_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccs {
+
+// Minimal CSV table builder used by the benchmark harness to dump the data
+// series behind each reproduced figure. Values are formatted on append; the
+// table can be rendered to a CSV string, written to a file, or printed as an
+// aligned text table for terminal output.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  // Starts a new row. Subsequent Add* calls append cells to it.
+  void BeginRow();
+  void AddCell(const std::string& value);
+  void AddCell(std::int64_t value);
+  void AddCell(std::uint64_t value);
+  // Doubles are formatted with up to `precision` significant decimals.
+  void AddCell(double value, int precision = 3);
+
+  // Convenience: appends a whole row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  std::string ToCsv() const;
+
+  // Fixed-width text rendering for terminal output.
+  std::string ToAlignedText() const;
+
+  // Writes ToCsv() to `path`. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_CSV_H_

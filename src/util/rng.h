@@ -1,0 +1,62 @@
+#ifndef CCS_UTIL_RNG_H_
+#define CCS_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace ccs {
+
+// Deterministic, seedable pseudo-random number generator
+// (xoshiro256**; seeded via splitmix64). All synthetic data generation in
+// ccsmine goes through this class so experiments are exactly reproducible
+// from a seed, independent of the platform's std::mt19937 stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound) using Lemire's rejection-free-in-expectation
+  // multiply-shift reduction. bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Poisson-distributed value with the given mean (> 0). Uses Knuth's
+  // method for small means and normal approximation beyond 30.
+  std::uint32_t NextPoisson(double mean);
+
+  // Standard normal deviate (Box-Muller, cached spare).
+  double NextGaussian();
+
+  // Normal deviate with given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  // Exponentially distributed deviate with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  std::uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_RNG_H_

@@ -1,0 +1,30 @@
+#ifndef CCS_UTIL_STOPWATCH_H_
+#define CCS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ccs {
+
+// Monotonic wall-clock stopwatch for the benchmark harness. The paper
+// reports CPU seconds; on the dedicated single-core benchmark machine
+// wall-clock of a CPU-bound single-threaded run is the same quantity.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_STOPWATCH_H_

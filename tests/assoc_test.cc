@@ -1,0 +1,295 @@
+// Tests for the association substrate: Apriori, the CAP-style constrained
+// variant, and rule generation.
+
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "assoc/constrained_apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fpgrowth.h"
+#include "assoc/rules.h"
+#include "constraints/agg_constraint.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+// The classic textbook database.
+TransactionDatabase TinyDb() {
+  TransactionDatabase db(5);
+  db.Add({0, 1, 4});     // bread milk beer
+  db.Add({0, 3});        // bread diapers
+  db.Add({0, 1, 3, 4});
+  db.Add({1, 3, 4});
+  db.Add({0, 1, 3});
+  db.Finalize();
+  return db;
+}
+
+TEST(Apriori, HandComputedSupports) {
+  const TransactionDatabase db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 3;
+  const AprioriResult result = MineApriori(db, options);
+  EXPECT_EQ(result.SupportOf(Itemset{0}), 4u);
+  EXPECT_EQ(result.SupportOf(Itemset{1}), 4u);
+  EXPECT_EQ(result.SupportOf(Itemset{3}), 4u);
+  EXPECT_EQ(result.SupportOf(Itemset{4}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{2}), 0u);  // infrequent (support 0)
+  EXPECT_EQ(result.SupportOf(Itemset{0, 1}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{1, 4}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{1, 3}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{0, 4}), 0u);  // support 2 < 3
+  EXPECT_EQ(result.SupportOf(Itemset{0, 1, 4}), 0u);
+}
+
+TEST(Apriori, AllSubsetsOfFrequentSetsAreFrequent) {
+  const TransactionDatabase db = testutil::SmallRandomDb(5);
+  AprioriOptions options;
+  options.min_support = 30;
+  const AprioriResult result = MineApriori(db, options);
+  ASSERT_FALSE(result.frequent.empty());
+  for (const FrequentItemset& f : result.frequent) {
+    EXPECT_GE(f.support, options.min_support);
+    for (std::size_t i = 0; i < f.items.size(); ++i) {
+      const Itemset subset = f.items.WithoutIndex(i);
+      if (subset.empty()) continue;
+      EXPECT_GT(result.SupportOf(subset), 0u)
+          << subset.ToString() << " missing under " << f.items.ToString();
+      EXPECT_GE(result.SupportOf(subset), f.support);
+    }
+  }
+}
+
+TEST(Apriori, SupportsMatchBruteForce) {
+  const TransactionDatabase db = testutil::SmallRandomDb(8);
+  AprioriOptions options;
+  options.min_support = 40;
+  const AprioriResult result = MineApriori(db, options);
+  for (const FrequentItemset& f : result.frequent) {
+    std::uint64_t count = 0;
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+      bool all = true;
+      for (ItemId i : f.items) all = all && db.Contains(t, i);
+      count += all ? 1 : 0;
+    }
+    EXPECT_EQ(f.support, count) << f.items.ToString();
+  }
+}
+
+TEST(Apriori, RespectsMaxSetSize) {
+  const TransactionDatabase db = testutil::SmallRandomDb(5);
+  AprioriOptions options;
+  options.min_support = 20;
+  options.max_set_size = 2;
+  const AprioriResult result = MineApriori(db, options);
+  for (const FrequentItemset& f : result.frequent) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+}
+
+// The three frequent-set engines must produce identical output across
+// random databases and thresholds.
+struct EngineCase {
+  const char* name;
+  AprioriResult (*mine)(const TransactionDatabase&, const AprioriOptions&);
+};
+
+class FrequentEngineTest
+    : public testing::TestWithParam<std::tuple<EngineCase, std::uint64_t>> {
+};
+
+TEST_P(FrequentEngineTest, MatchesApriori) {
+  const auto& [engine, seed] = GetParam();
+  const TransactionDatabase db = testutil::SmallRandomDb(seed, 12, 400);
+  for (std::uint64_t min_support : {20u, 40u, 80u}) {
+    AprioriOptions options;
+    options.min_support = min_support;
+    options.max_set_size = 5;
+    const AprioriResult expected = MineApriori(db, options);
+    const AprioriResult actual = engine.mine(db, options);
+    EXPECT_EQ(actual.frequent, expected.frequent)
+        << engine.name << " support " << min_support;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, FrequentEngineTest,
+    testing::Combine(testing::Values(EngineCase{"Eclat", &MineEclat},
+                                     EngineCase{"FpGrowth", &MineFpGrowth}),
+                     testing::Values(1u, 2u, 3u, 7u, 11u)),
+    [](const testing::TestParamInfo<std::tuple<EngineCase, std::uint64_t>>&
+           info) {
+      return std::string(std::get<0>(info.param).name) + "_Seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Eclat, HandComputedSupports) {
+  const TransactionDatabase db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 3;
+  const AprioriResult result = MineEclat(db, options);
+  EXPECT_EQ(result.SupportOf(Itemset{0, 1}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{1, 4}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{0, 4}), 0u);
+}
+
+TEST(FpGrowth, HandComputedSupports) {
+  const TransactionDatabase db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 3;
+  const AprioriResult result = MineFpGrowth(db, options);
+  EXPECT_EQ(result.SupportOf(Itemset{0}), 4u);
+  EXPECT_EQ(result.SupportOf(Itemset{0, 1}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{1, 3}), 3u);
+  EXPECT_EQ(result.SupportOf(Itemset{0, 1, 4}), 0u);
+}
+
+TEST(FpGrowth, RespectsMaxSetSize) {
+  const TransactionDatabase db = testutil::SmallRandomDb(5);
+  AprioriOptions options;
+  options.min_support = 20;
+  options.max_set_size = 2;
+  for (const auto& f : MineFpGrowth(db, options).frequent) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+  for (const auto& f : MineEclat(db, options).frequent) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+}
+
+TEST(ConstrainedApriori, EqualsPostFilteredApriori) {
+  const TransactionDatabase db = testutil::SmallRandomDb(9);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  AprioriOptions options;
+  options.min_support = 25;
+  const AprioriResult plain = MineApriori(db, options);
+  for (const auto& c : testutil::PaperConstraintCases()) {
+    const ConstraintSet constraints = c.make();
+    const AprioriResult constrained =
+        MineConstrainedApriori(db, catalog, constraints, options);
+    std::vector<FrequentItemset> expected;
+    for (const FrequentItemset& f : plain.frequent) {
+      if (constraints.TestAll(f.items.span(), catalog)) {
+        expected.push_back(f);
+      }
+    }
+    EXPECT_EQ(constrained.frequent, expected) << c.name;
+  }
+}
+
+TEST(ConstrainedApriori, AntiMonotonePruningSavesCounting) {
+  const TransactionDatabase db = testutil::SmallRandomDb(9);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  AprioriOptions options;
+  options.min_support = 25;
+  const AprioriResult plain = MineApriori(db, options);
+  ConstraintSet am;
+  am.Add(MaxLe(5.0));  // succinct: shrinks the universe
+  const AprioriResult pruned =
+      MineConstrainedApriori(db, catalog, am, options);
+  EXPECT_LT(pruned.stats.TotalTablesBuilt(), plain.stats.TotalTablesBuilt());
+  ConstraintSet mono;
+  mono.Add(SumGe(8.0));  // monotone: cannot prune the frontier
+  const AprioriResult unpruned =
+      MineConstrainedApriori(db, catalog, mono, options);
+  EXPECT_EQ(unpruned.stats.TotalTablesBuilt(),
+            plain.stats.TotalTablesBuilt());
+}
+
+TEST(Rules, HandComputedConfidence) {
+  const TransactionDatabase db = TinyDb();
+  AprioriOptions apriori_options;
+  apriori_options.min_support = 3;
+  const AprioriResult mined = MineApriori(db, apriori_options);
+  RuleOptions options;
+  options.min_confidence = 0.7;
+  options.num_transactions = db.num_transactions();
+  const auto rules = GenerateRules(mined, options);
+  // {4} => {1}: supp({1,4}) = 3, supp({4}) = 3 -> confidence 1.0,
+  // lift = 1.0 / (4/5) = 1.25.
+  bool found = false;
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.7);
+    EXPECT_LE(rule.confidence, 1.0 + 1e-12);
+    if (rule.antecedent == Itemset{4} && rule.consequent == Itemset{1}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_NEAR(rule.lift, 1.25, 1e-12);
+      EXPECT_EQ(rule.support, 3u);
+    }
+    // No rule may pair overlapping sides.
+    for (ItemId i : rule.antecedent) {
+      EXPECT_FALSE(rule.consequent.Contains(i));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Rules, ConfidenceThresholdFilters) {
+  const TransactionDatabase db = TinyDb();
+  AprioriOptions apriori_options;
+  apriori_options.min_support = 3;
+  const AprioriResult mined = MineApriori(db, apriori_options);
+  RuleOptions loose;
+  loose.min_confidence = 0.0;
+  RuleOptions tight;
+  tight.min_confidence = 0.9;
+  EXPECT_GT(GenerateRules(mined, loose).size(),
+            GenerateRules(mined, tight).size());
+}
+
+TEST(Rules, PartialGenerationSkipsMissingAntecedents) {
+  // Craft a result whose subset information is incomplete.
+  AprioriResult mined;
+  mined.frequent.push_back({Itemset{1}, 10});
+  mined.frequent.push_back({Itemset{1, 2}, 6});  // {2} missing
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.num_transactions = 20;
+  const auto rules = GenerateRulesPartial(mined, options);
+  // Only {1} => {2} is computable; lift needs supp({2}) and stays 0.
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, Itemset{1});
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 0.6);
+  EXPECT_DOUBLE_EQ(rules[0].lift, 0.0);
+  // The strict generator refuses the same input.
+  EXPECT_DEATH(GenerateRules(mined, options), "CCS_CHECK");
+}
+
+TEST(Rules, ToStringFormat) {
+  AssociationRule rule;
+  rule.antecedent = Itemset{1};
+  rule.consequent = Itemset{2, 3};
+  rule.support = 12;
+  rule.confidence = 0.75;
+  rule.lift = 1.5;
+  EXPECT_EQ(rule.ToString(),
+            "{1} => {2, 3}  (support 12, confidence 0.75, lift 1.50)");
+}
+
+TEST(Rules, LiftNearOneForIndependentItems) {
+  // Independent planted items: lift of their cross rules ~ 1 — the bridge
+  // to the correlation view (chi-squared would reject them too).
+  Rng rng(4);
+  TransactionDatabase db(2);
+  for (int t = 0; t < 4000; ++t) {
+    Transaction txn;
+    if (rng.NextBernoulli(0.5)) txn.push_back(0);
+    if (rng.NextBernoulli(0.5)) txn.push_back(1);
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  AprioriOptions apriori_options;
+  apriori_options.min_support = 500;
+  const AprioriResult mined = MineApriori(db, apriori_options);
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.num_transactions = db.num_transactions();
+  for (const auto& rule : GenerateRules(mined, options)) {
+    EXPECT_NEAR(rule.lift, 1.0, 0.1) << rule.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ccs

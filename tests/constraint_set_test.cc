@@ -1,0 +1,177 @@
+// Tests for ConstraintSet: bucket splitting, pushing policy, item filters.
+
+#include "constraints/constraint_set.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/set_constraint.h"
+
+namespace ccs {
+namespace {
+
+using Items = std::vector<ItemId>;
+
+ItemCatalog TestCatalog() {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c"};
+  for (int i = 0; i < 12; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 3]);
+  }
+  return catalog;
+}
+
+TEST(ConstraintSet, EmptyConjunctionIsTrue) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.TestAll(Items{}, catalog));
+  EXPECT_TRUE(set.AllAntiMonotone());
+  EXPECT_FALSE(set.has_pushed_witness());
+  EXPECT_FALSE(set.has_necessary_witness());
+  EXPECT_EQ(set.ToString(), "true");
+  const std::vector<ItemId> s = {0, 5};
+  EXPECT_TRUE(set.TestAntiMonotone(s, catalog));
+  EXPECT_TRUE(set.TestMonotone(s, catalog));
+}
+
+TEST(ConstraintSet, BucketsRouteTests) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(MaxLe(6.0));   // anti-monotone succinct
+  set.Add(SumLe(15.0));  // anti-monotone non-succinct
+  set.Add(MinLe(3.0));   // monotone succinct (pushed)
+  set.Add(SumGe(5.0));   // monotone non-succinct
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.has_anti_monotone());
+  EXPECT_TRUE(set.has_monotone());
+  EXPECT_FALSE(set.has_unclassified());
+  EXPECT_FALSE(set.AllAntiMonotone());
+
+  const std::vector<ItemId> s = {0, 4};  // prices 1, 5
+  EXPECT_TRUE(set.TestAll(s, catalog));
+  // {5} alone (price 6): fails MinLe(3) but satisfies both anti-monotone.
+  const std::vector<ItemId> six = {5};
+  EXPECT_TRUE(set.TestAntiMonotone(six, catalog));
+  EXPECT_TRUE(set.TestAntiMonotoneNonSuccinct(six, catalog));
+  EXPECT_FALSE(set.TestMonotone(six, catalog));
+  EXPECT_FALSE(set.TestAll(six, catalog));
+  // {9} (price 10): fails MaxLe(6) (succinct bucket) but the non-succinct
+  // anti-monotone test alone passes.
+  const std::vector<ItemId> ten = {9};
+  EXPECT_TRUE(set.TestAntiMonotoneNonSuccinct(ten, catalog));
+  EXPECT_FALSE(set.TestAntiMonotone(ten, catalog));
+}
+
+TEST(ConstraintSet, Good1Filter) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(MaxLe(6.0));
+  set.Add(SumLe(4.0));
+  // Singleton passes both anti-monotone constraints iff price <= 4.
+  EXPECT_TRUE(set.SingletonSatisfiesAntiMonotone(0, catalog));
+  EXPECT_TRUE(set.SingletonSatisfiesAntiMonotone(3, catalog));
+  EXPECT_FALSE(set.SingletonSatisfiesAntiMonotone(4, catalog));
+  EXPECT_FALSE(set.SingletonSatisfiesAntiMonotone(9, catalog));
+}
+
+TEST(ConstraintSet, PushesFirstSingleWitnessConstraint) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(SumGe(5.0));   // monotone, not succinct: not pushable
+  set.Add(MinLe(3.0));   // pushed
+  set.Add(MaxGe(9.0));   // also single-witness, but one is already pushed
+  EXPECT_TRUE(set.has_pushed_witness());
+  EXPECT_EQ(set.pushed_constraint_index(), 1);
+  EXPECT_TRUE(set.IsWitnessItem(0, catalog));    // price 1 <= 3
+  EXPECT_TRUE(set.IsWitnessItem(2, catalog));    // price 3 <= 3
+  EXPECT_FALSE(set.IsWitnessItem(3, catalog));   // price 4
+  EXPECT_TRUE(set.IsNecessaryWitnessItem(2, catalog));
+}
+
+TEST(ConstraintSet, MultiWitnessNotPushedButNecessaryFilterAvailable) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(std::make_unique<TypeContainsConstraint>(
+      std::vector<std::string>{"a", "b"}));
+  // Needs two witnesses: BMS++ must not treat it as pushed (footnote 5)...
+  EXPECT_FALSE(set.has_pushed_witness());
+  EXPECT_FALSE(set.IsWitnessItem(0, catalog));
+  // ...but BMS** may use its first class as a necessary condition
+  // (footnote 7): type "a" items.
+  EXPECT_TRUE(set.has_necessary_witness());
+  EXPECT_TRUE(set.IsNecessaryWitnessItem(0, catalog));    // type a
+  EXPECT_FALSE(set.IsNecessaryWitnessItem(1, catalog));   // type b
+}
+
+TEST(ConstraintSet, SingleWitnessArrivingLaterGetsPushed) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(std::make_unique<TypeContainsConstraint>(
+      std::vector<std::string>{"a", "b"}));
+  set.Add(MinLe(3.0));
+  EXPECT_TRUE(set.has_pushed_witness());
+  EXPECT_EQ(set.pushed_constraint_index(), 1);
+  // The necessary filter was claimed by the multi-witness constraint first;
+  // it remains a valid necessary condition.
+  EXPECT_TRUE(set.has_necessary_witness());
+}
+
+TEST(ConstraintSet, DeferredMonotoneIncludesPushed) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(MinLe(3.0));  // pushed
+  // Even the pushed constraint is re-checked by the deferred bucket, so a
+  // set without witnesses fails it.
+  const std::vector<ItemId> no_witness = {5, 7};
+  EXPECT_FALSE(set.TestMonotoneDeferred(no_witness, catalog));
+  const std::vector<ItemId> with_witness = {1, 7};
+  EXPECT_TRUE(set.TestMonotoneDeferred(with_witness, catalog));
+}
+
+TEST(ConstraintSet, UnclassifiedBucket) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.Add(AvgLe(4.0));
+  EXPECT_TRUE(set.has_unclassified());
+  EXPECT_FALSE(set.AllAntiMonotone());
+  const std::vector<ItemId> cheap = {0, 1};   // avg 1.5
+  const std::vector<ItemId> pricey = {9, 10};  // avg 10.5
+  EXPECT_TRUE(set.TestUnclassified(cheap, catalog));
+  EXPECT_FALSE(set.TestUnclassified(pricey, catalog));
+  // Unclassified constraints are in no monotone/anti-monotone bucket.
+  EXPECT_TRUE(set.TestAntiMonotone(pricey, catalog));
+  EXPECT_TRUE(set.TestMonotone(pricey, catalog));
+  EXPECT_FALSE(set.TestAll(pricey, catalog));
+}
+
+TEST(ConstraintSet, AllAntiMonotoneDetection) {
+  ConstraintSet set;
+  set.Add(MaxLe(5.0));
+  set.Add(SumLe(10.0));
+  EXPECT_TRUE(set.AllAntiMonotone());
+  set.Add(std::make_unique<ConstConstraint>(true));  // kBoth still counts
+  EXPECT_TRUE(set.AllAntiMonotone());
+  set.Add(MinLe(2.0));
+  EXPECT_FALSE(set.AllAntiMonotone());
+}
+
+TEST(ConstraintSet, ToStringJoinsWithAmpersand) {
+  ConstraintSet set;
+  set.Add(MaxLe(5.0));
+  set.Add(SumGe(10.0));
+  EXPECT_EQ(set.ToString(), "max(S.price) <= 5 & sum(S.price) >= 10");
+}
+
+TEST(ConstraintSet, AddAllConsumesVector) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstraintSet set;
+  set.AddAll(MakeEqualityConstraint(Agg::kCount, 2.0));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.TestAll(Items{3, 7}, catalog));
+  EXPECT_FALSE(set.TestAll(Items{3}, catalog));
+  EXPECT_FALSE(set.TestAll(Items{3, 7, 9}, catalog));
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,335 @@
+// Tests for individual constraints: semantics, Lemma 1 classification, and
+// property-based monotonicity checks over random itemsets.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/constraint.h"
+#include "constraints/set_constraint.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+using Items = std::vector<ItemId>;
+
+// Catalog with 12 items: price(i) = i + 1, types cycling a/b/c.
+ItemCatalog TestCatalog() {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c"};
+  for (int i = 0; i < 12; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 3]);
+  }
+  return catalog;
+}
+
+std::vector<ItemId> RandomSet(Rng& rng, std::size_t universe) {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < universe; ++i) {
+    if (rng.NextBernoulli(0.4)) out.push_back(i);
+  }
+  return out;
+}
+
+// --- Semantics of each constraint type ---
+
+TEST(AggConstraint, MinMaxSumCountSemantics) {
+  const ItemCatalog catalog = TestCatalog();
+  const std::vector<ItemId> s = {1, 4, 9};  // prices 2, 5, 10
+  EXPECT_TRUE(MinLe(2.0)->Test(s, catalog));
+  EXPECT_FALSE(MinLe(1.9)->Test(s, catalog));
+  EXPECT_TRUE(MinGe(2.0)->Test(s, catalog));
+  EXPECT_FALSE(MinGe(2.1)->Test(s, catalog));
+  EXPECT_TRUE(MaxLe(10.0)->Test(s, catalog));
+  EXPECT_FALSE(MaxLe(9.9)->Test(s, catalog));
+  EXPECT_TRUE(MaxGe(10.0)->Test(s, catalog));
+  EXPECT_FALSE(MaxGe(10.1)->Test(s, catalog));
+  EXPECT_TRUE(SumLe(17.0)->Test(s, catalog));
+  EXPECT_FALSE(SumLe(16.9)->Test(s, catalog));
+  EXPECT_TRUE(SumGe(17.0)->Test(s, catalog));
+  EXPECT_FALSE(SumGe(17.1)->Test(s, catalog));
+  EXPECT_TRUE(CountLe(3.0)->Test(s, catalog));
+  EXPECT_FALSE(CountLe(2.0)->Test(s, catalog));
+  EXPECT_TRUE(CountGe(3.0)->Test(s, catalog));
+  EXPECT_FALSE(CountGe(4.0)->Test(s, catalog));
+  EXPECT_TRUE(AvgLe(17.0 / 3.0)->Test(s, catalog));
+  EXPECT_FALSE(AvgLe(5.0)->Test(s, catalog));
+  EXPECT_TRUE(AvgGe(5.0)->Test(s, catalog));
+  EXPECT_FALSE(AvgGe(6.0)->Test(s, catalog));
+}
+
+TEST(AggConstraint, EmptySetConventions) {
+  const ItemCatalog catalog = TestCatalog();
+  const std::vector<ItemId> empty;
+  EXPECT_TRUE(SumLe(0.0)->Test(empty, catalog));   // sum = 0
+  EXPECT_TRUE(SumGe(0.0)->Test(empty, catalog));
+  EXPECT_FALSE(SumGe(1.0)->Test(empty, catalog));
+  EXPECT_TRUE(CountLe(0.0)->Test(empty, catalog));
+  EXPECT_TRUE(MinGe(1e9)->Test(empty, catalog));   // min = +inf
+  EXPECT_FALSE(MinLe(1e9)->Test(empty, catalog));
+  EXPECT_TRUE(MaxLe(0.0)->Test(empty, catalog));   // max = -inf
+  EXPECT_FALSE(MaxGe(0.0)->Test(empty, catalog));
+  EXPECT_FALSE(AvgLe(5.0)->Test(empty, catalog));  // avg undefined
+}
+
+TEST(AggConstraint, Lemma1Classification) {
+  EXPECT_EQ(MaxLe(5)->monotonicity(), Monotonicity::kAntiMonotone);
+  EXPECT_EQ(MaxGe(5)->monotonicity(), Monotonicity::kMonotone);
+  EXPECT_EQ(MinGe(5)->monotonicity(), Monotonicity::kAntiMonotone);
+  EXPECT_EQ(MinLe(5)->monotonicity(), Monotonicity::kMonotone);
+  EXPECT_EQ(SumLe(5)->monotonicity(), Monotonicity::kAntiMonotone);
+  EXPECT_EQ(SumGe(5)->monotonicity(), Monotonicity::kMonotone);
+  EXPECT_EQ(CountLe(5)->monotonicity(), Monotonicity::kAntiMonotone);
+  EXPECT_EQ(CountGe(5)->monotonicity(), Monotonicity::kMonotone);
+  EXPECT_EQ(AvgLe(5)->monotonicity(), Monotonicity::kNeither);
+  EXPECT_EQ(AvgGe(5)->monotonicity(), Monotonicity::kNeither);
+
+  EXPECT_TRUE(MaxLe(5)->is_succinct());
+  EXPECT_TRUE(MaxGe(5)->is_succinct());
+  EXPECT_TRUE(MinGe(5)->is_succinct());
+  EXPECT_TRUE(MinLe(5)->is_succinct());
+  EXPECT_FALSE(SumLe(5)->is_succinct());
+  EXPECT_FALSE(SumGe(5)->is_succinct());
+  EXPECT_FALSE(CountLe(5)->is_succinct());
+  EXPECT_FALSE(CountGe(5)->is_succinct());
+  EXPECT_FALSE(AvgLe(5)->is_succinct());
+}
+
+TEST(AggConstraint, SingleWitnessForms) {
+  EXPECT_TRUE(MinLe(5)->has_single_witness_form());
+  EXPECT_TRUE(MaxGe(5)->has_single_witness_form());
+  EXPECT_FALSE(MaxLe(5)->has_single_witness_form());
+  EXPECT_FALSE(SumGe(5)->has_single_witness_form());
+}
+
+TEST(AggConstraint, ToStringRendersPaperSyntax) {
+  EXPECT_EQ(MaxLe(50)->ToString(), "max(S.price) <= 50");
+  EXPECT_EQ(SumGe(100)->ToString(), "sum(S.price) >= 100");
+  EXPECT_EQ(CountLe(3)->ToString(), "count(S) <= 3");
+}
+
+TEST(AggConstraint, EqualityRewrite) {
+  const ItemCatalog catalog = TestCatalog();
+  auto pair = MakeEqualityConstraint(Agg::kSum, 17.0);
+  ASSERT_EQ(pair.size(), 2u);
+  // One conjunct anti-monotone, the other monotone (Section 2.2).
+  EXPECT_NE(pair[0]->monotonicity(), pair[1]->monotonicity());
+  const std::vector<ItemId> hit = {1, 4, 9};   // sum 17
+  const std::vector<ItemId> miss = {1, 4};     // sum 7
+  EXPECT_TRUE(pair[0]->Test(hit, catalog) && pair[1]->Test(hit, catalog));
+  EXPECT_FALSE(pair[0]->Test(miss, catalog) && pair[1]->Test(miss, catalog));
+}
+
+TEST(TypeConstraints, Semantics) {
+  const ItemCatalog catalog = TestCatalog();
+  // items 0,3,6,9 type a; 1,4,7,10 type b; 2,5,8,11 type c.
+  const std::vector<ItemId> ab = {0, 1};
+  const std::vector<ItemId> aa = {0, 3};
+  TypeContainsConstraint contains_ab({"a", "b"});
+  EXPECT_TRUE(contains_ab.Test(ab, catalog));
+  EXPECT_FALSE(contains_ab.Test(aa, catalog));
+  TypeSubsetConstraint subset_ab({"a", "b"});
+  EXPECT_TRUE(subset_ab.Test(ab, catalog));
+  EXPECT_FALSE(subset_ab.Test(Items{2}, catalog));
+  TypeDisjointConstraint no_c({"c"});
+  EXPECT_TRUE(no_c.Test(ab, catalog));
+  EXPECT_FALSE(no_c.Test(Items{0, 2}, catalog));
+  TypeIntersectsConstraint some_c({"c"});
+  EXPECT_FALSE(some_c.Test(ab, catalog));
+  EXPECT_TRUE(some_c.Test(Items{0, 2}, catalog));
+  TypeCountConstraint one_type(Cmp::kLe, 1);
+  EXPECT_TRUE(one_type.Test(aa, catalog));
+  EXPECT_FALSE(one_type.Test(ab, catalog));
+  TypeCountConstraint two_types(Cmp::kGe, 2);
+  EXPECT_FALSE(two_types.Test(aa, catalog));
+  EXPECT_TRUE(two_types.Test(ab, catalog));
+}
+
+TEST(TypeConstraints, UnknownTypeNames) {
+  const ItemCatalog catalog = TestCatalog();
+  // A type no item has: contains is unsatisfiable, disjoint is vacuous.
+  TypeContainsConstraint contains({"zzz"});
+  EXPECT_FALSE(contains.Test(Items{0, 1, 2}, catalog));
+  TypeDisjointConstraint disjoint({"zzz"});
+  EXPECT_TRUE(disjoint.Test(Items{0, 1, 2}, catalog));
+}
+
+TEST(TypeConstraints, WitnessForms) {
+  TypeContainsConstraint single({"a"});
+  EXPECT_TRUE(single.has_single_witness_form());
+  TypeContainsConstraint multi({"a", "b"});
+  EXPECT_FALSE(multi.has_single_witness_form());
+  TypeIntersectsConstraint intersects({"a", "b"});
+  EXPECT_TRUE(intersects.has_single_witness_form());
+
+  const ItemCatalog catalog = TestCatalog();
+  // Necessary witness class of the multi-type constraint is its first
+  // (lexicographically smallest) type.
+  EXPECT_TRUE(multi.IsNecessaryWitness(0, catalog));    // type a
+  EXPECT_FALSE(multi.IsNecessaryWitness(1, catalog));   // type b
+}
+
+TEST(ItemConstraints, Semantics) {
+  const ItemCatalog catalog = TestCatalog();
+  ContainsItemsConstraint needs({3, 5});
+  EXPECT_TRUE(needs.Test(Items{1, 3, 5}, catalog));
+  EXPECT_FALSE(needs.Test(Items{3, 6}, catalog));
+  EXPECT_FALSE(needs.has_single_witness_form());
+  ContainsItemsConstraint needs_one({7});
+  EXPECT_TRUE(needs_one.has_single_witness_form());
+  EXPECT_TRUE(needs_one.IsNecessaryWitness(7, catalog));
+  EXPECT_FALSE(needs_one.IsNecessaryWitness(6, catalog));
+  ExcludesItemsConstraint avoid({2, 4});
+  EXPECT_TRUE(avoid.Test(Items{0, 1, 3}, catalog));
+  EXPECT_FALSE(avoid.Test(Items{1, 2}, catalog));
+}
+
+TEST(ConstConstraint, Behaviour) {
+  const ItemCatalog catalog = TestCatalog();
+  ConstConstraint yes(true);
+  ConstConstraint no(false);
+  EXPECT_TRUE(yes.Test(Items{0, 1}, catalog));
+  EXPECT_FALSE(no.Test(Items{0, 1}, catalog));
+  EXPECT_EQ(yes.monotonicity(), Monotonicity::kBoth);
+  EXPECT_TRUE(yes.is_succinct());
+  EXPECT_EQ(yes.ToString(), "true");
+  EXPECT_EQ(no.ToString(), "false");
+}
+
+// --- Property tests: every constraint's claimed closure property must hold
+// on random sets, and succinct structure must match Test(). ---
+
+struct ConstraintFactory {
+  const char* name;
+  std::function<ConstraintPtr()> make;
+};
+
+class ConstraintPropertyTest
+    : public testing::TestWithParam<ConstraintFactory> {};
+
+TEST_P(ConstraintPropertyTest, ClosurePropertyHolds) {
+  const ItemCatalog catalog = TestCatalog();
+  const ConstraintPtr constraint = GetParam().make();
+  Rng rng(2024);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<ItemId> base = RandomSet(rng, catalog.num_items());
+    if (base.empty()) continue;
+    // A random subset of `base`.
+    std::vector<ItemId> subset;
+    for (ItemId i : base) {
+      if (rng.NextBernoulli(0.5)) subset.push_back(i);
+    }
+    const bool base_ok = constraint->Test(base, catalog);
+    const bool subset_ok = constraint->Test(subset, catalog);
+    if (IsAntiMonotone(constraint->monotonicity()) && base_ok) {
+      EXPECT_TRUE(subset_ok) << GetParam().name;
+    }
+    if (IsMonotone(constraint->monotonicity()) && subset_ok &&
+        !subset.empty()) {
+      EXPECT_TRUE(base_ok) << GetParam().name;
+    }
+  }
+}
+
+TEST_P(ConstraintPropertyTest, SuccinctItemwiseFormMatchesTest) {
+  const ItemCatalog catalog = TestCatalog();
+  const ConstraintPtr constraint = GetParam().make();
+  if (!constraint->is_succinct()) return;
+  Rng rng(77);
+  for (int round = 0; round < 300; ++round) {
+    const std::vector<ItemId> s = RandomSet(rng, catalog.num_items());
+    if (s.empty()) continue;
+    if (constraint->monotonicity() == Monotonicity::kAntiMonotone) {
+      // Anti-monotone succinct: satisfied iff every item allowed.
+      bool all_allowed = true;
+      for (ItemId i : s) all_allowed &= constraint->ItemAllowed(i, catalog);
+      EXPECT_EQ(constraint->Test(s, catalog), all_allowed) << GetParam().name;
+    }
+    if (constraint->monotonicity() == Monotonicity::kMonotone) {
+      bool has_witness = false;
+      for (ItemId i : s) {
+        has_witness |= constraint->IsNecessaryWitness(i, catalog);
+      }
+      if (constraint->has_single_witness_form()) {
+        // Exactly one witness needed: equivalence.
+        EXPECT_EQ(constraint->Test(s, catalog), has_witness)
+            << GetParam().name;
+      } else if (constraint->Test(s, catalog)) {
+        // Multi-witness: necessary condition only.
+        EXPECT_TRUE(has_witness) << GetParam().name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstraints, ConstraintPropertyTest,
+    testing::Values(
+        ConstraintFactory{"MaxLe", [] { return MaxLe(6.0); }},
+        ConstraintFactory{"MaxGe", [] { return MaxGe(6.0); }},
+        ConstraintFactory{"MinLe", [] { return MinLe(6.0); }},
+        ConstraintFactory{"MinGe", [] { return MinGe(6.0); }},
+        ConstraintFactory{"SumLe", [] { return SumLe(20.0); }},
+        ConstraintFactory{"SumGe", [] { return SumGe(20.0); }},
+        ConstraintFactory{"CountLe", [] { return CountLe(3.0); }},
+        ConstraintFactory{"CountGe", [] { return CountGe(3.0); }},
+        ConstraintFactory{"TypeContains1",
+                          [] {
+                            return std::make_unique<TypeContainsConstraint>(
+                                std::vector<std::string>{"a"});
+                          }},
+        ConstraintFactory{"TypeContains2",
+                          [] {
+                            return std::make_unique<TypeContainsConstraint>(
+                                std::vector<std::string>{"a", "c"});
+                          }},
+        ConstraintFactory{"TypeSubset",
+                          [] {
+                            return std::make_unique<TypeSubsetConstraint>(
+                                std::vector<std::string>{"a", "b"});
+                          }},
+        ConstraintFactory{"TypeDisjoint",
+                          [] {
+                            return std::make_unique<TypeDisjointConstraint>(
+                                std::vector<std::string>{"c"});
+                          }},
+        ConstraintFactory{"TypeIntersects",
+                          [] {
+                            return std::make_unique<TypeIntersectsConstraint>(
+                                std::vector<std::string>{"b", "c"});
+                          }},
+        ConstraintFactory{"TypeCountLe",
+                          [] {
+                            return std::make_unique<TypeCountConstraint>(
+                                Cmp::kLe, 2u);
+                          }},
+        ConstraintFactory{"TypeCountGe",
+                          [] {
+                            return std::make_unique<TypeCountConstraint>(
+                                Cmp::kGe, 2u);
+                          }},
+        ConstraintFactory{"ContainsItems",
+                          [] {
+                            return std::make_unique<ContainsItemsConstraint>(
+                                std::vector<ItemId>{2, 5});
+                          }},
+        ConstraintFactory{"ContainsItem",
+                          [] {
+                            return std::make_unique<ContainsItemsConstraint>(
+                                std::vector<ItemId>{4});
+                          }},
+        ConstraintFactory{"ExcludesItems",
+                          [] {
+                            return std::make_unique<ExcludesItemsConstraint>(
+                                std::vector<ItemId>{1, 8});
+                          }}),
+    [](const testing::TestParamInfo<ConstraintFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,148 @@
+// Tests for the unconstrained BMS baseline against the oracle and its
+// structural invariants (minimality, CT-support, correlation).
+
+#include "core/bms.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "core/oracle.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+MiningOptions SmallOptions() {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 15;  // 5% of 300
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 5;
+  return options;
+}
+
+class BmsOracleTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BmsOracleTest, MatchesOracleMinimalCorrelated) {
+  const TransactionDatabase db = testutil::SmallRandomDb(GetParam());
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = SmallOptions();
+  const Oracle oracle(db, catalog, options);
+  const MiningResult result = MineBms(db, options);
+  EXPECT_EQ(result.answers, oracle.MinimalCorrelated());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmsOracleTest,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                         55u, 89u));
+
+TEST(Bms, AnswersAreCorrelatedSupportedAndMinimal) {
+  const TransactionDatabase db = testutil::SmallRandomDb(7);
+  const MiningOptions options = SmallOptions();
+  const MiningResult result = MineBms(db, options);
+  ASSERT_FALSE(result.answers.empty());
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  ItemsetSet answers(result.answers.begin(), result.answers.end());
+  for (const Itemset& s : result.answers) {
+    const auto table = builder.Build(s);
+    EXPECT_TRUE(judge.IsCtSupported(table)) << s.ToString();
+    EXPECT_TRUE(judge.IsCorrelated(table)) << s.ToString();
+    // No answer is a subset of another (an antichain).
+    for (const Itemset& other : result.answers) {
+      if (s == other) continue;
+      EXPECT_FALSE(s.IsSubsetOf(other))
+          << s.ToString() << " subset of " << other.ToString();
+    }
+  }
+}
+
+TEST(Bms, PlantedGroupsAreRecovered) {
+  const TransactionDatabase db = testutil::SmallRandomDb(11);
+  const MiningOptions options = SmallOptions();
+  const MiningResult result = MineBms(db, options);
+  // The planted group {0,1} co-occurs far above independence; it (and the
+  // pairs within {2,3,4}) must be among the minimal correlated sets.
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{0, 1}));
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{2, 3}));
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{2, 4}));
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{3, 4}));
+}
+
+TEST(Bms, StatsCountTheWork) {
+  const TransactionDatabase db = testutil::SmallRandomDb(3);
+  const MiningOptions options = SmallOptions();
+  const BmsRunOutput run = RunBms(db, options);
+  // All 10 items are frequent at 5%; level 2 must consider all pairs.
+  ASSERT_EQ(run.frequent_items.size(), 10u);
+  ASSERT_GE(run.stats.levels.size(), 3u);
+  EXPECT_EQ(run.stats.levels[2].candidates, 45u);
+  EXPECT_EQ(run.stats.levels[2].tables_built, 45u);
+  EXPECT_EQ(run.stats.levels[2].sig_added + run.stats.levels[2].notsig_added,
+            run.stats.levels[2].ct_supported);
+  EXPECT_GT(run.stats.TotalCandidates(), 0u);
+  EXPECT_EQ(run.stats.TotalCandidates(), run.stats.TotalTablesBuilt());
+  EXPECT_GE(run.stats.elapsed_seconds, 0.0);
+}
+
+TEST(Bms, RespectsMaxSetSize) {
+  const TransactionDatabase db = testutil::SmallRandomDb(3);
+  MiningOptions options = SmallOptions();
+  options.max_set_size = 2;
+  const MiningResult result = MineBms(db, options);
+  for (const Itemset& s : result.answers) {
+    EXPECT_LE(s.size(), 2u);
+  }
+  EXPECT_LE(result.stats.levels.size(), 3u);
+}
+
+TEST(Bms, HighSupportThresholdPrunesEverything) {
+  const TransactionDatabase db = testutil::SmallRandomDb(3);
+  MiningOptions options = SmallOptions();
+  options.min_support = 1000;  // above the database size
+  const BmsRunOutput run = RunBms(db, options);
+  EXPECT_TRUE(run.frequent_items.empty());
+  EXPECT_TRUE(run.sig.empty());
+  EXPECT_EQ(run.stats.TotalCandidates(), 0u);
+}
+
+TEST(Bms, FullCellFractionRequiresEveryCell) {
+  const TransactionDatabase db = testutil::SmallRandomDb(3);
+  MiningOptions options = SmallOptions();
+  options.min_cell_fraction = 1.0;
+  options.min_support = 40;
+  const MiningResult result = MineBms(db, options);
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  for (const Itemset& s : result.answers) {
+    const auto table = builder.Build(s);
+    for (std::uint32_t mask = 0; mask < table.num_cells(); ++mask) {
+      EXPECT_GE(table.cell(mask), options.min_support) << s.ToString();
+    }
+  }
+}
+
+TEST(Bms, NotsigSetsAreSupportedAndUncorrelated) {
+  const TransactionDatabase db = testutil::SmallRandomDb(9);
+  const MiningOptions options = SmallOptions();
+  const BmsRunOutput run = RunBms(db, options);
+  CorrelationJudge judge(options);
+  ContingencyTableBuilder builder(db);
+  for (std::size_t k = 2; k < run.notsig_by_level.size(); ++k) {
+    for (const Itemset& s : run.notsig_by_level[k]) {
+      ASSERT_EQ(s.size(), k);
+      const auto table = builder.Build(s);
+      EXPECT_TRUE(judge.IsCtSupported(table));
+      EXPECT_FALSE(judge.IsCorrelated(table));
+    }
+  }
+  for (std::size_t k = 2; k < run.unsupported_by_level.size(); ++k) {
+    for (const Itemset& s : run.unsupported_by_level[k]) {
+      EXPECT_FALSE(judge.IsCtSupported(builder.Build(s)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccs

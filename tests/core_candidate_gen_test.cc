@@ -1,0 +1,112 @@
+#include "core/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace ccs {
+namespace {
+
+TEST(CandidateGen, AllPairs) {
+  const auto pairs = AllPairs({1, 3, 5});
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (Itemset{1, 3}));
+  EXPECT_EQ(pairs[1], (Itemset{1, 5}));
+  EXPECT_EQ(pairs[2], (Itemset{3, 5}));
+  EXPECT_TRUE(AllPairs({7}).empty());
+  EXPECT_TRUE(AllPairs({}).empty());
+}
+
+TEST(CandidateGen, WitnessedPairsRequireOnePlusItem) {
+  const auto pairs = WitnessedPairs({1, 4}, {2, 7});
+  // {1,4} plus the four cross pairs; never {2,7}.
+  ASSERT_EQ(pairs.size(), 5u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(p.Contains(1) || p.Contains(4)) << p.ToString();
+  }
+  ItemsetSet set(pairs.begin(), pairs.end());
+  EXPECT_FALSE(set.contains(Itemset{2, 7}));
+  EXPECT_TRUE(set.contains(Itemset{1, 2}));
+  EXPECT_TRUE(set.contains(Itemset{1, 4}));
+}
+
+TEST(CandidateGen, AllCoSubsetsIn) {
+  ItemsetSet closed;
+  closed.insert(Itemset{1, 2});
+  closed.insert(Itemset{1, 3});
+  closed.insert(Itemset{2, 3});
+  EXPECT_TRUE(AllCoSubsetsIn(Itemset{1, 2, 3}, closed));
+  EXPECT_FALSE(AllCoSubsetsIn(Itemset{1, 2, 4}, closed));
+}
+
+TEST(CandidateGen, WitnessExemption) {
+  // Witness item: 1. Subsets without it are exempt from membership.
+  std::vector<bool> witness(10, false);
+  witness[1] = true;
+  ItemsetSet closed;
+  closed.insert(Itemset{1, 2});
+  closed.insert(Itemset{1, 3});
+  // {2,3} is not in `closed` but contains no witness -> exempt.
+  EXPECT_TRUE(AllWitnessedCoSubsetsIn(Itemset{1, 2, 3}, closed, witness));
+  // {1,4} contains the witness and is missing -> blocked.
+  EXPECT_FALSE(AllWitnessedCoSubsetsIn(Itemset{1, 2, 4}, closed, witness));
+}
+
+TEST(CandidateGen, ContainsWitness) {
+  std::vector<bool> witness(5, false);
+  witness[3] = true;
+  EXPECT_TRUE(ContainsWitness(Itemset{1, 3}, witness));
+  EXPECT_FALSE(ContainsWitness(Itemset{1, 2}, witness));
+  EXPECT_FALSE(ContainsWitness(Itemset{}, witness));
+}
+
+TEST(CandidateGen, ExtendSeedsDeduplicatesAndSorts) {
+  const std::vector<Itemset> seeds = {{1, 2}, {2, 3}};
+  const std::vector<ItemId> universe = {1, 2, 3, 4};
+  const auto out =
+      ExtendSeeds(seeds, universe, [](const Itemset&) { return true; });
+  // {1,2}+3, {1,2}+4, {2,3}+1 (dup of {1,2,3}), {2,3}+4.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Itemset{1, 2, 3}));
+  EXPECT_EQ(out[1], (Itemset{1, 2, 4}));
+  EXPECT_EQ(out[2], (Itemset{2, 3, 4}));
+}
+
+TEST(CandidateGen, ExtendSeedsAppliesKeep) {
+  const std::vector<Itemset> seeds = {{1, 2}};
+  const std::vector<ItemId> universe = {1, 2, 3, 4};
+  const auto out = ExtendSeeds(seeds, universe, [](const Itemset& s) {
+    return s.Contains(4);
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Itemset{1, 2, 4}));
+}
+
+TEST(CandidateGen, ExtendSeedsEmptyInputs) {
+  EXPECT_TRUE(
+      ExtendSeeds({}, {1, 2}, [](const Itemset&) { return true; }).empty());
+  EXPECT_TRUE(ExtendSeeds({Itemset{1}}, {},
+                          [](const Itemset&) { return true; })
+                  .empty());
+}
+
+TEST(CandidateGen, ApriorLikeClosureGeneratesExactlyTheFrontier) {
+  // closed = all 2-subsets of {1,2,3,4} except {3,4}: the only 3-sets with
+  // every co-subset closed are {1,2,3} and {1,2,4}.
+  ItemsetSet closed;
+  for (ItemId a = 1; a <= 4; ++a) {
+    for (ItemId b = a + 1; b <= 4; ++b) {
+      if (a == 3 && b == 4) continue;
+      closed.insert(Itemset{a, b});
+    }
+  }
+  const std::vector<Itemset> seeds(closed.begin(), closed.end());
+  const auto out =
+      ExtendSeeds(seeds, {1, 2, 3, 4}, [&closed](const Itemset& s) {
+        return AllCoSubsetsIn(s, closed);
+      });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Itemset{1, 2, 3}));
+  EXPECT_EQ(out[1], (Itemset{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace ccs

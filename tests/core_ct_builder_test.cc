@@ -1,0 +1,147 @@
+// Cross-checks the recursive bitset contingency-table builder against the
+// scalar reference path, plus chi-squared monotonicity validation.
+
+#include "core/ct_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/ibm_generator.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+TransactionDatabase RandomDb(std::uint64_t seed, std::size_t num_items,
+                             std::size_t num_txns, double density) {
+  Rng rng(seed);
+  TransactionDatabase db(num_items);
+  for (std::size_t t = 0; t < num_txns; ++t) {
+    Transaction txn;
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(density)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+TEST(CtBuilder, SingleItemTable) {
+  TransactionDatabase db(3);
+  db.Add({0});
+  db.Add({0, 1});
+  db.Add({2});
+  db.Finalize();
+  ContingencyTableBuilder builder(db);
+  const auto table = builder.Build(Itemset{0});
+  EXPECT_EQ(table.cell(1), 2u);
+  EXPECT_EQ(table.cell(0), 1u);
+  EXPECT_EQ(builder.tables_built(), 1u);
+}
+
+TEST(CtBuilder, PairTableByHand) {
+  TransactionDatabase db(2);
+  db.Add({0, 1});
+  db.Add({0, 1});
+  db.Add({0});
+  db.Add({1});
+  db.Add({});
+  db.Finalize();
+  ContingencyTableBuilder builder(db);
+  const auto table = builder.Build(Itemset{0, 1});
+  EXPECT_EQ(table.cell(0b11), 2u);
+  EXPECT_EQ(table.cell(0b01), 1u);  // item 0 only
+  EXPECT_EQ(table.cell(0b10), 1u);  // item 1 only
+  EXPECT_EQ(table.cell(0b00), 1u);
+  EXPECT_EQ(table.total(), 5u);
+}
+
+class CtBuilderCrossCheckTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(CtBuilderCrossCheckTest, FastPathMatchesScalarReference) {
+  const std::size_t k = GetParam();
+  const TransactionDatabase db = RandomDb(/*seed=*/k * 31 + 7,
+                                          /*num_items=*/12,
+                                          /*num_txns=*/257, /*density=*/0.3);
+  ContingencyTableBuilder builder(db);
+  Rng rng(99 + k);
+  for (int round = 0; round < 30; ++round) {
+    Itemset s;
+    while (s.size() < k) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(12));
+      if (!s.Contains(item)) s = s.WithItem(item);
+    }
+    const auto fast = builder.Build(s);
+    const auto slow = builder.BuildScalar(s);
+    ASSERT_EQ(fast.num_cells(), slow.num_cells());
+    for (std::uint32_t mask = 0; mask < fast.num_cells(); ++mask) {
+      EXPECT_EQ(fast.cell(mask), slow.cell(mask))
+          << "k=" << k << " set=" << s.ToString() << " mask=" << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, CtBuilderCrossCheckTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(CtBuilder, MarginalsMatchItemSupports) {
+  const TransactionDatabase db = RandomDb(5, 10, 403, 0.25);
+  ContingencyTableBuilder builder(db);
+  const Itemset s{1, 4, 8};
+  const auto table = builder.Build(s);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(table.MarginalCount(v), db.ItemSupport(s[v]));
+  }
+  EXPECT_EQ(table.total(), db.num_transactions());
+}
+
+TEST(CtBuilder, WorksOnIbmData) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 1000;
+  config.num_items = 60;
+  config.avg_transaction_size = 6.0;
+  config.num_patterns = 25;
+  config.seed = 17;
+  const TransactionDatabase db = IbmGenerator(config).Generate();
+  ContingencyTableBuilder builder(db);
+  Rng rng(1);
+  for (int round = 0; round < 10; ++round) {
+    Itemset s;
+    while (s.size() < 3) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(60));
+      if (!s.Contains(item)) s = s.WithItem(item);
+    }
+    const auto fast = builder.Build(s);
+    const auto slow = builder.BuildScalar(s);
+    for (std::uint32_t mask = 0; mask < 8; ++mask) {
+      ASSERT_EQ(fast.cell(mask), slow.cell(mask)) << s.ToString();
+    }
+  }
+}
+
+// Empirical validation of the Brin et al. monotonicity theorem the BMS
+// family relies on: the chi-squared statistic never decreases when an item
+// is added to a set (checked on random data across many extensions).
+TEST(CtBuilder, ChiSquaredStatisticIsUpwardClosed) {
+  const TransactionDatabase db = RandomDb(1234, 14, 509, 0.35);
+  ContingencyTableBuilder builder(db);
+  Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    Itemset s;
+    const std::size_t size = 2 + rng.NextBounded(3);
+    while (s.size() < size) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(14));
+      if (!s.Contains(item)) s = s.WithItem(item);
+    }
+    const double base = builder.Build(s).ChiSquaredStatistic();
+    const auto extra = static_cast<ItemId>(rng.NextBounded(14));
+    if (s.Contains(extra)) continue;
+    const double extended =
+        builder.Build(s.WithItem(extra)).ChiSquaredStatistic();
+    EXPECT_GE(extended, base - 1e-9)
+        << s.ToString() << " + " << extra;
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,173 @@
+// Tests for the solution-space explorer: membership, borders, hole
+// handling, and consistency with the oracle and the MIN_VALID algorithms.
+
+#include "core/explore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "constraints/agg_constraint.h"
+#include "core/miner.h"
+#include "core/oracle.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+MiningOptions SmallOptions() {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 15;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 5;
+  return options;
+}
+
+bool Contains(const std::vector<Itemset>& sorted, const Itemset& s) {
+  return std::binary_search(sorted.begin(), sorted.end(), s);
+}
+
+TEST(ExploreSolutionSpace, MembershipMatchesOracle) {
+  const TransactionDatabase db = testutil::SmallRandomDb(3);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = SmallOptions();
+  ConstraintSet constraints;
+  constraints.Add(MinLe(4.0));
+  const SolutionSpace space =
+      ExploreSolutionSpace(db, catalog, constraints, options);
+  const Oracle oracle(db, catalog, options);
+  // Every oracle-confirmed member appears, and nothing else.
+  std::size_t oracle_members = 0;
+  for (std::size_t k = 2; k <= options.max_set_size; ++k) {
+    // Walk the explored sets and verify against oracle predicates.
+    for (const Itemset& s : space.all) {
+      if (s.size() != k) continue;
+      EXPECT_TRUE(oracle.IsCtSupported(s)) << s.ToString();
+      EXPECT_TRUE(oracle.IsCorrelated(s)) << s.ToString();
+      EXPECT_TRUE(constraints.TestAll(s.span(), catalog)) << s.ToString();
+    }
+  }
+  // Cross-check counts by full enumeration over the oracle's universe.
+  const auto& items = oracle.frequent_items();
+  // Simple recursive enumeration via indices (universe is small).
+  std::function<void(std::size_t, Itemset)> recurse =
+      [&](std::size_t start, Itemset current) {
+        if (current.size() >= 2 && oracle.IsCtSupported(current) &&
+            oracle.IsCorrelated(current) &&
+            constraints.TestAll(current.span(), catalog)) {
+          ++oracle_members;
+          EXPECT_TRUE(Contains(space.all, current)) << current.ToString();
+        }
+        if (current.size() == options.max_set_size) return;
+        for (std::size_t i = start; i < items.size(); ++i) {
+          recurse(i + 1, current.WithItem(items[i]));
+        }
+      };
+  recurse(0, Itemset{});
+  EXPECT_EQ(space.all.size(), oracle_members);
+}
+
+TEST(ExploreSolutionSpace, LowerBorderEqualsMinValid) {
+  const TransactionDatabase db = testutil::SmallRandomDb(8);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = SmallOptions();
+  for (const auto& c : testutil::PaperConstraintCases()) {
+    const ConstraintSet constraints = c.make();
+    if (constraints.has_unclassified()) continue;
+    const SolutionSpace space =
+        ExploreSolutionSpace(db, catalog, constraints, options);
+    EXPECT_EQ(space.lower_border,
+              Mine(Algorithm::kBmsStarStar, db, catalog, constraints,
+                   options)
+                  .answers)
+        << c.name;
+  }
+}
+
+TEST(ExploreSolutionSpace, BordersAreAntichainsWithinTheSpace) {
+  const TransactionDatabase db = testutil::SmallRandomDb(12);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = SmallOptions();
+  ConstraintSet constraints;
+  constraints.Add(SumGe(6.0));
+  const SolutionSpace space =
+      ExploreSolutionSpace(db, catalog, constraints, options);
+  for (const auto* border : {&space.lower_border, &space.upper_border}) {
+    for (const Itemset& a : *border) {
+      EXPECT_TRUE(Contains(space.all, a));
+      for (const Itemset& b : *border) {
+        if (a == b) continue;
+        EXPECT_FALSE(a.IsSubsetOf(b))
+            << a.ToString() << " under " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(ExploreSolutionSpace, EveryMemberIsBetweenTheBorders) {
+  const TransactionDatabase db = testutil::SmallRandomDb(12);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = SmallOptions();
+  ConstraintSet constraints;
+  constraints.Add(MinLe(5.0));
+  const SolutionSpace space =
+      ExploreSolutionSpace(db, catalog, constraints, options);
+  ASSERT_FALSE(space.all.empty());
+  for (const Itemset& s : space.all) {
+    bool above_lower = false;
+    for (const Itemset& lo : space.lower_border) {
+      above_lower = above_lower || lo.IsSubsetOf(s);
+    }
+    EXPECT_TRUE(above_lower) << s.ToString();
+    bool below_upper = false;
+    for (const Itemset& hi : space.upper_border) {
+      below_upper = below_upper || s.IsSubsetOf(hi);
+    }
+    EXPECT_TRUE(below_upper) << s.ToString();
+  }
+}
+
+TEST(ExploreSolutionSpace, AvgConstraintHolesAreLiteral) {
+  // Items 0 and 1 perfectly co-occur; 2 is frequent and independent. The
+  // avg constraint excludes the cheap pair but admits supersets with the
+  // expensive item — a hole below some members of the space.
+  TransactionDatabase db(3);
+  for (int round = 0; round < 25; ++round) {
+    db.Add({0, 1, 2});
+    db.Add({0, 1});
+    db.Add({2});
+    db.Add({});
+  }
+  db.Finalize();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);  // prices 1, 2, 3
+  MiningOptions options;
+  options.significance = 0.95;
+  options.min_support = 10;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 3;
+  ConstraintSet constraints;
+  constraints.Add(AvgGe(2.0));  // avg{0,1} = 1.5 fails, avg{0,1,2} = 2 ok
+  const SolutionSpace space =
+      ExploreSolutionSpace(db, catalog, constraints, options);
+  EXPECT_FALSE(Contains(space.all, Itemset{0, 1}));
+  EXPECT_TRUE(Contains(space.all, Itemset{0, 1, 2}));
+  ASSERT_EQ(space.lower_border.size(), 1u);
+  EXPECT_EQ(space.lower_border[0], (Itemset{0, 1, 2}));
+}
+
+TEST(ExploreSolutionSpace, EmptyWhenConstraintsUnsatisfiable) {
+  const TransactionDatabase db = testutil::SmallRandomDb(2);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(0.1));
+  const SolutionSpace space =
+      ExploreSolutionSpace(db, catalog, constraints, SmallOptions());
+  EXPECT_TRUE(space.all.empty());
+  EXPECT_TRUE(space.lower_border.empty());
+  EXPECT_TRUE(space.upper_border.empty());
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,125 @@
+#include "core/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+TEST(Itemset, DefaultIsEmpty) {
+  Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(Itemset, SortsOnConstruction) {
+  Itemset s{9, 2, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[1], 5u);
+  EXPECT_EQ(s[2], 9u);
+  EXPECT_EQ(s.ToString(), "{2, 5, 9}");
+}
+
+TEST(Itemset, DuplicatesDie) {
+  EXPECT_DEATH((Itemset{1, 1}), "CCS_CHECK");
+}
+
+TEST(Itemset, Contains) {
+  Itemset s{3, 7, 11};
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(5));
+}
+
+TEST(Itemset, WithItemKeepsOrder) {
+  Itemset s{2, 9};
+  EXPECT_EQ(s.WithItem(5), (Itemset{2, 5, 9}));
+  EXPECT_EQ(s.WithItem(1), (Itemset{1, 2, 9}));
+  EXPECT_EQ(s.WithItem(12), (Itemset{2, 9, 12}));
+  // Original untouched.
+  EXPECT_EQ(s, (Itemset{2, 9}));
+}
+
+TEST(Itemset, WithoutIndexRemoves) {
+  Itemset s{2, 5, 9};
+  EXPECT_EQ(s.WithoutIndex(0), (Itemset{5, 9}));
+  EXPECT_EQ(s.WithoutIndex(1), (Itemset{2, 9}));
+  EXPECT_EQ(s.WithoutIndex(2), (Itemset{2, 5}));
+}
+
+TEST(Itemset, SubsetRelation) {
+  Itemset sub{2, 9};
+  Itemset super{2, 5, 9};
+  EXPECT_TRUE(sub.IsSubsetOf(super));
+  EXPECT_TRUE(super.IsSubsetOf(super));
+  EXPECT_FALSE(super.IsSubsetOf(sub));
+  EXPECT_TRUE(Itemset{}.IsSubsetOf(sub));
+}
+
+TEST(Itemset, OrderingIsLexicographicWithSizeTieBreak) {
+  std::vector<Itemset> sets = {{3, 4}, {1, 2, 3}, {1, 2}, {1, 5}, {}};
+  std::sort(sets.begin(), sets.end());
+  EXPECT_EQ(sets[0], Itemset{});
+  EXPECT_EQ(sets[1], (Itemset{1, 2}));
+  EXPECT_EQ(sets[2], (Itemset{1, 2, 3}));
+  EXPECT_EQ(sets[3], (Itemset{1, 5}));
+  EXPECT_EQ(sets[4], (Itemset{3, 4}));
+}
+
+TEST(Itemset, EqualityAndHashConsistency) {
+  Itemset a{4, 7};
+  Itemset b{7, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Itemset c{4, 8};
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Itemset, HashRarelyCollides) {
+  Rng rng(5);
+  std::set<std::size_t> hashes;
+  ItemsetSet sets;
+  while (sets.size() < 2000) {
+    Itemset s;
+    const std::size_t size = 1 + rng.NextBounded(5);
+    while (s.size() < size) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(1000));
+      if (!s.Contains(item)) s = s.WithItem(item);
+    }
+    if (sets.insert(s).second) hashes.insert(s.Hash());
+  }
+  // Allow a handful of genuine 64-bit collisions truncated to size_t.
+  EXPECT_GE(hashes.size(), 1998u);
+}
+
+TEST(Itemset, SpanViewsItems) {
+  Itemset s{10, 20};
+  const auto span = s.span();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], 10u);
+  EXPECT_EQ(span[1], 20u);
+}
+
+TEST(Itemset, CapacityEnforced) {
+  Itemset s;
+  for (ItemId i = 0; i < Itemset::kMaxSize; ++i) s = s.WithItem(i);
+  EXPECT_EQ(s.size(), Itemset::kMaxSize);
+  EXPECT_DEATH(s.WithItem(100), "CCS_CHECK");
+}
+
+TEST(ItemsetSet, WorksAsHashContainer) {
+  ItemsetSet set;
+  EXPECT_TRUE(set.insert(Itemset{1, 2}).second);
+  EXPECT_FALSE(set.insert(Itemset{2, 1}).second);
+  EXPECT_TRUE(set.contains(Itemset{1, 2}));
+  EXPECT_FALSE(set.contains(Itemset{1, 3}));
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,125 @@
+#include "core/judge.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_squared.h"
+#include "stats/fisher.h"
+
+namespace ccs {
+namespace {
+
+stats::ContingencyTable FigureBTable() {
+  return stats::ContingencyTable(2, {11, 20, 39, 30});  // chi2 ~ 3.787
+}
+
+TEST(CorrelationJudge, CorrelationDependsOnAlpha) {
+  MiningOptions options;
+  options.significance = 0.9;
+  CorrelationJudge lenient(options);
+  EXPECT_TRUE(lenient.IsCorrelated(FigureBTable()));
+  options.significance = 0.95;
+  CorrelationJudge strict(options);
+  EXPECT_FALSE(strict.IsCorrelated(FigureBTable()));
+}
+
+TEST(CorrelationJudge, CutoffMatchesQuantile) {
+  MiningOptions options;
+  options.significance = 0.9;
+  CorrelationJudge judge(options);
+  EXPECT_DOUBLE_EQ(judge.Cutoff(2), stats::ChiSquaredQuantile(0.9, 1));
+  // Default df policy: cutoff independent of set size.
+  EXPECT_DOUBLE_EQ(judge.Cutoff(4), judge.Cutoff(2));
+}
+
+TEST(CorrelationJudge, FullIndependenceDfGrowsCutoff) {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.full_independence_df = true;
+  CorrelationJudge judge(options);
+  EXPECT_DOUBLE_EQ(judge.Cutoff(2), stats::ChiSquaredQuantile(0.9, 1));
+  EXPECT_DOUBLE_EQ(judge.Cutoff(3), stats::ChiSquaredQuantile(0.9, 4));
+  EXPECT_DOUBLE_EQ(judge.Cutoff(4), stats::ChiSquaredQuantile(0.9, 11));
+  EXPECT_GT(judge.Cutoff(4), judge.Cutoff(3));
+}
+
+TEST(CorrelationJudge, SingletonsNeverCorrelated) {
+  MiningOptions options;
+  options.significance = 0.0;  // cutoff 0: everything >= cutoff
+  CorrelationJudge judge(options);
+  const stats::ContingencyTable singleton(1, {10, 90});
+  EXPECT_FALSE(judge.IsCorrelated(singleton));
+}
+
+TEST(CorrelationJudge, CtSupportUsesOptions) {
+  MiningOptions options;
+  options.min_support = 25;
+  options.min_cell_fraction = 0.5;
+  CorrelationJudge judge(options);
+  EXPECT_TRUE(judge.IsCtSupported(FigureBTable()));  // 30 and 39 >= 25
+  options.min_cell_fraction = 0.75;
+  CorrelationJudge stricter(options);
+  EXPECT_FALSE(stricter.IsCtSupported(FigureBTable()));
+}
+
+TEST(CorrelationJudge, PValueMatchesSf) {
+  MiningOptions options;
+  CorrelationJudge judge(options);
+  const auto table = FigureBTable();
+  EXPECT_NEAR(judge.PValue(table),
+              stats::ChiSquaredSf(table.ChiSquaredStatistic(), 1), 1e-12);
+  // Figure B is significant at p < 0.1 but not p < 0.05.
+  EXPECT_LT(judge.PValue(table), 0.1);
+  EXPECT_GT(judge.PValue(table), 0.05);
+  const stats::ContingencyTable singleton(1, {10, 90});
+  EXPECT_DOUBLE_EQ(judge.PValue(singleton), 1.0);
+}
+
+TEST(CorrelationJudge, FisherFallbackOnSparsePairs) {
+  // Sparse table violating Cochran's rule: joint expectation
+  // 20 * (3/20) * (3/20) = 0.45 < 1, but the observed joint count 3 is
+  // extreme — the chi-squared statistic wildly overshoots while Fisher's
+  // exact two-sided p-value is the trustworthy verdict.
+  const stats::ContingencyTable sparse(2, {17, 0, 0, 3});
+  ASSERT_FALSE(sparse.SatisfiesCochranRule());
+  MiningOptions options;
+  options.significance = 0.9;
+  options.fisher_fallback = true;
+  CorrelationJudge judge(options);
+  const double exact = stats::FisherExactTwoSided(3, 0, 0, 17);
+  EXPECT_EQ(judge.IsCorrelated(sparse), exact <= 0.1);
+  // With a strict enough confidence the same table is rejected even
+  // though its chi-squared statistic (= N = 20) is far beyond any cutoff.
+  options.significance = 1.0 - exact / 2.0;
+  CorrelationJudge strict(options);
+  EXPECT_FALSE(strict.IsCorrelated(sparse));
+  CorrelationJudge chi2_only([] {
+    MiningOptions o;
+    o.significance = 0.99;
+    return o;
+  }());
+  EXPECT_TRUE(chi2_only.IsCorrelated(sparse));
+}
+
+TEST(CorrelationJudge, FisherFallbackLeavesHealthyTablesAlone) {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.fisher_fallback = true;
+  CorrelationJudge with(options);
+  options.fisher_fallback = false;
+  CorrelationJudge without(options);
+  const stats::ContingencyTable healthy(2, {11, 20, 39, 30});  // Figure B
+  ASSERT_TRUE(healthy.SatisfiesCochranRule());
+  EXPECT_EQ(with.IsCorrelated(healthy), without.IsCorrelated(healthy));
+}
+
+TEST(CorrelationJudge, RejectsBadOptions) {
+  MiningOptions options;
+  options.min_cell_fraction = 1.5;
+  EXPECT_DEATH(CorrelationJudge{options}, "CCS_CHECK");
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 1;
+  EXPECT_DEATH(CorrelationJudge{options}, "CCS_CHECK");
+}
+
+}  // namespace
+}  // namespace ccs

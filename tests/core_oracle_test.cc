@@ -1,0 +1,127 @@
+// Self-tests for the brute-force oracle (the reference all algorithm tests
+// lean on): hand-checkable miniature databases and internal invariants.
+
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/agg_constraint.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+// Three items; 0 and 1 perfectly co-occur, 2 is independent of both.
+TransactionDatabase TinyDb() {
+  TransactionDatabase db(3);
+  for (int round = 0; round < 25; ++round) {
+    db.Add({0, 1, 2});
+    db.Add({0, 1});
+    db.Add({2});
+    db.Add({});
+  }
+  db.Finalize();
+  return db;
+}
+
+MiningOptions TinyOptions() {
+  MiningOptions options;
+  options.significance = 0.95;
+  options.min_support = 10;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 3;
+  return options;
+}
+
+TEST(Oracle, FrequentItemsRespectSupport) {
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);
+  MiningOptions options = TinyOptions();
+  options.min_support = 51;  // items 0/1 have support 50, item 2 has 50
+  const Oracle strict(db, catalog, options);
+  EXPECT_TRUE(strict.frequent_items().empty());
+  options.min_support = 50;
+  const Oracle loose(db, catalog, options);
+  EXPECT_EQ(loose.frequent_items().size(), 3u);
+}
+
+TEST(Oracle, PerfectPairIsTheOnlyMinimalCorrelatedSet) {
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);
+  const Oracle oracle(db, catalog, TinyOptions());
+  EXPECT_TRUE(oracle.IsCorrelated(Itemset{0, 1}));
+  EXPECT_FALSE(oracle.IsCorrelated(Itemset{0, 2}));
+  EXPECT_FALSE(oracle.IsCorrelated(Itemset{1, 2}));
+  // Closure: the triple inherits correlation from {0,1}.
+  EXPECT_TRUE(oracle.IsCorrelated(Itemset{0, 1, 2}));
+  const auto minimal = oracle.MinimalCorrelated();
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], (Itemset{0, 1}));
+}
+
+TEST(Oracle, ValidMinimalFiltersByConstraint) {
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);  // prices 1,2,3
+  const Oracle oracle(db, catalog, TinyOptions());
+  ConstraintSet pass;
+  pass.Add(MaxLe(2.0));
+  EXPECT_EQ(oracle.ValidMinimal(pass).size(), 1u);
+  ConstraintSet fail;
+  fail.Add(MaxLe(1.0));
+  EXPECT_TRUE(oracle.ValidMinimal(fail).empty());
+}
+
+TEST(Oracle, MinimalValidClimbsPastInvalidMinimalSets) {
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);
+  const Oracle oracle(db, catalog, TinyOptions());
+  // Monotone constraint requiring the expensive item 2 (price 3): the
+  // minimal correlated set {0,1} is invalid; {0,1,2} is the minimal valid
+  // answer (CT-support of the triple holds: each of its 8 cells... at
+  // least 25% have count >= 10 given the block structure).
+  ConstraintSet constraints;
+  constraints.Add(MaxGe(3.0));
+  EXPECT_TRUE(oracle.ValidMinimal(constraints).empty());
+  const auto min_valid = oracle.MinimalValid(constraints);
+  ASSERT_EQ(min_valid.size(), 1u);
+  EXPECT_EQ(min_valid[0], (Itemset{0, 1, 2}));
+}
+
+TEST(Oracle, UnsatisfiableConstraintYieldsNothing) {
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);
+  const Oracle oracle(db, catalog, TinyOptions());
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(0.1));
+  EXPECT_TRUE(oracle.ValidMinimal(constraints).empty());
+  EXPECT_TRUE(oracle.MinimalValid(constraints).empty());
+}
+
+TEST(Oracle, AvgConstraintHolesAreHandledByLiteralMinimality) {
+  // Section 6: avg constraints can punch holes in the solution space. The
+  // oracle's MinimalValid checks all proper subsets, not just co-subsets,
+  // so a "hole" set sandwiched between valid sets is handled literally.
+  const TransactionDatabase db = TinyDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(3);
+  const Oracle oracle(db, catalog, TinyOptions());
+  ConstraintSet constraints;
+  constraints.Add(AvgGe(2.0));  // avg of {0,1} = 1.5 fails; {0,1,2} = 2 ok
+  const auto min_valid = oracle.MinimalValid(constraints);
+  ASSERT_EQ(min_valid.size(), 1u);
+  EXPECT_EQ(min_valid[0], (Itemset{0, 1, 2}));
+}
+
+TEST(Oracle, GuardsAgainstLargeUniverses) {
+  TransactionDatabase db(40);
+  Transaction all;
+  for (ItemId i = 0; i < 40; ++i) all.push_back(i);
+  db.Add(all);
+  db.Finalize();
+  const ItemCatalog catalog = testutil::SmallCatalog(40);
+  MiningOptions options;
+  options.min_support = 1;
+  EXPECT_DEATH(Oracle(db, catalog, options), "CCS_CHECK");
+}
+
+}  // namespace
+}  // namespace ccs

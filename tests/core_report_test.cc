@@ -1,0 +1,81 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+TEST(Report, FieldsMatchHandComputation) {
+  // items 0 and 1 co-occur in 30 of 100 transactions, alone in 20 / 39.
+  TransactionDatabase db(2);
+  for (int i = 0; i < 30; ++i) db.Add({0, 1});
+  for (int i = 0; i < 20; ++i) db.Add({0});
+  for (int i = 0; i < 39; ++i) db.Add({1});
+  for (int i = 0; i < 11; ++i) db.Add({});
+  db.Finalize();
+  ItemCatalog catalog;
+  catalog.AddItem(2.5, "dairy", "milk");
+  catalog.AddItem(4.0, "bakery", "bread");
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 25;
+  options.min_cell_fraction = 0.25;
+
+  const auto reports =
+      BuildReports({Itemset{0, 1}}, db, catalog, options);
+  ASSERT_EQ(reports.size(), 1u);
+  const AnswerReport& r = reports[0];
+  EXPECT_EQ(r.joint_support, 30u);
+  // Figure B geometry: chi2 ~ 3.787, p in (0.05, 0.1).
+  EXPECT_NEAR(r.chi_squared, 3.786817, 1e-5);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_LT(r.p_value, 0.1);
+  EXPECT_DOUBLE_EQ(r.supported_cell_fraction, 0.5);  // cells 30 and 39
+  // Expected joint under independence: 100 * 0.5 * 0.69 = 34.5.
+  EXPECT_NEAR(r.joint_lift, 30.0 / 34.5, 1e-12);  // negative dependence
+  EXPECT_DOUBLE_EQ(r.min_price, 2.5);
+  EXPECT_DOUBLE_EQ(r.max_price, 4.0);
+  EXPECT_DOUBLE_EQ(r.sum_price, 6.5);
+  ASSERT_EQ(r.names.size(), 2u);
+  EXPECT_EQ(r.names[0], "milk");
+  EXPECT_EQ(r.names[1], "bread");
+}
+
+TEST(Report, TableRendersOneRowPerAnswer) {
+  const TransactionDatabase db = testutil::SmallRandomDb(4);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 15;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  ConstraintSet constraints;
+  const auto result =
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options);
+  ASSERT_FALSE(result.answers.empty());
+  const auto reports = BuildReports(result.answers, db, catalog, options);
+  const CsvTable table = ReportsToTable(reports);
+  EXPECT_EQ(table.num_rows(), result.answers.size());
+  EXPECT_EQ(table.header().front(), "items");
+  EXPECT_EQ(table.header()[5], "lift");
+  // Answers are correlated at the configured confidence: p <= 1 - alpha.
+  for (const auto& r : reports) {
+    EXPECT_LE(r.p_value, 1.0 - options.significance + 1e-9)
+        << r.items.ToString();
+  }
+}
+
+TEST(Report, EmptyAnswersYieldEmptyTable) {
+  const TransactionDatabase db = testutil::SmallRandomDb(4);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  MiningOptions options;
+  const auto reports = BuildReports({}, db, catalog, options);
+  EXPECT_TRUE(reports.empty());
+  EXPECT_EQ(ReportsToTable(reports).num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ccs

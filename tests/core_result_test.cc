@@ -1,0 +1,56 @@
+#include "core/result.h"
+
+#include <gtest/gtest.h>
+
+namespace ccs {
+namespace {
+
+TEST(MiningStats, LevelGrowsOnDemand) {
+  MiningStats stats;
+  EXPECT_TRUE(stats.levels.empty());
+  stats.Level(3).candidates = 7;
+  ASSERT_EQ(stats.levels.size(), 4u);
+  EXPECT_EQ(stats.levels[3].level, 3u);
+  EXPECT_EQ(stats.levels[3].candidates, 7u);
+  EXPECT_EQ(stats.levels[1].candidates, 0u);
+  // Accessing an existing level does not resize.
+  stats.Level(2).tables_built = 5;
+  EXPECT_EQ(stats.levels.size(), 4u);
+}
+
+TEST(MiningStats, TotalsSumAcrossLevels) {
+  MiningStats stats;
+  stats.Level(2).candidates = 10;
+  stats.Level(2).tables_built = 8;
+  stats.Level(2).chi2_tests = 6;
+  stats.Level(3).candidates = 4;
+  stats.Level(3).tables_built = 4;
+  stats.Level(3).chi2_tests = 2;
+  EXPECT_EQ(stats.TotalCandidates(), 14u);
+  EXPECT_EQ(stats.TotalTablesBuilt(), 12u);
+  EXPECT_EQ(stats.TotalChi2Tests(), 8u);
+}
+
+TEST(MiningStats, ToStringMentionsActiveLevelsOnly) {
+  MiningStats stats;
+  stats.elapsed_seconds = 0.5;
+  stats.Level(2).candidates = 3;
+  stats.Level(2).sig_added = 1;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("level 2"), std::string::npos);
+  EXPECT_EQ(text.find("level 1"), std::string::npos);
+  EXPECT_EQ(text.find("level 3"), std::string::npos);
+  EXPECT_NE(text.find("0.500s"), std::string::npos);
+}
+
+TEST(MiningResult, ContainsAnswerUsesBinarySearch) {
+  MiningResult result;
+  result.answers = {Itemset{1, 2}, Itemset{1, 3}, Itemset{2, 5, 7}};
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{1, 3}));
+  EXPECT_TRUE(result.ContainsAnswer(Itemset{2, 5, 7}));
+  EXPECT_FALSE(result.ContainsAnswer(Itemset{2, 5}));
+  EXPECT_FALSE(result.ContainsAnswer(Itemset{}));
+}
+
+}  // namespace
+}  // namespace ccs

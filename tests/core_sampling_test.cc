@@ -1,0 +1,114 @@
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "constraints/agg_constraint.h"
+#include "core/bms_plus_plus.h"
+#include "datagen/rule_generator.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+MiningOptions BaseOptions(std::size_t num_txns) {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = num_txns / 20;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  return options;
+}
+
+class SamplingSoundnessTest : public testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SamplingSoundnessTest, ConfirmedAnswersAreTrueAnswers) {
+  const TransactionDatabase db =
+      testutil::SmallRandomDb(GetParam(), 10, 2000);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = BaseOptions(2000);
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(8.0));
+  const MiningResult exact =
+      MineBmsPlusPlus(db, catalog, constraints, options);
+  SamplingOptions sampling;
+  sampling.sample_fraction = 0.2;
+  sampling.seed = GetParam() * 11 + 1;
+  const SampledMiningResult sampled = MineBmsPlusPlusSampled(
+      db, catalog, constraints, options, sampling);
+  EXPECT_EQ(sampled.confirmed, sampled.result.answers.size());
+  EXPECT_LE(sampled.confirmed, sampled.candidates_from_sample);
+  for (const Itemset& s : sampled.result.answers) {
+    EXPECT_TRUE(exact.ContainsAnswer(s)) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingSoundnessTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Sampling, StrongPlantedRulesSurviveSampling) {
+  RuleGeneratorConfig config;
+  config.num_transactions = 10000;
+  config.num_items = 60;
+  config.avg_transaction_size = 8.0;
+  config.num_rules = 5;
+  config.seed = 77;
+  RuleGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  const ItemCatalog catalog = testutil::SmallCatalog(60);
+  const MiningOptions options = BaseOptions(config.num_transactions);
+  ConstraintSet no_constraints;
+  SamplingOptions sampling;
+  sampling.sample_fraction = 0.1;
+  sampling.seed = 5;
+  const SampledMiningResult sampled = MineBmsPlusPlusSampled(
+      db, catalog, no_constraints, options, sampling);
+  // 70-90%-support rules are unmissable even in a 10% sample.
+  for (const Transaction& rule : generator.rules()) {
+    Itemset planted;
+    for (ItemId i : rule) planted = planted.WithItem(i);
+    EXPECT_TRUE(sampled.result.ContainsAnswer(planted))
+        << planted.ToString();
+  }
+  EXPECT_GT(sampled.sample_size, 800u);
+  EXPECT_LT(sampled.sample_size, 1200u);
+}
+
+TEST(Sampling, FullFractionMatchesExactMining) {
+  const TransactionDatabase db = testutil::SmallRandomDb(9, 10, 1500);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const MiningOptions options = BaseOptions(1500);
+  ConstraintSet constraints;
+  constraints.Add(MinLe(4.0));
+  SamplingOptions sampling;
+  sampling.sample_fraction = 1.0;
+  sampling.support_slack = 1.0;
+  const SampledMiningResult sampled = MineBmsPlusPlusSampled(
+      db, catalog, constraints, options, sampling);
+  const MiningResult exact =
+      MineBmsPlusPlus(db, catalog, constraints, options);
+  EXPECT_EQ(sampled.result.answers, exact.answers);
+  EXPECT_EQ(sampled.sample_size, db.num_transactions());
+}
+
+TEST(Sampling, RejectsBadFractions) {
+  const TransactionDatabase db = testutil::SmallRandomDb(1);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  ConstraintSet constraints;
+  const MiningOptions options = BaseOptions(300);
+  SamplingOptions sampling;
+  sampling.sample_fraction = 0.0;
+  EXPECT_DEATH(MineBmsPlusPlusSampled(db, catalog, constraints, options,
+                                      sampling),
+               "CCS_CHECK");
+  sampling.sample_fraction = 0.5;
+  sampling.support_slack = 1.5;
+  EXPECT_DEATH(MineBmsPlusPlusSampled(db, catalog, constraints, options,
+                                      sampling),
+               "CCS_CHECK");
+}
+
+}  // namespace
+}  // namespace ccs

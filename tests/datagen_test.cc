@@ -1,0 +1,210 @@
+// Tests for the synthetic data generators and catalog builders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/rule_generator.h"
+
+namespace ccs {
+namespace {
+
+TEST(IbmGenerator, ProducesRequestedShape) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 2000;
+  config.num_items = 100;
+  config.avg_transaction_size = 8.0;
+  config.avg_pattern_size = 3.0;
+  config.num_patterns = 50;
+  config.seed = 3;
+  IbmGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  EXPECT_EQ(db.num_transactions(), 2000u);
+  EXPECT_EQ(db.num_items(), 100u);
+  EXPECT_TRUE(db.finalized());
+  // Basket sizes follow Poisson(8) with clamping and pattern-boundary
+  // effects; the average should land near the target.
+  EXPECT_NEAR(db.AverageTransactionSize(), 8.0, 2.0);
+}
+
+TEST(IbmGenerator, DeterministicPerSeed) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 200;
+  config.num_items = 50;
+  config.avg_transaction_size = 5.0;
+  config.num_patterns = 20;
+  config.seed = 11;
+  const TransactionDatabase a = IbmGenerator(config).Generate();
+  const TransactionDatabase b = IbmGenerator(config).Generate();
+  ASSERT_EQ(a.num_transactions(), b.num_transactions());
+  for (std::size_t t = 0; t < a.num_transactions(); ++t) {
+    EXPECT_EQ(a.transaction(t), b.transaction(t)) << t;
+  }
+  config.seed = 12;
+  const TransactionDatabase c = IbmGenerator(config).Generate();
+  bool any_difference = false;
+  for (std::size_t t = 0; t < a.num_transactions() && !any_difference; ++t) {
+    any_difference = a.transaction(t) != c.transaction(t);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(IbmGenerator, PatternsAreValidItemsets) {
+  IbmGeneratorConfig config;
+  config.num_items = 40;
+  config.num_patterns = 30;
+  config.seed = 5;
+  IbmGenerator generator(config);
+  ASSERT_EQ(generator.patterns().size(), 30u);
+  for (const auto& pattern : generator.patterns()) {
+    ASSERT_FALSE(pattern.empty());
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      EXPECT_LT(pattern[i], 40u);
+      if (i > 0) {
+        EXPECT_LT(pattern[i - 1], pattern[i]);
+      }
+    }
+  }
+}
+
+TEST(IbmGenerator, NonEmptyBaskets) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 500;
+  config.num_items = 30;
+  config.avg_transaction_size = 2.0;
+  config.seed = 8;
+  const TransactionDatabase db = IbmGenerator(config).Generate();
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    EXPECT_FALSE(db.transaction(t).empty()) << t;
+  }
+}
+
+TEST(RuleGenerator, PlantedRulesAreDisjointPrefixes) {
+  RuleGeneratorConfig config;
+  config.num_rules = 3;
+  config.rule_size = 2;
+  config.num_items = 20;
+  config.seed = 1;
+  RuleGenerator generator(config);
+  ASSERT_EQ(generator.rules().size(), 3u);
+  EXPECT_EQ(generator.rules()[0], (Transaction{0, 1}));
+  EXPECT_EQ(generator.rules()[1], (Transaction{2, 3}));
+  EXPECT_EQ(generator.rules()[2], (Transaction{4, 5}));
+  for (double s : generator.rule_supports()) {
+    EXPECT_GE(s, 0.70);
+    EXPECT_LE(s, 0.90);
+  }
+}
+
+TEST(RuleGenerator, PlantedSupportsMatchObservedFrequency) {
+  RuleGeneratorConfig config;
+  config.num_transactions = 4000;
+  config.num_items = 50;
+  config.avg_transaction_size = 10.0;
+  config.num_rules = 4;
+  config.rule_size = 2;
+  config.seed = 21;
+  RuleGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  for (std::size_t r = 0; r < 4; ++r) {
+    const Transaction& rule = generator.rules()[r];
+    std::size_t joint = 0;
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+      bool all = true;
+      for (ItemId i : rule) all = all && db.Contains(t, i);
+      joint += all ? 1 : 0;
+    }
+    const double observed =
+        static_cast<double>(joint) / static_cast<double>(db.num_transactions());
+    EXPECT_NEAR(observed, generator.rule_supports()[r], 0.03) << r;
+  }
+}
+
+TEST(RuleGenerator, RuleItemsArePositivelyCorrelated) {
+  RuleGeneratorConfig config;
+  config.num_transactions = 4000;
+  config.num_items = 50;
+  config.avg_transaction_size = 10.0;
+  config.num_rules = 2;
+  config.rule_size = 2;
+  config.seed = 33;
+  RuleGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  const double n = static_cast<double>(db.num_transactions());
+  for (const Transaction& rule : generator.rules()) {
+    std::size_t joint = 0;
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+      if (db.Contains(t, rule[0]) && db.Contains(t, rule[1])) ++joint;
+    }
+    const double p0 = static_cast<double>(db.ItemSupport(rule[0])) / n;
+    const double p1 = static_cast<double>(db.ItemSupport(rule[1])) / n;
+    EXPECT_GT(joint / n, 1.05 * p0 * p1);
+  }
+}
+
+TEST(RuleGenerator, SmallUniverseTerminates) {
+  // Regression: the filler used to spin when the Poisson target exceeded
+  // the reachable basket size (rules silent + small free pool).
+  RuleGeneratorConfig config;
+  config.num_transactions = 500;
+  config.num_items = 12;
+  config.avg_transaction_size = 5.0;
+  config.num_rules = 2;
+  config.rule_size = 2;
+  config.seed = 7;
+  const TransactionDatabase db = RuleGenerator(config).Generate();
+  EXPECT_EQ(db.num_transactions(), 500u);
+}
+
+TEST(RuleGenerator, RejectsOversizedReservation) {
+  RuleGeneratorConfig config;
+  config.num_items = 5;
+  config.num_rules = 3;
+  config.rule_size = 2;
+  EXPECT_DEATH(RuleGenerator{config}, "CCS_CHECK");
+}
+
+TEST(CatalogGenerator, LinearPricesAreItemNumberPlusOne) {
+  const ItemCatalog catalog = MakeLinearPriceCatalog(10);
+  ASSERT_EQ(catalog.num_items(), 10u);
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(catalog.price(i), static_cast<double>(i + 1));
+  }
+  // Types cycle through the default list.
+  EXPECT_EQ(catalog.type(0), catalog.type(8));
+  EXPECT_NE(catalog.type(0), catalog.type(1));
+}
+
+TEST(CatalogGenerator, UniformPricesWithinRange) {
+  const ItemCatalog catalog = MakeUniformPriceCatalog(100, 5.0, 9.0, 4);
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_GE(catalog.price(i), 5.0);
+    EXPECT_LT(catalog.price(i), 9.0);
+  }
+}
+
+TEST(CatalogGenerator, ThresholdForSelectivityLinear) {
+  const ItemCatalog catalog = MakeLinearPriceCatalog(100);  // prices 1..100
+  EXPECT_DOUBLE_EQ(PriceThresholdForSelectivity(catalog, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(PriceThresholdForSelectivity(catalog, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(PriceThresholdForSelectivity(catalog, 1.0), 100.0);
+  // Zero selectivity: a threshold below every price.
+  EXPECT_LT(PriceThresholdForSelectivity(catalog, 0.0), 1.0);
+}
+
+TEST(CatalogGenerator, ThresholdSelectsRequestedFraction) {
+  const ItemCatalog catalog = MakeUniformPriceCatalog(200, 0.0, 1.0, 9);
+  for (double sel : {0.1, 0.3, 0.7}) {
+    const double v = PriceThresholdForSelectivity(catalog, sel);
+    std::size_t selected = 0;
+    for (ItemId i = 0; i < 200; ++i) {
+      if (catalog.price(i) <= v) ++selected;
+    }
+    EXPECT_EQ(selected, static_cast<std::size_t>(sel * 200)) << sel;
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,155 @@
+// Randomized differential testing beyond the oracle's reach: larger
+// universes where exhaustive enumeration is impractical, checked by
+// cross-engine agreement and the structural theorems. Complements
+// core_algorithms_test (which pins to the oracle on small universes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fpgrowth.h"
+#include "constraints/agg_constraint.h"
+#include "constraints/set_constraint.h"
+#include "core/miner.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/zipf_generator.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+struct FuzzConfig {
+  std::uint64_t seed;
+  bool zipf;
+};
+
+TransactionDatabase MakeDb(const FuzzConfig& config) {
+  if (config.zipf) {
+    ZipfGeneratorConfig zipf;
+    zipf.num_transactions = 1500;
+    zipf.num_items = 30;
+    zipf.avg_transaction_size = 6.0;
+    zipf.num_groups = 3;
+    zipf.group_probability = 0.35;
+    zipf.seed = config.seed;
+    return ZipfGenerator(zipf).Generate();
+  }
+  IbmGeneratorConfig ibm;
+  ibm.num_transactions = 1500;
+  ibm.num_items = 30;
+  ibm.avg_transaction_size = 6.0;
+  ibm.avg_pattern_size = 3.0;
+  ibm.num_patterns = 12;
+  ibm.seed = config.seed;
+  return IbmGenerator(ibm).Generate();
+}
+
+ItemCatalog MakeCatalog() {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 30; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 4]);
+  }
+  return catalog;
+}
+
+// Random constraint set drawn from the paper's families.
+ConstraintSet RandomConstraints(Rng& rng) {
+  ConstraintSet set;
+  const int variant = static_cast<int>(rng.NextBounded(6));
+  switch (variant) {
+    case 0:
+      set.Add(MaxLe(rng.NextDouble(5.0, 30.0)));
+      break;
+    case 1:
+      set.Add(SumLe(rng.NextDouble(10.0, 60.0)));
+      break;
+    case 2:
+      set.Add(MinLe(rng.NextDouble(3.0, 20.0)));
+      break;
+    case 3:
+      set.Add(SumGe(rng.NextDouble(5.0, 40.0)));
+      break;
+    case 4:
+      set.Add(MaxLe(rng.NextDouble(10.0, 30.0)));
+      set.Add(MinLe(rng.NextDouble(3.0, 15.0)));
+      break;
+    default:
+      set.Add(std::make_unique<TypeIntersectsConstraint>(
+          std::vector<std::string>{"a"}));
+      set.Add(SumLe(rng.NextDouble(20.0, 70.0)));
+      break;
+  }
+  return set;
+}
+
+class DifferentialTest : public testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(DifferentialTest, EnginesAgreeAcrossRandomQueries) {
+  const TransactionDatabase db = MakeDb(GetParam());
+  const ItemCatalog catalog = MakeCatalog();
+  Rng rng(GetParam().seed * 1000 + 17);
+  for (int round = 0; round < 6; ++round) {
+    const ConstraintSet constraints = RandomConstraints(rng);
+    MiningOptions options;
+    options.significance = 0.9;
+    options.min_support = 50 + rng.NextBounded(80);
+    options.min_cell_fraction = rng.NextBernoulli(0.5) ? 0.25 : 0.5;
+    options.max_set_size = 4;
+
+    const auto plus =
+        Mine(Algorithm::kBmsPlus, db, catalog, constraints, options);
+    const auto plus_plus =
+        Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options);
+    EXPECT_EQ(plus.answers, plus_plus.answers)
+        << constraints.ToString() << " s=" << options.min_support;
+
+    const auto star =
+        Mine(Algorithm::kBmsStar, db, catalog, constraints, options);
+    const auto star_star =
+        Mine(Algorithm::kBmsStarStar, db, catalog, constraints, options);
+    const auto opt =
+        Mine(Algorithm::kBmsStarStarOpt, db, catalog, constraints, options);
+    EXPECT_EQ(star.answers, star_star.answers) << constraints.ToString();
+    EXPECT_EQ(star.answers, opt.answers) << constraints.ToString();
+
+    // Theorem 1.1 on every query; 1.2 when applicable.
+    for (const Itemset& s : plus.answers) {
+      EXPECT_TRUE(std::binary_search(star.answers.begin(),
+                                     star.answers.end(), s))
+          << constraints.ToString() << " " << s.ToString();
+    }
+    if (constraints.AllAntiMonotone()) {
+      EXPECT_EQ(plus.answers, star.answers) << constraints.ToString();
+    }
+  }
+}
+
+TEST_P(DifferentialTest, FrequentEnginesAgreeOnRandomData) {
+  const TransactionDatabase db = MakeDb(GetParam());
+  for (std::uint64_t support : {60u, 120u, 240u}) {
+    AprioriOptions options;
+    options.min_support = support;
+    options.max_set_size = 5;
+    const auto apriori = MineApriori(db, options);
+    EXPECT_EQ(MineEclat(db, options).frequent, apriori.frequent)
+        << support;
+    EXPECT_EQ(MineFpGrowth(db, options).frequent, apriori.frequent)
+        << support;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DifferentialTest,
+    testing::Values(FuzzConfig{101, false}, FuzzConfig{202, false},
+                    FuzzConfig{303, false}, FuzzConfig{404, true},
+                    FuzzConfig{505, true}, FuzzConfig{606, true}),
+    [](const testing::TestParamInfo<FuzzConfig>& info) {
+      return std::string(info.param.zipf ? "Zipf" : "Ibm") +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,209 @@
+// End-to-end integration: paper-scale-ish data from both generators, all
+// algorithms, cross-agreement (the universes here are too large for the
+// oracle), planted-rule recovery, and parser-to-miner flows.
+
+#include <gtest/gtest.h>
+
+#include "constraints/agg_constraint.h"
+#include "core/miner.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/rule_generator.h"
+#include "query/parser.h"
+
+namespace ccs {
+namespace {
+
+MiningOptions MediumOptions(std::size_t num_txns) {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = num_txns / 20;  // 5%
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 5;
+  return options;
+}
+
+class IntegrationTest : public testing::Test {
+ protected:
+  static constexpr std::size_t kItems = 60;
+  static constexpr std::size_t kTxns = 3000;
+
+  static TransactionDatabase IbmDb() {
+    IbmGeneratorConfig config;
+    config.num_transactions = kTxns;
+    config.num_items = kItems;
+    config.avg_transaction_size = 8.0;
+    config.avg_pattern_size = 3.0;
+    config.num_patterns = 30;
+    config.seed = 2000;
+    return IbmGenerator(config).Generate();
+  }
+
+  static RuleGeneratorConfig RuleConfig() {
+    RuleGeneratorConfig config;
+    config.num_transactions = kTxns;
+    config.num_items = kItems;
+    config.avg_transaction_size = 8.0;
+    config.num_rules = 5;
+    config.rule_size = 2;
+    config.seed = 2001;
+    return config;
+  }
+};
+
+TEST_F(IntegrationTest, ValidMinAlgorithmsAgreeOnIbmData) {
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  for (const char* query :
+       {"max(S.price) <= 30", "sum(S.price) <= 60", "min(S.price) <= 30",
+        "min(S.price) <= 30 & max(S.price) <= 50"}) {
+    const auto constraints = ParseConstraints(query);
+    ASSERT_TRUE(constraints.has_value()) << query;
+    const auto plus =
+        Mine(Algorithm::kBmsPlus, db, catalog, *constraints, options);
+    const auto plus_plus =
+        Mine(Algorithm::kBmsPlusPlus, db, catalog, *constraints, options);
+    EXPECT_EQ(plus.answers, plus_plus.answers) << query;
+  }
+}
+
+TEST_F(IntegrationTest, MinValidAlgorithmsAgreeOnIbmData) {
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  for (const char* query :
+       {"max(S.price) <= 30", "min(S.price) <= 12", "sum(S.price) >= 40",
+        "min(S.price) <= 12 & sum(S.price) <= 90"}) {
+    const auto constraints = ParseConstraints(query);
+    ASSERT_TRUE(constraints.has_value()) << query;
+    const auto star =
+        Mine(Algorithm::kBmsStar, db, catalog, *constraints, options);
+    const auto star_star =
+        Mine(Algorithm::kBmsStarStar, db, catalog, *constraints, options);
+    const auto opt =
+        Mine(Algorithm::kBmsStarStarOpt, db, catalog, *constraints, options);
+    EXPECT_EQ(star.answers, star_star.answers) << query;
+    EXPECT_EQ(star.answers, opt.answers) << query;
+  }
+}
+
+TEST_F(IntegrationTest, AntiMonotoneQueriesCollapseAllFourAlgorithms) {
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  const auto constraints =
+      ParseConstraints("max(S.price) <= 40 & sum(S.price) <= 100");
+  ASSERT_TRUE(constraints.has_value());
+  ASSERT_TRUE(constraints->AllAntiMonotone());
+  const auto plus =
+      Mine(Algorithm::kBmsPlus, db, catalog, *constraints, options);
+  for (Algorithm a : {Algorithm::kBmsPlusPlus, Algorithm::kBmsStar,
+                      Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt}) {
+    EXPECT_EQ(Mine(a, db, catalog, *constraints, options).answers,
+              plus.answers)
+        << AlgorithmName(a);
+  }
+}
+
+TEST_F(IntegrationTest, PlantedRulesAreMinedByEveryAlgorithm) {
+  // The stated purpose of the paper's second data generator: verify the
+  // algorithms "really correctly mine out all the correlation rules, which
+  // are known in advance".
+  const RuleGeneratorConfig config = RuleConfig();
+  RuleGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  ConstraintSet empty;
+  for (Algorithm a : kAllAlgorithms) {
+    const auto result = Mine(a, db, catalog, empty, options);
+    for (const Transaction& rule : generator.rules()) {
+      Itemset planted;
+      for (ItemId i : rule) planted = planted.WithItem(i);
+      EXPECT_TRUE(result.ContainsAnswer(planted))
+          << AlgorithmName(a) << " missed " << planted.ToString();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ConstraintSelectivityShrinksBmsPlusPlusWork) {
+  // The Figure 2 effect: lower selectivity => fewer tables for BMS++,
+  // while BMS+ is oblivious to the constraint.
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  std::uint64_t previous = 0;
+  bool first = true;
+  ConstraintSet unconstrained;
+  const auto baseline =
+      Mine(Algorithm::kBmsPlus, db, catalog, unconstrained, options);
+  for (double selectivity : {0.1, 0.3, 0.5, 0.8}) {
+    ConstraintSet constraints;
+    constraints.Add(
+        MaxLe(PriceThresholdForSelectivity(catalog, selectivity)));
+    const auto result =
+        Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options);
+    EXPECT_LE(result.stats.TotalTablesBuilt(),
+              baseline.stats.TotalTablesBuilt());
+    if (!first) {
+      EXPECT_GE(result.stats.TotalTablesBuilt(), previous)
+          << "selectivity " << selectivity;
+    }
+    previous = result.stats.TotalTablesBuilt();
+    first = false;
+  }
+}
+
+TEST_F(IntegrationTest, ParserDrivenEndToEnd) {
+  // The paper's Section 2.2 style query, typed as text and executed.
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const auto constraints = ParseConstraints(
+      "{snacks} disjoint S.type & max(S.price) <= 55 & sum(S.price) >= 10");
+  ASSERT_TRUE(constraints.has_value());
+  const MiningOptions options = MediumOptions(kTxns);
+  const auto valid_min =
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, *constraints, options);
+  for (const Itemset& s : valid_min.answers) {
+    EXPECT_TRUE(constraints->TestAll(s.span(), catalog)) << s.ToString();
+    for (ItemId i : s) {
+      EXPECT_NE(catalog.type_name(catalog.type(i)), "snacks");
+      EXPECT_LE(catalog.price(i), 55.0);
+    }
+  }
+  const auto min_valid =
+      Mine(Algorithm::kBmsStarStar, db, catalog, *constraints, options);
+  // Theorem 1.1 on real data.
+  for (const Itemset& s : valid_min.answers) {
+    EXPECT_TRUE(std::binary_search(min_valid.answers.begin(),
+                                   min_valid.answers.end(), s));
+  }
+}
+
+TEST_F(IntegrationTest, StatsAccountingIsConsistent) {
+  const TransactionDatabase db = IbmDb();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(kItems);
+  const MiningOptions options = MediumOptions(kTxns);
+  const auto constraints = ParseConstraints("min(S.price) <= 30");
+  ASSERT_TRUE(constraints.has_value());
+  for (Algorithm a : kAllAlgorithms) {
+    const auto result = Mine(a, db, catalog, *constraints, options);
+    std::uint64_t candidates = 0;
+    for (const auto& level : result.stats.levels) {
+      // Every candidate is pruned, unsupported, or judged.
+      EXPECT_LE(level.pruned_before_ct, level.candidates);
+      EXPECT_LE(level.ct_supported, level.tables_built);
+      EXPECT_LE(level.sig_added + level.notsig_added, level.ct_supported);
+      candidates += level.candidates;
+    }
+    EXPECT_EQ(candidates, result.stats.TotalCandidates());
+    EXPECT_GT(result.stats.elapsed_seconds, 0.0);
+    if (a != Algorithm::kBms) {
+      EXPECT_GE(result.stats.TotalCandidates(), result.answers.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccs

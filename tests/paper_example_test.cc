@@ -1,0 +1,150 @@
+// Reconstructs the running examples of the paper's Section 2 on a
+// purpose-built database: the milk/bread/cheese scenario where
+// VALID_MIN(Q) is a proper subset of MIN_VALID(Q).
+
+#include <gtest/gtest.h>
+
+#include "constraints/agg_constraint.h"
+#include "core/bms.h"
+#include "core/miner.h"
+#include "core/oracle.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+// Items 0..4 = milk, bread, butter, cereal, cheese with price(i) = i + 1
+// ("let item i have price $i").
+constexpr ItemId kMilk = 0;
+constexpr ItemId kBread = 1;
+constexpr ItemId kCheese = 4;
+
+ItemCatalog PaperCatalog() {
+  ItemCatalog catalog;
+  catalog.AddItem(1.0, "dairy", "milk");
+  catalog.AddItem(2.0, "bakery", "bread");
+  catalog.AddItem(3.0, "dairy", "butter");
+  catalog.AddItem(4.0, "cereal", "cereal");
+  catalog.AddItem(5.0, "dairy", "cheese");
+  return catalog;
+}
+
+// milk and bread co-occur strongly (correlated); cheese is frequent and
+// independent of both; butter and cereal are frequent background noise.
+TransactionDatabase PaperDb() {
+  Rng rng(99);
+  TransactionDatabase db(5);
+  for (int t = 0; t < 1000; ++t) {
+    Transaction txn;
+    if (rng.NextBernoulli(0.5)) {
+      txn.push_back(kMilk);
+      txn.push_back(kBread);
+    } else {
+      if (rng.NextBernoulli(0.25)) txn.push_back(kMilk);
+      if (rng.NextBernoulli(0.25)) txn.push_back(kBread);
+    }
+    if (rng.NextBernoulli(0.5)) txn.push_back(kCheese);
+    if (rng.NextBernoulli(0.4)) txn.push_back(2);
+    if (rng.NextBernoulli(0.4)) txn.push_back(3);
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+MiningOptions PaperOptions() {
+  MiningOptions options;
+  options.significance = 0.95;
+  options.min_support = 50;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  return options;
+}
+
+TEST(PaperExample, MilkBreadIsMinimalCorrelated) {
+  const TransactionDatabase db = PaperDb();
+  const MiningResult bms = MineBms(db, PaperOptions());
+  EXPECT_TRUE(bms.ContainsAnswer(Itemset{kMilk, kBread}));
+  // cheese is independent of milk and bread.
+  EXPECT_FALSE(bms.ContainsAnswer(Itemset{kMilk, kCheese}));
+  EXPECT_FALSE(bms.ContainsAnswer(Itemset{kBread, kCheese}));
+}
+
+TEST(PaperExample, ValidMinIsProperSubsetOfMinValid) {
+  // Constraint from Section 2: max(S.price) >= 5 — monotone. {milk, bread}
+  // is minimal correlated but invalid (max price 2); adding cheese
+  // (price 5) makes it valid, correlated (superset), and CT-supported, so
+  // {milk, bread, cheese} is a minimal valid answer that is not a valid
+  // minimal answer.
+  const TransactionDatabase db = PaperDb();
+  const ItemCatalog catalog = PaperCatalog();
+  const MiningOptions options = PaperOptions();
+  ConstraintSet constraints;
+  constraints.Add(MaxGe(5.0));
+
+  const auto valid_min =
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options)
+          .answers;
+  const auto min_valid =
+      Mine(Algorithm::kBmsStarStar, db, catalog, constraints, options)
+          .answers;
+
+  const Itemset milk_bread_cheese{kMilk, kBread, kCheese};
+  EXPECT_FALSE(std::binary_search(valid_min.begin(), valid_min.end(),
+                                  milk_bread_cheese));
+  EXPECT_TRUE(std::binary_search(min_valid.begin(), min_valid.end(),
+                                 milk_bread_cheese));
+  // VALID_MIN is a subset of MIN_VALID (Theorem 1.1) and here proper.
+  for (const Itemset& s : valid_min) {
+    EXPECT_TRUE(std::binary_search(min_valid.begin(), min_valid.end(), s));
+  }
+  EXPECT_LT(valid_min.size(), min_valid.size());
+
+  // Both match the oracle's literal definitions.
+  const Oracle oracle(db, catalog, options);
+  EXPECT_EQ(valid_min, oracle.ValidMinimal(constraints));
+  EXPECT_EQ(min_valid, oracle.MinimalValid(constraints));
+}
+
+TEST(PaperExample, AntiMonotoneConstraintCollapsesTheTwoSemantics) {
+  // Theorem 1.2 on the same data: with max(S.price) <= 4 (anti-monotone)
+  // the two answer sets coincide.
+  const TransactionDatabase db = PaperDb();
+  const ItemCatalog catalog = PaperCatalog();
+  const MiningOptions options = PaperOptions();
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(4.0));
+  const auto valid_min =
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options)
+          .answers;
+  const auto min_valid =
+      Mine(Algorithm::kBmsStarStar, db, catalog, constraints, options)
+          .answers;
+  EXPECT_EQ(valid_min, min_valid);
+  EXPECT_TRUE(std::binary_search(valid_min.begin(), valid_min.end(),
+                                 (Itemset{kMilk, kBread})));
+}
+
+TEST(PaperExample, CheapShopperQueryFromTheIntroduction) {
+  // "customers who do not want to spend a lot of money overall, only buy
+  // the cheaper items": S.price < c & sum(S.price) < maxsum — both
+  // anti-monotone, the first succinct. With c = 3 only milk and bread
+  // qualify, and their correlation survives the filter.
+  const TransactionDatabase db = PaperDb();
+  const ItemCatalog catalog = PaperCatalog();
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(3.0));
+  constraints.Add(SumLe(4.0));
+  EXPECT_TRUE(constraints.AllAntiMonotone());
+  const auto result =
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, PaperOptions());
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0], (Itemset{kMilk, kBread}));
+  // The succinct constraint shrinks the universe before any table is
+  // built: only items priced <= 3 participate.
+  ASSERT_GE(result.stats.levels.size(), 3u);
+  EXPECT_LE(result.stats.levels[2].candidates, 3u);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,151 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ccs {
+namespace {
+
+using Items = std::vector<ItemId>;
+
+ItemCatalog TestCatalog() {
+  ItemCatalog catalog;
+  const char* types[] = {"soda", "snacks", "frozenfood"};
+  for (int i = 0; i < 9; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 3]);
+  }
+  return catalog;
+}
+
+TEST(Parser, SingleAggConstraint) {
+  const auto set = ParseConstraints("max(S.price) <= 50");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 1u);
+  EXPECT_EQ(set->at(0).ToString(), "max(S.price) <= 50");
+  EXPECT_EQ(set->at(0).monotonicity(), Monotonicity::kAntiMonotone);
+}
+
+TEST(Parser, ConjunctionFromThePaper) {
+  // The Section 2.2 example query's constraint part.
+  const auto set = ParseConstraints(
+      "{snacks} disjoint S.type & {soda, frozenfood} subset S.type & "
+      "max(S.price) <= 50 & sum(S.price) >= 100");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 4u);
+
+  const ItemCatalog catalog = TestCatalog();
+  // items: prices i+1; types soda(0,3,6), snacks(1,4,7), frozenfood(2,5,8).
+  // {6, 8} + enough sum: soda item 6 (price 7) + frozenfood 8 (price 9):
+  // sum 16 < 100 -> fails; check bucket membership separately.
+  const std::vector<ItemId> s = {6, 8};
+  EXPECT_TRUE(set->TestAntiMonotone(s, catalog));
+  EXPECT_TRUE(set->TestMonotone(Items{6, 8}, catalog) == false);  // sum too small
+}
+
+TEST(Parser, CountConstraint) {
+  const auto set = ParseConstraints("count(S) >= 2");
+  ASSERT_TRUE(set.has_value());
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_FALSE(set->TestAll(Items{1}, catalog));
+  EXPECT_TRUE(set->TestAll(Items{1, 2}, catalog));
+}
+
+TEST(Parser, EqualityExpandsToPair) {
+  const auto set = ParseConstraints("sum(S.price) = 5");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 2u);
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_TRUE(set->TestAll(Items{0, 3}, catalog));   // prices 1 + 4
+  EXPECT_FALSE(set->TestAll(Items{0, 1}, catalog));  // 3
+  EXPECT_FALSE(set->TestAll(Items{2, 3}, catalog));  // 7
+}
+
+TEST(Parser, TypeCountConstraint) {
+  const auto set = ParseConstraints("|S.type| <= 1");
+  ASSERT_TRUE(set.has_value());
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_TRUE(set->TestAll(Items{0, 3}, catalog));   // both soda
+  EXPECT_FALSE(set->TestAll(Items{0, 1}, catalog));  // soda + snacks
+}
+
+TEST(Parser, TypeCountEquality) {
+  const auto set = ParseConstraints("|S.type| = 2");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 2u);
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_FALSE(set->TestAll(Items{0, 3}, catalog));
+  EXPECT_TRUE(set->TestAll(Items{0, 1}, catalog));
+  EXPECT_FALSE(set->TestAll(Items{0, 1, 2}, catalog));
+}
+
+TEST(Parser, TypeSubset) {
+  const auto set = ParseConstraints("S.type subset {soda, snacks}");
+  ASSERT_TRUE(set.has_value());
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_TRUE(set->TestAll(Items{0, 1}, catalog));
+  EXPECT_FALSE(set->TestAll(Items{0, 2}, catalog));
+}
+
+TEST(Parser, TypeIntersects) {
+  const auto set = ParseConstraints("{soda} intersects S.type");
+  ASSERT_TRUE(set.has_value());
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_TRUE(set->TestAll(Items{0, 1}, catalog));
+  EXPECT_FALSE(set->TestAll(Items{1, 2}, catalog));
+  EXPECT_TRUE(set->has_pushed_witness());
+}
+
+TEST(Parser, ItemSets) {
+  const auto set = ParseConstraints("{1, 3} subset S & {5} disjoint S");
+  ASSERT_TRUE(set.has_value());
+  const ItemCatalog catalog = TestCatalog();
+  EXPECT_TRUE(set->TestAll(Items{1, 3, 4}, catalog));
+  EXPECT_FALSE(set->TestAll(Items{1, 4}, catalog));
+  EXPECT_FALSE(set->TestAll(Items{1, 3, 5}, catalog));
+}
+
+TEST(Parser, AvgConstraintIsUnclassified) {
+  const auto set = ParseConstraints("avg(S.price) <= 3");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_TRUE(set->has_unclassified());
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const auto set = ParseConstraints("  min(S.price)>=2   &max(S.price)<=7 ");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 2u);
+}
+
+struct BadQuery {
+  const char* name;
+  const char* text;
+};
+
+class ParserErrorTest : public testing::TestWithParam<BadQuery> {};
+
+TEST_P(ParserErrorTest, RejectsWithDiagnostic) {
+  std::string error;
+  EXPECT_FALSE(ParseConstraints(GetParam().text, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("position"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    testing::Values(BadQuery{"Empty", ""},
+                    BadQuery{"UnknownAgg", "median(S.price) <= 3"},
+                    BadQuery{"MissingOp", "max(S.price) 3"},
+                    BadQuery{"BadComparator", "max(S.price) < 3"},
+                    BadQuery{"MissingNumber", "max(S.price) <= x"},
+                    BadQuery{"TrailingInput", "max(S.price) <= 3 extra"},
+                    BadQuery{"DanglingAmp", "max(S.price) <= 3 &"},
+                    BadQuery{"UnclosedBrace", "{soda subset S.type"},
+                    BadQuery{"AvgEquality", "avg(S.price) = 3"},
+                    BadQuery{"WrongTarget", "max(S.cost) <= 3"},
+                    BadQuery{"ItemSetVerb", "{1,2} intersects S"},
+                    BadQuery{"BadChar", "max(S.price) <= 3 # comment"}),
+    [](const testing::TestParamInfo<BadQuery>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ccs

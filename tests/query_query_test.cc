@@ -1,0 +1,118 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+TEST(ParseQuery, DefaultsWithEmptyInput) {
+  const auto q = ParseQuery("");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->semantics, AnswerSemantics::kValidMinimal);
+  EXPECT_TRUE(q->constraints.empty());
+  EXPECT_DOUBLE_EQ(q->significance, 0.9);
+  EXPECT_DOUBLE_EQ(q->support_fraction, 0.05);
+  EXPECT_EQ(q->DefaultAlgorithm(), Algorithm::kBmsPlusPlus);
+}
+
+TEST(ParseQuery, FullForm) {
+  const auto q = ParseQuery(
+      "min_valid where min(S.price) <= 20 & max(S.price) <= 80 "
+      "with alpha = 0.95, support = 0.02, cells = 0.5, maxsize = 3");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->semantics, AnswerSemantics::kMinimalValid);
+  EXPECT_EQ(q->constraints.size(), 2u);
+  EXPECT_DOUBLE_EQ(q->significance, 0.95);
+  EXPECT_DOUBLE_EQ(q->support_fraction, 0.02);
+  EXPECT_DOUBLE_EQ(q->min_cell_fraction, 0.5);
+  EXPECT_EQ(q->max_set_size, 3u);
+  EXPECT_EQ(q->DefaultAlgorithm(), Algorithm::kBmsStarStar);
+}
+
+TEST(ParseQuery, SemanticsKeywords) {
+  EXPECT_EQ(ParseQuery("valid_min")->semantics,
+            AnswerSemantics::kValidMinimal);
+  EXPECT_EQ(ParseQuery("min_valid")->semantics,
+            AnswerSemantics::kMinimalValid);
+  EXPECT_EQ(ParseQuery("all")->semantics, AnswerSemantics::kUnconstrained);
+  EXPECT_EQ(ParseQuery("ALL")->semantics, AnswerSemantics::kUnconstrained);
+  EXPECT_EQ(ParseQuery("all")->DefaultAlgorithm(), Algorithm::kBms);
+}
+
+TEST(ParseQuery, WithOnly) {
+  const auto q = ParseQuery("with alpha = 0.99");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->significance, 0.99);
+  EXPECT_TRUE(q->constraints.empty());
+}
+
+TEST(ParseQuery, ResolveOptionsScalesSupport) {
+  const auto q = ParseQuery("valid_min with support = 0.1");
+  ASSERT_TRUE(q.has_value());
+  const TransactionDatabase db = testutil::SmallRandomDb(1, 10, 300);
+  const MiningOptions options = q->ResolveOptions(db);
+  EXPECT_EQ(options.min_support, 30u);
+  EXPECT_DOUBLE_EQ(options.significance, 0.9);
+}
+
+TEST(ParseQuery, ExecuteMatchesOracle) {
+  const TransactionDatabase db = testutil::SmallRandomDb(17);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const auto valid_min = ParseQuery(
+      "valid_min where max(S.price) <= 8 with support = 0.05, maxsize = 5");
+  const auto min_valid = ParseQuery(
+      "min_valid where min(S.price) <= 3 with support = 0.05, maxsize = 5");
+  ASSERT_TRUE(valid_min.has_value());
+  ASSERT_TRUE(min_valid.has_value());
+  const Oracle oracle(db, catalog, valid_min->ResolveOptions(db));
+  EXPECT_EQ(valid_min->Execute(db, catalog).answers,
+            oracle.ValidMinimal(valid_min->constraints));
+  const Oracle oracle2(db, catalog, min_valid->ResolveOptions(db));
+  EXPECT_EQ(min_valid->Execute(db, catalog).answers,
+            oracle2.MinimalValid(min_valid->constraints));
+}
+
+struct BadQueryCase {
+  const char* name;
+  const char* text;
+};
+
+class ParseQueryErrorTest : public testing::TestWithParam<BadQueryCase> {};
+
+TEST_P(ParseQueryErrorTest, Rejects) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery(GetParam().text, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseQueryErrorTest,
+    testing::Values(
+        BadQueryCase{"UnknownHead", "some_semantics where true"},
+        BadQueryCase{"WithBeforeWhere",
+                     "valid_min with alpha = 0.9 where max(S.price) <= 3"},
+        BadQueryCase{"BadConstraint", "valid_min where max(S.cost) <= 3"},
+        BadQueryCase{"BadParamName", "valid_min with beta = 0.9"},
+        BadQueryCase{"BadParamValue", "valid_min with alpha = high"},
+        BadQueryCase{"AlphaOutOfRange", "valid_min with alpha = 1.5"},
+        BadQueryCase{"SupportOutOfRange", "valid_min with support = 2"},
+        BadQueryCase{"MaxsizeTooSmall", "valid_min with maxsize = 1"},
+        BadQueryCase{"MissingEquals", "valid_min with alpha 0.9"},
+        BadQueryCase{"AllWithWhere", "all where max(S.price) <= 3"},
+        BadQueryCase{"MinValidWithAvg",
+                     "min_valid where avg(S.price) <= 3"}),
+    [](const testing::TestParamInfo<BadQueryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParseQuery, AvgAllowedForValidMin) {
+  const auto q = ParseQuery("valid_min where avg(S.price) <= 3");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->constraints.has_unclassified());
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,63 @@
+// End-to-end smoke test: a tiny planted-correlation database mined by every
+// algorithm, pinned against the oracle.
+
+#include <gtest/gtest.h>
+
+#include "constraints/agg_constraint.h"
+#include "core/miner.h"
+#include "core/oracle.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/rule_generator.h"
+
+namespace ccs {
+namespace {
+
+TEST(Smoke, AllAlgorithmsAgreeWithOracleOnPlantedRules) {
+  RuleGeneratorConfig config;
+  config.num_items = 12;
+  config.num_transactions = 500;
+  config.avg_transaction_size = 5;
+  config.num_rules = 2;
+  config.rule_size = 2;
+  config.seed = 7;
+  RuleGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  const ItemCatalog catalog = MakeLinearPriceCatalog(config.num_items);
+
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 25;  // 5% of 500
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(10.0));
+
+  const Oracle oracle(db, catalog, options);
+  const auto valid_min = oracle.ValidMinimal(constraints);
+  const auto min_valid = oracle.MinimalValid(constraints);
+
+  EXPECT_EQ(Mine(Algorithm::kBms, db, catalog, constraints, options).answers,
+            oracle.MinimalCorrelated());
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsPlus, db, catalog, constraints, options).answers,
+      valid_min);
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options)
+          .answers,
+      valid_min);
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsStar, db, catalog, constraints, options).answers,
+      min_valid);
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsStarStar, db, catalog, constraints, options)
+          .answers,
+      min_valid);
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsStarStarOpt, db, catalog, constraints, options)
+          .answers,
+      min_valid);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,88 @@
+#include "stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+namespace ccs::stats {
+namespace {
+
+// Published chi-squared upper-tail critical values: quantile(prob, df).
+struct QuantileCase {
+  double prob;
+  int df;
+  double expected;
+};
+
+class ChiSquaredQuantileTest : public testing::TestWithParam<QuantileCase> {};
+
+TEST_P(ChiSquaredQuantileTest, MatchesPublishedTable) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(ChiSquaredQuantile(c.prob, c.df), c.expected, 5e-3)
+      << "prob=" << c.prob << " df=" << c.df;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardTable, ChiSquaredQuantileTest,
+    testing::Values(QuantileCase{0.90, 1, 2.706}, QuantileCase{0.95, 1, 3.841},
+                    QuantileCase{0.99, 1, 6.635}, QuantileCase{0.90, 2, 4.605},
+                    QuantileCase{0.95, 2, 5.991}, QuantileCase{0.90, 4, 7.779},
+                    QuantileCase{0.95, 4, 9.488},
+                    QuantileCase{0.95, 10, 18.307},
+                    QuantileCase{0.99, 10, 23.209},
+                    QuantileCase{0.90, 30, 40.256},
+                    QuantileCase{0.50, 1, 0.455},
+                    QuantileCase{0.50, 5, 4.351}));
+
+TEST(ChiSquared, CdfSfComplementary) {
+  for (int df : {1, 2, 5, 20}) {
+    for (double x : {0.1, 1.0, 4.0, 15.0, 60.0}) {
+      EXPECT_NEAR(ChiSquaredCdf(x, df) + ChiSquaredSf(x, df), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquared, CdfAtZeroAndNegative) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredSf(0.0, 3), 1.0);
+}
+
+TEST(ChiSquared, QuantileRoundTrips) {
+  for (int df : {1, 3, 7, 15}) {
+    for (double p : {0.05, 0.5, 0.9, 0.99, 0.999}) {
+      const double x = ChiSquaredQuantile(p, df);
+      EXPECT_NEAR(ChiSquaredCdf(x, df), p, 1e-9) << df << " " << p;
+    }
+  }
+}
+
+TEST(ChiSquared, QuantileAtOrBelowZeroProbability) {
+  EXPECT_DOUBLE_EQ(ChiSquaredQuantile(0.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredQuantile(-0.5, 2), 0.0);
+}
+
+TEST(ChiSquared, QuantileMonotoneInDf) {
+  double prev = 0.0;
+  for (int df = 1; df <= 40; ++df) {
+    const double q = ChiSquaredQuantile(0.9, df);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChiSquaredCriticalValues, CachedMatchesDirect) {
+  ChiSquaredCriticalValues cache(0.9);
+  EXPECT_EQ(cache.alpha(), 0.9);
+  for (int df : {1, 2, 4, 11, 64, 100}) {
+    EXPECT_DOUBLE_EQ(cache.Get(df), ChiSquaredQuantile(0.9, df)) << df;
+    // Second access hits the cache; must be identical.
+    EXPECT_DOUBLE_EQ(cache.Get(df), ChiSquaredQuantile(0.9, df)) << df;
+  }
+}
+
+TEST(ChiSquaredCriticalValues, ZeroAlphaAlwaysCorrelated) {
+  ChiSquaredCriticalValues cache(0.0);
+  EXPECT_DOUBLE_EQ(cache.Get(1), 0.0);
+}
+
+}  // namespace
+}  // namespace ccs::stats

@@ -1,0 +1,137 @@
+#include "stats/contingency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/chi_squared.h"
+
+namespace ccs::stats {
+namespace {
+
+// The paper's Figure B (coffee/doughnuts, adapted from Brin et al.):
+// variable 0 = coffee, variable 1 = doughnuts.
+//   (coffee, doughnuts) = 30, (coffee, no-d) = 20,
+//   (no-c, doughnuts)   = 39, (no-c, no-d)   = 11;  N = 100.
+ContingencyTable FigureBTable() {
+  // cells indexed by mask: bit0 = coffee, bit1 = doughnuts.
+  return ContingencyTable(2, {11, 20, 39, 30});
+}
+
+TEST(ContingencyTable, FigureBMarginals) {
+  const auto table = FigureBTable();
+  EXPECT_EQ(table.total(), 100u);
+  EXPECT_EQ(table.MarginalCount(0), 50u);  // coffee row sum
+  EXPECT_EQ(table.MarginalCount(1), 69u);  // doughnuts column sum
+  EXPECT_EQ(table.cell(0b11), 30u);
+  EXPECT_EQ(table.cell(0b01), 20u);
+  EXPECT_EQ(table.cell(0b10), 39u);
+  EXPECT_EQ(table.cell(0b00), 11u);
+}
+
+TEST(ContingencyTable, FigureBExpectedCounts) {
+  const auto table = FigureBTable();
+  EXPECT_NEAR(table.ExpectedCount(0b11), 34.5, 1e-12);
+  EXPECT_NEAR(table.ExpectedCount(0b01), 15.5, 1e-12);
+  EXPECT_NEAR(table.ExpectedCount(0b10), 34.5, 1e-12);
+  EXPECT_NEAR(table.ExpectedCount(0b00), 15.5, 1e-12);
+}
+
+TEST(ContingencyTable, FigureBChiSquared) {
+  const auto table = FigureBTable();
+  // 2 * (4.5^2/34.5 + 4.5^2/15.5).
+  EXPECT_NEAR(table.ChiSquaredStatistic(), 3.786817, 1e-5);
+  // Correlated at 90% confidence (cutoff 2.706) but not at 95% (3.841).
+  EXPECT_GT(table.ChiSquaredStatistic(), ChiSquaredQuantile(0.90, 1));
+  EXPECT_LT(table.ChiSquaredStatistic(), ChiSquaredQuantile(0.95, 1));
+}
+
+TEST(ContingencyTable, ExpectedCountsSumToTotal) {
+  const auto table = FigureBTable();
+  double sum = 0.0;
+  for (std::uint32_t mask = 0; mask < 4; ++mask) {
+    sum += table.ExpectedCount(mask);
+  }
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(ContingencyTable, IndependentTableHasNearZeroStatistic) {
+  // Perfectly independent 2x2: p0 = 0.5, p1 = 0.4, N = 200.
+  ContingencyTable table(2, {60, 60, 40, 40});
+  EXPECT_NEAR(table.ChiSquaredStatistic(), 0.0, 1e-9);
+}
+
+TEST(ContingencyTable, PerfectCorrelationStatisticEqualsN) {
+  // Items always co-occur: chi2 = N for a 2x2 with p = 0.5.
+  ContingencyTable table(2, {50, 0, 0, 50});
+  EXPECT_NEAR(table.ChiSquaredStatistic(), 100.0, 1e-9);
+}
+
+TEST(ContingencyTable, DegenerateMarginalYieldsInfinityOrZero) {
+  // Variable 1 never occurs: E = 0 on its "present" cells; observed also 0
+  // there, so those cells contribute nothing (here the table is entirely
+  // explained by variable 0's marginal: statistic 0).
+  ContingencyTable never(2, {70, 30, 0, 0});
+  EXPECT_NEAR(never.ChiSquaredStatistic(), 0.0, 1e-9);
+}
+
+TEST(ContingencyTable, EmptyTableIsZero) {
+  ContingencyTable table(2, {0, 0, 0, 0});
+  EXPECT_EQ(table.total(), 0u);
+  EXPECT_DOUBLE_EQ(table.ChiSquaredStatistic(), 0.0);
+  EXPECT_DOUBLE_EQ(table.ExpectedCount(0), 0.0);
+}
+
+TEST(ContingencyTable, ThreeVariableExpectedProduct) {
+  // N = 8, each variable present in exactly half the transactions, all
+  // minterms equally likely -> E = 1 per cell, chi2 = 0.
+  ContingencyTable table(3, {1, 1, 1, 1, 1, 1, 1, 1});
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    EXPECT_NEAR(table.ExpectedCount(mask), 1.0, 1e-12) << mask;
+  }
+  EXPECT_NEAR(table.ChiSquaredStatistic(), 0.0, 1e-12);
+}
+
+TEST(ContingencyTable, FullIndependenceDf) {
+  EXPECT_EQ(ContingencyTable(1, {1, 1}).FullIndependenceDf(), 1);
+  EXPECT_EQ(ContingencyTable(2, {1, 1, 1, 1}).FullIndependenceDf(), 1);
+  EXPECT_EQ(ContingencyTable(3, std::vector<std::uint64_t>(8, 1))
+                .FullIndependenceDf(),
+            4);
+  EXPECT_EQ(ContingencyTable(4, std::vector<std::uint64_t>(16, 1))
+                .FullIndependenceDf(),
+            11);
+}
+
+TEST(ContingencyTable, SupportedCellFraction) {
+  const auto table = FigureBTable();  // cells 11, 20, 39, 30
+  EXPECT_DOUBLE_EQ(table.SupportedCellFraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(table.SupportedCellFraction(12), 0.75);
+  EXPECT_DOUBLE_EQ(table.SupportedCellFraction(25), 0.5);
+  EXPECT_DOUBLE_EQ(table.SupportedCellFraction(35), 0.25);
+  EXPECT_DOUBLE_EQ(table.SupportedCellFraction(40), 0.0);
+}
+
+TEST(ContingencyTable, IsCtSupportedThreshold) {
+  const auto table = FigureBTable();
+  EXPECT_TRUE(table.IsCtSupported(25, 0.5));
+  EXPECT_FALSE(table.IsCtSupported(25, 0.75));
+  EXPECT_TRUE(table.IsCtSupported(11, 1.0));
+  EXPECT_FALSE(table.IsCtSupported(12, 1.0));
+}
+
+TEST(ContingencyTable, SingleVariableIsNeverTestedButWellFormed) {
+  ContingencyTable table(1, {60, 40});
+  EXPECT_EQ(table.MarginalCount(0), 40u);
+  EXPECT_EQ(table.FullIndependenceDf(), 1);
+  // chi2 of a one-variable table against its own marginal is 0.
+  EXPECT_NEAR(table.ChiSquaredStatistic(), 0.0, 1e-12);
+}
+
+TEST(ContingencyTableDeath, RejectsWrongCellCount) {
+  EXPECT_DEATH(ContingencyTable(2, {1, 2, 3}), "CCS_CHECK");
+}
+
+}  // namespace
+}  // namespace ccs::stats

@@ -1,0 +1,90 @@
+#include "stats/fisher.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_squared.h"
+#include "stats/contingency.h"
+
+namespace ccs::stats {
+namespace {
+
+// R's fisher.test reference values.
+TEST(FisherExact, KnownTwoSidedValues) {
+  // fisher.test(matrix(c(1, 9, 11, 3), 2, 2)) -> p = 0.002759...
+  EXPECT_NEAR(FisherExactTwoSided(1, 9, 11, 3), 0.0027595, 1e-6);
+  // fisher.test(matrix(c(3, 1, 1, 3), 2, 2)) -> p = 0.4857...
+  EXPECT_NEAR(FisherExactTwoSided(3, 1, 1, 3), 0.4857143, 1e-6);
+  // Lady tasting tea: fisher.test(matrix(c(4, 0, 0, 4), 2, 2)) -> 0.02857.
+  EXPECT_NEAR(FisherExactTwoSided(4, 0, 0, 4), 0.0285714, 1e-6);
+}
+
+TEST(FisherExact, KnownOneSidedValues) {
+  // Lady tasting tea one-sided: 1/70.
+  EXPECT_NEAR(FisherExactGreater(4, 0, 0, 4), 1.0 / 70.0, 1e-9);
+  // One-sided >= observed includes the observed table.
+  EXPECT_NEAR(FisherExactGreater(3, 1, 1, 3), 16.0 / 70.0 + 1.0 / 70.0,
+              1e-9);
+}
+
+TEST(FisherExact, DegenerateTables) {
+  EXPECT_DOUBLE_EQ(FisherExactTwoSided(0, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FisherExactGreater(0, 0, 0, 0), 1.0);
+  // A table with an empty margin has a single possible configuration.
+  EXPECT_NEAR(FisherExactTwoSided(0, 5, 0, 5), 1.0, 1e-12);
+  EXPECT_NEAR(FisherExactGreater(5, 0, 5, 0), 1.0, 1e-12);
+}
+
+TEST(FisherExact, SymmetricUnderTransposition) {
+  for (auto [a, b, c, d] :
+       {std::tuple{5u, 2u, 3u, 8u}, std::tuple{1u, 7u, 4u, 2u}}) {
+    EXPECT_NEAR(FisherExactTwoSided(a, b, c, d),
+                FisherExactTwoSided(a, c, b, d), 1e-12);
+  }
+}
+
+TEST(FisherExact, AgreesWithChiSquaredOnLargeTables) {
+  // With comfortable cell counts the chi-squared p-value approximates the
+  // exact one.
+  const std::uint64_t a = 300;
+  const std::uint64_t b = 200;
+  const std::uint64_t c = 220;
+  const std::uint64_t d = 280;
+  const ContingencyTable table(2, {d, b, c, a});
+  const double chi2_p = ChiSquaredSf(table.ChiSquaredStatistic(), 1);
+  const double exact_p = FisherExactTwoSided(a, b, c, d);
+  EXPECT_NEAR(chi2_p, exact_p, 0.15 * exact_p + 1e-6);
+}
+
+TEST(FisherExact, PValueGrowsTowardIndependence) {
+  // Moving the observed table toward its expectation raises the p-value.
+  EXPECT_LT(FisherExactTwoSided(9, 1, 1, 9),
+            FisherExactTwoSided(7, 3, 3, 7));
+  EXPECT_LT(FisherExactTwoSided(7, 3, 3, 7),
+            FisherExactTwoSided(5, 5, 5, 5));
+}
+
+TEST(CochranRule, LargeBalancedTablePasses) {
+  const ContingencyTable table(2, {40, 30, 20, 10});
+  EXPECT_TRUE(table.SatisfiesCochranRule());
+}
+
+TEST(CochranRule, SparseTableFails) {
+  // Expected count of the joint cell: 100 * 0.03 * 0.03 = 0.09 < 1.
+  const ContingencyTable table(2, {94, 3, 3, 0});
+  EXPECT_FALSE(table.SatisfiesCochranRule());
+}
+
+TEST(CochranRule, EightyPercentBoundary) {
+  // 3-variable table (8 cells): uniform expecteds of exactly 5 pass.
+  const ContingencyTable uniform(3, {5, 5, 5, 5, 5, 5, 5, 5});
+  EXPECT_TRUE(uniform.SatisfiesCochranRule());
+  // Skewed marginals push several expected counts below 5 but above 1:
+  // presence probability 0.25 per variable, N = 64 -> the all-present
+  // cell expects 1.0, and only the low-order cells reach 5.
+  const ContingencyTable skewed(
+      3, {27, 9, 9, 3, 9, 3, 3, 1});
+  EXPECT_FALSE(skewed.SatisfiesCochranRule());
+}
+
+}  // namespace
+}  // namespace ccs::stats

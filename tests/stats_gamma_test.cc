@@ -1,0 +1,82 @@
+#include "stats/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccs::stats {
+namespace {
+
+TEST(LogGamma, KnownValues) {
+  // Gamma(1) = Gamma(2) = 1; Gamma(0.5) = sqrt(pi); Gamma(6) = 120.
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  EXPECT_NEAR(LogGamma(6.0), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, RecurrenceHolds) {
+  // log Gamma(x + 1) = log Gamma(x) + log x.
+  for (double x : {0.3, 0.9, 1.5, 4.2, 17.0, 120.5}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-9) << x;
+  }
+}
+
+TEST(LogGamma, MatchesStdLgamma) {
+  for (double x = 0.1; x < 50.0; x += 0.37) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-8 * (1.0 + std::fabs(std::lgamma(x)))) << x;
+  }
+}
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(1.5, 0.0), 1.0);
+}
+
+TEST(RegularizedGamma, Complementarity) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 40.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 80.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << a << " " << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.7, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+}
+
+TEST(RegularizedGamma, HalfIntegerSpecialCase) {
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-12)
+        << x;
+  }
+}
+
+class GammaMonotoneTest : public testing::TestWithParam<double> {};
+
+TEST_P(GammaMonotoneTest, PIsNonDecreasingInX) {
+  const double a = GetParam();
+  double prev = 0.0;
+  for (double x = 0.0; x < 10 * a + 20; x += 0.25) {
+    const double p = RegularizedGammaP(a, x);
+    EXPECT_GE(p, prev - 1e-13) << "a=" << a << " x=" << x;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMonotoneTest,
+                         testing::Values(0.5, 1.0, 1.5, 2.0, 5.0, 10.0, 32.0,
+                                         100.0));
+
+}  // namespace
+}  // namespace ccs::stats

@@ -1,0 +1,157 @@
+#ifndef CCS_TESTS_TEST_UTIL_H_
+#define CCS_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the algorithm test suites: small random databases,
+// catalogs, and constraint-family factories used in parameterized sweeps.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/constraint_set.h"
+#include "constraints/set_constraint.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/rng.h"
+
+namespace ccs::testutil {
+
+// A random database over a small universe with a few forced co-occurrence
+// groups, so correlations exist at several lattice levels.
+inline TransactionDatabase SmallRandomDb(std::uint64_t seed,
+                                         std::size_t num_items = 10,
+                                         std::size_t num_txns = 300) {
+  Rng rng(seed);
+  TransactionDatabase db(num_items);
+  // Two planted groups whose members co-occur strongly.
+  const std::vector<ItemId> group_a = {0, 1};
+  const std::vector<ItemId> group_b = {2, 3, 4};
+  for (std::size_t t = 0; t < num_txns; ++t) {
+    Transaction txn;
+    if (rng.NextBernoulli(0.45)) {
+      txn.insert(txn.end(), group_a.begin(), group_a.end());
+    }
+    if (rng.NextBernoulli(0.4)) {
+      txn.insert(txn.end(), group_b.begin(), group_b.end());
+    }
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(0.25)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+// Catalog matching SmallRandomDb: price(i) = i + 1, three types.
+inline ItemCatalog SmallCatalog(std::size_t num_items = 10) {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c"};
+  for (std::size_t i = 0; i < num_items; ++i) {
+    catalog.AddItem(static_cast<double>(i + 1), types[i % 3]);
+  }
+  return catalog;
+}
+
+// A named constraint-set factory, for parameterized algorithm sweeps. The
+// families mirror the paper's experiments (anti-monotone succinct,
+// anti-monotone non-succinct, monotone succinct, and mixes).
+struct ConstraintCase {
+  std::string name;
+  std::function<ConstraintSet()> make;
+  bool all_anti_monotone;
+};
+
+inline std::vector<ConstraintCase> PaperConstraintCases() {
+  std::vector<ConstraintCase> cases;
+  cases.push_back({"Empty", [] { return ConstraintSet(); }, true});
+  cases.push_back({"AmSuccinct_MaxLe",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MaxLe(6.0));
+                     return set;
+                   },
+                   true});
+  cases.push_back({"AmNonSuccinct_SumLe",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(SumLe(9.0));
+                     return set;
+                   },
+                   true});
+  cases.push_back({"MonoSuccinct_MinLe",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MinLe(3.0));
+                     return set;
+                   },
+                   false});
+  cases.push_back({"MonoNonSuccinct_SumGe",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(SumGe(8.0));
+                     return set;
+                   },
+                   false});
+  cases.push_back({"MonoSuccinct_MaxGe",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MaxGe(5.0));
+                     return set;
+                   },
+                   false});
+  cases.push_back({"Mixed_AmAndMono",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MaxLe(8.0));
+                     set.Add(MinLe(2.0));
+                     return set;
+                   },
+                   false});
+  cases.push_back({"Mixed_AllFourBuckets",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MaxLe(9.0));   // am succinct
+                     set.Add(SumLe(20.0));  // am non-succinct
+                     set.Add(MinLe(4.0));   // mono succinct
+                     set.Add(SumGe(3.0));   // mono non-succinct
+                     return set;
+                   },
+                   false});
+  cases.push_back({"MultiWitness_TypeContains",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(std::make_unique<TypeContainsConstraint>(
+                         std::vector<std::string>{"a", "b"}));
+                     return set;
+                   },
+                   false});
+  cases.push_back({"TypeDisjoint",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(std::make_unique<TypeDisjointConstraint>(
+                         std::vector<std::string>{"c"}));
+                     return set;
+                   },
+                   true});
+  cases.push_back({"CountBound",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(CountLe(3.0));
+                     return set;
+                   },
+                   true});
+  cases.push_back({"Unsatisfiable",
+                   [] {
+                     ConstraintSet set;
+                     set.Add(MaxLe(0.5));
+                     return set;
+                   },
+                   true});
+  return cases;
+}
+
+}  // namespace ccs::testutil
+
+#endif  // CCS_TESTS_TEST_UTIL_H_

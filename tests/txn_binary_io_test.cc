@@ -1,0 +1,129 @@
+#include "txn/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/ibm_generator.h"
+#include "txn/io.h"
+
+namespace ccs {
+namespace {
+
+void ExpectEqualDatabases(const TransactionDatabase& a,
+                          const TransactionDatabase& b) {
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_transactions(), b.num_transactions());
+  for (std::size_t t = 0; t < a.num_transactions(); ++t) {
+    EXPECT_EQ(a.transaction(t), b.transaction(t)) << t;
+  }
+}
+
+TEST(BinaryIo, RoundTripSmall) {
+  TransactionDatabase db(10);
+  db.Add({0, 1, 9});
+  db.Add({});
+  db.Add({5});
+  db.Add({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  db.Finalize();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteBasketsBinary(db, stream));
+  const auto loaded = ReadBasketsBinary(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectEqualDatabases(db, *loaded);
+  EXPECT_TRUE(loaded->finalized());
+}
+
+TEST(BinaryIo, RoundTripGeneratedData) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 500;
+  config.num_items = 200;
+  config.avg_transaction_size = 12.0;
+  config.seed = 6;
+  const TransactionDatabase db = IbmGenerator(config).Generate();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteBasketsBinary(db, stream));
+  const auto loaded = ReadBasketsBinary(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectEqualDatabases(db, *loaded);
+}
+
+TEST(BinaryIo, SmallerThanTextFormat) {
+  IbmGeneratorConfig config;
+  config.num_transactions = 1000;
+  config.num_items = 500;
+  config.avg_transaction_size = 15.0;
+  config.seed = 7;
+  const TransactionDatabase db = IbmGenerator(config).Generate();
+  std::stringstream binary;
+  std::stringstream text;
+  ASSERT_TRUE(WriteBasketsBinary(db, binary));
+  ASSERT_TRUE(WriteBaskets(db, text));
+  EXPECT_LT(binary.str().size(), text.str().size() / 2);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream stream("NOPE....");
+  std::string error;
+  EXPECT_FALSE(ReadBasketsBinary(stream, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsBadVersion) {
+  std::stringstream stream;
+  stream.write("CCSB", 4);
+  stream.put(9);
+  std::string error;
+  EXPECT_FALSE(ReadBasketsBinary(stream, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  TransactionDatabase db(10);
+  db.Add({1, 2, 3});
+  db.Add({4, 5, 6});
+  db.Finalize();
+  std::stringstream full;
+  ASSERT_TRUE(WriteBasketsBinary(db, full));
+  const std::string bytes = full.str();
+  // Any strict prefix must be rejected, never crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    std::string error;
+    EXPECT_FALSE(ReadBasketsBinary(truncated, &error).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIo, RejectsOutOfRangeIds) {
+  // Hand-craft: 2 items, 1 transaction of length 1 with id 7.
+  std::stringstream stream;
+  stream.write("CCSB", 4);
+  stream.put(1);   // version
+  stream.put(2);   // num_items
+  stream.put(1);   // num_transactions
+  stream.put(1);   // length
+  stream.put(7);   // id 7 >= 2
+  std::string error;
+  EXPECT_FALSE(ReadBasketsBinary(stream, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(BinaryIo, FileRoundTripAndMissingFile) {
+  TransactionDatabase db(4);
+  db.Add({0, 3});
+  db.Finalize();
+  const std::string path = testing::TempDir() + "/ccs_binary_test.ccsb";
+  ASSERT_TRUE(WriteBasketsBinaryToFile(db, path));
+  const auto loaded = ReadBasketsBinaryFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectEqualDatabases(db, *loaded);
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_FALSE(ReadBasketsBinaryFromFile("/no/such.ccsb", &error)
+                   .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,145 @@
+#include "txn/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/zipf_generator.h"
+
+namespace ccs {
+namespace {
+
+TransactionDatabase SmallDb() {
+  TransactionDatabase db(5);
+  db.Add({0, 1, 2});
+  db.Add({0, 1});
+  db.Add({0});
+  db.Add({});
+  db.Finalize();
+  return db;
+}
+
+TEST(DatabaseProfile, BasicCounts) {
+  const DatabaseProfile profile = DatabaseProfile::Build(SmallDb());
+  EXPECT_EQ(profile.num_transactions, 4u);
+  EXPECT_EQ(profile.num_items, 5u);
+  EXPECT_EQ(profile.num_active_items, 3u);
+  EXPECT_DOUBLE_EQ(profile.avg_transaction_size, 1.5);
+  EXPECT_EQ(profile.min_transaction_size, 0u);
+  EXPECT_EQ(profile.max_transaction_size, 3u);
+  ASSERT_EQ(profile.sorted_supports.size(), 5u);
+  EXPECT_EQ(profile.SupportAtRank(0), 3u);  // item 0
+  EXPECT_EQ(profile.SupportAtRank(1), 2u);  // item 1
+  EXPECT_EQ(profile.SupportAtRank(2), 1u);  // item 2
+  EXPECT_EQ(profile.SupportAtRank(4), 0u);
+}
+
+TEST(DatabaseProfile, FrequentItemCount) {
+  const DatabaseProfile profile = DatabaseProfile::Build(SmallDb());
+  EXPECT_EQ(profile.NumFrequentItems(1), 3u);
+  EXPECT_EQ(profile.NumFrequentItems(2), 2u);
+  EXPECT_EQ(profile.NumFrequentItems(3), 1u);
+  EXPECT_EQ(profile.NumFrequentItems(4), 0u);
+  EXPECT_EQ(profile.NumFrequentItems(0), 5u);
+}
+
+TEST(DatabaseProfile, GiniZeroForUniformSupports) {
+  TransactionDatabase db(4);
+  for (int i = 0; i < 10; ++i) db.Add({0, 1, 2, 3});
+  db.Finalize();
+  const DatabaseProfile profile = DatabaseProfile::Build(db);
+  EXPECT_NEAR(profile.SupportGini(), 0.0, 1e-12);
+}
+
+TEST(DatabaseProfile, GiniHighForSkewedSupports) {
+  TransactionDatabase db(10);
+  for (int i = 0; i < 100; ++i) db.Add({0});
+  db.Add({1});
+  db.Finalize();
+  const DatabaseProfile profile = DatabaseProfile::Build(db);
+  EXPECT_GT(profile.SupportGini(), 0.45);
+}
+
+TEST(DatabaseProfile, ZipfDataIsMoreSkewedThanUniform) {
+  ZipfGeneratorConfig zipf;
+  zipf.num_transactions = 2000;
+  zipf.num_items = 100;
+  zipf.avg_transaction_size = 8.0;
+  zipf.exponent = 1.2;
+  zipf.seed = 3;
+  const DatabaseProfile skewed =
+      DatabaseProfile::Build(ZipfGenerator(zipf).Generate());
+  zipf.exponent = 0.0;  // uniform popularity
+  const DatabaseProfile flat =
+      DatabaseProfile::Build(ZipfGenerator(zipf).Generate());
+  EXPECT_GT(skewed.SupportGini(), flat.SupportGini() + 0.2);
+}
+
+TEST(DatabaseProfile, ToStringMentionsKeyNumbers) {
+  const std::string text = DatabaseProfile::Build(SmallDb()).ToString();
+  EXPECT_NE(text.find("4 transactions"), std::string::npos);
+  EXPECT_NE(text.find("5 items"), std::string::npos);
+  EXPECT_NE(text.find("avg 1.50"), std::string::npos);
+}
+
+TEST(ZipfGenerator, ShapeAndDeterminism) {
+  ZipfGeneratorConfig config;
+  config.num_transactions = 500;
+  config.num_items = 50;
+  config.avg_transaction_size = 6.0;
+  config.seed = 9;
+  const TransactionDatabase a = ZipfGenerator(config).Generate();
+  const TransactionDatabase b = ZipfGenerator(config).Generate();
+  EXPECT_EQ(a.num_transactions(), 500u);
+  EXPECT_NEAR(a.AverageTransactionSize(), 6.0, 1.5);
+  for (std::size_t t = 0; t < a.num_transactions(); ++t) {
+    EXPECT_EQ(a.transaction(t), b.transaction(t));
+  }
+}
+
+TEST(ZipfGenerator, PopularityFollowsRank) {
+  ZipfGeneratorConfig config;
+  config.num_transactions = 5000;
+  config.num_items = 60;
+  config.avg_transaction_size = 6.0;
+  config.exponent = 1.0;
+  config.seed = 10;
+  const TransactionDatabase db = ZipfGenerator(config).Generate();
+  // Low ids must be much more popular than high ids.
+  EXPECT_GT(db.ItemSupport(0), 4 * db.ItemSupport(50));
+  EXPECT_GT(db.ItemSupport(1), db.ItemSupport(30));
+}
+
+TEST(ZipfGenerator, PlantedGroupsCoOccur) {
+  ZipfGeneratorConfig config;
+  config.num_transactions = 4000;
+  config.num_items = 80;
+  config.avg_transaction_size = 6.0;
+  config.num_groups = 3;
+  config.group_size = 2;
+  config.group_probability = 0.4;
+  config.seed = 11;
+  ZipfGenerator generator(config);
+  const TransactionDatabase db = generator.Generate();
+  ASSERT_EQ(generator.groups().size(), 3u);
+  const double n = static_cast<double>(db.num_transactions());
+  for (const Transaction& group : generator.groups()) {
+    std::size_t joint = 0;
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+      if (db.Contains(t, group[0]) && db.Contains(t, group[1])) ++joint;
+    }
+    const double p0 = static_cast<double>(db.ItemSupport(group[0])) / n;
+    const double p1 = static_cast<double>(db.ItemSupport(group[1])) / n;
+    EXPECT_GT(joint / n, 1.2 * p0 * p1)
+        << group[0] << "," << group[1];
+  }
+}
+
+TEST(ZipfGenerator, RejectsOversizedGroupReservation) {
+  ZipfGeneratorConfig config;
+  config.num_items = 4;
+  config.num_groups = 3;
+  config.group_size = 2;
+  EXPECT_DEATH(ZipfGenerator{config}, "CCS_CHECK");
+}
+
+}  // namespace
+}  // namespace ccs

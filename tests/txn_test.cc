@@ -1,0 +1,170 @@
+// Tests for the transaction substrate: catalog, database, vertical index,
+// and text I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "txn/io.h"
+
+namespace ccs {
+namespace {
+
+TEST(ItemCatalog, AssignsDenseIds) {
+  ItemCatalog catalog;
+  EXPECT_EQ(catalog.AddItem(1.5, "dairy"), 0u);
+  EXPECT_EQ(catalog.AddItem(2.0, "bakery"), 1u);
+  EXPECT_EQ(catalog.AddItem(3.0, "dairy"), 2u);
+  EXPECT_EQ(catalog.num_items(), 3u);
+  EXPECT_EQ(catalog.num_types(), 2u);
+  EXPECT_DOUBLE_EQ(catalog.price(2), 3.0);
+  EXPECT_EQ(catalog.type(0), catalog.type(2));
+  EXPECT_NE(catalog.type(0), catalog.type(1));
+  EXPECT_EQ(catalog.type_name(catalog.type(1)), "bakery");
+}
+
+TEST(ItemCatalog, FindAndInternTypes) {
+  ItemCatalog catalog;
+  catalog.AddItem(1.0, "soda");
+  EXPECT_NE(catalog.FindType("soda"), kInvalidType);
+  EXPECT_EQ(catalog.FindType("snacks"), kInvalidType);
+  const TypeId snacks = catalog.InternType("snacks");
+  EXPECT_EQ(catalog.FindType("snacks"), snacks);
+  EXPECT_EQ(catalog.InternType("snacks"), snacks);
+}
+
+TEST(ItemCatalog, ItemNames) {
+  ItemCatalog catalog;
+  catalog.AddItem(1.0, "soda", "cola");
+  catalog.AddItem(2.0, "soda");
+  EXPECT_EQ(catalog.item_name(0), "cola");
+  EXPECT_EQ(catalog.item_name(1), "item1");
+}
+
+TEST(ItemCatalog, RejectsNegativePrice) {
+  ItemCatalog catalog;
+  EXPECT_DEATH(catalog.AddItem(-1.0, "x"), "CCS_CHECK");
+}
+
+TEST(TransactionDatabase, NormalizesTransactions) {
+  TransactionDatabase db(10);
+  db.Add({5, 1, 5, 3});  // unsorted + duplicate
+  db.Finalize();
+  EXPECT_EQ(db.transaction(0), (Transaction{1, 3, 5}));
+}
+
+TEST(TransactionDatabase, VerticalIndexMatchesHorizontal) {
+  TransactionDatabase db(4);
+  db.Add({0, 1});
+  db.Add({1, 2});
+  db.Add({});
+  db.Add({0, 1, 2, 3});
+  db.Finalize();
+  EXPECT_EQ(db.num_transactions(), 4u);
+  EXPECT_EQ(db.ItemSupport(0), 2u);
+  EXPECT_EQ(db.ItemSupport(1), 3u);
+  EXPECT_EQ(db.ItemSupport(2), 2u);
+  EXPECT_EQ(db.ItemSupport(3), 1u);
+  for (ItemId i = 0; i < 4; ++i) {
+    const DynamicBitset& tids = db.tidset(i);
+    EXPECT_EQ(tids.size(), 4u);
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(tids.Test(t), db.Contains(t, i)) << i << " " << t;
+    }
+  }
+}
+
+TEST(TransactionDatabase, AverageTransactionSize) {
+  TransactionDatabase db(5);
+  EXPECT_DOUBLE_EQ(db.AverageTransactionSize(), 0.0);
+  db.Add({0, 1});
+  db.Add({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(db.AverageTransactionSize(), 3.0);
+}
+
+TEST(TransactionDatabase, AddAfterFinalizeDies) {
+  TransactionDatabase db(2);
+  db.Finalize();
+  EXPECT_DEATH(db.Add({0}), "CCS_CHECK");
+}
+
+TEST(TransactionDatabase, OutOfRangeItemDies) {
+  TransactionDatabase db(2);
+  EXPECT_DEATH(db.Add({2}), "CCS_CHECK");
+}
+
+TEST(TxnIo, BasketRoundTrip) {
+  TransactionDatabase db(6);
+  db.Add({0, 2, 4});
+  db.Add({});
+  db.Add({5});
+  db.Finalize();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteBaskets(db, stream));
+  EXPECT_EQ(stream.str(), "0 2 4\n\n5\n");
+  const auto loaded = ReadBaskets(stream, 6);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_transactions(), 3u);
+  EXPECT_EQ(loaded->transaction(0), (Transaction{0, 2, 4}));
+  EXPECT_TRUE(loaded->transaction(1).empty());
+  EXPECT_TRUE(loaded->finalized());
+}
+
+TEST(TxnIo, BasketRejectsBadIds) {
+  std::stringstream stream("0 1\n7\n");
+  std::string error;
+  EXPECT_FALSE(ReadBaskets(stream, 4, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(TxnIo, BasketRejectsGarbage) {
+  std::stringstream stream("0 xyz\n");
+  std::string error;
+  EXPECT_FALSE(ReadBaskets(stream, 4, &error).has_value());
+  EXPECT_NE(error.find("xyz"), std::string::npos);
+}
+
+TEST(TxnIo, CatalogRoundTrip) {
+  ItemCatalog catalog;
+  catalog.AddItem(1.5, "dairy", "milk");
+  catalog.AddItem(42.0, "household");
+  std::stringstream stream;
+  ASSERT_TRUE(WriteCatalog(catalog, stream));
+  const auto loaded = ReadCatalog(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_items(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->price(0), 1.5);
+  EXPECT_EQ(loaded->type_name(loaded->type(1)), "household");
+  EXPECT_EQ(loaded->item_name(0), "milk");
+}
+
+TEST(TxnIo, CatalogRejectsNonConsecutiveIds) {
+  std::stringstream stream("item,price,type\n1,2.0,x\n");
+  std::string error;
+  EXPECT_FALSE(ReadCatalog(stream, &error).has_value());
+}
+
+TEST(TxnIo, CatalogRejectsEmptyFile) {
+  std::stringstream stream("");
+  EXPECT_FALSE(ReadCatalog(stream).has_value());
+}
+
+TEST(TxnIo, FileRoundTrip) {
+  TransactionDatabase db(3);
+  db.Add({0, 1});
+  db.Finalize();
+  const std::string path = testing::TempDir() + "/ccs_baskets.txt";
+  ASSERT_TRUE(WriteBasketsToFile(db, path));
+  const auto loaded = ReadBasketsFromFile(path, 3);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_transactions(), 1u);
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_FALSE(ReadBasketsFromFile("/no/such/file", 3, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccs

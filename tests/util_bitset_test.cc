@@ -1,0 +1,178 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_FALSE(b.Test(42));
+  b.Set(42);
+  EXPECT_TRUE(b.Test(42));
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_FALSE(b.None());
+  b.Reset(42);
+  EXPECT_FALSE(b.Test(42));
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitset, SetAllRespectsSize) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    DynamicBitset b(n);
+    b.SetAll();
+    EXPECT_EQ(b.Count(), n) << "n=" << n;
+  }
+}
+
+TEST(DynamicBitset, ResetAllClears) {
+  DynamicBitset b(200);
+  b.SetAll();
+  b.ResetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitset, ShrinkClearsOutOfRangeBits) {
+  DynamicBitset b(128);
+  b.SetAll();
+  b.Resize(70);
+  EXPECT_EQ(b.Count(), 70u);
+  // Growing back must not resurrect bits.
+  b.Resize(128);
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(DynamicBitset, AssignAndComputesIntersection) {
+  DynamicBitset a(130);
+  DynamicBitset b(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  b.Set(129);
+  b.Set(1);
+  DynamicBitset out;
+  out.AssignAnd(a, b);
+  EXPECT_EQ(out.Count(), 2u);
+  EXPECT_TRUE(out.Test(64));
+  EXPECT_TRUE(out.Test(129));
+  EXPECT_FALSE(out.Test(0));
+  EXPECT_FALSE(out.Test(1));
+}
+
+TEST(DynamicBitset, AssignAndNotComputesDifference) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.Set(3);
+  a.Set(65);
+  b.Set(65);
+  DynamicBitset out;
+  out.AssignAndNot(a, b);
+  EXPECT_EQ(out.Count(), 1u);
+  EXPECT_TRUE(out.Test(3));
+}
+
+TEST(DynamicBitset, AssignComplementWithinSize) {
+  DynamicBitset a(70);
+  a.Set(0);
+  a.Set(69);
+  DynamicBitset out;
+  out.AssignComplement(a);
+  EXPECT_EQ(out.Count(), 68u);
+  EXPECT_FALSE(out.Test(0));
+  EXPECT_FALSE(out.Test(69));
+  EXPECT_TRUE(out.Test(1));
+}
+
+TEST(DynamicBitset, CountAndMatchesMaterialized) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.NextBounded(300);
+    DynamicBitset a(n);
+    DynamicBitset b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.4)) a.Set(i);
+      if (rng.NextBernoulli(0.4)) b.Set(i);
+    }
+    DynamicBitset and_ab;
+    and_ab.AssignAnd(a, b);
+    EXPECT_EQ(DynamicBitset::CountAnd(a, b), and_ab.Count());
+    DynamicBitset diff;
+    diff.AssignAndNot(a, b);
+    EXPECT_EQ(DynamicBitset::CountAndNot(a, b), diff.Count());
+  }
+}
+
+TEST(DynamicBitset, MatchesReferenceVectorBool) {
+  Rng rng(77);
+  const std::size_t n = 500;
+  DynamicBitset bits(n);
+  std::vector<bool> ref(n, false);
+  for (int ops = 0; ops < 2000; ++ops) {
+    const std::size_t pos = rng.NextBounded(n);
+    if (rng.NextBernoulli(0.5)) {
+      bits.Set(pos);
+      ref[pos] = true;
+    } else {
+      bits.Reset(pos);
+      ref[pos] = false;
+    }
+  }
+  std::size_t expected_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits.Test(i), ref[i]) << i;
+    expected_count += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bits.Count(), expected_count);
+}
+
+TEST(DynamicBitset, OrWithUnions) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  b.Set(2);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(DynamicBitset, AndWithIntersects) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  a.AndWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+}
+
+TEST(DynamicBitset, EqualityComparesContentAndSize) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  DynamicBitset c(11);
+  c.Set(3);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ccs {
+namespace {
+
+TEST(CsvTable, HeaderOnly) {
+  CsvTable t({"a", "b"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(CsvTable, CellTypes) {
+  CsvTable t({"s", "i", "u", "d"});
+  t.BeginRow();
+  t.AddCell(std::string("x"));
+  t.AddCell(std::int64_t{-5});
+  t.AddCell(std::uint64_t{7});
+  t.AddCell(1.23456, 2);
+  EXPECT_EQ(t.ToCsv(), "s,i,u,d\nx,-5,7,1.23\n");
+}
+
+TEST(CsvTable, QuotesSpecialCharacters) {
+  CsvTable t({"v"});
+  t.BeginRow();
+  t.AddCell(std::string("a,b"));
+  t.BeginRow();
+  t.AddCell(std::string("say \"hi\""));
+  EXPECT_EQ(t.ToCsv(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTable, AddRowChecksWidth) {
+  CsvTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CCS_CHECK");
+}
+
+TEST(CsvTable, AlignedTextPadsColumns) {
+  CsvTable t({"name", "n"});
+  t.AddRow({"x", "100"});
+  t.AddRow({"longer", "1"});
+  const std::string text = t.ToAlignedText();
+  std::istringstream lines(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "name    n");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "------  ---");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "x       100");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "longer  1");
+}
+
+TEST(CsvTable, WriteFileRoundTrip) {
+  CsvTable t({"a"});
+  t.AddRow({"1"});
+  const std::string path = testing::TempDir() + "/ccs_csv_test.csv";
+  ASSERT_TRUE(t.WriteFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTable, WriteFileFailsOnBadPath) {
+  CsvTable t({"a"});
+  EXPECT_FALSE(t.WriteFile("/nonexistent-dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace ccs
