@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_counts"
+  "../bench/analysis_counts.pdb"
+  "CMakeFiles/analysis_counts.dir/analysis_counts.cc.o"
+  "CMakeFiles/analysis_counts.dir/analysis_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

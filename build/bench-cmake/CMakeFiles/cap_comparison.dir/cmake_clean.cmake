@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cap_comparison"
+  "../bench/cap_comparison.pdb"
+  "CMakeFiles/cap_comparison.dir/cap_comparison.cc.o"
+  "CMakeFiles/cap_comparison.dir/cap_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

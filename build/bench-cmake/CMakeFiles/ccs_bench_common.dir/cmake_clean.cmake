@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_bench_common.dir/common.cc.o"
+  "CMakeFiles/ccs_bench_common.dir/common.cc.o.d"
+  "libccs_bench_common.a"
+  "libccs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_2_am_succinct"
+  "../bench/fig1_2_am_succinct.pdb"
+  "CMakeFiles/fig1_2_am_succinct.dir/fig1_2_am_succinct.cc.o"
+  "CMakeFiles/fig1_2_am_succinct.dir/fig1_2_am_succinct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_2_am_succinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

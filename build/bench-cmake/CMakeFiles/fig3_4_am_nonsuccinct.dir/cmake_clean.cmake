@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_4_am_nonsuccinct"
+  "../bench/fig3_4_am_nonsuccinct.pdb"
+  "CMakeFiles/fig3_4_am_nonsuccinct.dir/fig3_4_am_nonsuccinct.cc.o"
+  "CMakeFiles/fig3_4_am_nonsuccinct.dir/fig3_4_am_nonsuccinct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_am_nonsuccinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_6_mono_validmin"
+  "../bench/fig5_6_mono_validmin.pdb"
+  "CMakeFiles/fig5_6_mono_validmin.dir/fig5_6_mono_validmin.cc.o"
+  "CMakeFiles/fig5_6_mono_validmin.dir/fig5_6_mono_validmin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_mono_validmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_8_mono_minvalid"
+  "../bench/fig7_8_mono_minvalid.pdb"
+  "CMakeFiles/fig7_8_mono_minvalid.dir/fig7_8_mono_minvalid.cc.o"
+  "CMakeFiles/fig7_8_mono_minvalid.dir/fig7_8_mono_minvalid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_mono_minvalid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/frequent_engines"
+  "../bench/frequent_engines.pdb"
+  "CMakeFiles/frequent_engines.dir/frequent_engines.cc.o"
+  "CMakeFiles/frequent_engines.dir/frequent_engines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_vs_corr.dir/assoc_vs_corr.cpp.o"
+  "CMakeFiles/assoc_vs_corr.dir/assoc_vs_corr.cpp.o.d"
+  "assoc_vs_corr"
+  "assoc_vs_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_vs_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

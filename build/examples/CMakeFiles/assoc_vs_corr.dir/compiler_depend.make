@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for assoc_vs_corr.
+# This may be replaced when dependencies are built.

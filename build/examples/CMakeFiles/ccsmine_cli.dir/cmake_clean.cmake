@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsmine_cli.dir/ccsmine_cli.cpp.o"
+  "CMakeFiles/ccsmine_cli.dir/ccsmine_cli.cpp.o.d"
+  "ccsmine_cli"
+  "ccsmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_basket.dir/market_basket.cpp.o"
+  "CMakeFiles/market_basket.dir/market_basket.cpp.o.d"
+  "market_basket"
+  "market_basket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_basket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planted_rules.dir/planted_rules.cpp.o"
+  "CMakeFiles/planted_rules.dir/planted_rules.cpp.o.d"
+  "planted_rules"
+  "planted_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planted_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

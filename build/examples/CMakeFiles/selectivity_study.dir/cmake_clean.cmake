@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_study.dir/selectivity_study.cpp.o"
+  "CMakeFiles/selectivity_study.dir/selectivity_study.cpp.o.d"
+  "selectivity_study"
+  "selectivity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

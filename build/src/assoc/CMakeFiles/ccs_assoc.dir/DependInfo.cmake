@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assoc/apriori.cc" "src/assoc/CMakeFiles/ccs_assoc.dir/apriori.cc.o" "gcc" "src/assoc/CMakeFiles/ccs_assoc.dir/apriori.cc.o.d"
+  "/root/repo/src/assoc/constrained_apriori.cc" "src/assoc/CMakeFiles/ccs_assoc.dir/constrained_apriori.cc.o" "gcc" "src/assoc/CMakeFiles/ccs_assoc.dir/constrained_apriori.cc.o.d"
+  "/root/repo/src/assoc/eclat.cc" "src/assoc/CMakeFiles/ccs_assoc.dir/eclat.cc.o" "gcc" "src/assoc/CMakeFiles/ccs_assoc.dir/eclat.cc.o.d"
+  "/root/repo/src/assoc/fpgrowth.cc" "src/assoc/CMakeFiles/ccs_assoc.dir/fpgrowth.cc.o" "gcc" "src/assoc/CMakeFiles/ccs_assoc.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/assoc/rules.cc" "src/assoc/CMakeFiles/ccs_assoc.dir/rules.cc.o" "gcc" "src/assoc/CMakeFiles/ccs_assoc.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/ccs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ccs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_assoc.dir/apriori.cc.o"
+  "CMakeFiles/ccs_assoc.dir/apriori.cc.o.d"
+  "CMakeFiles/ccs_assoc.dir/constrained_apriori.cc.o"
+  "CMakeFiles/ccs_assoc.dir/constrained_apriori.cc.o.d"
+  "CMakeFiles/ccs_assoc.dir/eclat.cc.o"
+  "CMakeFiles/ccs_assoc.dir/eclat.cc.o.d"
+  "CMakeFiles/ccs_assoc.dir/fpgrowth.cc.o"
+  "CMakeFiles/ccs_assoc.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/ccs_assoc.dir/rules.cc.o"
+  "CMakeFiles/ccs_assoc.dir/rules.cc.o.d"
+  "libccs_assoc.a"
+  "libccs_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_constraints.dir/agg_constraint.cc.o"
+  "CMakeFiles/ccs_constraints.dir/agg_constraint.cc.o.d"
+  "CMakeFiles/ccs_constraints.dir/constraint.cc.o"
+  "CMakeFiles/ccs_constraints.dir/constraint.cc.o.d"
+  "CMakeFiles/ccs_constraints.dir/constraint_set.cc.o"
+  "CMakeFiles/ccs_constraints.dir/constraint_set.cc.o.d"
+  "CMakeFiles/ccs_constraints.dir/set_constraint.cc.o"
+  "CMakeFiles/ccs_constraints.dir/set_constraint.cc.o.d"
+  "libccs_constraints.a"
+  "libccs_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

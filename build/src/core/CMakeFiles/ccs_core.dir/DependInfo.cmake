@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bms.cc" "src/core/CMakeFiles/ccs_core.dir/bms.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/bms.cc.o.d"
+  "/root/repo/src/core/bms_plus.cc" "src/core/CMakeFiles/ccs_core.dir/bms_plus.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/bms_plus.cc.o.d"
+  "/root/repo/src/core/bms_plus_plus.cc" "src/core/CMakeFiles/ccs_core.dir/bms_plus_plus.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/bms_plus_plus.cc.o.d"
+  "/root/repo/src/core/bms_star.cc" "src/core/CMakeFiles/ccs_core.dir/bms_star.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/bms_star.cc.o.d"
+  "/root/repo/src/core/bms_star_star.cc" "src/core/CMakeFiles/ccs_core.dir/bms_star_star.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/bms_star_star.cc.o.d"
+  "/root/repo/src/core/candidate_gen.cc" "src/core/CMakeFiles/ccs_core.dir/candidate_gen.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/candidate_gen.cc.o.d"
+  "/root/repo/src/core/ct_builder.cc" "src/core/CMakeFiles/ccs_core.dir/ct_builder.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/ct_builder.cc.o.d"
+  "/root/repo/src/core/explore.cc" "src/core/CMakeFiles/ccs_core.dir/explore.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/explore.cc.o.d"
+  "/root/repo/src/core/itemset.cc" "src/core/CMakeFiles/ccs_core.dir/itemset.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/itemset.cc.o.d"
+  "/root/repo/src/core/judge.cc" "src/core/CMakeFiles/ccs_core.dir/judge.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/judge.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/ccs_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/ccs_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/ccs_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/report.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/core/CMakeFiles/ccs_core.dir/result.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/result.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/ccs_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/ccs_core.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/ccs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ccs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_core.dir/bms.cc.o"
+  "CMakeFiles/ccs_core.dir/bms.cc.o.d"
+  "CMakeFiles/ccs_core.dir/bms_plus.cc.o"
+  "CMakeFiles/ccs_core.dir/bms_plus.cc.o.d"
+  "CMakeFiles/ccs_core.dir/bms_plus_plus.cc.o"
+  "CMakeFiles/ccs_core.dir/bms_plus_plus.cc.o.d"
+  "CMakeFiles/ccs_core.dir/bms_star.cc.o"
+  "CMakeFiles/ccs_core.dir/bms_star.cc.o.d"
+  "CMakeFiles/ccs_core.dir/bms_star_star.cc.o"
+  "CMakeFiles/ccs_core.dir/bms_star_star.cc.o.d"
+  "CMakeFiles/ccs_core.dir/candidate_gen.cc.o"
+  "CMakeFiles/ccs_core.dir/candidate_gen.cc.o.d"
+  "CMakeFiles/ccs_core.dir/ct_builder.cc.o"
+  "CMakeFiles/ccs_core.dir/ct_builder.cc.o.d"
+  "CMakeFiles/ccs_core.dir/explore.cc.o"
+  "CMakeFiles/ccs_core.dir/explore.cc.o.d"
+  "CMakeFiles/ccs_core.dir/itemset.cc.o"
+  "CMakeFiles/ccs_core.dir/itemset.cc.o.d"
+  "CMakeFiles/ccs_core.dir/judge.cc.o"
+  "CMakeFiles/ccs_core.dir/judge.cc.o.d"
+  "CMakeFiles/ccs_core.dir/miner.cc.o"
+  "CMakeFiles/ccs_core.dir/miner.cc.o.d"
+  "CMakeFiles/ccs_core.dir/oracle.cc.o"
+  "CMakeFiles/ccs_core.dir/oracle.cc.o.d"
+  "CMakeFiles/ccs_core.dir/report.cc.o"
+  "CMakeFiles/ccs_core.dir/report.cc.o.d"
+  "CMakeFiles/ccs_core.dir/result.cc.o"
+  "CMakeFiles/ccs_core.dir/result.cc.o.d"
+  "CMakeFiles/ccs_core.dir/sampling.cc.o"
+  "CMakeFiles/ccs_core.dir/sampling.cc.o.d"
+  "libccs_core.a"
+  "libccs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/catalog_generator.cc" "src/datagen/CMakeFiles/ccs_datagen.dir/catalog_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ccs_datagen.dir/catalog_generator.cc.o.d"
+  "/root/repo/src/datagen/ibm_generator.cc" "src/datagen/CMakeFiles/ccs_datagen.dir/ibm_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ccs_datagen.dir/ibm_generator.cc.o.d"
+  "/root/repo/src/datagen/rule_generator.cc" "src/datagen/CMakeFiles/ccs_datagen.dir/rule_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ccs_datagen.dir/rule_generator.cc.o.d"
+  "/root/repo/src/datagen/zipf_generator.cc" "src/datagen/CMakeFiles/ccs_datagen.dir/zipf_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ccs_datagen.dir/zipf_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/ccs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_datagen.dir/catalog_generator.cc.o"
+  "CMakeFiles/ccs_datagen.dir/catalog_generator.cc.o.d"
+  "CMakeFiles/ccs_datagen.dir/ibm_generator.cc.o"
+  "CMakeFiles/ccs_datagen.dir/ibm_generator.cc.o.d"
+  "CMakeFiles/ccs_datagen.dir/rule_generator.cc.o"
+  "CMakeFiles/ccs_datagen.dir/rule_generator.cc.o.d"
+  "CMakeFiles/ccs_datagen.dir/zipf_generator.cc.o"
+  "CMakeFiles/ccs_datagen.dir/zipf_generator.cc.o.d"
+  "libccs_datagen.a"
+  "libccs_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

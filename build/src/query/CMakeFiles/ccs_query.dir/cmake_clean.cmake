@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_query.dir/parser.cc.o"
+  "CMakeFiles/ccs_query.dir/parser.cc.o.d"
+  "CMakeFiles/ccs_query.dir/query.cc.o"
+  "CMakeFiles/ccs_query.dir/query.cc.o.d"
+  "libccs_query.a"
+  "libccs_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_squared.cc" "src/stats/CMakeFiles/ccs_stats.dir/chi_squared.cc.o" "gcc" "src/stats/CMakeFiles/ccs_stats.dir/chi_squared.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/stats/CMakeFiles/ccs_stats.dir/contingency.cc.o" "gcc" "src/stats/CMakeFiles/ccs_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/stats/fisher.cc" "src/stats/CMakeFiles/ccs_stats.dir/fisher.cc.o" "gcc" "src/stats/CMakeFiles/ccs_stats.dir/fisher.cc.o.d"
+  "/root/repo/src/stats/gamma.cc" "src/stats/CMakeFiles/ccs_stats.dir/gamma.cc.o" "gcc" "src/stats/CMakeFiles/ccs_stats.dir/gamma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

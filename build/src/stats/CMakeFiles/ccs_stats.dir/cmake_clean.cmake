@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_stats.dir/chi_squared.cc.o"
+  "CMakeFiles/ccs_stats.dir/chi_squared.cc.o.d"
+  "CMakeFiles/ccs_stats.dir/contingency.cc.o"
+  "CMakeFiles/ccs_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/ccs_stats.dir/fisher.cc.o"
+  "CMakeFiles/ccs_stats.dir/fisher.cc.o.d"
+  "CMakeFiles/ccs_stats.dir/gamma.cc.o"
+  "CMakeFiles/ccs_stats.dir/gamma.cc.o.d"
+  "libccs_stats.a"
+  "libccs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/binary_io.cc" "src/txn/CMakeFiles/ccs_txn.dir/binary_io.cc.o" "gcc" "src/txn/CMakeFiles/ccs_txn.dir/binary_io.cc.o.d"
+  "/root/repo/src/txn/catalog.cc" "src/txn/CMakeFiles/ccs_txn.dir/catalog.cc.o" "gcc" "src/txn/CMakeFiles/ccs_txn.dir/catalog.cc.o.d"
+  "/root/repo/src/txn/database.cc" "src/txn/CMakeFiles/ccs_txn.dir/database.cc.o" "gcc" "src/txn/CMakeFiles/ccs_txn.dir/database.cc.o.d"
+  "/root/repo/src/txn/io.cc" "src/txn/CMakeFiles/ccs_txn.dir/io.cc.o" "gcc" "src/txn/CMakeFiles/ccs_txn.dir/io.cc.o.d"
+  "/root/repo/src/txn/profile.cc" "src/txn/CMakeFiles/ccs_txn.dir/profile.cc.o" "gcc" "src/txn/CMakeFiles/ccs_txn.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

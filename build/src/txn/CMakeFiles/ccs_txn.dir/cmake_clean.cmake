@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_txn.dir/binary_io.cc.o"
+  "CMakeFiles/ccs_txn.dir/binary_io.cc.o.d"
+  "CMakeFiles/ccs_txn.dir/catalog.cc.o"
+  "CMakeFiles/ccs_txn.dir/catalog.cc.o.d"
+  "CMakeFiles/ccs_txn.dir/database.cc.o"
+  "CMakeFiles/ccs_txn.dir/database.cc.o.d"
+  "CMakeFiles/ccs_txn.dir/io.cc.o"
+  "CMakeFiles/ccs_txn.dir/io.cc.o.d"
+  "CMakeFiles/ccs_txn.dir/profile.cc.o"
+  "CMakeFiles/ccs_txn.dir/profile.cc.o.d"
+  "libccs_txn.a"
+  "libccs_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_util.dir/bitset.cc.o"
+  "CMakeFiles/ccs_util.dir/bitset.cc.o.d"
+  "CMakeFiles/ccs_util.dir/csv.cc.o"
+  "CMakeFiles/ccs_util.dir/csv.cc.o.d"
+  "CMakeFiles/ccs_util.dir/rng.cc.o"
+  "CMakeFiles/ccs_util.dir/rng.cc.o.d"
+  "libccs_util.a"
+  "libccs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

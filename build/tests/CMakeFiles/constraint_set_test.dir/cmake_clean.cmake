@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_set_test.dir/constraint_set_test.cc.o"
+  "CMakeFiles/constraint_set_test.dir/constraint_set_test.cc.o.d"
+  "constraint_set_test"
+  "constraint_set_test.pdb"
+  "constraint_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

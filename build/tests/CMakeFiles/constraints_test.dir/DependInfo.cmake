@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/constraints_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/ccs_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/assoc/CMakeFiles/ccs_assoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ccs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/ccs_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ccs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bms_test.dir/core_bms_test.cc.o"
+  "CMakeFiles/core_bms_test.dir/core_bms_test.cc.o.d"
+  "core_bms_test"
+  "core_bms_test.pdb"
+  "core_bms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

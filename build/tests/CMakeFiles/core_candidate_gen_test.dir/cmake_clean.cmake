@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_candidate_gen_test.dir/core_candidate_gen_test.cc.o"
+  "CMakeFiles/core_candidate_gen_test.dir/core_candidate_gen_test.cc.o.d"
+  "core_candidate_gen_test"
+  "core_candidate_gen_test.pdb"
+  "core_candidate_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_candidate_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_itemset_test.dir/core_itemset_test.cc.o"
+  "CMakeFiles/core_itemset_test.dir/core_itemset_test.cc.o.d"
+  "core_itemset_test"
+  "core_itemset_test.pdb"
+  "core_itemset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_itemset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

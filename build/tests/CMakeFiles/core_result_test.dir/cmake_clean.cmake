@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_result_test.dir/core_result_test.cc.o"
+  "CMakeFiles/core_result_test.dir/core_result_test.cc.o.d"
+  "core_result_test"
+  "core_result_test.pdb"
+  "core_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_chi2_test.dir/stats_chi2_test.cc.o"
+  "CMakeFiles/stats_chi2_test.dir/stats_chi2_test.cc.o.d"
+  "stats_chi2_test"
+  "stats_chi2_test.pdb"
+  "stats_chi2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_chi2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

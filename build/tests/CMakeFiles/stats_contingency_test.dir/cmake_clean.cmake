@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_contingency_test.dir/stats_contingency_test.cc.o"
+  "CMakeFiles/stats_contingency_test.dir/stats_contingency_test.cc.o.d"
+  "stats_contingency_test"
+  "stats_contingency_test.pdb"
+  "stats_contingency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_contingency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_fisher_test.dir/stats_fisher_test.cc.o"
+  "CMakeFiles/stats_fisher_test.dir/stats_fisher_test.cc.o.d"
+  "stats_fisher_test"
+  "stats_fisher_test.pdb"
+  "stats_fisher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_fisher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

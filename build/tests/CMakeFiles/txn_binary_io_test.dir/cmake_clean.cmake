@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_binary_io_test.dir/txn_binary_io_test.cc.o"
+  "CMakeFiles/txn_binary_io_test.dir/txn_binary_io_test.cc.o.d"
+  "txn_binary_io_test"
+  "txn_binary_io_test.pdb"
+  "txn_binary_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_binary_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_profile_test.dir/txn_profile_test.cc.o"
+  "CMakeFiles/txn_profile_test.dir/txn_profile_test.cc.o.d"
+  "txn_profile_test"
+  "txn_profile_test.pdb"
+  "txn_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitset_test.dir/util_bitset_test.cc.o"
+  "CMakeFiles/util_bitset_test.dir/util_bitset_test.cc.o.d"
+  "util_bitset_test"
+  "util_bitset_test.pdb"
+  "util_bitset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
