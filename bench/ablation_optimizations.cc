@@ -15,7 +15,7 @@
 
 #include "constraints/agg_constraint.h"
 #include "core/ct_builder.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
 #include "util/csv.h"
@@ -49,6 +49,7 @@ void AblationFusedPhases() {
   const TransactionDatabase db = BenchDb(5000);
   const ItemCatalog catalog = MakeLinearPriceCatalog(100);
   const MiningOptions options = BenchOptions(db);
+  MiningEngine engine(db, catalog);
   CsvTable table({"selectivity", "algorithm", "answers", "tables_built",
                   "cpu_ms"});
   for (double selectivity : {0.1, 0.3, 0.5, 0.7}) {
@@ -57,8 +58,11 @@ void AblationFusedPhases() {
         MinLe(PriceThresholdForSelectivity(catalog, selectivity)));
     for (Algorithm a :
          {Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt}) {
-      const MiningResult result =
-          Mine(a, db, catalog, constraints, options);
+      MiningRequest request;
+      request.algorithm = a;
+      request.options = options;
+      request.constraints = &constraints;
+      const MiningResult result = engine.Run(request);
       table.BeginRow();
       table.AddCell(selectivity, 2);
       table.AddCell(std::string(AlgorithmName(a)));
@@ -77,6 +81,7 @@ void AblationSuccinctness() {
   const TransactionDatabase db = BenchDb(5000);
   const ItemCatalog catalog = MakeLinearPriceCatalog(100);
   const MiningOptions options = BenchOptions(db);
+  MiningEngine engine(db, catalog);
   CsvTable table(
       {"constraint", "answers", "tables_built", "pruned_before_ct",
        "cpu_ms"});
@@ -93,8 +98,11 @@ void AblationSuccinctness() {
     } else {
       constraints.Add(SumLe(100.0));
     }
-    const MiningResult result =
-        Mine(Algorithm::kBmsPlusPlus, db, catalog, constraints, options);
+    MiningRequest request;
+    request.algorithm = Algorithm::kBmsPlusPlus;
+    request.options = options;
+    request.constraints = &constraints;
+    const MiningResult result = engine.Run(request);
     std::uint64_t pruned = 0;
     for (const auto& level : result.stats.levels) {
       pruned += level.pruned_before_ct;

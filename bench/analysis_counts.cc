@@ -15,7 +15,7 @@
 #include <string>
 
 #include "constraints/agg_constraint.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "core/oracle.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
@@ -102,9 +102,13 @@ void Run(double selectivity) {
   }
   std::printf("%s\n", regions.ToAlignedText().c_str());
 
+  MiningEngine engine(db, catalog);
+  MiningRequest request;
+  request.options = options;
+  request.constraints = &constraints;
   for (Algorithm a : kAllAlgorithms) {
-    PrintLevelCounters(AlgorithmName(a),
-                       Mine(a, db, catalog, constraints, options));
+    request.algorithm = a;
+    PrintLevelCounters(AlgorithmName(a), engine.Run(request));
   }
 }
 

@@ -10,7 +10,7 @@
 
 #include "assoc/constrained_apriori.h"
 #include "constraints/agg_constraint.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
 #include "util/csv.h"
@@ -38,6 +38,7 @@ void Run() {
   freq_options.min_support = corr_options.min_support;
   freq_options.max_set_size = corr_options.max_set_size;
 
+  MiningEngine engine(db, catalog);
   CsvTable table({"selectivity", "framework", "answers", "work_units",
                   "cpu_ms"});
   for (double selectivity : {0.2, 0.5, 0.8}) {
@@ -52,8 +53,11 @@ void Run() {
     table.AddCell(static_cast<std::uint64_t>(frequent.frequent.size()));
     table.AddCell(frequent.stats.TotalTablesBuilt());
     table.AddCell(frequent.stats.elapsed_seconds * 1e3, 1);
-    const MiningResult correlated = Mine(Algorithm::kBmsPlusPlus, db,
-                                         catalog, constraints, corr_options);
+    MiningRequest request;
+    request.algorithm = Algorithm::kBmsPlusPlus;
+    request.options = corr_options;
+    request.constraints = &constraints;
+    const MiningResult correlated = engine.Run(request);
     table.BeginRow();
     table.AddCell(selectivity, 2);
     table.AddCell(std::string("BMS++ correlated"));

@@ -88,12 +88,27 @@ MiningOptions StandardOptions(const TransactionDatabase& db) {
   return options;
 }
 
+std::size_t BenchThreads() {
+  const char* env = std::getenv("CCS_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+}
+
+EngineOptions BenchEngineOptions() {
+  EngineOptions options;
+  options.num_threads = BenchThreads();
+  return options;
+}
+
 void RunAndRecord(const char* dataset, const std::string& x,
-                  Algorithm algorithm, const TransactionDatabase& db,
-                  const ItemCatalog& catalog,
+                  Algorithm algorithm, MiningEngine& engine,
                   const ConstraintSet& constraints,
                   const MiningOptions& options, CsvTable& table) {
-  const MiningResult result = Mine(algorithm, db, catalog, constraints, options);
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = options;
+  request.constraints = &constraints;
+  const MiningResult result = engine.Run(request);
   table.BeginRow();
   table.AddCell(std::string(dataset));
   table.AddCell(x);

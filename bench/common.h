@@ -11,13 +11,17 @@
 // CCS_BENCH_SCALE=full grows the sweep to paper-like basket counts,
 // CCS_BENCH_SCALE=smoke shrinks it for CI. Default: a laptop-minute scale.
 // CCS_BENCH_CSV_DIR=<dir>: also write each figure's series as CSV there.
+// CCS_BENCH_THREADS=<n>: MiningEngine executor width (default 1, so the
+// published series stay comparable with the paper's single-core numbers;
+// 0 = one thread per hardware thread). Answers and tables_built are
+// identical for every value — only cpu_ms moves.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "constraints/constraint_set.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "txn/database.h"
 #include "util/csv.h"
@@ -55,11 +59,18 @@ ItemCatalog MakeCatalog(int method);
 // size 4).
 MiningOptions StandardOptions(const TransactionDatabase& db);
 
+// Executor width from CCS_BENCH_THREADS (see header comment).
+std::size_t BenchThreads();
+
+// EngineOptions for a figure harness: BenchThreads() wide, no progress
+// callback. Harnesses construct one MiningEngine per database:
+//   MiningEngine engine(db, catalog, BenchEngineOptions());
+EngineOptions BenchEngineOptions();
+
 // One measured run appended to `table` as
 // (dataset, x, algorithm, answers, tables_built, cpu_ms).
 void RunAndRecord(const char* dataset, const std::string& x,
-                  Algorithm algorithm, const TransactionDatabase& db,
-                  const ItemCatalog& catalog,
+                  Algorithm algorithm, MiningEngine& engine,
                   const ConstraintSet& constraints,
                   const MiningOptions& options, CsvTable& table);
 

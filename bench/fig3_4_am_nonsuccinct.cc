@@ -34,10 +34,11 @@ void Figure3(const char* figure_id, const char* dataset, int method) {
     const TransactionDatabase db =
         method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
     const MiningOptions options = StandardOptions(db);
+    MiningEngine engine(db, catalog, BenchEngineOptions());
     ConstraintSet constraints;
     constraints.Add(SumLe(100.0));
     for (Algorithm a : kAlgorithms) {
-      RunAndRecord(dataset, std::to_string(baskets), a, db, catalog,
+      RunAndRecord(dataset, std::to_string(baskets), a, engine,
                    constraints, options, table);
     }
   }
@@ -50,13 +51,14 @@ void Figure4(const char* figure_id, const char* dataset, int method) {
   const TransactionDatabase db =
       method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
   const MiningOptions options = StandardOptions(db);
+  MiningEngine engine(db, catalog, BenchEngineOptions());
   CsvTable table = MakeFigureTable();
   for (double maxsum : MaxsumSweep()) {
     ConstraintSet constraints;
     constraints.Add(SumLe(maxsum));
     for (Algorithm a : kAlgorithms) {
-      RunAndRecord(dataset, std::to_string(static_cast<int>(maxsum)), a, db,
-                   catalog, constraints, options, table);
+      RunAndRecord(dataset, std::to_string(static_cast<int>(maxsum)), a,
+                   engine, constraints, options, table);
     }
   }
   ReportFigure(figure_id, "cpu vs maxsum, sum(S.price) <= maxsum", table);

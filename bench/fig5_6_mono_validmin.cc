@@ -32,9 +32,10 @@ void Figure5(const char* figure_id, const char* dataset, int method) {
     const TransactionDatabase db =
         method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
     const MiningOptions options = StandardOptions(db);
+    MiningEngine engine(db, catalog, BenchEngineOptions());
     const ConstraintSet constraints = MakeConstraint(catalog, 0.5);
     for (Algorithm a : kAlgorithms) {
-      RunAndRecord(dataset, std::to_string(baskets), a, db, catalog,
+      RunAndRecord(dataset, std::to_string(baskets), a, engine,
                    constraints, options, table);
     }
   }
@@ -50,13 +51,14 @@ void Figure6(const char* figure_id, const char* dataset, int method) {
   const TransactionDatabase db =
       method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
   const MiningOptions options = StandardOptions(db);
+  MiningEngine engine(db, catalog, BenchEngineOptions());
   CsvTable table = MakeFigureTable();
   char x[16];
   for (double selectivity : SelectivitySweep()) {
     std::snprintf(x, sizeof(x), "%.2f", selectivity);
     const ConstraintSet constraints = MakeConstraint(catalog, selectivity);
     for (Algorithm a : kAlgorithms) {
-      RunAndRecord(dataset, x, a, db, catalog, constraints, options, table);
+      RunAndRecord(dataset, x, a, engine, constraints, options, table);
     }
   }
   ReportFigure(figure_id,

@@ -16,7 +16,7 @@
 
 #include "assoc/apriori.h"
 #include "assoc/rules.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "core/report.h"
 #include "txn/catalog.h"
 #include "util/rng.h"
@@ -100,9 +100,11 @@ int main() {
   options.min_support = kBaskets / 20;
   options.min_cell_fraction = 0.25;
   options.max_set_size = 3;
-  ccs::ConstraintSet no_constraints;
-  const ccs::MiningResult correlated = ccs::Mine(
-      ccs::Algorithm::kBms, db, catalog, no_constraints, options);
+  ccs::MiningEngine engine(db, catalog);
+  ccs::MiningRequest request;
+  request.algorithm = ccs::Algorithm::kBms;
+  request.options = options;
+  const ccs::MiningResult correlated = engine.Run(request);
   std::printf("\nminimal correlated sets at 95%% confidence "
               "(chi-squared, with detail):\n");
   const auto reports =

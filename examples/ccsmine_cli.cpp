@@ -7,7 +7,7 @@
 //               [--query "min_valid where max(S.price) <= 50 with alpha=0.95"]
 //               [--algorithm BMS|BMS+|BMS++|BMS*|BMS**|BMS**opt]
 //               [--alpha 0.9] [--support-frac 0.05] [--cell-frac 0.25]
-//               [--max-size 4] [--stats] [--profile] [--report]
+//               [--max-size 4] [--threads N] [--stats] [--profile] [--report]
 //               [--save-baskets FILE]
 //   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
 //
@@ -23,7 +23,7 @@
 #include <optional>
 #include <string>
 
-#include "core/miner.h"
+#include "core/engine.h"
 #include "core/report.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
@@ -50,6 +50,7 @@ struct CliOptions {
   double support_frac = 0.05;
   double cell_frac = 0.25;
   std::size_t max_size = 4;
+  std::size_t threads = 1;  // MiningEngine width; 0 = hardware threads
   bool stats = false;
   bool profile = false;
   bool report = false;
@@ -66,7 +67,8 @@ int Usage(const char* argv0) {
                "usage: %s [--generate ibm|rules|zipf] [--baskets N]\n"
                "          [--items N] [--seed N] [--query Q] [--algorithm A]\n"
                "          [--alpha F] [--support-frac F] [--cell-frac F]\n"
-               "          [--max-size N] [--stats] [--profile] [--report]\n"
+               "          [--max-size N] [--threads N] [--stats] [--profile]\n"
+               "          [--report]\n"
                "          [--baskets-file F --catalog-file F]\n"
                "          [--save-baskets F]\n",
                argv0);
@@ -117,6 +119,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (flag == "--max-size") {
       out->max_size = std::strtoul(value, nullptr, 10);
       out->max_size_set = true;
+    } else if (flag == "--threads") {
+      out->threads = std::strtoul(value, nullptr, 10);
     } else if (flag == "--baskets-file") {
       out->baskets_file = value;
     } else if (flag == "--catalog-file") {
@@ -236,8 +240,14 @@ int main(int argc, char** argv) {
               db->num_transactions(), db->num_items(),
               query.constraints.ToString().c_str(),
               ccs::AlgorithmName(algorithm));
-  const ccs::MiningResult result =
-      ccs::Mine(algorithm, *db, *catalog, query.constraints, options);
+  ccs::EngineOptions engine_options;
+  engine_options.num_threads = cli.threads;
+  ccs::MiningEngine engine(*db, *catalog, engine_options);
+  ccs::MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = options;
+  request.constraints = &query.constraints;
+  const ccs::MiningResult result = engine.Run(request);
   if (cli.report) {
     const auto reports =
         ccs::BuildReports(result.answers, *db, *catalog, options);

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/miner.h"
+#include "core/engine.h"
 #include "query/parser.h"
 #include "txn/catalog.h"
 #include "txn/database.h"
@@ -113,8 +113,7 @@ void PrintAnswers(const ccs::ItemCatalog& catalog,
 }
 
 void RunQuery(const char* label, const char* query,
-              const ccs::TransactionDatabase& db,
-              const ccs::ItemCatalog& catalog,
+              ccs::MiningEngine& engine, const ccs::ItemCatalog& catalog,
               const ccs::MiningOptions& options) {
   std::string error;
   auto constraints = ccs::ParseConstraints(query, &error);
@@ -124,15 +123,18 @@ void RunQuery(const char* label, const char* query,
   }
   std::printf("\n=== %s ===\nquery: %s\n", label,
               constraints->ToString().c_str());
-  const auto valid_min = ccs::Mine(ccs::Algorithm::kBmsPlusPlus, db, catalog,
-                                   *constraints, options);
+  ccs::MiningRequest request;
+  request.algorithm = ccs::Algorithm::kBmsPlusPlus;
+  request.options = options;
+  request.constraints = &*constraints;
+  const auto valid_min = engine.Run(request);
   std::printf("valid minimal answers (BMS++, %llu tables):\n",
               static_cast<unsigned long long>(
                   valid_min.stats.TotalTablesBuilt()));
   PrintAnswers(catalog, valid_min.answers);
   if (!constraints->AllAntiMonotone()) {
-    const auto min_valid = ccs::Mine(ccs::Algorithm::kBmsStarStar, db,
-                                     catalog, *constraints, options);
+    request.algorithm = ccs::Algorithm::kBmsStarStar;
+    const auto min_valid = engine.Run(request);
     std::printf("minimal valid answers (BMS**, %llu tables):\n",
                 static_cast<unsigned long long>(
                     min_valid.stats.TotalTablesBuilt()));
@@ -158,11 +160,12 @@ int main() {
   options.min_cell_fraction = 0.25;
   options.max_set_size = 5;
 
-  RunQuery("budget shopper", "max(S.price) <= 5 & sum(S.price) <= 12", db,
+  ccs::MiningEngine engine(db, catalog);
+  RunQuery("budget shopper", "max(S.price) <= 5 & sum(S.price) <= 12",
+           engine, catalog, options);
+  RunQuery("shelf planning (single department)", "|S.type| <= 1", engine,
            catalog, options);
-  RunQuery("shelf planning (single department)", "|S.type| <= 1", db,
-           catalog, options);
-  RunQuery("big-ticket correlations", "sum(S.price) >= 30", db, catalog,
+  RunQuery("big-ticket correlations", "sum(S.price) >= 30", engine, catalog,
            options);
   return 0;
 }

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/rule_generator.h"
 #include "util/csv.h"
@@ -41,12 +41,14 @@ int main(int argc, char** argv) {
   options.min_support = db.num_transactions() / 10;
   options.min_cell_fraction = 0.25;
 
-  ccs::ConstraintSet no_constraints;
+  ccs::MiningEngine engine(db, catalog);
+  ccs::MiningRequest request;
+  request.options = options;
   ccs::CsvTable table(
       {"algorithm", "answers", "planted_found", "tables_built", "cpu_ms"});
   for (ccs::Algorithm a : ccs::kAllAlgorithms) {
-    const ccs::MiningResult result =
-        ccs::Mine(a, db, catalog, no_constraints, options);
+    request.algorithm = a;
+    const ccs::MiningResult result = engine.Run(request);
     std::size_t found = 0;
     for (const auto& rule : generator.rules()) {
       ccs::Itemset planted;

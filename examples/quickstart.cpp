@@ -1,12 +1,12 @@
 // Quickstart: generate a small basket database, state a constrained
 // correlation query in the paper's syntax, and mine it with BMS++.
 //
-//   ./quickstart [num_baskets]
+//   ./quickstart [num_baskets] [num_threads]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
 #include "query/parser.h"
@@ -14,6 +14,8 @@
 int main(int argc, char** argv) {
   const std::size_t num_baskets =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
+  const std::size_t num_threads =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
 
   // 1. Synthesize a market-basket database (IBM Quest-style) plus an
   //    attribute catalog: price(i) = i + 1, types cycling through the
@@ -50,9 +52,26 @@ int main(int argc, char** argv) {
   options.min_support = db.num_transactions() / 100;
   options.min_cell_fraction = 0.25;
 
-  // 4. Mine valid minimal answers with the constraint-pushing algorithm.
-  const ccs::MiningResult result = ccs::Mine(
-      ccs::Algorithm::kBmsPlusPlus, db, catalog, *constraints, options);
+  // 4. Open a mining session. The engine owns the thread pool; answers
+  //    and statistics are identical for every num_threads value.
+  ccs::EngineOptions engine_options;
+  engine_options.num_threads = num_threads;
+  engine_options.progress_callback = [](const ccs::LevelProgress& p) {
+    std::printf("  [level %zu] %llu candidates, %llu tables, %zu answers "
+                "so far (%.1f ms)\n",
+                p.level, static_cast<unsigned long long>(p.candidates),
+                static_cast<unsigned long long>(p.tables_built),
+                p.answers_so_far, p.pass_seconds * 1e3);
+  };
+  ccs::MiningEngine engine(db, catalog, std::move(engine_options));
+  std::printf("mining with %zu thread(s):\n", engine.num_threads());
+
+  // 5. Mine valid minimal answers with the constraint-pushing algorithm.
+  ccs::MiningRequest request;
+  request.algorithm = ccs::Algorithm::kBmsPlusPlus;
+  request.options = options;
+  request.constraints = &*constraints;
+  const ccs::MiningResult result = engine.Run(request);
 
   std::printf("\n%zu valid minimal correlated sets:\n",
               result.answers.size());

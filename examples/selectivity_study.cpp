@@ -8,7 +8,7 @@
 #include <cstdlib>
 
 #include "constraints/agg_constraint.h"
-#include "core/miner.h"
+#include "core/engine.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
 #include "util/csv.h"
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   options.min_cell_fraction = 0.25;
   options.max_set_size = 4;  // the paper never saw correlations past size 4
 
+  ccs::MiningEngine engine(db, catalog);
   std::printf("monotone succinct constraint min(S.price) <= v over %zu "
               "baskets\n\n",
               db.num_transactions());
@@ -47,8 +48,11 @@ int main(int argc, char** argv) {
     ccs::ConstraintSet constraints;
     constraints.Add(ccs::MinLe(v));
     for (ccs::Algorithm a : algorithms) {
-      const ccs::MiningResult result =
-          ccs::Mine(a, db, catalog, constraints, options);
+      ccs::MiningRequest request;
+      request.algorithm = a;
+      request.options = options;
+      request.constraints = &constraints;
+      const ccs::MiningResult result = engine.Run(request);
       table.BeginRow();
       table.AddCell(selectivity, 2);
       table.AddCell(std::string(ccs::AlgorithmName(a)));

@@ -1,0 +1,45 @@
+#include "core/algorithm.h"
+
+namespace ccs {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBms:
+      return "BMS";
+    case Algorithm::kBmsPlus:
+      return "BMS+";
+    case Algorithm::kBmsPlusPlus:
+      return "BMS++";
+    case Algorithm::kBmsStar:
+      return "BMS*";
+    case Algorithm::kBmsStarStar:
+      return "BMS**";
+    case Algorithm::kBmsStarStarOpt:
+      return "BMS**opt";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> ParseAlgorithmName(const std::string& name) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  return std::nullopt;
+}
+
+AnswerSemantics SemanticsOf(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBms:
+      return AnswerSemantics::kUnconstrained;
+    case Algorithm::kBmsPlus:
+    case Algorithm::kBmsPlusPlus:
+      return AnswerSemantics::kValidMinimal;
+    case Algorithm::kBmsStar:
+    case Algorithm::kBmsStarStar:
+    case Algorithm::kBmsStarStarOpt:
+      return AnswerSemantics::kMinimalValid;
+  }
+  return AnswerSemantics::kUnconstrained;
+}
+
+}  // namespace ccs

@@ -1,0 +1,42 @@
+#ifndef CCS_CORE_ALGORITHM_H_
+#define CCS_CORE_ALGORITHM_H_
+
+#include <optional>
+#include <string>
+
+namespace ccs {
+
+// The algorithms of the paper plus this library's extension.
+enum class Algorithm {
+  kBms,             // Brin et al. baseline (ignores constraints)
+  kBmsPlus,         // VALID_MIN, naive
+  kBmsPlusPlus,     // VALID_MIN, constraint-pushing
+  kBmsStar,         // MIN_VALID, naive
+  kBmsStarStar,     // MIN_VALID, constraint-pushing
+  kBmsStarStarOpt,  // MIN_VALID, fused phases (Section 6 extension)
+};
+
+// Which answer set an algorithm computes.
+enum class AnswerSemantics {
+  kUnconstrained,  // all minimal correlated CT-supported sets
+  kValidMinimal,   // VALID_MIN(Q)
+  kMinimalValid,   // MIN_VALID(Q)
+};
+
+// "BMS", "BMS+", "BMS++", "BMS*", "BMS**", "BMS**opt".
+const char* AlgorithmName(Algorithm algorithm);
+
+// Parses an AlgorithmName back; nullopt for unknown names.
+std::optional<Algorithm> ParseAlgorithmName(const std::string& name);
+
+AnswerSemantics SemanticsOf(Algorithm algorithm);
+
+// All algorithms, in the enum's order — convenient for sweeps.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBms,      Algorithm::kBmsPlus,     Algorithm::kBmsPlusPlus,
+    Algorithm::kBmsStar,  Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt,
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_ALGORITHM_H_

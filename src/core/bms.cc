@@ -1,19 +1,30 @@
 #include "core/bms.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/candidate_gen.h"
-#include "core/ct_builder.h"
-#include "core/judge.h"
+#include "core/parallel_eval.h"
 #include "util/stopwatch.h"
 
 namespace ccs {
+namespace {
+
+// Per-candidate verdict from the parallel pass, reduced in candidate
+// order afterwards so answers and counters match the serial run exactly.
+enum class Verdict : std::uint8_t { kUnsupported, kSig, kNotsig };
+
+}  // namespace
 
 BmsRunOutput RunBms(const TransactionDatabase& db,
-                    const MiningOptions& options) {
+                    const MiningOptions& options, MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBms);
+    return RunBms(db, options, &local);
+  }
   Stopwatch timer;
-  CorrelationJudge judge(options);
-  ContingencyTableBuilder builder(db);
+  EvalWorkers workers(db, options, ctx->num_threads());
   BmsRunOutput out;
 
   for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -23,34 +34,57 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
   }
 
   std::vector<Itemset> candidates = AllPairs(out.frequent_items);
+  std::vector<Verdict> verdicts;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    Stopwatch level_timer;
     LevelStats& level = out.stats.Level(k);
     while (out.unsupported_by_level.size() <= k) {
       out.unsupported_by_level.emplace_back();
     }
+    // Parallel pass: all database work, one slot per candidate.
+    verdicts.assign(candidates.size(), Verdict::kUnsupported);
+    ctx->executor().ParallelFor(
+        candidates.size(), [&](std::size_t t, std::size_t i) {
+          const stats::ContingencyTable table =
+              workers.builder(t).Build(candidates[i]);
+          if (!workers.judge(t).IsCtSupported(table)) {
+            verdicts[i] = Verdict::kUnsupported;
+          } else {
+            verdicts[i] = workers.judge(t).IsCorrelated(table)
+                              ? Verdict::kSig
+                              : Verdict::kNotsig;
+          }
+        });
+    // Ordered reduction: counters and SIG/NOTSIG membership.
     std::vector<Itemset> notsig;
-    for (const Itemset& s : candidates) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Itemset& s = candidates[i];
       ++level.candidates;
-      const stats::ContingencyTable table = builder.Build(s);
       ++level.tables_built;
-      if (!judge.IsCtSupported(table)) {
-        out.unsupported_by_level[k].push_back(s);
-        continue;
-      }
-      ++level.ct_supported;
-      ++level.chi2_tests;
-      if (judge.IsCorrelated(table)) {
-        ++level.correlated;
-        ++level.sig_added;
-        out.sig.push_back(s);
-      } else {
-        ++level.notsig_added;
-        notsig.push_back(s);
+      switch (verdicts[i]) {
+        case Verdict::kUnsupported:
+          out.unsupported_by_level[k].push_back(s);
+          break;
+        case Verdict::kSig:
+          ++level.ct_supported;
+          ++level.chi2_tests;
+          ++level.correlated;
+          ++level.sig_added;
+          out.sig.push_back(s);
+          break;
+        case Verdict::kNotsig:
+          ++level.ct_supported;
+          ++level.chi2_tests;
+          ++level.notsig_added;
+          notsig.push_back(s);
+          break;
       }
     }
     while (out.notsig_by_level.size() <= k) out.notsig_by_level.emplace_back();
     out.notsig_by_level[k] = notsig;
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, out.sig.size(), level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates =
@@ -60,13 +94,14 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
   }
 
   std::sort(out.sig.begin(), out.sig.end());
+  workers.AccumulateInto(out.stats);
   out.stats.elapsed_seconds = timer.ElapsedSeconds();
   return out;
 }
 
 MiningResult MineBms(const TransactionDatabase& db,
-                     const MiningOptions& options) {
-  BmsRunOutput run = RunBms(db, options);
+                     const MiningOptions& options, MiningContext* ctx) {
+  BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
   result.answers = std::move(run.sig);
   result.stats = std::move(run.stats);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/context.h"
 #include "core/options.h"
 #include "core/result.h"
 #include "txn/database.h"
@@ -40,13 +41,16 @@ struct BmsRunOutput {
   MiningStats stats;
 };
 
-// Runs BMS and returns the full run output.
+// Runs BMS and returns the full run output. `ctx` supplies the executor
+// for the per-level candidate loops; nullptr runs serially.
 BmsRunOutput RunBms(const TransactionDatabase& db,
-                    const MiningOptions& options);
+                    const MiningOptions& options,
+                    MiningContext* ctx = nullptr);
 
 // Runs BMS and returns SIG as a MiningResult.
 MiningResult MineBms(const TransactionDatabase& db,
-                     const MiningOptions& options);
+                     const MiningOptions& options,
+                     MiningContext* ctx = nullptr);
 
 }  // namespace ccs
 

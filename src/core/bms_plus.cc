@@ -8,9 +8,9 @@ namespace ccs {
 MiningResult MineBmsPlus(const TransactionDatabase& db,
                          const ItemCatalog& catalog,
                          const ConstraintSet& constraints,
-                         const MiningOptions& options) {
+                         const MiningOptions& options, MiningContext* ctx) {
   Stopwatch timer;
-  BmsRunOutput run = RunBms(db, options);
+  BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
   for (const Itemset& s : run.sig) {
     if (constraints.TestAll(s.span(), catalog)) {

@@ -1,21 +1,48 @@
 #include "core/bms_plus_plus.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/candidate_gen.h"
-#include "core/ct_builder.h"
-#include "core/judge.h"
+#include "core/parallel_eval.h"
 #include "util/stopwatch.h"
 
 namespace ccs {
+namespace {
+
+// Per-candidate result of the parallel pass (Figure E's body minus the
+// SIG/NOTSIG bookkeeping, which the ordered reduction performs).
+struct Eval {
+  enum class Outcome : std::uint8_t {
+    kPruned,       // failed a non-succinct anti-monotone constraint
+    kUnsupported,  // table built, not CT-supported
+    kNotsig,       // supported, not correlated
+    kCorrelated,   // supported and correlated
+  };
+  Outcome outcome = Outcome::kPruned;
+  // For kCorrelated: whether the deferred monotone + unclassified
+  // constraints pass (evaluated in the parallel pass; pure CPU).
+  bool passes_deferred = false;
+  // For kCorrelated with a single witness item at k > 2: the witness-free
+  // co-subset whose correlatedness decides minimality.
+  bool needs_probe = false;
+  Itemset probe_subset;
+};
+
+}  // namespace
 
 MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
                              const ItemCatalog& catalog,
                              const ConstraintSet& constraints,
-                             const MiningOptions& options) {
+                             const MiningOptions& options,
+                             MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBmsPlusPlus);
+    return MineBmsPlusPlus(db, catalog, constraints, options, &local);
+  }
   Stopwatch timer;
-  CorrelationJudge judge(options);
-  ContingencyTableBuilder builder(db);
+  EvalWorkers workers(db, options, ctx->num_threads());
   MiningResult result;
 
   // I. Preprocessing: GOOD1 and the L1+/L1- split.
@@ -38,74 +65,135 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
   std::merge(l1_plus.begin(), l1_plus.end(), l1_minus.begin(),
              l1_minus.end(), std::back_inserter(l1));
 
-  // II/III. Level-wise sweep.
-  // Memoized correlation verdicts for witness-free subsets probed by the
-  // minimality guard below (siblings share them).
-  ItemsetMap<bool> probed_subset_correlated;
+  // II/III. Level-wise sweep. Each level runs three passes:
+  //   A (parallel) — per-candidate constraint tests, table, CT-support and
+  //     correlation verdicts, into one slot per candidate;
+  //   B (parallel) — the minimality-guard probes. The serial code memoizes
+  //     probed witness-free subsets in a map shared by the whole run; as
+  //     subsets probed at level k have size k-1, entries are never shared
+  //     across levels, so deduplicating within the level (in candidate
+  //     order) builds exactly the tables the serial run builds;
+  //   C (ordered reduction) — counters and SIG/NOTSIG membership.
   std::vector<Itemset> candidates = WitnessedPairs(l1_plus, l1_minus);
+  std::vector<Eval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
-    std::vector<Itemset> notsig;
-    for (const Itemset& s : candidates) {
-      ++level.candidates;
-      // Non-succinct anti-monotone constraints prune before any database
-      // work (Figure E's outer guard).
-      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
-        ++level.pruned_before_ct;
-        continue;
-      }
-      const stats::ContingencyTable table = builder.Build(s);
-      ++level.tables_built;
-      if (!judge.IsCtSupported(table)) continue;
-      ++level.ct_supported;
-      ++level.chi2_tests;
-      if (judge.IsCorrelated(table)) {
-        ++level.correlated;
-        // Minimality guard. The witness exemption of the candidate rule
-        // never checked the witness-free co-subset (it exists exactly when
-        // the candidate has a single witness item). If that subset is
-        // correlated, the candidate is not a minimal correlated set and so
-        // not a VALID_MIN answer — Figure E admits it, which would break
-        // Definition 1; see DESIGN.md. Any deeper correlated witness-free
-        // subset forces this co-subset correlated too (upward closure), so
-        // one extra table settles minimality.
-        bool minimal = true;
-        if (pushed && k > 2) {
-          std::size_t witness_count = 0;
-          std::size_t witness_index = 0;
-          for (std::size_t i = 0; i < s.size(); ++i) {
-            if (is_witness[s[i]]) {
-              ++witness_count;
-              witness_index = i;
+
+    // Pass A.
+    evals.assign(candidates.size(), Eval());
+    ctx->executor().ParallelFor(
+        candidates.size(), [&](std::size_t t, std::size_t i) {
+          const Itemset& s = candidates[i];
+          Eval& e = evals[i];
+          // Non-succinct anti-monotone constraints prune before any
+          // database work (Figure E's outer guard).
+          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+            e.outcome = Eval::Outcome::kPruned;
+            return;
+          }
+          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          if (!workers.judge(t).IsCtSupported(table)) {
+            e.outcome = Eval::Outcome::kUnsupported;
+            return;
+          }
+          if (!workers.judge(t).IsCorrelated(table)) {
+            e.outcome = Eval::Outcome::kNotsig;
+            return;
+          }
+          e.outcome = Eval::Outcome::kCorrelated;
+          e.passes_deferred =
+              constraints.TestMonotoneDeferred(s.span(), catalog) &&
+              constraints.TestUnclassified(s.span(), catalog);
+          // Minimality guard setup. The witness exemption of the candidate
+          // rule never checked the witness-free co-subset (it exists
+          // exactly when the candidate has a single witness item). If that
+          // subset is correlated, the candidate is not a minimal
+          // correlated set and so not a VALID_MIN answer — Figure E admits
+          // it, which would break Definition 1; see DESIGN.md. Any deeper
+          // correlated witness-free subset forces this co-subset
+          // correlated too (upward closure), so one extra table settles
+          // minimality.
+          if (pushed && k > 2) {
+            std::size_t witness_count = 0;
+            std::size_t witness_index = 0;
+            for (std::size_t j = 0; j < s.size(); ++j) {
+              if (is_witness[s[j]]) {
+                ++witness_count;
+                witness_index = j;
+              }
+            }
+            if (witness_count == 1) {
+              e.needs_probe = true;
+              e.probe_subset = s.WithoutIndex(witness_index);
             }
           }
-          if (witness_count == 1) {
-            const Itemset subset = s.WithoutIndex(witness_index);
-            auto [it, inserted] =
-                probed_subset_correlated.try_emplace(subset, false);
-            if (inserted) {
-              const stats::ContingencyTable sub_table = builder.Build(subset);
-              ++level.tables_built;
-              ++level.chi2_tests;
-              it->second = judge.IsCorrelated(sub_table);
-            }
-            minimal = !it->second;
-          }
+        });
+
+    // Pass B: deduplicate probe subsets in candidate order, then judge
+    // each distinct subset once, in parallel.
+    std::vector<Itemset> probes;
+    ItemsetMap<std::size_t> probe_index;
+    for (const Eval& e : evals) {
+      if (e.outcome == Eval::Outcome::kCorrelated && e.needs_probe) {
+        probe_index.try_emplace(e.probe_subset, probes.size());
+        if (probe_index.size() > probes.size()) {
+          probes.push_back(e.probe_subset);
         }
-        if (minimal &&
-            constraints.TestMonotoneDeferred(s.span(), catalog) &&
-            constraints.TestUnclassified(s.span(), catalog)) {
-          ++level.sig_added;
-          result.answers.push_back(s);
-        }
-        // Invalid or non-minimal correlated sets are dropped: no superset
-        // of a correlated set can be minimal correlated.
-      } else {
-        ++level.notsig_added;
-        notsig.push_back(s);
       }
     }
+    std::vector<std::uint8_t> probe_correlated(probes.size(), 0);
+    ctx->executor().ParallelFor(
+        probes.size(), [&](std::size_t t, std::size_t j) {
+          const stats::ContingencyTable table =
+              workers.builder(t).Build(probes[j]);
+          probe_correlated[j] = workers.judge(t).IsCorrelated(table) ? 1 : 0;
+        });
+    level.tables_built += probes.size();
+    level.chi2_tests += probes.size();
+
+    // Pass C.
+    std::vector<Itemset> notsig;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Itemset& s = candidates[i];
+      const Eval& e = evals[i];
+      ++level.candidates;
+      switch (e.outcome) {
+        case Eval::Outcome::kPruned:
+          ++level.pruned_before_ct;
+          break;
+        case Eval::Outcome::kUnsupported:
+          ++level.tables_built;
+          break;
+        case Eval::Outcome::kNotsig:
+          ++level.tables_built;
+          ++level.ct_supported;
+          ++level.chi2_tests;
+          ++level.notsig_added;
+          notsig.push_back(s);
+          break;
+        case Eval::Outcome::kCorrelated: {
+          ++level.tables_built;
+          ++level.ct_supported;
+          ++level.chi2_tests;
+          ++level.correlated;
+          const bool minimal =
+              !e.needs_probe ||
+              probe_correlated[probe_index.at(e.probe_subset)] == 0;
+          if (minimal && e.passes_deferred) {
+            ++level.sig_added;
+            result.answers.push_back(s);
+          }
+          // Invalid or non-minimal correlated sets are dropped: no
+          // superset of a correlated set can be minimal correlated.
+          break;
+        }
+      }
+    }
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, result.answers.size(),
+                     level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates = ExtendSeeds(
@@ -115,6 +203,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
   }
 
   std::sort(result.answers.begin(), result.answers.end());
+  workers.AccumulateInto(result.stats);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -2,6 +2,7 @@
 #define CCS_CORE_BMS_PLUS_PLUS_H_
 
 #include "constraints/constraint_set.h"
+#include "core/context.h"
 #include "core/options.h"
 #include "core/result.h"
 #include "txn/catalog.h"
@@ -32,7 +33,8 @@ namespace ccs {
 MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
                              const ItemCatalog& catalog,
                              const ConstraintSet& constraints,
-                             const MiningOptions& options);
+                             const MiningOptions& options,
+                             MiningContext* ctx = nullptr);
 
 }  // namespace ccs
 

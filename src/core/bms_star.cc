@@ -1,27 +1,48 @@
 #include "core/bms_star.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/bms.h"
 #include "core/candidate_gen.h"
-#include "core/ct_builder.h"
-#include "core/judge.h"
+#include "core/parallel_eval.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace ccs {
+namespace {
+
+// Per-candidate result of the sweep's parallel pass.
+struct Eval {
+  enum class Outcome : std::uint8_t {
+    kAlreadyProcessed,  // base run judged it; skip silently
+    kPruned,            // failed an anti-monotone constraint
+    kUnsupported,       // table built, not CT-supported
+    kKept,              // CT-supported; see flags
+  };
+  Outcome outcome = Eval::Outcome::kAlreadyProcessed;
+  bool tested = false;      // chi-squared test performed (not inherited)
+  bool correlated = false;  // inherited or tested verdict
+  bool valid = false;       // correlated and passes the monotone constraints
+};
+
+}  // namespace
 
 MiningResult MineBmsStar(const TransactionDatabase& db,
                          const ItemCatalog& catalog,
                          const ConstraintSet& constraints,
-                         const MiningOptions& options) {
+                         const MiningOptions& options, MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBmsStar);
+    return MineBmsStar(db, catalog, constraints, options, &local);
+  }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  CorrelationJudge judge(options);
-  ContingencyTableBuilder builder(db);
+  EvalWorkers workers(db, options, ctx->num_threads());
 
   // Step 1: full unconstrained BMS run.
-  BmsRunOutput run = RunBms(db, options);
+  BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
   result.stats = std::move(run.stats);
 
@@ -60,52 +81,85 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   }
 
   // Steps 4-8: upward sweep. Candidates at level k+1 extend the level-k
-  // frontier; all co-dimension-1 subsets must be on the frontier.
+  // frontier; all co-dimension-1 subsets must be on the frontier. The
+  // parallel pass only reads correlated_flag entries of size k (written
+  // at earlier levels or during seeding), so inheritance verdicts are
+  // schedule-independent; new size-k+1 flags are written in the ordered
+  // reduction.
+  std::vector<Eval> evals;
   for (std::size_t k = 2; k < options.max_set_size; ++k) {
     std::vector<Itemset>& seeds = frontier[k];
     if (seeds.empty()) continue;
+    Stopwatch level_timer;
     std::sort(seeds.begin(), seeds.end());
     const ItemsetSet closed(seeds.begin(), seeds.end());
     const std::vector<Itemset> candidates = ExtendSeeds(
         seeds, run.frequent_items,
         [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
     LevelStats& level = result.stats.Level(k + 1);
-    for (const Itemset& s : candidates) {
-      if (already_processed.contains(s)) continue;
+    evals.assign(candidates.size(), Eval());
+    ctx->executor().ParallelFor(
+        candidates.size(), [&](std::size_t t, std::size_t i) {
+          const Itemset& s = candidates[i];
+          Eval& e = evals[i];
+          if (already_processed.contains(s)) {
+            e.outcome = Eval::Outcome::kAlreadyProcessed;
+            return;
+          }
+          if (!constraints.TestAntiMonotone(s.span(), catalog)) {
+            e.outcome = Eval::Outcome::kPruned;
+            return;
+          }
+          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          if (!workers.judge(t).IsCtSupported(table)) {
+            e.outcome = Eval::Outcome::kUnsupported;
+            return;
+          }
+          e.outcome = Eval::Outcome::kKept;
+          // Correlatedness is inherited from any correlated subset (the
+          // paper's "no need to re-run the chi-squared test"); only sets
+          // with exclusively uncorrelated subsets are tested.
+          for (std::size_t j = 0; j < s.size() && !e.correlated; ++j) {
+            const auto it = correlated_flag.find(s.WithoutIndex(j));
+            e.correlated = it != correlated_flag.end() && it->second;
+          }
+          if (!e.correlated) {
+            e.tested = true;
+            e.correlated = workers.judge(t).IsCorrelated(table);
+          }
+          e.valid =
+              e.correlated && constraints.TestMonotone(s.span(), catalog);
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Itemset& s = candidates[i];
+      const Eval& e = evals[i];
+      if (e.outcome == Eval::Outcome::kAlreadyProcessed) continue;
       ++level.candidates;
-      if (!constraints.TestAntiMonotone(s.span(), catalog)) {
+      if (e.outcome == Eval::Outcome::kPruned) {
         ++level.pruned_before_ct;
         continue;
       }
-      const stats::ContingencyTable table = builder.Build(s);
       ++level.tables_built;
-      if (!judge.IsCtSupported(table)) continue;
+      if (e.outcome == Eval::Outcome::kUnsupported) continue;
       ++level.ct_supported;
-      // Correlatedness is inherited from any correlated subset (the
-      // paper's "no need to re-run the chi-squared test"); only sets with
-      // exclusively uncorrelated subsets are tested.
-      bool correlated = false;
-      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
-        const auto it = correlated_flag.find(s.WithoutIndex(i));
-        correlated = it != correlated_flag.end() && it->second;
-      }
-      if (!correlated) {
-        ++level.chi2_tests;
-        correlated = judge.IsCorrelated(table);
-      }
-      if (correlated) ++level.correlated;
-      if (correlated && constraints.TestMonotone(s.span(), catalog)) {
+      if (e.tested) ++level.chi2_tests;
+      if (e.correlated) ++level.correlated;
+      if (e.valid) {
         ++level.sig_added;
         result.answers.push_back(s);
       } else {
         ++level.notsig_added;
         frontier[k + 1].push_back(s);
-        correlated_flag[s] = correlated;
+        correlated_flag[s] = e.correlated;
       }
     }
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, result.answers.size(),
+                     level_timer.ElapsedSeconds());
   }
 
   std::sort(result.answers.begin(), result.answers.end());
+  workers.AccumulateInto(result.stats);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

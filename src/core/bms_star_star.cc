@@ -1,10 +1,10 @@
 #include "core/bms_star_star.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/candidate_gen.h"
-#include "core/ct_builder.h"
-#include "core/judge.h"
+#include "core/parallel_eval.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -44,40 +44,91 @@ Universe BuildUniverse(const TransactionDatabase& db,
   return u;
 }
 
+// Phase-1 per-candidate result (SUPP membership plus the statistic).
+struct SuppEval {
+  enum class Outcome : std::uint8_t { kPruned, kUnsupported, kSupported };
+  Outcome outcome = Outcome::kPruned;
+  double chi2 = 0.0;
+};
+
+// Fused-pass per-candidate result for BMS**opt.
+struct FusedEval {
+  enum class Outcome : std::uint8_t { kPruned, kUnsupported, kKept };
+  Outcome outcome = FusedEval::Outcome::kPruned;
+  bool tested = false;
+  bool correlated = false;
+  bool valid = false;
+};
+
 }  // namespace
 
 MiningResult MineBmsStarStar(const TransactionDatabase& db,
                              const ItemCatalog& catalog,
                              const ConstraintSet& constraints,
-                             const MiningOptions& options) {
+                             const MiningOptions& options,
+                             MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBmsStarStar);
+    return MineBmsStarStar(db, catalog, constraints, options, &local);
+  }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  CorrelationJudge judge(options);
-  ContingencyTableBuilder builder(db);
+  EvalWorkers workers(db, options, ctx->num_threads());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
   // Phase 1: SUPP_k for every level, recording each supported set's
-  // chi-squared statistic.
+  // chi-squared statistic. All database work happens in the parallel
+  // pass; the ordered reduction fills SUPP so its order matches the
+  // serial run.
   std::vector<std::vector<Itemset>> supp(options.max_set_size + 1);
   ItemsetMap<double> chi2_of;
   std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  std::vector<SuppEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
-    for (const Itemset& s : candidates) {
+    evals.assign(candidates.size(), SuppEval());
+    ctx->executor().ParallelFor(
+        candidates.size(), [&](std::size_t t, std::size_t i) {
+          const Itemset& s = candidates[i];
+          SuppEval& e = evals[i];
+          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+            e.outcome = SuppEval::Outcome::kPruned;
+            return;
+          }
+          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          if (!workers.judge(t).IsCtSupported(table)) {
+            e.outcome = SuppEval::Outcome::kUnsupported;
+            return;
+          }
+          e.outcome = SuppEval::Outcome::kSupported;
+          e.chi2 = table.ChiSquaredStatistic();
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Itemset& s = candidates[i];
+      const SuppEval& e = evals[i];
       ++level.candidates;
-      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
-        ++level.pruned_before_ct;
-        continue;
+      switch (e.outcome) {
+        case SuppEval::Outcome::kPruned:
+          ++level.pruned_before_ct;
+          break;
+        case SuppEval::Outcome::kUnsupported:
+          ++level.tables_built;
+          break;
+        case SuppEval::Outcome::kSupported:
+          ++level.tables_built;
+          ++level.ct_supported;
+          supp[k].push_back(s);
+          chi2_of[s] = e.chi2;
+          break;
       }
-      const stats::ContingencyTable table = builder.Build(s);
-      ++level.tables_built;
-      if (!judge.IsCtSupported(table)) continue;
-      ++level.ct_supported;
-      supp[k].push_back(s);
-      chi2_of[s] = table.ChiSquaredStatistic();
     }
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, result.answers.size(),
+                     level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
     const ItemsetSet closed(supp[k].begin(), supp[k].end());
     candidates = ExtendSeeds(
@@ -86,10 +137,12 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
         });
   }
 
-  // Phase 2: pure-CPU upward sweep inside SUPP.
+  // Phase 2: pure-CPU upward sweep inside SUPP (no contingency tables,
+  // so it stays serial).
   ItemsetMap<bool> correlated_flag;
   std::vector<Itemset> current = supp[2];
   for (std::size_t k = 2; k <= options.max_set_size; ++k) {
+    Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     ItemsetSet notsig_here;
     for (const Itemset& s : current) {
@@ -101,7 +154,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
       if (!correlated) {
         ++level.chi2_tests;
         correlated =
-            chi2_of[s] >= judge.Cutoff(static_cast<int>(s.size()));
+            chi2_of[s] >= workers.judge(0).Cutoff(static_cast<int>(s.size()));
       }
       if (correlated) ++level.correlated;
       if (correlated &&
@@ -114,6 +167,9 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
         correlated_flag[s] = correlated;
       }
     }
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, result.answers.size(),
+                     level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
     current.clear();
     for (const Itemset& s : supp[k + 1]) {
@@ -124,6 +180,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   }
 
   std::sort(result.answers.begin(), result.answers.end());
+  workers.AccumulateInto(result.stats);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -131,50 +188,82 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
 MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
                                 const ItemCatalog& catalog,
                                 const ConstraintSet& constraints,
-                                const MiningOptions& options) {
+                                const MiningOptions& options,
+                                MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBmsStarStarOpt);
+    return MineBmsStarStarOpt(db, catalog, constraints, options, &local);
+  }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  CorrelationJudge judge(options);
-  ContingencyTableBuilder builder(db);
+  EvalWorkers workers(db, options, ctx->num_threads());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
+  // Fused level-wise pass. The parallel stage reads correlated_flag
+  // entries of size k-1 only (written during level k-1's reduction), so
+  // inheritance is schedule-independent; size-k flags are written in the
+  // ordered reduction below.
   ItemsetMap<bool> correlated_flag;
   std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  std::vector<FusedEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
+    evals.assign(candidates.size(), FusedEval());
+    ctx->executor().ParallelFor(
+        candidates.size(), [&](std::size_t t, std::size_t i) {
+          const Itemset& s = candidates[i];
+          FusedEval& e = evals[i];
+          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+            e.outcome = FusedEval::Outcome::kPruned;
+            return;
+          }
+          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          if (!workers.judge(t).IsCtSupported(table)) {
+            e.outcome = FusedEval::Outcome::kUnsupported;
+            return;
+          }
+          e.outcome = FusedEval::Outcome::kKept;
+          for (std::size_t j = 0; j < s.size() && !e.correlated; ++j) {
+            const auto it = correlated_flag.find(s.WithoutIndex(j));
+            e.correlated = it != correlated_flag.end() && it->second;
+          }
+          if (!e.correlated) {
+            e.tested = true;
+            e.correlated = workers.judge(t).IsCorrelated(table);
+          }
+          e.valid = e.correlated &&
+                    constraints.TestMonotoneDeferred(s.span(), catalog);
+        });
     std::vector<Itemset> notsig;
-    for (const Itemset& s : candidates) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Itemset& s = candidates[i];
+      const FusedEval& e = evals[i];
       ++level.candidates;
-      if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
+      if (e.outcome == FusedEval::Outcome::kPruned) {
         ++level.pruned_before_ct;
         continue;
       }
-      const stats::ContingencyTable table = builder.Build(s);
       ++level.tables_built;
-      if (!judge.IsCtSupported(table)) continue;
+      if (e.outcome == FusedEval::Outcome::kUnsupported) continue;
       ++level.ct_supported;
-      bool correlated = false;
-      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
-        const auto it = correlated_flag.find(s.WithoutIndex(i));
-        correlated = it != correlated_flag.end() && it->second;
-      }
-      if (!correlated) {
-        ++level.chi2_tests;
-        correlated = judge.IsCorrelated(table);
-      }
-      if (correlated) ++level.correlated;
-      if (correlated &&
-          constraints.TestMonotoneDeferred(s.span(), catalog)) {
+      if (e.tested) ++level.chi2_tests;
+      if (e.correlated) ++level.correlated;
+      if (e.valid) {
         ++level.sig_added;
         result.answers.push_back(s);
       } else {
         ++level.notsig_added;
         notsig.push_back(s);
-        correlated_flag[s] = correlated;
+        correlated_flag[s] = e.correlated;
       }
     }
+    level.wall_seconds += level_timer.ElapsedSeconds();
+    ctx->ReportLevel(level, result.answers.size(),
+                     level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates = ExtendSeeds(
@@ -184,6 +273,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   }
 
   std::sort(result.answers.begin(), result.answers.end());
+  workers.AccumulateInto(result.stats);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -2,6 +2,7 @@
 #define CCS_CORE_BMS_STAR_STAR_H_
 
 #include "constraints/constraint_set.h"
+#include "core/context.h"
 #include "core/options.h"
 #include "core/result.h"
 #include "txn/catalog.h"
@@ -34,7 +35,8 @@ namespace ccs {
 MiningResult MineBmsStarStar(const TransactionDatabase& db,
                              const ItemCatalog& catalog,
                              const ConstraintSet& constraints,
-                             const MiningOptions& options);
+                             const MiningOptions& options,
+                             MiningContext* ctx = nullptr);
 
 // Optimized BMS** (the Section 6 "it seems possible to optimize BMS**
 // even further" remark): the two phases are fused into a single level-wise
@@ -45,7 +47,8 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
 MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
                                 const ItemCatalog& catalog,
                                 const ConstraintSet& constraints,
-                                const MiningOptions& options);
+                                const MiningOptions& options,
+                                MiningContext* ctx = nullptr);
 
 }  // namespace ccs
 

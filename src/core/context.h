@@ -1,0 +1,68 @@
+#ifndef CCS_CORE_CONTEXT_H_
+#define CCS_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/algorithm.h"
+#include "core/result.h"
+#include "util/executor.h"
+
+namespace ccs {
+
+// Snapshot emitted after an algorithm finishes a lattice level. Algorithms
+// that revisit a level in a later pass (BMS*'s upward sweep amends the base
+// run's levels; BMS**'s phase 2 re-walks the SUPP levels) emit one event
+// per pass, so a level index can appear more than once; the counters are
+// the level's running totals at emission time.
+struct LevelProgress {
+  Algorithm algorithm = Algorithm::kBms;
+  std::size_t level = 0;
+  // Running totals for this level across passes so far.
+  std::uint64_t candidates = 0;
+  std::uint64_t tables_built = 0;
+  // Answers found so far across all levels.
+  std::uint64_t answers_so_far = 0;
+  // Wall time of the pass that just finished.
+  double pass_seconds = 0.0;
+};
+
+// Invoked serially (never from a worker thread) between levels.
+using ProgressCallback = std::function<void(const LevelProgress&)>;
+
+// Per-run execution state threaded through the algorithm implementations:
+// the shared thread pool plus the session's progress sink. Owned by
+// MiningEngine::Run; the legacy free-function entry points synthesize a
+// single-threaded one.
+class MiningContext {
+ public:
+  MiningContext(ParallelExecutor& executor, Algorithm algorithm,
+                const ProgressCallback* progress = nullptr)
+      : executor_(&executor), algorithm_(algorithm), progress_(progress) {}
+
+  ParallelExecutor& executor() const { return *executor_; }
+  std::size_t num_threads() const { return executor_->num_threads(); }
+  Algorithm algorithm() const { return algorithm_; }
+
+  void ReportLevel(const LevelStats& level, std::uint64_t answers_so_far,
+                   double pass_seconds) const {
+    if (progress_ == nullptr || !*progress_) return;
+    LevelProgress event;
+    event.algorithm = algorithm_;
+    event.level = level.level;
+    event.candidates = level.candidates;
+    event.tables_built = level.tables_built;
+    event.answers_so_far = answers_so_far;
+    event.pass_seconds = pass_seconds;
+    (*progress_)(event);
+  }
+
+ private:
+  ParallelExecutor* executor_;
+  Algorithm algorithm_;
+  const ProgressCallback* progress_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_CONTEXT_H_

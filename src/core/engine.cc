@@ -1,0 +1,46 @@
+#include "core/engine.h"
+
+#include "core/bms.h"
+#include "core/bms_plus.h"
+#include "core/bms_plus_plus.h"
+#include "core/bms_star.h"
+#include "core/bms_star_star.h"
+#include "util/check.h"
+
+namespace ccs {
+
+MiningEngine::MiningEngine(const TransactionDatabase& db,
+                           const ItemCatalog& catalog, EngineOptions options)
+    : db_(&db),
+      catalog_(&catalog),
+      options_(std::move(options)),
+      executor_(options_.num_threads) {}
+
+MiningResult MiningEngine::Run(const MiningRequest& request) {
+  const ConstraintSet& constraints =
+      request.constraints != nullptr ? *request.constraints
+                                     : empty_constraints_;
+  MiningContext ctx(executor_, request.algorithm,
+                    &options_.progress_callback);
+  switch (request.algorithm) {
+    case Algorithm::kBms:
+      return MineBms(*db_, request.options, &ctx);
+    case Algorithm::kBmsPlus:
+      return MineBmsPlus(*db_, *catalog_, constraints, request.options, &ctx);
+    case Algorithm::kBmsPlusPlus:
+      return MineBmsPlusPlus(*db_, *catalog_, constraints, request.options,
+                             &ctx);
+    case Algorithm::kBmsStar:
+      return MineBmsStar(*db_, *catalog_, constraints, request.options, &ctx);
+    case Algorithm::kBmsStarStar:
+      return MineBmsStarStar(*db_, *catalog_, constraints, request.options,
+                             &ctx);
+    case Algorithm::kBmsStarStarOpt:
+      return MineBmsStarStarOpt(*db_, *catalog_, constraints, request.options,
+                                &ctx);
+  }
+  CCS_CHECK(false);
+  return {};
+}
+
+}  // namespace ccs

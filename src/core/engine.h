@@ -1,0 +1,81 @@
+#ifndef CCS_CORE_ENGINE_H_
+#define CCS_CORE_ENGINE_H_
+
+#include <cstddef>
+
+#include "constraints/constraint_set.h"
+#include "core/algorithm.h"
+#include "core/context.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/executor.h"
+
+namespace ccs {
+
+// Session-level knobs, fixed for the engine's lifetime. Everything
+// query-level lives in MiningRequest, so adding engine knobs here and
+// query knobs there is non-breaking for both.
+struct EngineOptions {
+  // Executor width. 1 = serial (no worker threads); 0 = one thread per
+  // hardware thread. Answers and the deterministic counters of
+  // MiningStats are identical for every value.
+  std::size_t num_threads = 1;
+
+  // If set, called serially after each lattice-level pass of every run.
+  ProgressCallback progress_callback;
+};
+
+// One correlation-mining query: which algorithm, its statistical
+// parameters, and the constraint conjunction. A plain aggregate so future
+// knobs (sharding, sampling, ...) can be added without breaking callers.
+struct MiningRequest {
+  Algorithm algorithm = Algorithm::kBms;
+  MiningOptions options;
+  // Borrowed; must outlive the Run call. nullptr means no constraints.
+  // Ignored by Algorithm::kBms, which is unconstrained by definition.
+  const ConstraintSet* constraints = nullptr;
+};
+
+// The mining session: binds a finalized database and its catalog to a
+// thread pool once, then serves any number of Run calls against them.
+//
+//   MiningEngine engine(db, catalog, {.num_threads = 8});
+//   MiningResult r = engine.Run({.algorithm = Algorithm::kBmsPlusPlus,
+//                                .options = options,
+//                                .constraints = &constraints});
+//
+// Determinism guarantee: for a fixed request, `answers` and every counter
+// of MiningStats except tables_built_per_thread (and the wall-time fields)
+// are bit-identical across num_threads values — the parallel loops write
+// per-candidate verdicts into index-addressed slots and reduce them in
+// candidate order, so the thread schedule never reaches the output.
+//
+// The database and catalog are borrowed and must outlive the engine; they
+// are never mutated. The engine itself is not thread-safe: one Run at a
+// time per engine (create several engines over the same database to run
+// queries concurrently).
+class MiningEngine {
+ public:
+  MiningEngine(const TransactionDatabase& db, const ItemCatalog& catalog,
+               EngineOptions options = {});
+
+  MiningResult Run(const MiningRequest& request);
+
+  const TransactionDatabase& database() const { return *db_; }
+  const ItemCatalog& catalog() const { return *catalog_; }
+  // Actual executor width (EngineOptions::num_threads resolved).
+  std::size_t num_threads() const { return executor_.num_threads(); }
+
+ private:
+  const TransactionDatabase* db_;
+  const ItemCatalog* catalog_;
+  EngineOptions options_;
+  ParallelExecutor executor_;
+  ConstraintSet empty_constraints_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_ENGINE_H_

@@ -1,74 +1,19 @@
 #include "core/miner.h"
 
-#include "core/bms.h"
-#include "core/bms_plus.h"
-#include "core/bms_plus_plus.h"
-#include "core/bms_star.h"
-#include "core/bms_star_star.h"
-#include "util/check.h"
+#include "core/engine.h"
 
 namespace ccs {
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kBms:
-      return "BMS";
-    case Algorithm::kBmsPlus:
-      return "BMS+";
-    case Algorithm::kBmsPlusPlus:
-      return "BMS++";
-    case Algorithm::kBmsStar:
-      return "BMS*";
-    case Algorithm::kBmsStarStar:
-      return "BMS**";
-    case Algorithm::kBmsStarStarOpt:
-      return "BMS**opt";
-  }
-  return "?";
-}
-
-std::optional<Algorithm> ParseAlgorithmName(const std::string& name) {
-  for (Algorithm a : kAllAlgorithms) {
-    if (name == AlgorithmName(a)) return a;
-  }
-  return std::nullopt;
-}
-
-AnswerSemantics SemanticsOf(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kBms:
-      return AnswerSemantics::kUnconstrained;
-    case Algorithm::kBmsPlus:
-    case Algorithm::kBmsPlusPlus:
-      return AnswerSemantics::kValidMinimal;
-    case Algorithm::kBmsStar:
-    case Algorithm::kBmsStarStar:
-    case Algorithm::kBmsStarStarOpt:
-      return AnswerSemantics::kMinimalValid;
-  }
-  return AnswerSemantics::kUnconstrained;
-}
 
 MiningResult Mine(Algorithm algorithm, const TransactionDatabase& db,
                   const ItemCatalog& catalog,
                   const ConstraintSet& constraints,
                   const MiningOptions& options) {
-  switch (algorithm) {
-    case Algorithm::kBms:
-      return MineBms(db, options);
-    case Algorithm::kBmsPlus:
-      return MineBmsPlus(db, catalog, constraints, options);
-    case Algorithm::kBmsPlusPlus:
-      return MineBmsPlusPlus(db, catalog, constraints, options);
-    case Algorithm::kBmsStar:
-      return MineBmsStar(db, catalog, constraints, options);
-    case Algorithm::kBmsStarStar:
-      return MineBmsStarStar(db, catalog, constraints, options);
-    case Algorithm::kBmsStarStarOpt:
-      return MineBmsStarStarOpt(db, catalog, constraints, options);
-  }
-  CCS_CHECK(false);
-  return {};
+  MiningEngine engine(db, catalog);
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = options;
+  request.constraints = &constraints;
+  return engine.Run(request);
 }
 
 }  // namespace ccs

@@ -1,10 +1,8 @@
 #ifndef CCS_CORE_MINER_H_
 #define CCS_CORE_MINER_H_
 
-#include <optional>
-#include <string>
-
 #include "constraints/constraint_set.h"
+#include "core/algorithm.h"
 #include "core/options.h"
 #include "core/result.h"
 #include "txn/catalog.h"
@@ -12,40 +10,16 @@
 
 namespace ccs {
 
-// The algorithms of the paper plus this library's extension.
-enum class Algorithm {
-  kBms,             // Brin et al. baseline (ignores constraints)
-  kBmsPlus,         // VALID_MIN, naive
-  kBmsPlusPlus,     // VALID_MIN, constraint-pushing
-  kBmsStar,         // MIN_VALID, naive
-  kBmsStarStar,     // MIN_VALID, constraint-pushing
-  kBmsStarStarOpt,  // MIN_VALID, fused phases (Section 6 extension)
-};
-
-// Which answer set an algorithm computes.
-enum class AnswerSemantics {
-  kUnconstrained,  // all minimal correlated CT-supported sets
-  kValidMinimal,   // VALID_MIN(Q)
-  kMinimalValid,   // MIN_VALID(Q)
-};
-
-// "BMS", "BMS+", "BMS++", "BMS*", "BMS**", "BMS**opt".
-const char* AlgorithmName(Algorithm algorithm);
-
-// Parses an AlgorithmName back; nullopt for unknown names.
-std::optional<Algorithm> ParseAlgorithmName(const std::string& name);
-
-AnswerSemantics SemanticsOf(Algorithm algorithm);
-
-// All algorithms, in the enum's order — convenient for sweeps.
-inline constexpr Algorithm kAllAlgorithms[] = {
-    Algorithm::kBms,      Algorithm::kBmsPlus,     Algorithm::kBmsPlusPlus,
-    Algorithm::kBmsStar,  Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt,
-};
-
 // Dispatches a constrained correlation query to the chosen algorithm.
 // kBms ignores `constraints`. The MIN_VALID algorithms require every
 // constraint to be monotone or anti-monotone.
+//
+// COMPATIBILITY SHIM — prefer MiningEngine (core/engine.h). This free
+// function constructs a throwaway single-threaded engine per call, so it
+// can use neither the thread pool nor progress reporting, and it rebinds
+// the database on every query instead of once per session. It is kept so
+// existing callers keep compiling and will be marked [[deprecated]] once
+// the tree is fully migrated.
 MiningResult Mine(Algorithm algorithm, const TransactionDatabase& db,
                   const ItemCatalog& catalog,
                   const ConstraintSet& constraints,

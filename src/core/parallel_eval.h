@@ -1,0 +1,59 @@
+#ifndef CCS_CORE_PARALLEL_EVAL_H_
+#define CCS_CORE_PARALLEL_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ct_builder.h"
+#include "core/judge.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "txn/database.h"
+
+namespace ccs {
+
+// Per-thread evaluation state for the parallel candidate loops: one
+// ContingencyTableBuilder (mutable scratch bitsets) and one
+// CorrelationJudge (mutable critical-value cache) per executor thread.
+// Worker t exclusively uses slot t, so no synchronization is needed; the
+// database itself is shared read-only.
+class EvalWorkers {
+ public:
+  EvalWorkers(const TransactionDatabase& db, const MiningOptions& options,
+              std::size_t num_threads) {
+    builders_.reserve(num_threads);
+    judges_.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      builders_.emplace_back(db);
+      judges_.emplace_back(options);
+    }
+  }
+
+  ContingencyTableBuilder& builder(std::size_t thread) {
+    return builders_[thread];
+  }
+  CorrelationJudge& judge(std::size_t thread) { return judges_[thread]; }
+
+  std::size_t num_threads() const { return builders_.size(); }
+
+  // Folds this worker set's per-thread table counts into the run's stats.
+  // Additive, so a run that uses several worker sets in sequence (BMS*'s
+  // base pass + sweep) reports their sum.
+  void AccumulateInto(MiningStats& stats) const {
+    stats.num_threads = builders_.size();
+    if (stats.tables_built_per_thread.size() < builders_.size()) {
+      stats.tables_built_per_thread.resize(builders_.size(), 0);
+    }
+    for (std::size_t t = 0; t < builders_.size(); ++t) {
+      stats.tables_built_per_thread[t] += builders_[t].tables_built();
+    }
+  }
+
+ private:
+  std::vector<ContingencyTableBuilder> builders_;
+  std::vector<CorrelationJudge> judges_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_PARALLEL_EVAL_H_

@@ -35,12 +35,23 @@ std::string MiningStats::ToString() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "elapsed %.3fs, %llu candidates, %llu tables, %llu chi2\n",
+                "elapsed %.3fs, %llu candidates, %llu tables, %llu chi2, "
+                "%zu thread%s\n",
                 elapsed_seconds,
                 static_cast<unsigned long long>(TotalCandidates()),
                 static_cast<unsigned long long>(TotalTablesBuilt()),
-                static_cast<unsigned long long>(TotalChi2Tests()));
+                static_cast<unsigned long long>(TotalChi2Tests()),
+                num_threads, num_threads == 1 ? "" : "s");
   out += buf;
+  if (num_threads > 1 && !tables_built_per_thread.empty()) {
+    out += "  tables/thread:";
+    for (std::uint64_t n : tables_built_per_thread) {
+      std::snprintf(buf, sizeof(buf), " %llu",
+                    static_cast<unsigned long long>(n));
+      out += buf;
+    }
+    out += "\n";
+  }
   for (const auto& l : levels) {
     if (l.candidates == 0 && l.sig_added == 0 && l.notsig_added == 0) {
       continue;
@@ -48,7 +59,7 @@ std::string MiningStats::ToString() const {
     std::snprintf(
         buf, sizeof(buf),
         "  level %zu: cand=%llu pruned=%llu ct=%llu supported=%llu "
-        "chi2=%llu corr=%llu sig+=%llu notsig+=%llu\n",
+        "chi2=%llu corr=%llu sig+=%llu notsig+=%llu wall=%.1fms\n",
         l.level, static_cast<unsigned long long>(l.candidates),
         static_cast<unsigned long long>(l.pruned_before_ct),
         static_cast<unsigned long long>(l.tables_built),
@@ -56,7 +67,8 @@ std::string MiningStats::ToString() const {
         static_cast<unsigned long long>(l.chi2_tests),
         static_cast<unsigned long long>(l.correlated),
         static_cast<unsigned long long>(l.sig_added),
-        static_cast<unsigned long long>(l.notsig_added));
+        static_cast<unsigned long long>(l.notsig_added),
+        l.wall_seconds * 1e3);
     out += buf;
   }
   return out;

@@ -32,12 +32,21 @@ struct LevelStats {
   std::uint64_t sig_added = 0;
   // Sets added to NOTSIG at this level.
   std::uint64_t notsig_added = 0;
+  // Wall time spent on this level, summed over passes (timing only — not
+  // part of the deterministic counter set).
+  double wall_seconds = 0.0;
 };
 
 // Aggregate run statistics.
 struct MiningStats {
   std::vector<LevelStats> levels;
   double elapsed_seconds = 0.0;
+  // Executor width the run used (1 for the serial path).
+  std::size_t num_threads = 1;
+  // Contingency tables built by each executor thread. Sums to
+  // TotalTablesBuilt(); the split depends on the thread schedule and is
+  // the one run-to-run nondeterministic quantity in these stats.
+  std::vector<std::uint64_t> tables_built_per_thread;
 
   LevelStats& Level(std::size_t level);
 

@@ -1,0 +1,85 @@
+#include "util/executor.h"
+
+#include <algorithm>
+
+namespace ccs {
+
+std::size_t ParallelExecutor::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ParallelExecutor::ParallelExecutor(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    // Chunks several times smaller than a per-thread share keep the tail
+    // balanced when per-element cost varies (table size grows with level).
+    grain_ = std::max<std::size_t>(1, n / (num_threads_ * 8));
+    cursor_.store(0, std::memory_order_relaxed);
+    active_workers_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunChunks(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  body_ = nullptr;
+}
+
+void ParallelExecutor::WorkerLoop(std::size_t thread_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunChunks(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelExecutor::RunChunks(std::size_t thread_index) {
+  const Body& body = *body_;
+  const std::size_t n = n_;
+  const std::size_t grain = grain_;
+  for (;;) {
+    const std::size_t begin =
+        cursor_.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) return;
+    const std::size_t end = std::min(begin + grain, n);
+    for (std::size_t i = begin; i < end; ++i) body(thread_index, i);
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,75 @@
+#ifndef CCS_UTIL_EXECUTOR_H_
+#define CCS_UTIL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccs {
+
+// Fixed-size thread pool with a chunked parallel-for, sized once at
+// construction and reused across loops (the mining engines call into it
+// once per lattice level).
+//
+// Determinism contract: ParallelFor partitions [0, n) into contiguous
+// chunks that threads claim from an atomic cursor. The body receives the
+// claiming thread's index (for per-thread scratch state) and the element
+// index; writing results through the element index into a pre-sized array
+// makes the output independent of the thread schedule. Nothing about
+// *which* thread evaluates an element is deterministic — only the index
+// space is.
+//
+// With num_threads == 1 no worker threads are created and ParallelFor runs
+// the body inline, so a single-threaded executor is exactly the serial
+// code path.
+class ParallelExecutor {
+ public:
+  // body(thread, index): thread in [0, num_threads()), index in [0, n).
+  using Body = std::function<void(std::size_t, std::size_t)>;
+
+  // num_threads == 0 picks one thread per hardware thread.
+  explicit ParallelExecutor(std::size_t num_threads = 1);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  // Runs body(thread, i) for every i in [0, n); returns when all calls
+  // have finished. The calling thread participates as thread 0. The body
+  // must not throw and must not re-enter ParallelFor on this executor.
+  void ParallelFor(std::size_t n, const Body& body);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t HardwareThreads();
+
+ private:
+  void WorkerLoop(std::size_t thread_index);
+  void RunChunks(std::size_t thread_index);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t active_workers_ = 0;
+  bool shutdown_ = false;
+
+  // Current loop; published under mutex_ before the generation bump.
+  const Body* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_EXECUTOR_H_

@@ -1,0 +1,245 @@
+// MiningEngine session API: determinism of the parallel candidate
+// evaluation. For every algorithm, over a paper-style example database and
+// a generated Zipf database, a run at num_threads in {2, 8} must be
+// byte-identical — answers and the full per-level counter set — to the
+// serial (num_threads = 1) run, and the Mine() compatibility shim must
+// agree with the engine.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/miner.h"
+#include "datagen/zipf_generator.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+// The paper's milk/bread/cheese-style scenario: one strongly correlated
+// planted pair plus independent frequent background items.
+TransactionDatabase PaperExampleDb() {
+  Rng rng(99);
+  TransactionDatabase db(5);
+  for (int t = 0; t < 1000; ++t) {
+    Transaction txn;
+    if (rng.NextBernoulli(0.5)) {
+      txn.push_back(0);
+      txn.push_back(1);
+    } else {
+      if (rng.NextBernoulli(0.25)) txn.push_back(0);
+      if (rng.NextBernoulli(0.25)) txn.push_back(1);
+    }
+    if (rng.NextBernoulli(0.5)) txn.push_back(4);
+    if (rng.NextBernoulli(0.4)) txn.push_back(2);
+    if (rng.NextBernoulli(0.4)) txn.push_back(3);
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+TransactionDatabase ZipfDb() {
+  ZipfGeneratorConfig config;
+  config.num_transactions = 2000;
+  config.num_items = 40;
+  config.avg_transaction_size = 8.0;
+  config.num_groups = 4;
+  config.group_size = 3;
+  config.group_probability = 0.35;
+  config.seed = 7;
+  return ZipfGenerator(config).Generate();
+}
+
+EngineOptions WithThreads(std::size_t n) {
+  EngineOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+MiningOptions EngineTestOptions(const TransactionDatabase& db) {
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = db.num_transactions() / 20;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  return options;
+}
+
+// Constraints every algorithm accepts (no unclassified bucket): one
+// anti-monotone succinct, one anti-monotone non-succinct, one monotone
+// succinct — enough to exercise pruning, the witness split, and the
+// BMS++ minimality probes.
+ConstraintSet EngineTestConstraints() {
+  ConstraintSet set;
+  set.Add(MaxLe(30.0));
+  set.Add(SumLe(60.0));
+  set.Add(MinLe(12.0));
+  return set;
+}
+
+void ExpectSameCounters(const MiningStats& a, const MiningStats& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t k = 0; k < a.levels.size(); ++k) {
+    const LevelStats& la = a.levels[k];
+    const LevelStats& lb = b.levels[k];
+    EXPECT_EQ(la.candidates, lb.candidates) << "level " << k;
+    EXPECT_EQ(la.pruned_before_ct, lb.pruned_before_ct) << "level " << k;
+    EXPECT_EQ(la.tables_built, lb.tables_built) << "level " << k;
+    EXPECT_EQ(la.ct_supported, lb.ct_supported) << "level " << k;
+    EXPECT_EQ(la.chi2_tests, lb.chi2_tests) << "level " << k;
+    EXPECT_EQ(la.correlated, lb.correlated) << "level " << k;
+    EXPECT_EQ(la.sig_added, lb.sig_added) << "level " << k;
+    EXPECT_EQ(la.notsig_added, lb.notsig_added) << "level " << k;
+  }
+}
+
+std::uint64_t SumPerThreadTables(const MiningStats& stats) {
+  std::uint64_t total = 0;
+  for (std::uint64_t n : stats.tables_built_per_thread) total += n;
+  return total;
+}
+
+class EngineDeterminismTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(EngineDeterminismTest, ParallelMatchesSerialOnPaperExample) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningRequest request;
+  request.algorithm = GetParam();
+  request.options = EngineTestOptions(db);
+  request.constraints = &constraints;
+
+  MiningEngine serial(db, catalog, WithThreads(1));
+  const MiningResult base = serial.Run(request);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    MiningEngine engine(db, catalog, WithThreads(threads));
+    ASSERT_EQ(engine.num_threads(), threads);
+    const MiningResult parallel = engine.Run(request);
+    EXPECT_EQ(parallel.answers, base.answers) << "threads=" << threads;
+    ExpectSameCounters(base.stats, parallel.stats);
+    EXPECT_EQ(parallel.stats.num_threads, threads);
+    EXPECT_EQ(SumPerThreadTables(parallel.stats),
+              parallel.stats.TotalTablesBuilt());
+  }
+}
+
+TEST_P(EngineDeterminismTest, ParallelMatchesSerialOnZipfDb) {
+  const TransactionDatabase db = ZipfDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(40);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningRequest request;
+  request.algorithm = GetParam();
+  request.options = EngineTestOptions(db);
+  request.constraints = &constraints;
+
+  MiningEngine serial(db, catalog, WithThreads(1));
+  const MiningResult base = serial.Run(request);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    MiningEngine engine(db, catalog, WithThreads(threads));
+    const MiningResult parallel = engine.Run(request);
+    EXPECT_EQ(parallel.answers, base.answers) << "threads=" << threads;
+    ExpectSameCounters(base.stats, parallel.stats);
+    EXPECT_EQ(SumPerThreadTables(parallel.stats),
+              parallel.stats.TotalTablesBuilt());
+  }
+}
+
+TEST_P(EngineDeterminismTest, ShimAgreesWithEngine) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  const MiningOptions options = EngineTestOptions(db);
+
+  const MiningResult shim =
+      Mine(GetParam(), db, catalog, constraints, options);
+  MiningEngine engine(db, catalog, WithThreads(2));
+  MiningRequest request;
+  request.algorithm = GetParam();
+  request.options = options;
+  request.constraints = &constraints;
+  const MiningResult direct = engine.Run(request);
+  EXPECT_EQ(shim.answers, direct.answers);
+  EXPECT_EQ(shim.stats.TotalTablesBuilt(), direct.stats.TotalTablesBuilt());
+  EXPECT_EQ(shim.stats.TotalCandidates(), direct.stats.TotalCandidates());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EngineDeterminismTest,
+    ::testing::ValuesIn(kAllAlgorithms),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name = AlgorithmName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (c == '+') out += "Plus";
+        else if (c == '*') out += "Star";
+        else out += c;
+      }
+      return out;
+    });
+
+TEST(MiningEngineTest, NullConstraintsMeansEmptySet) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  MiningEngine engine(db, catalog);
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsPlusPlus;
+  request.options = EngineTestOptions(db);
+  const MiningResult unconstrained = engine.Run(request);
+  const ConstraintSet empty;
+  request.constraints = &empty;
+  const MiningResult explicit_empty = engine.Run(request);
+  EXPECT_EQ(unconstrained.answers, explicit_empty.answers);
+  EXPECT_FALSE(unconstrained.answers.empty());
+}
+
+TEST(MiningEngineTest, SessionServesRepeatedQueries) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(2));
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsStarStarOpt;
+  request.options = EngineTestOptions(db);
+  request.constraints = &constraints;
+  const MiningResult first = engine.Run(request);
+  const MiningResult second = engine.Run(request);
+  EXPECT_EQ(first.answers, second.answers);
+  EXPECT_EQ(first.stats.TotalTablesBuilt(), second.stats.TotalTablesBuilt());
+}
+
+TEST(MiningEngineTest, ProgressCallbackSeesEveryLevelSerially) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  std::vector<LevelProgress> events;
+  std::atomic<int> in_flight{0};
+  bool overlapped = false;
+  EngineOptions options;
+  options.num_threads = 4;
+  options.progress_callback = [&](const LevelProgress& event) {
+    if (in_flight.fetch_add(1) != 0) overlapped = true;
+    events.push_back(event);
+    in_flight.fetch_sub(1);
+  };
+  MiningEngine engine(db, catalog, std::move(options));
+  MiningRequest request;
+  request.algorithm = Algorithm::kBms;
+  request.options = EngineTestOptions(db);
+  const MiningResult result = engine.Run(request);
+  EXPECT_FALSE(overlapped);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().level, 2u);
+  EXPECT_EQ(events.front().algorithm, Algorithm::kBms);
+  EXPECT_EQ(events.back().answers_so_far, result.answers.size());
+  std::uint64_t candidates_seen = 0;
+  for (const LevelProgress& e : events) candidates_seen += e.candidates;
+  EXPECT_EQ(candidates_seen, result.stats.TotalCandidates());
+}
+
+}  // namespace
+}  // namespace ccs
