@@ -100,6 +100,18 @@ EngineOptions BenchEngineOptions() {
   return options;
 }
 
+RunControl BenchRunControl() {
+  RunControl control;
+  if (const char* env = std::getenv("CCS_BENCH_TIMEOUT_MS")) {
+    control.timeout =
+        std::chrono::milliseconds(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("CCS_BENCH_MAX_TABLES")) {
+    control.max_tables_built = std::strtoull(env, nullptr, 10);
+  }
+  return control;
+}
+
 void RunAndRecord(const char* dataset, const std::string& x,
                   Algorithm algorithm, MiningEngine& engine,
                   const ConstraintSet& constraints,
@@ -108,7 +120,17 @@ void RunAndRecord(const char* dataset, const std::string& x,
   request.algorithm = algorithm;
   request.options = options;
   request.constraints = &constraints;
+  request.control = BenchRunControl();
   const MiningResult result = engine.Run(request);
+  if (result.partial()) {
+    std::fprintf(stderr,
+                 "warning: %s x=%s %s run %s after %llu level passes — "
+                 "row holds partial counters\n",
+                 dataset, x.c_str(), AlgorithmName(algorithm),
+                 TerminationName(result.termination),
+                 static_cast<unsigned long long>(
+                     result.stats.levels_completed));
+  }
   table.BeginRow();
   table.AddCell(std::string(dataset));
   table.AddCell(x);

@@ -15,6 +15,10 @@
 // published series stay comparable with the paper's single-core numbers;
 // 0 = one thread per hardware thread). Answers and tables_built are
 // identical for every value — only cpu_ms moves.
+// CCS_BENCH_TIMEOUT_MS=<n> / CCS_BENCH_MAX_TABLES=<n>: per-run deadline
+// and table budget for exploratory sweeps on big inputs. A tripped run is
+// recorded with its partial counters and flagged on stderr — partial rows
+// are NOT comparable with the paper's complete-run series.
 
 #include <cstdint>
 #include <string>
@@ -22,6 +26,7 @@
 
 #include "constraints/constraint_set.h"
 #include "core/engine.h"
+#include "core/run_control.h"
 #include "datagen/catalog_generator.h"
 #include "txn/database.h"
 #include "util/csv.h"
@@ -66,6 +71,10 @@ std::size_t BenchThreads();
 // callback. Harnesses construct one MiningEngine per database:
 //   MiningEngine engine(db, catalog, BenchEngineOptions());
 EngineOptions BenchEngineOptions();
+
+// Per-run RunControl from CCS_BENCH_TIMEOUT_MS / CCS_BENCH_MAX_TABLES
+// (see header comment). Unlimited when neither is set.
+RunControl BenchRunControl();
 
 // One measured run appended to `table` as
 // (dataset, x, algorithm, answers, tables_built, cpu_ms).

@@ -7,7 +7,8 @@
 //               [--query "min_valid where max(S.price) <= 50 with alpha=0.95"]
 //               [--algorithm BMS|BMS+|BMS++|BMS*|BMS**|BMS**opt]
 //               [--alpha 0.9] [--support-frac 0.05] [--cell-frac 0.25]
-//               [--max-size 4] [--threads N] [--stats] [--profile] [--report]
+//               [--max-size 4] [--threads N] [--timeout-ms N]
+//               [--max-tables N] [--stats] [--profile] [--report]
 //               [--save-baskets FILE]
 //   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
 //
@@ -16,6 +17,14 @@
 // --algorithm/--alpha/... flags override the query'"'"'s choices.
 // With --save-baskets / the file loaders this doubles as a round-trip test
 // of the text formats.
+//
+// --timeout-ms and --max-tables bound the run; a tripped run still prints
+// the partial answers of the levels it completed. Exit codes make the
+// outcome scriptable:
+//   0  completed        4  malformed query (positioned diagnostic on stderr)
+//   2  usage error      5  run error (worker failure; kError)
+//   3  bad input data   6  deadline expired / cancelled (partial results)
+//                       7  work budget exhausted (partial results)
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +34,7 @@
 
 #include "core/engine.h"
 #include "core/report.h"
+#include "core/run_control.h"
 #include "datagen/catalog_generator.h"
 #include "datagen/ibm_generator.h"
 #include "datagen/rule_generator.h"
@@ -51,6 +61,8 @@ struct CliOptions {
   double cell_frac = 0.25;
   std::size_t max_size = 4;
   std::size_t threads = 1;  // MiningEngine width; 0 = hardware threads
+  std::uint64_t timeout_ms = 0;   // 0 = no deadline
+  std::uint64_t max_tables = 0;   // 0 = no table budget
   bool stats = false;
   bool profile = false;
   bool report = false;
@@ -67,10 +79,13 @@ int Usage(const char* argv0) {
                "usage: %s [--generate ibm|rules|zipf] [--baskets N]\n"
                "          [--items N] [--seed N] [--query Q] [--algorithm A]\n"
                "          [--alpha F] [--support-frac F] [--cell-frac F]\n"
-               "          [--max-size N] [--threads N] [--stats] [--profile]\n"
-               "          [--report]\n"
+               "          [--max-size N] [--threads N] [--timeout-ms N]\n"
+               "          [--max-tables N] [--stats] [--profile] [--report]\n"
                "          [--baskets-file F --catalog-file F]\n"
-               "          [--save-baskets F]\n",
+               "          [--save-baskets F]\n"
+               "exit codes: 0 completed, 2 usage, 3 bad input data,\n"
+               "            4 malformed query, 5 run error, 6 deadline,\n"
+               "            7 budget exhausted (6/7 still print partials)\n",
                argv0);
   return 2;
 }
@@ -121,6 +136,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->max_size_set = true;
     } else if (flag == "--threads") {
       out->threads = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--timeout-ms") {
+      out->timeout_ms = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--max-tables") {
+      out->max_tables = std::strtoull(value, nullptr, 10);
     } else if (flag == "--baskets-file") {
       out->baskets_file = value;
     } else if (flag == "--catalog-file") {
@@ -148,18 +167,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--baskets-file requires --catalog-file\n");
       return 2;
     }
-    std::string error;
-    catalog = ccs::ReadCatalogFromFile(cli.catalog_file, &error);
-    if (!catalog.has_value()) {
-      std::fprintf(stderr, "catalog: %s\n", error.c_str());
-      return 1;
+    auto loaded_catalog = ccs::LoadCatalogFromFile(cli.catalog_file);
+    if (!loaded_catalog.ok()) {
+      std::fprintf(stderr, "catalog: %s\n",
+                   loaded_catalog.status().ToString().c_str());
+      return 3;
     }
-    db = ccs::ReadBasketsFromFile(cli.baskets_file, catalog->num_items(),
-                                  &error);
-    if (!db.has_value()) {
-      std::fprintf(stderr, "baskets: %s\n", error.c_str());
-      return 1;
+    catalog = std::move(loaded_catalog).value();
+    auto loaded_db = ccs::LoadBasketsFromFile(cli.baskets_file,
+                                              catalog->num_items());
+    if (!loaded_db.ok()) {
+      std::fprintf(stderr, "baskets: %s\n",
+                   loaded_db.status().ToString().c_str());
+      return 3;
     }
+    db = std::move(loaded_db).value();
   } else if (cli.generate == "ibm") {
     ccs::IbmGeneratorConfig config;
     config.num_transactions = cli.baskets;
@@ -194,7 +216,7 @@ int main(int argc, char** argv) {
   if (!cli.save_baskets.empty() &&
       !ccs::WriteBasketsToFile(*db, cli.save_baskets)) {
     std::fprintf(stderr, "cannot write %s\n", cli.save_baskets.c_str());
-    return 1;
+    return 3;
   }
 
   if (cli.profile) {
@@ -204,19 +226,19 @@ int main(int argc, char** argv) {
   // Query: try the full grammar first, then the bare constraint language.
   ccs::Query query;
   if (!cli.query.empty()) {
-    std::string error;
-    auto parsed = ccs::ParseQuery(cli.query, &error);
-    if (!parsed.has_value()) {
-      std::string constraint_error;
-      auto constraints =
-          ccs::ParseConstraints(cli.query, &constraint_error);
-      if (!constraints.has_value()) {
-        std::fprintf(stderr, "query: %s\n", error.c_str());
-        return 1;
+    auto parsed = ccs::ParseQueryOrError(cli.query);
+    if (!parsed.ok()) {
+      auto constraints = ccs::ParseConstraintsOrError(cli.query);
+      if (!constraints.ok()) {
+        // Report the full-grammar diagnostic: it carries the line/column
+        // of the offending token.
+        std::fprintf(stderr, "query: %s\n",
+                     parsed.status().message().c_str());
+        return 4;
       }
-      query.constraints = std::move(*constraints);
+      query.constraints = std::move(constraints).value();
     } else {
-      query = std::move(*parsed);
+      query = std::move(parsed).value();
     }
   }
   if (cli.alpha_set) query.significance = cli.alpha;
@@ -247,7 +269,14 @@ int main(int argc, char** argv) {
   request.algorithm = algorithm;
   request.options = options;
   request.constraints = &query.constraints;
+  request.control.timeout = std::chrono::milliseconds(cli.timeout_ms);
+  request.control.max_tables_built = cli.max_tables;
   const ccs::MiningResult result = engine.Run(request);
+  if (result.termination == ccs::Termination::kError) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.error.ToString().c_str());
+    return 5;
+  }
   if (cli.report) {
     const auto reports =
         ccs::BuildReports(result.answers, *db, *catalog, options);
@@ -265,5 +294,25 @@ int main(int argc, char** argv) {
   if (cli.stats) {
     std::fprintf(stderr, "%s", result.stats.ToString().c_str());
   }
-  return 0;
+  switch (result.termination) {
+    case ccs::Termination::kCompleted:
+      return 0;
+    case ccs::Termination::kDeadline:
+    case ccs::Termination::kCancelled:
+      std::fprintf(stderr,
+                   "# partial result (%s): %llu completed level passes\n",
+                   ccs::TerminationName(result.termination),
+                   static_cast<unsigned long long>(
+                       result.stats.levels_completed));
+      return 6;
+    case ccs::Termination::kBudget:
+      std::fprintf(stderr,
+                   "# partial result (budget): %llu completed level passes\n",
+                   static_cast<unsigned long long>(
+                       result.stats.levels_completed));
+      return 7;
+    case ccs::Termination::kError:
+      break;  // handled above
+  }
+  return 5;
 }

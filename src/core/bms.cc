@@ -37,6 +37,11 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
   std::vector<Verdict> verdicts;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    const Termination boundary = ctx->CheckAtLevel(out.stats, out.sig.size());
+    if (boundary != Termination::kCompleted) {
+      out.termination = boundary;
+      break;
+    }
     Stopwatch level_timer;
     LevelStats& level = out.stats.Level(k);
     while (out.unsupported_by_level.size() <= k) {
@@ -44,8 +49,8 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     }
     // Parallel pass: all database work, one slot per candidate.
     verdicts.assign(candidates.size(), Verdict::kUnsupported);
-    ctx->executor().ParallelFor(
-        candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedParallelFor(
+        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
           const stats::ContingencyTable table =
               workers.builder(t).Build(candidates[i]);
           if (!workers.judge(t).IsCtSupported(table)) {
@@ -56,6 +61,11 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
                               : Verdict::kNotsig;
           }
         });
+    if (pass != Termination::kCompleted) {
+      // Discard the level's partial verdicts; completed levels stand.
+      out.termination = pass;
+      break;
+    }
     // Ordered reduction: counters and SIG/NOTSIG membership.
     std::vector<Itemset> notsig;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -83,6 +93,7 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     }
     while (out.notsig_by_level.size() <= k) out.notsig_by_level.emplace_back();
     out.notsig_by_level[k] = notsig;
+    ++out.stats.levels_completed;
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, out.sig.size(), level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
@@ -105,6 +116,7 @@ MiningResult MineBms(const TransactionDatabase& db,
   MiningResult result;
   result.answers = std::move(run.sig);
   result.stats = std::move(run.stats);
+  result.termination = run.termination;
   return result;
 }
 

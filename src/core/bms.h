@@ -39,6 +39,9 @@ struct BmsRunOutput {
   // The frequent-item universe L1.
   std::vector<ItemId> frequent_items;
   MiningStats stats;
+  // kCompleted unless the run's governor tripped; on a trip, sig and the
+  // per-level sets cover exactly stats.levels_completed finished levels.
+  Termination termination = Termination::kCompleted;
 };
 
 // Runs BMS and returns the full run output. `ctx` supplies the executor

@@ -12,12 +12,15 @@ MiningResult MineBmsPlus(const TransactionDatabase& db,
   Stopwatch timer;
   BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
+  // The post-filter is valid on a partial run too: it only ever removes
+  // answers, so the filtered prefix is the filtered unbounded prefix.
   for (const Itemset& s : run.sig) {
     if (constraints.TestAll(s.span(), catalog)) {
       result.answers.push_back(s);
     }
   }
   result.stats = std::move(run.stats);
+  result.termination = run.termination;
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

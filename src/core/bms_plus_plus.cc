@@ -78,13 +78,19 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
   std::vector<Eval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    const Termination boundary =
+        ctx->CheckAtLevel(result.stats, result.answers.size());
+    if (boundary != Termination::kCompleted) {
+      result.termination = boundary;
+      break;
+    }
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
 
     // Pass A.
     evals.assign(candidates.size(), Eval());
-    ctx->executor().ParallelFor(
-        candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass_a = GovernedParallelFor(
+        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
           const Itemset& s = candidates[i];
           Eval& e = evals[i];
           // Non-succinct anti-monotone constraints prune before any
@@ -130,6 +136,10 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
             }
           }
         });
+    if (pass_a != Termination::kCompleted) {
+      result.termination = pass_a;
+      break;
+    }
 
     // Pass B: deduplicate probe subsets in candidate order, then judge
     // each distinct subset once, in parallel.
@@ -144,12 +154,16 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
       }
     }
     std::vector<std::uint8_t> probe_correlated(probes.size(), 0);
-    ctx->executor().ParallelFor(
-        probes.size(), [&](std::size_t t, std::size_t j) {
+    const Termination pass_b = GovernedParallelFor(
+        *ctx, probes.size(), [&](std::size_t t, std::size_t j) {
           const stats::ContingencyTable table =
               workers.builder(t).Build(probes[j]);
           probe_correlated[j] = workers.judge(t).IsCorrelated(table) ? 1 : 0;
         });
+    if (pass_b != Termination::kCompleted) {
+      result.termination = pass_b;
+      break;
+    }
     level.tables_built += probes.size();
     level.chi2_tests += probes.size();
 
@@ -191,6 +205,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
         }
       }
     }
+    ++result.stats.levels_completed;
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());

@@ -45,6 +45,7 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
   result.stats = std::move(run.stats);
+  result.termination = run.termination;
 
   // Steps 2-3: harvest valid SIG' members; seed the sweep frontier with
   // (i) correlated sets blocked by the monotone constraints and
@@ -79,6 +80,14 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
       correlated_flag[s] = false;
     }
   }
+  // A tripped base run already yields a valid partial answer set (the
+  // harvested SIG' members of its completed levels); skip the sweep.
+  if (result.termination != Termination::kCompleted) {
+    std::sort(result.answers.begin(), result.answers.end());
+    workers.AccumulateInto(result.stats);
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
 
   // Steps 4-8: upward sweep. Candidates at level k+1 extend the level-k
   // frontier; all co-dimension-1 subsets must be on the frontier. The
@@ -90,6 +99,12 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   for (std::size_t k = 2; k < options.max_set_size; ++k) {
     std::vector<Itemset>& seeds = frontier[k];
     if (seeds.empty()) continue;
+    const Termination boundary =
+        ctx->CheckAtLevel(result.stats, result.answers.size());
+    if (boundary != Termination::kCompleted) {
+      result.termination = boundary;
+      break;
+    }
     Stopwatch level_timer;
     std::sort(seeds.begin(), seeds.end());
     const ItemsetSet closed(seeds.begin(), seeds.end());
@@ -98,8 +113,8 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
         [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
     LevelStats& level = result.stats.Level(k + 1);
     evals.assign(candidates.size(), Eval());
-    ctx->executor().ParallelFor(
-        candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedParallelFor(
+        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
           const Itemset& s = candidates[i];
           Eval& e = evals[i];
           if (already_processed.contains(s)) {
@@ -130,6 +145,10 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
           e.valid =
               e.correlated && constraints.TestMonotone(s.span(), catalog);
         });
+    if (pass != Termination::kCompleted) {
+      result.termination = pass;
+      break;
+    }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const Itemset& s = candidates[i];
       const Eval& e = evals[i];
@@ -153,6 +172,7 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
         correlated_flag[s] = e.correlated;
       }
     }
+    ++result.stats.levels_completed;
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());

@@ -88,11 +88,17 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   std::vector<SuppEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    const Termination boundary =
+        ctx->CheckAtLevel(result.stats, result.answers.size());
+    if (boundary != Termination::kCompleted) {
+      result.termination = boundary;
+      break;
+    }
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), SuppEval());
-    ctx->executor().ParallelFor(
-        candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedParallelFor(
+        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
           const Itemset& s = candidates[i];
           SuppEval& e = evals[i];
           if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
@@ -107,6 +113,10 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
           e.outcome = SuppEval::Outcome::kSupported;
           e.chi2 = table.ChiSquaredStatistic();
         });
+    if (pass != Termination::kCompleted) {
+      result.termination = pass;
+      break;
+    }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const Itemset& s = candidates[i];
       const SuppEval& e = evals[i];
@@ -126,6 +136,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
           break;
       }
     }
+    ++result.stats.levels_completed;
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());
@@ -138,10 +149,20 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   }
 
   // Phase 2: pure-CPU upward sweep inside SUPP (no contingency tables,
-  // so it stays serial).
+  // so it stays serial). If phase 1 tripped, supp holds exactly its
+  // completed levels and the sweep still yields a valid partial answer
+  // set; budgets bound database work only, so phase 2 polls just the
+  // deadline and cancellation — and never overwrites an earlier trip.
   ItemsetMap<bool> correlated_flag;
   std::vector<Itemset> current = supp[2];
   for (std::size_t k = 2; k <= options.max_set_size; ++k) {
+    if (result.termination == Termination::kCompleted) {
+      const Termination verdict = ctx->CheckNow();
+      if (verdict != Termination::kCompleted) {
+        result.termination = verdict;
+        break;
+      }
+    }
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     ItemsetSet notsig_here;
@@ -210,11 +231,17 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   std::vector<FusedEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
+    const Termination boundary =
+        ctx->CheckAtLevel(result.stats, result.answers.size());
+    if (boundary != Termination::kCompleted) {
+      result.termination = boundary;
+      break;
+    }
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), FusedEval());
-    ctx->executor().ParallelFor(
-        candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedParallelFor(
+        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
           const Itemset& s = candidates[i];
           FusedEval& e = evals[i];
           if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
@@ -238,6 +265,10 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
           e.valid = e.correlated &&
                     constraints.TestMonotoneDeferred(s.span(), catalog);
         });
+    if (pass != Termination::kCompleted) {
+      result.termination = pass;
+      break;
+    }
     std::vector<Itemset> notsig;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const Itemset& s = candidates[i];
@@ -261,6 +292,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
         correlated_flag[s] = e.correlated;
       }
     }
+    ++result.stats.levels_completed;
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());

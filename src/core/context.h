@@ -1,11 +1,13 @@
 #ifndef CCS_CORE_CONTEXT_H_
 #define CCS_CORE_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
 #include "core/algorithm.h"
 #include "core/result.h"
+#include "core/run_control.h"
 #include "util/executor.h"
 
 namespace ccs {
@@ -37,12 +39,31 @@ using ProgressCallback = std::function<void(const LevelProgress&)>;
 class MiningContext {
  public:
   MiningContext(ParallelExecutor& executor, Algorithm algorithm,
-                const ProgressCallback* progress = nullptr)
-      : executor_(&executor), algorithm_(algorithm), progress_(progress) {}
+                const ProgressCallback* progress = nullptr,
+                const RunGovernor* governor = nullptr)
+      : executor_(&executor),
+        algorithm_(algorithm),
+        progress_(progress),
+        governor_(governor) {}
 
   ParallelExecutor& executor() const { return *executor_; }
   std::size_t num_threads() const { return executor_->num_threads(); }
   Algorithm algorithm() const { return algorithm_; }
+
+  // Deadline/cancellation poll (between candidate batches). kCompleted
+  // when no governor is installed (the legacy free-function path).
+  Termination CheckNow() const {
+    return governor_ != nullptr ? governor_->CheckNow()
+                                : Termination::kCompleted;
+  }
+
+  // Full level-boundary check including the deterministic budgets.
+  Termination CheckAtLevel(const MiningStats& stats,
+                           std::size_t answers) const {
+    if (governor_ == nullptr) return Termination::kCompleted;
+    return governor_->CheckAtLevel(stats.TotalCandidates(),
+                                   stats.TotalTablesBuilt(), answers);
+  }
 
   void ReportLevel(const LevelStats& level, std::uint64_t answers_so_far,
                    double pass_seconds) const {
@@ -61,7 +82,30 @@ class MiningContext {
   ParallelExecutor* executor_;
   Algorithm algorithm_;
   const ProgressCallback* progress_;
+  const RunGovernor* governor_;
 };
+
+// Runs body over [0, n) through the context's executor in fixed-size index
+// batches, polling deadline/cancellation between batches. Returns
+// kCompleted when the whole range ran; on a trip the remaining batches are
+// skipped and the caller must discard the level's partially written slots
+// (the batch split never changes which slot an index writes, so a
+// completed pass is bit-identical to an unbatched one).
+inline Termination GovernedParallelFor(const MiningContext& ctx,
+                                       std::size_t n,
+                                       const ParallelExecutor::Body& body) {
+  constexpr std::size_t kBatch = 1024;
+  for (std::size_t base = 0; base < n; base += kBatch) {
+    const Termination verdict = ctx.CheckNow();
+    if (verdict != Termination::kCompleted) return verdict;
+    const std::size_t count = std::min(kBatch, n - base);
+    ctx.executor().ParallelFor(
+        count, [&body, base](std::size_t thread, std::size_t i) {
+          body(thread, base + i);
+        });
+  }
+  return Termination::kCompleted;
+}
 
 }  // namespace ccs
 

@@ -1,6 +1,7 @@
 #include "core/ct_builder.h"
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ccs {
 
@@ -9,6 +10,7 @@ ContingencyTableBuilder::ContingencyTableBuilder(
     : db_(&db) {}
 
 stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
+  CCS_FAULT_POINT("ct_build");
   CCS_CHECK(db_->finalized());
   const std::size_t k = s.size();
   CCS_CHECK_GE(k, 1u);

@@ -1,11 +1,14 @@
 #include "core/engine.h"
 
+#include <exception>
+
 #include "core/bms.h"
 #include "core/bms_plus.h"
 #include "core/bms_plus_plus.h"
 #include "core/bms_star.h"
 #include "core/bms_star_star.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -20,24 +23,38 @@ MiningResult MiningEngine::Run(const MiningRequest& request) {
   const ConstraintSet& constraints =
       request.constraints != nullptr ? *request.constraints
                                      : empty_constraints_;
+  const RunGovernor governor(request.control);
   MiningContext ctx(executor_, request.algorithm,
-                    &options_.progress_callback);
-  switch (request.algorithm) {
-    case Algorithm::kBms:
-      return MineBms(*db_, request.options, &ctx);
-    case Algorithm::kBmsPlus:
-      return MineBmsPlus(*db_, *catalog_, constraints, request.options, &ctx);
-    case Algorithm::kBmsPlusPlus:
-      return MineBmsPlusPlus(*db_, *catalog_, constraints, request.options,
-                             &ctx);
-    case Algorithm::kBmsStar:
-      return MineBmsStar(*db_, *catalog_, constraints, request.options, &ctx);
-    case Algorithm::kBmsStarStar:
-      return MineBmsStarStar(*db_, *catalog_, constraints, request.options,
-                             &ctx);
-    case Algorithm::kBmsStarStarOpt:
-      return MineBmsStarStarOpt(*db_, *catalog_, constraints, request.options,
-                                &ctx);
+                    &options_.progress_callback, &governor);
+  // A throwing worker (fault injection, bad_alloc, a pathological
+  // constraint) must degrade to kError, not take the process down; the
+  // executor has already drained its pool by the time the exception
+  // reaches this frame, so the engine stays good for the next Run.
+  try {
+    switch (request.algorithm) {
+      case Algorithm::kBms:
+        return MineBms(*db_, request.options, &ctx);
+      case Algorithm::kBmsPlus:
+        return MineBmsPlus(*db_, *catalog_, constraints, request.options,
+                           &ctx);
+      case Algorithm::kBmsPlusPlus:
+        return MineBmsPlusPlus(*db_, *catalog_, constraints, request.options,
+                               &ctx);
+      case Algorithm::kBmsStar:
+        return MineBmsStar(*db_, *catalog_, constraints, request.options,
+                           &ctx);
+      case Algorithm::kBmsStarStar:
+        return MineBmsStarStar(*db_, *catalog_, constraints, request.options,
+                               &ctx);
+      case Algorithm::kBmsStarStarOpt:
+        return MineBmsStarStarOpt(*db_, *catalog_, constraints,
+                                  request.options, &ctx);
+    }
+  } catch (const std::exception& e) {
+    MiningResult failed;
+    failed.termination = Termination::kError;
+    failed.error = InternalError(e.what());
+    return failed;
   }
   CCS_CHECK(false);
   return {};

@@ -8,6 +8,7 @@
 #include "core/context.h"
 #include "core/options.h"
 #include "core/result.h"
+#include "core/run_control.h"
 #include "txn/catalog.h"
 #include "txn/database.h"
 #include "util/executor.h"
@@ -36,6 +37,10 @@ struct MiningRequest {
   // Borrowed; must outlive the Run call. nullptr means no constraints.
   // Ignored by Algorithm::kBms, which is unconstrained by definition.
   const ConstraintSet* constraints = nullptr;
+  // Deadline, cancellation, and work budgets; defaults to unlimited. A
+  // tripped Run returns a partial MiningResult with the reason in
+  // MiningResult::termination (see core/run_control.h).
+  RunControl control;
 };
 
 // The mining session: binds a finalized database and its catalog to a
@@ -50,7 +55,15 @@ struct MiningRequest {
 // of MiningStats except tables_built_per_thread (and the wall-time fields)
 // are bit-identical across num_threads values — the parallel loops write
 // per-candidate verdicts into index-addressed slots and reduce them in
-// candidate order, so the thread schedule never reaches the output.
+// candidate order, so the thread schedule never reaches the output. The
+// guarantee extends to partial results: completed levels of a tripped run
+// match the same levels of an unbounded run at any thread count.
+//
+// Failure semantics: Run never aborts on a failing worker. An exception
+// thrown inside the evaluation loops (e.g. an injected fault or bad_alloc)
+// is drained from the pool and surfaced as termination == kError with the
+// diagnostic in MiningResult::error; the engine and its executor remain
+// usable for subsequent Run calls.
 //
 // The database and catalog are borrowed and must outlive the engine; they
 // are never mutated. The engine itself is not thread-safe: one Run at a

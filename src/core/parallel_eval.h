@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "core/result.h"
 #include "txn/database.h"
+#include "util/fault.h"
 
 namespace ccs {
 
@@ -21,6 +22,7 @@ class EvalWorkers {
  public:
   EvalWorkers(const TransactionDatabase& db, const MiningOptions& options,
               std::size_t num_threads) {
+    CCS_FAULT_POINT("alloc");
     builders_.reserve(num_threads);
     judges_.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {

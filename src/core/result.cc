@@ -5,6 +5,22 @@
 
 namespace ccs {
 
+const char* TerminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kCompleted:
+      return "completed";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kCancelled:
+      return "cancelled";
+    case Termination::kBudget:
+      return "budget";
+    case Termination::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 LevelStats& MiningStats::Level(std::size_t level) {
   while (levels.size() <= level) {
     levels.emplace_back();

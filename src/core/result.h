@@ -6,8 +6,24 @@
 #include <vector>
 
 #include "core/itemset.h"
+#include "util/status.h"
 
 namespace ccs {
+
+// Why a Run ended. Anything but kCompleted means the result is partial:
+// `answers` and the per-level counters cover exactly the completed level
+// passes (stats.levels_completed), which are bit-identical to the same
+// prefix of an unbounded run at any thread count. See DESIGN.md §8.
+enum class Termination : std::uint8_t {
+  kCompleted,  // ran to the natural end of the lattice sweep
+  kDeadline,   // RunControl::timeout expired
+  kCancelled,  // RunControl::cancel was flipped
+  kBudget,     // a max_candidates/max_tables_built/max_result_sets cap hit
+  kError,      // a worker threw; MiningResult::error has the diagnostic
+};
+
+// Stable lower-case name, e.g. "deadline".
+const char* TerminationName(Termination termination);
 
 // Per-lattice-level instrumentation. Section 3.3 analyzes the algorithms by
 // the number of sets each "needs to consider" (each considered set implies
@@ -47,6 +63,10 @@ struct MiningStats {
   // TotalTablesBuilt(); the split depends on the thread schedule and is
   // the one run-to-run nondeterministic quantity in these stats.
   std::vector<std::uint64_t> tables_built_per_thread;
+  // Fully completed level passes (every algorithm counts one per pass;
+  // BMS*'s sweep and BMS**'s phase 2 count their passes too). On a partial
+  // run this is the length of the trustworthy prefix.
+  std::uint64_t levels_completed = 0;
 
   LevelStats& Level(std::size_t level);
 
@@ -61,12 +81,18 @@ struct MiningStats {
 };
 
 // Result of a mining run: the answer itemsets (SIG), sorted
-// lexicographically for determinism, plus instrumentation.
+// lexicographically for determinism, plus instrumentation. `termination`
+// makes degradation explicit: a bounded or cancelled Run hands back the
+// minimal correlated sets of the levels it finished instead of nothing.
 struct MiningResult {
   std::vector<Itemset> answers;
   MiningStats stats;
+  Termination termination = Termination::kCompleted;
+  // Non-ok exactly when termination == kError.
+  Status error;
 
   bool ContainsAnswer(const Itemset& s) const;
+  bool partial() const { return termination != Termination::kCompleted; }
 };
 
 }  // namespace ccs

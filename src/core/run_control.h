@@ -1,0 +1,115 @@
+#ifndef CCS_CORE_RUN_CONTROL_H_
+#define CCS_CORE_RUN_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/result.h"
+
+// Run hardening: deadlines, cooperative cancellation, and work budgets for
+// MiningEngine::Run. The BMS family is level-wise, so every level boundary
+// is a natural safe point — a tripped run stops there and reports the
+// minimal correlated sets of the levels it finished (see DESIGN.md §8).
+//
+// Check-point discipline:
+//  * deadline / cancellation — wall-clock conditions, polled both at level
+//    boundaries and between fixed-size candidate batches inside a level's
+//    parallel pass. Where they trip varies run to run, but a tripped level
+//    is discarded wholesale, so completed levels stay bit-identical to an
+//    unbounded run at any thread count.
+//  * budgets — counter conditions on the run's deterministic totals,
+//    checked at level boundaries only. A budget trip therefore happens at
+//    the same point for every thread count and every repetition.
+
+namespace ccs {
+
+// Cooperative cancellation flag. The Run side only reads it; any other
+// thread may Cancel() at any time. Reusable after Reset().
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Per-run limits; everything defaults to unlimited (zero / nullptr).
+struct RunControl {
+  // Wall-clock budget for the whole Run, stamped at Run entry. Zero means
+  // no deadline.
+  std::chrono::milliseconds timeout{0};
+  // Borrowed; must outlive the Run. nullptr means not cancellable.
+  const CancelToken* cancel = nullptr;
+  // Stop once this many candidate sets have been considered (the paper's
+  // |ALG| cost unit). 0 = unlimited.
+  std::uint64_t max_candidates = 0;
+  // Stop once this many contingency tables have been built (the database
+  // work unit). 0 = unlimited.
+  std::uint64_t max_tables_built = 0;
+  // Stop once this many answer sets have been found. 0 = unlimited.
+  std::uint64_t max_result_sets = 0;
+
+  bool unlimited() const {
+    return timeout.count() <= 0 && cancel == nullptr &&
+           max_candidates == 0 && max_tables_built == 0 &&
+           max_result_sets == 0;
+  }
+};
+
+// A RunControl stamped with its absolute deadline at Run entry. Algorithms
+// poll it through MiningContext; a default-constructed governor never
+// trips.
+class RunGovernor {
+ public:
+  RunGovernor() = default;
+  explicit RunGovernor(const RunControl& control)
+      : control_(control),
+        deadline_(control.timeout.count() > 0
+                      ? std::chrono::steady_clock::now() + control.timeout
+                      : std::chrono::steady_clock::time_point::max()) {}
+
+  // Deadline and cancellation only — cheap enough to poll between
+  // candidate batches.
+  Termination CheckNow() const {
+    if (control_.cancel != nullptr && control_.cancel->cancelled()) {
+      return Termination::kCancelled;
+    }
+    if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return Termination::kDeadline;
+    }
+    return Termination::kCompleted;
+  }
+
+  // Level-boundary check: deterministic budgets first (so a run that hits
+  // both a budget and its deadline reports the reproducible reason), then
+  // the wall-clock conditions.
+  Termination CheckAtLevel(std::uint64_t candidates,
+                           std::uint64_t tables_built,
+                           std::uint64_t answers) const {
+    if (Exceeded(control_.max_candidates, candidates) ||
+        Exceeded(control_.max_tables_built, tables_built) ||
+        Exceeded(control_.max_result_sets, answers)) {
+      return Termination::kBudget;
+    }
+    return CheckNow();
+  }
+
+ private:
+  static bool Exceeded(std::uint64_t limit, std::uint64_t value) {
+    return limit != 0 && value >= limit;
+  }
+
+  RunControl control_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_RUN_CONTROL_H_

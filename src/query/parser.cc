@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <vector>
 
 #include "constraints/agg_constraint.h"
@@ -9,6 +10,30 @@
 
 namespace ccs {
 namespace {
+
+// First error found, as a message plus the byte offset it points at; the
+// public entry points convert the offset to line/column against the source.
+struct Diagnostic {
+  std::string message;
+  std::size_t pos = 0;
+};
+
+std::string FormatDiagnostic(std::string_view text, const Diagnostic& diag) {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  const std::size_t end = diag.pos < text.size() ? diag.pos : text.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return diag.message + " at line " + std::to_string(line) + ", column " +
+         std::to_string(column) + " (position " + std::to_string(diag.pos) +
+         ")";
+}
 
 enum class TokenKind {
   kIdent,   // letters, digits, '_', '.', starting with a letter
@@ -28,7 +53,7 @@ class Lexer {
   explicit Lexer(std::string_view text) : text_(text) {}
 
   // Tokenizes the whole input; returns false on an unexpected character.
-  bool Run(std::vector<Token>* tokens, std::string* error) {
+  bool Run(std::vector<Token>* tokens, Diagnostic* diag) {
     std::size_t i = 0;
     while (i < text_.size()) {
       const char c = text_[i];
@@ -62,7 +87,7 @@ class Lexer {
       }
       if (c == '<' || c == '>') {
         if (i + 1 >= text_.size() || text_[i + 1] != '=') {
-          *error = "expected '<=' or '>=' at position " + std::to_string(i);
+          *diag = {"expected '<=' or '>='", i};
           return false;
         }
         tokens->push_back(
@@ -76,8 +101,7 @@ class Lexer {
         ++i;
         continue;
       }
-      *error = std::string("unexpected character '") + c +
-               "' at position " + std::to_string(i);
+      *diag = {std::string("unexpected character '") + c + "'", i};
       return false;
     }
     tokens->push_back({TokenKind::kEnd, "", text_.size()});
@@ -90,8 +114,8 @@ class Lexer {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, std::string* error)
-      : tokens_(std::move(tokens)), error_(error) {}
+  Parser(std::vector<Token> tokens, Diagnostic* diag)
+      : tokens_(std::move(tokens)), diag_(diag) {}
 
   std::optional<ConstraintSet> Run() {
     ConstraintSet out;
@@ -112,10 +136,7 @@ class Parser {
   const Token& Advance() { return tokens_[pos_++]; }
 
   bool Fail(const std::string& message) {
-    if (error_ != nullptr) {
-      *error_ =
-          message + " at position " + std::to_string(Peek().pos);
-    }
+    *diag_ = {message, Peek().pos};
     return false;
   }
 
@@ -167,9 +188,13 @@ class Parser {
             Peek().text.find('.') != std::string::npos) {
           return Fail("expected an item id");
         }
-        items->push_back(
-            static_cast<ItemId>(std::strtoul(Advance().text.c_str(),
-                                             nullptr, 10)));
+        const unsigned long long id =
+            std::strtoull(Peek().text.c_str(), nullptr, 10);
+        if (id > std::numeric_limits<ItemId>::max()) {
+          return Fail("item id '" + Peek().text + "' out of range");
+        }
+        Advance();
+        items->push_back(static_cast<ItemId>(id));
       }
       if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
         Advance();
@@ -294,20 +319,34 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
-  std::string* error_;
+  Diagnostic* diag_;
 };
 
 }  // namespace
 
-std::optional<ConstraintSet> ParseConstraints(std::string_view text,
-                                              std::string* error) {
-  std::string local_error;
-  std::string* err = error != nullptr ? error : &local_error;
+StatusOr<ConstraintSet> ParseConstraintsOrError(std::string_view text) {
+  Diagnostic diag;
   std::vector<Token> tokens;
   Lexer lexer(text);
-  if (!lexer.Run(&tokens, err)) return std::nullopt;
-  Parser parser(std::move(tokens), err);
-  return parser.Run();
+  if (!lexer.Run(&tokens, &diag)) {
+    return InvalidArgumentError(FormatDiagnostic(text, diag));
+  }
+  Parser parser(std::move(tokens), &diag);
+  std::optional<ConstraintSet> out = parser.Run();
+  if (!out.has_value()) {
+    return InvalidArgumentError(FormatDiagnostic(text, diag));
+  }
+  return std::move(*out);
+}
+
+std::optional<ConstraintSet> ParseConstraints(std::string_view text,
+                                              std::string* error) {
+  StatusOr<ConstraintSet> parsed = ParseConstraintsOrError(text);
+  if (!parsed.ok()) {
+    if (error != nullptr) *error = parsed.status().message();
+    return std::nullopt;
+  }
+  return std::move(parsed).value();
 }
 
 }  // namespace ccs

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "constraints/constraint_set.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -33,7 +34,14 @@ namespace ccs {
 //   "max(S.price) <= 50 & sum(S.price) >= 100 &
 //    {soda, frozenfood} subset S.type & {snacks} disjoint S.type"
 //
-// Returns the parsed conjunction, or nullopt with a diagnostic in *error.
+// Returns the parsed conjunction. Errors are kInvalidArgument and the
+// message pinpoints the offending token with its 1-based line and column
+// (plus the raw byte position), e.g.
+//   "expected a number at line 2, column 14 (position 29)".
+StatusOr<ConstraintSet> ParseConstraintsOrError(std::string_view text);
+
+// Optional-based wrapper kept for existing call sites; the diagnostic is
+// the Status message above.
 std::optional<ConstraintSet> ParseConstraints(std::string_view text,
                                               std::string* error = nullptr);
 

@@ -134,7 +134,10 @@ MiningResult Query::Execute(const TransactionDatabase& db,
               ResolveOptions(db));
 }
 
-std::optional<Query> ParseQuery(std::string_view text, std::string* error) {
+namespace {
+
+std::optional<Query> ParseQueryImpl(std::string_view text,
+                                    std::string* error) {
   Query query;
   const std::string lower = ToLower(text);
   const std::size_t where_pos = FindKeyword(lower, "where");
@@ -167,9 +170,13 @@ std::optional<Query> ParseQuery(std::string_view text, std::string* error) {
     const std::string_view constraint_text =
         Trim(text.substr(constraints_begin,
                          constraints_end - constraints_begin));
-    auto parsed = ParseConstraints(constraint_text, error);
-    if (!parsed.has_value()) return std::nullopt;
-    query.constraints = std::move(*parsed);
+    StatusOr<ConstraintSet> parsed = ParseConstraintsOrError(constraint_text);
+    if (!parsed.ok()) {
+      // Line/column are relative to the where-clause text; say so.
+      SetError(error, "where-clause: " + parsed.status().message());
+      return std::nullopt;
+    }
+    query.constraints = std::move(parsed).value();
     if (query.semantics == AnswerSemantics::kUnconstrained &&
         !query.constraints.empty()) {
       SetError(error, "'all' takes no where-clause");
@@ -190,6 +197,26 @@ std::optional<Query> ParseQuery(std::string_view text, std::string* error) {
     return std::nullopt;
   }
   return query;
+}
+
+}  // namespace
+
+StatusOr<Query> ParseQueryOrError(std::string_view text) {
+  std::string error;
+  std::optional<Query> query = ParseQueryImpl(text, &error);
+  if (!query.has_value()) {
+    return InvalidArgumentError(error.empty() ? "malformed query" : error);
+  }
+  return std::move(*query);
+}
+
+std::optional<Query> ParseQuery(std::string_view text, std::string* error) {
+  StatusOr<Query> query = ParseQueryOrError(text);
+  if (!query.ok()) {
+    if (error != nullptr) *error = query.status().message();
+    return std::nullopt;
+  }
+  return std::move(query).value();
 }
 
 }  // namespace ccs

@@ -11,6 +11,7 @@
 #include "core/result.h"
 #include "txn/catalog.h"
 #include "txn/database.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -54,8 +55,13 @@ struct Query {
                        const ItemCatalog& catalog) const;
 };
 
-// Parses the full query syntax above. Returns nullopt with a diagnostic in
-// *error on malformed input.
+// Parses the full query syntax above. Errors are kInvalidArgument;
+// where-clause errors carry the line/column diagnostics of
+// ParseConstraintsOrError (positions relative to the where-clause text).
+StatusOr<Query> ParseQueryOrError(std::string_view text);
+
+// Optional-based wrapper kept for existing call sites; the diagnostic is
+// the Status message above.
 std::optional<Query> ParseQuery(std::string_view text,
                                 std::string* error = nullptr);
 

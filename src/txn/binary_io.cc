@@ -4,7 +4,10 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+
+#include "util/fault.h"
 
 namespace ccs {
 namespace {
@@ -12,9 +15,10 @@ namespace {
 constexpr char kMagic[4] = {'C', 'C', 'S', 'B'};
 constexpr std::uint8_t kVersion = 1;
 
-void SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-}
+// Largest basket vector reserved up front; longer declared lengths grow
+// on demand so a lying length field cannot force a huge allocation before
+// the payload runs out.
+constexpr std::uint64_t kMaxEagerReserve = 1024;
 
 void WriteVarint(std::ostream& out, std::uint64_t value) {
   while (value >= 0x80) {
@@ -36,6 +40,22 @@ bool ReadVarint(std::istream& in, std::uint64_t* value) {
     shift += 7;
     if (shift > 63) return false;
   }
+}
+
+// Bytes from the current position to end of stream, or nullopt when the
+// stream is not seekable (e.g. a pipe). Restores the read position.
+std::optional<std::uint64_t> RemainingBytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || !in) {
+    in.clear();
+    in.seekg(here);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - here);
 }
 
 }  // namespace
@@ -67,67 +87,98 @@ bool WriteBasketsBinaryToFile(const TransactionDatabase& db,
   return out && WriteBasketsBinary(db, out);
 }
 
-std::optional<TransactionDatabase> ReadBasketsBinary(std::istream& in,
-                                                     std::string* error) {
+StatusOr<TransactionDatabase> LoadBasketsBinary(std::istream& in) {
+  if (FaultInjector::Enabled() && ShouldInjectFault("io")) {
+    return DataLossError("injected fault at site 'io'");
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    SetError(error, "bad magic (not a CCSB file)");
-    return std::nullopt;
+    return DataLossError("bad magic (not a CCSB file)");
   }
   const int version = in.get();
   if (version != kVersion) {
-    SetError(error, "unsupported version " + std::to_string(version));
-    return std::nullopt;
+    return DataLossError("unsupported version " + std::to_string(version));
   }
   std::uint64_t num_items = 0;
   std::uint64_t num_transactions = 0;
   if (!ReadVarint(in, &num_items) || !ReadVarint(in, &num_transactions) ||
       num_items == 0) {
-    SetError(error, "truncated or invalid header");
-    return std::nullopt;
+    return DataLossError("truncated or invalid header");
+  }
+  if (num_items > std::numeric_limits<ItemId>::max()) {
+    return DataLossError("declared item universe " +
+                         std::to_string(num_items) +
+                         " exceeds the item id range");
+  }
+  // Preflight: every transaction costs at least one payload byte (its
+  // length varint), so a declared count larger than the remaining bytes is
+  // corruption — reject it before sizing anything to the counts.
+  if (const auto remaining = RemainingBytes(in)) {
+    if (num_transactions > *remaining) {
+      return DataLossError(
+          "declared transaction count " + std::to_string(num_transactions) +
+          " overflows the " + std::to_string(*remaining) + "-byte payload");
+    }
   }
   TransactionDatabase db(num_items);
   for (std::uint64_t t = 0; t < num_transactions; ++t) {
     std::uint64_t length = 0;
     if (!ReadVarint(in, &length) || length > num_items) {
-      SetError(error, "bad transaction length at record " +
-                          std::to_string(t));
-      return std::nullopt;
+      return DataLossError("bad transaction length at record " +
+                           std::to_string(t));
     }
     Transaction txn;
-    txn.reserve(length);
+    txn.reserve(static_cast<std::size_t>(
+        length < kMaxEagerReserve ? length : kMaxEagerReserve));
     std::uint64_t previous = 0;
     for (std::uint64_t i = 0; i < length; ++i) {
       std::uint64_t delta = 0;
       if (!ReadVarint(in, &delta)) {
-        SetError(error, "truncated transaction at record " +
-                            std::to_string(t));
-        return std::nullopt;
+        return DataLossError("truncated transaction at record " +
+                             std::to_string(t));
       }
       const std::uint64_t id = i == 0 ? delta : previous + 1 + delta;
       if (id >= num_items) {
-        SetError(error, "item id out of range at record " +
-                            std::to_string(t));
-        return std::nullopt;
+        return DataLossError("item id out of range at record " +
+                             std::to_string(t));
       }
       txn.push_back(static_cast<ItemId>(id));
       previous = id;
     }
-    db.Add(std::move(txn));
+    CCS_RETURN_IF_ERROR(db.AddOrError(std::move(txn)));
   }
-  db.Finalize();
+  CCS_RETURN_IF_ERROR(db.FinalizeOrError());
   return db;
+}
+
+StatusOr<TransactionDatabase> LoadBasketsBinaryFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  return LoadBasketsBinary(in);
+}
+
+std::optional<TransactionDatabase> ReadBasketsBinary(std::istream& in,
+                                                     std::string* error) {
+  StatusOr<TransactionDatabase> db = LoadBasketsBinary(in);
+  if (!db.ok()) {
+    if (error != nullptr) *error = std::string(db.status().message());
+    return std::nullopt;
+  }
+  return std::move(db).value();
 }
 
 std::optional<TransactionDatabase> ReadBasketsBinaryFromFile(
     const std::string& path, std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    SetError(error, "cannot open " + path);
+  StatusOr<TransactionDatabase> db = LoadBasketsBinaryFromFile(path);
+  if (!db.ok()) {
+    if (error != nullptr) *error = std::string(db.status().message());
     return std::nullopt;
   }
-  return ReadBasketsBinary(in, error);
+  return std::move(db).value();
 }
 
 }  // namespace ccs

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "txn/database.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -23,13 +24,23 @@ namespace ccs {
 //
 // Varints are LEB128 (7 bits per byte, high bit continues). On typical
 // synthetic data this is ~4-6x smaller than the text format and decodes
-// without parsing. Loaders validate structure and item ranges and return
-// nullopt with a diagnostic on any corruption.
+// without parsing. Loaders validate structure and item ranges — including
+// that the declared counts fit in the remaining payload, so a corrupt
+// header cannot drive huge allocations — and return kDataLoss on any
+// corruption. Nothing in this module aborts on bad input.
 bool WriteBasketsBinary(const TransactionDatabase& db, std::ostream& out);
 bool WriteBasketsBinaryToFile(const TransactionDatabase& db,
                               const std::string& path);
 
-// The returned database is finalized.
+// The returned database is finalized. For seekable streams the header
+// counts are validated against the actual byte count before any
+// allocation; non-seekable streams fall back to incremental checks.
+StatusOr<TransactionDatabase> LoadBasketsBinary(std::istream& in);
+StatusOr<TransactionDatabase> LoadBasketsBinaryFromFile(
+    const std::string& path);
+
+// Optional-based wrappers kept for existing call sites; they forward to
+// the Status loaders and surface the message through `error`.
 std::optional<TransactionDatabase> ReadBasketsBinary(
     std::istream& in, std::string* error = nullptr);
 std::optional<TransactionDatabase> ReadBasketsBinaryFromFile(

@@ -1,6 +1,8 @@
 #include "txn/database.h"
 
 #include <algorithm>
+#include <new>
+#include <string>
 
 #include "util/check.h"
 
@@ -21,10 +23,40 @@ void TransactionDatabase::Add(Transaction items) {
   transactions_.push_back(std::move(items));
 }
 
+Status TransactionDatabase::AddOrError(Transaction items) {
+  if (finalized_) {
+    return FailedPreconditionError("Add after Finalize");
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (!items.empty() && items.back() >= num_items_) {
+    return InvalidArgumentError("item id " + std::to_string(items.back()) +
+                                " out of range [0, " +
+                                std::to_string(num_items_) + ")");
+  }
+  transactions_.push_back(std::move(items));
+  return OkStatus();
+}
+
 void TransactionDatabase::Finalize() {
-  CCS_CHECK(!finalized_);
-  tidsets_.assign(num_items_, DynamicBitset(transactions_.size()));
-  supports_.assign(num_items_, 0);
+  const Status status = FinalizeOrError();
+  CCS_CHECK(status.ok());
+}
+
+Status TransactionDatabase::FinalizeOrError() {
+  if (finalized_) {
+    return FailedPreconditionError("Finalize called twice");
+  }
+  try {
+    tidsets_.assign(num_items_, DynamicBitset(transactions_.size()));
+    supports_.assign(num_items_, 0);
+  } catch (const std::bad_alloc&) {
+    tidsets_.clear();
+    supports_.clear();
+    return ResourceExhaustedError(
+        "cannot allocate vertical index for " + std::to_string(num_items_) +
+        " items x " + std::to_string(transactions_.size()) + " transactions");
+  }
   for (std::size_t t = 0; t < transactions_.size(); ++t) {
     for (ItemId item : transactions_[t]) {
       tidsets_[item].Set(t);
@@ -32,6 +64,7 @@ void TransactionDatabase::Finalize() {
     }
   }
   finalized_ = true;
+  return OkStatus();
 }
 
 const Transaction& TransactionDatabase::transaction(std::size_t t) const {

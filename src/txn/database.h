@@ -6,6 +6,7 @@
 
 #include "txn/item.h"
 #include "util/bitset.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -31,9 +32,19 @@ class TransactionDatabase {
   // it is normalized. Every id must be < num_items().
   void Add(Transaction items);
 
+  // Add() for untrusted input: rejects out-of-range ids and use after
+  // finalization with a Status instead of aborting. On error the database
+  // is unchanged.
+  Status AddOrError(Transaction items);
+
   // Builds the vertical bitmap index. Must be called exactly once, after
   // the last Add().
   void Finalize();
+
+  // Finalize() for fallible call sites: double finalization and index
+  // allocation failure come back as a Status (kFailedPrecondition and
+  // kResourceExhausted respectively) instead of aborting the process.
+  Status FinalizeOrError();
 
   bool finalized() const { return finalized_; }
   std::size_t num_items() const { return num_items_; }

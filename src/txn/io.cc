@@ -4,12 +4,10 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace ccs {
 namespace {
-
-void SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-}
 
 // Splits a CSV line on commas; no quoting support (the catalog format does
 // not produce quoted cells: names and types are restricted to simple
@@ -43,9 +41,14 @@ bool WriteBasketsToFile(const TransactionDatabase& db,
   return out && WriteBaskets(db, out);
 }
 
-std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
-                                               std::size_t num_items,
-                                               std::string* error) {
+StatusOr<TransactionDatabase> LoadBaskets(std::istream& in,
+                                          std::size_t num_items) {
+  if (FaultInjector::Enabled() && ShouldInjectFault("io")) {
+    return DataLossError("injected fault at site 'io'");
+  }
+  if (num_items == 0) {
+    return InvalidArgumentError("num_items must be positive");
+  }
   TransactionDatabase db(num_items);
   std::string line;
   std::size_t line_no = 0;
@@ -63,27 +66,46 @@ std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
         consumed = 0;
       }
       if (consumed != token.size() || id >= num_items) {
-        SetError(error, "line " + std::to_string(line_no) +
-                            ": bad item id '" + token + "'");
-        return std::nullopt;
+        return DataLossError("line " + std::to_string(line_no) +
+                             ": bad item id '" + token + "'");
       }
       txn.push_back(static_cast<ItemId>(id));
     }
-    db.Add(std::move(txn));
+    CCS_RETURN_IF_ERROR(db.AddOrError(std::move(txn)));
   }
-  db.Finalize();
+  CCS_RETURN_IF_ERROR(db.FinalizeOrError());
   return db;
+}
+
+StatusOr<TransactionDatabase> LoadBasketsFromFile(const std::string& path,
+                                                  std::size_t num_items) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  return LoadBaskets(in, num_items);
+}
+
+std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
+                                               std::size_t num_items,
+                                               std::string* error) {
+  StatusOr<TransactionDatabase> db = LoadBaskets(in, num_items);
+  if (!db.ok()) {
+    if (error != nullptr) *error = db.status().message();
+    return std::nullopt;
+  }
+  return std::move(db).value();
 }
 
 std::optional<TransactionDatabase> ReadBasketsFromFile(const std::string& path,
                                                        std::size_t num_items,
                                                        std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    SetError(error, "cannot open " + path);
+  StatusOr<TransactionDatabase> db = LoadBasketsFromFile(path, num_items);
+  if (!db.ok()) {
+    if (error != nullptr) *error = db.status().message();
     return std::nullopt;
   }
-  return ReadBaskets(in, num_items, error);
+  return std::move(db).value();
 }
 
 bool WriteCatalog(const ItemCatalog& catalog, std::ostream& out) {
@@ -101,12 +123,14 @@ bool WriteCatalogToFile(const ItemCatalog& catalog, const std::string& path) {
   return out && WriteCatalog(catalog, out);
 }
 
-std::optional<ItemCatalog> ReadCatalog(std::istream& in, std::string* error) {
+StatusOr<ItemCatalog> LoadCatalog(std::istream& in) {
+  if (FaultInjector::Enabled() && ShouldInjectFault("io")) {
+    return DataLossError("injected fault at site 'io'");
+  }
   ItemCatalog catalog;
   std::string line;
   if (!std::getline(in, line)) {
-    SetError(error, "empty catalog file");
-    return std::nullopt;
+    return DataLossError("empty catalog file");
   }
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -114,9 +138,8 @@ std::optional<ItemCatalog> ReadCatalog(std::istream& in, std::string* error) {
     if (line.empty()) continue;
     const auto cells = SplitCsvLine(line);
     if (cells.size() < 3 || cells.size() > 4) {
-      SetError(error, "line " + std::to_string(line_no) +
-                          ": expected 3 or 4 cells");
-      return std::nullopt;
+      return DataLossError("line " + std::to_string(line_no) +
+                           ": expected 3 or 4 cells");
     }
     unsigned long id = 0;
     double price = 0.0;
@@ -124,27 +147,43 @@ std::optional<ItemCatalog> ReadCatalog(std::istream& in, std::string* error) {
       id = std::stoul(cells[0]);
       price = std::stod(cells[1]);
     } catch (...) {
-      SetError(error, "line " + std::to_string(line_no) + ": bad number");
-      return std::nullopt;
+      return DataLossError("line " + std::to_string(line_no) +
+                           ": bad number");
     }
     if (id != catalog.num_items() || price < 0.0) {
-      SetError(error, "line " + std::to_string(line_no) +
-                          ": non-consecutive id or negative price");
-      return std::nullopt;
+      return DataLossError("line " + std::to_string(line_no) +
+                           ": non-consecutive id or negative price");
     }
     catalog.AddItem(price, cells[2], cells.size() == 4 ? cells[3] : "");
   }
   return catalog;
 }
 
-std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,
-                                               std::string* error) {
+StatusOr<ItemCatalog> LoadCatalogFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    SetError(error, "cannot open " + path);
+    return NotFoundError("cannot open " + path);
+  }
+  return LoadCatalog(in);
+}
+
+std::optional<ItemCatalog> ReadCatalog(std::istream& in, std::string* error) {
+  StatusOr<ItemCatalog> catalog = LoadCatalog(in);
+  if (!catalog.ok()) {
+    if (error != nullptr) *error = catalog.status().message();
     return std::nullopt;
   }
-  return ReadCatalog(in, error);
+  return std::move(catalog).value();
+}
+
+std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,
+                                               std::string* error) {
+  StatusOr<ItemCatalog> catalog = LoadCatalogFromFile(path);
+  if (!catalog.ok()) {
+    if (error != nullptr) *error = catalog.status().message();
+    return std::nullopt;
+  }
+  return std::move(catalog).value();
 }
 
 }  // namespace ccs

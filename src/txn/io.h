@@ -7,6 +7,7 @@
 
 #include "txn/catalog.h"
 #include "txn/database.h"
+#include "util/status.h"
 
 namespace ccs {
 
@@ -15,8 +16,10 @@ namespace ccs {
 // Basket files: one transaction per line, space-separated item ids.
 // Catalog files: CSV with header "item,price,type[,name]".
 //
-// Loaders return std::nullopt on malformed input or I/O failure and report
-// the first problem via `error` when non-null.
+// The Load* functions are the primary API: they return a Status describing
+// the first problem (kDataLoss for malformed content, kNotFound for a
+// missing file) and never abort on bad input. The Read* wrappers keep the
+// older optional-based shape for existing call sites.
 
 // Writes "id id id\n" lines. Returns false on I/O failure.
 bool WriteBaskets(const TransactionDatabase& db, std::ostream& out);
@@ -25,6 +28,10 @@ bool WriteBasketsToFile(const TransactionDatabase& db,
 
 // Reads basket lines. `num_items` fixes the universe; any id >= num_items
 // is an error. The returned database is already finalized.
+StatusOr<TransactionDatabase> LoadBaskets(std::istream& in,
+                                          std::size_t num_items);
+StatusOr<TransactionDatabase> LoadBasketsFromFile(const std::string& path,
+                                                  std::size_t num_items);
 std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
                                                std::size_t num_items,
                                                std::string* error = nullptr);
@@ -35,6 +42,8 @@ std::optional<TransactionDatabase> ReadBasketsFromFile(
 // Catalog CSV round-trip. Items must appear with consecutive ids from 0.
 bool WriteCatalog(const ItemCatalog& catalog, std::ostream& out);
 bool WriteCatalogToFile(const ItemCatalog& catalog, const std::string& path);
+StatusOr<ItemCatalog> LoadCatalog(std::istream& in);
+StatusOr<ItemCatalog> LoadCatalogFromFile(const std::string& path);
 std::optional<ItemCatalog> ReadCatalog(std::istream& in,
                                        std::string* error = nullptr);
 std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,

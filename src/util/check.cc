@@ -1,0 +1,32 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccs::internal {
+namespace {
+
+void DefaultFailureSink(const char* message) {
+  std::fputs(message, stderr);
+  std::fflush(stderr);
+}
+
+std::atomic<FailureSink> g_failure_sink{&DefaultFailureSink};
+
+}  // namespace
+
+FailureSink SetFailureSink(FailureSink sink) {
+  return g_failure_sink.exchange(sink != nullptr ? sink
+                                                 : &DefaultFailureSink);
+}
+
+void CheckFailed(const char* file, int line, const char* condition) {
+  char message[512];
+  std::snprintf(message, sizeof(message),
+                "CCS_CHECK failed at %s:%d: %s\n", file, line, condition);
+  g_failure_sink.load()(message);
+  std::abort();
+}
+
+}  // namespace ccs::internal

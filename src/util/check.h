@@ -1,9 +1,6 @@
 #ifndef CCS_UTIL_CHECK_H_
 #define CCS_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 // Lightweight CHECK macros in the spirit of absl/glog. The library does not
 // use exceptions (Google C++ style); contract violations abort with a
 // message that names the failing condition and source location.
@@ -11,15 +8,29 @@
 // CCS_CHECK(cond)        - always evaluated.
 // CCS_CHECK_OP(a, op, b) - readable comparisons, e.g. CCS_CHECK_GE(n, 0).
 // CCS_DCHECK(cond)       - evaluated only in debug builds (NDEBUG off).
+//
+// Failure text is routed through a single FailureSink so harnesses (the
+// fault-injection tests, an embedding server's crash reporter) can observe
+// the message before the abort. The default sink writes to stderr and
+// flushes explicitly — abort() does not flush stdio buffers, so without the
+// flush the message is lost whenever stderr is redirected to a pipe or
+// file (fully buffered), which is exactly the CI/release situation where
+// the message matters most.
 
 namespace ccs::internal {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* condition) {
-  std::fprintf(stderr, "CCS_CHECK failed at %s:%d: %s\n", file, line,
-               condition);
-  std::abort();
-}
+// Receives the fully formatted failure line ("CCS_CHECK failed at
+// file:line: cond\n"). Must not return control flow to the checker; after
+// the sink returns, CheckFailed aborts unconditionally.
+using FailureSink = void (*)(const char* message);
+
+// Installs a sink, returning the previous one. nullptr restores the
+// default stderr sink. Not thread-safe against concurrent failures; meant
+// for test setup.
+FailureSink SetFailureSink(FailureSink sink);
+
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition);
 
 }  // namespace ccs::internal
 

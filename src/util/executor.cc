@@ -40,6 +40,8 @@ void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
     // balanced when per-element cost varies (table size grows with level).
     grain_ = std::max<std::size_t>(1, n / (num_threads_ * 8));
     cursor_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    abort_.store(false, std::memory_order_relaxed);
     active_workers_ = num_threads_ - 1;
     ++generation_;
   }
@@ -48,6 +50,12 @@ void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return active_workers_ == 0; });
   body_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ParallelExecutor::WorkerLoop(std::size_t thread_index) {
@@ -74,11 +82,23 @@ void ParallelExecutor::RunChunks(std::size_t thread_index) {
   const std::size_t n = n_;
   const std::size_t grain = grain_;
   for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
     const std::size_t begin =
         cursor_.fetch_add(grain, std::memory_order_relaxed);
     if (begin >= n) return;
     const std::size_t end = std::min(begin + grain, n);
-    for (std::size_t i = begin; i < end; ++i) body(thread_index, i);
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(thread_index, i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
+      abort_.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 

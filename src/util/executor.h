@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -43,7 +44,15 @@ class ParallelExecutor {
 
   // Runs body(thread, i) for every i in [0, n); returns when all calls
   // have finished. The calling thread participates as thread 0. The body
-  // must not throw and must not re-enter ParallelFor on this executor.
+  // must not re-enter ParallelFor on this executor.
+  //
+  // Exception safety: a body may throw. The first exception (in claim
+  // order across threads) is captured, the remaining work is abandoned
+  // (workers stop claiming chunks and park for the next loop), and the
+  // exception is rethrown on the calling thread once every worker has
+  // quiesced. The pool stays usable for subsequent ParallelFor calls.
+  // Side effects of body calls that ran before the abandonment are
+  // unspecified — callers must discard any partially written outputs.
   void ParallelFor(std::size_t n, const Body& body);
 
   // std::thread::hardware_concurrency with a floor of 1.
@@ -68,6 +77,10 @@ class ParallelExecutor {
   std::size_t n_ = 0;
   std::size_t grain_ = 1;
   std::atomic<std::size_t> cursor_{0};
+  // First exception thrown by a body this loop (under mutex_); abort_
+  // makes the other threads stop claiming work.
+  std::exception_ptr first_error_;
+  std::atomic<bool> abort_{false};
 };
 
 }  // namespace ccs

@@ -1,0 +1,164 @@
+#include "util/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccs {
+namespace {
+
+// splitmix64 step: cheap, stateful, deterministic per rule.
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ':'-separated fields of one clause: site[:nth=N | :prob=P[:seed=S]].
+std::vector<std::string_view> SplitFields(std::string_view clause) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= clause.size()) {
+    std::size_t colon = clause.find(':', start);
+    if (colon == std::string_view::npos) colon = clause.size();
+    fields.push_back(clause.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Configure(std::string_view spec) {
+  std::vector<Rule> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view clause = spec.substr(start, semi - start);
+    start = semi + 1;
+    if (clause.empty()) continue;
+
+    const std::vector<std::string_view> fields = SplitFields(clause);
+    Rule rule;
+    rule.site = std::string(fields[0]);
+    if (rule.site.empty()) {
+      return InvalidArgumentError("fault spec clause with empty site: '" +
+                                  std::string(clause) + "'");
+    }
+    bool have_trigger = false;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string_view field = fields[i];
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos) {
+        return InvalidArgumentError("expected key=value in fault spec: '" +
+                                    std::string(field) + "'");
+      }
+      const std::string_view key = field.substr(0, eq);
+      const std::string value(field.substr(eq + 1));
+      char* end = nullptr;
+      if (key == "nth") {
+        rule.nth = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || rule.nth == 0) {
+          return InvalidArgumentError("bad nth '" + value +
+                                      "' in fault spec (want an integer "
+                                      ">= 1)");
+        }
+        have_trigger = true;
+      } else if (key == "prob") {
+        rule.probability = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+          return InvalidArgumentError("bad prob '" + value +
+                                      "' in fault spec (want [0, 1])");
+        }
+        have_trigger = true;
+      } else if (key == "seed") {
+        rule.rng_state = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          return InvalidArgumentError("bad seed '" + value +
+                                      "' in fault spec");
+        }
+      } else {
+        return InvalidArgumentError("unknown key '" + std::string(key) +
+                                    "' in fault spec");
+      }
+    }
+    if (!have_trigger) {
+      return InvalidArgumentError("fault site '" + rule.site +
+                                  "' needs nth=N or prob=P");
+    }
+    rules.push_back(std::move(rule));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("CCS_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  const Status status = Configure(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "CCS_FAULT ignored: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool fire = false;
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    ++rule.call_count;
+    if (rule.nth > 0) {
+      if (!rule.fired && rule.call_count == rule.nth) {
+        rule.fired = true;
+        fire = true;
+      }
+    } else if (rule.probability > 0.0) {
+      const double draw =
+          static_cast<double>(NextRandom(&rule.rng_state) >> 11) *
+          (1.0 / 9007199254740992.0);  // 2^53
+      if (draw < rule.probability) fire = true;
+    }
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::calls(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.site == site) n = rule.call_count > n ? rule.call_count : n;
+  }
+  return n;
+}
+
+namespace {
+
+// Applies CCS_FAULT before main(). Fault points are never evaluated during
+// static initialization, so cross-TU init order is irrelevant here.
+const bool g_fault_env_applied = [] {
+  FaultInjector::Global().ConfigureFromEnv();
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace ccs

@@ -1,0 +1,110 @@
+#ifndef CCS_UTIL_FAULT_H_
+#define CCS_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+// Fault-injection harness for exercising the run-hardening paths end to
+// end. Production code marks fault sites with CCS_FAULT_POINT("site")
+// (throwing sites: table building, per-run allocation) or
+// ShouldInjectFault("site") (non-throwing sites: I/O loaders, which return
+// a Status instead). With no configuration the hot-path cost is a single
+// relaxed atomic load.
+//
+// Configuration comes from the CCS_FAULT environment variable (read once at
+// process start) or programmatically via Configure() in tests:
+//
+//   CCS_FAULT="ct_build:nth=3"            fail the 3rd ct_build call
+//   CCS_FAULT="io:prob=0.01:seed=7"       fail each io call with p=0.01
+//   CCS_FAULT="alloc:nth=1;io:nth=2"      multiple sites, ';'-separated
+//
+// Known sites: ct_build (ContingencyTableBuilder::Build), alloc
+// (EvalWorkers construction), io (binary and text loaders). Unknown site
+// names are accepted — they simply never fire — so specs stay forward
+// compatible.
+namespace ccs {
+
+// Thrown by CCS_FAULT_POINT when a configured fault fires. MiningEngine
+// surfaces it as Termination::kError.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("injected fault at site '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FaultInjector {
+ public:
+  // Process-wide injector; CCS_FAULT is applied to it before main().
+  static FaultInjector& Global();
+
+  // True when any rule is armed anywhere — the hot-path early-out.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Parses and installs a spec (grammar above), replacing any previous
+  // rules. An empty spec disarms. Thread-safe.
+  Status Configure(std::string_view spec);
+
+  // Reads CCS_FAULT; a malformed value is reported to stderr and ignored
+  // (a bad env var must not take the process down — that is the point).
+  void ConfigureFromEnv();
+
+  // Removes all rules and disarms the hot path.
+  void Disable();
+
+  // True when the fault at `site` fires for this call. Counts every call
+  // per site (see calls()).
+  bool ShouldFail(std::string_view site);
+
+  // Calls observed at a site since the last Configure/Disable.
+  std::uint64_t calls(std::string_view site) const;
+
+ private:
+  struct Rule {
+    std::string site;
+    // nth > 0: fire exactly on the nth call (1-based), once.
+    std::uint64_t nth = 0;
+    // nth == 0: fire each call with this probability (deterministic LCG).
+    double probability = 0.0;
+    std::uint64_t rng_state = 0x9e3779b97f4a7c15ull;
+    std::uint64_t call_count = 0;
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+
+  static std::atomic<bool> enabled_;
+};
+
+// Non-throwing form for Status-returning call sites.
+inline bool ShouldInjectFault(const char* site) {
+  return FaultInjector::Enabled() &&
+         FaultInjector::Global().ShouldFail(site);
+}
+
+}  // namespace ccs
+
+// Throwing fault site; zero-cost (one relaxed load) when disarmed.
+#define CCS_FAULT_POINT(site)                                      \
+  do {                                                             \
+    if (::ccs::FaultInjector::Enabled() &&                         \
+        ::ccs::FaultInjector::Global().ShouldFail(site)) {         \
+      throw ::ccs::FaultInjectedError(site);                       \
+    }                                                              \
+  } while (false)
+
+#endif  // CCS_UTIL_FAULT_H_

@@ -1,0 +1,156 @@
+#ifndef CCS_UTIL_STATUS_H_
+#define CCS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+// Status / StatusOr<T> in the spirit of absl: the return-value error channel
+// for fallible surfaces (file loading, query parsing, finalization). The
+// convention split is:
+//
+//  * CCS_CHECK — programming-contract violations (indexing past the end,
+//    finalizing twice). These stay aborts.
+//  * Status   — bad *input* (corrupt file, malformed query, resource
+//    exhaustion). These must come back to the caller, who may be a server
+//    that cannot afford to die.
+//
+// The library still does not use exceptions at its API boundary; internally
+// the parallel executor transports worker exceptions to the calling thread,
+// where MiningEngine::Run converts them into Termination::kError + Status
+// (see core/engine.h).
+
+namespace ccs {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kDataLoss,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kInternal,
+};
+
+// Stable upper-case name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE_NAME: message" ("OK" for an ok status).
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// A Status or a value. Accessing value() on a non-ok StatusOr is a
+// contract violation (CCS_CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  // Non-ok status required; wrapping OkStatus() without a value is a
+  // contract violation.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CCS_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CCS_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    CCS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CCS_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ccs
+
+// Propagates a non-ok Status out of the enclosing function.
+#define CCS_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::ccs::Status ccs_status_tmp_ = (expr);    \
+    if (!ccs_status_tmp_.ok()) {               \
+      return ccs_status_tmp_;                  \
+    }                                          \
+  } while (false)
+
+#define CCS_STATUS_CONCAT_INNER_(a, b) a##b
+#define CCS_STATUS_CONCAT_(a, b) CCS_STATUS_CONCAT_INNER_(a, b)
+
+// CCS_ASSIGN_OR_RETURN(auto db, LoadBaskets(in)): moves the value into the
+// declaration, or returns the StatusOr's status.
+#define CCS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  CCS_ASSIGN_OR_RETURN_IMPL_(                                        \
+      CCS_STATUS_CONCAT_(ccs_status_or_, __LINE__), lhs, rexpr)
+#define CCS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) {                                  \
+    return statusor.status();                            \
+  }                                                      \
+  lhs = std::move(statusor).value()
+
+#endif  // CCS_UTIL_STATUS_H_

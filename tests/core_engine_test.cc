@@ -10,11 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "core/miner.h"
+#include "core/run_control.h"
 #include "datagen/zipf_generator.h"
 #include "test_util.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace ccs {
@@ -211,6 +214,226 @@ TEST(MiningEngineTest, SessionServesRepeatedQueries) {
   const MiningResult second = engine.Run(request);
   EXPECT_EQ(first.answers, second.answers);
   EXPECT_EQ(first.stats.TotalTablesBuilt(), second.stats.TotalTablesBuilt());
+}
+
+// --- Run hardening: deadlines, cancellation, budgets, fault injection ---
+
+// A database big enough that a full run takes well over a millisecond.
+TransactionDatabase LargeZipfDb() {
+  ZipfGeneratorConfig config;
+  config.num_transactions = 20000;
+  config.num_items = 80;
+  config.avg_transaction_size = 10.0;
+  config.num_groups = 8;
+  config.group_size = 3;
+  config.group_probability = 0.35;
+  config.seed = 17;
+  return ZipfGenerator(config).Generate();
+}
+
+MiningRequest EngineTestRequest(Algorithm algorithm,
+                                const TransactionDatabase& db,
+                                const ConstraintSet& constraints) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = EngineTestOptions(db);
+  request.constraints = &constraints;
+  return request;
+}
+
+TEST(RunControlTest, PreCancelledTokenReturnsCancelledPartial) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(2));
+  MiningRequest request =
+      EngineTestRequest(Algorithm::kBmsPlusPlus, db, constraints);
+  CancelToken token;
+  token.Cancel();
+  request.control.cancel = &token;
+  const MiningResult result = engine.Run(request);
+  EXPECT_EQ(result.termination, Termination::kCancelled);
+  EXPECT_TRUE(result.partial());
+  EXPECT_EQ(result.stats.levels_completed, 0u);
+  EXPECT_TRUE(result.answers.empty());
+  EXPECT_TRUE(result.error.ok());
+  // The token is reusable and the engine still serves completed runs.
+  token.Reset();
+  const MiningResult rerun = engine.Run(request);
+  EXPECT_EQ(rerun.termination, Termination::kCompleted);
+  EXPECT_FALSE(rerun.answers.empty());
+}
+
+TEST(RunControlTest, OneMillisecondDeadlineReturnsDeadlinePartial) {
+  const TransactionDatabase db = LargeZipfDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(80);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(2));
+  MiningRequest request =
+      EngineTestRequest(Algorithm::kBms, db, constraints);
+  const MiningResult unbounded = engine.Run(request);
+  ASSERT_EQ(unbounded.termination, Termination::kCompleted);
+  ASSERT_GT(unbounded.stats.elapsed_seconds, 0.001);
+
+  request.control.timeout = std::chrono::milliseconds(1);
+  const MiningResult bounded = engine.Run(request);
+  EXPECT_EQ(bounded.termination, Termination::kDeadline);
+  EXPECT_TRUE(bounded.partial());
+  EXPECT_LT(bounded.stats.levels_completed,
+            unbounded.stats.levels_completed);
+  // Whatever levels completed are trustworthy: their answers are a subset
+  // of the unbounded run's.
+  for (const Itemset& s : bounded.answers) {
+    EXPECT_TRUE(unbounded.ContainsAnswer(s)) << s.ToString();
+  }
+}
+
+TEST(RunControlTest, TableBudgetTripsAsBudget) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(2));
+  MiningRequest request =
+      EngineTestRequest(Algorithm::kBms, db, constraints);
+  request.control.max_tables_built = 1;
+  const MiningResult result = engine.Run(request);
+  EXPECT_EQ(result.termination, Termination::kBudget);
+  // One table exceeds the budget at the first level boundary after the
+  // opening pairs pass.
+  EXPECT_EQ(result.stats.levels_completed, 1u);
+}
+
+TEST(RunControlTest, ResultBudgetTripsAsBudget) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(1));
+  MiningRequest request =
+      EngineTestRequest(Algorithm::kBms, db, constraints);
+  const MiningResult unbounded = engine.Run(request);
+  ASSERT_FALSE(unbounded.answers.empty());
+  request.control.max_result_sets = 1;
+  const MiningResult bounded = engine.Run(request);
+  EXPECT_EQ(bounded.termination, Termination::kBudget);
+  EXPECT_FALSE(bounded.answers.empty());
+  for (const Itemset& s : bounded.answers) {
+    EXPECT_TRUE(unbounded.ContainsAnswer(s)) << s.ToString();
+  }
+}
+
+// The determinism guarantee extended to partial runs: a budget trip
+// happens at a level boundary against deterministic counters, so the
+// whole partial result — answers, termination, every per-level counter —
+// is bit-identical at any thread count, for every algorithm.
+TEST_P(EngineDeterminismTest, BudgetPartialIsIdenticalAcrossThreadCounts) {
+  const TransactionDatabase db = ZipfDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(40);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningRequest request = EngineTestRequest(GetParam(), db, constraints);
+
+  MiningEngine probe(db, catalog, WithThreads(1));
+  const MiningResult unbounded = probe.Run(request);
+  ASSERT_EQ(unbounded.termination, Termination::kCompleted);
+  // Trip partway through the lattice work.
+  request.control.max_tables_built =
+      unbounded.stats.TotalTablesBuilt() / 2 + 1;
+  const MiningResult base = probe.Run(request);
+  if (base.termination == Termination::kCompleted) {
+    GTEST_SKIP() << "budget larger than this algorithm's total work";
+  }
+  ASSERT_EQ(base.termination, Termination::kBudget);
+  for (const Itemset& s : base.answers) {
+    EXPECT_TRUE(unbounded.ContainsAnswer(s)) << s.ToString();
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    MiningEngine engine(db, catalog, WithThreads(threads));
+    const MiningResult parallel = engine.Run(request);
+    EXPECT_EQ(parallel.termination, Termination::kBudget)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.answers, base.answers) << "threads=" << threads;
+    EXPECT_EQ(parallel.stats.levels_completed,
+              base.stats.levels_completed)
+        << "threads=" << threads;
+    ExpectSameCounters(base.stats, parallel.stats);
+  }
+}
+
+// The completed prefix of a budget-tripped single-phase run carries
+// exactly the unbounded run's counters for those levels.
+TEST(RunControlTest, BudgetPartialPrefixMatchesUnboundedRun) {
+  const TransactionDatabase db = ZipfDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(40);
+  const ConstraintSet constraints = EngineTestConstraints();
+  MiningEngine engine(db, catalog, WithThreads(2));
+  for (Algorithm algorithm :
+       {Algorithm::kBms, Algorithm::kBmsPlus, Algorithm::kBmsPlusPlus}) {
+    MiningRequest request = EngineTestRequest(algorithm, db, constraints);
+    const MiningResult unbounded = engine.Run(request);
+    ASSERT_EQ(unbounded.termination, Termination::kCompleted);
+    request.control.max_tables_built =
+        unbounded.stats.TotalTablesBuilt() / 2 + 1;
+    const MiningResult partial = engine.Run(request);
+    if (partial.termination == Termination::kCompleted) continue;
+    ASSERT_EQ(partial.termination, Termination::kBudget);
+    ASSERT_LE(partial.stats.levels.size(), unbounded.stats.levels.size());
+    for (std::size_t i = 0; i < partial.stats.levels.size(); ++i) {
+      const LevelStats& p = partial.stats.levels[i];
+      const LevelStats& u = unbounded.stats.levels[i];
+      EXPECT_EQ(p.candidates, u.candidates) << "level " << i;
+      EXPECT_EQ(p.tables_built, u.tables_built) << "level " << i;
+      EXPECT_EQ(p.ct_supported, u.ct_supported) << "level " << i;
+      EXPECT_EQ(p.chi2_tests, u.chi2_tests) << "level " << i;
+      EXPECT_EQ(p.sig_added, u.sig_added) << "level " << i;
+      EXPECT_EQ(p.notsig_added, u.notsig_added) << "level " << i;
+    }
+    for (const Itemset& s : partial.answers) {
+      EXPECT_TRUE(unbounded.ContainsAnswer(s)) << s.ToString();
+    }
+  }
+}
+
+TEST(RunControlTest, InjectedTableFaultSurfacesAsErrorAndEngineRecovers) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  const MiningRequest request =
+      EngineTestRequest(Algorithm::kBmsPlusPlus, db, constraints);
+
+  MiningEngine fresh(db, catalog, WithThreads(4));
+  const MiningResult expected = fresh.Run(request);
+  ASSERT_EQ(expected.termination, Termination::kCompleted);
+
+  MiningEngine engine(db, catalog, WithThreads(4));
+  ASSERT_TRUE(FaultInjector::Global().Configure("ct_build:nth=3").ok());
+  const MiningResult faulted = engine.Run(request);
+  FaultInjector::Global().Disable();
+  EXPECT_EQ(faulted.termination, Termination::kError);
+  EXPECT_FALSE(faulted.error.ok());
+  EXPECT_NE(faulted.error.message().find("ct_build"), std::string::npos)
+      << faulted.error.ToString();
+
+  // The engine survived the worker throw: an unfaulted rerun on the same
+  // engine matches a fresh engine bit for bit.
+  const MiningResult recovered = engine.Run(request);
+  EXPECT_EQ(recovered.termination, Termination::kCompleted);
+  EXPECT_EQ(recovered.answers, expected.answers);
+  ExpectSameCounters(expected.stats, recovered.stats);
+}
+
+TEST(RunControlTest, InjectedAllocFaultSurfacesAsError) {
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  const MiningRequest request =
+      EngineTestRequest(Algorithm::kBms, db, constraints);
+  MiningEngine engine(db, catalog, WithThreads(2));
+  ASSERT_TRUE(FaultInjector::Global().Configure("alloc:nth=1").ok());
+  const MiningResult faulted = engine.Run(request);
+  FaultInjector::Global().Disable();
+  EXPECT_EQ(faulted.termination, Termination::kError);
+  EXPECT_FALSE(faulted.error.ok());
+  const MiningResult recovered = engine.Run(request);
+  EXPECT_EQ(recovered.termination, Termination::kCompleted);
 }
 
 TEST(MiningEngineTest, ProgressCallbackSeesEveryLevelSerially) {

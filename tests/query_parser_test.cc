@@ -129,6 +129,39 @@ TEST_P(ParserErrorTest, RejectsWithDiagnostic) {
   EXPECT_NE(error.find("position"), std::string::npos);
 }
 
+TEST(ParserStatus, OkParseReturnsConstraints) {
+  const auto set = ParseConstraintsOrError("max(S.price) <= 50");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 1u);
+}
+
+TEST(ParserStatus, ErrorCarriesLineAndColumn) {
+  // The bad token sits on line 2 at column 15 (1-based).
+  const auto set = ParseConstraintsOrError(
+      "max(S.price) <= 50 &\nmin(S.price) <= oops");
+  ASSERT_FALSE(set.ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = set.status().message();
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("column"), std::string::npos) << message;
+  EXPECT_NE(message.find("position"), std::string::npos) << message;
+}
+
+TEST(ParserStatus, FirstLineErrorIsColumnExact) {
+  const auto set = ParseConstraintsOrError("max(S.price) < 3");
+  ASSERT_FALSE(set.ok());
+  // '<' (an invalid comparator here) starts at byte 13, column 14.
+  EXPECT_NE(set.status().message().find("line 1, column 14"),
+            std::string::npos)
+      << set.status().message();
+}
+
+TEST(ParserStatus, ItemIdOverflowIsRejected) {
+  const auto set = ParseConstraintsOrError("{99999999999999999999} subset S");
+  ASSERT_FALSE(set.ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kInvalidArgument);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Cases, ParserErrorTest,
     testing::Values(BadQuery{"Empty", ""},

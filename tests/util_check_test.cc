@@ -1,0 +1,60 @@
+// CCS_CHECK failure routing: the formatted message must reach the
+// FailureSink (and through the default sink, a flushed stderr) before the
+// abort, so redirected CI logs and embedding harnesses see why a contract
+// died.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CCS_CHECK(true);
+  CCS_CHECK_EQ(2 + 2, 4);
+  CCS_CHECK_NE(1, 2);
+  CCS_CHECK_LT(1, 2);
+  CCS_CHECK_LE(2, 2);
+  CCS_CHECK_GT(3, 2);
+  CCS_CHECK_GE(3, 3);
+  CCS_DCHECK(true);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureNamesConditionAndLocation) {
+  // The default sink writes (and flushes) the formatted line to stderr,
+  // which is what EXPECT_DEATH captures from the child process.
+  EXPECT_DEATH(CCS_CHECK(1 == 2),
+               "CCS_CHECK failed at .*util_check_test\\.cc:[0-9]+: 1 == 2");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportTheComparison) {
+  EXPECT_DEATH(CCS_CHECK_GE(1, 2), "CCS_CHECK failed at .*\\(1\\)>=\\(2\\)");
+}
+
+TEST(CheckDeathTest, CustomSinkObservesTheMessageBeforeAbort) {
+  EXPECT_DEATH(
+      {
+        ccs::internal::SetFailureSink(+[](const char* message) {
+          std::fprintf(stderr, "intercepted: %s", message);
+          std::fflush(stderr);
+        });
+        CCS_CHECK(false);
+      },
+      "intercepted: CCS_CHECK failed at .*: false");
+}
+
+TEST(CheckDeathTest, NullSinkRestoresTheDefault) {
+  EXPECT_DEATH(
+      {
+        ccs::internal::SetFailureSink(+[](const char*) {});
+        ccs::internal::SetFailureSink(nullptr);
+        CCS_CHECK(false);
+      },
+      "CCS_CHECK failed at .*: false");
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// FaultInjector: the CCS_FAULT harness the run-hardening tests lean on.
+// These tests drive the process-global injector, so every test disarms it
+// before returning.
+
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ccs {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disable(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(ShouldInjectFault("ct_build"));
+}
+
+TEST_F(FaultInjectorTest, NthFiresExactlyOnceOnTheNthCall) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io:nth=3").ok());
+  EXPECT_TRUE(FaultInjector::Enabled());
+  EXPECT_FALSE(injector.ShouldFail("io"));
+  EXPECT_FALSE(injector.ShouldFail("io"));
+  EXPECT_TRUE(injector.ShouldFail("io"));
+  // Fires once; later calls pass (so a retry after the fault succeeds).
+  EXPECT_FALSE(injector.ShouldFail("io"));
+  EXPECT_EQ(injector.calls("io"), 4u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysFiresZeroNeverFires) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("a:prob=1;b:prob=0").ok());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(injector.ShouldFail("a"));
+    EXPECT_FALSE(injector.ShouldFail("b"));
+  }
+}
+
+TEST_F(FaultInjectorTest, SeededProbabilityIsDeterministic) {
+  FaultInjector& injector = FaultInjector::Global();
+  std::string first;
+  ASSERT_TRUE(injector.Configure("x:prob=0.5:seed=7").ok());
+  for (int i = 0; i < 64; ++i) first += injector.ShouldFail("x") ? '1' : '0';
+  std::string second;
+  ASSERT_TRUE(injector.Configure("x:prob=0.5:seed=7").ok());
+  for (int i = 0; i < 64; ++i) second += injector.ShouldFail("x") ? '1' : '0';
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("ct_build:nth=1;alloc:nth=2").ok());
+  // Unknown sites are accepted and never fire (forward-compatible specs).
+  EXPECT_FALSE(injector.ShouldFail("something_else"));
+  EXPECT_TRUE(injector.ShouldFail("ct_build"));
+  EXPECT_FALSE(injector.ShouldFail("alloc"));
+  EXPECT_TRUE(injector.ShouldFail("alloc"));
+}
+
+TEST_F(FaultInjectorTest, DisableDisarms) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io:prob=1").ok());
+  EXPECT_TRUE(injector.ShouldFail("io"));
+  injector.Disable();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(ShouldInjectFault("io"));
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarms) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io:nth=1").ok());
+  ASSERT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(FaultInjector::Enabled());
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsAreRejectedWithoutArming) {
+  FaultInjector& injector = FaultInjector::Global();
+  for (const char* spec :
+       {"io", "io:nth=0", "io:nth=x", "io:prob=1.5", "io:prob=-1",
+        "io:prob=abc", "io:seed=7", ":nth=1", "io:frequency=2",
+        "io:nth"}) {
+    const Status status = injector.Configure(spec);
+    EXPECT_FALSE(status.ok()) << spec;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+    EXPECT_FALSE(FaultInjector::Enabled()) << spec;
+  }
+}
+
+TEST_F(FaultInjectorTest, FaultPointThrowsFaultInjectedError) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("here:nth=1").ok());
+  try {
+    CCS_FAULT_POINT("here");
+    FAIL() << "fault point did not fire";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.site(), "here");
+    EXPECT_NE(std::string(e.what()).find("here"), std::string::npos);
+  }
+  // Fired once; the same point passes afterwards.
+  CCS_FAULT_POINT("here");
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,127 @@
+// Status/StatusOr: the return-value error channel for fallible surfaces.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, OkStatus());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+    const char* name;
+  } cases[] = {
+      {InvalidArgumentError("m"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {NotFoundError("m"), StatusCode::kNotFound, "NOT_FOUND"},
+      {DataLossError("m"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {FailedPreconditionError("m"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {ResourceExhaustedError("m"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+      {DeadlineExceededError("m"), StatusCode::kDeadlineExceeded,
+       "DEADLINE_EXCEEDED"},
+      {CancelledError("m"), StatusCode::kCancelled, "CANCELLED"},
+      {InternalError("m"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(StatusCodeName(c.code), std::string(c.name));
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(DataLossError("x"), DataLossError("x"));
+  EXPECT_FALSE(DataLossError("x") == DataLossError("y"));
+  EXPECT_FALSE(DataLossError("x") == InternalError("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result(NotFoundError("no such row"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "no such row");
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  const std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+Status FailWhen(bool fail) {
+  if (fail) return InvalidArgumentError("asked to fail");
+  return OkStatus();
+}
+
+Status Propagate(bool fail) {
+  CCS_RETURN_IF_ERROR(FailWhen(fail));
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagate(false).ok());
+  const Status failed = Propagate(true);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failed.message(), "asked to fail");
+}
+
+StatusOr<int> ParseDigit(char c) {
+  if (c < '0' || c > '9') return InvalidArgumentError("not a digit");
+  return c - '0';
+}
+
+StatusOr<int> SumDigits(char a, char b) {
+  CCS_ASSIGN_OR_RETURN(const int left, ParseDigit(a));
+  CCS_ASSIGN_OR_RETURN(const int right, ParseDigit(b));
+  return left + right;
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesValueOrPropagates) {
+  const StatusOr<int> ok = SumDigits('3', '4');
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  const StatusOr<int> bad = SumDigits('3', 'x');
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "not a digit");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorIsContractViolation) {
+  const StatusOr<int> result(InternalError("boom"));
+  EXPECT_DEATH((void)result.value(), "CCS_CHECK failed");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueIsContractViolation) {
+  EXPECT_DEATH(StatusOr<int>{OkStatus()}, "CCS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ccs
