@@ -1,0 +1,139 @@
+// Head-to-head of the two contingency-table paths on the figure-1/2
+// workload: the per-candidate recursion (ct_cache off) versus the
+// prefix-sharing batch path with the intersection cache (on).
+//
+// For each data set the query runs at max_set_size 2, 3 and 4 on a
+// single thread; differencing the cumulative ct_word_ops between runs
+// attributes bulk bitset work to each lattice level (the level-wise
+// sweeps do exactly the same level-k work regardless of the cap, so the
+// diffs are exact). The harness asserts the answer sets are byte-identical
+// across the two paths and writes the series — word ops and wall time per
+// level and path, with on/off ratios — to BENCH_ct_cache.json in the
+// working directory.
+//
+// Scale via CCS_BENCH_SCALE as usual (smoke | default | full).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "constraints/agg_constraint.h"
+#include "datagen/catalog_generator.h"
+#include "util/stopwatch.h"
+
+namespace ccs::bench {
+namespace {
+
+constexpr std::size_t kMaxLevel = 4;
+
+struct PathRun {
+  // Cumulative over the whole run, indexed by max_set_size (2..kMaxLevel).
+  std::uint64_t word_ops[kMaxLevel + 1] = {0};
+  double wall_ms[kMaxLevel + 1] = {0.0};
+  std::vector<Itemset> answers;  // at max_set_size == kMaxLevel
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+PathRun RunPath(const TransactionDatabase& db, const ItemCatalog& catalog,
+                const ConstraintSet& constraints,
+                const MiningOptions& base_options, bool cache) {
+  PathRun run;
+  for (std::size_t max_k = 2; max_k <= kMaxLevel; ++max_k) {
+    EngineOptions eopts;
+    eopts.num_threads = 1;  // keeps ct_word_ops exact and comparable
+    eopts.ct_cache = cache;
+    MiningEngine engine(db, catalog, eopts);
+    MiningRequest request;
+    request.algorithm = Algorithm::kBmsPlusPlus;
+    request.options = base_options;
+    request.options.max_set_size = max_k;
+    request.constraints = &constraints;
+    Stopwatch timer;
+    const MiningResult result = engine.Run(request);
+    run.wall_ms[max_k] = timer.ElapsedSeconds() * 1e3;
+    run.word_ops[max_k] = result.stats.ct_word_ops;
+    if (max_k == kMaxLevel) {
+      run.answers = result.answers;
+      run.cache_hits = result.stats.ct_cache_hits;
+      run.cache_misses = result.stats.ct_cache_misses;
+      run.cache_evictions = result.stats.ct_cache_evictions;
+    }
+  }
+  return run;
+}
+
+double Ratio(double off, double on) { return on > 0.0 ? off / on : 0.0; }
+
+bool CompareDataset(const char* name, int method, std::ostream& json,
+                    bool first) {
+  const std::size_t baskets = BasketSweep().back();
+  const TransactionDatabase db =
+      method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
+  const ItemCatalog catalog = MakeCatalog(method);
+  ConstraintSet constraints;
+  constraints.Add(
+      MaxLe(PriceThresholdForSelectivity(catalog, 0.5)));
+  const MiningOptions options = StandardOptions(db);
+
+  const PathRun on = RunPath(db, catalog, constraints, options, true);
+  const PathRun off = RunPath(db, catalog, constraints, options, false);
+  const bool identical = on.answers == off.answers;
+
+  if (!first) json << ",\n";
+  json << "    {\"dataset\": \"" << name << "\", \"baskets\": " << baskets
+       << ", \"algorithm\": \"bms++\", \"answers\": " << on.answers.size()
+       << ", \"answers_identical\": " << (identical ? "true" : "false")
+       << ",\n     \"cache\": {\"hits\": " << on.cache_hits
+       << ", \"misses\": " << on.cache_misses
+       << ", \"evictions\": " << on.cache_evictions << "},\n"
+       << "     \"levels\": [";
+  std::printf("%s (%zu baskets): answers %s (%zu sets)\n", name, baskets,
+              identical ? "identical" : "MISMATCH", on.answers.size());
+  for (std::size_t level = 2; level <= kMaxLevel; ++level) {
+    // Run at cap k minus run at cap k-1 = exactly the level-k pass (the
+    // cap-2 run's total is level 2 plus the shared level-1 setup).
+    const std::uint64_t on_ops = on.word_ops[level] - on.word_ops[level - 1];
+    const std::uint64_t off_ops =
+        off.word_ops[level] - off.word_ops[level - 1];
+    const double on_ms = on.wall_ms[level];
+    const double off_ms = off.wall_ms[level];
+    const double op_ratio =
+        Ratio(static_cast<double>(off_ops), static_cast<double>(on_ops));
+    if (level > 2) json << ", ";
+    json << "{\"level\": " << level << ", \"word_ops_on\": " << on_ops
+         << ", \"word_ops_off\": " << off_ops << ", \"word_op_ratio\": "
+         << op_ratio << ", \"run_wall_ms_on\": " << on_ms
+         << ", \"run_wall_ms_off\": " << off_ms << "}";
+    std::printf(
+        "  level %zu: word ops %llu (on) vs %llu (off), ratio %.2fx; "
+        "cumulative wall %.1f ms vs %.1f ms\n",
+        level, static_cast<unsigned long long>(on_ops),
+        static_cast<unsigned long long>(off_ops), op_ratio, on_ms, off_ms);
+  }
+  json << "]}";
+  return identical;
+}
+
+int Main() {
+  std::ofstream json("BENCH_ct_cache.json");
+  json << "{\n  \"bench\": \"ct_cache_compare\",\n  \"datasets\": [\n";
+  bool ok = CompareDataset("data1", 1, json, true);
+  ok = CompareDataset("data2", 2, json, false) && ok;
+  json << "\n  ]\n}\n";
+  std::printf("wrote BENCH_ct_cache.json\n");
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: answers differ between CT paths\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccs::bench
+
+int main() { return ccs::bench::Main(); }

@@ -24,7 +24,7 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     return RunBms(db, options, &local);
   }
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
   BmsRunOutput out;
 
   for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -49,10 +49,10 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     }
     // Parallel pass: all database work, one slot per candidate.
     verdicts.assign(candidates.size(), Verdict::kUnsupported);
-    const Termination pass = GovernedParallelFor(
-        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
-          const stats::ContingencyTable table =
-              workers.builder(t).Build(candidates[i]);
+    const Termination pass = GovernedBuildTables(
+        *ctx, workers, candidates, nullptr,
+        [&](std::size_t i, std::size_t t,
+            const stats::ContingencyTable& table) {
           if (!workers.judge(t).IsCtSupported(table)) {
             verdicts[i] = Verdict::kUnsupported;
           } else {

@@ -42,7 +42,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
     return MineBmsPlusPlus(db, catalog, constraints, options, &local);
   }
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
   MiningResult result;
 
   // I. Preprocessing: GOOD1 and the L1+/L1- split.
@@ -89,17 +89,22 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
 
     // Pass A.
     evals.assign(candidates.size(), Eval());
-    const Termination pass_a = GovernedParallelFor(
-        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
-          const Itemset& s = candidates[i];
-          Eval& e = evals[i];
+    const Termination pass_a = GovernedBuildTables(
+        *ctx, workers, candidates,
+        [&](std::size_t i) {
           // Non-succinct anti-monotone constraints prune before any
           // database work (Figure E's outer guard).
-          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
-            e.outcome = Eval::Outcome::kPruned;
-            return;
+          if (!constraints.TestAntiMonotoneNonSuccinct(candidates[i].span(),
+                                                       catalog)) {
+            evals[i].outcome = Eval::Outcome::kPruned;
+            return false;
           }
-          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          return true;
+        },
+        [&](std::size_t i, std::size_t t,
+            const stats::ContingencyTable& table) {
+          const Itemset& s = candidates[i];
+          Eval& e = evals[i];
           if (!workers.judge(t).IsCtSupported(table)) {
             e.outcome = Eval::Outcome::kUnsupported;
             return;
@@ -154,10 +159,10 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
       }
     }
     std::vector<std::uint8_t> probe_correlated(probes.size(), 0);
-    const Termination pass_b = GovernedParallelFor(
-        *ctx, probes.size(), [&](std::size_t t, std::size_t j) {
-          const stats::ContingencyTable table =
-              workers.builder(t).Build(probes[j]);
+    const Termination pass_b = GovernedBuildTables(
+        *ctx, workers, probes, nullptr,
+        [&](std::size_t j, std::size_t t,
+            const stats::ContingencyTable& table) {
           probe_correlated[j] = workers.judge(t).IsCorrelated(table) ? 1 : 0;
         });
     if (pass_b != Termination::kCompleted) {

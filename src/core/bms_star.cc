@@ -39,7 +39,7 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
 
   // Step 1: full unconstrained BMS run.
   BmsRunOutput run = RunBms(db, options, ctx);
@@ -113,19 +113,25 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
         [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
     LevelStats& level = result.stats.Level(k + 1);
     evals.assign(candidates.size(), Eval());
-    const Termination pass = GovernedParallelFor(
-        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedBuildTables(
+        *ctx, workers, candidates,
+        [&](std::size_t i) {
           const Itemset& s = candidates[i];
           Eval& e = evals[i];
           if (already_processed.contains(s)) {
             e.outcome = Eval::Outcome::kAlreadyProcessed;
-            return;
+            return false;
           }
           if (!constraints.TestAntiMonotone(s.span(), catalog)) {
             e.outcome = Eval::Outcome::kPruned;
-            return;
+            return false;
           }
-          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          return true;
+        },
+        [&](std::size_t i, std::size_t t,
+            const stats::ContingencyTable& table) {
+          const Itemset& s = candidates[i];
+          Eval& e = evals[i];
           if (!workers.judge(t).IsCtSupported(table)) {
             e.outcome = Eval::Outcome::kUnsupported;
             return;

@@ -74,7 +74,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
@@ -97,15 +97,19 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), SuppEval());
-    const Termination pass = GovernedParallelFor(
-        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
-          const Itemset& s = candidates[i];
-          SuppEval& e = evals[i];
-          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
-            e.outcome = SuppEval::Outcome::kPruned;
-            return;
+    const Termination pass = GovernedBuildTables(
+        *ctx, workers, candidates,
+        [&](std::size_t i) {
+          if (!constraints.TestAntiMonotoneNonSuccinct(candidates[i].span(),
+                                                       catalog)) {
+            evals[i].outcome = SuppEval::Outcome::kPruned;
+            return false;
           }
-          const stats::ContingencyTable table = workers.builder(t).Build(s);
+          return true;
+        },
+        [&](std::size_t i, std::size_t t,
+            const stats::ContingencyTable& table) {
+          SuppEval& e = evals[i];
           if (!workers.judge(t).IsCtSupported(table)) {
             e.outcome = SuppEval::Outcome::kUnsupported;
             return;
@@ -218,7 +222,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
@@ -240,15 +244,20 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
     Stopwatch level_timer;
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), FusedEval());
-    const Termination pass = GovernedParallelFor(
-        *ctx, candidates.size(), [&](std::size_t t, std::size_t i) {
+    const Termination pass = GovernedBuildTables(
+        *ctx, workers, candidates,
+        [&](std::size_t i) {
+          if (!constraints.TestAntiMonotoneNonSuccinct(candidates[i].span(),
+                                                       catalog)) {
+            evals[i].outcome = FusedEval::Outcome::kPruned;
+            return false;
+          }
+          return true;
+        },
+        [&](std::size_t i, std::size_t t,
+            const stats::ContingencyTable& table) {
           const Itemset& s = candidates[i];
           FusedEval& e = evals[i];
-          if (!constraints.TestAntiMonotoneNonSuccinct(s.span(), catalog)) {
-            e.outcome = FusedEval::Outcome::kPruned;
-            return;
-          }
-          const stats::ContingencyTable table = workers.builder(t).Build(s);
           if (!workers.judge(t).IsCtSupported(table)) {
             e.outcome = FusedEval::Outcome::kUnsupported;
             return;

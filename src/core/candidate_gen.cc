@@ -73,4 +73,25 @@ std::vector<Itemset> WitnessedPairs(const std::vector<ItemId>& plus,
   return out;
 }
 
+std::vector<PrefixGroup> GroupByPrefix(
+    const std::vector<Itemset>& candidates) {
+  std::vector<PrefixGroup> groups;
+  const auto same_prefix = [](const Itemset& a, const Itemset& b) {
+    if (a.size() != b.size() || a.empty()) return false;
+    for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= candidates.size(); ++i) {
+    if (i == candidates.size() ||
+        !same_prefix(candidates[i - 1], candidates[i])) {
+      groups.push_back(PrefixGroup{begin, i});
+      begin = i;
+    }
+  }
+  return groups;
+}
+
 }  // namespace ccs

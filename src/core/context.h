@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "core/algorithm.h"
+#include "core/intersection_cache.h"
 #include "core/result.h"
 #include "core/run_control.h"
 #include "util/executor.h"
@@ -40,15 +41,22 @@ class MiningContext {
  public:
   MiningContext(ParallelExecutor& executor, Algorithm algorithm,
                 const ProgressCallback* progress = nullptr,
-                const RunGovernor* governor = nullptr)
+                const RunGovernor* governor = nullptr,
+                CtCacheOptions ct_cache = {})
       : executor_(&executor),
         algorithm_(algorithm),
         progress_(progress),
-        governor_(governor) {}
+        governor_(governor),
+        ct_cache_(ct_cache) {}
 
   ParallelExecutor& executor() const { return *executor_; }
   std::size_t num_threads() const { return executor_->num_threads(); }
   Algorithm algorithm() const { return algorithm_; }
+
+  // Contingency-table path selection for this run (DESIGN.md §9): the
+  // engine resolves EngineOptions::ct_cache + the CCS_CT_CACHE override;
+  // the legacy free-function entry points take the defaults.
+  const CtCacheOptions& ct_cache() const { return ct_cache_; }
 
   // Deadline/cancellation poll (between candidate batches). kCompleted
   // when no governor is installed (the legacy free-function path).
@@ -83,6 +91,7 @@ class MiningContext {
   Algorithm algorithm_;
   const ProgressCallback* progress_;
   const RunGovernor* governor_;
+  CtCacheOptions ct_cache_;
 };
 
 // Runs body over [0, n) through the context's executor in fixed-size index

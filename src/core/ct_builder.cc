@@ -1,13 +1,31 @@
 #include "core/ct_builder.h"
 
+#include <bit>
+#include <utility>
+
 #include "util/check.h"
 #include "util/fault.h"
 
 namespace ccs {
 
+namespace {
+
+// The subset of `prefix` selected by the item-position mask.
+Itemset SubsetByMask(const Itemset& prefix, std::size_t mask) {
+  Itemset subset;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if ((mask >> i) & 1u) subset = subset.WithItem(prefix[i]);
+  }
+  return subset;
+}
+
+}  // namespace
+
 ContingencyTableBuilder::ContingencyTableBuilder(
-    const TransactionDatabase& db)
-    : db_(&db) {}
+    const TransactionDatabase& db, CtCacheOptions cache)
+    : db_(&db),
+      cache_options_(cache),
+      cache_(cache.enabled ? cache.budget_words : 0) {}
 
 stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
   CCS_FAULT_POINT("ct_build");
@@ -24,6 +42,7 @@ stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
   std::vector<std::uint64_t> cells(std::size_t{1} << k, 0);
   if (k == 1) {
     const std::uint64_t present = tids[0]->Count();
+    word_ops_ += tids[0]->num_words();
     cells[1] = present;
     cells[0] = db_->num_transactions() - present;
   } else {
@@ -31,6 +50,7 @@ stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
     // bitset: depth 1 current = tidset / its complement.
     CountRecursive(tids, 1, *tids[0], 1u, cells);
     scratch_[0].AssignComplement(*tids[0]);
+    word_ops_ += scratch_[0].num_words();
     CountRecursive(tids, 1, scratch_[0], 0u, cells);
   }
 
@@ -48,16 +68,153 @@ void ContingencyTableBuilder::CountRecursive(
     const std::uint64_t with = DynamicBitset::CountAnd(current, *tids[depth]);
     const std::uint64_t without =
         DynamicBitset::CountAndNot(current, *tids[depth]);
+    word_ops_ += 2 * current.num_words();
     cells[mask | (std::uint32_t{1} << depth)] = with;
     cells[mask] = without;
     return;
   }
   DynamicBitset& child = scratch_[depth];
   child.AssignAnd(current, *tids[depth]);
+  word_ops_ += child.num_words();
   CountRecursive(tids, depth + 1, child, mask | (std::uint32_t{1} << depth),
                  cells);
   child.AssignAndNot(current, *tids[depth]);
+  word_ops_ += child.num_words();
   CountRecursive(tids, depth + 1, child, mask, cells);
+}
+
+void ContingencyTableBuilder::BuildBatch(std::span<const Itemset> batch,
+                                         const BatchFilter& want,
+                                         const BatchSink& emit) {
+  if (batch.empty()) return;
+  if (!cache_options_.enabled) {
+    // Kill switch: the original per-candidate recursion, verbatim.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (want && !want(i)) continue;
+      emit(i, Build(batch[i]));
+    }
+    return;
+  }
+  CCS_CHECK(db_->finalized());
+
+  // Pins must not leak if a fault point or the sink throws mid-batch: the
+  // cache stays usable (entries intact, budget restored) and the engine
+  // surfaces the error as usual.
+  struct UnpinGuard {
+    IntersectionCache* cache;
+    ~UnpinGuard() { cache->UnpinAll(); }
+  } guard{&cache_};
+
+  bool have_prefix = false;
+  Itemset current_prefix;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (want && !want(i)) continue;
+    const Itemset& s = batch[i];
+    const std::size_t k = s.size();
+    CCS_CHECK_GE(k, 1u);
+    CCS_CHECK_LE(k, 20u);
+    CCS_FAULT_POINT("ct_build");
+
+    if (k == 1) {
+      const std::uint64_t present = db_->ItemSupport(s[0]);
+      std::vector<std::uint64_t> cells(2, 0);
+      cells[1] = present;
+      cells[0] = db_->num_transactions() - present;
+      ++tables_built_;
+      emit(i, stats::ContingencyTable(1, std::move(cells)));
+      continue;
+    }
+
+    const Itemset prefix = s.WithoutIndex(k - 1);
+    if (!have_prefix || !(prefix == current_prefix)) {
+      cache_.UnpinAll();  // release the previous group's working set
+      PreparePrefix(prefix);
+      current_prefix = prefix;
+      have_prefix = true;
+    }
+    const stats::ContingencyTable table = TableFromPrefix(s);
+    ++tables_built_;
+    emit(i, table);
+  }
+}
+
+void ContingencyTableBuilder::PreparePrefix(const Itemset& prefix) {
+  const std::size_t d = prefix.size();
+  const std::size_t num_masks = std::size_t{1} << d;
+  prefix_bits_.assign(num_masks, nullptr);
+  prefix_counts_.assign(num_masks, 0);
+  prefix_counts_[0] = db_->num_transactions();
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    const std::size_t top = std::bit_width(mask) - 1;
+    if ((mask & (mask - 1)) == 0) {
+      // Singletons come straight from the vertical index.
+      prefix_bits_[mask] = &db_->tidset(prefix[top]);
+      prefix_counts_[mask] = db_->ItemSupport(prefix[top]);
+      continue;
+    }
+    const Itemset key = SubsetByMask(prefix, mask);
+    if (const auto* entry = cache_.LookupPinned(key)) {
+      prefix_bits_[mask] = &entry->bits;
+      prefix_counts_[mask] = entry->count;
+      continue;
+    }
+    // mask's proper subset without its top item was visited earlier in
+    // this loop (strictly smaller mask), so its bitset is materialized.
+    const std::size_t parent = mask ^ (std::size_t{1} << top);
+    DynamicBitset bits;
+    const std::uint64_t count =
+        bits.AssignAndCount(*prefix_bits_[parent], db_->tidset(prefix[top]));
+    word_ops_ += bits.num_words();
+    const auto* entry = cache_.InsertPinned(key, std::move(bits), count);
+    prefix_bits_[mask] = &entry->bits;
+    prefix_counts_[mask] = count;
+  }
+}
+
+stats::ContingencyTable ContingencyTableBuilder::TableFromPrefix(
+    const Itemset& s) {
+  const std::size_t k = s.size();
+  const std::size_t half = std::size_t{1} << (k - 1);
+  const DynamicBitset& last = db_->tidset(s[k - 1]);
+
+  // Subset supports g[mask] = |{t : t ⊇ s∩mask}| over the 2^k masks: the
+  // low half is the prepared prefix table; the high half ANDs the last
+  // item's tid-set against each prefix-subset bitset.
+  minterms_.assign(half << 1, 0);
+  for (std::size_t mask = 0; mask < half; ++mask) {
+    minterms_[mask] = prefix_counts_[mask];
+  }
+  minterms_[half] = db_->ItemSupport(s[k - 1]);
+  for (std::size_t mask = 1; mask < half; ++mask) {
+    minterms_[half | mask] = DynamicBitset::CountAnd(*prefix_bits_[mask], last);
+    word_ops_ += last.num_words();
+  }
+
+  // In-place superset Möbius inversion turns subset supports into exact
+  // minterm cells: after processing bit j, g[m] counts transactions
+  // containing all of m and none of the already-processed bits outside m,
+  // so every intermediate is a non-negative transaction count.
+  for (std::size_t bit = 0; bit < k; ++bit) {
+    const std::size_t high = std::size_t{1} << bit;
+    for (std::size_t mask = 0; mask < (half << 1); ++mask) {
+      if ((mask & high) == 0) minterms_[mask] -= minterms_[mask | high];
+    }
+  }
+  return stats::ContingencyTable(
+      static_cast<int>(k),
+      std::vector<std::uint64_t>(minterms_.begin(),
+                                 minterms_.begin() +
+                                     static_cast<std::ptrdiff_t>(half << 1)));
+}
+
+stats::ContingencyTable ContingencyTableBuilder::BuildCached(
+    const Itemset& s) {
+  stats::ContingencyTable result(1, std::vector<std::uint64_t>(2, 0));
+  BuildBatch(std::span<const Itemset>(&s, 1), nullptr,
+             [&result](std::size_t, const stats::ContingencyTable& table) {
+               result = table;
+             });
+  return result;
 }
 
 stats::ContingencyTable ContingencyTableBuilder::BuildScalar(

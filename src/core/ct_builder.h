@@ -2,8 +2,11 @@
 #define CCS_CORE_CT_BUILDER_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
+#include "core/intersection_cache.h"
 #include "core/itemset.h"
 #include "stats/contingency.h"
 #include "txn/database.h"
@@ -22,12 +25,24 @@ namespace ccs {
 // O(2^k * N / 64) word operations per table — the "database scan" of the
 // paper's cost model.
 //
+// BuildBatch is the prefix-sharing path (DESIGN.md §9): a sorted candidate
+// batch is walked as a prefix trie, the positive intersections of each
+// shared (k-1)-prefix's subsets are memoized in a budgeted
+// IntersectionCache, and each candidate's cells are recovered from 2^k
+// exact subset supports by a superset Möbius inversion. Per candidate this
+// costs one CountAnd per non-empty prefix subset (2^(k-1) - 1 passes)
+// instead of the recursion's 2^k - 3 bulk passes, and cached prefix
+// subsets amortize across siblings and levels. All arithmetic is exact
+// integer, so the cells — and therefore every downstream statistic —
+// are bit-identical to Build's.
+//
 // BuildScalar is an independent reference implementation (one pass over the
 // horizontal transactions, binary-searching each item) used by tests to
 // cross-check the fast path and by callers that have no finalized index.
 class ContingencyTableBuilder {
  public:
-  explicit ContingencyTableBuilder(const TransactionDatabase& db);
+  explicit ContingencyTableBuilder(const TransactionDatabase& db,
+                                   CtCacheOptions cache = {});
 
   // Fast path. Requires db.finalized() and 1 <= |s| <= 20.
   stats::ContingencyTable Build(const Itemset& s);
@@ -35,8 +50,39 @@ class ContingencyTableBuilder {
   // Reference path; does not use the vertical index.
   stats::ContingencyTable BuildScalar(const Itemset& s) const;
 
-  // Number of tables built through the fast path since construction.
+  // Skip predicate: invoked exactly once per batch index, on the building
+  // thread, before any table work for that candidate; false skips the
+  // candidate entirely (no fault point, no tables_built). Null = keep all.
+  using BatchFilter = std::function<bool(std::size_t)>;
+  // Receives (batch index, finished table) for every kept candidate, in
+  // batch order.
+  using BatchSink =
+      std::function<void(std::size_t, const stats::ContingencyTable&)>;
+
+  // Prefix-sharing path over a candidate batch. Candidates sharing their
+  // size-(k-1) prefix should be adjacent (the level-wise generators emit
+  // sorted batches, which guarantees it); any order is correct, adjacency
+  // only affects reuse. Tables are identical to per-candidate Build calls,
+  // and the CCS_FAULT_POINT("ct_build") / tables_built accounting fires
+  // once per kept candidate exactly as Build does. With the cache disabled
+  // this degrades to per-candidate Build calls.
+  void BuildBatch(std::span<const Itemset> batch, const BatchFilter& want,
+                  const BatchSink& emit);
+
+  // Single-candidate convenience over the batch path.
+  stats::ContingencyTable BuildCached(const Itemset& s);
+
+  // Number of tables built through the fast paths since construction.
   std::uint64_t tables_built() const { return tables_built_; }
+
+  // Bulk bitset word operations performed by Build/BuildBatch since
+  // construction — the concrete currency of the paper's O(2^k * N/64) cost
+  // model, used by the benches to compare the two paths.
+  std::uint64_t word_ops() const { return word_ops_; }
+
+  const IntersectionCacheStats& cache_stats() const { return cache_.stats(); }
+  const CtCacheOptions& cache_options() const { return cache_options_; }
+  std::size_t cache_words_in_use() const { return cache_.words_in_use(); }
 
   const TransactionDatabase& database() const { return *db_; }
 
@@ -45,10 +91,25 @@ class ContingencyTableBuilder {
                       std::size_t depth, const DynamicBitset& current,
                       std::uint32_t mask, std::vector<std::uint64_t>& cells);
 
+  // Fills prefix_bits_/prefix_counts_ with the intersection bitset and
+  // support of every subset of `prefix` (indexed by item-position mask),
+  // pinning the cache entries it touches.
+  void PreparePrefix(const Itemset& prefix);
+
+  // Builds s's table from the prepared prefix state; s = prefix + one item.
+  stats::ContingencyTable TableFromPrefix(const Itemset& s);
+
   const TransactionDatabase* db_;
+  CtCacheOptions cache_options_;
+  IntersectionCache cache_;
   // Scratch bitsets per recursion depth, reused across Build calls.
   std::vector<DynamicBitset> scratch_;
+  // Batch scratch, indexed by prefix subset mask / candidate cell mask.
+  std::vector<const DynamicBitset*> prefix_bits_;
+  std::vector<std::uint64_t> prefix_counts_;
+  std::vector<std::uint64_t> minterms_;
   std::uint64_t tables_built_ = 0;
+  std::uint64_t word_ops_ = 0;
 };
 
 }  // namespace ccs

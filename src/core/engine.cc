@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "core/bms.h"
 #include "core/bms_plus.h"
@@ -12,11 +14,29 @@
 
 namespace ccs {
 
+namespace {
+
+// EngineOptions + the CCS_CT_CACHE override ("0" forces the per-candidate
+// path, anything else forces the cached path), resolved once per engine.
+CtCacheOptions ResolveCtCache(const EngineOptions& options) {
+  CtCacheOptions cache;
+  cache.enabled = options.ct_cache;
+  cache.budget_words = options.ct_cache_budget_mib * ((std::size_t{1} << 20) /
+                                                      sizeof(std::uint64_t));
+  if (const char* env = std::getenv("CCS_CT_CACHE")) {
+    cache.enabled = std::string(env) != "0";
+  }
+  return cache;
+}
+
+}  // namespace
+
 MiningEngine::MiningEngine(const TransactionDatabase& db,
                            const ItemCatalog& catalog, EngineOptions options)
     : db_(&db),
       catalog_(&catalog),
       options_(std::move(options)),
+      ct_cache_(ResolveCtCache(options_)),
       executor_(options_.num_threads) {}
 
 MiningResult MiningEngine::Run(const MiningRequest& request) {
@@ -25,7 +45,7 @@ MiningResult MiningEngine::Run(const MiningRequest& request) {
                                      : empty_constraints_;
   const RunGovernor governor(request.control);
   MiningContext ctx(executor_, request.algorithm,
-                    &options_.progress_callback, &governor);
+                    &options_.progress_callback, &governor, ct_cache_);
   // A throwing worker (fault injection, bad_alloc, a pathological
   // constraint) must degrade to kError, not take the process down; the
   // executor has already drained its pool by the time the exception

@@ -26,6 +26,19 @@ struct EngineOptions {
 
   // If set, called serially after each lattice-level pass of every run.
   ProgressCallback progress_callback;
+
+  // Prefix-sharing contingency-table evaluation (DESIGN.md §9): when true,
+  // each level's candidates run through ContingencyTableBuilder::BuildBatch
+  // with a per-worker IntersectionCache; when false, every candidate uses
+  // the original per-candidate recursion. Answers and the deterministic
+  // counters are bit-identical either way — this is a kill switch kept for
+  // differential testing and for memory-tight deployments. The CCS_CT_CACHE
+  // environment variable ("0"/"1"), if set, overrides this field.
+  bool ct_cache = true;
+
+  // IntersectionCache budget per worker thread, in MiB of cached
+  // intersection bitsets.
+  std::size_t ct_cache_budget_mib = 32;
 };
 
 // One correlation-mining query: which algorithm, its statistical
@@ -80,11 +93,14 @@ class MiningEngine {
   const ItemCatalog& catalog() const { return *catalog_; }
   // Actual executor width (EngineOptions::num_threads resolved).
   std::size_t num_threads() const { return executor_.num_threads(); }
+  // CT path in effect (EngineOptions::ct_cache + CCS_CT_CACHE resolved).
+  const CtCacheOptions& ct_cache() const { return ct_cache_; }
 
  private:
   const TransactionDatabase* db_;
   const ItemCatalog* catalog_;
   EngineOptions options_;
+  CtCacheOptions ct_cache_;
   ParallelExecutor executor_;
   ConstraintSet empty_constraints_;
 };

@@ -1,0 +1,68 @@
+#include "core/intersection_cache.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace ccs {
+
+const IntersectionCache::Entry* IntersectionCache::LookupPinned(
+    const Itemset& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most-recently-used
+  Entry& entry = *it->second;
+  if (!entry.pinned) {
+    entry.pinned = true;
+    pinned_.push_back(&entry);
+  }
+  return &entry;
+}
+
+const IntersectionCache::Entry* IntersectionCache::InsertPinned(
+    const Itemset& key, DynamicBitset bits, std::uint64_t count) {
+  // Cache growth is the one allocation site on the mining hot path; route
+  // it through the injector so OOM-during-mining drills cover it.
+  CCS_FAULT_POINT("alloc");
+  CCS_DCHECK(map_.find(key) == map_.end());
+  lru_.push_front(Entry{key, std::move(bits), count, /*pinned=*/true});
+  Entry& entry = lru_.front();
+  map_.emplace(key, lru_.begin());
+  pinned_.push_back(&entry);
+  words_in_use_ += entry.bits.num_words();
+  EvictToBudget();
+  return &entry;
+}
+
+void IntersectionCache::UnpinAll() {
+  for (Entry* entry : pinned_) entry->pinned = false;
+  pinned_.clear();
+  EvictToBudget();
+}
+
+void IntersectionCache::Clear() {
+  pinned_.clear();
+  map_.clear();
+  lru_.clear();
+  words_in_use_ = 0;
+}
+
+void IntersectionCache::EvictToBudget() {
+  if (words_in_use_ <= budget_words_) return;
+  auto it = lru_.end();
+  while (words_in_use_ > budget_words_ && it != lru_.begin()) {
+    --it;
+    if (it->pinned) continue;
+    words_in_use_ -= it->bits.num_words();
+    map_.erase(it->key);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,110 @@
+#ifndef CCS_CORE_INTERSECTION_CACHE_H_
+#define CCS_CORE_INTERSECTION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "core/itemset.h"
+#include "util/bitset.h"
+
+namespace ccs {
+
+// Knobs for the prefix-sharing contingency-table path (DESIGN.md §9).
+// Session-level: the engine resolves them once (EngineOptions + the
+// CCS_CT_CACHE environment override) and threads them to every per-worker
+// ContingencyTableBuilder. `enabled == false` is the kill switch that
+// keeps the original per-candidate recursion selectable for differential
+// testing; answers are bit-identical either way.
+struct CtCacheOptions {
+  bool enabled = true;
+  // LRU budget per builder (per worker thread), in 64-bit words of cached
+  // intersection bitsets. 4 Mi words = 32 MiB.
+  std::size_t budget_words = std::size_t{4} << 20;
+};
+
+// Monotone counters surfaced in MiningStats. Like tables_built_per_thread
+// they depend on the thread schedule (which worker sees which prefix
+// group), so they are *not* part of the deterministic counter contract.
+struct IntersectionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+// A budgeted LRU cache of materialized tid-set intersections, keyed by the
+// itemset whose items were ANDed (size >= 2; singleton tid-sets live in the
+// database index and never enter the cache). Each entry stores the
+// intersection bitset plus its memoized popcount — both exact, which is
+// what makes the cached contingency-table path bit-identical to the
+// uncached one.
+//
+// Eviction is LRU by word count: inserting past `budget_words` evicts
+// least-recently-used entries until the budget holds again. Entries handed
+// out by LookupPinned/InsertPinned are pinned — exempt from eviction — so
+// the pointers stay valid while a prefix group is being expanded even when
+// the group's working set transiently overflows the budget (the overshoot
+// is bounded by one group's 2^(k-1) bitsets). UnpinAll releases every pin
+// and restores the budget invariant.
+//
+// Not thread-safe by design: each worker thread owns a private cache
+// inside its ContingencyTableBuilder.
+class IntersectionCache {
+ public:
+  struct Entry {
+    Itemset key;
+    DynamicBitset bits;
+    std::uint64_t count = 0;  // == bits.Count(), memoized
+    bool pinned = false;
+  };
+
+  explicit IntersectionCache(std::size_t budget_words)
+      : budget_words_(budget_words) {}
+
+  IntersectionCache(const IntersectionCache&) = delete;
+  IntersectionCache& operator=(const IntersectionCache&) = delete;
+  IntersectionCache(IntersectionCache&&) = default;
+  IntersectionCache& operator=(IntersectionCache&&) = default;
+
+  // Returns the entry for `key` pinned and marked most-recently-used, or
+  // nullptr on a miss. Counts one hit or miss.
+  const Entry* LookupPinned(const Itemset& key);
+
+  // Inserts the intersection for `key` (which must not be present) and
+  // returns it pinned. Evicts unpinned LRU entries as needed; counts
+  // neither hit nor miss (the preceding LookupPinned already counted the
+  // miss).
+  const Entry* InsertPinned(const Itemset& key, DynamicBitset bits,
+                            std::uint64_t count);
+
+  // Releases every pin and evicts down to the budget if pinned entries had
+  // pushed usage past it.
+  void UnpinAll();
+
+  // Drops every entry (pins included) and resets usage, keeping the
+  // counters. Callers must not hold Entry pointers across Clear.
+  void Clear();
+
+  std::size_t words_in_use() const { return words_in_use_; }
+  std::size_t budget_words() const { return budget_words_; }
+  std::size_t size() const { return map_.size(); }
+  const IntersectionCacheStats& stats() const { return stats_; }
+
+ private:
+  // Evicts unpinned entries from the LRU tail until words_in_use_ fits the
+  // budget or only pinned entries remain.
+  void EvictToBudget();
+
+  std::size_t budget_words_ = 0;
+  std::size_t words_in_use_ = 0;
+  // Front = most recently used. std::list for stable Entry addresses.
+  std::list<Entry> lru_;
+  ItemsetMap<std::list<Entry>::iterator> map_;
+  std::vector<Entry*> pinned_;
+  IntersectionCacheStats stats_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_INTERSECTION_CACHE_H_

@@ -2,8 +2,11 @@
 #define CCS_CORE_PARALLEL_EVAL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/candidate_gen.h"
+#include "core/context.h"
 #include "core/ct_builder.h"
 #include "core/judge.h"
 #include "core/options.h"
@@ -14,19 +17,19 @@
 namespace ccs {
 
 // Per-thread evaluation state for the parallel candidate loops: one
-// ContingencyTableBuilder (mutable scratch bitsets) and one
-// CorrelationJudge (mutable critical-value cache) per executor thread.
-// Worker t exclusively uses slot t, so no synchronization is needed; the
-// database itself is shared read-only.
+// ContingencyTableBuilder (mutable scratch bitsets + private
+// IntersectionCache) and one CorrelationJudge (mutable critical-value
+// cache) per executor thread. Worker t exclusively uses slot t, so no
+// synchronization is needed; the database itself is shared read-only.
 class EvalWorkers {
  public:
   EvalWorkers(const TransactionDatabase& db, const MiningOptions& options,
-              std::size_t num_threads) {
+              std::size_t num_threads, CtCacheOptions ct_cache = {}) {
     CCS_FAULT_POINT("alloc");
     builders_.reserve(num_threads);
     judges_.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
-      builders_.emplace_back(db);
+      builders_.emplace_back(db, ct_cache);
       judges_.emplace_back(options);
     }
   }
@@ -38,9 +41,9 @@ class EvalWorkers {
 
   std::size_t num_threads() const { return builders_.size(); }
 
-  // Folds this worker set's per-thread table counts into the run's stats.
-  // Additive, so a run that uses several worker sets in sequence (BMS*'s
-  // base pass + sweep) reports their sum.
+  // Folds this worker set's per-thread table counts and cache telemetry
+  // into the run's stats. Additive, so a run that uses several worker sets
+  // in sequence (BMS*'s base pass + sweep) reports their sum.
   void AccumulateInto(MiningStats& stats) const {
     stats.num_threads = builders_.size();
     if (stats.tables_built_per_thread.size() < builders_.size()) {
@@ -48,6 +51,10 @@ class EvalWorkers {
     }
     for (std::size_t t = 0; t < builders_.size(); ++t) {
       stats.tables_built_per_thread[t] += builders_[t].tables_built();
+      stats.ct_cache_hits += builders_[t].cache_stats().hits;
+      stats.ct_cache_misses += builders_[t].cache_stats().misses;
+      stats.ct_cache_evictions += builders_[t].cache_stats().evictions;
+      stats.ct_word_ops += builders_[t].word_ops();
     }
   }
 
@@ -55,6 +62,79 @@ class EvalWorkers {
   std::vector<ContingencyTableBuilder> builders_;
   std::vector<CorrelationJudge> judges_;
 };
+
+// The level's table-building pass, shared by all six BMS variants: builds
+// one contingency table per wanted candidate and hands it to `eval` as
+// (candidate index, thread, table).
+//
+// `want` (nullable) runs exactly once per candidate index on a worker
+// thread before any table work; returning false skips the candidate
+// without a table, a fault point, or a tables_built tick — the variants
+// use it for their pre-table pruning (BMS*'s already-processed/
+// anti-monotone checks, BMS++/BMS**'s non-succinct AM prune).
+//
+// With the context's ct_cache enabled, candidates are split into shared-
+// prefix groups (GroupByPrefix) and each group runs through one builder's
+// BuildBatch; disabled, every candidate goes through the original
+// per-candidate Build. Both paths produce identical tables for the same
+// candidate set and poll the governor between 1024-unit batches, so
+// answers, the deterministic counters, and the partial-level discard
+// semantics are unchanged; only which thread builds a table (and hence the
+// per-thread/cache telemetry split) varies.
+inline Termination GovernedBuildTables(
+    const MiningContext& ctx, EvalWorkers& workers,
+    const std::vector<Itemset>& candidates,
+    const ContingencyTableBuilder::BatchFilter& want,
+    const std::function<void(std::size_t, std::size_t,
+                             const stats::ContingencyTable&)>& eval) {
+  if (!ctx.ct_cache().enabled) {
+    return GovernedParallelFor(
+        ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
+          if (want && !want(i)) return;
+          const stats::ContingencyTable table =
+              workers.builder(thread).Build(candidates[i]);
+          eval(i, thread, table);
+        });
+  }
+  const std::vector<PrefixGroup> groups = GroupByPrefix(candidates);
+  const auto run_group = [&](std::size_t thread, const PrefixGroup& group) {
+    const std::span<const Itemset> batch(candidates.data() + group.begin,
+                                         group.end - group.begin);
+    ContingencyTableBuilder::BatchFilter batch_want;
+    if (want) {
+      batch_want = [&want, base = group.begin](std::size_t local) {
+        return want(base + local);
+      };
+    }
+    workers.builder(thread).BuildBatch(
+        batch, batch_want,
+        [&eval, thread, base = group.begin](
+            std::size_t local, const stats::ContingencyTable& table) {
+          eval(base + local, thread, table);
+        });
+  };
+  // Chunk groups by the candidate count they cover so the deadline/cancel
+  // poll keeps GovernedParallelFor's per-1024-candidate cadence; a group
+  // is never split, so each index still writes the same slots.
+  constexpr std::size_t kBatch = 1024;
+  std::size_t begin = 0;
+  while (begin < groups.size()) {
+    const Termination verdict = ctx.CheckNow();
+    if (verdict != Termination::kCompleted) return verdict;
+    std::size_t end = begin;
+    std::size_t covered = 0;
+    while (end < groups.size() && covered < kBatch) {
+      covered += groups[end].end - groups[end].begin;
+      ++end;
+    }
+    ctx.executor().ParallelFor(end - begin,
+                               [&](std::size_t thread, std::size_t g) {
+                                 run_group(thread, groups[begin + g]);
+                               });
+    begin = end;
+  }
+  return Termination::kCompleted;
+}
 
 }  // namespace ccs
 

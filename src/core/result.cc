@@ -68,6 +68,16 @@ std::string MiningStats::ToString() const {
     }
     out += "\n";
   }
+  if (ct_cache_hits + ct_cache_misses > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  ct cache: %llu hits, %llu misses, %llu evictions, "
+                  "%llu word ops\n",
+                  static_cast<unsigned long long>(ct_cache_hits),
+                  static_cast<unsigned long long>(ct_cache_misses),
+                  static_cast<unsigned long long>(ct_cache_evictions),
+                  static_cast<unsigned long long>(ct_word_ops));
+    out += buf;
+  }
   for (const auto& l : levels) {
     if (l.candidates == 0 && l.sig_added == 0 && l.notsig_added == 0) {
       continue;

@@ -67,6 +67,18 @@ struct MiningStats {
   // BMS*'s sweep and BMS**'s phase 2 count their passes too). On a partial
   // run this is the length of the trustworthy prefix.
   std::uint64_t levels_completed = 0;
+  // Prefix-sharing CT-path telemetry (DESIGN.md §9), summed over the
+  // per-thread IntersectionCaches. Like tables_built_per_thread these
+  // depend on which worker drew which prefix group, so they sit outside
+  // the deterministic counter contract; all zero when the cache is off.
+  std::uint64_t ct_cache_hits = 0;
+  std::uint64_t ct_cache_misses = 0;
+  std::uint64_t ct_cache_evictions = 0;
+  // Bulk bitset word operations spent building contingency tables — the
+  // concrete currency of the paper's O(2^k * N/64) cost model (exact and
+  // thread-count-independent at a fixed ct_cache setting only for
+  // single-builder runs; the benches compare it at num_threads = 1).
+  std::uint64_t ct_word_ops = 0;
 
   LevelStats& Level(std::size_t level);
 

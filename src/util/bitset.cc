@@ -49,6 +49,18 @@ void DynamicBitset::AssignAndNot(const DynamicBitset& a,
   }
 }
 
+std::uint64_t DynamicBitset::AssignAndCount(const DynamicBitset& a,
+                                            const DynamicBitset& b) {
+  CCS_CHECK_EQ(a.num_bits_, b.num_bits_);
+  Resize(a.num_bits_);
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+    n += static_cast<std::uint64_t>(std::popcount(words_[i]));
+  }
+  return n;
+}
+
 void DynamicBitset::AssignComplement(const DynamicBitset& a) {
   Resize(a.num_bits_);
   for (std::size_t i = 0; i < words_.size(); ++i) {

@@ -67,6 +67,11 @@ class DynamicBitset {
   // this := a & ~b.
   void AssignAndNot(const DynamicBitset& a, const DynamicBitset& b);
 
+  // this := a & b, returning the popcount of the result — one pass instead
+  // of AssignAnd + Count. Used when the intersection is both materialized
+  // (for further reuse) and counted, e.g. the intersection-cache fill path.
+  std::uint64_t AssignAndCount(const DynamicBitset& a, const DynamicBitset& b);
+
   // this := ~a (within a's size; trailing bits stay zero).
   void AssignComplement(const DynamicBitset& a);
 

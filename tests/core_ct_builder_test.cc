@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "datagen/ibm_generator.h"
 #include "util/rng.h"
 
@@ -141,6 +143,87 @@ TEST(CtBuilder, ChiSquaredStatisticIsUpwardClosed) {
     EXPECT_GE(extended, base - 1e-9)
         << s.ToString() << " + " << extra;
   }
+}
+
+// ---------------------------------------------------------------------
+// BuildBatch: the prefix-sharing path's contract beyond cell equality
+// (which tests/differential_test.cc sweeps at scale).
+
+TEST(CtBuilderBatch, WantFilterSkipsWithoutBuildingOrEmitting) {
+  const TransactionDatabase db = RandomDb(7, 8, 199, 0.3);
+  ContingencyTableBuilder builder(db);
+  const std::vector<Itemset> batch = {Itemset{0, 1}, Itemset{0, 2},
+                                      Itemset{0, 3}, Itemset{0, 4}};
+  std::vector<std::size_t> emitted;
+  builder.BuildBatch(
+      batch, [](std::size_t i) { return i % 2 == 0; },
+      [&](std::size_t i, const stats::ContingencyTable& table) {
+        EXPECT_EQ(table.num_vars(), 2);
+        emitted.push_back(i);
+      });
+  EXPECT_EQ(emitted, (std::vector<std::size_t>{0, 2}));
+  // Skipped candidates never tick tables_built — the counter the paper's
+  // cost analysis is stated in.
+  EXPECT_EQ(builder.tables_built(), 2u);
+}
+
+TEST(CtBuilderBatch, HandlesSingletonsAndMixedSizes) {
+  const TransactionDatabase db = RandomDb(8, 8, 211, 0.3);
+  ContingencyTableBuilder builder(db);
+  const std::vector<Itemset> batch = {Itemset{2}, Itemset{2, 3},
+                                      Itemset{2, 3, 5}, Itemset{2, 3, 6}};
+  std::size_t count = 0;
+  builder.BuildBatch(
+      batch, /*want=*/{},
+      [&](std::size_t i, const stats::ContingencyTable& table) {
+        EXPECT_EQ(i, count++);
+        const auto reference = builder.BuildScalar(batch[i]);
+        for (std::uint32_t mask = 0; mask < reference.num_cells(); ++mask) {
+          EXPECT_EQ(table.cell(mask), reference.cell(mask))
+              << batch[i].ToString() << " mask=" << mask;
+        }
+      });
+  EXPECT_EQ(count, batch.size());
+}
+
+TEST(CtBuilderBatch, SecondPassOverSamePrefixHitsTheCache) {
+  const TransactionDatabase db = RandomDb(9, 10, 307, 0.3);
+  ContingencyTableBuilder builder(db);
+  std::vector<Itemset> batch;
+  const Itemset prefix{0, 1, 2};
+  for (ItemId ext = 3; ext < 8; ++ext) batch.push_back(prefix.WithItem(ext));
+  const auto sink = [](std::size_t, const stats::ContingencyTable&) {};
+  builder.BuildBatch(batch, /*want=*/{}, sink);
+  const auto first = builder.cache_stats();
+  EXPECT_GT(first.misses, 0u);
+  const std::uint64_t ops_first = builder.word_ops();
+  builder.BuildBatch(batch, /*want=*/{}, sink);
+  const auto second = builder.cache_stats();
+  // The composite prefix subsets come back from the cache, so the second
+  // pass adds hits, no new misses, and strictly less bulk work.
+  EXPECT_GT(second.hits, first.hits);
+  EXPECT_EQ(second.misses, first.misses);
+  EXPECT_LT(builder.word_ops() - ops_first, ops_first);
+}
+
+TEST(CtBuilderBatch, DisabledCacheMatchesAndStaysCold) {
+  const TransactionDatabase db = RandomDb(10, 10, 307, 0.3);
+  CtCacheOptions off;
+  off.enabled = false;
+  ContingencyTableBuilder builder(db, off);
+  ContingencyTableBuilder reference(db);
+  const std::vector<Itemset> batch = {Itemset{1, 2, 3}, Itemset{1, 2, 4},
+                                      Itemset{1, 2, 5}};
+  builder.BuildBatch(
+      batch, /*want=*/{},
+      [&](std::size_t i, const stats::ContingencyTable& table) {
+        const auto want = reference.Build(batch[i]);
+        for (std::uint32_t mask = 0; mask < want.num_cells(); ++mask) {
+          EXPECT_EQ(table.cell(mask), want.cell(mask));
+        }
+      });
+  EXPECT_EQ(builder.cache_stats().hits + builder.cache_stats().misses, 0u);
+  EXPECT_EQ(builder.tables_built(), batch.size());
 }
 
 }  // namespace

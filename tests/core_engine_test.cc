@@ -218,19 +218,6 @@ TEST(MiningEngineTest, SessionServesRepeatedQueries) {
 
 // --- Run hardening: deadlines, cancellation, budgets, fault injection ---
 
-// A database big enough that a full run takes well over a millisecond.
-TransactionDatabase LargeZipfDb() {
-  ZipfGeneratorConfig config;
-  config.num_transactions = 20000;
-  config.num_items = 80;
-  config.avg_transaction_size = 10.0;
-  config.num_groups = 8;
-  config.group_size = 3;
-  config.group_probability = 0.35;
-  config.seed = 17;
-  return ZipfGenerator(config).Generate();
-}
-
 MiningRequest EngineTestRequest(Algorithm algorithm,
                                 const TransactionDatabase& db,
                                 const ConstraintSet& constraints) {
@@ -265,12 +252,27 @@ TEST(RunControlTest, PreCancelledTokenReturnsCancelledPartial) {
 }
 
 TEST(RunControlTest, OneMillisecondDeadlineReturnsDeadlinePartial) {
-  const TransactionDatabase db = LargeZipfDb();
-  const ItemCatalog catalog = testutil::SmallCatalog(80);
+  // A wide uniform database: ~11k independent level-2 candidates keep the
+  // evaluation loop busy across many 1024-candidate poll batches, so the
+  // 1ms deadline trips mid-level on either CT path (the prefix-sharing
+  // path does a fraction of the word ops per candidate). Capped at pairs —
+  // deeper levels of this lattice explode combinatorially.
+  Rng rng(901);
+  TransactionDatabase db(150);
+  for (std::size_t t = 0; t < 20000; ++t) {
+    Transaction txn;
+    for (ItemId i = 0; i < 150; ++i) {
+      if (rng.NextBernoulli(0.1)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  const ItemCatalog catalog = testutil::SmallCatalog(150);
   const ConstraintSet constraints = EngineTestConstraints();
   MiningEngine engine(db, catalog, WithThreads(2));
   MiningRequest request =
       EngineTestRequest(Algorithm::kBms, db, constraints);
+  request.options.max_set_size = 2;
   const MiningResult unbounded = engine.Run(request);
   ASSERT_EQ(unbounded.termination, Termination::kCompleted);
   ASSERT_GT(unbounded.stats.elapsed_seconds, 0.001);

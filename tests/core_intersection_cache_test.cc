@@ -1,0 +1,106 @@
+#include "core/intersection_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/fault.h"
+
+namespace ccs {
+namespace {
+
+// A bitset of `words * 64` bits with `ones` low bits set.
+DynamicBitset MakeBits(std::size_t words, std::size_t ones) {
+  DynamicBitset bits(words * 64);
+  for (std::size_t i = 0; i < ones; ++i) bits.Set(i);
+  return bits;
+}
+
+TEST(IntersectionCache, MissThenHit) {
+  IntersectionCache cache(/*budget_words=*/100);
+  const Itemset key{1, 2};
+  EXPECT_EQ(cache.LookupPinned(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const auto* inserted = cache.InsertPinned(key, MakeBits(2, 5), 5);
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(inserted->count, 5u);
+  EXPECT_EQ(cache.words_in_use(), 2u);
+  cache.UnpinAll();
+  const auto* found = cache.LookupPinned(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, inserted);  // std::list storage: stable address
+  EXPECT_EQ(found->count, 5u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(IntersectionCache, EvictsLeastRecentlyUsedAtBudget) {
+  IntersectionCache cache(/*budget_words=*/4);
+  cache.InsertPinned(Itemset{0, 1}, MakeBits(2, 1), 1);
+  cache.InsertPinned(Itemset{0, 2}, MakeBits(2, 2), 2);
+  cache.UnpinAll();
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch {0,1} so {0,2} becomes the LRU tail, then overflow.
+  EXPECT_NE(cache.LookupPinned(Itemset{0, 1}), nullptr);
+  cache.UnpinAll();
+  cache.InsertPinned(Itemset{0, 3}, MakeBits(2, 3), 3);
+  cache.UnpinAll();
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.words_in_use(), cache.budget_words());
+  EXPECT_NE(cache.LookupPinned(Itemset{0, 1}), nullptr);
+  EXPECT_NE(cache.LookupPinned(Itemset{0, 3}), nullptr);
+  EXPECT_EQ(cache.LookupPinned(Itemset{0, 2}), nullptr);  // evicted
+}
+
+TEST(IntersectionCache, PinnedEntriesSurviveOverflowUntilUnpin) {
+  IntersectionCache cache(/*budget_words=*/2);
+  // Three pinned entries: 6 words against a 2-word budget, all must stay
+  // reachable while pinned (a group's working set may overshoot).
+  const auto* a = cache.InsertPinned(Itemset{0, 1}, MakeBits(2, 1), 1);
+  const auto* b = cache.InsertPinned(Itemset{0, 2}, MakeBits(2, 2), 2);
+  const auto* c = cache.InsertPinned(Itemset{0, 3}, MakeBits(2, 3), 3);
+  EXPECT_EQ(cache.words_in_use(), 6u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(a->count + b->count + c->count, 6u);  // all still alive
+  cache.UnpinAll();
+  // The budget invariant is restored afterwards.
+  EXPECT_LE(cache.words_in_use(), 2u);
+  EXPECT_GE(cache.stats().evictions, 2u);
+}
+
+TEST(IntersectionCache, ZeroBudgetDegradesToRecomputation) {
+  IntersectionCache cache(/*budget_words=*/0);
+  const auto* e = cache.InsertPinned(Itemset{4, 7}, MakeBits(1, 9), 9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 9u);  // usable while pinned
+  cache.UnpinAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.words_in_use(), 0u);
+  EXPECT_EQ(cache.LookupPinned(Itemset{4, 7}), nullptr);
+}
+
+TEST(IntersectionCache, ClearDropsEntriesKeepsCounters) {
+  IntersectionCache cache(/*budget_words=*/100);
+  cache.LookupPinned(Itemset{1, 2});
+  cache.InsertPinned(Itemset{1, 2}, MakeBits(1, 1), 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.words_in_use(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.LookupPinned(Itemset{1, 2}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(IntersectionCache, InsertGoesThroughAllocFaultPoint) {
+  IntersectionCache cache(/*budget_words=*/100);
+  ASSERT_TRUE(FaultInjector::Global().Configure("alloc:prob=1").ok());
+  EXPECT_THROW(cache.InsertPinned(Itemset{1, 2}, MakeBits(1, 1), 1),
+               FaultInjectedError);
+  FaultInjector::Global().Disable();
+  // The failed insert must not have leaked a half-registered entry.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.words_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace ccs

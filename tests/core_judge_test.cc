@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/ct_builder.h"
 #include "stats/chi_squared.h"
 #include "stats/fisher.h"
+#include "txn/database.h"
+#include "util/rng.h"
 
 namespace ccs {
 namespace {
@@ -110,6 +115,110 @@ TEST(CorrelationJudge, FisherFallbackLeavesHealthyTablesAlone) {
   const stats::ContingencyTable healthy(2, {11, 20, 39, 30});  // Figure B
   ASSERT_TRUE(healthy.SatisfiesCochranRule());
   EXPECT_EQ(with.IsCorrelated(healthy), without.IsCorrelated(healthy));
+}
+
+// A random database with planted co-occurrence blocks, so the grown
+// chains below cross both correlated and independent territory.
+TransactionDatabase PropertyDb(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t num_items = 14;
+  TransactionDatabase db(num_items);
+  for (std::size_t t = 0; t < 500; ++t) {
+    Transaction txn;
+    if (rng.NextBernoulli(0.4)) {
+      txn.push_back(0);
+      txn.push_back(1);
+      if (rng.NextBernoulli(0.7)) txn.push_back(2);
+    }
+    if (rng.NextBernoulli(0.35)) {
+      txn.push_back(3);
+      txn.push_back(4);
+    }
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(0.3)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+// Grows a random chain S2 c S3 c ... c Smax of itemsets over the
+// database's universe, one random new item per step.
+std::vector<Itemset> RandomChain(Rng& rng, std::size_t num_items,
+                                 std::size_t max_size) {
+  std::vector<Itemset> chain;
+  Itemset s;
+  while (s.size() < max_size) {
+    const auto item = static_cast<ItemId>(rng.NextBounded(num_items));
+    if (s.Contains(item)) continue;
+    s = s.WithItem(item);
+    if (s.size() >= 2) chain.push_back(s);
+  }
+  return chain;
+}
+
+// The two lattice properties the BMS pruning rules lean on, checked on
+// randomly grown chains against real tables:
+//  - CT-support is anti-monotone: every CT-supported set has all its
+//    subsets CT-supported, so a supported superset implies a supported
+//    subset along the chain.
+//  - chi-squared is non-decreasing when an item is added (each step's
+//    table collapses onto its predecessor's), so with the paper's
+//    size-independent cutoff, correlation is upward closed.
+TEST(CorrelationProperties, CtSupportAntiMonotoneOnGrownChains) {
+  const TransactionDatabase db = PropertyDb(314159);
+  ContingencyTableBuilder builder(db);
+  MiningOptions options;
+  options.min_support = 5;
+  options.min_cell_fraction = 0.25;
+  const CorrelationJudge judge(options);
+  Rng rng(2718);
+  int supported_pairs = 0;
+  for (int round = 0; round < 60; ++round) {
+    const std::vector<Itemset> chain =
+        RandomChain(rng, db.num_items(), /*max_size=*/5);
+    bool prev_supported = true;
+    for (const Itemset& s : chain) {
+      const bool supported = judge.IsCtSupported(builder.Build(s));
+      // supported(child) implies supported(parent): once support is
+      // lost along the chain it must never come back.
+      EXPECT_TRUE(prev_supported || !supported) << s.ToString();
+      prev_supported = supported;
+      supported_pairs += (s.size() == 2 && supported) ? 1 : 0;
+    }
+  }
+  // The property must not pass vacuously: the planted blocks make many
+  // chains start out supported.
+  EXPECT_GT(supported_pairs, 10);
+}
+
+TEST(CorrelationProperties, Chi2NonDecreasingAndCorrelationUpwardClosed) {
+  const TransactionDatabase db = PropertyDb(271828);
+  ContingencyTableBuilder builder(db);
+  MiningOptions options;
+  options.significance = 0.9;  // default df policy: one cutoff for all sizes
+  CorrelationJudge judge(options);
+  Rng rng(1618);
+  int correlated_sets = 0;
+  for (int round = 0; round < 60; ++round) {
+    const std::vector<Itemset> chain =
+        RandomChain(rng, db.num_items(), /*max_size=*/5);
+    double prev_chi2 = -1.0;
+    bool prev_correlated = false;
+    for (const Itemset& s : chain) {
+      const stats::ContingencyTable table = builder.Build(s);
+      const double chi2 = table.ChiSquaredStatistic();
+      EXPECT_GE(chi2, prev_chi2 - 1e-9) << s.ToString();
+      const bool correlated = judge.IsCorrelated(table);
+      // correlated(parent) implies correlated(child).
+      EXPECT_TRUE(correlated || !prev_correlated) << s.ToString();
+      prev_chi2 = chi2;
+      prev_correlated = correlated;
+      correlated_sets += correlated ? 1 : 0;
+    }
+  }
+  EXPECT_GT(correlated_sets, 10);
 }
 
 TEST(CorrelationJudge, RejectsBadOptions) {

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "assoc/apriori.h"
 #include "assoc/eclat.h"
 #include "assoc/fpgrowth.h"
 #include "constraints/agg_constraint.h"
 #include "constraints/set_constraint.h"
+#include "core/ct_builder.h"
+#include "core/engine.h"
 #include "core/miner.h"
 #include "datagen/ibm_generator.h"
 #include "datagen/zipf_generator.h"
@@ -123,6 +127,146 @@ TEST_P(DifferentialTest, EnginesAgreeAcrossRandomQueries) {
     }
     if (constraints.AllAntiMonotone()) {
       EXPECT_EQ(plus.answers, star.answers) << constraints.ToString();
+    }
+  }
+}
+
+// A level-wise-looking candidate batch: clusters of siblings sharing a
+// prefix (the shape GroupByPrefix hands to BuildBatch), plus singletons
+// and strays, sorted and deduplicated.
+std::vector<Itemset> RandomCandidateBatch(Rng& rng, std::size_t num_items) {
+  std::vector<Itemset> out;
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    const std::size_t k = 2 + rng.NextBounded(4);  // sizes 2..5
+    Itemset prefix;
+    while (prefix.size() + 1 < k) {
+      const auto item = static_cast<ItemId>(rng.NextBounded(num_items - 1));
+      if (!prefix.Contains(item)) prefix = prefix.WithItem(item);
+    }
+    const ItemId lo = prefix.span().empty()
+                          ? 0
+                          : static_cast<ItemId>(prefix.span().back() + 1);
+    bool extended = false;
+    for (ItemId item = lo; item < num_items; ++item) {
+      if (!rng.NextBernoulli(0.3)) continue;
+      out.push_back(prefix.WithItem(item));
+      extended = true;
+    }
+    if (!extended) {
+      out.push_back(prefix.WithItem(static_cast<ItemId>(num_items - 1)));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(Itemset{static_cast<ItemId>(rng.NextBounded(num_items))});
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// The three contingency-table paths must agree cell for cell on every
+// candidate: the scalar reference scan, the recursive bitset path, and
+// the prefix-sharing batch path — the latter both with a default cache
+// and with a starvation-sized one that forces evictions mid-batch.
+TEST_P(DifferentialTest, CtBuilderPathsAgreeCellForCell) {
+  const TransactionDatabase db = MakeDb(GetParam());
+  ContingencyTableBuilder reference(db);
+  ContingencyTableBuilder batch_default(db);
+  CtCacheOptions tiny;
+  tiny.budget_words = 64;  // a couple of 1500-bit tidsets at most
+  ContingencyTableBuilder batch_tiny(db, tiny);
+  CtCacheOptions off;
+  off.enabled = false;
+  ContingencyTableBuilder batch_off(db, off);
+  Rng rng(GetParam().seed ^ 0xd1ffu);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<Itemset> batch =
+        RandomCandidateBatch(rng, db.num_items());
+    for (ContingencyTableBuilder* builder :
+         {&batch_default, &batch_tiny, &batch_off}) {
+      std::vector<stats::ContingencyTable> tables;
+      builder->BuildBatch(
+          batch, /*want=*/{},
+          [&](std::size_t i, const stats::ContingencyTable& table) {
+            ASSERT_EQ(i, tables.size());  // emitted in candidate order
+            tables.push_back(table);
+          });
+      ASSERT_EQ(tables.size(), batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto scalar = reference.BuildScalar(batch[i]);
+        const auto fast = reference.Build(batch[i]);
+        ASSERT_EQ(tables[i].num_cells(), scalar.num_cells());
+        for (std::uint32_t mask = 0; mask < scalar.num_cells(); ++mask) {
+          ASSERT_EQ(fast.cell(mask), scalar.cell(mask))
+              << batch[i].ToString() << " mask=" << mask;
+          ASSERT_EQ(tables[i].cell(mask), scalar.cell(mask))
+              << batch[i].ToString() << " mask=" << mask;
+        }
+      }
+    }
+  }
+  // The starved cache must actually have evicted (otherwise the tiny
+  // configuration exercises nothing beyond the default one).
+  EXPECT_GT(batch_tiny.cache_stats().evictions, 0u);
+  EXPECT_LE(batch_tiny.cache_words_in_use(), tiny.budget_words);
+  EXPECT_EQ(batch_off.cache_stats().hits + batch_off.cache_stats().misses,
+            0u);
+}
+
+// Engine-level differential matrix: for every variant, answers and the
+// deterministic counters are bit-identical across thread counts and with
+// the intersection cache on or off.
+TEST_P(DifferentialTest, VariantsAgreeAcrossThreadsAndCtPath) {
+  const TransactionDatabase db = MakeDb(GetParam());
+  const ItemCatalog catalog = MakeCatalog();
+  Rng rng(GetParam().seed * 31 + 9);
+  const ConstraintSet constraints = RandomConstraints(rng);
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 40 + rng.NextBounded(60);
+  options.max_set_size = 4;
+  for (Algorithm algorithm :
+       {Algorithm::kBms, Algorithm::kBmsPlus, Algorithm::kBmsPlusPlus,
+        Algorithm::kBmsStar, Algorithm::kBmsStarStar,
+        Algorithm::kBmsStarStarOpt}) {
+    MiningRequest request;
+    request.algorithm = algorithm;
+    request.options = options;
+    request.constraints = &constraints;
+    std::vector<Itemset> baseline_answers;
+    std::vector<LevelStats> baseline_levels;
+    bool have_baseline = false;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      for (bool cache : {true, false}) {
+        EngineOptions eopts;
+        eopts.num_threads = threads;
+        eopts.ct_cache = cache;
+        MiningEngine engine(db, catalog, eopts);
+        const MiningResult result = engine.Run(request);
+        ASSERT_EQ(result.termination, Termination::kCompleted);
+        if (!have_baseline) {
+          baseline_answers = result.answers;
+          baseline_levels = result.stats.levels;
+          have_baseline = true;
+          continue;
+        }
+        EXPECT_EQ(result.answers, baseline_answers)
+            << AlgorithmName(algorithm) << " threads=" << threads
+            << " cache=" << cache;
+        ASSERT_EQ(result.stats.levels.size(), baseline_levels.size());
+        for (std::size_t l = 0; l < baseline_levels.size(); ++l) {
+          const LevelStats& got = result.stats.levels[l];
+          const LevelStats& want = baseline_levels[l];
+          EXPECT_EQ(got.candidates, want.candidates);
+          EXPECT_EQ(got.pruned_before_ct, want.pruned_before_ct);
+          EXPECT_EQ(got.tables_built, want.tables_built);
+          EXPECT_EQ(got.ct_supported, want.ct_supported);
+          EXPECT_EQ(got.chi2_tests, want.chi2_tests);
+          EXPECT_EQ(got.correlated, want.correlated);
+          EXPECT_EQ(got.sig_added, want.sig_added);
+          EXPECT_EQ(got.notsig_added, want.notsig_added);
+        }
+      }
     }
   }
 }

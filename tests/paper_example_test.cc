@@ -4,10 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "constraints/agg_constraint.h"
 #include "core/bms.h"
+#include "core/engine.h"
 #include "core/miner.h"
 #include "core/oracle.h"
+#include "txn/io.h"
 #include "util/rng.h"
 
 namespace ccs {
@@ -144,6 +151,125 @@ TEST(PaperExample, CheapShopperQueryFromTheIntroduction) {
   // built: only items priced <= 3 participate.
   ASSERT_GE(result.stats.levels.size(), 3u);
   EXPECT_LE(result.stats.levels[2].candidates, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Golden corpus (tests/data/): frozen fixtures and the expected answer
+// sets of pinned queries. These freeze behavior end to end — loader,
+// engine, statistics — so an unintended change anywhere shows up as a
+// diff against a committed file. tests/data/README.md documents the
+// regeneration policy.
+
+std::string DataPath(const std::string& name) {
+  return std::string(CCS_TEST_DATA_DIR "/") + name;
+}
+
+TransactionDatabase LoadFixture(const std::string& name,
+                                std::size_t num_items) {
+  auto loaded = LoadBasketsFromFile(DataPath(name), num_items);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  CCS_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+std::vector<Itemset> LoadAnswers(const std::string& name) {
+  std::ifstream in(DataPath(name));
+  EXPECT_TRUE(in.good()) << DataPath(name);
+  std::vector<Itemset> answers;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Itemset s;
+    ItemId item;
+    while (fields >> item) s = s.WithItem(item);
+    answers.push_back(s);
+  }
+  return answers;
+}
+
+ItemCatalog FixtureCatalog(std::size_t n) {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < n; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 4]);
+  }
+  return catalog;
+}
+
+TEST(GoldenCorpus, PaperExampleFixtureMatchesInMemoryConstruction) {
+  // The committed basket file is exactly the Rng(99) construction above;
+  // a drift in either the generator or the loader breaks this.
+  const TransactionDatabase from_file =
+      LoadFixture("paper_example.baskets", 5);
+  const TransactionDatabase in_memory = PaperDb();
+  ASSERT_EQ(from_file.num_transactions(), in_memory.num_transactions());
+  for (ItemId i = 0; i < 5; ++i) {
+    EXPECT_EQ(from_file.ItemSupport(i), in_memory.ItemSupport(i)) << i;
+  }
+}
+
+TEST(GoldenCorpus, PaperExampleAnswersAreFrozen) {
+  const TransactionDatabase db = LoadFixture("paper_example.baskets", 5);
+  const ItemCatalog catalog = PaperCatalog();
+  ConstraintSet none;
+  EXPECT_EQ(Mine(Algorithm::kBms, db, catalog, none, PaperOptions()).answers,
+            LoadAnswers("paper_example_bms.answers"));
+  ConstraintSet maxge5;
+  maxge5.Add(MaxGe(5.0));
+  EXPECT_EQ(
+      Mine(Algorithm::kBmsStarStar, db, catalog, maxge5, PaperOptions())
+          .answers,
+      LoadAnswers("paper_example_minvalid.answers"));
+}
+
+TEST(GoldenCorpus, IbmFixtureAnswersAreFrozen) {
+  const TransactionDatabase db = LoadFixture("ibm_seed4201.baskets", 24);
+  const ItemCatalog catalog = FixtureCatalog(24);
+  ConstraintSet constraints;
+  constraints.Add(SumLe(40.0));
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 40;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  const std::vector<Itemset> golden = LoadAnswers("ibm_seed4201.answers");
+  ASSERT_FALSE(golden.empty());
+  // Both CT paths must reproduce the committed answers exactly.
+  for (bool cache : {true, false}) {
+    EngineOptions eopts;
+    eopts.ct_cache = cache;
+    MiningEngine engine(db, catalog, eopts);
+    MiningRequest request;
+    request.algorithm = Algorithm::kBmsPlusPlus;
+    request.options = options;
+    request.constraints = &constraints;
+    EXPECT_EQ(engine.Run(request).answers, golden) << "cache=" << cache;
+  }
+}
+
+TEST(GoldenCorpus, ZipfFixtureAnswersAreFrozen) {
+  const TransactionDatabase db = LoadFixture("zipf_seed4202.baskets", 24);
+  const ItemCatalog catalog = FixtureCatalog(24);
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(20.0));
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 30;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  const std::vector<Itemset> golden = LoadAnswers("zipf_seed4202.answers");
+  ASSERT_FALSE(golden.empty());
+  for (bool cache : {true, false}) {
+    EngineOptions eopts;
+    eopts.ct_cache = cache;
+    MiningEngine engine(db, catalog, eopts);
+    MiningRequest request;
+    request.algorithm = Algorithm::kBmsStarStarOpt;
+    request.options = options;
+    request.constraints = &constraints;
+    EXPECT_EQ(engine.Run(request).answers, golden) << "cache=" << cache;
+  }
 }
 
 }  // namespace

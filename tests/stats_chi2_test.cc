@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "stats/contingency.h"
+#include "util/rng.h"
+
 namespace ccs::stats {
 namespace {
 
@@ -82,6 +88,66 @@ TEST(ChiSquaredCriticalValues, CachedMatchesDirect) {
 TEST(ChiSquaredCriticalValues, ZeroAlphaAlwaysCorrelated) {
   ChiSquaredCriticalValues cache(0.0);
   EXPECT_DOUBLE_EQ(cache.Get(1), 0.0);
+}
+
+// Returns `mask` with a bit of the given value spliced in at `pos`,
+// shifting the bits at and above `pos` up by one.
+std::uint32_t InsertBit(std::uint32_t mask, int pos, std::uint32_t bit) {
+  const std::uint32_t low = mask & ((1u << pos) - 1u);
+  const std::uint32_t high = (mask >> pos) << (pos + 1);
+  return high | (bit << pos) | low;
+}
+
+// Brin et al.'s upward-closure lemma, tested in its metamorphic form:
+// summing a variable out of a contingency table (which is exactly the
+// table of the itemset minus that item) never increases the chi-squared
+// statistic. This is what makes correlation upward closed — a superset's
+// table refines the subset's, so its statistic can only grow.
+TEST(ChiSquaredMetamorphic, CollapsingAVariableNeverIncreasesStatistic) {
+  Rng rng(20260805);
+  for (int round = 0; round < 300; ++round) {
+    const int k = 2 + static_cast<int>(rng.NextBounded(5));  // 2..6 vars
+    std::vector<std::uint64_t> cells(std::size_t{1} << k);
+    // Cells >= 1 keep every marginal non-degenerate, so no statistic in
+    // this test is infinite and the comparison below is meaningful.
+    for (auto& c : cells) c = 1 + rng.NextBounded(100);
+    const ContingencyTable full(k, cells);
+    const double full_chi2 = full.ChiSquaredStatistic();
+    for (int v = 0; v < k; ++v) {
+      std::vector<std::uint64_t> collapsed(std::size_t{1} << (k - 1));
+      for (std::uint32_t m = 0; m < collapsed.size(); ++m) {
+        collapsed[m] = cells[InsertBit(m, v, 0)] + cells[InsertBit(m, v, 1)];
+      }
+      const ContingencyTable sub(k - 1, std::move(collapsed));
+      EXPECT_LE(sub.ChiSquaredStatistic(), full_chi2 + 1e-9)
+          << "round=" << round << " k=" << k << " collapsed var=" << v;
+    }
+  }
+}
+
+// Collapsing must preserve the total and the surviving marginals exactly;
+// the chi-squared inequality above is only meaningful on top of that.
+TEST(ChiSquaredMetamorphic, CollapsePreservesTotalsAndMarginals) {
+  Rng rng(77123);
+  for (int round = 0; round < 50; ++round) {
+    const int k = 2 + static_cast<int>(rng.NextBounded(4));  // 2..5 vars
+    std::vector<std::uint64_t> cells(std::size_t{1} << k);
+    for (auto& c : cells) c = rng.NextBounded(40);  // zeros allowed here
+    const ContingencyTable full(k, cells);
+    for (int v = 0; v < k; ++v) {
+      std::vector<std::uint64_t> collapsed(std::size_t{1} << (k - 1));
+      for (std::uint32_t m = 0; m < collapsed.size(); ++m) {
+        collapsed[m] = cells[InsertBit(m, v, 0)] + cells[InsertBit(m, v, 1)];
+      }
+      const ContingencyTable sub(k - 1, std::move(collapsed));
+      ASSERT_EQ(sub.total(), full.total());
+      for (int var = 0; var < k - 1; ++var) {
+        const int orig = var < v ? var : var + 1;
+        EXPECT_EQ(sub.MarginalCount(var), full.MarginalCount(orig))
+            << "k=" << k << " v=" << v << " var=" << var;
+      }
+    }
+  }
 }
 
 }  // namespace

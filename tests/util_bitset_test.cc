@@ -161,6 +161,71 @@ TEST(DynamicBitset, AndWithIntersects) {
   EXPECT_TRUE(a.Test(2));
 }
 
+// The fused popcount paths must not count junk in the last word when the
+// bit count is not a multiple of 64. CountAndNot is the dangerous one:
+// a & ~b has ones in b's conceptual tail, and only a's invariant (trailing
+// bits zero) keeps them out of the count. Exhaustive over sizes spanning
+// one to three words, including the exact word boundaries.
+TEST(DynamicBitset, FusedCountsMaskTailWordExhaustively) {
+  Rng rng(4242);
+  for (std::size_t n = 1; n <= 130; ++n) {
+    DynamicBitset a(n);
+    DynamicBitset b(n);
+    std::vector<bool> ref_a(n), ref_b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.5)) {
+        a.Set(i);
+        ref_a[i] = true;
+      }
+      if (rng.NextBernoulli(0.5)) {
+        b.Set(i);
+        ref_b[i] = true;
+      }
+    }
+    std::size_t want_and = 0;
+    std::size_t want_andnot = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ref_a[i] && ref_b[i]) ++want_and;
+      if (ref_a[i] && !ref_b[i]) ++want_andnot;
+    }
+    EXPECT_EQ(DynamicBitset::CountAnd(a, b), want_and) << "n=" << n;
+    EXPECT_EQ(DynamicBitset::CountAndNot(a, b), want_andnot) << "n=" << n;
+    DynamicBitset fused;
+    EXPECT_EQ(fused.AssignAndCount(a, b), want_and) << "n=" << n;
+    EXPECT_EQ(fused.Count(), want_and) << "n=" << n;
+  }
+}
+
+// The adversarial tail case: a all-ones, b empty. Every one of ~b's tail
+// bits would leak into CountAndNot if a's tail were not zeroed.
+TEST(DynamicBitset, CountAndNotOfFullAgainstEmptyIsExactlyN) {
+  for (std::size_t n = 1; n <= 130; ++n) {
+    DynamicBitset a(n);
+    a.SetAll();
+    const DynamicBitset b(n);
+    EXPECT_EQ(DynamicBitset::CountAndNot(a, b), n) << "n=" << n;
+    EXPECT_EQ(DynamicBitset::CountAnd(a, b), 0u) << "n=" << n;
+  }
+}
+
+TEST(DynamicBitset, AssignAndCountMatchesAssignAndPlusCount) {
+  Rng rng(777);
+  for (std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    DynamicBitset a(n);
+    DynamicBitset b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.3)) a.Set(i);
+      if (rng.NextBernoulli(0.7)) b.Set(i);
+    }
+    DynamicBitset fused;
+    const std::uint64_t count = fused.AssignAndCount(a, b);
+    DynamicBitset plain;
+    plain.AssignAnd(a, b);
+    EXPECT_EQ(fused, plain) << "n=" << n;
+    EXPECT_EQ(count, plain.Count()) << "n=" << n;
+  }
+}
+
 TEST(DynamicBitset, EqualityComparesContentAndSize) {
   DynamicBitset a(10);
   DynamicBitset b(10);
