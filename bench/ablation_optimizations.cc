@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "common.h"
 #include "constraints/agg_constraint.h"
 #include "core/ct_builder.h"
 #include "core/engine.h"
@@ -63,6 +64,9 @@ void AblationFusedPhases() {
       request.options = options;
       request.constraints = &constraints;
       const MiningResult result = engine.Run(request);
+      char x[16];
+      std::snprintf(x, sizeof(x), "%.1f", selectivity);
+      bench::RecordEngineRun("ablation_fused", x, a, engine, result);
       table.BeginRow();
       table.AddCell(selectivity, 2);
       table.AddCell(std::string(AlgorithmName(a)));
@@ -103,6 +107,8 @@ void AblationSuccinctness() {
     request.options = options;
     request.constraints = &constraints;
     const MiningResult result = engine.Run(request);
+    bench::RecordEngineRun("ablation_succinct", description,
+                           Algorithm::kBmsPlusPlus, engine, result);
     std::uint64_t pruned = 0;
     for (const auto& level : result.stats.levels) {
       pruned += level.pruned_before_ct;
@@ -133,6 +139,15 @@ void AblationCountingPaths() {
     Stopwatch slow;
     for (int r = 0; r < reps; ++r) builder.BuildScalar(s);
     const double slow_us = slow.ElapsedSeconds() * 1e6 / reps;
+    bench::BenchRun run;
+    run.workload = "ablation_counting";
+    run.x = std::to_string(k);
+    run.variant = "bitset_vs_scalar";
+    run.wall_ms = (fast_us + slow_us) / 1e3;
+    run.extra = {{"bitset_us", fast_us},
+                 {"scalar_us", slow_us},
+                 {"speedup", slow_us / fast_us}};
+    bench::RecordBenchRun(std::move(run));
     table.BeginRow();
     table.AddCell(static_cast<std::uint64_t>(k));
     table.AddCell(fast_us, 1);
@@ -149,5 +164,6 @@ int main() {
   ccs::AblationFusedPhases();
   ccs::AblationSuccinctness();
   ccs::AblationCountingPaths();
+  ccs::bench::WriteBenchJson("ablation_optimizations");
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common.h"
 #include "constraints/agg_constraint.h"
 #include "core/engine.h"
 #include "core/oracle.h"
@@ -106,9 +107,13 @@ void Run(double selectivity) {
   MiningRequest request;
   request.options = options;
   request.constraints = &constraints;
+  char x[16];
+  std::snprintf(x, sizeof(x), "%.1f", selectivity);
   for (Algorithm a : kAllAlgorithms) {
     request.algorithm = a;
-    PrintLevelCounters(AlgorithmName(a), engine.Run(request));
+    const MiningResult result = engine.Run(request);
+    bench::RecordEngineRun("ibm18", x, a, engine, result);
+    PrintLevelCounters(AlgorithmName(a), result);
   }
 }
 
@@ -121,5 +126,6 @@ int main() {
   ccs::Run(0.2);
   ccs::Run(0.5);
   ccs::Run(0.8);
+  ccs::bench::WriteBenchJson("analysis_counts");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "assoc/constrained_apriori.h"
+#include "common.h"
 #include "constraints/agg_constraint.h"
 #include "core/engine.h"
 #include "datagen/catalog_generator.h"
@@ -47,6 +48,17 @@ void Run() {
         MaxLe(PriceThresholdForSelectivity(catalog, selectivity)));
     const AprioriResult frequent =
         MineConstrainedApriori(db, catalog, constraints, freq_options);
+    char x[16];
+    std::snprintf(x, sizeof(x), "%.1f", selectivity);
+    bench::BenchRun freq_run;
+    freq_run.workload = "ibm10k";
+    freq_run.x = x;
+    freq_run.variant = "CAP frequent sets";
+    freq_run.answers = frequent.frequent.size();
+    freq_run.wall_ms = frequent.stats.elapsed_seconds * 1e3;
+    freq_run.extra = {{"work_units",
+                       static_cast<double>(frequent.stats.TotalTablesBuilt())}};
+    bench::RecordBenchRun(std::move(freq_run));
     table.BeginRow();
     table.AddCell(selectivity, 2);
     table.AddCell(std::string("CAP frequent sets"));
@@ -58,6 +70,8 @@ void Run() {
     request.options = corr_options;
     request.constraints = &constraints;
     const MiningResult correlated = engine.Run(request);
+    bench::RecordEngineRun("ibm10k", x, Algorithm::kBmsPlusPlus, engine,
+                           correlated);
     table.BeginRow();
     table.AddCell(selectivity, 2);
     table.AddCell(std::string("BMS++ correlated"));
@@ -77,5 +91,6 @@ void Run() {
 
 int main() {
   ccs::Run();
+  ccs::bench::WriteBenchJson("cap_comparison");
   return 0;
 }

@@ -122,6 +122,7 @@ void RunAndRecord(const char* dataset, const std::string& x,
   request.constraints = &constraints;
   request.control = BenchRunControl();
   const MiningResult result = engine.Run(request);
+  RecordEngineRun(dataset, x, algorithm, engine, result);
   if (result.partial()) {
     std::fprintf(stderr,
                  "warning: %s x=%s %s run %s after %llu level passes — "
@@ -143,6 +144,130 @@ void RunAndRecord(const char* dataset, const std::string& x,
 CsvTable MakeFigureTable() {
   return CsvTable(
       {"dataset", "x", "algorithm", "answers", "tables_built", "cpu_ms"});
+}
+
+namespace {
+
+std::vector<BenchRun>& BenchRunCollector() {
+  static std::vector<BenchRun> runs;
+  return runs;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kFull:
+      return "full";
+    case Scale::kDefault:
+      break;
+  }
+  return "default";
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out += buffer;
+}
+
+}  // namespace
+
+void RecordBenchRun(BenchRun run) {
+  BenchRunCollector().push_back(std::move(run));
+}
+
+void RecordEngineRun(const std::string& workload, const std::string& x,
+                     Algorithm algorithm, const MiningEngine& engine,
+                     const MiningResult& result) {
+  BenchRun run;
+  run.workload = workload;
+  run.x = x;
+  run.variant = AlgorithmName(algorithm);
+  run.threads = engine.num_threads();
+  run.cache_on = engine.ct_cache().enabled;
+  run.termination = TerminationName(result.termination);
+  run.answers = result.answers.size();
+  run.wall_ms = result.stats.elapsed_seconds * 1e3;
+  if (result.metrics.enabled) {
+    run.metrics.reserve(result.metrics.scalars.size());
+    for (const MetricScalar& scalar : result.metrics.scalars) {
+      run.metrics.emplace_back(scalar.name, scalar.value);
+    }
+  }
+  RecordBenchRun(std::move(run));
+}
+
+bool WriteBenchJson(const std::string& name) {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"bench\": ";
+  AppendJsonString(out, name);
+  out += ",\n  \"scale\": ";
+  AppendJsonString(out, ScaleName(GetScale()));
+  out += ",\n  \"runs\": [";
+  bool first_run = true;
+  for (const BenchRun& run : BenchRunCollector()) {
+    out += first_run ? "\n" : ",\n";
+    first_run = false;
+    out += "    {\"workload\": ";
+    AppendJsonString(out, run.workload);
+    out += ", \"x\": ";
+    AppendJsonString(out, run.x);
+    out += ", \"variant\": ";
+    AppendJsonString(out, run.variant);
+    out += ", \"threads\": " + std::to_string(run.threads);
+    out += std::string(", \"cache\": ") + (run.cache_on ? "true" : "false");
+    out += ", \"termination\": ";
+    AppendJsonString(out, run.termination);
+    out += ", \"answers\": " + std::to_string(run.answers);
+    out += ", \"wall_ms\": ";
+    AppendDouble(out, run.wall_ms);
+    out += ", \"extra\": {";
+    for (std::size_t i = 0; i < run.extra.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(out, run.extra[i].first);
+      out += ": ";
+      AppendDouble(out, run.extra[i].second);
+    }
+    out += "}, \"metrics\": {";
+    for (std::size_t i = 0; i < run.metrics.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(out, run.metrics[i].first);
+      out += ": " + std::to_string(run.metrics[i].second);
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  BenchRunCollector().clear();
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+    if (f != nullptr) std::fclose(f);
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fclose(f);
+  return true;
 }
 
 void ReportFigure(const std::string& figure_id, const std::string& title,

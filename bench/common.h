@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "constraints/constraint_set.h"
@@ -77,11 +78,53 @@ EngineOptions BenchEngineOptions();
 RunControl BenchRunControl();
 
 // One measured run appended to `table` as
-// (dataset, x, algorithm, answers, tables_built, cpu_ms).
+// (dataset, x, algorithm, answers, tables_built, cpu_ms). Also feeds the
+// BENCH_<name>.json collector (RecordEngineRun below).
 void RunAndRecord(const char* dataset, const std::string& x,
                   Algorithm algorithm, MiningEngine& engine,
                   const ConstraintSet& constraints,
                   const MiningOptions& options, CsvTable& table);
+
+// ---- BENCH_<name>.json (schema in docs/ALGORITHMS.md) -------------------
+//
+// Every bench binary funnels its measured runs into one process-wide
+// collector and dumps it on exit as BENCH_<name>.json in the working
+// directory:
+//   {"schema_version": 1, "bench": <name>, "scale": smoke|default|full,
+//    "runs": [{workload, x, variant, threads, cache, termination, answers,
+//              wall_ms, extra{...}, metrics{...}}]}
+// `extra` holds bench-specific numbers (work units, word ops, ...);
+// `metrics` holds the scalar dump of the run's MetricsRegistry snapshot
+// when the run came from a MiningEngine with metrics enabled.
+
+// One run in the dump. `variant` names the algorithm or framework.
+struct BenchRun {
+  std::string workload;
+  std::string x;
+  std::string variant;
+  std::size_t threads = 1;
+  bool cache_on = true;
+  std::string termination = "completed";
+  std::uint64_t answers = 0;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+  std::vector<std::pair<std::string, std::uint64_t>> metrics;
+};
+
+// Appends one run to the process-wide collector.
+void RecordBenchRun(BenchRun run);
+
+// BenchRun from an engine run: threads and cache mode from the engine,
+// termination/answers/wall time from the result, `metrics` from the
+// result's registry snapshot (empty when metrics are disabled).
+void RecordEngineRun(const std::string& workload, const std::string& x,
+                     Algorithm algorithm, const MiningEngine& engine,
+                     const MiningResult& result);
+
+// Writes the collected runs as BENCH_<name>.json in the working directory
+// and clears the collector. Returns false (with a stderr warning) if the
+// file cannot be written.
+bool WriteBenchJson(const std::string& name);
 
 // Prints the table under a figure banner and, when CCS_BENCH_CSV_DIR is
 // set, writes <dir>/<figure_id>.csv.

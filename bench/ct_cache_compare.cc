@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -39,8 +38,8 @@ struct PathRun {
   std::uint64_t cache_evictions = 0;
 };
 
-PathRun RunPath(const TransactionDatabase& db, const ItemCatalog& catalog,
-                const ConstraintSet& constraints,
+PathRun RunPath(const char* dataset, const TransactionDatabase& db,
+                const ItemCatalog& catalog, const ConstraintSet& constraints,
                 const MiningOptions& base_options, bool cache) {
   PathRun run;
   for (std::size_t max_k = 2; max_k <= kMaxLevel; ++max_k) {
@@ -55,6 +54,8 @@ PathRun RunPath(const TransactionDatabase& db, const ItemCatalog& catalog,
     request.constraints = &constraints;
     Stopwatch timer;
     const MiningResult result = engine.Run(request);
+    RecordEngineRun(dataset, "max_k=" + std::to_string(max_k),
+                    Algorithm::kBmsPlusPlus, engine, result);
     run.wall_ms[max_k] = timer.ElapsedSeconds() * 1e3;
     run.word_ops[max_k] = result.stats.ct_word_ops;
     if (max_k == kMaxLevel) {
@@ -69,8 +70,7 @@ PathRun RunPath(const TransactionDatabase& db, const ItemCatalog& catalog,
 
 double Ratio(double off, double on) { return on > 0.0 ? off / on : 0.0; }
 
-bool CompareDataset(const char* name, int method, std::ostream& json,
-                    bool first) {
+bool CompareDataset(const char* name, int method) {
   const std::size_t baskets = BasketSweep().back();
   const TransactionDatabase db =
       method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
@@ -80,23 +80,27 @@ bool CompareDataset(const char* name, int method, std::ostream& json,
       MaxLe(PriceThresholdForSelectivity(catalog, 0.5)));
   const MiningOptions options = StandardOptions(db);
 
-  const PathRun on = RunPath(db, catalog, constraints, options, true);
-  const PathRun off = RunPath(db, catalog, constraints, options, false);
+  const PathRun on = RunPath(name, db, catalog, constraints, options, true);
+  const PathRun off = RunPath(name, db, catalog, constraints, options, false);
   const bool identical = on.answers == off.answers;
 
-  if (!first) json << ",\n";
-  json << "    {\"dataset\": \"" << name << "\", \"baskets\": " << baskets
-       << ", \"algorithm\": \"bms++\", \"answers\": " << on.answers.size()
-       << ", \"answers_identical\": " << (identical ? "true" : "false")
-       << ",\n     \"cache\": {\"hits\": " << on.cache_hits
-       << ", \"misses\": " << on.cache_misses
-       << ", \"evictions\": " << on.cache_evictions << "},\n"
-       << "     \"levels\": [";
   std::printf("%s (%zu baskets): answers %s (%zu sets)\n", name, baskets,
               identical ? "identical" : "MISMATCH", on.answers.size());
+  // One summary run per dataset plus one per-level diff run: run at cap k
+  // minus run at cap k-1 = exactly the level-k pass (the cap-2 run's total
+  // is level 2 plus the shared level-1 setup).
+  BenchRun summary;
+  summary.workload = name;
+  summary.x = std::to_string(baskets);
+  summary.variant = "summary";
+  summary.answers = on.answers.size();
+  summary.extra = {
+      {"answers_identical", identical ? 1.0 : 0.0},
+      {"cache_hits", static_cast<double>(on.cache_hits)},
+      {"cache_misses", static_cast<double>(on.cache_misses)},
+      {"cache_evictions", static_cast<double>(on.cache_evictions)}};
+  RecordBenchRun(std::move(summary));
   for (std::size_t level = 2; level <= kMaxLevel; ++level) {
-    // Run at cap k minus run at cap k-1 = exactly the level-k pass (the
-    // cap-2 run's total is level 2 plus the shared level-1 setup).
     const std::uint64_t on_ops = on.word_ops[level] - on.word_ops[level - 1];
     const std::uint64_t off_ops =
         off.word_ops[level] - off.word_ops[level - 1];
@@ -104,27 +108,29 @@ bool CompareDataset(const char* name, int method, std::ostream& json,
     const double off_ms = off.wall_ms[level];
     const double op_ratio =
         Ratio(static_cast<double>(off_ops), static_cast<double>(on_ops));
-    if (level > 2) json << ", ";
-    json << "{\"level\": " << level << ", \"word_ops_on\": " << on_ops
-         << ", \"word_ops_off\": " << off_ops << ", \"word_op_ratio\": "
-         << op_ratio << ", \"run_wall_ms_on\": " << on_ms
-         << ", \"run_wall_ms_off\": " << off_ms << "}";
+    BenchRun diff;
+    diff.workload = name;
+    diff.x = std::to_string(level);
+    diff.variant = "level_diff";
+    diff.extra = {{"word_ops_on", static_cast<double>(on_ops)},
+                  {"word_ops_off", static_cast<double>(off_ops)},
+                  {"word_op_ratio", op_ratio},
+                  {"run_wall_ms_on", on_ms},
+                  {"run_wall_ms_off", off_ms}};
+    RecordBenchRun(std::move(diff));
     std::printf(
         "  level %zu: word ops %llu (on) vs %llu (off), ratio %.2fx; "
         "cumulative wall %.1f ms vs %.1f ms\n",
         level, static_cast<unsigned long long>(on_ops),
         static_cast<unsigned long long>(off_ops), op_ratio, on_ms, off_ms);
   }
-  json << "]}";
   return identical;
 }
 
 int Main() {
-  std::ofstream json("BENCH_ct_cache.json");
-  json << "{\n  \"bench\": \"ct_cache_compare\",\n  \"datasets\": [\n";
-  bool ok = CompareDataset("data1", 1, json, true);
-  ok = CompareDataset("data2", 2, json, false) && ok;
-  json << "\n  ]\n}\n";
+  bool ok = CompareDataset("data1", 1);
+  ok = CompareDataset("data2", 2) && ok;
+  WriteBenchJson("ct_cache");
   std::printf("wrote BENCH_ct_cache.json\n");
   if (!ok) {
     std::fprintf(stderr, "FATAL: answers differ between CT paths\n");

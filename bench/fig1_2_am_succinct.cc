@@ -72,5 +72,6 @@ int main() {
   ccs::bench::Figure1("fig1b", "data2", 2);
   ccs::bench::Figure2("fig2a", "data1", 1);
   ccs::bench::Figure2("fig2b", "data2", 2);
+  ccs::bench::WriteBenchJson("fig1_2");
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
   ccs::bench::Figure3("fig3b", "data2", 2);
   ccs::bench::Figure4("fig4a", "data1", 1);
   ccs::bench::Figure4("fig4b", "data2", 2);
+  ccs::bench::WriteBenchJson("fig3_4");
   return 0;
 }

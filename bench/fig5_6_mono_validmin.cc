@@ -75,5 +75,6 @@ int main() {
   ccs::bench::Figure5("fig5b", "data2", 2);
   ccs::bench::Figure6("fig6a", "data1", 1);
   ccs::bench::Figure6("fig6b", "data2", 2);
+  ccs::bench::WriteBenchJson("fig5_6");
   return 0;
 }

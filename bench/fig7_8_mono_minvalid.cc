@@ -74,5 +74,6 @@ int main() {
   ccs::bench::Figure7("fig7b", "data2", 2);
   ccs::bench::Figure8("fig8a", "data1", 1);
   ccs::bench::Figure8("fig8b", "data2", 2);
+  ccs::bench::WriteBenchJson("fig7_8");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "assoc/apriori.h"
 #include "assoc/eclat.h"
 #include "assoc/fpgrowth.h"
+#include "common.h"
 #include "datagen/ibm_generator.h"
 #include "datagen/rule_generator.h"
 #include "util/csv.h"
@@ -38,6 +39,15 @@ void Run(const char* dataset, const TransactionDatabase& db) {
     options.max_set_size = 5;
     for (const Engine& engine : kEngines) {
       const AprioriResult result = engine.mine(db, options);
+      char x[16];
+      std::snprintf(x, sizeof(x), "%.2f", fraction);
+      bench::BenchRun run;
+      run.workload = dataset;
+      run.x = x;
+      run.variant = engine.name;
+      run.answers = result.frequent.size();
+      run.wall_ms = result.stats.elapsed_seconds * 1e3;
+      bench::RecordBenchRun(std::move(run));
       table.BeginRow();
       table.AddCell(std::string(dataset));
       table.AddCell(fraction, 2);
@@ -67,5 +77,6 @@ int main() {
   rules.avg_transaction_size = 10.0;
   rules.seed = 43;
   ccs::Run("rules", ccs::RuleGenerator(rules).Generate());
+  ccs::bench::WriteBenchJson("frequent_engines");
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "core/candidate_gen.h"
 #include "core/ct_builder.h"
 #include "datagen/ibm_generator.h"
@@ -137,7 +138,39 @@ void BM_ItemsetHash(benchmark::State& state) {
 }
 BENCHMARK(BM_ItemsetHash);
 
+// Console output as usual, plus one BenchRun per measured benchmark into
+// the shared BENCH_<name>.json collector.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      bench::BenchRun out;
+      out.workload = "micro";
+      out.x = "";
+      out.variant = run.benchmark_name();
+      out.wall_ms = seconds * 1e3;
+      out.extra = {{"ns_per_iter", seconds * 1e9},
+                   {"iterations", static_cast<double>(run.iterations)}};
+      bench::RecordBenchRun(std::move(out));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 }  // namespace ccs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ccs::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  ccs::bench::WriteBenchJson("micro_primitives");
+  return 0;
+}

@@ -9,6 +9,7 @@
 //               [--alpha 0.9] [--support-frac 0.05] [--cell-frac 0.25]
 //               [--max-size 4] [--threads N] [--timeout-ms N]
 //               [--max-tables N] [--stats] [--profile] [--report]
+//               [--metrics-out FILE] [--trace-out FILE]
 //               [--save-baskets FILE]
 //   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
 //
@@ -51,6 +52,8 @@ struct CliOptions {
   std::string baskets_file;
   std::string catalog_file;
   std::string save_baskets;
+  std::string metrics_out;  // write result.metrics as JSON
+  std::string trace_out;    // write result.trace as JSON (enables tracing)
   std::string query;
   std::string algorithm;  // empty: follow the query's semantics
   std::size_t baskets = 10000;
@@ -81,6 +84,7 @@ int Usage(const char* argv0) {
                "          [--alpha F] [--support-frac F] [--cell-frac F]\n"
                "          [--max-size N] [--threads N] [--timeout-ms N]\n"
                "          [--max-tables N] [--stats] [--profile] [--report]\n"
+               "          [--metrics-out F] [--trace-out F]\n"
                "          [--baskets-file F --catalog-file F]\n"
                "          [--save-baskets F]\n"
                "exit codes: 0 completed, 2 usage, 3 bad input data,\n"
@@ -146,11 +150,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->catalog_file = value;
     } else if (flag == "--save-baskets") {
       out->save_baskets = value;
+    } else if (flag == "--metrics-out") {
+      out->metrics_out = value;
+    } else if (flag == "--trace-out") {
+      out->trace_out = value;
     } else {
       return false;
     }
   }
   return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -264,6 +279,7 @@ int main(int argc, char** argv) {
               ccs::AlgorithmName(algorithm));
   ccs::EngineOptions engine_options;
   engine_options.num_threads = cli.threads;
+  if (!cli.trace_out.empty()) engine_options.trace = true;
   ccs::MiningEngine engine(*db, *catalog, engine_options);
   ccs::MiningRequest request;
   request.algorithm = algorithm;
@@ -272,6 +288,18 @@ int main(int argc, char** argv) {
   request.control.timeout = std::chrono::milliseconds(cli.timeout_ms);
   request.control.max_tables_built = cli.max_tables;
   const ccs::MiningResult result = engine.Run(request);
+  // Telemetry dumps happen before the termination triage so error and
+  // partial runs still leave their registry snapshot behind.
+  if (!cli.metrics_out.empty() &&
+      !WriteTextFile(cli.metrics_out, result.metrics.ToJson() + "\n")) {
+    std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
+    return 3;
+  }
+  if (!cli.trace_out.empty() &&
+      !WriteTextFile(cli.trace_out, result.trace.ToJson() + "\n")) {
+    std::fprintf(stderr, "cannot write %s\n", cli.trace_out.c_str());
+    return 3;
+  }
   if (result.termination == ccs::Termination::kError) {
     std::fprintf(stderr, "run failed: %s\n",
                  result.error.ToString().c_str());

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-command verification sweep, in increasing order of cost:
+#
+#   1. tier-1: the full gtest suite in the regular build flavor.
+#   2. address + undefined sanitizer flavors of the suites aimed at the
+#      executor, I/O, and metrics surfaces (the "sanitize" ctest label).
+#   3. bench_smoke: the quick benchmark sweep, which also exercises every
+#      BENCH_<name>.json writer.
+#
+# Usage: scripts/check.sh [build-dir]     (default: build)
+# Sanitizer flavors build into <build-dir>-address / <build-dir>-undefined.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+# -GNinja only on first configure: an existing cache keeps its generator.
+configure() {
+  local dir="$1"
+  shift
+  if [ ! -f "${dir}/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    cmake -B "${dir}" -GNinja "$@" >/dev/null
+  else
+    cmake -B "${dir}" "$@" >/dev/null
+  fi
+}
+
+echo "== tier-1 (${BUILD}) =="
+configure "${BUILD}"
+cmake --build "${BUILD}" -j >/dev/null
+ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+
+for flavor in address undefined; do
+  dir="${BUILD}-${flavor}"
+  echo "== sanitize: ${flavor} (${dir}) =="
+  configure "${dir}" -DCCS_SANITIZE="${flavor}"
+  cmake --build "${dir}" -j --target core_engine_test txn_binary_io_test \
+    differential_test metrics_identity_test >/dev/null
+  ctest --test-dir "${dir}" -L sanitize --output-on-failure
+done
+
+echo "== bench_smoke (${BUILD}) =="
+cmake --build "${BUILD}" -j --target bench_smoke
+
+echo "check.sh: all green"

@@ -24,7 +24,8 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     return RunBms(db, options, &local);
   }
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
+                      ctx->metrics());
   BmsRunOutput out;
 
   for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -33,7 +34,11 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     }
   }
 
-  std::vector<Itemset> candidates = AllPairs(out.frequent_items);
+  std::vector<Itemset> candidates;
+  {
+    PhaseScope phase(*ctx, "candidate_gen");
+    candidates = AllPairs(out.frequent_items);
+  }
   std::vector<Verdict> verdicts;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
@@ -43,6 +48,7 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
       break;
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     LevelStats& level = out.stats.Level(k);
     while (out.unsupported_by_level.size() <= k) {
       out.unsupported_by_level.emplace_back();
@@ -68,27 +74,30 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     }
     // Ordered reduction: counters and SIG/NOTSIG membership.
     std::vector<Itemset> notsig;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Itemset& s = candidates[i];
-      ++level.candidates;
-      ++level.tables_built;
-      switch (verdicts[i]) {
-        case Verdict::kUnsupported:
-          out.unsupported_by_level[k].push_back(s);
-          break;
-        case Verdict::kSig:
-          ++level.ct_supported;
-          ++level.chi2_tests;
-          ++level.correlated;
-          ++level.sig_added;
-          out.sig.push_back(s);
-          break;
-        case Verdict::kNotsig:
-          ++level.ct_supported;
-          ++level.chi2_tests;
-          ++level.notsig_added;
-          notsig.push_back(s);
-          break;
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Itemset& s = candidates[i];
+        ++level.candidates;
+        ++level.tables_built;
+        switch (verdicts[i]) {
+          case Verdict::kUnsupported:
+            out.unsupported_by_level[k].push_back(s);
+            break;
+          case Verdict::kSig:
+            ++level.ct_supported;
+            ++level.chi2_tests;
+            ++level.correlated;
+            ++level.sig_added;
+            out.sig.push_back(s);
+            break;
+          case Verdict::kNotsig:
+            ++level.ct_supported;
+            ++level.chi2_tests;
+            ++level.notsig_added;
+            notsig.push_back(s);
+            break;
+        }
       }
     }
     while (out.notsig_by_level.size() <= k) out.notsig_by_level.emplace_back();
@@ -97,6 +106,7 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, out.sig.size(), level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
+    PhaseScope gen_phase(*ctx, "candidate_gen");
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates =
         ExtendSeeds(notsig, out.frequent_items, [&closed](const Itemset& s) {

@@ -1,6 +1,7 @@
 #include "core/bms_plus.h"
 
 #include "core/bms.h"
+#include "core/context.h"
 #include "util/stopwatch.h"
 
 namespace ccs {
@@ -9,14 +10,22 @@ MiningResult MineBmsPlus(const TransactionDatabase& db,
                          const ItemCatalog& catalog,
                          const ConstraintSet& constraints,
                          const MiningOptions& options, MiningContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelExecutor serial(1);
+    MiningContext local(serial, Algorithm::kBmsPlus);
+    return MineBmsPlus(db, catalog, constraints, options, &local);
+  }
   Stopwatch timer;
   BmsRunOutput run = RunBms(db, options, ctx);
   MiningResult result;
   // The post-filter is valid on a partial run too: it only ever removes
   // answers, so the filtered prefix is the filtered unbounded prefix.
-  for (const Itemset& s : run.sig) {
-    if (constraints.TestAll(s.span(), catalog)) {
-      result.answers.push_back(s);
+  {
+    PhaseScope phase(*ctx, "constraint_check");
+    for (const Itemset& s : run.sig) {
+      if (constraints.TestAll(s.span(), catalog)) {
+        result.answers.push_back(s);
+      }
     }
   }
   result.stats = std::move(run.stats);

@@ -42,7 +42,8 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
     return MineBmsPlusPlus(db, catalog, constraints, options, &local);
   }
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
+                      ctx->metrics());
   MiningResult result;
 
   // I. Preprocessing: GOOD1 and the L1+/L1- split.
@@ -74,7 +75,11 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
   //     across levels, so deduplicating within the level (in candidate
   //     order) builds exactly the tables the serial run builds;
   //   C (ordered reduction) — counters and SIG/NOTSIG membership.
-  std::vector<Itemset> candidates = WitnessedPairs(l1_plus, l1_minus);
+  std::vector<Itemset> candidates;
+  {
+    PhaseScope phase(*ctx, "candidate_gen");
+    candidates = WitnessedPairs(l1_plus, l1_minus);
+  }
   std::vector<Eval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
@@ -85,6 +90,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
       break;
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     LevelStats& level = result.stats.Level(k);
 
     // Pass A.
@@ -174,39 +180,42 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
 
     // Pass C.
     std::vector<Itemset> notsig;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Itemset& s = candidates[i];
-      const Eval& e = evals[i];
-      ++level.candidates;
-      switch (e.outcome) {
-        case Eval::Outcome::kPruned:
-          ++level.pruned_before_ct;
-          break;
-        case Eval::Outcome::kUnsupported:
-          ++level.tables_built;
-          break;
-        case Eval::Outcome::kNotsig:
-          ++level.tables_built;
-          ++level.ct_supported;
-          ++level.chi2_tests;
-          ++level.notsig_added;
-          notsig.push_back(s);
-          break;
-        case Eval::Outcome::kCorrelated: {
-          ++level.tables_built;
-          ++level.ct_supported;
-          ++level.chi2_tests;
-          ++level.correlated;
-          const bool minimal =
-              !e.needs_probe ||
-              probe_correlated[probe_index.at(e.probe_subset)] == 0;
-          if (minimal && e.passes_deferred) {
-            ++level.sig_added;
-            result.answers.push_back(s);
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Itemset& s = candidates[i];
+        const Eval& e = evals[i];
+        ++level.candidates;
+        switch (e.outcome) {
+          case Eval::Outcome::kPruned:
+            ++level.pruned_before_ct;
+            break;
+          case Eval::Outcome::kUnsupported:
+            ++level.tables_built;
+            break;
+          case Eval::Outcome::kNotsig:
+            ++level.tables_built;
+            ++level.ct_supported;
+            ++level.chi2_tests;
+            ++level.notsig_added;
+            notsig.push_back(s);
+            break;
+          case Eval::Outcome::kCorrelated: {
+            ++level.tables_built;
+            ++level.ct_supported;
+            ++level.chi2_tests;
+            ++level.correlated;
+            const bool minimal =
+                !e.needs_probe ||
+                probe_correlated[probe_index.at(e.probe_subset)] == 0;
+            if (minimal && e.passes_deferred) {
+              ++level.sig_added;
+              result.answers.push_back(s);
+            }
+            // Invalid or non-minimal correlated sets are dropped: no
+            // superset of a correlated set can be minimal correlated.
+            break;
           }
-          // Invalid or non-minimal correlated sets are dropped: no
-          // superset of a correlated set can be minimal correlated.
-          break;
         }
       }
     }
@@ -215,6 +224,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
+    PhaseScope gen_phase(*ctx, "candidate_gen");
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates = ExtendSeeds(
         notsig, l1, [&closed, &is_witness](const Itemset& s) {

@@ -39,7 +39,8 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
+                      ctx->metrics());
 
   // Step 1: full unconstrained BMS run.
   BmsRunOutput run = RunBms(db, options, ctx);
@@ -63,21 +64,25 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   for (const auto& level_sets : run.unsupported_by_level) {
     already_processed.insert(level_sets.begin(), level_sets.end());
   }
-  for (const Itemset& s : run.sig) {
-    if (!constraints.TestAntiMonotone(s.span(), catalog)) continue;
-    if (constraints.TestMonotone(s.span(), catalog)) {
-      result.answers.push_back(s);
-    } else if (s.size() <= options.max_set_size) {
-      frontier[s.size()].push_back(s);
-      correlated_flag[s] = true;
-    }
-  }
-  for (std::size_t k = 2;
-       k < run.notsig_by_level.size() && k <= options.max_set_size; ++k) {
-    for (const Itemset& s : run.notsig_by_level[k]) {
+  {
+    // The harvest is serial constraint work over the base run's partition.
+    PhaseScope harvest_phase(*ctx, "constraint_check");
+    for (const Itemset& s : run.sig) {
       if (!constraints.TestAntiMonotone(s.span(), catalog)) continue;
-      frontier[k].push_back(s);
-      correlated_flag[s] = false;
+      if (constraints.TestMonotone(s.span(), catalog)) {
+        result.answers.push_back(s);
+      } else if (s.size() <= options.max_set_size) {
+        frontier[s.size()].push_back(s);
+        correlated_flag[s] = true;
+      }
+    }
+    for (std::size_t k = 2;
+         k < run.notsig_by_level.size() && k <= options.max_set_size; ++k) {
+      for (const Itemset& s : run.notsig_by_level[k]) {
+        if (!constraints.TestAntiMonotone(s.span(), catalog)) continue;
+        frontier[k].push_back(s);
+        correlated_flag[s] = false;
+      }
     }
   }
   // A tripped base run already yields a valid partial answer set (the
@@ -106,11 +111,16 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
       break;
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     std::sort(seeds.begin(), seeds.end());
     const ItemsetSet closed(seeds.begin(), seeds.end());
-    const std::vector<Itemset> candidates = ExtendSeeds(
-        seeds, run.frequent_items,
-        [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
+    std::vector<Itemset> candidates;
+    {
+      PhaseScope gen_phase(*ctx, "candidate_gen");
+      candidates = ExtendSeeds(
+          seeds, run.frequent_items,
+          [&closed](const Itemset& s) { return AllCoSubsetsIn(s, closed); });
+    }
     LevelStats& level = result.stats.Level(k + 1);
     evals.assign(candidates.size(), Eval());
     const Termination pass = GovernedBuildTables(
@@ -155,27 +165,30 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
       result.termination = pass;
       break;
     }
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Itemset& s = candidates[i];
-      const Eval& e = evals[i];
-      if (e.outcome == Eval::Outcome::kAlreadyProcessed) continue;
-      ++level.candidates;
-      if (e.outcome == Eval::Outcome::kPruned) {
-        ++level.pruned_before_ct;
-        continue;
-      }
-      ++level.tables_built;
-      if (e.outcome == Eval::Outcome::kUnsupported) continue;
-      ++level.ct_supported;
-      if (e.tested) ++level.chi2_tests;
-      if (e.correlated) ++level.correlated;
-      if (e.valid) {
-        ++level.sig_added;
-        result.answers.push_back(s);
-      } else {
-        ++level.notsig_added;
-        frontier[k + 1].push_back(s);
-        correlated_flag[s] = e.correlated;
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Itemset& s = candidates[i];
+        const Eval& e = evals[i];
+        if (e.outcome == Eval::Outcome::kAlreadyProcessed) continue;
+        ++level.candidates;
+        if (e.outcome == Eval::Outcome::kPruned) {
+          ++level.pruned_before_ct;
+          continue;
+        }
+        ++level.tables_built;
+        if (e.outcome == Eval::Outcome::kUnsupported) continue;
+        ++level.ct_supported;
+        if (e.tested) ++level.chi2_tests;
+        if (e.correlated) ++level.correlated;
+        if (e.valid) {
+          ++level.sig_added;
+          result.answers.push_back(s);
+        } else {
+          ++level.notsig_added;
+          frontier[k + 1].push_back(s);
+          correlated_flag[s] = e.correlated;
+        }
       }
     }
     ++result.stats.levels_completed;

@@ -74,7 +74,8 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
+                      ctx->metrics());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
@@ -84,7 +85,11 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   // serial run.
   std::vector<std::vector<Itemset>> supp(options.max_set_size + 1);
   ItemsetMap<double> chi2_of;
-  std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  std::vector<Itemset> candidates;
+  {
+    PhaseScope phase(*ctx, "candidate_gen");
+    candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  }
   std::vector<SuppEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
@@ -95,6 +100,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
       break;
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), SuppEval());
     const Termination pass = GovernedBuildTables(
@@ -121,23 +127,26 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
       result.termination = pass;
       break;
     }
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Itemset& s = candidates[i];
-      const SuppEval& e = evals[i];
-      ++level.candidates;
-      switch (e.outcome) {
-        case SuppEval::Outcome::kPruned:
-          ++level.pruned_before_ct;
-          break;
-        case SuppEval::Outcome::kUnsupported:
-          ++level.tables_built;
-          break;
-        case SuppEval::Outcome::kSupported:
-          ++level.tables_built;
-          ++level.ct_supported;
-          supp[k].push_back(s);
-          chi2_of[s] = e.chi2;
-          break;
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Itemset& s = candidates[i];
+        const SuppEval& e = evals[i];
+        ++level.candidates;
+        switch (e.outcome) {
+          case SuppEval::Outcome::kPruned:
+            ++level.pruned_before_ct;
+            break;
+          case SuppEval::Outcome::kUnsupported:
+            ++level.tables_built;
+            break;
+          case SuppEval::Outcome::kSupported:
+            ++level.tables_built;
+            ++level.ct_supported;
+            supp[k].push_back(s);
+            chi2_of[s] = e.chi2;
+            break;
+        }
       }
     }
     ++result.stats.levels_completed;
@@ -145,6 +154,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
+    PhaseScope gen_phase(*ctx, "candidate_gen");
     const ItemsetSet closed(supp[k].begin(), supp[k].end());
     candidates = ExtendSeeds(
         supp[k], u.l1, [&closed, &u](const Itemset& s) {
@@ -168,34 +178,39 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
       }
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     LevelStats& level = result.stats.Level(k);
     ItemsetSet notsig_here;
-    for (const Itemset& s : current) {
-      bool correlated = false;
-      for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
-        const auto it = correlated_flag.find(s.WithoutIndex(i));
-        correlated = it != correlated_flag.end() && it->second;
-      }
-      if (!correlated) {
-        ++level.chi2_tests;
-        correlated =
-            chi2_of[s] >= workers.judge(0).Cutoff(static_cast<int>(s.size()));
-      }
-      if (correlated) ++level.correlated;
-      if (correlated &&
-          constraints.TestMonotoneDeferred(s.span(), catalog)) {
-        ++level.sig_added;
-        result.answers.push_back(s);
-      } else {
-        ++level.notsig_added;
-        notsig_here.insert(s);
-        correlated_flag[s] = correlated;
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (const Itemset& s : current) {
+        bool correlated = false;
+        for (std::size_t i = 0; i < s.size() && !correlated; ++i) {
+          const auto it = correlated_flag.find(s.WithoutIndex(i));
+          correlated = it != correlated_flag.end() && it->second;
+        }
+        if (!correlated) {
+          ++level.chi2_tests;
+          correlated =
+              chi2_of[s] >= workers.judge(0).Cutoff(static_cast<int>(s.size()));
+        }
+        if (correlated) ++level.correlated;
+        if (correlated &&
+            constraints.TestMonotoneDeferred(s.span(), catalog)) {
+          ++level.sig_added;
+          result.answers.push_back(s);
+        } else {
+          ++level.notsig_added;
+          notsig_here.insert(s);
+          correlated_flag[s] = correlated;
+        }
       }
     }
     level.wall_seconds += level_timer.ElapsedSeconds();
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
+    PhaseScope gen_phase(*ctx, "candidate_gen");
     current.clear();
     for (const Itemset& s : supp[k + 1]) {
       if (AllWitnessedCoSubsetsIn(s, notsig_here, u.is_witness)) {
@@ -222,7 +237,8 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   }
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
-  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache());
+  EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
+                      ctx->metrics());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
@@ -231,7 +247,11 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   // inheritance is schedule-independent; size-k flags are written in the
   // ordered reduction below.
   ItemsetMap<bool> correlated_flag;
-  std::vector<Itemset> candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  std::vector<Itemset> candidates;
+  {
+    PhaseScope phase(*ctx, "candidate_gen");
+    candidates = WitnessedPairs(u.l1_plus, u.l1_minus);
+  }
   std::vector<FusedEval> evals;
   for (std::size_t k = 2; k <= options.max_set_size && !candidates.empty();
        ++k) {
@@ -242,6 +262,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
       break;
     }
     Stopwatch level_timer;
+    Tracer::Span level_span(ctx->tracer(), "level");
     LevelStats& level = result.stats.Level(k);
     evals.assign(candidates.size(), FusedEval());
     const Termination pass = GovernedBuildTables(
@@ -279,26 +300,29 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
       break;
     }
     std::vector<Itemset> notsig;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Itemset& s = candidates[i];
-      const FusedEval& e = evals[i];
-      ++level.candidates;
-      if (e.outcome == FusedEval::Outcome::kPruned) {
-        ++level.pruned_before_ct;
-        continue;
-      }
-      ++level.tables_built;
-      if (e.outcome == FusedEval::Outcome::kUnsupported) continue;
-      ++level.ct_supported;
-      if (e.tested) ++level.chi2_tests;
-      if (e.correlated) ++level.correlated;
-      if (e.valid) {
-        ++level.sig_added;
-        result.answers.push_back(s);
-      } else {
-        ++level.notsig_added;
-        notsig.push_back(s);
-        correlated_flag[s] = e.correlated;
+    {
+      PhaseScope judge_phase(*ctx, "judge");
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Itemset& s = candidates[i];
+        const FusedEval& e = evals[i];
+        ++level.candidates;
+        if (e.outcome == FusedEval::Outcome::kPruned) {
+          ++level.pruned_before_ct;
+          continue;
+        }
+        ++level.tables_built;
+        if (e.outcome == FusedEval::Outcome::kUnsupported) continue;
+        ++level.ct_supported;
+        if (e.tested) ++level.chi2_tests;
+        if (e.correlated) ++level.correlated;
+        if (e.valid) {
+          ++level.sig_added;
+          result.answers.push_back(s);
+        } else {
+          ++level.notsig_added;
+          notsig.push_back(s);
+          correlated_flag[s] = e.correlated;
+        }
       }
     }
     ++result.stats.levels_completed;
@@ -306,6 +330,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
     ctx->ReportLevel(level, result.answers.size(),
                      level_timer.ElapsedSeconds());
     if (k == options.max_set_size) break;
+    PhaseScope gen_phase(*ctx, "candidate_gen");
     const ItemsetSet closed(notsig.begin(), notsig.end());
     candidates = ExtendSeeds(
         notsig, u.l1, [&closed, &u](const Itemset& s) {

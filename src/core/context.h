@@ -2,14 +2,18 @@
 #define CCS_CORE_CONTEXT_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/algorithm.h"
 #include "core/intersection_cache.h"
 #include "core/result.h"
 #include "core/run_control.h"
+#include "core/trace.h"
 #include "util/executor.h"
+#include "util/metrics.h"
 
 namespace ccs {
 
@@ -42,12 +46,15 @@ class MiningContext {
   MiningContext(ParallelExecutor& executor, Algorithm algorithm,
                 const ProgressCallback* progress = nullptr,
                 const RunGovernor* governor = nullptr,
-                CtCacheOptions ct_cache = {})
+                CtCacheOptions ct_cache = {},
+                MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr)
       : executor_(&executor),
         algorithm_(algorithm),
         progress_(progress),
         governor_(governor),
-        ct_cache_(ct_cache) {}
+        ct_cache_(ct_cache),
+        metrics_(metrics),
+        tracer_(tracer) {}
 
   ParallelExecutor& executor() const { return *executor_; }
   std::size_t num_threads() const { return executor_->num_threads(); }
@@ -57,6 +64,14 @@ class MiningContext {
   // engine resolves EngineOptions::ct_cache + the CCS_CT_CACHE override;
   // the legacy free-function entry points take the defaults.
   const CtCacheOptions& ct_cache() const { return ct_cache_; }
+
+  // Run-scoped observability sinks (DESIGN.md §10), both nullable: the
+  // engine installs a per-run MetricsRegistry and Tracer; the legacy
+  // free-function entry points run without either. Every instrumentation
+  // helper (PhaseScope, Tracer::Span, EvalWorkers) accepts null, so
+  // algorithm code never branches on their presence.
+  MetricsRegistry* metrics() const { return metrics_; }
+  Tracer* tracer() const { return tracer_; }
 
   // Deadline/cancellation poll (between candidate batches). kCompleted
   // when no governor is installed (the legacy free-function path).
@@ -92,6 +107,48 @@ class MiningContext {
   const ProgressCallback* progress_;
   const RunGovernor* governor_;
   CtCacheOptions ct_cache_;
+  MetricsRegistry* metrics_;
+  Tracer* tracer_;
+};
+
+// RAII phase instrumentation for the serial (orchestrating-thread) parts
+// of a run: opens a trace span named `name` and, on close, adds the
+// elapsed nanoseconds to the timing counter "phase.<name>_ns" at shard 0.
+// Phases nest (a "cache" scope inside a "ct_build" scope bills its time to
+// both counters), and each phase interval lies inside the run interval on
+// the same steady clock, so every phase.*_ns <= run.wall_ns exactly.
+// No-op when the context carries no registry.
+class PhaseScope {
+ public:
+  PhaseScope(const MiningContext& ctx, const char* name)
+      : span_(ctx.tracer(), name), metrics_(ctx.metrics()) {
+    if (metrics_ == nullptr || !metrics_->enabled()) {
+      metrics_ = nullptr;
+      return;
+    }
+    id_ = metrics_->Counter(std::string("phase.") + name + "_ns",
+                            MetricStability::kTiming);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~PhaseScope() {
+    if (metrics_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    metrics_->Add(
+        id_, 0,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Tracer::Span span_;
+  MetricsRegistry* metrics_;
+  MetricsRegistry::Id id_ = 0;
+  std::chrono::steady_clock::time_point start_;
 };
 
 // Runs body over [0, n) through the context's executor in fixed-size index

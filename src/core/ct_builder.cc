@@ -87,6 +87,7 @@ void ContingencyTableBuilder::BuildBatch(std::span<const Itemset> batch,
                                          const BatchFilter& want,
                                          const BatchSink& emit) {
   if (batch.empty()) return;
+  ++batches_;
   if (!cache_options_.enabled) {
     // Kill switch: the original per-candidate recursion, verbatim.
     for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -75,6 +75,12 @@ class ContingencyTableBuilder {
   // Number of tables built through the fast paths since construction.
   std::uint64_t tables_built() const { return tables_built_; }
 
+  // Number of non-empty BuildBatch calls since construction. On the
+  // engine's cache-on path this equals the number of prefix groups this
+  // builder processed; the per-run total is the (deterministic) group
+  // count. Zero on the cache-off path, which never batches.
+  std::uint64_t batches() const { return batches_; }
+
   // Bulk bitset word operations performed by Build/BuildBatch since
   // construction — the concrete currency of the paper's O(2^k * N/64) cost
   // model, used by the benches to compare the two paths.
@@ -109,6 +115,7 @@ class ContingencyTableBuilder {
   std::vector<std::uint64_t> prefix_counts_;
   std::vector<std::uint64_t> minterms_;
   std::uint64_t tables_built_ = 0;
+  std::uint64_t batches_ = 0;
   std::uint64_t word_ops_ = 0;
 };
 

@@ -39,6 +39,19 @@ struct EngineOptions {
   // IntersectionCache budget per worker thread, in MiB of cached
   // intersection bitsets.
   std::size_t ct_cache_budget_mib = 32;
+
+  // Observability (DESIGN.md §10). `metrics` drives the per-run
+  // MetricsRegistry that every Run aggregates into MiningResult::metrics;
+  // false is the kill switch for overhead-sensitive deployments. The
+  // CCS_METRICS environment variable ("0" disables) overrides the field.
+  bool metrics = true;
+
+  // Phase tracing: when true each Run records its run → level → phase
+  // span tree into MiningResult::trace, bounded by `trace_capacity` spans
+  // (drop-oldest). CCS_TRACE overrides both fields: "0" disables, "1"
+  // enables at trace_capacity, an integer > 1 enables with that capacity.
+  bool trace = false;
+  std::size_t trace_capacity = Tracer::kDefaultCapacity;
 };
 
 // One correlation-mining query: which algorithm, its statistical
@@ -95,12 +108,26 @@ class MiningEngine {
   std::size_t num_threads() const { return executor_.num_threads(); }
   // CT path in effect (EngineOptions::ct_cache + CCS_CT_CACHE resolved).
   const CtCacheOptions& ct_cache() const { return ct_cache_; }
+  // Observability in effect (EngineOptions + CCS_METRICS / CCS_TRACE
+  // resolved).
+  bool metrics_enabled() const { return metrics_enabled_; }
+  bool trace_enabled() const { return trace_enabled_; }
 
  private:
+  // Fills in the run-level telemetry after the algorithm returns: exports
+  // the deterministic MiningStats aggregates as engine.* metrics, stamps
+  // run.wall_ns, and attaches the registry snapshot and trace log to the
+  // result.
+  void FinalizeTelemetry(MetricsRegistry& registry, const Tracer& tracer,
+                         double wall_seconds, MiningResult& result) const;
+
   const TransactionDatabase* db_;
   const ItemCatalog* catalog_;
   EngineOptions options_;
   CtCacheOptions ct_cache_;
+  bool metrics_enabled_;
+  bool trace_enabled_;
+  std::size_t trace_capacity_;
   ParallelExecutor executor_;
   ConstraintSet empty_constraints_;
 };

@@ -9,6 +9,7 @@ namespace ccs {
 
 const IntersectionCache::Entry* IntersectionCache::LookupPinned(
     const Itemset& key) {
+  ++stats_.lookups;
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;

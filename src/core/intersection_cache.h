@@ -24,10 +24,15 @@ struct CtCacheOptions {
   std::size_t budget_words = std::size_t{4} << 20;
 };
 
-// Monotone counters surfaced in MiningStats. Like tables_built_per_thread
-// they depend on the thread schedule (which worker sees which prefix
-// group), so they are *not* part of the deterministic counter contract.
+// Monotone counters surfaced in MiningStats. hits/misses/evictions depend
+// on the thread schedule (which worker sees which prefix group, and with
+// what cache state), so they are *not* part of the deterministic counter
+// contract. `lookups` (== hits + misses) IS schedule-independent: each
+// prefix group is prepared exactly once, and the number of lookups a group
+// triggers depends only on its prefix — only the hit/miss *split* moves
+// with the schedule (DESIGN.md §10).
 struct IntersectionCacheStats {
+  std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;

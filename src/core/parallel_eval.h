@@ -23,8 +23,19 @@ namespace ccs {
 // synchronization is needed; the database itself is shared read-only.
 class EvalWorkers {
  public:
+  // `metrics` (nullable) attaches the run's registry: the destructor then
+  // flushes each builder's counters into the registry's per-thread shards.
+  // Flushing at destruction — rather than only on the success path — is
+  // what keeps the per-thread table accounting when a worker throws
+  // mid-level: the unwind through the variant's frame runs this destructor
+  // before the engine's catch block reads the registry, so kError results
+  // still report how much database work each thread did. All ids are
+  // registered up front in the constructor (serial phase), leaving the
+  // destructor allocation-free and safe during unwinding.
   EvalWorkers(const TransactionDatabase& db, const MiningOptions& options,
-              std::size_t num_threads, CtCacheOptions ct_cache = {}) {
+              std::size_t num_threads, CtCacheOptions ct_cache = {},
+              MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics) {
     CCS_FAULT_POINT("alloc");
     builders_.reserve(num_threads);
     judges_.reserve(num_threads);
@@ -32,7 +43,40 @@ class EvalWorkers {
       builders_.emplace_back(db, ct_cache);
       judges_.emplace_back(options);
     }
+    if (metrics_ != nullptr) {
+      tables_id_ = metrics_->Counter("ct.tables_built",
+                                     MetricStability::kDeterministic);
+      batches_id_ =
+          metrics_->Counter("ct.batches", MetricStability::kDeterministic);
+      word_ops_id_ = metrics_->Counter("ct.word_ops",
+                                       MetricStability::kScheduleDependent);
+      lookups_id_ = metrics_->Counter("ct_cache.lookups",
+                                      MetricStability::kDeterministic);
+      hits_id_ = metrics_->Counter("ct_cache.hits",
+                                   MetricStability::kScheduleDependent);
+      misses_id_ = metrics_->Counter("ct_cache.misses",
+                                     MetricStability::kScheduleDependent);
+      evictions_id_ = metrics_->Counter("ct_cache.evictions",
+                                        MetricStability::kScheduleDependent);
+    }
   }
+
+  ~EvalWorkers() {
+    if (metrics_ == nullptr) return;
+    for (std::size_t t = 0; t < builders_.size(); ++t) {
+      const ContingencyTableBuilder& b = builders_[t];
+      metrics_->Add(tables_id_, t, b.tables_built());
+      metrics_->Add(batches_id_, t, b.batches());
+      metrics_->Add(word_ops_id_, t, b.word_ops());
+      metrics_->Add(lookups_id_, t, b.cache_stats().lookups);
+      metrics_->Add(hits_id_, t, b.cache_stats().hits);
+      metrics_->Add(misses_id_, t, b.cache_stats().misses);
+      metrics_->Add(evictions_id_, t, b.cache_stats().evictions);
+    }
+  }
+
+  EvalWorkers(const EvalWorkers&) = delete;
+  EvalWorkers& operator=(const EvalWorkers&) = delete;
 
   ContingencyTableBuilder& builder(std::size_t thread) {
     return builders_[thread];
@@ -51,6 +95,7 @@ class EvalWorkers {
     }
     for (std::size_t t = 0; t < builders_.size(); ++t) {
       stats.tables_built_per_thread[t] += builders_[t].tables_built();
+      stats.ct_cache_lookups += builders_[t].cache_stats().lookups;
       stats.ct_cache_hits += builders_[t].cache_stats().hits;
       stats.ct_cache_misses += builders_[t].cache_stats().misses;
       stats.ct_cache_evictions += builders_[t].cache_stats().evictions;
@@ -61,6 +106,14 @@ class EvalWorkers {
  private:
   std::vector<ContingencyTableBuilder> builders_;
   std::vector<CorrelationJudge> judges_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsRegistry::Id tables_id_ = 0;
+  MetricsRegistry::Id batches_id_ = 0;
+  MetricsRegistry::Id word_ops_id_ = 0;
+  MetricsRegistry::Id lookups_id_ = 0;
+  MetricsRegistry::Id hits_id_ = 0;
+  MetricsRegistry::Id misses_id_ = 0;
+  MetricsRegistry::Id evictions_id_ = 0;
 };
 
 // The level's table-building pass, shared by all six BMS variants: builds
@@ -87,6 +140,7 @@ inline Termination GovernedBuildTables(
     const ContingencyTableBuilder::BatchFilter& want,
     const std::function<void(std::size_t, std::size_t,
                              const stats::ContingencyTable&)>& eval) {
+  PhaseScope ct_phase(ctx, "ct_build");
   if (!ctx.ct_cache().enabled) {
     return GovernedParallelFor(
         ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
@@ -96,6 +150,8 @@ inline Termination GovernedBuildTables(
           eval(i, thread, table);
         });
   }
+  // The whole batch pass is cache work; "cache" nests inside "ct_build".
+  PhaseScope cache_phase(ctx, "cache");
   const std::vector<PrefixGroup> groups = GroupByPrefix(candidates);
   const auto run_group = [&](std::size_t thread, const PrefixGroup& group) {
     const std::span<const Itemset> batch(candidates.data() + group.begin,

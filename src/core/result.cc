@@ -68,7 +68,7 @@ std::string MiningStats::ToString() const {
     }
     out += "\n";
   }
-  if (ct_cache_hits + ct_cache_misses > 0) {
+  if (ct_cache_lookups > 0) {
     std::snprintf(buf, sizeof(buf),
                   "  ct cache: %llu hits, %llu misses, %llu evictions, "
                   "%llu word ops\n",

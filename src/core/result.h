@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/itemset.h"
+#include "core/trace.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ccs {
@@ -68,9 +70,12 @@ struct MiningStats {
   // run this is the length of the trustworthy prefix.
   std::uint64_t levels_completed = 0;
   // Prefix-sharing CT-path telemetry (DESIGN.md §9), summed over the
-  // per-thread IntersectionCaches. Like tables_built_per_thread these
-  // depend on which worker drew which prefix group, so they sit outside
-  // the deterministic counter contract; all zero when the cache is off.
+  // per-thread IntersectionCaches. Like tables_built_per_thread the
+  // hit/miss/eviction split depends on which worker drew which prefix
+  // group, so those sit outside the deterministic counter contract; all
+  // zero when the cache is off. ct_cache_lookups (== hits + misses) is
+  // schedule-independent — see IntersectionCacheStats.
+  std::uint64_t ct_cache_lookups = 0;
   std::uint64_t ct_cache_hits = 0;
   std::uint64_t ct_cache_misses = 0;
   std::uint64_t ct_cache_evictions = 0;
@@ -102,6 +107,13 @@ struct MiningResult {
   Termination termination = Termination::kCompleted;
   // Non-ok exactly when termination == kError.
   Status error;
+  // The run's aggregated MetricsRegistry (DESIGN.md §10). Populated by
+  // MiningEngine::Run (enabled == false under the CCS_METRICS=0 kill
+  // switch); empty from the legacy free-function entry points.
+  MetricsSnapshot metrics;
+  // The run's phase trace; empty unless tracing was enabled via
+  // EngineOptions::trace or CCS_TRACE.
+  TraceLog trace;
 
   bool ContainsAnswer(const Itemset& s) const;
   bool partial() const { return termination != Termination::kCompleted; }

@@ -1,0 +1,97 @@
+#include "core/trace.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ccs {
+
+std::string TraceLog::ToJson() const {
+  std::ostringstream out;
+  out << "{\"enabled\": " << (enabled ? "true" : "false")
+      << ", \"dropped\": " << dropped << ", \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ", ";
+    out << "{\"name\": \"" << e.name << "\", \"depth\": " << e.depth
+        << ", \"start_ns\": " << e.start_ns << ", \"end_ns\": " << e.end_ns
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Tracer::Tracer(bool enabled, std::size_t capacity)
+    : enabled_(enabled && capacity > 0),
+      capacity_(capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::Span::Span(Tracer* tracer, const char* name) {
+  if (tracer == nullptr || !tracer->enabled_) return;
+  tracer_ = tracer;
+  name_ = name;
+  depth_ = tracer->open_++;
+  start_ns_ = tracer->NowNs();
+}
+
+Tracer::Span::~Span() {
+  if (tracer_ == nullptr) return;
+  // Strict LIFO: the innermost open span must close first, which is what
+  // makes every trace well-formed by construction.
+  CCS_CHECK(tracer_->open_ == depth_ + 1);
+  --tracer_->open_;
+  tracer_->Record(name_, depth_, start_ns_, tracer_->NowNs());
+}
+
+void Tracer::Record(const char* name, std::uint32_t depth,
+                    std::uint64_t start_ns, std::uint64_t end_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.depth = depth;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;  // drop-oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+TraceLog Tracer::Log() const {
+  TraceLog log;
+  log.enabled = enabled_;
+  if (ring_.empty()) return log;
+  log.dropped = recorded_ - ring_.size();
+  log.events.reserve(ring_.size());
+  // When the ring has wrapped, next_ points at the oldest surviving event.
+  const std::size_t oldest = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    log.events.push_back(ring_[(oldest + i) % ring_.size()]);
+  }
+  return log;
+}
+
+void ResolveTraceFromEnv(bool& enabled, std::size_t& capacity) {
+  const char* env = std::getenv("CCS_TRACE");
+  if (env == nullptr) return;
+  const std::string value(env);
+  if (value == "0") {
+    enabled = false;
+    return;
+  }
+  enabled = true;
+  const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+  if (parsed > 1) capacity = static_cast<std::size_t>(parsed);
+}
+
+}  // namespace ccs

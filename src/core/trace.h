@@ -1,0 +1,107 @@
+#ifndef CCS_CORE_TRACE_H_
+#define CCS_CORE_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccs {
+
+// One closed span. Timestamps are nanoseconds on the steady clock relative
+// to the owning Tracer's construction, so they are monotone within a trace
+// and comparable across spans of the same run (never across runs). `name`
+// points at a string literal supplied by the instrumentation site.
+struct TraceEvent {
+  const char* name = "";
+  // Nesting depth at open time: 0 = root span.
+  std::uint32_t depth = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+// The bounded trace of one run, emitted in span-close order (children
+// before their parent — the classic flame-graph emission order). When more
+// spans closed than the ring held, the oldest were dropped and `dropped`
+// says how many, so a consumer can tell a short trace from a truncated one.
+struct TraceLog {
+  bool enabled = false;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+
+  std::string ToJson() const;
+};
+
+// Hierarchical phase tracing for the mining engine: run → level → phase
+// (candidate_gen, ct_build, cache, judge, constraint_check). Serial by
+// design — spans open and close only on the orchestrating thread, strictly
+// LIFO (enforced), so the tracer needs no locks and the trace is always
+// well-formed: every parent's interval contains its children's.
+//
+// Closed spans land in a bounded in-memory ring (drop-oldest) so tracing a
+// deep lattice sweep can never grow without bound. A disabled tracer's
+// spans are free: no clock reads, no writes.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(bool enabled = false,
+                  std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  std::size_t capacity() const { return capacity_; }
+  // Currently open spans (0 between runs; used by tests to prove every
+  // span was closed).
+  std::uint32_t open_spans() const { return open_; }
+  // Nanoseconds since this tracer's epoch on the steady clock.
+  std::uint64_t NowNs() const;
+
+  // RAII span. `tracer` may be null (the legacy free-function entry points
+  // run without one) — the span is then a no-op. `name` must be a string
+  // literal or otherwise outlive the tracer.
+  class Span {
+   public:
+    Span(Tracer* tracer, const char* name);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    Tracer* tracer_ = nullptr;
+    const char* name_ = "";
+    std::uint32_t depth_ = 0;
+    std::uint64_t start_ns_ = 0;
+  };
+
+  // Snapshot of the closed spans so far, oldest first. Serial-only.
+  TraceLog Log() const;
+
+ private:
+  friend class Span;
+  void Record(const char* name, std::uint32_t depth, std::uint64_t start_ns,
+              std::uint64_t end_ns);
+
+  bool enabled_;
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint32_t open_ = 0;
+  // Ring of the most recent `capacity_` closed spans; grows lazily, then
+  // wraps at `next_`.
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+// The CCS_TRACE environment override: unset keeps the fallbacks; "0"
+// disables; "1" enables at the fallback capacity; an integer > 1 enables
+// with that ring capacity.
+void ResolveTraceFromEnv(bool& enabled, std::size_t& capacity);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_TRACE_H_

@@ -26,9 +26,23 @@ ParallelExecutor::~ParallelExecutor() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ParallelExecutor::SetMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    loops_id_ =
+        metrics_->Counter("executor.loops", MetricStability::kDeterministic);
+    chunks_id_ = metrics_->Counter("executor.chunks",
+                                   MetricStability::kScheduleDependent);
+  }
+}
+
 void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
   if (n == 0) return;
+  if (metrics_ != nullptr) metrics_->Add(loops_id_, 0, 1);
   if (num_threads_ == 1 || n == 1) {
+    // The inline serial path is one implicit chunk on the calling thread.
+    if (metrics_ != nullptr) metrics_->Add(chunks_id_, 0, 1);
     for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
@@ -86,6 +100,7 @@ void ParallelExecutor::RunChunks(std::size_t thread_index) {
     const std::size_t begin =
         cursor_.fetch_add(grain, std::memory_order_relaxed);
     if (begin >= n) return;
+    if (metrics_ != nullptr) metrics_->Add(chunks_id_, thread_index, 1);
     const std::size_t end = std::min(begin + grain, n);
     try {
       for (std::size_t i = begin; i < end; ++i) body(thread_index, i);

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace ccs {
 
 // Fixed-size thread pool with a chunked parallel-for, sized once at
@@ -58,12 +60,27 @@ class ParallelExecutor {
   // std::thread::hardware_concurrency with a floor of 1.
   static std::size_t HardwareThreads();
 
+  // Points the executor's instrumentation at `metrics` (nullptr detaches).
+  // Registers executor.loops (one per ParallelFor call — deterministic: the
+  // loop count depends only on the work submitted) and executor.chunks (one
+  // per claimed chunk, on the claiming thread's shard — schedule-
+  // dependent). Must be called with no loop in flight; the registry must
+  // outlive the attachment. The engine attaches its per-run registry for
+  // the duration of each Run.
+  void SetMetrics(MetricsRegistry* metrics);
+
  private:
   void WorkerLoop(std::size_t thread_index);
   void RunChunks(std::size_t thread_index);
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
+
+  // Attached registry (nullable). Written only between loops; workers read
+  // it inside a loop, after the mutex-synchronized generation bump.
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsRegistry::Id loops_id_ = 0;
+  MetricsRegistry::Id chunks_id_ = 0;
 
   std::mutex mutex_;
   std::condition_variable start_cv_;

@@ -1,0 +1,295 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ccs {
+
+namespace {
+
+// 64-byte rows keep one shard's hot cell from false-sharing its neighbor.
+constexpr std::size_t kPadWords = 8;
+
+constexpr std::uint64_t kEmptyMin = std::numeric_limits<std::uint64_t>::max();
+
+std::size_t RoundUpToPad(std::size_t words) {
+  return ((words + kPadWords - 1) / kPadWords) * kPadWords;
+}
+
+// Histogram per-shard cell layout, after the bucket counts.
+enum HistCell : std::size_t { kCount = 0, kSum = 1, kMin = 2, kMax = 3 };
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* MetricStabilityName(MetricStability stability) {
+  switch (stability) {
+    case MetricStability::kDeterministic:
+      return "deterministic";
+    case MetricStability::kScheduleDependent:
+      return "schedule_dependent";
+    case MetricStability::kTiming:
+      return "timing";
+  }
+  return "unknown";
+}
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricScalar* MetricsSnapshot::FindScalar(std::string_view name) const {
+  for (const MetricScalar& s : scalars) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::Value(std::string_view name) const {
+  const MetricScalar* s = FindScalar(name);
+  return s != nullptr ? s->value : 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"enabled\": " << (enabled ? "true" : "false")
+      << ", \"scalars\": [";
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    const MetricScalar& s = scalars[i];
+    if (i > 0) out << ", ";
+    out << "{\"name\": ";
+    AppendJsonString(out, s.name);
+    out << ", \"kind\": \"" << MetricKindName(s.kind) << "\", \"stability\": \""
+        << MetricStabilityName(s.stability) << "\", \"value\": " << s.value
+        << ", \"shards\": [";
+    for (std::size_t t = 0; t < s.shards.size(); ++t) {
+      if (t > 0) out << ", ";
+      out << s.shards[t];
+    }
+    out << "]}";
+  }
+  out << "], \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i > 0) out << ", ";
+    out << "{\"name\": ";
+    AppendJsonString(out, h.name);
+    out << ", \"stability\": \"" << MetricStabilityName(h.stability)
+        << "\", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << h.bounds[b];
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << h.buckets[b];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "metrics (" << (enabled ? "enabled" : "disabled") << ")\n";
+  for (const MetricScalar& s : scalars) {
+    out << "  " << s.name << " = " << s.value << "  [" << MetricKindName(s.kind)
+        << ", " << MetricStabilityName(s.stability) << "]\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out << "  " << h.name << ": count=" << h.count << " sum=" << h.sum
+        << " min=" << h.min << " max=" << h.max << "  [histogram, "
+        << MetricStabilityName(h.stability) << "]\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t num_shards, bool enabled)
+    : enabled_(enabled), num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+MetricsRegistry::Id MetricsRegistry::Register(
+    const std::string& name, MetricKind kind, MetricStability stability,
+    std::vector<std::uint64_t> bounds) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const Slot& slot = slots_[it->second];
+    CCS_CHECK(slot.kind == kind);
+    CCS_CHECK(slot.stability == stability);
+    CCS_CHECK(slot.bounds == bounds);
+    return it->second;
+  }
+  CCS_CHECK(std::is_sorted(bounds.begin(), bounds.end()));
+  Slot slot;
+  slot.name = name;
+  slot.kind = kind;
+  slot.stability = stability;
+  if (kind == MetricKind::kHistogram) {
+    const std::size_t buckets = bounds.size() + 1;
+    slot.stride = RoundUpToPad(buckets + 4);
+    slot.bounds = std::move(bounds);
+  } else {
+    slot.stride = kPadWords;
+  }
+  slot.cells.assign(num_shards_ * slot.stride, 0);
+  if (kind == MetricKind::kHistogram) {
+    const std::size_t buckets = slot.bounds.size() + 1;
+    for (std::size_t t = 0; t < num_shards_; ++t) {
+      slot.cells[t * slot.stride + buckets + kMin] = kEmptyMin;
+    }
+  }
+  const Id id = slots_.size();
+  slots_.push_back(std::move(slot));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::Counter(const std::string& name,
+                                             MetricStability stability) {
+  return Register(name, MetricKind::kCounter, stability, {});
+}
+
+MetricsRegistry::Id MetricsRegistry::Gauge(const std::string& name,
+                                           MetricStability stability) {
+  return Register(name, MetricKind::kGauge, stability, {});
+}
+
+MetricsRegistry::Id MetricsRegistry::Histogram(
+    const std::string& name, MetricStability stability,
+    std::vector<std::uint64_t> bounds) {
+  return Register(name, MetricKind::kHistogram, stability, std::move(bounds));
+}
+
+void MetricsRegistry::Add(Id id, std::size_t shard,
+                          std::uint64_t delta) noexcept {
+  if (!enabled_) return;
+  Slot& slot = slots_[id];
+  slot.cells[shard * slot.stride] += delta;
+}
+
+void MetricsRegistry::GaugeMax(Id id, std::size_t shard,
+                               std::uint64_t value) noexcept {
+  if (!enabled_) return;
+  Slot& slot = slots_[id];
+  std::uint64_t& cell = slot.cells[shard * slot.stride];
+  if (value > cell) cell = value;
+}
+
+void MetricsRegistry::Observe(Id id, std::size_t shard,
+                              std::uint64_t value) noexcept {
+  if (!enabled_) return;
+  Slot& slot = slots_[id];
+  const std::size_t buckets = slot.bounds.size() + 1;
+  std::uint64_t* row = slot.cells.data() + shard * slot.stride;
+  // First bucket whose bound admits the value; past-the-end = overflow.
+  std::size_t bucket = 0;
+  while (bucket < slot.bounds.size() && value > slot.bounds[bucket]) ++bucket;
+  row[bucket] += 1;
+  row[buckets + kCount] += 1;
+  row[buckets + kSum] += value;
+  if (value < row[buckets + kMin]) row[buckets + kMin] = value;
+  if (value > row[buckets + kMax]) row[buckets + kMax] = value;
+}
+
+std::uint64_t MetricsRegistry::Total(Id id) const {
+  const Slot& slot = slots_[id];
+  CCS_CHECK(slot.kind != MetricKind::kHistogram);
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < num_shards_; ++t) {
+    const std::uint64_t cell = slot.cells[t * slot.stride];
+    if (slot.kind == MetricKind::kGauge) {
+      total = std::max(total, cell);
+    } else {
+      total += cell;
+    }
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::ShardValue(Id id, std::size_t shard) const {
+  const Slot& slot = slots_[id];
+  CCS_CHECK(slot.kind != MetricKind::kHistogram);
+  return slot.cells[shard * slot.stride];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.enabled = enabled_;
+  for (Id id = 0; id < slots_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    if (slot.kind == MetricKind::kHistogram) {
+      HistogramSnapshot h;
+      h.name = slot.name;
+      h.stability = slot.stability;
+      h.bounds = slot.bounds;
+      const std::size_t buckets = slot.bounds.size() + 1;
+      h.buckets.assign(buckets, 0);
+      std::uint64_t min = kEmptyMin;
+      for (std::size_t t = 0; t < num_shards_; ++t) {
+        const std::uint64_t* row = slot.cells.data() + t * slot.stride;
+        for (std::size_t b = 0; b < buckets; ++b) h.buckets[b] += row[b];
+        h.count += row[buckets + kCount];
+        h.sum += row[buckets + kSum];
+        min = std::min(min, row[buckets + kMin]);
+        h.max = std::max(h.max, row[buckets + kMax]);
+      }
+      h.min = h.count > 0 ? min : 0;
+      snapshot.histograms.push_back(std::move(h));
+    } else {
+      MetricScalar s;
+      s.name = slot.name;
+      s.kind = slot.kind;
+      s.stability = slot.stability;
+      s.shards.reserve(num_shards_);
+      for (std::size_t t = 0; t < num_shards_; ++t) {
+        s.shards.push_back(slot.cells[t * slot.stride]);
+      }
+      s.value = Total(id);
+      snapshot.scalars.push_back(std::move(s));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.scalars.begin(), snapshot.scalars.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+bool MetricsEnabledFromEnv(bool fallback) {
+  const char* env = std::getenv("CCS_METRICS");
+  if (env == nullptr) return fallback;
+  return std::string(env) != "0";
+}
+
+}  // namespace ccs

@@ -1,0 +1,154 @@
+#ifndef CCS_UTIL_METRICS_H_
+#define CCS_UTIL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ccs {
+
+// How a metric's aggregated total behaves across executor schedules. The
+// registry itself only guarantees order-independent aggregation (sums and
+// maxes commute); the stability tag is the *instrumentation site's* promise
+// about the multiset of updates, and the metrics-identity test suite holds
+// every kDeterministic metric to it (DESIGN.md §10).
+enum class MetricStability : std::uint8_t {
+  // Aggregated total is bit-identical for any thread count and schedule
+  // (at a fixed CT-cache mode unless the site documents otherwise).
+  kDeterministic,
+  // Total depends on which worker drew which unit of work (per-thread
+  // splits, cache hit/miss outcomes).
+  kScheduleDependent,
+  // Wall-clock derived; never compared for equality.
+  kTiming,
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// Stable lower-case names ("deterministic", "counter", ...).
+const char* MetricStabilityName(MetricStability stability);
+const char* MetricKindName(MetricKind kind);
+
+// One counter or gauge in a snapshot, with its per-shard breakdown.
+struct MetricScalar {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  MetricStability stability = MetricStability::kDeterministic;
+  // Counter: sum over shards. Gauge: max over shards.
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> shards;
+};
+
+// One histogram in a snapshot. A value v lands in the first bucket i with
+// v <= bounds[i]; values above every bound land in the final overflow
+// bucket, so buckets.size() == bounds.size() + 1.
+struct HistogramSnapshot {
+  std::string name;
+  MetricStability stability = MetricStability::kDeterministic;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+};
+
+// Point-in-time aggregate of a MetricsRegistry, sorted by name. Plain data:
+// safe to copy into MiningResult and compare across runs.
+struct MetricsSnapshot {
+  bool enabled = false;
+  std::vector<MetricScalar> scalars;
+  std::vector<HistogramSnapshot> histograms;
+
+  const MetricScalar* FindScalar(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  // Aggregated value of a scalar, 0 when absent.
+  std::uint64_t Value(std::string_view name) const;
+
+  std::string ToJson() const;
+  // Multi-line human-readable dump (one metric per line).
+  std::string ToString() const;
+};
+
+// A registry of named counters, gauges and histograms with per-shard
+// storage, built for the mining engine's one-orchestrator/N-workers shape:
+//
+//  - Registration (Counter/Gauge/Histogram) and Snapshot run only on the
+//    orchestrating thread, outside any parallel region. Re-registering a
+//    name returns the existing id (kind and stability must match), so
+//    independent components can share a metric.
+//  - Add/GaugeMax/Observe are lock-free and allocation-free: shard s's
+//    cells are written only through shard index s, and the executor hands
+//    each worker a distinct thread index, so concurrent updates never touch
+//    the same memory location. Shard rows are cache-line padded.
+//  - Aggregation is order-independent: counters and histogram buckets sum
+//    over shards, gauges take the shard max. Totals of kDeterministic
+//    metrics are therefore identical at any thread count provided the
+//    instrumentation site emits a schedule-independent multiset of updates.
+//
+// `enabled == false` is the CCS_METRICS kill switch: updates early-return
+// and Snapshot reports enabled=false with all-zero values, so callers never
+// need to null-check.
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  explicit MetricsRegistry(std::size_t num_shards = 1, bool enabled = true);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+  std::size_t num_shards() const { return num_shards_; }
+
+  // Serial-only registration. Ids are dense and stable for the registry's
+  // lifetime.
+  Id Counter(const std::string& name, MetricStability stability);
+  Id Gauge(const std::string& name, MetricStability stability);
+  Id Histogram(const std::string& name, MetricStability stability,
+               std::vector<std::uint64_t> bounds);
+
+  // Shard-safe updates; noexcept so instrumentation may run in destructors
+  // (including during exception unwinding).
+  void Add(Id id, std::size_t shard, std::uint64_t delta) noexcept;
+  // Raises the shard's gauge cell to at least `value`.
+  void GaugeMax(Id id, std::size_t shard, std::uint64_t value) noexcept;
+  void Observe(Id id, std::size_t shard, std::uint64_t value) noexcept;
+
+  // Aggregates for tests and in-process consumers (serial-only).
+  std::uint64_t Total(Id id) const;
+  std::uint64_t ShardValue(Id id, std::size_t shard) const;
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    MetricStability stability = MetricStability::kDeterministic;
+    // num_shards_ rows of `stride` words each. Counter/gauge: cell 0 holds
+    // the shard value. Histogram: cells [0, buckets) hold bucket counts,
+    // then count, sum, min (UINT64_MAX when empty), max.
+    std::size_t stride = 0;
+    std::vector<std::uint64_t> cells;
+    std::vector<std::uint64_t> bounds;  // histograms only
+  };
+
+  Id Register(const std::string& name, MetricKind kind,
+              MetricStability stability, std::vector<std::uint64_t> bounds);
+
+  bool enabled_;
+  std::size_t num_shards_;
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, Id> by_name_;
+};
+
+// The CCS_METRICS environment kill switch: false iff CCS_METRICS == "0".
+bool MetricsEnabledFromEnv(bool fallback);
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_METRICS_H_

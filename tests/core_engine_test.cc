@@ -422,6 +422,39 @@ TEST(RunControlTest, InjectedTableFaultSurfacesAsErrorAndEngineRecovers) {
   ExpectSameCounters(expected.stats, recovered.stats);
 }
 
+TEST(RunControlTest, WorkerThrowPreservesPerThreadTableCounts) {
+  // A worker throwing mid-level must not lose the telemetry accumulated
+  // before the fault: the per-builder counters are flushed to the metrics
+  // registry on unwind and recovered onto MiningStats for the kError
+  // partial result.
+  const TransactionDatabase db = PaperExampleDb();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  const ConstraintSet constraints = EngineTestConstraints();
+  const MiningRequest request =
+      EngineTestRequest(Algorithm::kBmsPlusPlus, db, constraints);
+
+  MiningEngine baseline(db, catalog, WithThreads(1));
+  const MiningResult clean = baseline.Run(request);
+  ASSERT_EQ(clean.termination, Termination::kCompleted);
+  ASSERT_GE(SumPerThreadTables(clean.stats), 5u);
+
+  MiningEngine engine(db, catalog, WithThreads(1));
+  ASSERT_TRUE(FaultInjector::Global().Configure("ct_build:nth=5").ok());
+  const MiningResult faulted = engine.Run(request);
+  FaultInjector::Global().Disable();
+  ASSERT_EQ(faulted.termination, Termination::kError);
+
+  // Serial order is deterministic: exactly the four builds preceding the
+  // faulted fifth are on the books.
+  ASSERT_EQ(faulted.stats.tables_built_per_thread.size(), 1u);
+  EXPECT_EQ(faulted.stats.tables_built_per_thread[0], 4u);
+  EXPECT_EQ(faulted.stats.num_threads, 1u);
+  // Cache telemetry is recovered through the same path and stays
+  // internally consistent.
+  EXPECT_EQ(faulted.stats.ct_cache_lookups,
+            faulted.stats.ct_cache_hits + faulted.stats.ct_cache_misses);
+}
+
 TEST(RunControlTest, InjectedAllocFaultSurfacesAsError) {
   const TransactionDatabase db = PaperExampleDb();
   const ItemCatalog catalog = testutil::SmallCatalog(5);

@@ -93,6 +93,53 @@ TEST(Sampling, FullFractionMatchesExactMining) {
   EXPECT_EQ(sampled.sample_size, db.num_transactions());
 }
 
+TEST(Sampling, EmptyDatabaseYieldsEmptyResult) {
+  // Zero transactions: the Bernoulli sample is necessarily empty, and the
+  // miner must return cleanly instead of dividing by the database size.
+  TransactionDatabase db(5);
+  db.Finalize();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  ConstraintSet constraints;
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 1;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  SamplingOptions sampling;
+  sampling.sample_fraction = 0.5;
+  const SampledMiningResult sampled = MineBmsPlusPlusSampled(
+      db, catalog, constraints, options, sampling);
+  EXPECT_EQ(sampled.sample_size, 0u);
+  EXPECT_EQ(sampled.candidates_from_sample, 0u);
+  EXPECT_EQ(sampled.confirmed, 0u);
+  EXPECT_TRUE(sampled.result.answers.empty());
+}
+
+TEST(Sampling, SingleBasketDatabaseIsSoundAndAnswerFree) {
+  // One transaction can never exhibit correlation: every contingency
+  // table has a single populated cell, so CT-support fails and the
+  // verification pass confirms nothing — but the whole pipeline (sample,
+  // mine, verify) must run without tripping a check.
+  TransactionDatabase db(5);
+  db.Add({0, 1, 2});
+  db.Finalize();
+  const ItemCatalog catalog = testutil::SmallCatalog(5);
+  ConstraintSet constraints;
+  MiningOptions options;
+  options.significance = 0.9;
+  options.min_support = 1;
+  options.min_cell_fraction = 0.25;
+  options.max_set_size = 4;
+  SamplingOptions sampling;
+  sampling.sample_fraction = 1.0;
+  sampling.support_slack = 1.0;
+  const SampledMiningResult sampled = MineBmsPlusPlusSampled(
+      db, catalog, constraints, options, sampling);
+  EXPECT_EQ(sampled.sample_size, 1u);
+  EXPECT_EQ(sampled.confirmed, sampled.result.answers.size());
+  EXPECT_TRUE(sampled.result.answers.empty());
+}
+
 TEST(Sampling, RejectsBadFractions) {
   const TransactionDatabase db = testutil::SmallRandomDb(1);
   const ItemCatalog catalog = testutil::SmallCatalog();

@@ -1,0 +1,156 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace ccs {
+namespace {
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer tracer(/*enabled=*/false);
+  {
+    Tracer::Span outer(&tracer, "run");
+    Tracer::Span inner(&tracer, "level");
+  }
+  const TraceLog log = tracer.Log();
+  EXPECT_FALSE(log.enabled);
+  EXPECT_TRUE(log.events.empty());
+  EXPECT_EQ(log.dropped, 0u);
+}
+
+TEST(Tracer, NullTracerSpanIsANoOp) {
+  Tracer::Span span(nullptr, "run");  // must not crash
+}
+
+TEST(Tracer, SpansCloseInLifoOrderAndNestWellFormed) {
+  Tracer tracer(/*enabled=*/true);
+  {
+    Tracer::Span run(&tracer, "run");
+    {
+      Tracer::Span level(&tracer, "level");
+      Tracer::Span phase(&tracer, "judge");
+    }
+    EXPECT_EQ(tracer.open_spans(), 1u);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const TraceLog log = tracer.Log();
+  ASSERT_EQ(log.events.size(), 3u);
+  // Close order: children before parents.
+  EXPECT_STREQ(log.events[0].name, "judge");
+  EXPECT_STREQ(log.events[1].name, "level");
+  EXPECT_STREQ(log.events[2].name, "run");
+  EXPECT_EQ(log.events[0].depth, 2u);
+  EXPECT_EQ(log.events[1].depth, 1u);
+  EXPECT_EQ(log.events[2].depth, 0u);
+  // Every child's interval lies inside its parent's (same steady clock).
+  const TraceEvent& judge = log.events[0];
+  const TraceEvent& level = log.events[1];
+  const TraceEvent& run = log.events[2];
+  EXPECT_LE(run.start_ns, level.start_ns);
+  EXPECT_LE(level.start_ns, judge.start_ns);
+  EXPECT_LE(judge.start_ns, judge.end_ns);
+  EXPECT_LE(judge.end_ns, level.end_ns);
+  EXPECT_LE(level.end_ns, run.end_ns);
+}
+
+TEST(Tracer, TimestampsAreMonotoneInCloseOrder) {
+  Tracer tracer(/*enabled=*/true);
+  for (int i = 0; i < 10; ++i) {
+    Tracer::Span span(&tracer, "tick");
+  }
+  const TraceLog log = tracer.Log();
+  ASSERT_EQ(log.events.size(), 10u);
+  for (std::size_t i = 1; i < log.events.size(); ++i) {
+    EXPECT_GE(log.events[i].end_ns, log.events[i - 1].end_ns);
+    EXPECT_GE(log.events[i].start_ns, log.events[i - 1].start_ns);
+  }
+}
+
+TEST(Tracer, RingDropsOldestAndCountsThem) {
+  Tracer tracer(/*enabled=*/true, /*capacity=*/4);
+  const char* names[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+  for (const char* name : names) {
+    Tracer::Span span(&tracer, name);
+  }
+  const TraceLog log = tracer.Log();
+  EXPECT_TRUE(log.enabled);
+  EXPECT_EQ(log.dropped, 2u);
+  ASSERT_EQ(log.events.size(), 4u);
+  // The survivors are the 4 most recent closes, oldest first.
+  EXPECT_STREQ(log.events[0].name, "s2");
+  EXPECT_STREQ(log.events[1].name, "s3");
+  EXPECT_STREQ(log.events[2].name, "s4");
+  EXPECT_STREQ(log.events[3].name, "s5");
+}
+
+TEST(Tracer, ZeroCapacityDisables) {
+  Tracer tracer(/*enabled=*/true, /*capacity=*/0);
+  EXPECT_FALSE(tracer.enabled());
+  {
+    Tracer::Span span(&tracer, "run");
+  }
+  EXPECT_TRUE(tracer.Log().events.empty());
+}
+
+TEST(TraceLog, ToJsonContainsEventsAndDropCount) {
+  Tracer tracer(/*enabled=*/true, /*capacity=*/2);
+  {
+    Tracer::Span a(&tracer, "alpha");
+  }
+  {
+    Tracer::Span b(&tracer, "beta");
+  }
+  {
+    Tracer::Span c(&tracer, "gamma");
+  }
+  const std::string json = tracer.Log().ToJson();
+  EXPECT_EQ(json.find("\"alpha\""), std::string::npos);  // dropped
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"gamma\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 1"), std::string::npos);
+}
+
+class TraceEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("CCS_TRACE"); }
+};
+
+TEST_F(TraceEnvTest, UnsetKeepsFallbacks) {
+  unsetenv("CCS_TRACE");
+  bool enabled = true;
+  std::size_t capacity = 128;
+  ResolveTraceFromEnv(enabled, capacity);
+  EXPECT_TRUE(enabled);
+  EXPECT_EQ(capacity, 128u);
+}
+
+TEST_F(TraceEnvTest, ZeroDisables) {
+  setenv("CCS_TRACE", "0", 1);
+  bool enabled = true;
+  std::size_t capacity = 128;
+  ResolveTraceFromEnv(enabled, capacity);
+  EXPECT_FALSE(enabled);
+}
+
+TEST_F(TraceEnvTest, OneEnablesAtFallbackCapacity) {
+  setenv("CCS_TRACE", "1", 1);
+  bool enabled = false;
+  std::size_t capacity = 128;
+  ResolveTraceFromEnv(enabled, capacity);
+  EXPECT_TRUE(enabled);
+  EXPECT_EQ(capacity, 128u);
+}
+
+TEST_F(TraceEnvTest, IntegerSetsCapacity) {
+  setenv("CCS_TRACE", "64", 1);
+  bool enabled = false;
+  std::size_t capacity = 128;
+  ResolveTraceFromEnv(enabled, capacity);
+  EXPECT_TRUE(enabled);
+  EXPECT_EQ(capacity, 64u);
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,326 @@
+// The metrics-identity suite (DESIGN.md §10): every kDeterministic metric
+// must aggregate to a bit-identical total for any executor width, and the
+// engine.* family — derived purely from the answer computation — must also
+// be identical across the two CT paths. Runs every BMS variant over the
+// golden corpus at {1, 2, 8} threads with the CT cache on and off.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "core/engine.h"
+#include "txn/io.h"
+#include "util/check.h"
+
+namespace ccs {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+struct Fixture {
+  const char* name;
+  const char* baskets_file;
+  std::size_t num_items;
+  ConstraintSet constraints;
+  MiningOptions options;
+};
+
+std::string DataPath(const std::string& name) {
+  return std::string(CCS_TEST_DATA_DIR "/") + name;
+}
+
+TransactionDatabase LoadFixtureDb(const Fixture& fixture) {
+  auto loaded =
+      LoadBasketsFromFile(DataPath(fixture.baskets_file), fixture.num_items);
+  CCS_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+ItemCatalog FixtureCatalog(std::size_t n) {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < n; ++i) {
+    catalog.AddItem(i + 1.0, types[i % 4]);
+  }
+  return catalog;
+}
+
+std::vector<Fixture> GoldenFixtures() {
+  std::vector<Fixture> fixtures(3);
+  fixtures[0].name = "paper_example";
+  fixtures[0].baskets_file = "paper_example.baskets";
+  fixtures[0].num_items = 5;
+  fixtures[0].constraints.Add(MaxLe(4.0));
+  fixtures[0].options.significance = 0.95;
+  fixtures[0].options.min_support = 50;
+  fixtures[0].options.min_cell_fraction = 0.25;
+  fixtures[0].options.max_set_size = 4;
+
+  fixtures[1].name = "ibm_seed4201";
+  fixtures[1].baskets_file = "ibm_seed4201.baskets";
+  fixtures[1].num_items = 24;
+  fixtures[1].constraints.Add(SumLe(40.0));
+  fixtures[1].options.significance = 0.9;
+  fixtures[1].options.min_support = 40;
+  fixtures[1].options.min_cell_fraction = 0.25;
+  fixtures[1].options.max_set_size = 4;
+
+  fixtures[2].name = "zipf_seed4202";
+  fixtures[2].baskets_file = "zipf_seed4202.baskets";
+  fixtures[2].num_items = 24;
+  fixtures[2].constraints.Add(MaxLe(20.0));
+  fixtures[2].options.significance = 0.9;
+  fixtures[2].options.min_support = 30;
+  fixtures[2].options.min_cell_fraction = 0.25;
+  fixtures[2].options.max_set_size = 4;
+  return fixtures;
+}
+
+// The deterministic scalar totals of a snapshot, keyed by name.
+std::map<std::string, std::uint64_t> DeterministicScalars(
+    const MetricsSnapshot& snapshot) {
+  std::map<std::string, std::uint64_t> out;
+  for (const MetricScalar& scalar : snapshot.scalars) {
+    if (scalar.stability == MetricStability::kDeterministic) {
+      out[scalar.name] = scalar.value;
+    }
+  }
+  return out;
+}
+
+// Same, restricted to the engine.* family (comparable across CT paths).
+std::map<std::string, std::uint64_t> EngineScalars(
+    const MetricsSnapshot& snapshot) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : DeterministicScalars(snapshot)) {
+    if (name.rfind("engine.", 0) == 0) out[name] = value;
+  }
+  return out;
+}
+
+MiningResult RunOnce(const TransactionDatabase& db, const ItemCatalog& catalog,
+                     const Fixture& fixture, Algorithm algorithm,
+                     std::size_t threads, bool cache) {
+  EngineOptions eopts;
+  eopts.num_threads = threads;
+  eopts.ct_cache = cache;
+  MiningEngine engine(db, catalog, eopts);
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = fixture.options;
+  request.constraints = &fixture.constraints;
+  MiningResult result = engine.Run(request);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  return result;
+}
+
+class MetricsIdentityTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MetricsIdentityTest, DeterministicCountersAcrossThreadsAndCacheModes) {
+  const Algorithm algorithm = GetParam();
+  for (const Fixture& fixture : GoldenFixtures()) {
+    SCOPED_TRACE(fixture.name);
+    const TransactionDatabase db = LoadFixtureDb(fixture);
+    const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+
+    // Reference runs at 1 thread, per cache mode.
+    const MiningResult ref_on =
+        RunOnce(db, catalog, fixture, algorithm, 1, true);
+    const MiningResult ref_off =
+        RunOnce(db, catalog, fixture, algorithm, 1, false);
+    ASSERT_TRUE(ref_on.metrics.enabled);
+
+    // Across CT paths only the engine.* family is promised identical —
+    // ct.word_ops and the batching counters legitimately move with the
+    // evaluation strategy. Answers are identical by the determinism
+    // contract.
+    EXPECT_EQ(ref_on.answers, ref_off.answers);
+    EXPECT_EQ(EngineScalars(ref_on.metrics), EngineScalars(ref_off.metrics));
+
+    for (const bool cache : {true, false}) {
+      const MiningResult& reference = cache ? ref_on : ref_off;
+      const auto ref_scalars = DeterministicScalars(reference.metrics);
+      const HistogramSnapshot* ref_hist =
+          reference.metrics.FindHistogram("engine.level_candidates");
+      ASSERT_NE(ref_hist, nullptr);
+      for (const std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " cache=" + std::to_string(cache));
+        const MiningResult run =
+            RunOnce(db, catalog, fixture, algorithm, threads, cache);
+        EXPECT_EQ(run.answers, reference.answers);
+        // Every deterministic scalar, bit-identical.
+        EXPECT_EQ(DeterministicScalars(run.metrics), ref_scalars);
+        // The per-level candidate histogram is deterministic too.
+        const HistogramSnapshot* hist =
+            run.metrics.FindHistogram("engine.level_candidates");
+        ASSERT_NE(hist, nullptr);
+        EXPECT_EQ(hist->buckets, ref_hist->buckets);
+        EXPECT_EQ(hist->count, ref_hist->count);
+        EXPECT_EQ(hist->sum, ref_hist->sum);
+        EXPECT_EQ(hist->min, ref_hist->min);
+        EXPECT_EQ(hist->max, ref_hist->max);
+      }
+    }
+  }
+}
+
+TEST_P(MetricsIdentityTest, CacheLookupsEqualHitsPlusMisses) {
+  const Algorithm algorithm = GetParam();
+  for (const Fixture& fixture : GoldenFixtures()) {
+    SCOPED_TRACE(fixture.name);
+    const TransactionDatabase db = LoadFixtureDb(fixture);
+    const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+    for (const std::size_t threads : kThreadCounts) {
+      const MiningResult run =
+          RunOnce(db, catalog, fixture, algorithm, threads, true);
+      const MetricsSnapshot& m = run.metrics;
+      EXPECT_EQ(m.Value("ct_cache.lookups"),
+                m.Value("ct_cache.hits") + m.Value("ct_cache.misses"))
+          << "threads=" << threads;
+      // The split is schedule-dependent; the lookup total must not be.
+      const MetricScalar* lookups = m.FindScalar("ct_cache.lookups");
+      ASSERT_NE(lookups, nullptr);
+      EXPECT_EQ(lookups->stability, MetricStability::kDeterministic);
+    }
+  }
+}
+
+TEST_P(MetricsIdentityTest, TimingCountersPresentAndBounded) {
+  const Algorithm algorithm = GetParam();
+  const std::vector<Fixture> fixtures = GoldenFixtures();
+  const Fixture& fixture = fixtures[1];  // ibm_seed4201
+  const TransactionDatabase db = LoadFixtureDb(fixture);
+  const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const MiningResult run =
+        RunOnce(db, catalog, fixture, algorithm, threads, true);
+    const MetricsSnapshot& m = run.metrics;
+    const MetricScalar* wall = m.FindScalar("run.wall_ns");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->stability, MetricStability::kTiming);
+    EXPECT_GT(wall->value, 0u);
+    // Each phase accumulates disjoint intervals of the run's own steady
+    // clock window, so no phase can exceed the run's wall time.
+    bool saw_phase = false;
+    for (const MetricScalar& scalar : m.scalars) {
+      if (scalar.name.rfind("phase.", 0) != 0) continue;
+      saw_phase = true;
+      EXPECT_EQ(scalar.stability, MetricStability::kTiming) << scalar.name;
+      EXPECT_LE(scalar.value, wall->value) << scalar.name;
+    }
+    EXPECT_TRUE(saw_phase);
+  }
+}
+
+TEST_P(MetricsIdentityTest, ScalarTotalsMatchShardBreakdown) {
+  const Algorithm algorithm = GetParam();
+  const std::vector<Fixture> fixtures = GoldenFixtures();
+  const Fixture& fixture = fixtures[2];  // zipf_seed4202
+  const TransactionDatabase db = LoadFixtureDb(fixture);
+  const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+  const MiningResult run = RunOnce(db, catalog, fixture, algorithm, 8, true);
+  for (const MetricScalar& scalar : run.metrics.scalars) {
+    ASSERT_EQ(scalar.shards.size(), 8u) << scalar.name;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    for (const std::uint64_t shard : scalar.shards) {
+      sum += shard;
+      max = shard > max ? shard : max;
+    }
+    if (scalar.kind == MetricKind::kCounter) {
+      EXPECT_EQ(scalar.value, sum) << scalar.name;
+    } else if (scalar.kind == MetricKind::kGauge) {
+      EXPECT_EQ(scalar.value, max) << scalar.name;
+    }
+  }
+  // The answers gauge mirrors the result.
+  EXPECT_EQ(run.metrics.Value("engine.answers"), run.answers.size());
+}
+
+TEST(MetricsKillSwitch, DisabledEngineProducesEmptySnapshot) {
+  const std::vector<Fixture> fixtures = GoldenFixtures();
+  const Fixture& fixture = fixtures[0];
+  const TransactionDatabase db = LoadFixtureDb(fixture);
+  const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+  EngineOptions eopts;
+  eopts.metrics = false;
+  MiningEngine engine(db, catalog, eopts);
+  EXPECT_FALSE(engine.metrics_enabled());
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsPlusPlus;
+  request.options = fixture.options;
+  request.constraints = &fixture.constraints;
+  const MiningResult result = engine.Run(request);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_FALSE(result.metrics.enabled);
+  EXPECT_EQ(result.metrics.Value("engine.candidates"), 0u);
+  // The answers themselves are unaffected by the kill switch.
+  EngineOptions on;
+  MiningEngine engine_on(db, catalog, on);
+  EXPECT_EQ(engine_on.Run(request).answers, result.answers);
+}
+
+TEST(TraceIntegration, EngineRunEmitsWellFormedSpanTree) {
+  const std::vector<Fixture> fixtures = GoldenFixtures();
+  const Fixture& fixture = fixtures[0];
+  const TransactionDatabase db = LoadFixtureDb(fixture);
+  const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+  EngineOptions eopts;
+  eopts.trace = true;
+  MiningEngine engine(db, catalog, eopts);
+  EXPECT_TRUE(engine.trace_enabled());
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsPlusPlus;
+  request.options = fixture.options;
+  request.constraints = &fixture.constraints;
+  const MiningResult result = engine.Run(request);
+  ASSERT_TRUE(result.trace.enabled);
+  ASSERT_FALSE(result.trace.events.empty());
+  // Exactly one root span, named "run", and it is the last to close.
+  std::size_t roots = 0;
+  for (const TraceEvent& event : result.trace.events) {
+    EXPECT_LE(event.start_ns, event.end_ns);
+    if (event.depth == 0) {
+      ++roots;
+      EXPECT_STREQ(event.name, "run");
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  const TraceEvent& root = result.trace.events.back();
+  EXPECT_EQ(root.depth, 0u);
+  for (const TraceEvent& event : result.trace.events) {
+    EXPECT_GE(event.start_ns, root.start_ns);
+    EXPECT_LE(event.end_ns, root.end_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, MetricsIdentityTest,
+    ::testing::Values(Algorithm::kBms, Algorithm::kBmsPlus,
+                      Algorithm::kBmsPlusPlus, Algorithm::kBmsStar,
+                      Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      switch (info.param) {
+        case Algorithm::kBms:
+          return "BMS";
+        case Algorithm::kBmsPlus:
+          return "BMSPlus";
+        case Algorithm::kBmsPlusPlus:
+          return "BMSPlusPlus";
+        case Algorithm::kBmsStar:
+          return "BMSStar";
+        case Algorithm::kBmsStarStar:
+          return "BMSStarStar";
+        case Algorithm::kBmsStarStarOpt:
+          return "BMSStarStarOpt";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace ccs

@@ -34,6 +34,38 @@ TEST(FisherExact, DegenerateTables) {
   EXPECT_NEAR(FisherExactGreater(5, 0, 5, 0), 1.0, 1e-12);
 }
 
+TEST(FisherExact, ZeroMarginTablesAreCertain) {
+  // Any zero margin pins the table: the hypergeometric support collapses
+  // to a single point, so both p-values are exactly 1 no matter which of
+  // the four margins vanishes.
+  // Row margin a + b == 0 (x never occurs):
+  EXPECT_NEAR(FisherExactTwoSided(0, 0, 7, 3), 1.0, 1e-12);
+  EXPECT_NEAR(FisherExactGreater(0, 0, 7, 3), 1.0, 1e-12);
+  // Column margin a + c == 0 (y never occurs):
+  EXPECT_NEAR(FisherExactTwoSided(0, 4, 0, 9), 1.0, 1e-12);
+  EXPECT_NEAR(FisherExactGreater(0, 4, 0, 9), 1.0, 1e-12);
+  // Row margin c + d == 0 (x always occurs):
+  EXPECT_NEAR(FisherExactTwoSided(6, 2, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(FisherExactGreater(6, 2, 0, 0), 1.0, 1e-12);
+  // Column margin b + d == 0 (y always occurs):
+  EXPECT_NEAR(FisherExactTwoSided(5, 0, 8, 0), 1.0, 1e-12);
+  EXPECT_NEAR(FisherExactGreater(5, 0, 8, 0), 1.0, 1e-12);
+}
+
+TEST(FisherExact, LargeCountsStayFiniteAndInRange) {
+  // The log-gamma formulation must not overflow or go negative at counts
+  // far beyond what the golden corpus exercises.
+  const double strong = FisherExactTwoSided(1000, 10, 10, 1000);
+  EXPECT_GE(strong, 0.0);
+  EXPECT_LT(strong, 1e-6);  // overwhelming association
+  const double balanced = FisherExactTwoSided(500, 500, 500, 500);
+  EXPECT_GT(balanced, 0.5);  // dead-on independent
+  EXPECT_LE(balanced, 1.0 + 1e-12);
+  const double one_sided = FisherExactGreater(500, 500, 500, 500);
+  EXPECT_GT(one_sided, 0.0);
+  EXPECT_LE(one_sided, 1.0 + 1e-12);
+}
+
 TEST(FisherExact, SymmetricUnderTransposition) {
   for (auto [a, b, c, d] :
        {std::tuple{5u, 2u, 3u, 8u}, std::tuple{1u, 7u, 4u, 2u}}) {

@@ -1,0 +1,181 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ccs {
+namespace {
+
+TEST(MetricsRegistry, CounterSumsOverShards) {
+  MetricsRegistry registry(4);
+  const MetricsRegistry::Id id =
+      registry.Counter("c", MetricStability::kDeterministic);
+  registry.Add(id, 0, 1);
+  registry.Add(id, 1, 10);
+  registry.Add(id, 3, 100);
+  registry.Add(id, 3, 1000);
+  EXPECT_EQ(registry.Total(id), 1111u);
+  EXPECT_EQ(registry.ShardValue(id, 0), 1u);
+  EXPECT_EQ(registry.ShardValue(id, 1), 10u);
+  EXPECT_EQ(registry.ShardValue(id, 2), 0u);
+  EXPECT_EQ(registry.ShardValue(id, 3), 1100u);
+}
+
+TEST(MetricsRegistry, GaugeTakesShardMax) {
+  MetricsRegistry registry(3);
+  const MetricsRegistry::Id id =
+      registry.Gauge("g", MetricStability::kDeterministic);
+  registry.GaugeMax(id, 0, 5);
+  registry.GaugeMax(id, 0, 3);  // lower: must not lower the cell
+  registry.GaugeMax(id, 2, 9);
+  EXPECT_EQ(registry.Total(id), 9u);
+  EXPECT_EQ(registry.ShardValue(id, 0), 5u);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsSameId) {
+  MetricsRegistry registry(1);
+  const MetricsRegistry::Id a =
+      registry.Counter("shared", MetricStability::kDeterministic);
+  const MetricsRegistry::Id b =
+      registry.Counter("shared", MetricStability::kDeterministic);
+  EXPECT_EQ(a, b);
+  registry.Add(a, 0, 2);
+  registry.Add(b, 0, 3);
+  EXPECT_EQ(registry.Total(a), 5u);
+}
+
+TEST(MetricsRegistry, DisabledRegistryIsInert) {
+  MetricsRegistry registry(2, /*enabled=*/false);
+  const MetricsRegistry::Id id =
+      registry.Counter("c", MetricStability::kDeterministic);
+  registry.Add(id, 0, 7);
+  EXPECT_EQ(registry.Total(id), 0u);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_FALSE(snapshot.enabled);
+  EXPECT_EQ(snapshot.Value("c"), 0u);
+}
+
+// The tentpole property: the same multiset of updates, distributed over
+// {1, 2, 8} shards in arbitrary splits, aggregates to identical totals —
+// sums and maxes commute, so the thread schedule never reaches the total.
+TEST(MetricsRegistry, AggregationIsIdenticalAcrossShardCounts) {
+  std::vector<MetricsSnapshot> snapshots;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    MetricsRegistry registry(shards);
+    const MetricsRegistry::Id counter =
+        registry.Counter("work", MetricStability::kDeterministic);
+    const MetricsRegistry::Id gauge =
+        registry.Gauge("peak", MetricStability::kDeterministic);
+    const MetricsRegistry::Id hist = registry.Histogram(
+        "sizes", MetricStability::kDeterministic, {2, 8, 32});
+    // 100 updates, round-robined over the available shards: each shard
+    // sees a different subset at each width, but the multiset is fixed.
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const std::size_t shard = i % shards;
+      registry.Add(counter, shard, i);
+      registry.GaugeMax(gauge, shard, (i * 37) % 91);
+      registry.Observe(hist, shard, i % 40);
+    }
+    snapshots.push_back(registry.Snapshot());
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].Value("work"), snapshots[0].Value("work"));
+    EXPECT_EQ(snapshots[i].Value("peak"), snapshots[0].Value("peak"));
+    const HistogramSnapshot* h0 = snapshots[0].FindHistogram("sizes");
+    const HistogramSnapshot* hi = snapshots[i].FindHistogram("sizes");
+    ASSERT_NE(h0, nullptr);
+    ASSERT_NE(hi, nullptr);
+    EXPECT_EQ(hi->buckets, h0->buckets);
+    EXPECT_EQ(hi->count, h0->count);
+    EXPECT_EQ(hi->sum, h0->sum);
+    EXPECT_EQ(hi->min, h0->min);
+    EXPECT_EQ(hi->max, h0->max);
+  }
+}
+
+TEST(MetricsRegistry, ConcurrentShardUpdatesAggregateExactly) {
+  // One writer thread per shard, disjoint cells: the total must be exact,
+  // and under TSan this doubles as the data-race check for the shard
+  // contract.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  MetricsRegistry registry(kThreads);
+  const MetricsRegistry::Id id =
+      registry.Counter("c", MetricStability::kDeterministic);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, id, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.Add(id, t, 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Total(id), kThreads * kPerThread);
+}
+
+TEST(MetricsHistogram, BucketBoundariesAreInclusive) {
+  MetricsRegistry registry(1);
+  const MetricsRegistry::Id id = registry.Histogram(
+      "h", MetricStability::kDeterministic, {1, 10, 100});
+  // Exactly on a bound lands in that bound's bucket (v <= bounds[i]).
+  registry.Observe(id, 0, 0);    // bucket 0 (<= 1)
+  registry.Observe(id, 0, 1);    // bucket 0 (== bound)
+  registry.Observe(id, 0, 2);    // bucket 1 (<= 10)
+  registry.Observe(id, 0, 10);   // bucket 1 (== bound)
+  registry.Observe(id, 0, 11);   // bucket 2 (<= 100)
+  registry.Observe(id, 0, 100);  // bucket 2 (== bound)
+  registry.Observe(id, 0, 101);  // overflow bucket
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->buckets.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(h->buckets[0], 2u);
+  EXPECT_EQ(h->buckets[1], 2u);
+  EXPECT_EQ(h->buckets[2], 2u);
+  EXPECT_EQ(h->buckets[3], 1u);
+  EXPECT_EQ(h->count, 7u);
+  EXPECT_EQ(h->sum, 0u + 1 + 2 + 10 + 11 + 100 + 101);
+  EXPECT_EQ(h->min, 0u);
+  EXPECT_EQ(h->max, 101u);
+}
+
+TEST(MetricsHistogram, EmptyHistogramReportsZeroMin) {
+  MetricsRegistry registry(2);
+  registry.Histogram("h", MetricStability::kDeterministic, {5});
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_EQ(h->min, 0u);  // not UINT64_MAX
+  EXPECT_EQ(h->max, 0u);
+}
+
+TEST(MetricsSnapshot, ScalarsAreSortedAndJsonWellFormed) {
+  MetricsRegistry registry(2);
+  registry.Add(registry.Counter("zeta", MetricStability::kTiming), 0, 1);
+  registry.Add(
+      registry.Counter("alpha", MetricStability::kScheduleDependent), 1, 2);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.scalars.size(), 2u);
+  EXPECT_EQ(snapshot.scalars[0].name, "alpha");
+  EXPECT_EQ(snapshot.scalars[1].name, "zeta");
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_dependent\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+}
+
+TEST(MetricsEnabledFromEnv, ZeroDisablesAnythingElseKeepsFallback) {
+  // The process does not set CCS_METRICS in the test environment, so the
+  // fallback must pass through.
+  EXPECT_TRUE(MetricsEnabledFromEnv(true));
+  EXPECT_FALSE(MetricsEnabledFromEnv(false));
+}
+
+}  // namespace
+}  // namespace ccs
