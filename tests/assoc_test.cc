@@ -119,9 +119,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      EngineCase{"FpGrowth", &MineFpGrowth}),
                      testing::Values(1u, 2u, 3u, 7u, 11u)),
     [](const testing::TestParamInfo<std::tuple<EngineCase, std::uint64_t>>&
-           info) {
-      return std::string(std::get<0>(info.param).name) + "_Seed" +
-             std::to_string(std::get<1>(info.param));
+           tp_info) {
+      return std::string(std::get<0>(tp_info.param).name) + "_Seed" +
+             std::to_string(std::get<1>(tp_info.param));
     });
 
 TEST(Eclat, HandComputedSupports) {

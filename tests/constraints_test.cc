@@ -327,8 +327,8 @@ INSTANTIATE_TEST_SUITE_P(
                             return std::make_unique<ExcludesItemsConstraint>(
                                 std::vector<ItemId>{1, 8});
                           }}),
-    [](const testing::TestParamInfo<ConstraintFactory>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<ConstraintFactory>& tp_info) {
+      return tp_info.param.name;
     });
 
 }  // namespace

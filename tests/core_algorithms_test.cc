@@ -150,9 +150,9 @@ TEST_P(AlgorithmOracleTest, AnswersAreSortedAntichainsSatisfyingC) {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, AlgorithmOracleTest, testing::ValuesIn(MakeGrid()),
-    [](const testing::TestParamInfo<GridCase>& info) {
-      return "Seed" + std::to_string(info.param.seed) + "_" +
-             info.param.constraints.name;
+    [](const testing::TestParamInfo<GridCase>& tp_info) {
+      return "Seed" + std::to_string(tp_info.param.seed) + "_" +
+             tp_info.param.constraints.name;
     });
 
 // --- Threshold sweeps: the same pinning across statistical parameters ---

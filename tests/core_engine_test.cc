@@ -175,8 +175,8 @@ TEST_P(EngineDeterminismTest, ShimAgreesWithEngine) {
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, EngineDeterminismTest,
     ::testing::ValuesIn(kAllAlgorithms),
-    [](const ::testing::TestParamInfo<Algorithm>& info) {
-      std::string name = AlgorithmName(info.param);
+    [](const ::testing::TestParamInfo<Algorithm>& tp_info) {
+      std::string name = AlgorithmName(tp_info.param);
       std::string out;
       for (char c : name) {
         if (c == '+') out += "Plus";

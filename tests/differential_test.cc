@@ -290,9 +290,9 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(FuzzConfig{101, false}, FuzzConfig{202, false},
                     FuzzConfig{303, false}, FuzzConfig{404, true},
                     FuzzConfig{505, true}, FuzzConfig{606, true}),
-    [](const testing::TestParamInfo<FuzzConfig>& info) {
-      return std::string(info.param.zipf ? "Zipf" : "Ibm") +
-             std::to_string(info.param.seed);
+    [](const testing::TestParamInfo<FuzzConfig>& tp_info) {
+      return std::string(tp_info.param.zipf ? "Zipf" : "Ibm") +
+             std::to_string(tp_info.param.seed);
     });
 
 }  // namespace

@@ -304,8 +304,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Algorithm::kBms, Algorithm::kBmsPlus,
                       Algorithm::kBmsPlusPlus, Algorithm::kBmsStar,
                       Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt),
-    [](const ::testing::TestParamInfo<Algorithm>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<Algorithm>& tp_info) {
+      switch (tp_info.param) {
         case Algorithm::kBms:
           return "BMS";
         case Algorithm::kBmsPlus:

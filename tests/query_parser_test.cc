@@ -176,8 +176,8 @@ INSTANTIATE_TEST_SUITE_P(
                     BadQuery{"WrongTarget", "max(S.cost) <= 3"},
                     BadQuery{"ItemSetVerb", "{1,2} intersects S"},
                     BadQuery{"BadChar", "max(S.price) <= 3 # comment"}),
-    [](const testing::TestParamInfo<BadQuery>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<BadQuery>& tp_info) {
+      return tp_info.param.name;
     });
 
 }  // namespace

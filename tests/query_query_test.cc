@@ -104,8 +104,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadQueryCase{"AllWithWhere", "all where max(S.price) <= 3"},
         BadQueryCase{"MinValidWithAvg",
                      "min_valid where avg(S.price) <= 3"}),
-    [](const testing::TestParamInfo<BadQueryCase>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<BadQueryCase>& tp_info) {
+      return tp_info.param.name;
     });
 
 TEST(ParseQuery, AvgAllowedForValidMin) {
