@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # One-command verification sweep, in increasing order of cost:
 #
-#   1. tier-1: the full gtest suite in the regular build flavor.
-#   2. address + undefined sanitizer flavors of the suites aimed at the
-#      executor, I/O, and metrics surfaces (the "sanitize" ctest label).
+#   0. lint: the static-analysis gate (DESIGN.md §11) — the tier-1 tree is
+#      configured with -DCCS_LINT=ON (-Wextra -Wshadow -Werror, plus Clang
+#      thread-safety analysis when the compiler is Clang), then
+#      scripts/ccs_lint.py (determinism/error-handling rules), clang-tidy
+#      and clang-format run over src/ (the latter two self-skip with a
+#      message when the LLVM toolchain is absent).
+#   1. tier-1: the full gtest suite in the regular build flavor, which now
+#      includes the ccs-lint fixture suite as ctest entries.
+#   2. sanitizer flavors of the suites aimed at the executor, I/O, and
+#      metrics surfaces (the "sanitize" ctest label): address + undefined,
+#      plus thread for the ParallelExecutor/metrics-shard paths.
 #   3. bench_smoke: the quick benchmark sweep, which also exercises every
 #      BENCH_<name>.json writer.
 #
 # Usage: scripts/check.sh [build-dir]     (default: build)
-# Sanitizer flavors build into <build-dir>-address / <build-dir>-undefined.
+# Sanitizer flavors build into <build-dir>-address / <build-dir>-undefined
+# / <build-dir>-thread.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,17 +34,28 @@ configure() {
   fi
 }
 
+echo "== stage 0: lint (${BUILD}) =="
+configure "${BUILD}" -DCCS_LINT=ON
+python3 scripts/ccs_lint.py --build-dir "${BUILD}"
+scripts/run_clang_tidy.sh "${BUILD}"
+scripts/format_check.sh
+
 echo "== tier-1 (${BUILD}) =="
-configure "${BUILD}"
 cmake --build "${BUILD}" -j >/dev/null
 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 
-for flavor in address undefined; do
+# Per-flavor suite lists mirror tests/CMakeLists.txt's sanitize entries.
+declare -A SUITES=(
+  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
+  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
+  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test"
+)
+for flavor in address undefined thread; do
   dir="${BUILD}-${flavor}"
   echo "== sanitize: ${flavor} (${dir}) =="
   configure "${dir}" -DCCS_SANITIZE="${flavor}"
-  cmake --build "${dir}" -j --target core_engine_test txn_binary_io_test \
-    differential_test metrics_identity_test >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${dir}" -j --target ${SUITES[${flavor}]} >/dev/null
   ctest --test-dir "${dir}" -L sanitize --output-on-failure
 done
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every src/
+# translation unit in the given build tree's compile_commands.json.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]     (default: build)
+#
+# Degrades gracefully: a missing clang-tidy or compilation database is a
+# SKIP (exit 0) with a clear message, not a failure — the gate's
+# GCC-enforceable layers (CCS_LINT warnings, ccs_lint.py) still run on
+# machines without the LLVM toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (install LLVM" \
+       "to enable the bugprone-*/performance-*/concurrency-* layer)"
+  exit 0
+fi
+if [ ! -f "${BUILD}/compile_commands.json" ]; then
+  echo "run_clang_tidy: ${BUILD}/compile_commands.json not found;" \
+       "configure first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)"
+  exit 0
+fi
+
+# TU list from the compilation database, limited to src/ (tests and
+# benches follow gtest/benchmark idioms the curated checks dislike).
+mapfile -t FILES < <(python3 - "${BUILD}/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/src/" in f:
+        print(f)
+EOF
+)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no src/ entries in the compilation database"
+  exit 0
+fi
+
+echo "run_clang_tidy: ${#FILES[@]} translation units"
+printf '%s\n' "${FILES[@]}" | xargs -P "$(nproc)" -n 4 \
+  clang-tidy -p "${BUILD}" --quiet --warnings-as-errors='*'
+echo "run_clang_tidy: clean"

@@ -100,7 +100,9 @@ class MiningEngine {
   MiningEngine(const TransactionDatabase& db, const ItemCatalog& catalog,
                EngineOptions options = {});
 
-  MiningResult Run(const MiningRequest& request);
+  // [[nodiscard]]: the result carries the run's termination reason and
+  // Status — discarding it silently swallows deadline/cancel/error exits.
+  [[nodiscard]] MiningResult Run(const MiningRequest& request);
 
   const TransactionDatabase& database() const { return *db_; }
   const ItemCatalog& catalog() const { return *catalog_; }

@@ -20,10 +20,11 @@ namespace ccs {
 // the database on every query instead of once per session. It is kept so
 // existing callers keep compiling and will be marked [[deprecated]] once
 // the tree is fully migrated.
-MiningResult Mine(Algorithm algorithm, const TransactionDatabase& db,
-                  const ItemCatalog& catalog,
-                  const ConstraintSet& constraints,
-                  const MiningOptions& options);
+[[nodiscard]] MiningResult Mine(Algorithm algorithm,
+                                const TransactionDatabase& db,
+                                const ItemCatalog& catalog,
+                                const ConstraintSet& constraints,
+                                const MiningOptions& options);
 
 }  // namespace ccs
 

@@ -38,7 +38,8 @@ namespace ccs {
 // message pinpoints the offending token with its 1-based line and column
 // (plus the raw byte position), e.g.
 //   "expected a number at line 2, column 14 (position 29)".
-StatusOr<ConstraintSet> ParseConstraintsOrError(std::string_view text);
+[[nodiscard]] StatusOr<ConstraintSet> ParseConstraintsOrError(
+    std::string_view text);
 
 // Optional-based wrapper kept for existing call sites; the diagnostic is
 // the Status message above.

@@ -58,7 +58,7 @@ struct Query {
 // Parses the full query syntax above. Errors are kInvalidArgument;
 // where-clause errors carry the line/column diagnostics of
 // ParseConstraintsOrError (positions relative to the where-clause text).
-StatusOr<Query> ParseQueryOrError(std::string_view text);
+[[nodiscard]] StatusOr<Query> ParseQueryOrError(std::string_view text);
 
 // Optional-based wrapper kept for existing call sites; the diagnostic is
 // the Status message above.

@@ -35,8 +35,9 @@ bool WriteBasketsBinaryToFile(const TransactionDatabase& db,
 // The returned database is finalized. For seekable streams the header
 // counts are validated against the actual byte count before any
 // allocation; non-seekable streams fall back to incremental checks.
-StatusOr<TransactionDatabase> LoadBasketsBinary(std::istream& in);
-StatusOr<TransactionDatabase> LoadBasketsBinaryFromFile(
+[[nodiscard]] StatusOr<TransactionDatabase> LoadBasketsBinary(
+    std::istream& in);
+[[nodiscard]] StatusOr<TransactionDatabase> LoadBasketsBinaryFromFile(
     const std::string& path);
 
 // Optional-based wrappers kept for existing call sites; they forward to

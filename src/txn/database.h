@@ -35,7 +35,7 @@ class TransactionDatabase {
   // Add() for untrusted input: rejects out-of-range ids and use after
   // finalization with a Status instead of aborting. On error the database
   // is unchanged.
-  Status AddOrError(Transaction items);
+  [[nodiscard]] Status AddOrError(Transaction items);
 
   // Builds the vertical bitmap index. Must be called exactly once, after
   // the last Add().
@@ -44,7 +44,7 @@ class TransactionDatabase {
   // Finalize() for fallible call sites: double finalization and index
   // allocation failure come back as a Status (kFailedPrecondition and
   // kResourceExhausted respectively) instead of aborting the process.
-  Status FinalizeOrError();
+  [[nodiscard]] Status FinalizeOrError();
 
   bool finalized() const { return finalized_; }
   std::size_t num_items() const { return num_items_; }

@@ -28,10 +28,10 @@ bool WriteBasketsToFile(const TransactionDatabase& db,
 
 // Reads basket lines. `num_items` fixes the universe; any id >= num_items
 // is an error. The returned database is already finalized.
-StatusOr<TransactionDatabase> LoadBaskets(std::istream& in,
-                                          std::size_t num_items);
-StatusOr<TransactionDatabase> LoadBasketsFromFile(const std::string& path,
-                                                  std::size_t num_items);
+[[nodiscard]] StatusOr<TransactionDatabase> LoadBaskets(
+    std::istream& in, std::size_t num_items);
+[[nodiscard]] StatusOr<TransactionDatabase> LoadBasketsFromFile(
+    const std::string& path, std::size_t num_items);
 std::optional<TransactionDatabase> ReadBaskets(std::istream& in,
                                                std::size_t num_items,
                                                std::string* error = nullptr);
@@ -42,8 +42,9 @@ std::optional<TransactionDatabase> ReadBasketsFromFile(
 // Catalog CSV round-trip. Items must appear with consecutive ids from 0.
 bool WriteCatalog(const ItemCatalog& catalog, std::ostream& out);
 bool WriteCatalogToFile(const ItemCatalog& catalog, const std::string& path);
-StatusOr<ItemCatalog> LoadCatalog(std::istream& in);
-StatusOr<ItemCatalog> LoadCatalogFromFile(const std::string& path);
+[[nodiscard]] StatusOr<ItemCatalog> LoadCatalog(std::istream& in);
+[[nodiscard]] StatusOr<ItemCatalog> LoadCatalogFromFile(
+    const std::string& path);
 std::optional<ItemCatalog> ReadCatalog(std::istream& in,
                                        std::string* error = nullptr);
 std::optional<ItemCatalog> ReadCatalogFromFile(const std::string& path,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace ccs {
 
@@ -55,7 +56,7 @@ class ParallelExecutor {
   // quiesced. The pool stays usable for subsequent ParallelFor calls.
   // Side effects of body calls that ran before the abandonment are
   // unspecified — callers must discard any partially written outputs.
-  void ParallelFor(std::size_t n, const Body& body);
+  void ParallelFor(std::size_t n, const Body& body) CCS_EXCLUDES(mutex_);
 
   // std::thread::hardware_concurrency with a floor of 1.
   static std::size_t HardwareThreads();
@@ -67,11 +68,17 @@ class ParallelExecutor {
   // dependent). Must be called with no loop in flight; the registry must
   // outlive the attachment. The engine attaches its per-run registry for
   // the duration of each Run.
-  void SetMetrics(MetricsRegistry* metrics);
+  void SetMetrics(MetricsRegistry* metrics) CCS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(std::size_t thread_index);
-  void RunChunks(std::size_t thread_index);
+  void WorkerLoop(std::size_t thread_index) CCS_EXCLUDES(mutex_);
+  // Reads the loop-publication fields (body_, n_, grain_, metrics_)
+  // without mutex_: they are written only under mutex_ before the
+  // generation bump that releases the workers, and the orchestrator joins
+  // every worker (done_cv_) before the next write, so the reads are
+  // ordered by the handshake rather than by holding the lock. The analysis
+  // cannot see that protocol, hence the opt-out (DESIGN.md §11).
+  void RunChunks(std::size_t thread_index) CCS_NO_THREAD_SAFETY_ANALYSIS;
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -82,21 +89,25 @@ class ParallelExecutor {
   MetricsRegistry::Id loops_id_ = 0;
   MetricsRegistry::Id chunks_id_ = 0;
 
+  // mutex_ orders the start/done handshake with the worker threads and
+  // guards the loop-lifecycle state below.
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  std::size_t active_workers_ = 0;
-  bool shutdown_ = false;
+  std::uint64_t generation_ CCS_GUARDED_BY(mutex_) = 0;
+  std::size_t active_workers_ CCS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ CCS_GUARDED_BY(mutex_) = false;
 
-  // Current loop; published under mutex_ before the generation bump.
+  // Current loop; published under mutex_ before the generation bump and
+  // read lock-free by RunChunks under the handshake protocol above, so
+  // deliberately not GUARDED_BY (the annotation would overclaim).
   const Body* body_ = nullptr;
   std::size_t n_ = 0;
   std::size_t grain_ = 1;
   std::atomic<std::size_t> cursor_{0};
-  // First exception thrown by a body this loop (under mutex_); abort_
-  // makes the other threads stop claiming work.
-  std::exception_ptr first_error_;
+  // First exception thrown by a body this loop; abort_ makes the other
+  // threads stop claiming work.
+  std::exception_ptr first_error_ CCS_GUARDED_BY(mutex_);
   std::atomic<bool> abort_{false};
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 // Fault-injection harness for exercising the run-hardening paths end to
 // end. Production code marks fault sites with CCS_FAULT_POINT("site")
@@ -56,21 +57,22 @@ class FaultInjector {
 
   // Parses and installs a spec (grammar above), replacing any previous
   // rules. An empty spec disarms. Thread-safe.
-  Status Configure(std::string_view spec);
+  [[nodiscard]] Status Configure(std::string_view spec)
+      CCS_EXCLUDES(mutex_);
 
   // Reads CCS_FAULT; a malformed value is reported to stderr and ignored
   // (a bad env var must not take the process down — that is the point).
   void ConfigureFromEnv();
 
   // Removes all rules and disarms the hot path.
-  void Disable();
+  void Disable() CCS_EXCLUDES(mutex_);
 
   // True when the fault at `site` fires for this call. Counts every call
   // per site (see calls()).
-  bool ShouldFail(std::string_view site);
+  bool ShouldFail(std::string_view site) CCS_EXCLUDES(mutex_);
 
   // Calls observed at a site since the last Configure/Disable.
-  std::uint64_t calls(std::string_view site) const;
+  std::uint64_t calls(std::string_view site) const CCS_EXCLUDES(mutex_);
 
  private:
   struct Rule {
@@ -84,8 +86,10 @@ class FaultInjector {
     bool fired = false;
   };
 
+  // mutex_ guards the rule table; the lock-free fast path is the static
+  // enabled_ flag below, checked before ever touching the rules.
   mutable std::mutex mutex_;
-  std::vector<Rule> rules_;
+  std::vector<Rule> rules_ CCS_GUARDED_BY(mutex_);
 
   static std::atomic<bool> enabled_;
 };

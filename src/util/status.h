@@ -39,7 +39,12 @@ enum class StatusCode : int {
 // Stable upper-case name, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] at class scope makes *every* function returning Status by
+// value warn on a discarded result — the compiler-enforced half of the
+// "errors must come back to the caller" contract (DESIGN.md §11). Use
+// `(void)expr;` with a comment, or a CCS_CHECK on the result, at the rare
+// call site that really means to drop one.
+class [[nodiscard]] Status {
  public:
   // OK.
   Status() = default;
@@ -62,36 +67,37 @@ class Status {
   std::string message_;
 };
 
-inline Status OkStatus() { return Status(); }
-inline Status InvalidArgumentError(std::string message) {
+[[nodiscard]] inline Status OkStatus() { return Status(); }
+[[nodiscard]] inline Status InvalidArgumentError(std::string message) {
   return Status(StatusCode::kInvalidArgument, std::move(message));
 }
-inline Status NotFoundError(std::string message) {
+[[nodiscard]] inline Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
 }
-inline Status DataLossError(std::string message) {
+[[nodiscard]] inline Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
-inline Status FailedPreconditionError(std::string message) {
+[[nodiscard]] inline Status FailedPreconditionError(std::string message) {
   return Status(StatusCode::kFailedPrecondition, std::move(message));
 }
-inline Status ResourceExhaustedError(std::string message) {
+[[nodiscard]] inline Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
 }
-inline Status DeadlineExceededError(std::string message) {
+[[nodiscard]] inline Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
-inline Status CancelledError(std::string message) {
+[[nodiscard]] inline Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
 }
-inline Status InternalError(std::string message) {
+[[nodiscard]] inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
 
 // A Status or a value. Accessing value() on a non-ok StatusOr is a
-// contract violation (CCS_CHECK).
+// contract violation (CCS_CHECK). [[nodiscard]] for the same reason as
+// Status: silently dropping one loses either the value or the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Non-ok status required; wrapping OkStatus() without a value is a
   // contract violation.

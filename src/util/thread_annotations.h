@@ -1,0 +1,63 @@
+#ifndef CCS_UTIL_THREAD_ANNOTATIONS_H_
+#define CCS_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes behind CCS_-prefixed macros, in
+// the spirit of absl/base/thread_annotations.h. Under Clang with
+// -Wthread-safety (the -DCCS_LINT=ON build flavor) these let the compiler
+// reject unlocked access to guarded state at build time; under any other
+// compiler they expand to nothing, so annotated headers stay portable.
+//
+// Conventions (DESIGN.md §11):
+//  - Every std::mutex member is either the capability for at least one
+//    CCS_GUARDED_BY field or carries a comment saying what it orders. The
+//    ccs-lint `mutex-guarded-by` rule enforces the annotation's presence
+//    even on non-Clang toolchains.
+//  - Data published under a mutex but intentionally read outside it after
+//    a synchronizing handshake (the executor's loop-publication protocol)
+//    is NOT annotated GUARDED_BY; the publication protocol is documented at
+//    the field instead. Annotations state what the analysis can prove, not
+//    what we wish were true.
+//  - CCS_NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment
+//    justifying why the analysis cannot see the synchronization.
+
+#if defined(__clang__) && !defined(SWIG)
+#define CCS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CCS_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Documents that a field is protected by the given capability (mutex).
+#define CCS_GUARDED_BY(x) CCS_THREAD_ANNOTATION_(guarded_by(x))
+
+// Documents that the *pointee* of a pointer field is protected.
+#define CCS_PT_GUARDED_BY(x) CCS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declares that a function may be called only while holding the capability.
+#define CCS_REQUIRES(...) \
+  CCS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// Declares that a function may be called only while NOT holding it.
+#define CCS_EXCLUDES(...) \
+  CCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Acquire/release annotations for functions that lock on behalf of the
+// caller (RAII wrappers, scoped capabilities).
+#define CCS_ACQUIRE(...) \
+  CCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CCS_RELEASE(...) \
+  CCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Marks a class as a capability (lock-like type) for the analysis.
+#define CCS_CAPABILITY(x) CCS_THREAD_ANNOTATION_(capability(x))
+#define CCS_SCOPED_CAPABILITY CCS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Return-value annotation: the function returns a reference to the mutex
+// that guards the named data.
+#define CCS_LOCK_RETURNED(x) CCS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a justification comment (see header block).
+#define CCS_NO_THREAD_SAFETY_ANALYSIS \
+  CCS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CCS_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/ccs_lint.py (registered as a tier1 ctest).
+
+Three fixture trees under tests/lint/fixtures/, each laid out like the
+repo (<tree>/src/core, ...), so the linter's path-based rule scoping is
+exercised exactly as in production:
+
+  bad/      every rule seeded at least once. The expected findings are
+            declared *in the fixtures themselves* via `// rule: <id>`
+            marker comments on the offending lines; this test asserts the
+            linter's findings equal the marker set exactly (same file,
+            same line, same rule — no misses, no extras).
+  allowed/  the same violations silenced by `// ccs-lint: allow(<id>)`
+            and `// ccs-lint: allow-file(<id>)` — must be clean.
+  clean/    idiomatic look-alikes (steady_clock, "time" in identifiers,
+            banned tokens inside comments/strings) — must be clean,
+            guarding against rule over-reach.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+LINTER = REPO_ROOT / "scripts" / "ccs_lint.py"
+FIXTURES = HERE / "fixtures"
+
+MARKER_RE = re.compile(r"//\s*rule:\s*([\w-]+)")
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([\w-]+)\]")
+
+
+def run_linter(tree):
+    return subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(FIXTURES / tree),
+         "--build-dir", str(FIXTURES / tree / "no-such-build")],
+        capture_output=True, text=True)
+
+
+def parse_findings(stdout):
+    found = set()
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.add((m.group(1), int(m.group(2)), m.group(3)))
+    return found
+
+
+def expected_markers(tree):
+    expected = set()
+    root = FIXTURES / tree
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".h", ".cc", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            m = MARKER_RE.search(line)
+            if m:
+                expected.add((rel, lineno, m.group(1)))
+    return expected
+
+
+class CcsLintFixtureTest(unittest.TestCase):
+    def test_bad_tree_reports_exactly_the_marked_violations(self):
+        expected = expected_markers("bad")
+        self.assertGreaterEqual(
+            len({rule for _, _, rule in expected}), 7,
+            "fixture rot: the bad tree should seed every rule")
+        result = run_linter("bad")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(parse_findings(result.stdout), expected,
+                         result.stdout)
+
+    def test_allow_comments_suppress_each_finding(self):
+        result = run_linter("allowed")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertEqual(parse_findings(result.stdout), set(), result.stdout)
+
+    def test_clean_lookalikes_produce_no_findings(self):
+        result = run_linter("clean")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertEqual(parse_findings(result.stdout), set(), result.stdout)
+
+    def test_real_sources_are_clean(self):
+        # The acceptance gate itself: src/ under the default root.
+        result = subprocess.run(
+            [sys.executable, str(LINTER), "--build-dir",
+             str(REPO_ROOT / "build")],
+            capture_output=True, text=True)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

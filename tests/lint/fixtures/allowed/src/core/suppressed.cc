@@ -1,0 +1,28 @@
+// ccs-lint fixture: the same violations as the bad tree, each silenced by
+// an escape hatch. ccs_lint_test.py asserts this tree is clean, proving
+// the inline allow() and file-level allow-file() comments both work.
+//
+// File-level suppression for the exception rule (this fixture "is" a
+// fault-injection helper):
+// ccs-lint: allow-file(throw-outside-util)
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ccs_fixture {
+
+inline int RawRand() {
+  // Deterministic replay harness: seeded once by the test driver.
+  return rand();  // ccs-lint: allow(nondeterminism)
+}
+
+// Point-lookups only; never iterated on a result path.
+inline std::unordered_map<int, int>  // ccs-lint: allow(unordered-container)
+ItemIndex() {
+  return {};
+}
+
+inline void Fail() {
+  throw 1;  // silenced by the allow-file above
+}
+
+}  // namespace ccs_fixture

@@ -1,0 +1,14 @@
+// ccs-lint fixture: a deliberately dropped Status with the inline escape
+// hatch and a justification, the one sanctioned way to discard.
+namespace ccs_fixture {
+
+struct Db {
+  int AddOrError(int item);
+};
+
+inline void BestEffortWarmup(Db& db) {
+  // Warmup is advisory; a failure here only means a cold start.
+  db.AddOrError(1);  // ccs-lint: allow(discarded-status)
+}
+
+}  // namespace ccs_fixture

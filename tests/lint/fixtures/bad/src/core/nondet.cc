@@ -1,0 +1,39 @@
+// ccs-lint fixture: every nondeterminism ban in src/core, one per line,
+// plus the iteration-order and exception rules. Each marked line must be
+// reported by exactly the rule named in the trailing marker comment
+// (ccs_lint_test.py asserts file:line/rule pairs against EXPECTED_BAD).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace ccs_fixture {
+
+inline int SeedFromWallClock() {
+  return static_cast<int>(time(nullptr));  // rule: nondeterminism (time)
+}
+
+inline int RawRand() {
+  srand(42);       // rule: nondeterminism (srand)
+  return rand();   // rule: nondeterminism (rand)
+}
+
+inline unsigned HardwareEntropy() {
+  std::random_device rd;  // rule: nondeterminism (random_device)
+  return rd();
+}
+
+inline long WallClockNow() {
+  using Clock = std::chrono::system_clock;  // rule: nondeterminism
+  return Clock::now().time_since_epoch().count();
+}
+
+inline std::unordered_map<int, int> CountByItem() {  // rule: unordered-container
+  return {};
+}
+
+inline void Fail() {
+  throw 1;  // rule: throw-outside-util
+}
+
+}  // namespace ccs_fixture

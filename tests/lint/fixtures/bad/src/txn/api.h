@@ -1,0 +1,28 @@
+// ccs-lint fixture: a Status-returning API surface missing its
+// [[nodiscard]] annotations, and a mutex invisible to the thread-safety
+// analysis because no field is CCS_GUARDED_BY it.
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ccs_fixture {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+Status AddOrError(int item);                          // rule: status-nodiscard
+StatusOr<int> ParseCountOrError(const std::string& t);  // rule: status-nodiscard
+// Annotated correctly — must NOT be reported.
+[[nodiscard]] Status FinalizeOrError();
+
+class Ledger {
+ public:
+  void Append(int entry);
+
+ private:
+  std::mutex mutex_;                     // rule: mutex-guarded-by
+  std::vector<int> entries_;
+};
+
+}  // namespace ccs_fixture

@@ -1,0 +1,27 @@
+// ccs-lint fixture: expression-statement calls whose Status result
+// evaporates. The compiler catches these through the [[nodiscard]] class
+// attribute once the code builds; the textual rule catches them in any
+// file the compiler never sees (dead TUs, templates never instantiated).
+#include <string>
+
+namespace ccs_fixture {
+
+struct Db {
+  int AddOrError(int item);
+  int FinalizeOrError();
+};
+
+int LoadBasketsFromFile(const std::string& path, int num_items);
+
+inline void Ingest(Db& db) {
+  db.AddOrError(7);                      // rule: discarded-status
+  LoadBasketsFromFile("baskets.txt", 9); // rule: discarded-status
+  // Consumed results — must NOT be reported.
+  int rc = db.AddOrError(8);
+  (void)rc;
+  if (db.FinalizeOrError() != 0) {
+    return;
+  }
+}
+
+}  // namespace ccs_fixture

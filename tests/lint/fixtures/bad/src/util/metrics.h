@@ -1,0 +1,20 @@
+// ccs-lint fixture: the metric shard-update path without noexcept. The
+// real MetricsRegistry promises updates may run in destructors during
+// exception unwinding; dropping noexcept from any of the three update
+// entry points must trip the noexcept-shard-update rule.
+#include <cstddef>
+#include <cstdint>
+
+namespace ccs_fixture {
+
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  void Add(Id id, std::size_t shard, std::uint64_t delta);  // rule: noexcept-shard-update
+  void GaugeMax(Id id, std::size_t shard, std::uint64_t v);  // rule: noexcept-shard-update
+  // Declared correctly — must NOT be reported even in this file.
+  void Observe(Id id, std::size_t shard, std::uint64_t value) noexcept;
+};
+
+}  // namespace ccs_fixture

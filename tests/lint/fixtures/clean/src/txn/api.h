@@ -1,0 +1,24 @@
+// ccs-lint fixture: a correctly annotated Status surface and a properly
+// guarded mutex — zero findings expected.
+#include <mutex>
+#include <vector>
+
+#define CCS_GUARDED_BY(x)  // fixture stand-in for util/thread_annotations.h
+
+namespace ccs_fixture {
+
+class Status;
+
+[[nodiscard]] Status AddOrError(int item);
+[[nodiscard]] inline int ParseCountOrErrorCode() { return 0; }
+
+class Ledger {
+ public:
+  void Append(int entry);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> entries_ CCS_GUARDED_BY(mutex_);
+};
+
+}  // namespace ccs_fixture
