@@ -15,9 +15,14 @@
 //
 // The --query string uses the full ParseQuery grammar (semantics, where-,
 // and with-clauses); bare constraint strings are accepted too. Explicit
-// --algorithm/--alpha/... flags override the query'"'"'s choices.
+// --algorithm/--alpha/... flags override the query's choices.
 // With --save-baskets / the file loaders this doubles as a round-trip test
 // of the text formats.
+//
+// The dataset and run-limit flags are parsed by the shared src/cli layer,
+// the same one ccsmined uses — a daemon started with these flags mines
+// the exact database this CLI would, which is what scripts/service_smoke.py
+// relies on to diff their answers byte-for-byte.
 //
 // --timeout-ms and --max-tables bound the run; a tripped run still prints
 // the partial answers of the levels it completed. Exit codes make the
@@ -29,17 +34,13 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
+#include <utility>
 
-#include "core/engine.h"
+#include "cli/options.h"
 #include "core/report.h"
 #include "core/run_control.h"
-#include "datagen/catalog_generator.h"
-#include "datagen/ibm_generator.h"
-#include "datagen/rule_generator.h"
-#include "datagen/zipf_generator.h"
+#include "core/session.h"
 #include "query/parser.h"
 #include "query/query.h"
 #include "txn/io.h"
@@ -48,24 +49,15 @@
 namespace {
 
 struct CliOptions {
-  std::string generate = "ibm";
-  std::string baskets_file;
-  std::string catalog_file;
+  ccs::cli::CommonOptions common;  // --threads/--timeout-ms/--max-tables/...
+  ccs::cli::DataOptions data;      // --generate/--baskets-file/...
   std::string save_baskets;
-  std::string metrics_out;  // write result.metrics as JSON
-  std::string trace_out;    // write result.trace as JSON (enables tracing)
   std::string query;
   std::string algorithm;  // empty: follow the query's semantics
-  std::size_t baskets = 10000;
-  std::size_t items = 100;
-  std::uint64_t seed = 42;
   double alpha = 0.9;
   double support_frac = 0.05;
   double cell_frac = 0.25;
   std::size_t max_size = 4;
-  std::size_t threads = 1;  // MiningEngine width; 0 = hardware threads
-  std::uint64_t timeout_ms = 0;   // 0 = no deadline
-  std::uint64_t max_tables = 0;   // 0 = no table budget
   bool stats = false;
   bool profile = false;
   bool report = false;
@@ -96,6 +88,22 @@ int Usage(const char* argv0) {
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
+    switch (ccs::cli::ParseCommonFlag(argc, argv, &i, &out->common)) {
+      case ccs::cli::FlagStatus::kHandled:
+        continue;
+      case ccs::cli::FlagStatus::kMissingValue:
+        return false;
+      case ccs::cli::FlagStatus::kNotHandled:
+        break;
+    }
+    switch (ccs::cli::ParseDataFlag(argc, argv, &i, &out->data)) {
+      case ccs::cli::FlagStatus::kHandled:
+        continue;
+      case ccs::cli::FlagStatus::kMissingValue:
+        return false;
+      case ccs::cli::FlagStatus::kNotHandled:
+        break;
+    }
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -114,15 +122,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     }
     const char* value = next();
     if (value == nullptr) return false;
-    if (flag == "--generate") {
-      out->generate = value;
-    } else if (flag == "--baskets") {
-      out->baskets = std::strtoul(value, nullptr, 10);
-    } else if (flag == "--items") {
-      out->items = std::strtoul(value, nullptr, 10);
-    } else if (flag == "--seed") {
-      out->seed = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--query") {
+    if (flag == "--query") {
       out->query = value;
     } else if (flag == "--algorithm") {
       out->algorithm = value;
@@ -138,34 +138,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (flag == "--max-size") {
       out->max_size = std::strtoul(value, nullptr, 10);
       out->max_size_set = true;
-    } else if (flag == "--threads") {
-      out->threads = std::strtoul(value, nullptr, 10);
-    } else if (flag == "--timeout-ms") {
-      out->timeout_ms = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--max-tables") {
-      out->max_tables = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--baskets-file") {
-      out->baskets_file = value;
-    } else if (flag == "--catalog-file") {
-      out->catalog_file = value;
     } else if (flag == "--save-baskets") {
       out->save_baskets = value;
-    } else if (flag == "--metrics-out") {
-      out->metrics_out = value;
-    } else if (flag == "--trace-out") {
-      out->trace_out = value;
     } else {
       return false;
     }
   }
   return true;
-}
-
-bool WriteTextFile(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -174,68 +153,23 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) return Usage(argv[0]);
 
-  // Data: from files or generated.
-  std::optional<ccs::TransactionDatabase> db;
-  std::optional<ccs::ItemCatalog> catalog;
-  if (!cli.baskets_file.empty()) {
-    if (cli.catalog_file.empty()) {
-      std::fprintf(stderr, "--baskets-file requires --catalog-file\n");
-      return 2;
-    }
-    auto loaded_catalog = ccs::LoadCatalogFromFile(cli.catalog_file);
-    if (!loaded_catalog.ok()) {
-      std::fprintf(stderr, "catalog: %s\n",
-                   loaded_catalog.status().ToString().c_str());
-      return 3;
-    }
-    catalog = std::move(loaded_catalog).value();
-    auto loaded_db = ccs::LoadBasketsFromFile(cli.baskets_file,
-                                              catalog->num_items());
-    if (!loaded_db.ok()) {
-      std::fprintf(stderr, "baskets: %s\n",
-                   loaded_db.status().ToString().c_str());
-      return 3;
-    }
-    db = std::move(loaded_db).value();
-  } else if (cli.generate == "ibm") {
-    ccs::IbmGeneratorConfig config;
-    config.num_transactions = cli.baskets;
-    config.num_items = cli.items;
-    config.avg_transaction_size = 10.0;
-    config.avg_pattern_size = 4.0;
-    config.num_patterns = cli.items / 2;
-    config.seed = cli.seed;
-    db = ccs::IbmGenerator(config).Generate();
-    catalog = ccs::MakeLinearPriceCatalog(cli.items);
-  } else if (cli.generate == "rules") {
-    ccs::RuleGeneratorConfig config;
-    config.num_transactions = cli.baskets;
-    config.num_items = cli.items;
-    config.avg_transaction_size = 10.0;
-    config.seed = cli.seed;
-    db = ccs::RuleGenerator(config).Generate();
-    catalog = ccs::MakeLinearPriceCatalog(cli.items);
-  } else if (cli.generate == "zipf") {
-    ccs::ZipfGeneratorConfig config;
-    config.num_transactions = cli.baskets;
-    config.num_items = cli.items;
-    config.avg_transaction_size = 10.0;
-    config.num_groups = cli.items / 20;
-    config.seed = cli.seed;
-    db = ccs::ZipfGenerator(config).Generate();
-    catalog = ccs::MakeLinearPriceCatalog(cli.items);
-  } else {
-    std::fprintf(stderr, "unknown generator '%s'\n", cli.generate.c_str());
-    return 2;
+  // Data: from files or generated, via the shared cli layer.
+  auto loaded = ccs::cli::LoadOrGenerate(cli.data);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().message().c_str());
+    return loaded.status().code() == ccs::StatusCode::kInvalidArgument ? 2
+                                                                       : 3;
   }
+  const ccs::cli::LoadedData data = std::move(loaded).value();
   if (!cli.save_baskets.empty() &&
-      !ccs::WriteBasketsToFile(*db, cli.save_baskets)) {
+      !ccs::WriteBasketsToFile(data.db, cli.save_baskets)) {
     std::fprintf(stderr, "cannot write %s\n", cli.save_baskets.c_str());
     return 3;
   }
 
   if (cli.profile) {
-    std::printf("%s", ccs::DatabaseProfile::Build(*db).ToString().c_str());
+    std::printf("%s",
+                ccs::DatabaseProfile::Build(data.db).ToString().c_str());
   }
 
   // Query: try the full grammar first, then the bare constraint language.
@@ -272,32 +206,30 @@ int main(int argc, char** argv) {
     algorithm = *parsed;
   }
 
-  const ccs::MiningOptions options = query.ResolveOptions(*db);
+  const ccs::MiningOptions options = query.ResolveOptions(data.db);
   std::printf("# %zu baskets, %zu items | constraints: %s | algorithm: %s\n",
-              db->num_transactions(), db->num_items(),
+              data.db.num_transactions(), data.db.num_items(),
               query.constraints.ToString().c_str(),
               ccs::AlgorithmName(algorithm));
+  // One-shot runs use the session API over a borrowed handle — the same
+  // path ccsmined serves requests through (DESIGN.md §12).
   ccs::EngineOptions engine_options;
-  engine_options.num_threads = cli.threads;
-  if (!cli.trace_out.empty()) engine_options.trace = true;
-  ccs::MiningEngine engine(*db, *catalog, engine_options);
+  engine_options.num_threads = cli.common.threads;
+  if (!cli.common.trace_out.empty()) engine_options.trace = true;
+  const ccs::MiningSession session(
+      ccs::DatabaseHandle::Borrow(data.db, data.catalog), engine_options);
   ccs::MiningRequest request;
   request.algorithm = algorithm;
   request.options = options;
   request.constraints = &query.constraints;
-  request.control.timeout = std::chrono::milliseconds(cli.timeout_ms);
-  request.control.max_tables_built = cli.max_tables;
-  const ccs::MiningResult result = engine.Run(request);
+  ccs::cli::ApplyRunControl(cli.common, &request.control);
+  const ccs::MiningResult result = session.Run(request);
   // Telemetry dumps happen before the termination triage so error and
   // partial runs still leave their registry snapshot behind.
-  if (!cli.metrics_out.empty() &&
-      !WriteTextFile(cli.metrics_out, result.metrics.ToJson() + "\n")) {
-    std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
-    return 3;
-  }
-  if (!cli.trace_out.empty() &&
-      !WriteTextFile(cli.trace_out, result.trace.ToJson() + "\n")) {
-    std::fprintf(stderr, "cannot write %s\n", cli.trace_out.c_str());
+  if (const ccs::Status telemetry =
+          ccs::cli::WriteTelemetry(result, cli.common);
+      !telemetry.ok()) {
+    std::fprintf(stderr, "%s\n", telemetry.message().c_str());
     return 3;
   }
   if (result.termination == ccs::Termination::kError) {
@@ -307,7 +239,7 @@ int main(int argc, char** argv) {
   }
   if (cli.report) {
     const auto reports =
-        ccs::BuildReports(result.answers, *db, *catalog, options);
+        ccs::BuildReports(result.answers, data.db, data.catalog, options);
     std::printf("%s", ccs::ReportsToTable(reports).ToAlignedText().c_str());
   } else {
     for (const ccs::Itemset& s : result.answers) {

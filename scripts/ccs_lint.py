@@ -31,6 +31,12 @@ compiler cannot express because they encode *project* invariants:
                         src/util/thread_annotations.h) — an unannotated
                         mutex is invisible to Clang's thread-safety
                         analysis.
+  service-wall-clock    src/service must not read a clock directly
+                        (steady_clock/system_clock/high_resolution_clock
+                        ::now()): admission and memo timing flows through
+                        the injected ServiceClock so tests can drive it
+                        deterministically. The sanctioned real-clock call
+                        site is src/service/clock.cc, allowlisted below.
 
 Escape hatches (each use should say why in a neighboring comment):
 
@@ -65,6 +71,9 @@ FILE_ALLOWLIST = {
     # iterating or only does point lookups; new *iteration* sites in
     # result paths still trip the rule at their own file.
     "unordered-container": {"src/core/itemset.h"},
+    # SystemClock::Now() is the one sanctioned real-clock read in the
+    # service layer; everything else injects a ServiceClock.
+    "service-wall-clock": {"src/service/clock.cc"},
 }
 
 NONDET_PATTERNS = [
@@ -79,6 +88,8 @@ NONDET_PATTERNS = [
 ]
 
 UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b")
+WALLCLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
 THROW_RE = re.compile(r"\bthrow\b")
 MUTEX_MEMBER_RE = re.compile(r"\bstd\s*::\s*mutex\s+\w+\s*;")
 GUARDED_BY_RE = re.compile(r"\bCCS_GUARDED_BY\s*\(")
@@ -96,10 +107,26 @@ STATUS_DECL_RE = re.compile(
 
 # Expression-statement call to a known Status-returning API: optional
 # receiver chain, then the call, then `;` — no assignment, return, or
-# wrapping macro can match this shape.
+# wrapping macro can match this shape on the SAME line. A call that is
+# the continuation of a wrapped statement (previous code line ends
+# mid-expression: `=`, `,`, `(`, an operator, or `return`) is not a
+# statement start; check_file consults is_continuation() before flagging.
 DISCARD_RE = re.compile(
     r"^\s*(?:[\w\]\[]+(?:\.|->))*"
     r"(\w*OrError|LoadBaskets\w*|LoadCatalog\w*)\s*\([^;]*\)\s*;\s*$")
+
+CONTINUATION_RE = re.compile(r"(?:[,(=+\-*/<>?:&|!]|&&|\|\||\breturn)\s*$")
+
+
+def is_continuation(code_lines, lineno):
+    """True when 1-based line `lineno` continues the statement above it:
+    the nearest non-blank code line ends mid-expression."""
+    for i in range(lineno - 2, -1, -1):
+        prev = code_lines[i].rstrip()
+        if not prev.strip():
+            continue
+        return bool(CONTINUATION_RE.search(prev))
+    return False
 
 ALLOW_LINE_RE = re.compile(r"//\s*ccs-lint:\s*allow\(([\w-]+)\)")
 ALLOW_FILE_RE = re.compile(r"//\s*ccs-lint:\s*allow-file\(([\w-]+)\)")
@@ -210,8 +237,15 @@ def check_file(fl, findings):
     is_header = rel.endswith(".h")
     core_scope = in_scope(rel, ("src/core/", "src/stats/"))
     util_scope = in_scope(rel, ("src/util/",))
+    service_scope = in_scope(rel, ("src/service/",))
 
     for lineno, code in enumerate(fl.code_lines, start=1):
+        if service_scope and WALLCLOCK_RE.search(code):
+            findings.append((fl, lineno, "service-wall-clock",
+                             "raw clock read in the service layer; time "
+                             "must flow through the injected ServiceClock "
+                             "(service/clock.h) so admission/memo timing "
+                             "is testable and deterministic"))
         if core_scope:
             for pattern, label in NONDET_PATTERNS:
                 if pattern.search(code):
@@ -240,7 +274,7 @@ def check_file(fl, findings):
                                  "Status/StatusOr-returning declaration "
                                  "must be [[nodiscard]]"))
         dm = DISCARD_RE.match(code)
-        if dm:
+        if dm and not is_continuation(fl.code_lines, lineno):
             findings.append((fl, lineno, "discarded-status",
                              f"result of {dm.group(1)}() is discarded; "
                              "assign it or propagate the Status"))

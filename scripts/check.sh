@@ -12,7 +12,10 @@
 #   2. sanitizer flavors of the suites aimed at the executor, I/O, and
 #      metrics surfaces (the "sanitize" ctest label): address + undefined,
 #      plus thread for the ParallelExecutor/metrics-shard paths.
-#   3. bench_smoke: the quick benchmark sweep, which also exercises every
+#   3. service_smoke: boots ccsmined on a private Unix socket and diffs
+#      its answers (scripted queries, a memo replay, and 32 concurrent
+#      clients) byte-for-byte against the one-shot CLI.
+#   4. bench_smoke: the quick benchmark sweep, which also exercises every
 #      BENCH_<name>.json writer.
 #
 # Usage: scripts/check.sh [build-dir]     (default: build)
@@ -48,7 +51,7 @@ ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 declare -A SUITES=(
   [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
   [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
-  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test"
+  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test service_concurrency_test service_socket_test"
 )
 for flavor in address undefined thread; do
   dir="${BUILD}-${flavor}"
@@ -58,6 +61,10 @@ for flavor in address undefined thread; do
   cmake --build "${dir}" -j --target ${SUITES[${flavor}]} >/dev/null
   ctest --test-dir "${dir}" -L sanitize --output-on-failure
 done
+
+echo "== service_smoke (${BUILD}) =="
+cmake --build "${BUILD}" -j --target ccsmined ccsmine_cli >/dev/null
+python3 scripts/service_smoke.py "${BUILD}"
 
 echo "== bench_smoke (${BUILD}) =="
 cmake --build "${BUILD}" -j --target bench_smoke

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""service_smoke: parity sweep between ccsmined and the one-shot CLI.
+
+Boots a ccsmined daemon on a private Unix socket over a deterministic
+generated dataset, then:
+
+  1. runs each scripted query once through the daemon and once through
+     ccsmine_cli, and diffs the answers byte-for-byte (daemon SET
+     payloads vs CLI stdout minus its '#' header line);
+  2. replays the first query and requires the cross-query memo to
+     report a hit with, again, byte-identical answers;
+  3. fires 32 concurrent clients (round-robin over the scripted
+     queries) and requires every response frame to match that query's
+     oracle exactly — memo lookup precedes admission, so warmed queries
+     must never be rejected;
+  4. SHUTDOWNs the daemon and requires a clean exit (code 0, socket
+     file removed).
+
+Usage: scripts/service_smoke.py [build-dir]     (default: build)
+"""
+
+import concurrent.futures
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import tempfile
+
+DATA_FLAGS = ["--generate", "ibm", "--baskets", "2000", "--items", "60",
+              "--seed", "7"]
+QUERIES = [
+    "all with support = 0.05",
+    "valid_min where max(S.price) <= 40 with support = 0.05, maxsize = 5",
+    "min_valid where min(S.price) <= 12 with support = 0.05, maxsize = 5",
+]
+CONCURRENT_CLIENTS = 32
+
+
+def fail(msg):
+    print(f"service_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def roundtrip(path, line, timeout=120.0):
+    """One request on a fresh connection; returns the response lines
+    (END frame stripped)."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"END\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed before END frame for: {line}")
+            buf += chunk
+    lines = buf.decode().split("\n")
+    return lines[:-2]  # drop "END" and the trailing empty split
+
+
+def cli_answer_lines(cli, query):
+    """One-shot CLI oracle: stdout minus the '#' header."""
+    proc = subprocess.run([cli, *DATA_FLAGS, "--query", query],
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"cli exited {proc.returncode} for {query!r}: {proc.stderr}")
+    lines = proc.stdout.rstrip("\n").split("\n")
+    if not lines or not lines[0].startswith("#"):
+        fail(f"cli stdout missing '#' header for {query!r}")
+    return lines[1:]
+
+
+def mine_response(path, query):
+    """Returns (header, answer-set payload lines) for a MINE request."""
+    lines = roundtrip(path, f"MINE query={query}")
+    if not lines or not lines[0].startswith("OK sets="):
+        fail(f"unexpected response head {lines[:1]!r} for {query!r}")
+    sets = [l[len("SET "):] for l in lines[1:] if l.startswith("SET ")]
+    return lines[0], sets
+
+
+def main():
+    build = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    daemon = root / build / "src" / "service" / "ccsmined"
+    cli = root / build / "examples" / "ccsmine_cli"
+    for binary in (daemon, cli):
+        if not binary.is_file():
+            fail(f"missing binary {binary}; build the '{build}' tree first")
+
+    sock_path = os.path.join(tempfile.gettempdir(),
+                             f"ccs-service-smoke-{os.getpid()}.sock")
+    server = subprocess.Popen(
+        [str(daemon), "--socket", sock_path, *DATA_FLAGS,
+         "--max-concurrent", "4", "--max-queued", "28"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        ready = server.stdout.readline()
+        if not ready.startswith("ccsmined listening on"):
+            fail(f"daemon readiness line missing, got: {ready!r}")
+        print(f"service_smoke: {ready.strip()}")
+
+        # 1. Scripted queries: daemon answers vs one-shot CLI, byte for byte.
+        oracle = {}
+        for query in QUERIES:
+            expected = cli_answer_lines(str(cli), query)
+            header, got = mine_response(sock_path, query)
+            if "memo=miss" not in header:
+                fail(f"first run of {query!r} should be a memo miss: {header}")
+            if got != expected:
+                fail(f"daemon/CLI answer mismatch for {query!r}: "
+                     f"{len(got)} vs {len(expected)} sets")
+            oracle[query] = got
+            print(f"service_smoke: parity ok ({len(got)} sets) for {query!r}")
+
+        # 2. Memo replay: hit, identical bytes.
+        header, got = mine_response(sock_path, QUERIES[0])
+        if "memo=hit" not in header:
+            fail(f"replay of {QUERIES[0]!r} should be a memo hit: {header}")
+        if got != oracle[QUERIES[0]]:
+            fail("memo hit returned different answers than the cold run")
+        print("service_smoke: memo replay ok (hit, byte-identical)")
+
+        # 3. 32 concurrent clients over warmed queries: all must match.
+        def client(i):
+            query = QUERIES[i % len(QUERIES)]
+            _, got_sets = mine_response(sock_path, query)
+            return query, got_sets
+
+        with concurrent.futures.ThreadPoolExecutor(CONCURRENT_CLIENTS) as pool:
+            for query, got in pool.map(client, range(CONCURRENT_CLIENTS)):
+                if got != oracle[query]:
+                    fail(f"concurrent client diverged on {query!r}")
+        print(f"service_smoke: {CONCURRENT_CLIENTS} concurrent clients "
+              "byte-identical to the one-shot CLI")
+
+        # 4. Clean shutdown.
+        if roundtrip(sock_path, "SHUTDOWN")[:1] != ["OK bye"]:
+            fail("SHUTDOWN did not answer OK bye")
+        code = server.wait(timeout=60)
+        if code != 0:
+            fail(f"daemon exited {code} after SHUTDOWN")
+        if os.path.exists(sock_path):
+            fail("socket file still present after clean shutdown")
+        print("service_smoke: clean shutdown, all green")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        if os.path.exists(sock_path):
+            os.unlink(sock_path)
+
+
+if __name__ == "__main__":
+    main()

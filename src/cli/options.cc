@@ -1,0 +1,145 @@
+#include "cli/options.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "datagen/catalog_generator.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/rule_generator.h"
+#include "datagen/zipf_generator.h"
+#include "txn/io.h"
+
+namespace ccs {
+namespace cli {
+
+namespace {
+
+const char* NextValue(int argc, char** argv, int* i) {
+  return *i + 1 < argc ? argv[++*i] : nullptr;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+FlagStatus ParseCommonFlag(int argc, char** argv, int* i,
+                           CommonOptions* out) {
+  const std::string flag = argv[*i];
+  if (flag != "--threads" && flag != "--timeout-ms" &&
+      flag != "--max-tables" && flag != "--metrics-out" &&
+      flag != "--trace-out") {
+    return FlagStatus::kNotHandled;
+  }
+  const char* value = NextValue(argc, argv, i);
+  if (value == nullptr) return FlagStatus::kMissingValue;
+  if (flag == "--threads") {
+    out->threads = std::strtoul(value, nullptr, 10);
+  } else if (flag == "--timeout-ms") {
+    out->timeout_ms = std::strtoull(value, nullptr, 10);
+  } else if (flag == "--max-tables") {
+    out->max_tables = std::strtoull(value, nullptr, 10);
+  } else if (flag == "--metrics-out") {
+    out->metrics_out = value;
+  } else {
+    out->trace_out = value;
+  }
+  return FlagStatus::kHandled;
+}
+
+FlagStatus ParseDataFlag(int argc, char** argv, int* i, DataOptions* out) {
+  const std::string flag = argv[*i];
+  if (flag != "--generate" && flag != "--baskets" && flag != "--items" &&
+      flag != "--seed" && flag != "--baskets-file" &&
+      flag != "--catalog-file") {
+    return FlagStatus::kNotHandled;
+  }
+  const char* value = NextValue(argc, argv, i);
+  if (value == nullptr) return FlagStatus::kMissingValue;
+  if (flag == "--generate") {
+    out->generate = value;
+  } else if (flag == "--baskets") {
+    out->baskets = std::strtoul(value, nullptr, 10);
+  } else if (flag == "--items") {
+    out->items = std::strtoul(value, nullptr, 10);
+  } else if (flag == "--seed") {
+    out->seed = std::strtoull(value, nullptr, 10);
+  } else if (flag == "--baskets-file") {
+    out->baskets_file = value;
+  } else {
+    out->catalog_file = value;
+  }
+  return FlagStatus::kHandled;
+}
+
+StatusOr<LoadedData> LoadOrGenerate(const DataOptions& data) {
+  if (!data.baskets_file.empty()) {
+    if (data.catalog_file.empty()) {
+      return InvalidArgumentError("--baskets-file requires --catalog-file");
+    }
+    CCS_ASSIGN_OR_RETURN(ItemCatalog catalog,
+                         LoadCatalogFromFile(data.catalog_file));
+    CCS_ASSIGN_OR_RETURN(
+        TransactionDatabase db,
+        LoadBasketsFromFile(data.baskets_file, catalog.num_items()));
+    return LoadedData{std::move(db), std::move(catalog)};
+  }
+  if (data.generate == "ibm") {
+    IbmGeneratorConfig config;
+    config.num_transactions = data.baskets;
+    config.num_items = data.items;
+    config.avg_transaction_size = 10.0;
+    config.avg_pattern_size = 4.0;
+    config.num_patterns = data.items / 2;
+    config.seed = data.seed;
+    return LoadedData{IbmGenerator(config).Generate(),
+                      MakeLinearPriceCatalog(data.items)};
+  }
+  if (data.generate == "rules") {
+    RuleGeneratorConfig config;
+    config.num_transactions = data.baskets;
+    config.num_items = data.items;
+    config.avg_transaction_size = 10.0;
+    config.seed = data.seed;
+    return LoadedData{RuleGenerator(config).Generate(),
+                      MakeLinearPriceCatalog(data.items)};
+  }
+  if (data.generate == "zipf") {
+    ZipfGeneratorConfig config;
+    config.num_transactions = data.baskets;
+    config.num_items = data.items;
+    config.avg_transaction_size = 10.0;
+    config.num_groups = data.items / 20;
+    config.seed = data.seed;
+    return LoadedData{ZipfGenerator(config).Generate(),
+                      MakeLinearPriceCatalog(data.items)};
+  }
+  return InvalidArgumentError("unknown generator '" + data.generate + "'");
+}
+
+void ApplyRunControl(const CommonOptions& options, RunControl* control) {
+  control->timeout = std::chrono::milliseconds(options.timeout_ms);
+  control->max_tables_built = options.max_tables;
+}
+
+Status WriteTelemetry(const MiningResult& result,
+                      const CommonOptions& options) {
+  if (!options.metrics_out.empty() &&
+      !WriteTextFile(options.metrics_out, result.metrics.ToJson() + "\n")) {
+    return DataLossError("cannot write " + options.metrics_out);
+  }
+  if (!options.trace_out.empty() &&
+      !WriteTextFile(options.trace_out, result.trace.ToJson() + "\n")) {
+    return DataLossError("cannot write " + options.trace_out);
+  }
+  return OkStatus();
+}
+
+}  // namespace cli
+}  // namespace ccs

@@ -1,0 +1,83 @@
+#ifndef CCS_CLI_OPTIONS_H_
+#define CCS_CLI_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/engine_options.h"
+#include "core/result.h"
+#include "core/run_control.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/status.h"
+
+// The flags layer shared by the one-shot CLI (examples/ccsmine_cli) and
+// the resident service (src/service/ccsmined). Both front ends parse
+// --threads / --timeout-ms / --max-tables / --metrics-out / --trace-out
+// and the dataset flags through these helpers, so a daemon started with
+// the same flags as a one-shot invocation sees byte-identical data and
+// run limits — which is what lets scripts/service_smoke.py diff their
+// answers exactly (DESIGN.md §12).
+
+namespace ccs {
+namespace cli {
+
+// Flags common to every mining front end.
+struct CommonOptions {
+  std::size_t threads = 1;      // --threads: executor width, 0 = hardware
+  std::uint64_t timeout_ms = 0;  // --timeout-ms: 0 = no deadline
+  std::uint64_t max_tables = 0;  // --max-tables: 0 = no table budget
+  std::string metrics_out;       // --metrics-out: result metrics as JSON
+  std::string trace_out;         // --trace-out: span log as JSON (enables
+                                 // tracing)
+};
+
+// Dataset selection: load from files or generate.
+struct DataOptions {
+  std::string generate = "ibm";  // --generate ibm|rules|zipf
+  std::string baskets_file;      // --baskets-file (with --catalog-file)
+  std::string catalog_file;      // --catalog-file
+  std::size_t baskets = 10000;   // --baskets
+  std::size_t items = 100;       // --items
+  std::uint64_t seed = 42;       // --seed
+};
+
+enum class FlagStatus {
+  kHandled,       // argv[*i] consumed (plus its value, if any)
+  kNotHandled,    // not a flag of this group; *i unchanged
+  kMissingValue,  // recognized flag at end of argv with no value
+};
+
+// Tries argv[*i] against the group's flags; on kHandled, *i has advanced
+// past any consumed value (matching the `for (int i = ...; ++i)` loop
+// idiom of the front ends).
+FlagStatus ParseCommonFlag(int argc, char** argv, int* i,
+                           CommonOptions* out);
+FlagStatus ParseDataFlag(int argc, char** argv, int* i, DataOptions* out);
+
+struct LoadedData {
+  TransactionDatabase db;
+  ItemCatalog catalog;
+};
+
+// Loads --baskets-file/--catalog-file when given, otherwise generates the
+// configured dataset. Deterministic: the same DataOptions always produce
+// the same database (generators are seeded; loaders are pure), which both
+// front ends rely on for answer diffing. The returned database is
+// finalized. Errors: kInvalidArgument for an unknown generator or a
+// missing catalog file, loader statuses pass through.
+[[nodiscard]] StatusOr<LoadedData> LoadOrGenerate(const DataOptions& data);
+
+// Stamps --timeout-ms / --max-tables onto a RunControl.
+void ApplyRunControl(const CommonOptions& options, RunControl* control);
+
+// Writes result.metrics / result.trace as JSON to the configured paths
+// (no-ops for empty paths). kDataLoss on a failed write.
+[[nodiscard]] Status WriteTelemetry(const MiningResult& result,
+                                    const CommonOptions& options);
+
+}  // namespace cli
+}  // namespace ccs
+
+#endif  // CCS_CLI_OPTIONS_H_

@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "core/pair_tier.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -153,6 +154,19 @@ void ContingencyTableBuilder::PreparePrefix(const Itemset& prefix) {
       prefix_counts_[mask] = db_->ItemSupport(prefix[top]);
       continue;
     }
+    // Pair subsets: the shared read-only tier first, so a hit never
+    // depends on this worker's LRU state (DESIGN.md §12). Tier-covered
+    // pairs never enter the LRU, leaving its budget to larger subsets.
+    if (std::popcount(mask) == 2 && cache_options_.shared_pairs != nullptr) {
+      const std::size_t low = std::countr_zero(mask);
+      if (const auto* entry =
+              cache_options_.shared_pairs->Lookup(prefix[low], prefix[top])) {
+        prefix_bits_[mask] = &entry->bits;
+        prefix_counts_[mask] = entry->count;
+        ++shared_pair_hits_;
+        continue;
+      }
+    }
     const Itemset key = SubsetByMask(prefix, mask);
     if (const auto* entry = cache_.LookupPinned(key)) {
       prefix_bits_[mask] = &entry->bits;
@@ -187,6 +201,17 @@ stats::ContingencyTable ContingencyTableBuilder::TableFromPrefix(
   }
   minterms_[half] = db_->ItemSupport(s[k - 1]);
   for (std::size_t mask = 1; mask < half; ++mask) {
+    if ((mask & (mask - 1)) == 0 && cache_options_.shared_pairs != nullptr) {
+      // (prefix item, last item) is a pair: its memoized count can come
+      // straight from the shared tier with no bitset pass at all.
+      const std::size_t i = std::countr_zero(mask);
+      if (const auto* entry =
+              cache_options_.shared_pairs->Lookup(s[i], s[k - 1])) {
+        minterms_[half | mask] = entry->count;
+        ++shared_pair_hits_;
+        continue;
+      }
+    }
     minterms_[half | mask] = DynamicBitset::CountAnd(*prefix_bits_[mask], last);
     word_ops_ += last.num_words();
   }

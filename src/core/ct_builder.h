@@ -86,6 +86,12 @@ class ContingencyTableBuilder {
   // model, used by the benches to compare the two paths.
   std::uint64_t word_ops() const { return word_ops_; }
 
+  // Pair intersections served by the shared read-only tier instead of a
+  // CountAnd or an LRU entry. Deterministic: the tier is immutable and is
+  // consulted before the per-worker cache, so the count depends only on
+  // the candidate batches, never on LRU state or the thread schedule.
+  std::uint64_t shared_pair_hits() const { return shared_pair_hits_; }
+
   const IntersectionCacheStats& cache_stats() const { return cache_.stats(); }
   const CtCacheOptions& cache_options() const { return cache_options_; }
   std::size_t cache_words_in_use() const { return cache_.words_in_use(); }
@@ -117,6 +123,7 @@ class ContingencyTableBuilder {
   std::uint64_t tables_built_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t word_ops_ = 0;
+  std::uint64_t shared_pair_hits_ = 0;
 };
 
 }  // namespace ccs

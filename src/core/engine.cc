@@ -1,184 +1,18 @@
 #include "core/engine.h"
 
-#include <cstdlib>
-#include <exception>
-#include <string>
-
-#include "core/bms.h"
-#include "core/bms_plus.h"
-#include "core/bms_plus_plus.h"
-#include "core/bms_star.h"
-#include "core/bms_star_star.h"
-#include "util/check.h"
-#include "util/status.h"
-#include "util/stopwatch.h"
+#include "core/run_query.h"
 
 namespace ccs {
 
-namespace {
-
-// EngineOptions + the CCS_CT_CACHE override ("0" forces the per-candidate
-// path, anything else forces the cached path), resolved once per engine.
-CtCacheOptions ResolveCtCache(const EngineOptions& options) {
-  CtCacheOptions cache;
-  cache.enabled = options.ct_cache;
-  cache.budget_words = options.ct_cache_budget_mib * ((std::size_t{1} << 20) /
-                                                      sizeof(std::uint64_t));
-  if (const char* env = std::getenv("CCS_CT_CACHE")) {
-    cache.enabled = std::string(env) != "0";
-  }
-  return cache;
-}
-
-// When a worker threw mid-level, the PR 2 exception path skipped the
-// variants' drain-side AccumulateInto — the unwind destroyed the partial
-// MiningStats along with the variant's frame. The EvalWorkers destructor,
-// however, flushed every builder's counters into the run registry *during*
-// that unwind, so the per-thread table counts and cache telemetry survive
-// and can be restored onto the kError result here.
-void RecoverWorkerTelemetry(const MetricsRegistry& registry,
-                            std::size_t num_threads, MiningStats& stats) {
-  const MetricsSnapshot snapshot = registry.Snapshot();
-  if (!snapshot.enabled) return;
-  stats.num_threads = num_threads;
-  if (const MetricScalar* tables = snapshot.FindScalar("ct.tables_built")) {
-    stats.tables_built_per_thread = tables->shards;
-  }
-  stats.ct_cache_lookups = snapshot.Value("ct_cache.lookups");
-  stats.ct_cache_hits = snapshot.Value("ct_cache.hits");
-  stats.ct_cache_misses = snapshot.Value("ct_cache.misses");
-  stats.ct_cache_evictions = snapshot.Value("ct_cache.evictions");
-  stats.ct_word_ops = snapshot.Value("ct.word_ops");
-}
-
-}  // namespace
-
 MiningEngine::MiningEngine(const TransactionDatabase& db,
                            const ItemCatalog& catalog, EngineOptions options)
-    : db_(&db),
-      catalog_(&catalog),
-      options_(std::move(options)),
-      ct_cache_(ResolveCtCache(options_)),
-      metrics_enabled_(MetricsEnabledFromEnv(options_.metrics)),
-      trace_enabled_(options_.trace),
-      trace_capacity_(options_.trace_capacity),
-      executor_(options_.num_threads) {
-  ResolveTraceFromEnv(trace_enabled_, trace_capacity_);
-}
+    : handle_(DatabaseHandle::Borrow(db, catalog)),
+      resolved_(ResolveEngineOptions(options)),
+      executor_(resolved_.num_threads) {}
 
 MiningResult MiningEngine::Run(const MiningRequest& request) {
-  const ConstraintSet& constraints =
-      request.constraints != nullptr ? *request.constraints
-                                     : empty_constraints_;
-  // Run-scoped observability: a fresh registry and tracer per Run, so the
-  // snapshot attached to the result describes exactly this query.
-  MetricsRegistry registry(executor_.num_threads(), metrics_enabled_);
-  Tracer tracer(trace_enabled_, trace_capacity_);
-  executor_.SetMetrics(&registry);
-  struct DetachGuard {
-    ParallelExecutor* executor;
-    ~DetachGuard() { executor->SetMetrics(nullptr); }
-  } detach{&executor_};
-  const RunGovernor governor(request.control);
-  MiningContext ctx(executor_, request.algorithm,
-                    &options_.progress_callback, &governor, ct_cache_,
-                    &registry, &tracer);
-  Stopwatch run_timer;
-  MiningResult result;
-  {
-    Tracer::Span run_span(&tracer, "run");
-    // A throwing worker (fault injection, bad_alloc, a pathological
-    // constraint) must degrade to kError, not take the process down; the
-    // executor has already drained its pool by the time the exception
-    // reaches this frame, so the engine stays good for the next Run.
-    try {
-      switch (request.algorithm) {
-        case Algorithm::kBms:
-          result = MineBms(*db_, request.options, &ctx);
-          break;
-        case Algorithm::kBmsPlus:
-          result = MineBmsPlus(*db_, *catalog_, constraints, request.options,
-                               &ctx);
-          break;
-        case Algorithm::kBmsPlusPlus:
-          result = MineBmsPlusPlus(*db_, *catalog_, constraints,
-                                   request.options, &ctx);
-          break;
-        case Algorithm::kBmsStar:
-          result = MineBmsStar(*db_, *catalog_, constraints, request.options,
-                               &ctx);
-          break;
-        case Algorithm::kBmsStarStar:
-          result = MineBmsStarStar(*db_, *catalog_, constraints,
-                                   request.options, &ctx);
-          break;
-        case Algorithm::kBmsStarStarOpt:
-          result = MineBmsStarStarOpt(*db_, *catalog_, constraints,
-                                      request.options, &ctx);
-          break;
-      }
-    } catch (const std::exception& e) {
-      result = MiningResult();
-      result.termination = Termination::kError;
-      result.error = InternalError(e.what());
-      result.stats.elapsed_seconds = run_timer.ElapsedSeconds();
-      RecoverWorkerTelemetry(registry, executor_.num_threads(), result.stats);
-    }
-  }
-  FinalizeTelemetry(registry, tracer, run_timer.ElapsedSeconds(), result);
-  return result;
-}
-
-void MiningEngine::FinalizeTelemetry(MetricsRegistry& registry,
-                                     const Tracer& tracer,
-                                     double wall_seconds,
-                                     MiningResult& result) const {
-  // The deterministic MiningStats aggregates, migrated onto the registry
-  // under the engine.* prefix. These are the counters that must be
-  // bit-identical across thread counts AND across CT-cache modes; the
-  // worker-side ct.* / ct_cache.* / executor.* families legitimately move
-  // with the CT path and are flushed by EvalWorkers instead.
-  const auto counter = [&registry](const char* name) {
-    return registry.Counter(name, MetricStability::kDeterministic);
-  };
-  const MiningStats& stats = result.stats;
-  std::uint64_t pruned = 0;
-  std::uint64_t ct_supported = 0;
-  std::uint64_t correlated = 0;
-  std::uint64_t sig_added = 0;
-  std::uint64_t notsig_added = 0;
-  for (const LevelStats& level : stats.levels) {
-    pruned += level.pruned_before_ct;
-    ct_supported += level.ct_supported;
-    correlated += level.correlated;
-    sig_added += level.sig_added;
-    notsig_added += level.notsig_added;
-  }
-  registry.Add(counter("engine.candidates"), 0, stats.TotalCandidates());
-  registry.Add(counter("engine.tables_built"), 0, stats.TotalTablesBuilt());
-  registry.Add(counter("engine.chi2_tests"), 0, stats.TotalChi2Tests());
-  registry.Add(counter("engine.pruned_before_ct"), 0, pruned);
-  registry.Add(counter("engine.ct_supported"), 0, ct_supported);
-  registry.Add(counter("engine.correlated"), 0, correlated);
-  registry.Add(counter("engine.sig_added"), 0, sig_added);
-  registry.Add(counter("engine.notsig_added"), 0, notsig_added);
-  registry.Add(counter("engine.levels_completed"), 0,
-               stats.levels_completed);
-  registry.GaugeMax(
-      registry.Gauge("engine.answers", MetricStability::kDeterministic), 0,
-      result.answers.size());
-  const MetricsRegistry::Id level_hist = registry.Histogram(
-      "engine.level_candidates", MetricStability::kDeterministic,
-      {1, 10, 100, 1000, 10000, 100000});
-  for (const LevelStats& level : stats.levels) {
-    if (level.candidates > 0) {
-      registry.Observe(level_hist, 0, level.candidates);
-    }
-  }
-  registry.Add(registry.Counter("run.wall_ns", MetricStability::kTiming), 0,
-               static_cast<std::uint64_t>(wall_seconds * 1e9));
-  result.metrics = registry.Snapshot();
-  result.trace = tracer.Log();
+  return RunMiningQuery(handle_.database(), handle_.catalog(), resolved_,
+                        executor_, request);
 }
 
 }  // namespace ccs

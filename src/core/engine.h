@@ -4,78 +4,30 @@
 #include <cstddef>
 
 #include "constraints/constraint_set.h"
-#include "core/algorithm.h"
-#include "core/context.h"
-#include "core/options.h"
+#include "core/engine_options.h"
 #include "core/result.h"
-#include "core/run_control.h"
+#include "core/session.h"
 #include "txn/catalog.h"
 #include "txn/database.h"
 #include "util/executor.h"
 
 namespace ccs {
 
-// Session-level knobs, fixed for the engine's lifetime. Everything
-// query-level lives in MiningRequest, so adding engine knobs here and
-// query knobs there is non-breaking for both.
-struct EngineOptions {
-  // Executor width. 1 = serial (no worker threads); 0 = one thread per
-  // hardware thread. Answers and the deterministic counters of
-  // MiningStats are identical for every value.
-  std::size_t num_threads = 1;
-
-  // If set, called serially after each lattice-level pass of every run.
-  ProgressCallback progress_callback;
-
-  // Prefix-sharing contingency-table evaluation (DESIGN.md §9): when true,
-  // each level's candidates run through ContingencyTableBuilder::BuildBatch
-  // with a per-worker IntersectionCache; when false, every candidate uses
-  // the original per-candidate recursion. Answers and the deterministic
-  // counters are bit-identical either way — this is a kill switch kept for
-  // differential testing and for memory-tight deployments. The CCS_CT_CACHE
-  // environment variable ("0"/"1"), if set, overrides this field.
-  bool ct_cache = true;
-
-  // IntersectionCache budget per worker thread, in MiB of cached
-  // intersection bitsets.
-  std::size_t ct_cache_budget_mib = 32;
-
-  // Observability (DESIGN.md §10). `metrics` drives the per-run
-  // MetricsRegistry that every Run aggregates into MiningResult::metrics;
-  // false is the kill switch for overhead-sensitive deployments. The
-  // CCS_METRICS environment variable ("0" disables) overrides the field.
-  bool metrics = true;
-
-  // Phase tracing: when true each Run records its run → level → phase
-  // span tree into MiningResult::trace, bounded by `trace_capacity` spans
-  // (drop-oldest). CCS_TRACE overrides both fields: "0" disables, "1"
-  // enables at trace_capacity, an integer > 1 enables with that capacity.
-  bool trace = false;
-  std::size_t trace_capacity = Tracer::kDefaultCapacity;
-};
-
-// One correlation-mining query: which algorithm, its statistical
-// parameters, and the constraint conjunction. A plain aggregate so future
-// knobs (sharding, sampling, ...) can be added without breaking callers.
-struct MiningRequest {
-  Algorithm algorithm = Algorithm::kBms;
-  MiningOptions options;
-  // Borrowed; must outlive the Run call. nullptr means no constraints.
-  // Ignored by Algorithm::kBms, which is unconstrained by definition.
-  const ConstraintSet* constraints = nullptr;
-  // Deadline, cancellation, and work budgets; defaults to unlimited. A
-  // tripped Run returns a partial MiningResult with the reason in
-  // MiningResult::termination (see core/run_control.h).
-  RunControl control;
-};
-
-// The mining session: binds a finalized database and its catalog to a
-// thread pool once, then serves any number of Run calls against them.
+// Compatibility facade over the session API (core/session.h, DESIGN.md
+// §12): binds a finalized database and its catalog to a private thread
+// pool once, then serves any number of serial Run calls against them.
 //
 //   MiningEngine engine(db, catalog, {.num_threads = 8});
 //   MiningResult r = engine.Run({.algorithm = Algorithm::kBmsPlusPlus,
 //                                .options = options,
 //                                .constraints = &constraints});
+//
+// New code should prefer DatabaseHandle + MiningSession, which share
+// executors through a pool and support concurrent runs over one database;
+// the engine keeps the original single-owner shape — a private executor,
+// one Run at a time — for callers that want exactly that. Both funnel into
+// the same run path (core/run_query.h), so their answers and deterministic
+// counters are bit-identical by construction.
 //
 // Determinism guarantee: for a fixed request, `answers` and every counter
 // of MiningStats except tables_built_per_thread (and the wall-time fields)
@@ -93,7 +45,7 @@ struct MiningRequest {
 //
 // The database and catalog are borrowed and must outlive the engine; they
 // are never mutated. The engine itself is not thread-safe: one Run at a
-// time per engine (create several engines over the same database to run
+// time per engine (use MiningSessions over one DatabaseHandle to run
 // queries concurrently).
 class MiningEngine {
  public:
@@ -104,34 +56,21 @@ class MiningEngine {
   // Status — discarding it silently swallows deadline/cancel/error exits.
   [[nodiscard]] MiningResult Run(const MiningRequest& request);
 
-  const TransactionDatabase& database() const { return *db_; }
-  const ItemCatalog& catalog() const { return *catalog_; }
+  const TransactionDatabase& database() const { return handle_.database(); }
+  const ItemCatalog& catalog() const { return handle_.catalog(); }
   // Actual executor width (EngineOptions::num_threads resolved).
   std::size_t num_threads() const { return executor_.num_threads(); }
   // CT path in effect (EngineOptions::ct_cache + CCS_CT_CACHE resolved).
-  const CtCacheOptions& ct_cache() const { return ct_cache_; }
+  const CtCacheOptions& ct_cache() const { return resolved_.ct_cache; }
   // Observability in effect (EngineOptions + CCS_METRICS / CCS_TRACE
   // resolved).
-  bool metrics_enabled() const { return metrics_enabled_; }
-  bool trace_enabled() const { return trace_enabled_; }
+  bool metrics_enabled() const { return resolved_.metrics; }
+  bool trace_enabled() const { return resolved_.trace; }
 
  private:
-  // Fills in the run-level telemetry after the algorithm returns: exports
-  // the deterministic MiningStats aggregates as engine.* metrics, stamps
-  // run.wall_ns, and attaches the registry snapshot and trace log to the
-  // result.
-  void FinalizeTelemetry(MetricsRegistry& registry, const Tracer& tracer,
-                         double wall_seconds, MiningResult& result) const;
-
-  const TransactionDatabase* db_;
-  const ItemCatalog* catalog_;
-  EngineOptions options_;
-  CtCacheOptions ct_cache_;
-  bool metrics_enabled_;
-  bool trace_enabled_;
-  std::size_t trace_capacity_;
+  DatabaseHandle handle_;
+  ResolvedEngineOptions resolved_;
   ParallelExecutor executor_;
-  ConstraintSet empty_constraints_;
 };
 
 }  // namespace ccs

@@ -1,0 +1,31 @@
+#include "core/engine_options.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/executor.h"
+#include "util/metrics.h"
+
+namespace ccs {
+
+ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options) {
+  ResolvedEngineOptions resolved;
+  resolved.num_threads = options.num_threads != 0
+                             ? options.num_threads
+                             : ParallelExecutor::HardwareThreads();
+  resolved.progress_callback = options.progress_callback;
+  resolved.ct_cache.enabled = options.ct_cache;
+  resolved.ct_cache.budget_words =
+      options.ct_cache_budget_mib *
+      ((std::size_t{1} << 20) / sizeof(std::uint64_t));
+  if (const char* env = std::getenv("CCS_CT_CACHE")) {
+    resolved.ct_cache.enabled = std::string(env) != "0";
+  }
+  resolved.metrics = MetricsEnabledFromEnv(options.metrics);
+  resolved.trace = options.trace;
+  resolved.trace_capacity = options.trace_capacity;
+  ResolveTraceFromEnv(resolved.trace, resolved.trace_capacity);
+  return resolved;
+}
+
+}  // namespace ccs

@@ -1,0 +1,103 @@
+#ifndef CCS_CORE_ENGINE_OPTIONS_H_
+#define CCS_CORE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+
+#include "core/algorithm.h"
+#include "core/context.h"
+#include "core/intersection_cache.h"
+#include "core/options.h"
+#include "core/run_control.h"
+#include "core/trace.h"
+
+namespace ccs {
+
+class ConstraintSet;
+
+// Session-level knobs, fixed for the lifetime of a MiningEngine or
+// MiningSession. Everything query-level lives in MiningRequest, so adding
+// session knobs here and query knobs there is non-breaking for both.
+struct EngineOptions {
+  // Executor width. 1 = serial (no worker threads); 0 = one thread per
+  // hardware thread. Answers and the deterministic counters of
+  // MiningStats are identical for every value.
+  std::size_t num_threads = 1;
+
+  // If set, called serially after each lattice-level pass of every run.
+  ProgressCallback progress_callback;
+
+  // Prefix-sharing contingency-table evaluation (DESIGN.md §9): when true,
+  // each level's candidates run through ContingencyTableBuilder::BuildBatch
+  // with a per-worker IntersectionCache; when false, every candidate uses
+  // the original per-candidate recursion. Answers and the deterministic
+  // counters are bit-identical either way — this is a kill switch kept for
+  // differential testing and for memory-tight deployments. The CCS_CT_CACHE
+  // environment variable ("0"/"1"), if set, overrides this field.
+  bool ct_cache = true;
+
+  // IntersectionCache budget per worker thread, in MiB of cached
+  // intersection bitsets.
+  std::size_t ct_cache_budget_mib = 32;
+
+  // Observability (DESIGN.md §10). `metrics` drives the per-run
+  // MetricsRegistry that every Run aggregates into MiningResult::metrics;
+  // false is the kill switch for overhead-sensitive deployments. The
+  // CCS_METRICS environment variable ("0" disables) overrides the field.
+  bool metrics = true;
+
+  // Phase tracing: when true each Run records its run → level → phase
+  // span tree into MiningResult::trace, bounded by `trace_capacity` spans
+  // (drop-oldest). CCS_TRACE overrides both fields: "0" disables, "1"
+  // enables at trace_capacity, an integer > 1 enables with that capacity.
+  bool trace = false;
+  std::size_t trace_capacity = Tracer::kDefaultCapacity;
+};
+
+// One correlation-mining query: which algorithm, its statistical
+// parameters, and the constraint conjunction. A plain aggregate so future
+// knobs (sharding, sampling, ...) can be added without breaking callers.
+struct MiningRequest {
+  Algorithm algorithm = Algorithm::kBms;
+  MiningOptions options;
+  // Borrowed; must outlive the Run call. nullptr means no constraints.
+  // Ignored by Algorithm::kBms, which is unconstrained by definition.
+  const ConstraintSet* constraints = nullptr;
+  // Deadline, cancellation, and work budgets; defaults to unlimited. A
+  // tripped Run returns a partial MiningResult with the reason in
+  // MiningResult::termination (see core/run_control.h).
+  RunControl control;
+};
+
+// EngineOptions with every environment override folded in — the output of
+// ResolveEngineOptions, and the only configuration shape the run path
+// (RunMiningQuery) accepts. Constructing one of these without going
+// through ResolveEngineOptions bypasses the env contract; don't.
+struct ResolvedEngineOptions {
+  // Concrete executor width: EngineOptions::num_threads with 0 expanded
+  // to ParallelExecutor::HardwareThreads().
+  std::size_t num_threads = 1;
+  ProgressCallback progress_callback;
+  // ct_cache.enabled reflects EngineOptions::ct_cache + CCS_CT_CACHE;
+  // shared_pairs stays null here — it is a property of the DatabaseHandle,
+  // stamped onto a copy of this struct by MiningSession.
+  CtCacheOptions ct_cache;
+  bool metrics = true;
+  bool trace = false;
+  std::size_t trace_capacity = Tracer::kDefaultCapacity;
+};
+
+// The single audited site where the CCS_CT_CACHE / CCS_METRICS / CCS_TRACE
+// environment overrides are read (DESIGN.md §12). Precedence, pinned by
+// core_session_test:
+//   * ct_cache: CCS_CT_CACHE unset → the field; set → enabled iff != "0".
+//   * metrics:  CCS_METRICS unset → the field; set → enabled iff != "0".
+//   * trace:    CCS_TRACE unset → the fields; "0" → disabled; "1" →
+//               enabled at the field capacity; integer > 1 → enabled with
+//               that capacity.
+// MiningEngine and MiningSession both resolve through this helper exactly
+// once at construction, so the one-shot and service paths cannot diverge.
+ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_ENGINE_OPTIONS_H_

@@ -11,6 +11,8 @@
 
 namespace ccs {
 
+class SharedPairTier;
+
 // Knobs for the prefix-sharing contingency-table path (DESIGN.md §9).
 // Session-level: the engine resolves them once (EngineOptions + the
 // CCS_CT_CACHE environment override) and threads them to every per-worker
@@ -22,6 +24,11 @@ struct CtCacheOptions {
   // LRU budget per builder (per worker thread), in 64-bit words of cached
   // intersection bitsets. 4 Mi words = 32 MiB.
   std::size_t budget_words = std::size_t{4} << 20;
+  // Optional read-only tier of precomputed k=2 intersections shared by all
+  // workers (DESIGN.md §12), consulted before the private LRU so pair hits
+  // are independent of per-worker cache state. Non-owning; the
+  // DatabaseHandle that built the tier outlives every run that uses it.
+  const SharedPairTier* shared_pairs = nullptr;
 };
 
 // Monotone counters surfaced in MiningStats. hits/misses/evictions depend

@@ -1,6 +1,10 @@
+// The definition must not see its own [[deprecated]] attribute as an
+// error under -Werror.
+#define CCS_ALLOW_DEPRECATED 1
+
 #include "core/miner.h"
 
-#include "core/engine.h"
+#include "core/session.h"
 
 namespace ccs {
 
@@ -8,12 +12,12 @@ MiningResult Mine(Algorithm algorithm, const TransactionDatabase& db,
                   const ItemCatalog& catalog,
                   const ConstraintSet& constraints,
                   const MiningOptions& options) {
-  MiningEngine engine(db, catalog);
+  const MiningSession session(DatabaseHandle::Borrow(db, catalog));
   MiningRequest request;
   request.algorithm = algorithm;
   request.options = options;
   request.constraints = &constraints;
-  return engine.Run(request);
+  return session.Run(request);
 }
 
 }  // namespace ccs

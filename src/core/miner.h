@@ -10,16 +10,22 @@
 
 namespace ccs {
 
+// DEPRECATED COMPATIBILITY SHIM — prefer DatabaseHandle + MiningSession
+// (core/session.h), or MiningEngine (core/engine.h) for a private pool.
+//
 // Dispatches a constrained correlation query to the chosen algorithm.
 // kBms ignores `constraints`. The MIN_VALID algorithms require every
 // constraint to be monotone or anti-monotone.
 //
-// COMPATIBILITY SHIM — prefer MiningEngine (core/engine.h). This free
-// function constructs a throwaway single-threaded engine per call, so it
-// can use neither the thread pool nor progress reporting, and it rebinds
-// the database on every query instead of once per session. It is kept so
-// existing callers keep compiling and will be marked [[deprecated]] once
-// the tree is fully migrated.
+// Every call re-borrows the database into a throwaway single-threaded
+// session, so it can use neither a warm executor, progress reporting, nor
+// the handle-level layout (shared pair tier); the tree's own callers have
+// been migrated off it. Compiling a call site requires defining
+// CCS_ALLOW_DEPRECATED (the deprecation is an error under -Werror
+// otherwise) — new code should not.
+#if !defined(CCS_ALLOW_DEPRECATED)
+[[deprecated("use MiningSession (core/session.h) or MiningEngine")]]
+#endif
 [[nodiscard]] MiningResult Mine(Algorithm algorithm,
                                 const TransactionDatabase& db,
                                 const ItemCatalog& catalog,

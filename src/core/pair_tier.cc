@@ -1,0 +1,58 @@
+#include "core/pair_tier.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ccs {
+
+SharedPairTier SharedPairTier::Build(const TransactionDatabase& db,
+                                     std::size_t budget_words) {
+  CCS_CHECK(db.finalized());
+  SharedPairTier tier;
+  if (budget_words == 0 || db.num_items() < 2) return tier;
+
+  // Rank items by (support desc, id asc) — the pairs most likely to recur
+  // across queries are those among the most frequent items.
+  std::vector<ItemId> ranked;
+  ranked.reserve(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) > 0) ranked.push_back(i);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&db](ItemId a, ItemId b) {
+    const std::uint64_t sa = db.ItemSupport(a);
+    const std::uint64_t sb = db.ItemSupport(b);
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  // Triangular fill: rank m pairs against every better rank, so the top
+  // items' pairs enter before the budget can run out.
+  for (std::size_t m = 1; m < ranked.size(); ++m) {
+    for (std::size_t l = 0; l < m; ++l) {
+      DynamicBitset bits;
+      const std::uint64_t count =
+          bits.AssignAndCount(db.tidset(ranked[l]), db.tidset(ranked[m]));
+      if (count == 0) continue;  // misses recompute cheaply; don't store
+      if (tier.words_in_use_ + bits.num_words() > budget_words) {
+        return tier;  // budget reached: the tier is what fit
+      }
+      tier.words_in_use_ += bits.num_words();
+      const Itemset key =
+          Itemset().WithItem(ranked[l]).WithItem(ranked[m]);
+      tier.pairs_.emplace(key, Entry{std::move(bits), count});
+    }
+  }
+  return tier;
+}
+
+const SharedPairTier::Entry* SharedPairTier::Lookup(ItemId a,
+                                                    ItemId b) const {
+  if (pairs_.empty() || a == b) return nullptr;
+  const Itemset key = Itemset().WithItem(a).WithItem(b);
+  const auto it = pairs_.find(key);
+  return it != pairs_.end() ? &it->second : nullptr;
+}
+
+}  // namespace ccs

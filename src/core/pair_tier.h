@@ -1,0 +1,61 @@
+#ifndef CCS_CORE_PAIR_TIER_H_
+#define CCS_CORE_PAIR_TIER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/itemset.h"
+#include "txn/database.h"
+#include "util/bitset.h"
+
+namespace ccs {
+
+// A read-only tier of precomputed k=2 tid-set intersections shared by
+// every worker and every query over one finalized database — the
+// Finalize-time layout piece of a DatabaseHandle (DESIGN.md §12).
+//
+// The per-worker IntersectionCache (DESIGN.md §9) rediscovers hot pair
+// intersections once per worker per run; under a resident service the same
+// pairs are recomputed by every request. This tier hoists the decision to
+// handle-creation time: the pairwise intersections of the highest-support
+// items are materialized once, and every ContingencyTableBuilder consults
+// the tier before its private cache. Being immutable after Build, it is
+// shared across threads with no synchronization, and its contents are a
+// pure function of (database, budget) — deterministic, like everything
+// else on the answer path. Tables recovered through the tier are exact
+// intersections, so answers are bit-identical with the tier on or off.
+//
+// Pair selection is deterministic: items ranked by (support descending,
+// id ascending), zero-support items excluded, pairs added in triangular
+// order (the 2nd-ranked item against the 1st, then the 3rd against the
+// 1st and 2nd, ...) until the word budget is exhausted. Empty
+// intersections are not stored — a lookup miss falls back to the normal
+// compute path, which is cheap for sparse pairs.
+class SharedPairTier {
+ public:
+  struct Entry {
+    DynamicBitset bits;
+    std::uint64_t count = 0;  // == bits.Count(), memoized
+  };
+
+  // Requires db.finalized(). budget_words bounds the stored bitset words;
+  // 0 yields an empty tier (every lookup misses).
+  static SharedPairTier Build(const TransactionDatabase& db,
+                              std::size_t budget_words);
+
+  // The intersection of the two items' tid-sets, or nullptr if the pair
+  // is not in the tier. Item order does not matter. Safe to call from any
+  // thread; the returned entry lives as long as the tier.
+  const Entry* Lookup(ItemId a, ItemId b) const;
+
+  std::size_t num_pairs() const { return pairs_.size(); }
+  std::size_t words_in_use() const { return words_in_use_; }
+
+ private:
+  ItemsetMap<Entry> pairs_;
+  std::size_t words_in_use_ = 0;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_PAIR_TIER_H_

@@ -52,6 +52,8 @@ class EvalWorkers {
                                        MetricStability::kScheduleDependent);
       lookups_id_ = metrics_->Counter("ct_cache.lookups",
                                       MetricStability::kDeterministic);
+      shared_hits_id_ = metrics_->Counter("ct_cache.shared_hits",
+                                          MetricStability::kDeterministic);
       hits_id_ = metrics_->Counter("ct_cache.hits",
                                    MetricStability::kScheduleDependent);
       misses_id_ = metrics_->Counter("ct_cache.misses",
@@ -69,6 +71,7 @@ class EvalWorkers {
       metrics_->Add(batches_id_, t, b.batches());
       metrics_->Add(word_ops_id_, t, b.word_ops());
       metrics_->Add(lookups_id_, t, b.cache_stats().lookups);
+      metrics_->Add(shared_hits_id_, t, b.shared_pair_hits());
       metrics_->Add(hits_id_, t, b.cache_stats().hits);
       metrics_->Add(misses_id_, t, b.cache_stats().misses);
       metrics_->Add(evictions_id_, t, b.cache_stats().evictions);
@@ -99,6 +102,7 @@ class EvalWorkers {
       stats.ct_cache_hits += builders_[t].cache_stats().hits;
       stats.ct_cache_misses += builders_[t].cache_stats().misses;
       stats.ct_cache_evictions += builders_[t].cache_stats().evictions;
+      stats.ct_cache_shared_hits += builders_[t].shared_pair_hits();
       stats.ct_word_ops += builders_[t].word_ops();
     }
   }
@@ -111,6 +115,7 @@ class EvalWorkers {
   MetricsRegistry::Id batches_id_ = 0;
   MetricsRegistry::Id word_ops_id_ = 0;
   MetricsRegistry::Id lookups_id_ = 0;
+  MetricsRegistry::Id shared_hits_id_ = 0;
   MetricsRegistry::Id hits_id_ = 0;
   MetricsRegistry::Id misses_id_ = 0;
   MetricsRegistry::Id evictions_id_ = 0;

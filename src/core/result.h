@@ -79,6 +79,11 @@ struct MiningStats {
   std::uint64_t ct_cache_hits = 0;
   std::uint64_t ct_cache_misses = 0;
   std::uint64_t ct_cache_evictions = 0;
+  // Pair intersections served by a DatabaseHandle's shared read-only tier
+  // (DESIGN.md §12). Consulted before the per-worker LRU, so — unlike the
+  // hit/miss split above — this count is schedule-independent. Zero when
+  // no tier is attached or the cache path is off.
+  std::uint64_t ct_cache_shared_hits = 0;
   // Bulk bitset word operations spent building contingency tables — the
   // concrete currency of the paper's O(2^k * N/64) cost model (exact and
   // thread-count-independent at a fixed ct_cache setting only for

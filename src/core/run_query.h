@@ -1,0 +1,32 @@
+#ifndef CCS_CORE_RUN_QUERY_H_
+#define CCS_CORE_RUN_QUERY_H_
+
+#include "core/engine_options.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/executor.h"
+
+namespace ccs {
+
+// The shared run path behind every public mining entry point: executes one
+// MiningRequest against a finalized database on the given executor, with
+// run-scoped observability (a fresh MetricsRegistry and Tracer per call,
+// snapshots attached to the result) and the kError degradation contract of
+// DESIGN.md §8. MiningEngine calls it on its private executor;
+// MiningSession on an ExecutorPool lease — the semantics are identical by
+// construction, which is what makes the session and one-shot answers
+// comparable bit for bit.
+//
+// The caller must hold the executor exclusively for the duration of the
+// call (ParallelExecutor is single-run); `options` must come from
+// ResolveEngineOptions so the environment overrides are already folded in.
+[[nodiscard]] MiningResult RunMiningQuery(const TransactionDatabase& db,
+                                          const ItemCatalog& catalog,
+                                          const ResolvedEngineOptions& options,
+                                          ParallelExecutor& executor,
+                                          const MiningRequest& request);
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_RUN_QUERY_H_

@@ -1,0 +1,78 @@
+#include "core/session.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/run_query.h"
+#include "util/check.h"
+
+namespace ccs {
+
+namespace {
+
+// Epochs are process-unique and monotone; 0 is reserved so a
+// default-initialized "no epoch yet" can never collide with a real handle.
+std::uint64_t NextEpoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t TierBudgetWords(const HandleOptions& options) {
+  return options.pair_tier_budget_mib *
+         ((std::size_t{1} << 20) / sizeof(std::uint64_t));
+}
+
+}  // namespace
+
+DatabaseHandle DatabaseHandle::Create(TransactionDatabase db,
+                                      ItemCatalog catalog,
+                                      HandleOptions options) {
+  auto payload = std::make_shared<Payload>();
+  if (!db.finalized()) db.Finalize();
+  payload->owned_db =
+      std::make_unique<const TransactionDatabase>(std::move(db));
+  payload->owned_catalog =
+      std::make_unique<const ItemCatalog>(std::move(catalog));
+  payload->db = payload->owned_db.get();
+  payload->catalog = payload->owned_catalog.get();
+  payload->tier =
+      SharedPairTier::Build(*payload->db, TierBudgetWords(options));
+  payload->epoch = NextEpoch();
+  return DatabaseHandle(std::move(payload));
+}
+
+DatabaseHandle DatabaseHandle::Borrow(const TransactionDatabase& db,
+                                      const ItemCatalog& catalog,
+                                      HandleOptions options) {
+  CCS_CHECK(db.finalized());
+  auto payload = std::make_shared<Payload>();
+  payload->db = &db;
+  payload->catalog = &catalog;
+  payload->tier = SharedPairTier::Build(db, TierBudgetWords(options));
+  payload->epoch = NextEpoch();
+  return DatabaseHandle(std::move(payload));
+}
+
+MiningSession::MiningSession(DatabaseHandle handle, EngineOptions options,
+                             ExecutorPool* pool)
+    : handle_(std::move(handle)),
+      resolved_(ResolveEngineOptions(options)),
+      pool_(pool != nullptr ? pool : &ProcessExecutorPool()) {
+  CCS_CHECK(handle_.valid());
+}
+
+MiningResult MiningSession::Run(const MiningRequest& request) const {
+  const ExecutorPool::Lease lease = pool_->Acquire(resolved_.num_threads);
+  // The tier rides on a per-call copy of the resolved options: the
+  // session's stored options stay handle-free, so options() reports the
+  // configuration, not a dangling layout pointer, if the handle is swapped
+  // on a future session type.
+  ResolvedEngineOptions options = resolved_;
+  options.ct_cache.shared_pairs = handle_.pair_tier();
+  return RunMiningQuery(handle_.database(), handle_.catalog(), options,
+                        *lease, request);
+}
+
+}  // namespace ccs

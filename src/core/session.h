@@ -1,0 +1,129 @@
+#ifndef CCS_CORE_SESSION_H_
+#define CCS_CORE_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/engine_options.h"
+#include "core/pair_tier.h"
+#include "core/result.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/executor_pool.h"
+
+namespace ccs {
+
+// The service-shaped mining API (DESIGN.md §12). Three layers replace the
+// old "one MiningEngine = one database + one private pool + one serial
+// Run" coupling:
+//
+//   * DatabaseHandle — an immutable, epoch-stamped bundle of a finalized
+//     database, its catalog, and the Finalize-time layout work (today: the
+//     shared k=2 intersection tier). Cheap to copy, safe to share across
+//     any number of threads; the epoch is the cache-invalidation token for
+//     everything keyed on the data (the service memo, client ETags).
+//   * ExecutorPool — process-wide thread-pool sharing (util/executor_pool.h).
+//   * MiningSession — a cheap per-request binding of a handle to resolved
+//     EngineOptions. Run leases an executor per call, so sessions over the
+//     same handle (or even Run calls on one session) may proceed
+//     concurrently; answers are bit-identical to a private serial
+//     MiningEngine by construction — both funnel into RunMiningQuery.
+//
+// MiningEngine (core/engine.h) remains as a thin compatibility facade over
+// these pieces.
+
+// Finalize-time layout knobs, fixed when the handle is created.
+struct HandleOptions {
+  // Budget for the shared read-only k=2 intersection tier, in MiB of
+  // bitset words. 0 disables the tier — every builder then computes pair
+  // intersections privately, exactly as before; answers are identical
+  // either way (core/pair_tier.h).
+  std::size_t pair_tier_budget_mib = 0;
+};
+
+// Immutable view of one finalized database generation. Copies share one
+// payload; the handle (and all copies) must outlive every session and
+// every in-flight Run over it.
+class DatabaseHandle {
+ public:
+  DatabaseHandle() = default;
+
+  // Owning: takes the database and catalog (finalizing the database if the
+  // caller has not), builds the Finalize-time layout, stamps a fresh
+  // process-unique epoch.
+  static DatabaseHandle Create(TransactionDatabase db, ItemCatalog catalog,
+                               HandleOptions options = {});
+
+  // Non-owning: borrows an already-finalized database and catalog that the
+  // caller keeps alive — the compatibility path for MiningEngine and for
+  // callers with their own storage. Still epoch-stamped, still able to
+  // carry a pair tier.
+  static DatabaseHandle Borrow(const TransactionDatabase& db,
+                               const ItemCatalog& catalog,
+                               HandleOptions options = {});
+
+  bool valid() const { return payload_ != nullptr; }
+  const TransactionDatabase& database() const { return *payload_->db; }
+  const ItemCatalog& catalog() const { return *payload_->catalog; }
+  // The shared k=2 tier, or nullptr when built with a zero budget.
+  const SharedPairTier* pair_tier() const {
+    return payload_->tier.num_pairs() > 0 ? &payload_->tier : nullptr;
+  }
+  // Process-unique, monotonically increasing across handle creations.
+  // Two handles with the same epoch are the same data by construction.
+  std::uint64_t epoch() const { return payload_->epoch; }
+
+ private:
+  struct Payload {
+    // Owned storage (Create); unused by Borrow.
+    std::unique_ptr<const TransactionDatabase> owned_db;
+    std::unique_ptr<const ItemCatalog> owned_catalog;
+    // Always set: into the owned storage or the borrowed objects.
+    const TransactionDatabase* db = nullptr;
+    const ItemCatalog* catalog = nullptr;
+    SharedPairTier tier;
+    std::uint64_t epoch = 0;
+  };
+
+  explicit DatabaseHandle(std::shared_ptr<const Payload> payload)
+      : payload_(std::move(payload)) {}
+
+  std::shared_ptr<const Payload> payload_;
+};
+
+// A cheap per-request mining context: a DatabaseHandle plus EngineOptions
+// resolved once (env overrides folded in — core/engine_options.h). Run
+// leases an executor from the pool per call and releases it on return, so
+// constructing a session allocates no threads.
+//
+// Thread-safety: const and immutable after construction — concurrent Run
+// calls on one session are as safe as one session per thread, and both are
+// bit-identical to a serial MiningEngine at any thread count (the
+// determinism contract of DESIGN.md §7 carries over unchanged).
+class MiningSession {
+ public:
+  // `pool` is borrowed and must outlive the session; nullptr selects the
+  // process-wide pool.
+  explicit MiningSession(DatabaseHandle handle, EngineOptions options = {},
+                         ExecutorPool* pool = nullptr);
+
+  // [[nodiscard]]: the result carries the run's termination reason and
+  // Status — discarding it silently swallows deadline/cancel/error exits.
+  [[nodiscard]] MiningResult Run(const MiningRequest& request) const;
+
+  const DatabaseHandle& handle() const { return handle_; }
+  // Resolved configuration in effect (env overrides folded in).
+  const ResolvedEngineOptions& options() const { return resolved_; }
+  std::size_t num_threads() const { return resolved_.num_threads; }
+
+ private:
+  DatabaseHandle handle_;
+  ResolvedEngineOptions resolved_;
+  ExecutorPool* pool_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_SESSION_H_

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "core/session.h"
 #include "query/parser.h"
 
 namespace ccs {
@@ -130,8 +131,12 @@ Algorithm Query::DefaultAlgorithm() const {
 
 MiningResult Query::Execute(const TransactionDatabase& db,
                             const ItemCatalog& catalog) const {
-  return Mine(DefaultAlgorithm(), db, catalog, constraints,
-              ResolveOptions(db));
+  const MiningSession session(DatabaseHandle::Borrow(db, catalog));
+  MiningRequest request;
+  request.algorithm = DefaultAlgorithm();
+  request.options = ResolveOptions(db);
+  request.constraints = &constraints;
+  return session.Run(request);
 }
 
 namespace {

@@ -1,0 +1,67 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ccs {
+namespace service {
+
+AdmissionController::AdmissionController(Options options,
+                                        const ServiceClock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : &DefaultServiceClock()) {}
+
+StatusOr<AdmissionController::Permit> AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_ < options_.max_concurrent && queue_.empty()) {
+    ++running_;
+    ++admitted_;
+    return Permit(this);
+  }
+  if (queue_.size() >= options_.max_queued) {
+    ++rejected_;
+    return UnavailableError("server busy: " +
+                            std::to_string(options_.max_concurrent) +
+                            " running, " +
+                            std::to_string(queue_.size()) + " queued");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  const auto enqueued_at = clock_->Now();
+  slot_freed_.wait(lock, [this, ticket] {
+    return running_ < options_.max_concurrent && queue_.front() == ticket;
+  });
+  queue_.pop_front();
+  ++running_;
+  ++admitted_;
+  queue_wait_ms_total_ += static_cast<std::uint64_t>(
+      std::max<std::int64_t>(
+          0, std::chrono::duration_cast<std::chrono::milliseconds>(
+                 clock_->Now() - enqueued_at)
+                 .count()));
+  // The new queue front (if any) may now be eligible too.
+  slot_freed_.notify_all();
+  return Permit(this);
+}
+
+void AdmissionController::Release() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+  }
+  slot_freed_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  stats.queue_wait_ms_total = queue_wait_ms_total_;
+  stats.running = running_;
+  stats.queued = queue_.size();
+  return stats;
+}
+
+}  // namespace service
+}  // namespace ccs

@@ -1,0 +1,107 @@
+#ifndef CCS_SERVICE_ADMISSION_H_
+#define CCS_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "service/clock.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace ccs {
+namespace service {
+
+// Fair admission for concurrent MINE requests (DESIGN.md §12).
+//
+// At most `max_concurrent` requests mine at once; up to `max_queued` more
+// wait in strict FIFO order (ticket numbers, so a late arrival can never
+// overtake an earlier one); anything beyond that is rejected immediately
+// with kUnavailable — the retryable "come back later" code, distinct from
+// kResourceExhausted's "your request itself is too big". Rejecting at the
+// door keeps overload from turning into unbounded queue growth or
+// crashes, which is the acceptance bar for the service.
+//
+// Admission decisions depend only on the counters — never on the wall
+// clock. The injected ServiceClock is used purely for queue-wait
+// telemetry, so ManualClock tests see deterministic stats.
+class AdmissionController {
+ public:
+  struct Options {
+    std::size_t max_concurrent = 4;
+    std::size_t max_queued = 8;
+  };
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t queue_wait_ms_total = 0;  // summed over admitted waits
+    std::size_t running = 0;
+    std::size_t queued = 0;
+  };
+
+  // `clock` is borrowed and must outlive the controller; nullptr selects
+  // the process SystemClock.
+  explicit AdmissionController(Options options,
+                               const ServiceClock* clock = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Holds one of the `max_concurrent` slots; releases it on destruction.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Permit() { Reset(); }
+
+    bool valid() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    void Reset() {
+      if (controller_ != nullptr) controller_->Release();
+      controller_ = nullptr;
+    }
+    AdmissionController* controller_ = nullptr;
+  };
+
+  // Blocks until a slot frees (FIFO), or rejects with kUnavailable when
+  // the queue is already full.
+  [[nodiscard]] StatusOr<Permit> Admit() CCS_EXCLUDES(mutex_);
+
+  Stats stats() const CCS_EXCLUDES(mutex_);
+
+ private:
+  void Release() CCS_EXCLUDES(mutex_);
+
+  const Options options_;
+  const ServiceClock* const clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::deque<std::uint64_t> queue_ CCS_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ CCS_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t queue_wait_ms_total_ CCS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_ADMISSION_H_

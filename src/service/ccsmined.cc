@@ -1,0 +1,160 @@
+// ccsmined: the resident mining daemon (DESIGN.md §12).
+//
+// Loads or generates one database at startup, freezes it behind an
+// epoch-stamped DatabaseHandle (with the shared pair tier), and serves
+// MINE/STATS/PING/SHUTDOWN requests over a Unix socket — see
+// src/service/protocol.h for the wire grammar. Dataset and run-limit
+// flags are parsed by the same src/cli layer as the one-shot CLI, so a
+// daemon and a CLI started with the same flags answer identically.
+//
+// Usage:
+//   ccsmined --socket /tmp/ccs.sock [--generate ibm|rules|zipf]
+//            [--baskets N] [--items N] [--seed N]
+//            [--baskets-file F --catalog-file F]
+//            [--threads N] [--timeout-ms N] [--max-tables N]
+//            [--max-concurrent N] [--max-queued N] [--memo-entries N]
+//            [--pair-tier-mib N] [--metrics-out F]
+//
+// Exit codes: 0 clean shutdown, 2 usage, 3 data error, 5 server error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "cli/options.h"
+#include "core/session.h"
+#include "service/service.h"
+#include "service/socket_server.h"
+
+namespace {
+
+struct DaemonOptions {
+  std::string socket_path;
+  std::size_t max_concurrent = 4;
+  std::size_t max_queued = 8;
+  std::size_t memo_entries = 64;
+  std::size_t pair_tier_mib = 8;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [data flags] [run flags] "
+               "[service flags]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccs::cli::CommonOptions common;
+  ccs::cli::DataOptions data;
+  DaemonOptions daemon;
+  for (int i = 1; i < argc; ++i) {
+    switch (ccs::cli::ParseCommonFlag(argc, argv, &i, &common)) {
+      case ccs::cli::FlagStatus::kHandled:
+        continue;
+      case ccs::cli::FlagStatus::kMissingValue:
+        return Usage(argv[0]);
+      case ccs::cli::FlagStatus::kNotHandled:
+        break;
+    }
+    switch (ccs::cli::ParseDataFlag(argc, argv, &i, &data)) {
+      case ccs::cli::FlagStatus::kHandled:
+        continue;
+      case ccs::cli::FlagStatus::kMissingValue:
+        return Usage(argv[0]);
+      case ccs::cli::FlagStatus::kNotHandled:
+        break;
+    }
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--socket") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.socket_path = value;
+    } else if (flag == "--max-concurrent") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.max_concurrent = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--max-queued") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.max_queued = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--memo-entries") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.memo_entries = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--pair-tier-mib") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.pair_tier_mib = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (daemon.socket_path.empty()) return Usage(argv[0]);
+  if (daemon.max_concurrent == 0) {
+    std::fprintf(stderr, "--max-concurrent must be positive\n");
+    return 2;
+  }
+
+  auto loaded = ccs::cli::LoadOrGenerate(data);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "data: %s\n",
+                 loaded.status().ToString().c_str());
+    return 3;
+  }
+  ccs::HandleOptions handle_options;
+  handle_options.pair_tier_budget_mib = daemon.pair_tier_mib;
+  const ccs::DatabaseHandle handle = ccs::DatabaseHandle::Create(
+      std::move(loaded.value().db), std::move(loaded.value().catalog),
+      handle_options);
+
+  ccs::service::ServiceOptions service_options;
+  service_options.engine.num_threads = common.threads;
+  service_options.admission.max_concurrent = daemon.max_concurrent;
+  service_options.admission.max_queued = daemon.max_queued;
+  service_options.memo.max_entries = daemon.memo_entries;
+  service_options.default_timeout_ms = common.timeout_ms;
+  service_options.default_max_tables = common.max_tables;
+  ccs::service::MiningService service(handle, service_options);
+
+  ccs::service::SocketServer::Options server_options;
+  server_options.socket_path = daemon.socket_path;
+  ccs::service::SocketServer server(&service, server_options);
+  if (const ccs::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 5;
+  }
+  // The readiness line scripts/service_smoke.py waits for.
+  std::printf("ccsmined listening on %s (epoch %llu, %zu baskets, "
+              "%zu items)\n",
+              server.socket_path().c_str(),
+              static_cast<unsigned long long>(handle.epoch()),
+              handle.database().num_transactions(),
+              handle.database().num_items());
+  std::fflush(stdout);
+  server.Serve();
+
+  if (!common.metrics_out.empty()) {
+    const std::string json = service.StatsJson() + "\n";
+    std::FILE* f = std::fopen(common.metrics_out.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "cannot write %s\n", common.metrics_out.c_str());
+      return 3;
+    }
+  }
+  std::printf("ccsmined: clean shutdown\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "service/clock.h"
+
+namespace ccs {
+namespace service {
+
+std::chrono::steady_clock::time_point SystemClock::Now() const {
+  return std::chrono::steady_clock::now();
+}
+
+const ServiceClock& DefaultServiceClock() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace service
+}  // namespace ccs

@@ -1,0 +1,55 @@
+#ifndef CCS_SERVICE_CLOCK_H_
+#define CCS_SERVICE_CLOCK_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ccs {
+namespace service {
+
+// Injected time source for the service layer. Admission control and memo
+// bookkeeping must never read the wall clock directly — every time read
+// goes through a ServiceClock so tests can drive queue-wait accounting
+// deterministically with ManualClock. scripts/ccs_lint.py enforces this:
+// raw steady_clock/system_clock ::now() calls in src/service/ are an
+// error anywhere but clock.cc.
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+};
+
+// The real clock; clock.cc is the one sanctioned ::now() call site in the
+// service layer.
+class SystemClock final : public ServiceClock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override;
+};
+
+// Test clock: time moves only when told to.
+class ManualClock final : public ServiceClock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override
+      CCS_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+  void Advance(std::chrono::milliseconds delta) CCS_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    now_ += delta;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point now_ CCS_GUARDED_BY(mutex_){};
+};
+
+// Process-wide SystemClock, the default when no clock is injected.
+const ServiceClock& DefaultServiceClock();
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_CLOCK_H_

@@ -1,0 +1,51 @@
+#include "service/memo.h"
+
+namespace ccs {
+namespace service {
+
+std::shared_ptr<const CachedAnswer> MemoCache::Lookup(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void MemoCache::Insert(const std::string& key, CachedAnswer answer) {
+  if (options_.max_entries == 0) return;
+  auto shared = std::make_shared<const CachedAnswer>(std::move(answer));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(shared);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(shared));
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  if (lru_.size() > options_.max_entries) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace service
+}  // namespace ccs

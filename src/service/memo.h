@@ -1,0 +1,86 @@
+#ifndef CCS_SERVICE_MEMO_H_
+#define CCS_SERVICE_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace ccs {
+namespace service {
+
+// A fully materialized MINE answer, shared between the memo and in-flight
+// responders. Immutable once inserted.
+struct CachedAnswer {
+  std::size_t num_sets = 0;
+  std::string termination;  // TerminationName(), always "completed" today
+  std::string body;         // the SET/METRICS/TRACE lines, '\n'-terminated
+};
+
+// Cross-query whole-answer memo (DESIGN.md §12), keyed by
+// protocol.h's CanonicalKey — (db epoch, canonical request). Epochs are
+// process-unique, so a new database generation can never alias a stale
+// entry; no explicit invalidation is needed.
+//
+// The service only inserts unlimited, kCompleted runs: partial answers
+// depend on where the deadline landed and must never be replayed.
+// A hit therefore returns exactly the bytes a cold run would produce —
+// pinned by the cache-identity test.
+//
+// LRU over whole answers; thread-safe.
+class MemoCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 64;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit MemoCache(Options options) : options_(options) {}
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  // The cached answer, refreshed to most-recently-used — or nullptr.
+  std::shared_ptr<const CachedAnswer> Lookup(const std::string& key)
+      CCS_EXCLUDES(mutex_);
+
+  // Inserts (or refreshes) the answer, evicting the least recently used
+  // entry beyond capacity. Last writer wins on a duplicate key — both
+  // writers computed the same bytes, so the race is benign.
+  void Insert(const std::string& key, CachedAnswer answer)
+      CCS_EXCLUDES(mutex_);
+
+  Stats stats() const CCS_EXCLUDES(mutex_);
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const CachedAnswer>>>;
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  LruList lru_ CCS_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_
+      CCS_GUARDED_BY(mutex_);
+  std::uint64_t hits_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ CCS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_MEMO_H_

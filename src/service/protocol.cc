@@ -1,0 +1,165 @@
+#include "service/protocol.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace ccs {
+namespace service {
+
+namespace {
+
+// %.17g survives a double round trip, so two requests canonicalize
+// equally iff their parsed values are bit-equal.
+std::string DoubleKey(const std::optional<double>& value) {
+  if (!value.has_value()) return "-";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", *value);
+  return buffer;
+}
+
+[[nodiscard]] bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+[[nodiscard]] bool ParseDouble(std::string_view text, double* out) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequestLine(const std::string& line) {
+  std::string_view rest = line;
+  while (!rest.empty() && rest.back() == '\r') rest.remove_suffix(1);
+  const std::size_t verb_end = rest.find(' ');
+  const std::string_view verb = rest.substr(0, verb_end);
+  rest = verb_end == std::string_view::npos ? std::string_view()
+                                            : rest.substr(verb_end + 1);
+
+  Request request;
+  if (verb == "PING") {
+    request.verb = Request::Verb::kPing;
+  } else if (verb == "STATS") {
+    request.verb = Request::Verb::kStats;
+  } else if (verb == "SHUTDOWN") {
+    request.verb = Request::Verb::kShutdown;
+  } else if (verb == "MINE") {
+    request.verb = Request::Verb::kMine;
+  } else {
+    return InvalidArgumentError("unknown verb '" + std::string(verb) + "'");
+  }
+  if (request.verb != Request::Verb::kMine) {
+    if (!rest.empty()) {
+      return InvalidArgumentError(std::string(verb) + " takes no fields");
+    }
+    return request;
+  }
+
+  MineFields& mine = request.mine;
+  while (!rest.empty()) {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) break;
+    const std::size_t eq = rest.find('=');
+    const std::size_t space = rest.find(' ');
+    if (eq == std::string_view::npos || (space != std::string_view::npos &&
+                                         space < eq)) {
+      return InvalidArgumentError("malformed field near '" +
+                                  std::string(rest.substr(0, space)) + "'");
+    }
+    const std::string_view key = rest.substr(0, eq);
+    if (key == "query") {
+      // query= consumes the rest of the line — no escaping needed.
+      mine.query = std::string(rest.substr(eq + 1));
+      break;
+    }
+    const std::string_view value =
+        rest.substr(eq + 1, space == std::string_view::npos
+                                ? std::string_view::npos
+                                : space - (eq + 1));
+    rest = space == std::string_view::npos ? std::string_view()
+                                           : rest.substr(space + 1);
+    const auto bad = [&key] {
+      return InvalidArgumentError("bad value for '" + std::string(key) +
+                                  "'");
+    };
+    std::uint64_t u64 = 0;
+    double f64 = 0.0;
+    if (key == "threads") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.threads = static_cast<std::size_t>(u64);
+    } else if (key == "timeout_ms") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.timeout_ms = u64;
+    } else if (key == "max_tables") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.max_tables = u64;
+    } else if (key == "max_size") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.max_size = static_cast<std::size_t>(u64);
+    } else if (key == "algorithm") {
+      mine.algorithm = std::string(value);
+    } else if (key == "alpha") {
+      if (!ParseDouble(value, &f64)) return bad();
+      mine.alpha = f64;
+    } else if (key == "support") {
+      if (!ParseDouble(value, &f64)) return bad();
+      mine.support_frac = f64;
+    } else if (key == "cell") {
+      if (!ParseDouble(value, &f64)) return bad();
+      mine.cell_frac = f64;
+    } else if (key == "metrics") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.metrics = u64 != 0;
+    } else if (key == "trace") {
+      if (!ParseU64(value, &u64)) return bad();
+      mine.trace = u64 != 0;
+    } else {
+      return InvalidArgumentError("unknown field '" + std::string(key) +
+                                  "'");
+    }
+  }
+  return request;
+}
+
+std::string CanonicalKey(std::uint64_t epoch, const MineFields& fields) {
+  std::string key;
+  key.reserve(64 + fields.query.size());
+  key += "e=";
+  key += std::to_string(epoch);
+  key += "|a=";
+  key += fields.algorithm;
+  key += "|to=";
+  key += std::to_string(fields.timeout_ms);
+  key += "|mt=";
+  key += std::to_string(fields.max_tables);
+  key += "|al=";
+  key += DoubleKey(fields.alpha);
+  key += "|s=";
+  key += DoubleKey(fields.support_frac);
+  key += "|c=";
+  key += DoubleKey(fields.cell_frac);
+  key += "|ms=";
+  key += fields.max_size.has_value() ? std::to_string(*fields.max_size)
+                                     : std::string("-");
+  key += "|m=";
+  key += fields.metrics ? '1' : '0';
+  key += "|t=";
+  key += fields.trace ? '1' : '0';
+  key += "|q=";
+  key += fields.query;  // last: may contain '|'; nothing follows it
+  return key;
+}
+
+}  // namespace service
+}  // namespace ccs

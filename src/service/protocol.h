@@ -1,0 +1,72 @@
+#ifndef CCS_SERVICE_PROTOCOL_H_
+#define CCS_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+// ccsmined's wire protocol (DESIGN.md §12): line-delimited text, one
+// request per line, one multi-line response terminated by "END".
+//
+//   request  := verb [' ' field]*
+//   verb     := 'MINE' | 'STATS' | 'PING' | 'SHUTDOWN'
+//   field    := key '=' value          (no spaces, except:)
+//   query    := 'query=' REST-OF-LINE  (consumes everything after '=',
+//                                       spaces included — always last)
+//
+// MINE fields: threads, timeout_ms, max_tables, algorithm, alpha,
+// support, cell, max_size, metrics, trace, query. All optional.
+//
+//   response := status-line line* 'END'
+//   status   := 'OK' [' ' key '=' value]* | 'ERR ' CODE ' ' message
+//
+// MINE answer lines are 'SET <itemset>' — the same Itemset::ToString
+// rendering the one-shot CLI prints, which is what lets
+// scripts/service_smoke.py diff the two byte-for-byte.
+
+namespace ccs {
+namespace service {
+
+// Parsed MINE fields. Optionals distinguish "absent" from "explicit",
+// mirroring the CLI's *_set flags: absent fields keep the query's (or the
+// service's) defaults.
+struct MineFields {
+  std::string query;                    // query= (rest of line)
+  std::string algorithm;                // algorithm= (empty: query default)
+  std::size_t threads = 0;              // threads= (0: service default)
+  std::uint64_t timeout_ms = 0;         // timeout_ms= (0: no deadline)
+  std::uint64_t max_tables = 0;         // max_tables= (0: no budget)
+  std::optional<double> alpha;          // alpha=
+  std::optional<double> support_frac;   // support=
+  std::optional<double> cell_frac;      // cell=
+  std::optional<std::size_t> max_size;  // max_size=
+  bool metrics = false;                 // metrics=1: attach METRICS line
+  bool trace = false;                   // trace=1: attach TRACE line
+};
+
+struct Request {
+  enum class Verb : std::uint8_t { kMine, kStats, kPing, kShutdown };
+  Verb verb = Verb::kPing;
+  MineFields mine;  // meaningful only for kMine
+};
+
+// Parses one request line. kInvalidArgument on an unknown verb, unknown
+// field, malformed number, or empty line — the protocol is strict so
+// client typos fail loudly instead of mining the wrong thing.
+[[nodiscard]] StatusOr<Request> ParseRequestLine(const std::string& line);
+
+// The memo key for a MINE request against one database generation: the
+// epoch plus every answer-affecting field. `threads` is deliberately
+// excluded — answers are bit-identical across thread counts (DESIGN.md
+// §7), so requests differing only in width share one memo entry.
+// timeout_ms/max_tables ARE included: only unlimited requests may match
+// the unlimited runs the memo stores.
+std::string CanonicalKey(std::uint64_t epoch, const MineFields& fields);
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_PROTOCOL_H_

@@ -1,0 +1,209 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "core/algorithm.h"
+#include "core/result.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "util/executor_pool.h"
+
+namespace ccs {
+namespace service {
+
+namespace {
+
+std::string ErrorResponse(const Status& status) {
+  std::string response = "ERR ";
+  response += StatusCodeName(status.code());
+  response += ' ';
+  response += status.message();
+  response += "\nEND\n";
+  return response;
+}
+
+std::string MineHeader(std::size_t num_sets, const std::string& termination,
+                       bool memo_hit) {
+  std::string header = "OK sets=";
+  header += std::to_string(num_sets);
+  header += " termination=";
+  header += termination;
+  header += memo_hit ? " memo=hit\n" : " memo=miss\n";
+  return header;
+}
+
+}  // namespace
+
+MiningService::MiningService(DatabaseHandle handle, ServiceOptions options,
+                             const ServiceClock* clock)
+    : handle_(std::move(handle)),
+      options_(std::move(options)),
+      admission_(options_.admission,
+                 clock != nullptr ? clock : &DefaultServiceClock()),
+      memo_(options_.memo) {}
+
+std::string MiningService::HandleLine(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const StatusOr<Request> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  switch (parsed.value().verb) {
+    case Request::Verb::kPing:
+      return "OK pong\nEND\n";
+    case Request::Verb::kStats:
+      return "OK stats\nSTATS " + StatsJson() + "\nEND\n";
+    case Request::Verb::kShutdown:
+      shutdown_.store(true, std::memory_order_release);
+      return "OK bye\nEND\n";
+    case Request::Verb::kMine:
+      break;
+  }
+  // The mining path degrades to an ERR response rather than taking down
+  // the daemon — one bad request must not kill the other sessions.
+  try {
+    return HandleMine(parsed.value().mine);
+  } catch (const std::exception& e) {
+    return ErrorResponse(InternalError(e.what()));
+  } catch (...) {
+    return ErrorResponse(InternalError("unknown exception"));
+  }
+}
+
+std::string MiningService::HandleMine(const MineFields& fields) {
+  // Query assembly mirrors the one-shot CLI exactly: full grammar first,
+  // bare constraint language as fallback, explicit fields override the
+  // with-clause — same inputs, same MiningRequest, same answer bytes.
+  Query query;
+  if (!fields.query.empty()) {
+    StatusOr<Query> parsed = ParseQueryOrError(fields.query);
+    if (parsed.ok()) {
+      query = std::move(parsed).value();
+    } else {
+      StatusOr<ConstraintSet> constraints =
+          ParseConstraintsOrError(fields.query);
+      if (!constraints.ok()) return ErrorResponse(parsed.status());
+      query.constraints = std::move(constraints).value();
+    }
+  }
+  if (fields.alpha.has_value()) query.significance = *fields.alpha;
+  if (fields.support_frac.has_value()) {
+    query.support_fraction = *fields.support_frac;
+  }
+  if (fields.cell_frac.has_value()) {
+    query.min_cell_fraction = *fields.cell_frac;
+  }
+  if (fields.max_size.has_value()) query.max_set_size = *fields.max_size;
+  Algorithm algorithm = query.DefaultAlgorithm();
+  if (!fields.algorithm.empty()) {
+    const std::optional<Algorithm> named =
+        ParseAlgorithmName(fields.algorithm);
+    if (!named.has_value()) {
+      return ErrorResponse(
+          InvalidArgumentError("unknown algorithm '" + fields.algorithm +
+                               "'"));
+    }
+    algorithm = *named;
+  }
+
+  const std::string key = CanonicalKey(handle_.epoch(), fields);
+  // Memo lookup happens BEFORE admission: a hit is a few string copies,
+  // so repeated queries stay answerable even when every slot is busy.
+  if (const std::shared_ptr<const CachedAnswer> cached = memo_.Lookup(key)) {
+    return MineHeader(cached->num_sets, cached->termination,
+                      /*memo_hit=*/true) +
+           cached->body + "END\n";
+  }
+
+  StatusOr<AdmissionController::Permit> permit = admission_.Admit();
+  if (!permit.ok()) return ErrorResponse(permit.status());
+
+  EngineOptions engine = options_.engine;
+  if (fields.threads != 0) engine.num_threads = fields.threads;
+  if (fields.trace) engine.trace = true;
+  const MiningSession session(handle_, engine);
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options = query.ResolveOptions(handle_.database());
+  request.constraints = &query.constraints;
+  request.control.timeout = std::chrono::milliseconds(
+      fields.timeout_ms != 0 ? fields.timeout_ms
+                             : options_.default_timeout_ms);
+  request.control.max_tables_built = fields.max_tables != 0
+                                         ? fields.max_tables
+                                         : options_.default_max_tables;
+  const MiningResult result = session.Run(request);
+  if (result.termination == Termination::kError) {
+    return ErrorResponse(result.error);
+  }
+
+  CachedAnswer answer;
+  answer.num_sets = result.answers.size();
+  answer.termination = TerminationName(result.termination);
+  for (const Itemset& s : result.answers) {
+    answer.body += "SET ";
+    answer.body += s.ToString();
+    answer.body += '\n';
+  }
+  if (fields.metrics) {
+    answer.body += "METRICS ";
+    answer.body += result.metrics.ToJson();
+    answer.body += '\n';
+  }
+  if (fields.trace) {
+    answer.body += "TRACE ";
+    answer.body += result.trace.ToJson();
+    answer.body += '\n';
+  }
+  std::string response =
+      MineHeader(answer.num_sets, answer.termination, /*memo_hit=*/false) +
+      answer.body + "END\n";
+  // Only unlimited completed runs are replayable: a partial answer
+  // depends on where the deadline or budget landed.
+  if (result.termination == Termination::kCompleted &&
+      request.control.unlimited()) {
+    memo_.Insert(key, std::move(answer));
+  }
+  return response;
+}
+
+std::string MiningService::StatsJson() const {
+  const AdmissionController::Stats admission = admission_.stats();
+  const MemoCache::Stats memo = memo_.stats();
+  const ExecutorPool& pool = ProcessExecutorPool();
+  std::string json = "{\"requests\":";
+  json += std::to_string(requests_.load(std::memory_order_relaxed));
+  json += ",\"epoch\":";
+  json += std::to_string(handle_.epoch());
+  json += ",\"admission\":{\"admitted\":";
+  json += std::to_string(admission.admitted);
+  json += ",\"rejected\":";
+  json += std::to_string(admission.rejected);
+  json += ",\"queue_wait_ms\":";
+  json += std::to_string(admission.queue_wait_ms_total);
+  json += ",\"running\":";
+  json += std::to_string(admission.running);
+  json += ",\"queued\":";
+  json += std::to_string(admission.queued);
+  json += "},\"memo\":{\"hits\":";
+  json += std::to_string(memo.hits);
+  json += ",\"misses\":";
+  json += std::to_string(memo.misses);
+  json += ",\"insertions\":";
+  json += std::to_string(memo.insertions);
+  json += ",\"evictions\":";
+  json += std::to_string(memo.evictions);
+  json += ",\"entries\":";
+  json += std::to_string(memo.entries);
+  json += "},\"executor_pool\":{\"created\":";
+  json += std::to_string(pool.created());
+  json += ",\"reused\":";
+  json += std::to_string(pool.reused());
+  json += ",\"idle\":";
+  json += std::to_string(pool.idle_count());
+  json += "}}";
+  return json;
+}
+
+}  // namespace service
+}  // namespace ccs

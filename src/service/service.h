@@ -1,0 +1,83 @@
+#ifndef CCS_SERVICE_SERVICE_H_
+#define CCS_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/engine_options.h"
+#include "core/session.h"
+#include "service/admission.h"
+#include "service/clock.h"
+#include "service/memo.h"
+#include "service/protocol.h"
+
+namespace ccs {
+namespace service {
+
+struct ServiceOptions {
+  // Base engine options for every session; a request's threads= field
+  // overrides num_threads per request.
+  EngineOptions engine;
+  AdmissionController::Options admission;
+  MemoCache::Options memo;
+  // Daemon-level RunControl defaults (--timeout-ms / --max-tables),
+  // applied to requests that leave the matching field at 0.
+  std::uint64_t default_timeout_ms = 0;
+  std::uint64_t default_max_tables = 0;
+};
+
+// The transport-independent core of ccsmined: one request line in, one
+// complete response string out (DESIGN.md §12). socket_server.cc feeds it
+// from connections; tests feed it directly — every protocol, admission,
+// and memo behavior is unit-testable without a socket.
+//
+// Request handling for MINE, in order:
+//   1. parse + build the canonical key,
+//   2. memo lookup — a hit answers immediately WITHOUT consuming an
+//      admission slot, so repeated queries keep working under overload,
+//   3. admission (kUnavailable when saturated),
+//   4. a MiningSession::Run over the shared DatabaseHandle,
+//   5. memo insert, only for unlimited (no deadline/budget) completed
+//      runs — partial answers are never replayed.
+//
+// Thread-safe: HandleLine may be called from any number of connection
+// threads concurrently.
+class MiningService {
+ public:
+  // `clock` is borrowed (nullptr: process SystemClock) and must outlive
+  // the service.
+  MiningService(DatabaseHandle handle, ServiceOptions options,
+                const ServiceClock* clock = nullptr);
+
+  // Handles one request line; returns the full response, every line
+  // '\n'-terminated, ending with "END\n". Never throws: internal errors
+  // come back as ERR lines.
+  std::string HandleLine(const std::string& line);
+
+  // Latched by a SHUTDOWN request; the server drains and exits.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  const DatabaseHandle& handle() const { return handle_; }
+
+  // The STATS payload (single-line JSON); also what ccsmined writes to
+  // --metrics-out on shutdown.
+  std::string StatsJson() const;
+
+ private:
+  std::string HandleMine(const MineFields& fields);
+
+  const DatabaseHandle handle_;
+  const ServiceOptions options_;
+  AdmissionController admission_;
+  MemoCache memo_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_SERVICE_H_

@@ -1,0 +1,128 @@
+#include "service/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ccs {
+namespace service {
+
+namespace {
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::~SocketServer() { CloseListener(); }
+
+Status SocketServer::Start() {
+  if (options_.socket_path.empty()) {
+    return InvalidArgumentError("socket path is empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path too long: " +
+                                options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError("bind " + options_.socket_path + ": " +
+                         std::strerror(err));
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return InternalError(std::string("listen: ") + std::strerror(err));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  return OkStatus();
+}
+
+void SocketServer::Serve() {
+  while (true) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // CloseListener (shutdown path) makes accept fail: drain and exit.
+      break;
+    }
+    if (service_->shutdown_requested()) {
+      ::close(fd);
+      break;
+    }
+    connections_.emplace_back(&SocketServer::HandleConnection, this, fd);
+  }
+  for (std::thread& t : connections_) t.join();
+  connections_.clear();
+  ::unlink(options_.socket_path.c_str());
+}
+
+void SocketServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!WriteAll(fd, service_->HandleLine(line))) {
+        ::close(fd);
+        return;
+      }
+      if (service_->shutdown_requested()) {
+        ::close(fd);
+        // Unblock the accept loop so Serve() can drain and exit.
+        CloseListener();
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void SocketServer::CloseListener() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace service
+}  // namespace ccs

@@ -1,0 +1,62 @@
+#ifndef CCS_SERVICE_SOCKET_SERVER_H_
+#define CCS_SERVICE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace ccs {
+namespace service {
+
+// Unix-domain-socket front end for MiningService: accepts connections,
+// reads newline-delimited request lines, writes the service's responses
+// back verbatim. One thread per connection — concurrency is bounded where
+// it matters, at the service's admission controller, not at the
+// transport.
+//
+// Lifecycle: Start() binds and listens, Serve() blocks until a SHUTDOWN
+// request latches the service's shutdown flag, then joins every
+// connection thread and unlinks the socket path.
+class SocketServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    int backlog = 64;
+  };
+
+  // `service` is borrowed and must outlive the server.
+  SocketServer(MiningService* service, Options options)
+      : service_(service), options_(std::move(options)) {}
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and listens (replacing any stale socket file). kInternal with
+  // the errno text on failure.
+  [[nodiscard]] Status Start();
+
+  // Accept loop; returns after shutdown. Call from one thread only.
+  void Serve();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void HandleConnection(int fd);
+  // Shuts the listener down; safe from any thread, idempotent.
+  void CloseListener();
+
+  MiningService* const service_;
+  const Options options_;
+  std::atomic<int> listen_fd_{-1};
+  std::vector<std::thread> connections_;  // touched only by Serve()
+};
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_SOCKET_SERVER_H_

@@ -1,0 +1,62 @@
+#include "util/executor_pool.h"
+
+#include <utility>
+
+namespace ccs {
+
+ExecutorPool::ExecutorPool() : ExecutorPool(Options()) {}
+
+ExecutorPool::Lease ExecutorPool::Acquire(std::size_t num_threads) {
+  const std::size_t width =
+      num_threads != 0 ? num_threads : ParallelExecutor::HardwareThreads();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = idle_.find(width);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<ParallelExecutor> executor =
+          std::move(it->second.back());
+      it->second.pop_back();
+      ++reused_;
+      return Lease(this, std::move(executor));
+    }
+    ++created_;
+  }
+  // Thread construction happens outside the lock: it is the slow path, and
+  // concurrent cold acquires should not serialize on it.
+  return Lease(this, std::make_unique<ParallelExecutor>(width));
+}
+
+void ExecutorPool::Release(std::unique_ptr<ParallelExecutor> executor) {
+  const std::size_t width = executor->num_threads();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::unique_ptr<ParallelExecutor>>& bucket = idle_[width];
+  if (bucket.size() < options_.max_idle_per_width) {
+    bucket.push_back(std::move(executor));
+  }
+  // else: executor destroyed on scope exit, joining its threads — keeping
+  // the idle cache bounded is worth the occasional teardown.
+}
+
+std::size_t ExecutorPool::idle_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [width, bucket] : idle_) total += bucket.size();
+  return total;
+}
+
+std::uint64_t ExecutorPool::created() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+std::uint64_t ExecutorPool::reused() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reused_;
+}
+
+ExecutorPool& ProcessExecutorPool() {
+  static ExecutorPool* pool = new ExecutorPool();
+  return *pool;
+}
+
+}  // namespace ccs

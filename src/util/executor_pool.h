@@ -1,0 +1,115 @@
+#ifndef CCS_UTIL_EXECUTOR_POOL_H_
+#define CCS_UTIL_EXECUTOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/executor.h"
+#include "util/thread_annotations.h"
+
+namespace ccs {
+
+// Leases ParallelExecutors to concurrent mining sessions (DESIGN.md §12).
+//
+// A ParallelExecutor runs one loop at a time, so "a process-wide shared
+// executor" cannot literally be one object: two sessions running
+// concurrently need two executors. The pool makes that sharing explicit —
+// Acquire hands out an exclusive lease on an executor of the requested
+// width, and returning the lease parks the executor (threads alive) in a
+// bounded per-width idle cache instead of tearing it down. Steady-state
+// service traffic therefore pays thread creation once per (width,
+// concurrency level), not once per request, while burst traffic beyond the
+// idle bound degrades to construct/destroy rather than queuing here —
+// admission control is the service layer's job, not the pool's.
+//
+// Thread-safe. Leases themselves are single-owner and move-only, exactly
+// like the exclusive access they represent.
+class ExecutorPool {
+ public:
+  struct Options {
+    // Idle executors cached per width; returns beyond this are destroyed.
+    std::size_t max_idle_per_width = 4;
+  };
+
+  // Default options; defined out of line because a nested struct's default
+  // member initializer cannot back a default argument inside the enclosing
+  // class.
+  ExecutorPool();
+  explicit ExecutorPool(Options options) : options_(options) {}
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  // Exclusive ownership of one executor for one run; returns it to the
+  // pool on destruction. Default-constructed leases are empty (!valid()).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), executor_(std::move(other.executor_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        pool_ = other.pool_;
+        executor_ = std::move(other.executor_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Reset(); }
+
+    bool valid() const { return executor_ != nullptr; }
+    ParallelExecutor& operator*() const { return *executor_; }
+    ParallelExecutor* operator->() const { return executor_.get(); }
+
+   private:
+    friend class ExecutorPool;
+    Lease(ExecutorPool* pool, std::unique_ptr<ParallelExecutor> executor)
+        : pool_(pool), executor_(std::move(executor)) {}
+
+    void Reset() {
+      if (executor_ != nullptr) pool_->Release(std::move(executor_));
+      pool_ = nullptr;
+    }
+
+    ExecutorPool* pool_ = nullptr;
+    std::unique_ptr<ParallelExecutor> executor_;
+  };
+
+  // An executor with exactly `num_threads` threads (0 = one per hardware
+  // thread), reusing an idle one of that width when available. Never
+  // blocks; the pool must outlive every lease it hands out.
+  Lease Acquire(std::size_t num_threads) CCS_EXCLUDES(mutex_);
+
+  // Telemetry for tests and the service's stats endpoint.
+  std::size_t idle_count() const CCS_EXCLUDES(mutex_);
+  std::uint64_t created() const CCS_EXCLUDES(mutex_);
+  std::uint64_t reused() const CCS_EXCLUDES(mutex_);
+
+ private:
+  void Release(std::unique_ptr<ParallelExecutor> executor)
+      CCS_EXCLUDES(mutex_);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t,
+                     std::vector<std::unique_ptr<ParallelExecutor>>>
+      idle_ CCS_GUARDED_BY(mutex_);
+  std::uint64_t created_ CCS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reused_ CCS_GUARDED_BY(mutex_) = 0;
+};
+
+// The process-wide pool shared by every MiningSession that does not bring
+// its own (DESIGN.md §12). Constructed on first use, never destroyed —
+// leases may be in flight at exit.
+ExecutorPool& ProcessExecutorPool();
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_EXECUTOR_POOL_H_

@@ -34,6 +34,10 @@ enum class StatusCode : int {
   kDeadlineExceeded,
   kCancelled,
   kInternal,
+  // Transient overload: the service's admission controller refused the
+  // request (queue full) — safe to retry with backoff, unlike
+  // kResourceExhausted which reports an exhausted budget.
+  kUnavailable,
 };
 
 // Stable upper-case name, e.g. "INVALID_ARGUMENT".
@@ -91,6 +95,9 @@ class [[nodiscard]] Status {
 }
 [[nodiscard]] inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+[[nodiscard]] inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 // A Status or a value. Accessing value() on a non-ok StatusOr is a

@@ -1,0 +1,275 @@
+// DatabaseHandle + MiningSession (DESIGN.md §12): the service-shaped API
+// must be bit-identical to MiningEngine, epochs must be process-unique,
+// the CCS_* environment overrides must resolve through the one audited
+// ResolveEngineOptions helper with the documented precedence, and the
+// shared k=2 pair tier must change performance counters only — never
+// answers.
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/engine_options.h"
+#include "core/miner.h"
+#include "test_util.h"
+#include "util/executor.h"
+#include "util/executor_pool.h"
+
+namespace ccs {
+namespace {
+
+ConstraintSet SessionTestConstraints() {
+  ConstraintSet set;
+  set.Add(MaxLe(30.0));
+  set.Add(SumLe(60.0));
+  set.Add(MinLe(12.0));
+  return set;
+}
+
+MiningRequest SessionTestRequest(const TransactionDatabase& db,
+                                 const ConstraintSet* constraints) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsStarStarOpt;
+  request.options.significance = 0.9;
+  request.options.min_support = db.num_transactions() / 20;
+  request.options.min_cell_fraction = 0.25;
+  request.options.max_set_size = 4;
+  request.constraints = constraints;
+  return request;
+}
+
+void ExpectSameCounters(const MiningStats& a, const MiningStats& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t k = 0; k < a.levels.size(); ++k) {
+    EXPECT_EQ(a.levels[k].candidates, b.levels[k].candidates) << k;
+    EXPECT_EQ(a.levels[k].tables_built, b.levels[k].tables_built) << k;
+    EXPECT_EQ(a.levels[k].sig_added, b.levels[k].sig_added) << k;
+    EXPECT_EQ(a.levels[k].notsig_added, b.levels[k].notsig_added) << k;
+  }
+}
+
+// Scoped setenv/unsetenv so env-contract tests cannot leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(MiningSessionTest, MatchesEngineForEveryAlgorithm) {
+  const TransactionDatabase db = testutil::SmallRandomDb(11);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = SessionTestConstraints();
+  const DatabaseHandle handle = DatabaseHandle::Borrow(db, catalog);
+  for (const Algorithm algorithm :
+       {Algorithm::kBmsPlusPlus, Algorithm::kBmsStarStar,
+        Algorithm::kBmsStarStarOpt}) {
+    MiningRequest request = SessionTestRequest(db, &constraints);
+    request.algorithm = algorithm;
+    MiningEngine engine(db, catalog);
+    const MiningResult expected = engine.Run(request);
+    const MiningSession session(handle);
+    const MiningResult actual = session.Run(request);
+    EXPECT_EQ(actual.answers, expected.answers);
+    ExpectSameCounters(expected.stats, actual.stats);
+  }
+}
+
+TEST(MiningSessionTest, RepeatedAndMultiWidthRunsAreIdentical) {
+  const TransactionDatabase db = testutil::SmallRandomDb(12);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = SessionTestConstraints();
+  const DatabaseHandle handle = DatabaseHandle::Borrow(db, catalog);
+  const MiningRequest request = SessionTestRequest(db, &constraints);
+
+  const MiningSession serial(handle);
+  const MiningResult base = serial.Run(request);
+  const MiningResult again = serial.Run(request);
+  EXPECT_EQ(again.answers, base.answers);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    const MiningSession wide(handle, options);
+    const MiningResult parallel = wide.Run(request);
+    EXPECT_EQ(parallel.answers, base.answers) << "threads=" << threads;
+    ExpectSameCounters(base.stats, parallel.stats);
+  }
+}
+
+TEST(DatabaseHandleTest, EpochsAreUniqueAndMonotone) {
+  const TransactionDatabase db = testutil::SmallRandomDb(13);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  std::vector<std::uint64_t> epochs;
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 4; ++i) {
+    const DatabaseHandle handle = DatabaseHandle::Borrow(db, catalog);
+    EXPECT_GT(handle.epoch(), previous);
+    previous = handle.epoch();
+    epochs.push_back(handle.epoch());
+  }
+  const DatabaseHandle owning = DatabaseHandle::Create(
+      testutil::SmallRandomDb(13), testutil::SmallCatalog());
+  EXPECT_GT(owning.epoch(), previous);
+  epochs.push_back(owning.epoch());
+  EXPECT_EQ(std::set<std::uint64_t>(epochs.begin(), epochs.end()).size(),
+            epochs.size());
+}
+
+TEST(DatabaseHandleTest, CopiesShareEpochAndPayload) {
+  const TransactionDatabase db = testutil::SmallRandomDb(14);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const DatabaseHandle a = DatabaseHandle::Borrow(db, catalog);
+  const DatabaseHandle b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(&a.database(), &b.database());
+}
+
+TEST(DatabaseHandleTest, PairTierChangesCountersNotAnswers) {
+  const TransactionDatabase db = testutil::SmallRandomDb(15);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = SessionTestConstraints();
+  const MiningRequest request = SessionTestRequest(db, &constraints);
+
+  const DatabaseHandle bare = DatabaseHandle::Borrow(db, catalog);
+  ASSERT_EQ(bare.pair_tier(), nullptr);
+  HandleOptions with_tier;
+  with_tier.pair_tier_budget_mib = 8;
+  const DatabaseHandle tiered = DatabaseHandle::Borrow(db, catalog, with_tier);
+  ASSERT_NE(tiered.pair_tier(), nullptr);
+
+  const MiningResult cold = MiningSession(bare).Run(request);
+  const MiningResult shared = MiningSession(tiered).Run(request);
+  EXPECT_EQ(shared.answers, cold.answers);
+  ExpectSameCounters(cold.stats, shared.stats);
+  EXPECT_EQ(cold.stats.ct_cache_shared_hits, 0u);
+  EXPECT_GT(shared.stats.ct_cache_shared_hits, 0u);
+
+  // The tier count is deterministic: same request, same hits.
+  const MiningResult again = MiningSession(tiered).Run(request);
+  EXPECT_EQ(again.stats.ct_cache_shared_hits,
+            shared.stats.ct_cache_shared_hits);
+}
+
+TEST(MiningSessionTest, SessionsShareAnExplicitPool) {
+  const TransactionDatabase db = testutil::SmallRandomDb(16);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = SessionTestConstraints();
+  const MiningRequest request = SessionTestRequest(db, &constraints);
+  const DatabaseHandle handle = DatabaseHandle::Borrow(db, catalog);
+
+  ExecutorPool pool;
+  EngineOptions two_threads;
+  two_threads.num_threads = 2;
+  const MiningSession first(handle, two_threads, &pool);
+  const MiningSession second(handle, two_threads, &pool);
+  (void)first.Run(request);
+  EXPECT_EQ(pool.created(), 1u);
+  (void)second.Run(request);
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.reused(), 1u);
+}
+
+// The CCS_* env-override contract, pinned (DESIGN.md §12): these
+// assertions define the precedence ResolveEngineOptions must keep.
+TEST(ResolveEngineOptionsTest, DefaultsPassThroughWithoutEnv) {
+  ::unsetenv("CCS_CT_CACHE");
+  ::unsetenv("CCS_METRICS");
+  ::unsetenv("CCS_TRACE");
+  EngineOptions options;
+  options.num_threads = 3;
+  options.ct_cache = false;
+  options.metrics = false;
+  options.trace = true;
+  options.trace_capacity = 99;
+  const ResolvedEngineOptions resolved = ResolveEngineOptions(options);
+  EXPECT_EQ(resolved.num_threads, 3u);
+  EXPECT_FALSE(resolved.ct_cache.enabled);
+  EXPECT_FALSE(resolved.metrics);
+  EXPECT_TRUE(resolved.trace);
+  EXPECT_EQ(resolved.trace_capacity, 99u);
+  EXPECT_EQ(resolved.ct_cache.shared_pairs, nullptr);
+}
+
+TEST(ResolveEngineOptionsTest, ZeroThreadsResolvesToHardware) {
+  EngineOptions options;
+  options.num_threads = 0;
+  EXPECT_EQ(ResolveEngineOptions(options).num_threads,
+            ParallelExecutor::HardwareThreads());
+}
+
+TEST(ResolveEngineOptionsTest, CtCacheEnvOverridesField) {
+  EngineOptions enabled;
+  enabled.ct_cache = true;
+  EngineOptions disabled;
+  disabled.ct_cache = false;
+  {
+    const ScopedEnv env("CCS_CT_CACHE", "0");
+    EXPECT_FALSE(ResolveEngineOptions(enabled).ct_cache.enabled);
+  }
+  {
+    const ScopedEnv env("CCS_CT_CACHE", "1");
+    EXPECT_TRUE(ResolveEngineOptions(disabled).ct_cache.enabled);
+  }
+  EXPECT_TRUE(ResolveEngineOptions(enabled).ct_cache.enabled);
+  EXPECT_FALSE(ResolveEngineOptions(disabled).ct_cache.enabled);
+}
+
+TEST(ResolveEngineOptionsTest, MetricsEnvOverridesField) {
+  EngineOptions on;
+  on.metrics = true;
+  {
+    const ScopedEnv env("CCS_METRICS", "0");
+    EXPECT_FALSE(ResolveEngineOptions(on).metrics);
+  }
+  EXPECT_TRUE(ResolveEngineOptions(on).metrics);
+}
+
+TEST(ResolveEngineOptionsTest, TraceEnvOverridesFieldAndCapacity) {
+  EngineOptions off;
+  off.trace = false;
+  off.trace_capacity = 123;
+  EngineOptions on;
+  on.trace = true;
+  {
+    const ScopedEnv env("CCS_TRACE", "0");
+    EXPECT_FALSE(ResolveEngineOptions(on).trace);
+  }
+  {
+    const ScopedEnv env("CCS_TRACE", "1");
+    const ResolvedEngineOptions resolved = ResolveEngineOptions(off);
+    EXPECT_TRUE(resolved.trace);
+    EXPECT_EQ(resolved.trace_capacity, 123u);  // "1" keeps the field
+  }
+  {
+    const ScopedEnv env("CCS_TRACE", "512");
+    const ResolvedEngineOptions resolved = ResolveEngineOptions(off);
+    EXPECT_TRUE(resolved.trace);
+    EXPECT_EQ(resolved.trace_capacity, 512u);
+  }
+}
+
+// The deprecated Mine() shim must keep routing through the session API
+// with identical answers (compiled with CCS_ALLOW_DEPRECATED).
+TEST(MineShimTest, AgreesWithSession) {
+  const TransactionDatabase db = testutil::SmallRandomDb(17);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = SessionTestConstraints();
+  const MiningRequest request = SessionTestRequest(db, &constraints);
+  const MiningResult via_session =
+      MiningSession(DatabaseHandle::Borrow(db, catalog)).Run(request);
+  const MiningResult via_shim =
+      Mine(request.algorithm, db, catalog, constraints, request.options);
+  EXPECT_EQ(via_shim.answers, via_session.answers);
+}
+
+}  // namespace
+}  // namespace ccs

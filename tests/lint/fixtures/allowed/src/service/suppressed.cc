@@ -1,0 +1,15 @@
+// ccs-lint fixture: the service wall-clock violation silenced by the
+// inline escape hatch (a hypothetical sanctioned call site would say why
+// here). ccs_lint_test.py asserts this tree is clean.
+#include <chrono>
+
+namespace ccs_fixture {
+
+inline long SanctionedNow() {
+  // One-off startup banner timestamp; never feeds an admission decision.
+  return std::chrono::steady_clock::now()  // ccs-lint: allow(service-wall-clock)
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace ccs_fixture

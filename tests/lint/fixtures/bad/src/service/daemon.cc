@@ -1,0 +1,20 @@
+// ccs-lint fixture: raw clock reads in the service layer. Admission and
+// memo timing must flow through the injected ServiceClock; direct ::now()
+// calls anywhere in src/service but clock.cc are violations.
+#include <chrono>
+
+namespace ccs_fixture {
+
+inline long AdmissionDeadline() {
+  return std::chrono::steady_clock::now()  // rule: service-wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+inline long WallStamp() {
+  return std::chrono::system_clock::now()  // rule: service-wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace ccs_fixture

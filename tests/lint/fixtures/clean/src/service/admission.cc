@@ -1,0 +1,25 @@
+// ccs-lint fixture: idiomatic service-layer code — clock reads go
+// through an injected interface, "now"-ish identifiers and clock names
+// in comments or strings must not trip the wall-clock rule.
+#include <chrono>
+
+namespace ccs_fixture {
+
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+};
+
+// Mentions steady_clock::now() in prose only; the code calls the
+// injected clock.
+inline long QueueWaitMs(const ServiceClock& clock,
+                        std::chrono::steady_clock::time_point enqueued) {
+  const char* label = "steady_clock::now()";  // string literal, not a call
+  (void)label;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             clock.Now() - enqueued)
+      .count();
+}
+
+}  // namespace ccs_fixture

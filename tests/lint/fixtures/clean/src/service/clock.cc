@@ -1,0 +1,13 @@
+// ccs-lint fixture: src/service/clock.cc is the allowlisted real-clock
+// call site — a ::now() here is sanctioned without any comment, proving
+// the FILE_ALLOWLIST scoping. Everything else in this tree only consumes
+// an injected clock.
+#include <chrono>
+
+namespace ccs_fixture {
+
+inline std::chrono::steady_clock::time_point SystemNow() {
+  return std::chrono::steady_clock::now();  // sanctioned definition site
+}
+
+}  // namespace ccs_fixture

@@ -1,0 +1,173 @@
+// Concurrent-session determinism harness (DESIGN.md §12): N sessions
+// racing over ONE DatabaseHandle — across widths {1, 2, 8}, with the
+// shared pair tier engaged — must each produce answers and deterministic
+// counters bit-identical to a serial private MiningEngine. Also drives
+// MiningService::HandleLine from many threads at once: every admitted
+// response must be byte-identical, and overload must surface as
+// kUnavailable, never as a crash or a wrong answer. Runs under TSan in
+// the thread-sanitizer flavor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "service/service.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace {
+
+ConstraintSet HarnessConstraints() {
+  ConstraintSet set;
+  set.Add(MaxLe(30.0));
+  set.Add(SumLe(60.0));
+  set.Add(MinLe(12.0));
+  return set;
+}
+
+MiningRequest HarnessRequest(const TransactionDatabase& db,
+                             const ConstraintSet* constraints) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsStarStarOpt;
+  request.options.significance = 0.9;
+  request.options.min_support = db.num_transactions() / 20;
+  request.options.min_cell_fraction = 0.25;
+  request.options.max_set_size = 4;
+  request.constraints = constraints;
+  return request;
+}
+
+void ExpectSameCounters(const MiningStats& a, const MiningStats& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t k = 0; k < a.levels.size(); ++k) {
+    EXPECT_EQ(a.levels[k].candidates, b.levels[k].candidates) << k;
+    EXPECT_EQ(a.levels[k].tables_built, b.levels[k].tables_built) << k;
+    EXPECT_EQ(a.levels[k].sig_added, b.levels[k].sig_added) << k;
+  }
+}
+
+TEST(ServiceConcurrencyTest, RacingSessionsMatchSerialEngine) {
+  const TransactionDatabase db = testutil::SmallRandomDb(31, 12, 600);
+  const ItemCatalog catalog = testutil::SmallCatalog(12);
+  const ConstraintSet constraints = HarnessConstraints();
+  const MiningRequest request = HarnessRequest(db, &constraints);
+
+  // The baseline: a plain serial engine with its own private executor.
+  MiningEngine engine(db, catalog);
+  const MiningResult base = engine.Run(request);
+  ASSERT_FALSE(base.answers.empty());
+
+  HandleOptions handle_options;
+  handle_options.pair_tier_budget_mib = 4;
+  const DatabaseHandle handle =
+      DatabaseHandle::Borrow(db, catalog, handle_options);
+
+  // Waves of racing sessions: every width mix in flight simultaneously.
+  const std::size_t kWidths[] = {1, 2, 8};
+  constexpr int kSessionsPerWidth = 3;
+  std::vector<MiningResult> results(std::size(kWidths) * kSessionsPerWidth);
+  std::vector<std::thread> racers;
+  racers.reserve(results.size());
+  for (std::size_t w = 0; w < std::size(kWidths); ++w) {
+    for (int s = 0; s < kSessionsPerWidth; ++s) {
+      racers.emplace_back([&, w, s] {
+        EngineOptions options;
+        options.num_threads = kWidths[w];
+        const MiningSession session(handle, options);
+        results[w * kSessionsPerWidth + s] = session.Run(request);
+      });
+    }
+  }
+  for (std::thread& t : racers) t.join();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].answers, base.answers) << "racer " << i;
+    ExpectSameCounters(base.stats, results[i].stats);
+    EXPECT_EQ(results[i].termination, Termination::kCompleted);
+  }
+}
+
+TEST(ServiceConcurrencyTest, ConcurrentRunsOnOneSessionAreIdentical) {
+  const TransactionDatabase db = testutil::SmallRandomDb(32);
+  const ItemCatalog catalog = testutil::SmallCatalog();
+  const ConstraintSet constraints = HarnessConstraints();
+  const MiningRequest request = HarnessRequest(db, &constraints);
+  const DatabaseHandle handle = DatabaseHandle::Borrow(db, catalog);
+
+  EngineOptions options;
+  options.num_threads = 2;
+  const MiningSession session(handle, options);
+  const MiningResult base = session.Run(request);
+
+  // Run() is const and leases per call: one session object, many threads.
+  std::vector<MiningResult> results(6);
+  std::vector<std::thread> racers;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    racers.emplace_back(
+        [&, i] { results[i] = session.Run(request); });
+  }
+  for (std::thread& t : racers) t.join();
+  for (const MiningResult& result : results) {
+    EXPECT_EQ(result.answers, base.answers);
+  }
+}
+
+TEST(ServiceConcurrencyTest, ConcurrentHandleLineIdenticalOrUnavailable) {
+  service::ServiceOptions service_options;
+  service_options.admission.max_concurrent = 2;
+  service_options.admission.max_queued = 2;
+  service::MiningService service(
+      DatabaseHandle::Create(testutil::SmallRandomDb(33),
+                             testutil::SmallCatalog()),
+      service_options);
+
+  // Distinct queries defeat the memo, so every request truly competes for
+  // the 2+2 admission slots; 12 threads guarantee real overload.
+  constexpr int kClients = 12;
+  std::vector<std::string> responses(kClients);
+  std::atomic<int> unavailable{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const std::string request =
+          "MINE support=" + std::to_string(0.05 + 0.0001 * (i % 3)) +
+          " query=all";
+      responses[i] = service.HandleLine(request);
+      if (responses[i].find("ERR UNAVAILABLE") == 0) {
+        unavailable.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Group by request variant: all admitted responses of one variant are
+  // byte-identical (modulo the memo field, which flips after the first).
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(responses[i].rfind("OK ", 0) == 0 ||
+                responses[i].rfind("ERR UNAVAILABLE", 0) == 0)
+        << responses[i].substr(0, 60);
+    if (responses[i].rfind("OK ", 0) != 0) continue;
+    for (int j = i + 1; j < kClients; ++j) {
+      if (j % 3 != i % 3 || responses[j].rfind("OK ", 0) != 0) continue;
+      std::string a = responses[i];
+      std::string b = responses[j];
+      const auto normalize = [](std::string* r) {
+        const std::size_t at = r->find("memo=hit");
+        if (at != std::string::npos) r->replace(at, 8, "memo=miss");
+      };
+      normalize(&a);
+      normalize(&b);
+      EXPECT_EQ(a, b) << "clients " << i << " and " << j;
+    }
+  }
+  // The service survived; subsequent requests still work.
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong\nEND\n");
+}
+
+}  // namespace
+}  // namespace ccs

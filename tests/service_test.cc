@@ -1,0 +1,266 @@
+// MiningService (DESIGN.md §12), transport-free: the wire-protocol
+// parser, the canonical memo key, admission control (FIFO, bounded queue,
+// kUnavailable on overload), the memo's hit-equals-cold-run identity, and
+// the END-framed response format — all through HandleLine, no socket.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "query/query.h"
+#include "service/admission.h"
+#include "service/clock.h"
+#include "service/memo.h"
+#include "service/protocol.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace service {
+namespace {
+
+DatabaseHandle TestHandle() {
+  HandleOptions options;
+  options.pair_tier_budget_mib = 4;
+  return DatabaseHandle::Create(testutil::SmallRandomDb(21),
+                                testutil::SmallCatalog(), options);
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, ParsesBareVerbs) {
+  EXPECT_EQ(ParseRequestLine("PING").value().verb, Request::Verb::kPing);
+  EXPECT_EQ(ParseRequestLine("STATS").value().verb, Request::Verb::kStats);
+  EXPECT_EQ(ParseRequestLine("SHUTDOWN").value().verb,
+            Request::Verb::kShutdown);
+  EXPECT_EQ(ParseRequestLine("MINE").value().verb, Request::Verb::kMine);
+  EXPECT_FALSE(ParseRequestLine("FETCH").ok());
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("PING now").ok());
+}
+
+TEST(ProtocolTest, ParsesMineFields) {
+  const StatusOr<Request> parsed = ParseRequestLine(
+      "MINE threads=4 timeout_ms=250 max_tables=9 algorithm=BMS** "
+      "alpha=0.95 support=0.01 cell=0.2 max_size=3 metrics=1 trace=1 "
+      "query=valid_min where max(S.price) <= 50 with support = 0.05");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const MineFields& mine = parsed.value().mine;
+  EXPECT_EQ(mine.threads, 4u);
+  EXPECT_EQ(mine.timeout_ms, 250u);
+  EXPECT_EQ(mine.max_tables, 9u);
+  EXPECT_EQ(mine.algorithm, "BMS**");
+  EXPECT_EQ(mine.alpha, 0.95);
+  EXPECT_EQ(mine.support_frac, 0.01);
+  EXPECT_EQ(mine.cell_frac, 0.2);
+  EXPECT_EQ(mine.max_size, 3u);
+  EXPECT_TRUE(mine.metrics);
+  EXPECT_TRUE(mine.trace);
+  // query= consumes the rest of the line, spaces and '=' included.
+  EXPECT_EQ(mine.query,
+            "valid_min where max(S.price) <= 50 with support = 0.05");
+}
+
+TEST(ProtocolTest, AbsentFieldsStayAbsent) {
+  const MineFields mine = ParseRequestLine("MINE query=all").value().mine;
+  EXPECT_FALSE(mine.alpha.has_value());
+  EXPECT_FALSE(mine.support_frac.has_value());
+  EXPECT_FALSE(mine.max_size.has_value());
+  EXPECT_EQ(mine.threads, 0u);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("MINE threads=x").ok());
+  EXPECT_FALSE(ParseRequestLine("MINE alpha=high").ok());
+  EXPECT_FALSE(ParseRequestLine("MINE bogus=1").ok());
+  EXPECT_FALSE(ParseRequestLine("MINE noequals").ok());
+}
+
+TEST(ProtocolTest, CanonicalKeyIgnoresThreadsOnly) {
+  MineFields a;
+  a.query = "all";
+  a.threads = 1;
+  MineFields b = a;
+  b.threads = 8;
+  EXPECT_EQ(CanonicalKey(7, a), CanonicalKey(7, b));
+
+  MineFields c = a;
+  c.alpha = 0.95;
+  EXPECT_NE(CanonicalKey(7, a), CanonicalKey(7, c));
+  MineFields d = a;
+  d.query = "all with support = 0.1";
+  EXPECT_NE(CanonicalKey(7, a), CanonicalKey(7, d));
+  MineFields e = a;
+  e.timeout_ms = 100;
+  EXPECT_NE(CanonicalKey(7, a), CanonicalKey(7, e));
+  // A new database generation never aliases the old one's entries.
+  EXPECT_NE(CanonicalKey(7, a), CanonicalKey(8, a));
+}
+
+// --------------------------------------------------------------- admission
+
+TEST(AdmissionTest, RejectsWithUnavailableWhenSaturated) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 0;
+  ManualClock clock;
+  AdmissionController admission(options, &clock);
+
+  StatusOr<AdmissionController::Permit> first = admission.Admit();
+  ASSERT_TRUE(first.ok());
+  AdmissionController::Permit held = std::move(first).value();
+  const StatusOr<AdmissionController::Permit> second = admission.Admit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(admission.stats().rejected, 1u);
+
+  held = AdmissionController::Permit();  // release the slot
+  const StatusOr<AdmissionController::Permit> third = admission.Admit();
+  EXPECT_TRUE(third.ok());
+  EXPECT_EQ(admission.stats().admitted, 2u);
+}
+
+TEST(AdmissionTest, QueuedWaiterAdmittedOnReleaseWithManualWaitClock) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 4;
+  ManualClock clock;
+  AdmissionController admission(options, &clock);
+
+  StatusOr<AdmissionController::Permit> first = admission.Admit();
+  ASSERT_TRUE(first.ok());
+  AdmissionController::Permit holder = std::move(first).value();
+  std::thread waiter([&admission] {
+    const StatusOr<AdmissionController::Permit> permit = admission.Admit();
+    EXPECT_TRUE(permit.ok());
+  });
+  while (admission.stats().queued != 1) std::this_thread::yield();
+  // Time passes only when the test says so: the recorded queue wait is
+  // exactly this advance, making the telemetry deterministic.
+  clock.Advance(std::chrono::milliseconds(50));
+  holder = AdmissionController::Permit();
+  waiter.join();
+  const AdmissionController::Stats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.queue_wait_ms_total, 50u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+// -------------------------------------------------------------------- memo
+
+TEST(MemoTest, LruEvictsBeyondCapacity) {
+  MemoCache::Options options;
+  options.max_entries = 2;
+  MemoCache memo(options);
+  memo.Insert("a", {1, "completed", "SET a\n"});
+  memo.Insert("b", {1, "completed", "SET b\n"});
+  ASSERT_NE(memo.Lookup("a"), nullptr);  // refresh a; b becomes LRU
+  memo.Insert("c", {1, "completed", "SET c\n"});
+  EXPECT_EQ(memo.Lookup("b"), nullptr);
+  EXPECT_NE(memo.Lookup("a"), nullptr);
+  EXPECT_NE(memo.Lookup("c"), nullptr);
+  const MemoCache::Stats stats = memo.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+// ----------------------------------------------------------------- service
+
+TEST(MiningServiceTest, PingStatsShutdown) {
+  MiningService service(TestHandle(), ServiceOptions{});
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong\nEND\n");
+  const std::string stats = service.HandleLine("STATS");
+  EXPECT_EQ(stats.substr(0, 15), "OK stats\nSTATS ");
+  EXPECT_NE(stats.find("\"admission\""), std::string::npos);
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.HandleLine("SHUTDOWN"), "OK bye\nEND\n");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(MiningServiceTest, MineAnswersMatchDirectSession) {
+  const DatabaseHandle handle = TestHandle();
+  MiningService service(handle, ServiceOptions{});
+  const std::string response =
+      service.HandleLine("MINE query=all with support = 0.05");
+  ASSERT_EQ(response.substr(0, 3), "OK ");
+  ASSERT_EQ(response.substr(response.size() - 4), "END\n");
+
+  const Query query = ParseQueryOrError("all with support = 0.05").value();
+  MiningRequest request;
+  request.algorithm = query.DefaultAlgorithm();
+  request.options = query.ResolveOptions(handle.database());
+  request.constraints = &query.constraints;
+  const MiningResult expected = MiningSession(handle).Run(request);
+
+  std::vector<std::string> sets;
+  std::size_t pos = 0;
+  while ((pos = response.find("SET ", pos)) != std::string::npos) {
+    const std::size_t eol = response.find('\n', pos);
+    sets.push_back(response.substr(pos + 4, eol - pos - 4));
+    pos = eol;
+  }
+  ASSERT_EQ(sets.size(), expected.answers.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i], expected.answers[i].ToString()) << i;
+  }
+  EXPECT_NE(response.find("sets=" + std::to_string(sets.size())),
+            std::string::npos);
+  EXPECT_NE(response.find("termination=completed"), std::string::npos);
+}
+
+TEST(MiningServiceTest, MemoHitIsByteIdenticalToColdRun) {
+  MiningService service(TestHandle(), ServiceOptions{});
+  const std::string request = "MINE query=all with support = 0.05";
+  const std::string cold = service.HandleLine(request);
+  std::string warm = service.HandleLine(request);
+  ASSERT_NE(warm.find("memo=hit"), std::string::npos);
+  const std::size_t at = warm.find("memo=hit");
+  warm.replace(at, 8, "memo=miss");
+  EXPECT_EQ(warm, cold);
+  // Requests differing only in thread count share the entry.
+  EXPECT_NE(service.HandleLine("MINE threads=2 query=all with support = 0.05")
+                .find("memo=hit"),
+            std::string::npos);
+}
+
+TEST(MiningServiceTest, PartialRunsAreNeverMemoized) {
+  MiningService service(TestHandle(), ServiceOptions{});
+  const std::string request = "MINE max_tables=1 query=all";
+  const std::string first = service.HandleLine(request);
+  EXPECT_NE(first.find("termination=budget"), std::string::npos);
+  EXPECT_NE(first.find("memo=miss"), std::string::npos);
+  const std::string second = service.HandleLine(request);
+  EXPECT_NE(second.find("memo=miss"), std::string::npos);
+  EXPECT_EQ(second, first);  // partial prefixes are still deterministic
+}
+
+TEST(MiningServiceTest, BadRequestsDegradeToErrResponses) {
+  MiningService service(TestHandle(), ServiceOptions{});
+  EXPECT_EQ(service.HandleLine("FROB").substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  EXPECT_EQ(service.HandleLine("MINE algorithm=magic").substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  EXPECT_EQ(service.HandleLine("MINE query=where where where")
+                .substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  // The daemon survives all of it.
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong\nEND\n");
+}
+
+TEST(MiningServiceTest, MetricsAndTraceLinesOnRequest) {
+  MiningService service(TestHandle(), ServiceOptions{});
+  const std::string response =
+      service.HandleLine("MINE metrics=1 trace=1 query=all");
+  EXPECT_NE(response.find("\nMETRICS {"), std::string::npos);
+  EXPECT_NE(response.find("\nTRACE {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ccs

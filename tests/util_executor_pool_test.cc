@@ -1,0 +1,92 @@
+// ExecutorPool: width-keyed executor leasing for concurrent sessions
+// (DESIGN.md §12) — reuse by width, the bounded idle cache, move-only
+// lease semantics, and the process-wide singleton.
+
+#include "util/executor_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "util/executor.h"
+
+namespace ccs {
+namespace {
+
+TEST(ExecutorPoolTest, AcquireCreatesThenReuses) {
+  ExecutorPool pool;
+  {
+    const ExecutorPool::Lease lease = pool.Acquire(2);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_EQ(lease->num_threads(), 2u);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  const ExecutorPool::Lease again = pool.Acquire(2);
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(ExecutorPoolTest, WidthsDoNotAlias) {
+  ExecutorPool pool;
+  { const ExecutorPool::Lease two = pool.Acquire(2); }
+  const ExecutorPool::Lease four = pool.Acquire(4);
+  EXPECT_EQ(four->num_threads(), 4u);
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.reused(), 0u);
+  EXPECT_EQ(pool.idle_count(), 1u);  // the width-2 executor is still parked
+}
+
+TEST(ExecutorPoolTest, IdleCacheIsBoundedPerWidth) {
+  ExecutorPool::Options options;
+  options.max_idle_per_width = 1;
+  ExecutorPool pool(options);
+  {
+    std::vector<ExecutorPool::Lease> leases;
+    for (int i = 0; i < 3; ++i) leases.push_back(pool.Acquire(1));
+    EXPECT_EQ(pool.created(), 3u);
+  }
+  // Returns beyond the bound were destroyed, not parked.
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(ExecutorPoolTest, LeaseIsMoveOnlyAndReleasesOnce) {
+  ExecutorPool pool;
+  ExecutorPool::Lease a = pool.Acquire(1);
+  ExecutorPool::Lease b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(b.valid());
+  ExecutorPool::Lease c;
+  c = std::move(b);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(pool.idle_count(), 0u);
+  c = ExecutorPool::Lease();
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(ExecutorPoolTest, LeasedExecutorActuallyRuns) {
+  ExecutorPool pool;
+  const ExecutorPool::Lease lease = pool.Acquire(3);
+  std::atomic<int> sum{0};
+  lease->ParallelFor(100, [&sum](std::size_t, std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ExecutorPoolTest, ZeroWidthMeansHardwareThreads) {
+  ExecutorPool pool;
+  const ExecutorPool::Lease lease = pool.Acquire(0);
+  EXPECT_EQ(lease->num_threads(), ParallelExecutor::HardwareThreads());
+}
+
+TEST(ExecutorPoolTest, ProcessPoolIsASingleton) {
+  EXPECT_EQ(&ProcessExecutorPool(), &ProcessExecutorPool());
+}
+
+}  // namespace
+}  // namespace ccs
