@@ -12,12 +12,21 @@
 //               [--metrics-out FILE] [--trace-out FILE]
 //               [--save-baskets FILE]
 //   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
+//   ccsmine_cli --socket PATH [--retries N] [--query ...] ...
 //
 // The --query string uses the full ParseQuery grammar (semantics, where-,
 // and with-clauses); bare constraint strings are accepted too. Explicit
 // --algorithm/--alpha/... flags override the query's choices.
 // With --save-baskets / the file loaders this doubles as a round-trip test
 // of the text formats.
+//
+// --socket PATH routes the request to a running ccsmined daemon through
+// the ccs::client library instead of mining in-process: the dataset flags
+// are ignored (the daemon owns the data), the same query/limit flags
+// become MINE fields, and transient daemon unavailability (slot or queue
+// overflow, restart window) is retried with jittered backoff per the
+// retryability contract. Answers print exactly as in-process runs do, so
+// the two modes stay byte-diffable.
 //
 // The dataset and run-limit flags are parsed by the shared src/cli layer,
 // the same one ccsmined uses — a daemon started with these flags mines
@@ -38,6 +47,7 @@
 #include <utility>
 
 #include "cli/options.h"
+#include "client/client.h"
 #include "core/report.h"
 #include "core/run_control.h"
 #include "core/session.h"
@@ -51,6 +61,8 @@ namespace {
 struct CliOptions {
   ccs::cli::CommonOptions common;  // --threads/--timeout-ms/--max-tables/...
   ccs::cli::DataOptions data;      // --generate/--baskets-file/...
+  std::string socket_path;         // --socket: mine via a ccsmined daemon
+  std::size_t retries = 5;         // --retries: client attempts (>= 1)
   std::string save_baskets;
   std::string query;
   std::string algorithm;  // empty: follow the query's semantics
@@ -79,6 +91,7 @@ int Usage(const char* argv0) {
                "          [--metrics-out F] [--trace-out F]\n"
                "          [--baskets-file F --catalog-file F]\n"
                "          [--save-baskets F]\n"
+               "          [--socket PATH [--retries N]]\n"
                "exit codes: 0 completed, 2 usage, 3 bad input data,\n"
                "            4 malformed query, 5 run error, 6 deadline,\n"
                "            7 budget exhausted (6/7 still print partials)\n",
@@ -140,6 +153,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->max_size_set = true;
     } else if (flag == "--save-baskets") {
       out->save_baskets = value;
+    } else if (flag == "--socket") {
+      out->socket_path = value;
+    } else if (flag == "--retries") {
+      out->retries = std::strtoul(value, nullptr, 10);
     } else {
       return false;
     }
@@ -147,11 +164,93 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
   return true;
 }
 
+// Renders a double the way the daemon's protocol expects: shortest
+// round-trippable form.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Assembles the MINE request line from the same flags the in-process path
+// consumes; query= must come last (it swallows the rest of the line).
+std::string BuildMineLine(const CliOptions& cli) {
+  std::string line = "MINE";
+  if (cli.common.threads != 0) {
+    line += " threads=" + std::to_string(cli.common.threads);
+  }
+  if (cli.common.timeout_ms != 0) {
+    line += " timeout_ms=" + std::to_string(cli.common.timeout_ms);
+  }
+  if (cli.common.max_tables != 0) {
+    line += " max_tables=" + std::to_string(cli.common.max_tables);
+  }
+  if (!cli.algorithm.empty()) line += " algorithm=" + cli.algorithm;
+  if (cli.alpha_set) line += " alpha=" + FormatDouble(cli.alpha);
+  if (cli.support_set) line += " support=" + FormatDouble(cli.support_frac);
+  if (cli.cell_set) line += " cell=" + FormatDouble(cli.cell_frac);
+  if (cli.max_size_set) line += " max_size=" + std::to_string(cli.max_size);
+  if (!cli.query.empty()) line += " query=" + cli.query;
+  return line;
+}
+
+// --socket mode: the daemon mines, this process speaks the client
+// library. Exit codes match the in-process path, driven by the
+// termination= field of the daemon's OK header or the ERR code.
+int RunOverSocket(const CliOptions& cli) {
+  ccs::client::ClientOptions options;
+  options.socket_path = cli.socket_path;
+  // Budget the wait generously past the run's own deadline; an unlimited
+  // run gets ten minutes before the client gives up on the daemon.
+  options.response_deadline = std::chrono::milliseconds(
+      cli.common.timeout_ms != 0 ? cli.common.timeout_ms + 30000 : 600000);
+  options.backoff.max_attempts = cli.retries > 0 ? cli.retries : 1;
+  ccs::client::Client client(options);
+  auto response = client.Request(BuildMineLine(cli));
+  if (!response.ok()) {
+    std::fprintf(stderr, "daemon: %s\n",
+                 response.status().ToString().c_str());
+    switch (response.status().code()) {
+      case ccs::StatusCode::kInvalidArgument:
+        return 4;  // malformed query/fields, daemon-side diagnostic
+      case ccs::StatusCode::kDeadlineExceeded:
+      case ccs::StatusCode::kCancelled:
+        return 6;
+      case ccs::StatusCode::kResourceExhausted:
+        return 7;  // budget or frame limit exhausted
+      default:
+        return 5;  // internal, data loss, retries exhausted
+    }
+  }
+  for (const std::string& line : response->body) {
+    if (line.rfind("SET ", 0) == 0) {
+      std::printf("%s\n", line.c_str() + 4);
+    }
+  }
+  std::fprintf(stderr, "# %s (attempts=%zu)\n", response->header.c_str(),
+               response->attempts);
+  // "OK sets=N termination=T memo=..." — T picks the exit code.
+  const std::string& header = response->header;
+  const std::string key = " termination=";
+  const std::size_t at = header.find(key);
+  std::string termination =
+      at == std::string::npos
+          ? std::string("completed")
+          : header.substr(at + key.size(),
+                          header.find(' ', at + key.size()) -
+                              (at + key.size()));
+  if (termination == "completed") return 0;
+  if (termination == "deadline" || termination == "cancelled") return 6;
+  if (termination == "budget") return 7;
+  return 5;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) return Usage(argv[0]);
+  if (!cli.socket_path.empty()) return RunOverSocket(cli);
 
   // Data: from files or generated, via the shared cli layer.
   auto loaded = ccs::cli::LoadOrGenerate(cli.data);

@@ -31,12 +31,23 @@ compiler cannot express because they encode *project* invariants:
                         src/util/thread_annotations.h) — an unannotated
                         mutex is invisible to Clang's thread-safety
                         analysis.
-  service-wall-clock    src/service must not read a clock directly
-                        (steady_clock/system_clock/high_resolution_clock
-                        ::now()): admission and memo timing flows through
-                        the injected ServiceClock so tests can drive it
-                        deterministically. The sanctioned real-clock call
-                        site is src/service/clock.cc, allowlisted below.
+  service-wall-clock    src/service and src/client must not read a clock
+                        directly (steady_clock/system_clock/
+                        high_resolution_clock ::now()): admission, memo,
+                        connection-deadline, and client-retry timing flows
+                        through the injected ServiceClock so tests can
+                        drive it deterministically. The sanctioned
+                        real-clock call site is src/service/clock.cc,
+                        allowlisted below.
+  client-retry-only-    src/client must not name any StatusCode
+  unavailable           enumerator besides kOk/kUnavailable. The
+                        retryability contract (util/status.h) makes
+                        kUnavailable the ONLY retryable code; a client
+                        that can spell kDeadlineExceeded can key a retry
+                        loop on it. Errors decode via StatusCodeFromName
+                        and construct via the status.h factory helpers,
+                        so legitimate client code never needs another
+                        enumerator.
 
 Escape hatches (each use should say why in a neighboring comment):
 
@@ -116,6 +127,11 @@ DISCARD_RE = re.compile(
     r"(\w*OrError|LoadBaskets\w*|LoadCatalog\w*)\s*\([^;]*\)\s*;\s*$")
 
 CONTINUATION_RE = re.compile(r"(?:[,(=+\-*/<>?:&|!]|&&|\|\||\breturn)\s*$")
+
+# Any spelled-out StatusCode enumerator; src/client may only name kOk and
+# kUnavailable (the retryability contract's compiler-adjacent guard).
+STATUSCODE_ENUM_RE = re.compile(r"\bStatusCode\s*::\s*k(\w+)")
+CLIENT_ALLOWED_CODES = {"Ok", "Unavailable"}
 
 
 def is_continuation(code_lines, lineno):
@@ -238,14 +254,25 @@ def check_file(fl, findings):
     core_scope = in_scope(rel, ("src/core/", "src/stats/"))
     util_scope = in_scope(rel, ("src/util/",))
     service_scope = in_scope(rel, ("src/service/",))
+    client_scope = in_scope(rel, ("src/client/",))
 
     for lineno, code in enumerate(fl.code_lines, start=1):
-        if service_scope and WALLCLOCK_RE.search(code):
+        if (service_scope or client_scope) and WALLCLOCK_RE.search(code):
             findings.append((fl, lineno, "service-wall-clock",
                              "raw clock read in the service layer; time "
                              "must flow through the injected ServiceClock "
-                             "(service/clock.h) so admission/memo timing "
-                             "is testable and deterministic"))
+                             "(service/clock.h) so admission/memo/retry "
+                             "timing is testable and deterministic"))
+        if client_scope:
+            cm = STATUSCODE_ENUM_RE.search(code)
+            if cm and cm.group(1) not in CLIENT_ALLOWED_CODES:
+                findings.append((fl, lineno, "client-retry-only-unavailable",
+                                 f"StatusCode::k{cm.group(1)} spelled in "
+                                 "src/client; only kUnavailable is "
+                                 "retryable, so the client may name only "
+                                 "kOk/kUnavailable — decode peer codes "
+                                 "via StatusCodeFromName and construct "
+                                 "errors via the status.h factories"))
         if core_scope:
             for pattern, label in NONDET_PATTERNS:
                 if pattern.search(code):

@@ -15,7 +15,11 @@
 #   3. service_smoke: boots ccsmined on a private Unix socket and diffs
 #      its answers (scripted queries, a memo replay, and 32 concurrent
 #      clients) byte-for-byte against the one-shot CLI.
-#   4. bench_smoke: the quick benchmark sweep, which also exercises every
+#   4. service_chaos: the seeded ~30s chaos soak — concurrent clients
+#      under injected svc_* faults, torture inputs, kill -9/restart, and
+#      a SIGTERM drain; every reply must be byte-identical or a clean
+#      ERR, and the daemon must never hang or crash (DESIGN.md §13).
+#   5. bench_smoke: the quick benchmark sweep, which also exercises every
 #      BENCH_<name>.json writer.
 #
 # Usage: scripts/check.sh [build-dir]     (default: build)
@@ -51,7 +55,7 @@ ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 declare -A SUITES=(
   [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
   [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
-  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test service_concurrency_test service_socket_test"
+  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test"
 )
 for flavor in address undefined thread; do
   dir="${BUILD}-${flavor}"
@@ -65,6 +69,9 @@ done
 echo "== service_smoke (${BUILD}) =="
 cmake --build "${BUILD}" -j --target ccsmined ccsmine_cli >/dev/null
 python3 scripts/service_smoke.py "${BUILD}"
+
+echo "== service_chaos (${BUILD}) =="
+python3 scripts/service_chaos.py "${BUILD}"
 
 echo "== bench_smoke (${BUILD}) =="
 cmake --build "${BUILD}" -j --target bench_smoke

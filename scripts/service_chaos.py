@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""service_chaos: seeded chaos soak for ccsmined (DESIGN.md §13).
+
+Boots a daemon over a small deterministic dataset and subjects it to
+~30 seconds of hostile reality, asserting after every phase that the
+daemon neither hangs nor crashes and that every reply a client does
+receive is either a complete, byte-identical answer or a clean,
+parseable ERR frame:
+
+  1. oracle  — each scripted query through the one-shot CLI once;
+  2. storm   — N concurrent clients loop the queries against a daemon
+               with probabilistic svc_accept/svc_read/svc_write/svc_memo
+               faults injected (CCS_FAULT) and tight connection/admission
+               limits; transport drops are expected, wrong bytes are not;
+  3. torture — oversized request lines, embedded NUL garbage, and an
+               idle slow-loris client, each answered with the documented
+               ERR code (or a clean shed) while the daemon stays up;
+  4. kill -9 — the daemon dies mid-storm; a fresh daemon on the same
+               socket path must come up clean and answer the scripted
+               queries byte-identically again;
+  5. drain   — SIGTERM: the daemon exits 0 and removes its socket file.
+
+Everything is seeded (dataset, fault schedule, client round-robin), so a
+failure reproduces. Runtime is bounded by per-socket deadlines and a
+global watchdog; the soak fails rather than hangs.
+
+Usage: scripts/service_chaos.py [build-dir]     (default: build)
+"""
+
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SEED = 1317
+DATA_FLAGS = ["--generate", "ibm", "--baskets", "500", "--items", "40",
+              "--seed", "7"]
+QUERIES = [
+    "all with support = 0.05",
+    "valid_min where max(S.price) <= 30 with support = 0.05, maxsize = 4",
+    "min_valid where min(S.price) <= 10 with support = 0.05, maxsize = 4",
+]
+STORM_CLIENTS = 8
+STORM_SECONDS = 8.0
+SOCKET_TIMEOUT = 30.0
+FAULTS = (f"svc_accept:prob=0.05:seed={SEED};"
+          f"svc_read:prob=0.05:seed={SEED + 1};"
+          f"svc_write:prob=0.05:seed={SEED + 2};"
+          f"svc_memo:prob=0.2:seed={SEED + 3}")
+ERROR_CODES = {"INVALID_ARGUMENT", "NOT_FOUND", "DATA_LOSS",
+               "FAILED_PRECONDITION", "RESOURCE_EXHAUSTED",
+               "DEADLINE_EXCEEDED", "CANCELLED", "INTERNAL", "UNAVAILABLE"}
+
+
+def fail(msg):
+    print(f"service_chaos: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Transport(Exception):
+    """The connection was refused, reset, or closed without a frame —
+    expected under injected faults and restarts."""
+
+
+def request(path, line, timeout=SOCKET_TIMEOUT):
+    """One request on a fresh connection. Returns the raw frame bytes.
+    Raises Transport on a dropped connection; fails the soak on a
+    frame that never completes within the deadline (a hang)."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout)
+            sock.connect(path)
+            sock.sendall(line.encode() + b"\n")
+            buf = b""
+            while not (buf == b"END\n" or buf.endswith(b"\nEND\n")):
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    fail(f"hang: no complete frame within {timeout}s "
+                         f"for {line!r} (got {len(buf)} bytes)")
+                if not chunk:
+                    raise Transport(f"dropped mid-frame: {line!r}")
+                buf += chunk
+            return buf
+    except (ConnectionRefusedError, ConnectionResetError,
+            FileNotFoundError, BrokenPipeError) as e:
+        raise Transport(str(e))
+
+
+def check_reply(frame, oracle_frames):
+    """Every received frame must be a clean ERR or byte-identical to an
+    oracle answer (memo marker folded). Returns 'ok' or 'err'."""
+    text = frame.decode(errors="replace")
+    first = text.split("\n", 1)[0]
+    if first.startswith("ERR "):
+        parts = first.split(" ", 2)
+        if len(parts) < 3 or parts[1] not in ERROR_CODES:
+            fail(f"malformed ERR header: {first!r}")
+        if not text.endswith("\nEND\n"):
+            fail(f"unterminated ERR frame: {text!r}")
+        return "err"
+    normalized = frame.replace(b"memo=hit", b"memo=miss")
+    if normalized not in oracle_frames:
+        fail(f"reply matches no oracle answer: {first!r} "
+             f"({len(frame)} bytes)")
+    return "ok"
+
+
+def spawn_daemon(daemon, sock_path, env=None, extra=()):
+    proc = subprocess.Popen(
+        [str(daemon), "--socket", sock_path, *DATA_FLAGS,
+         "--max-concurrent", "2", "--max-queued", "8",
+         "--max-connections", "6", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    ready = proc.stdout.readline()
+    if not ready.startswith("ccsmined listening on"):
+        proc.kill()
+        fail(f"daemon readiness line missing, got: {ready!r}")
+    return proc
+
+
+def mine_line(query):
+    return f"MINE query={query}"
+
+
+def main():
+    build = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    daemon = root / build / "src" / "service" / "ccsmined"
+    cli = root / build / "examples" / "ccsmine_cli"
+    for binary in (daemon, cli):
+        if not binary.is_file():
+            fail(f"missing binary {binary}; build the '{build}' tree first")
+    sock_path = os.path.join(tempfile.gettempdir(),
+                             f"ccs-chaos-{os.getpid()}.sock")
+
+    # A watchdog so the soak itself can never hang CI: if everything
+    # below has not finished well inside the budget, abort loudly.
+    watchdog = threading.Timer(300.0, lambda: (
+        print("service_chaos: FAIL: global watchdog expired",
+              file=sys.stderr), os._exit(1)))
+    watchdog.daemon = True
+    watchdog.start()
+
+    # --- 1. oracle -----------------------------------------------------
+    print("service_chaos: phase 1: oracle")
+    clean = spawn_daemon(daemon, sock_path)
+    oracle_frames = set()
+    oracle_by_query = {}
+    try:
+        for query in QUERIES:
+            frame = request(sock_path, mine_line(query))
+            if not frame.startswith(b"OK sets="):
+                fail(f"oracle query failed: {frame[:60]!r}")
+            frame = frame.replace(b"memo=hit", b"memo=miss")
+            oracle_frames.add(frame)
+            oracle_by_query[query] = frame
+            # Cross-check the daemon against the one-shot CLI.
+            proc = subprocess.run(
+                [str(cli), *DATA_FLAGS, "--query", query],
+                capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0:
+                fail(f"cli exited {proc.returncode} for {query!r}")
+            cli_sets = proc.stdout.rstrip("\n").split("\n")[1:]
+            daemon_sets = [l[4:] for l in frame.decode().split("\n")
+                           if l.startswith("SET ")]
+            if daemon_sets != [s for s in cli_sets if s]:
+                fail(f"daemon/CLI mismatch for {query!r}")
+    finally:
+        clean.send_signal(signal.SIGTERM)
+        if clean.wait(timeout=30) != 0:
+            fail(f"clean daemon SIGTERM exit {clean.returncode}")
+
+    # --- 2. storm under injected faults --------------------------------
+    print("service_chaos: phase 2: fault storm "
+          f"({STORM_CLIENTS} clients x {STORM_SECONDS:.0f}s)")
+    env = dict(os.environ, CCS_FAULT=FAULTS)
+    storm = spawn_daemon(daemon, sock_path, env=env)
+    tallies = {"ok": 0, "err": 0, "drop": 0}
+    tally_lock = threading.Lock()
+    stop_at = time.monotonic() + STORM_SECONDS
+
+    def storm_client(idx):
+        n = 0
+        while time.monotonic() < stop_at:
+            query = QUERIES[(idx + n) % len(QUERIES)]
+            n += 1
+            try:
+                frame = request(sock_path, mine_line(query))
+                kind = check_reply(frame, oracle_frames)
+            except Transport:
+                kind = "drop"
+            with tally_lock:
+                tallies[kind] += 1
+
+    threads = [threading.Thread(target=storm_client, args=(i,))
+               for i in range(STORM_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print(f"service_chaos: storm tallies {tallies}")
+    if tallies["ok"] == 0:
+        fail("storm produced zero complete answers")
+    if storm.poll() is not None:
+        fail(f"daemon crashed during storm (exit {storm.returncode})")
+
+    # --- 3. torture clients (same faulted daemon) ----------------------
+    print("service_chaos: phase 3: torture clients")
+    # Oversized line: must come back RESOURCE_EXHAUSTED (the daemon's
+    # 1 MiB default) or drop cleanly — never hang, never crash.
+    try:
+        frame = request(sock_path, "MINE query=" + "a" * (2 << 20))
+        if not frame.startswith(b"ERR RESOURCE_EXHAUSTED"):
+            fail(f"oversized line answered {frame[:60]!r}")
+    except Transport:
+        pass
+    # Embedded NUL garbage: strict parse, clean ERR.
+    try:
+        frame = request(sock_path, "PI\0NG")
+        if not frame.startswith(b"ERR INVALID_ARGUMENT"):
+            fail(f"NUL garbage answered {frame[:60]!r}")
+    except Transport:
+        pass
+    if storm.poll() is not None:
+        fail(f"daemon crashed during torture (exit {storm.returncode})")
+    # The daemon still answers real queries correctly after the abuse.
+    for _ in range(10):
+        try:
+            frame = request(sock_path, mine_line(QUERIES[0]))
+            check_reply(frame, oracle_frames)
+            break
+        except Transport:
+            continue
+    else:
+        fail("daemon unreachable after torture phase")
+
+    # --- 4. kill -9 and restart ----------------------------------------
+    print("service_chaos: phase 4: kill -9 / restart")
+    storm.kill()
+    storm.wait(timeout=30)
+    restarted = spawn_daemon(daemon, sock_path)  # no faults this time
+    try:
+        for query in QUERIES:
+            frame = request(sock_path, mine_line(query))
+            frame = frame.replace(b"memo=hit", b"memo=miss")
+            if frame != oracle_by_query[query]:
+                fail(f"post-restart answer drifted for {query!r}")
+    finally:
+        # --- 5. SIGTERM drain ------------------------------------------
+        print("service_chaos: phase 5: SIGTERM drain")
+        restarted.send_signal(signal.SIGTERM)
+        if restarted.wait(timeout=30) != 0:
+            fail(f"drained daemon exit {restarted.returncode}")
+    if os.path.exists(sock_path):
+        fail("socket file leaked after drain")
+
+    # An idle slow-loris against a short idle deadline, last: it needs
+    # its own daemon flags.
+    print("service_chaos: phase 6: slow-loris idle deadline")
+    loris = spawn_daemon(daemon, sock_path,
+                         extra=("--idle-timeout-ms", "300"))
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(SOCKET_TIMEOUT)
+            sock.connect(sock_path)
+            sock.sendall(b"PIN")  # dribble, then go quiet
+            buf = b""
+            while not buf.endswith(b"END\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    fail("slow-loris connection dropped without ERR")
+                buf += chunk
+        if not buf.startswith(b"ERR DEADLINE_EXCEEDED"):
+            fail(f"slow-loris answered {buf[:60]!r}")
+    finally:
+        loris.send_signal(signal.SIGTERM)
+        if loris.wait(timeout=30) != 0:
+            fail(f"loris daemon exit {loris.returncode}")
+
+    watchdog.cancel()
+    print("service_chaos: all phases green "
+          f"(seed={SEED}, tallies={tallies})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,225 @@
+#include "client/client.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "service/framed_reader.h"
+#include "util/check.h"
+
+namespace ccs {
+namespace client {
+namespace {
+
+// Closes the attempt's fd on every exit path.
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+
+ private:
+  int fd_;
+};
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// True once `frame` holds a complete END-framed response: a final
+// "END\n" line of its own (possibly the only line).
+bool FrameComplete(const std::string& frame) {
+  static constexpr char kEnd[] = "END\n";
+  static constexpr std::size_t kEndLen = sizeof(kEnd) - 1;
+  if (frame.size() < kEndLen) return false;
+  if (frame.compare(frame.size() - kEndLen, kEndLen, kEnd) != 0) return false;
+  return frame.size() == kEndLen ||
+         frame[frame.size() - kEndLen - 1] == '\n';
+}
+
+// "ERR CODE message" → Status{CODE, message}; decoding goes through
+// StatusCodeFromName so this file never needs to spell out the peer's
+// code set (see the client-retry-only-unavailable lint rule).
+Status DecodeErrorHeader(const std::string& header) {
+  std::string rest = header.substr(4);  // past "ERR "
+  const std::size_t space = rest.find(' ');
+  std::string code_name = rest.substr(0, space);
+  std::string message =
+      space == std::string::npos ? std::string() : rest.substr(space + 1);
+  return Status(StatusCodeFromName(code_name), std::move(message));
+}
+
+// Receives one complete END-framed response. Transport failures
+// (reset, EOF mid-frame) mean the daemon went away before answering —
+// the restart window — so they decode to kUnavailable and stay
+// retryable; a response_deadline hit does not (the daemon may still be
+// working, and re-issuing an expensive request on a deadline is how
+// retry storms start).
+Status ReadFrame(int fd, const ClientOptions& options,
+                 const service::ServiceClock& clock, std::string* frame) {
+  frame->clear();
+  const auto start = clock.Now();
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  char chunk[4096];
+  while (true) {
+    if (FrameComplete(*frame)) return OkStatus();
+    if (options.response_deadline.count() > 0 &&
+        clock.Now() - start >= options.response_deadline) {
+      return DeadlineExceededError("response deadline exceeded");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1,
+                             static_cast<int>(options.poll_interval.count()));
+    if (ready < 0 && errno != EINTR) {
+      return UnavailableError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      frame->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return UnavailableError("connection closed before a complete frame");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+// Splits a complete frame into Response fields; the final "END" line is
+// dropped from the body.
+Response ParseFrame(std::string frame) {
+  Response response;
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < frame.size()) {
+    const std::size_t newline = frame.find('\n', begin);
+    CCS_CHECK(newline != std::string::npos);  // FrameComplete guarantees it
+    lines.push_back(frame.substr(begin, newline - begin));
+    begin = newline + 1;
+  }
+  CCS_CHECK(!lines.empty() && lines.back() == "END");
+  lines.pop_back();
+  if (!lines.empty()) {
+    response.header = lines.front();
+    response.body.assign(lines.begin() + 1, lines.end());
+  }
+  response.frame = std::move(frame);
+  return response;
+}
+
+}  // namespace
+
+std::chrono::milliseconds BackoffDelay(const BackoffPolicy& policy,
+                                       std::size_t retry_index,
+                                       std::uint64_t* rng_state) {
+  std::int64_t base = policy.initial.count();
+  const std::int64_t cap = std::max<std::int64_t>(policy.cap.count(), 0);
+  for (std::size_t i = 0; i < retry_index && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  if (base <= 0) return std::chrono::milliseconds(0);
+  // Jitter into [base/2, base]: enough spread to decorrelate a client
+  // fleet, while keeping a floor so retries are never immediate.
+  const std::int64_t floor = base / 2;
+  const std::uint64_t span = static_cast<std::uint64_t>(base - floor) + 1;
+  const std::int64_t jitter =
+      floor + static_cast<std::int64_t>(SplitMix64(rng_state) % span);
+  return std::chrono::milliseconds(jitter);
+}
+
+Client::Client(ClientOptions options, const service::ServiceClock* clock,
+               Sleeper sleeper)
+    : options_(std::move(options)),
+      clock_(clock != nullptr ? clock : &service::DefaultServiceClock()),
+      sleeper_(std::move(sleeper)),
+      rng_state_(options_.backoff.seed) {}
+
+StatusOr<Response> Client::Attempt(const std::string& line) {
+  ++stats_.attempts;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  FdCloser closer(fd);
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path too long: " +
+                                options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    // A refused or missing socket is the daemon's restart window —
+    // transient by definition, so retryable.
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+  }
+
+  service::WriteOptions write_options;
+  write_options.write_deadline = options_.send_deadline;
+  write_options.poll_interval = options_.poll_interval;
+  const Status sent =
+      service::WriteAll(fd, line + "\n", write_options, clock_);
+  if (!sent.ok()) {
+    // The request never completed its trip to the daemon; mining is
+    // read-only, so re-sending it is safe.
+    return UnavailableError("send failed: " + sent.ToString());
+  }
+
+  std::string frame;
+  CCS_RETURN_IF_ERROR(ReadFrame(fd, options_, *clock_, &frame));
+  Response response = ParseFrame(std::move(frame));
+  if (response.header.rfind("ERR ", 0) == 0) {
+    return DecodeErrorHeader(response.header);
+  }
+  return response;
+}
+
+StatusOr<Response> Client::Request(const std::string& line) {
+  const std::size_t max_attempts =
+      std::max<std::size_t>(options_.backoff.max_attempts, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    StatusOr<Response> result = Attempt(line);
+    if (result.ok()) {
+      result->attempts = attempt;
+      return result;
+    }
+    if (result.status().code() != StatusCode::kUnavailable ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    const std::chrono::milliseconds delay =
+        BackoffDelay(options_.backoff, attempt - 1, &rng_state_);
+    ++stats_.retries;
+    if (sleeper_) {
+      sleeper_(delay);
+    } else if (delay.count() > 0) {
+      std::this_thread::sleep_for(delay);
+    }
+  }
+}
+
+}  // namespace client
+}  // namespace ccs

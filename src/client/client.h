@@ -1,0 +1,116 @@
+#ifndef CCS_CLIENT_CLIENT_H_
+#define CCS_CLIENT_CLIENT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/clock.h"
+#include "util/status.h"
+
+// ccs::client — the sanctioned way to talk to a ccsmined daemon
+// (DESIGN.md §13). One call = one request line in, one END-framed
+// response out, with:
+//
+//   * a per-attempt response deadline (no hanging on a wedged daemon),
+//   * jittered-exponential backoff retry of *transient* failures only.
+//
+// The retryability contract (util/status.h): kUnavailable — and ONLY
+// kUnavailable — is safe to retry. The daemon answers kUnavailable when
+// admission or its connection-slot table is saturated, and this library
+// additionally maps "no daemon there right now" transport failures
+// (connect refused / socket file missing / connection severed before a
+// complete frame) to kUnavailable, because they are the wire's way of
+// saying the same thing during a restart. Every other code — including
+// kDeadlineExceeded — comes straight back to the caller: the request may
+// be expensive, wrong, or half-done, and blind re-issue is how retry
+// storms start. scripts/ccs_lint.py rule `client-retry-only-unavailable`
+// pins this: src/client may not mention any StatusCode but kUnavailable.
+//
+// Determinism: backoff delays are computed from a splitmix64 stream
+// seeded by BackoffPolicy::seed, and time/sleep are injectable, so tests
+// assert the exact retry schedule.
+
+namespace ccs {
+namespace client {
+
+struct BackoffPolicy {
+  // Total tries, including the first. 1 disables retry.
+  std::size_t max_attempts = 5;
+  // Delay before retry k (0-based) is jittered within
+  // [base/2, base] where base = min(cap, initial << k).
+  std::chrono::milliseconds initial{20};
+  std::chrono::milliseconds cap{1000};
+  // Seed of the jitter stream; fixed seed → reproducible schedule.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct ClientOptions {
+  std::string socket_path;
+  // Budget per attempt for receiving the complete response frame.
+  std::chrono::milliseconds response_deadline{60000};
+  // Budget per attempt for flushing the request line.
+  std::chrono::milliseconds send_deadline{10000};
+  // Real-time granularity of deadline re-checks while waiting on the fd.
+  std::chrono::milliseconds poll_interval{20};
+  BackoffPolicy backoff;
+};
+
+// One parsed END-framed response.
+struct Response {
+  std::string header;             // first line, always "OK ..."
+  std::vector<std::string> body;  // lines between header and "END"
+  std::string frame;              // raw bytes, "END\n" included
+  std::size_t attempts = 0;       // tries this answer cost (>= 1)
+};
+
+// The jittered backoff before 0-based retry `retry_index`; advances
+// *rng_state (splitmix64). Exposed so tests can pin the exact schedule.
+std::chrono::milliseconds BackoffDelay(const BackoffPolicy& policy,
+                                       std::size_t retry_index,
+                                       std::uint64_t* rng_state);
+
+// A connected-per-request client. Not thread-safe; create one per
+// thread (they are cheap — no persistent connection).
+class Client {
+ public:
+  using Sleeper = std::function<void(std::chrono::milliseconds)>;
+
+  // `clock` is borrowed (nullptr: process SystemClock). `sleeper`
+  // replaces the real between-retry sleep in tests; the default really
+  // sleeps.
+  explicit Client(ClientOptions options,
+                  const service::ServiceClock* clock = nullptr,
+                  Sleeper sleeper = Sleeper());
+
+  // Sends one request line (no trailing '\n') and returns the complete
+  // response frame. "ERR CODE message" frames come back as Status{CODE}.
+  // kUnavailable (from a frame or a transport failure) is retried under
+  // the backoff policy; exhausting max_attempts returns the last
+  // kUnavailable.
+  [[nodiscard]] StatusOr<Response> Request(const std::string& line);
+
+  // Telemetry across this client's lifetime.
+  struct Stats {
+    std::uint64_t attempts = 0;  // connection attempts made
+    std::uint64_t retries = 0;   // backoff sleeps taken
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] StatusOr<Response> Attempt(const std::string& line);
+
+  const ClientOptions options_;
+  const service::ServiceClock* const clock_;
+  const Sleeper sleeper_;
+  std::uint64_t rng_state_;
+  Stats stats_;
+};
+
+}  // namespace client
+}  // namespace ccs
+
+#endif  // CCS_CLIENT_CLIENT_H_

@@ -14,9 +14,18 @@
 //            [--threads N] [--timeout-ms N] [--max-tables N]
 //            [--max-concurrent N] [--max-queued N] [--memo-entries N]
 //            [--pair-tier-mib N] [--metrics-out F]
+//            [--max-connections N] [--max-line-bytes N]
+//            [--read-timeout-ms N] [--idle-timeout-ms N]
+//            [--write-timeout-ms N] [--drain-timeout-ms N]
+//
+// SIGTERM/SIGINT request the same graceful drain as a SHUTDOWN request:
+// stop accepting, give in-flight runs --drain-timeout-ms to finish, then
+// cancel them (partial replies still flush), exit 0.
 //
 // Exit codes: 0 clean shutdown, 2 usage, 3 data error, 5 server error.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +45,16 @@ struct DaemonOptions {
   std::size_t max_queued = 8;
   std::size_t memo_entries = 64;
   std::size_t pair_tier_mib = 8;
+  ccs::service::SocketServer::Options server;  // lifecycle knobs
 };
+
+// SIGTERM/SIGINT target. RequestShutdown only touches atomics and
+// shutdown()/close(), all async-signal-safe.
+ccs::service::SocketServer* g_server = nullptr;
+
+extern "C" void HandleTerminationSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -93,6 +111,34 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return Usage(argv[0]);
       daemon.pair_tier_mib = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--max-connections") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.max_connections = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--max-line-bytes") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.max_line_bytes = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--read-timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.read_deadline =
+          std::chrono::milliseconds(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--idle-timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.idle_deadline =
+          std::chrono::milliseconds(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--write-timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.write_deadline =
+          std::chrono::milliseconds(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--drain-timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.server.drain_deadline =
+          std::chrono::milliseconds(std::strtoul(value, nullptr, 10));
     } else if (flag == "--help") {
       Usage(argv[0]);
       return 0;
@@ -128,13 +174,18 @@ int main(int argc, char** argv) {
   service_options.default_max_tables = common.max_tables;
   ccs::service::MiningService service(handle, service_options);
 
-  ccs::service::SocketServer::Options server_options;
+  ccs::service::SocketServer::Options server_options = daemon.server;
   server_options.socket_path = daemon.socket_path;
   ccs::service::SocketServer server(&service, server_options);
   if (const ccs::Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
     return 5;
   }
+  // SIGTERM/SIGINT drain like a SHUTDOWN request instead of killing
+  // in-flight runs mid-write.
+  g_server = &server;
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGINT, HandleTerminationSignal);
   // The readiness line scripts/service_smoke.py waits for.
   std::printf("ccsmined listening on %s (epoch %llu, %zu baskets, "
               "%zu items)\n",

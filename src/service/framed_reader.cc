@@ -1,0 +1,143 @@
+#include "service/framed_reader.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace ccs {
+namespace service {
+
+namespace {
+
+// Bounded real-time wait for readability/writability. The deadline
+// decisions themselves live with the caller (against the injected
+// clock); this poll only caps how long the thread sleeps between
+// re-checks. Returns true when the fd reported `events`.
+bool PollOnce(int fd, short events, std::chrono::milliseconds interval) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      interval.count() > 0 ? static_cast<int>(interval.count()) : 1;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  return ready > 0 && (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+}
+
+bool DeadlinePassed(std::chrono::steady_clock::time_point now,
+                    std::chrono::steady_clock::time_point since,
+                    std::chrono::milliseconds budget) {
+  return budget.count() > 0 && now - since >= budget;
+}
+
+}  // namespace
+
+FramedReader::FramedReader(int fd, Options options, const ServiceClock* clock)
+    : fd_(fd),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : &DefaultServiceClock()) {}
+
+Status FramedReader::ReadLine(std::string* line, bool* eof) {
+  line->clear();
+  *eof = false;
+  const std::chrono::steady_clock::time_point line_start = clock_->Now();
+  std::chrono::steady_clock::time_point last_byte = line_start;
+  while (true) {
+    // Data already buffered is always served first, so a line that
+    // arrived just before a deadline still gets its answer.
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (newline > options_.max_line_bytes) {
+        return ResourceExhaustedError(
+            "request line exceeds " +
+            std::to_string(options_.max_line_bytes) + " bytes");
+      }
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return OkStatus();
+    }
+    if (buffer_.size() > options_.max_line_bytes) {
+      return ResourceExhaustedError(
+          "request line exceeds " +
+          std::to_string(options_.max_line_bytes) + " bytes");
+    }
+    if (options_.stop && options_.stop()) {
+      return CancelledError("server shutting down");
+    }
+    const std::chrono::steady_clock::time_point now = clock_->Now();
+    if (DeadlinePassed(now, last_byte, options_.idle_deadline)) {
+      return DeadlineExceededError(
+          "idle connection: no bytes for " +
+          std::to_string(options_.idle_deadline.count()) + " ms");
+    }
+    if (DeadlinePassed(now, line_start, options_.read_deadline)) {
+      return DeadlineExceededError(
+          "request line not completed within " +
+          std::to_string(options_.read_deadline.count()) + " ms");
+    }
+    if (!PollOnce(fd_, POLLIN, options_.poll_interval)) continue;
+    if (ShouldInjectFault("svc_read")) {
+      return DataLossError("injected fault at svc_read (connection reset)");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return DataLossError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buffer_.empty()) {
+        *eof = true;
+        return OkStatus();
+      }
+      return DataLossError("connection closed mid-frame (" +
+                           std::to_string(buffer_.size()) +
+                           " bytes buffered)");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    last_byte = clock_->Now();
+  }
+}
+
+Status WriteAll(int fd, const std::string& data, const WriteOptions& options,
+                const ServiceClock* clock) {
+  const ServiceClock* const c =
+      clock != nullptr ? clock : &DefaultServiceClock();
+  const std::chrono::steady_clock::time_point start = c->Now();
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (ShouldInjectFault("svc_write")) {
+      return DataLossError("injected fault at svc_write (send failed)");
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN &&
+        errno != EWOULDBLOCK) {
+      return DataLossError(std::string("send: ") + std::strerror(errno));
+    }
+    // EINTR/EAGAIN (or an implausible 0): wait for writability, bounded
+    // by the injected clock's deadline so a peer that never drains its
+    // socket cannot park this thread forever.
+    if (DeadlinePassed(c->Now(), start, options.write_deadline)) {
+      return DeadlineExceededError(
+          "response not flushed within " +
+          std::to_string(options.write_deadline.count()) + " ms (" +
+          std::to_string(sent) + "/" + std::to_string(data.size()) +
+          " bytes sent)");
+    }
+    PollOnce(fd, POLLOUT, options.poll_interval);
+  }
+  return OkStatus();
+}
+
+}  // namespace service
+}  // namespace ccs

@@ -1,0 +1,98 @@
+#ifndef CCS_SERVICE_FRAMED_READER_H_
+#define CCS_SERVICE_FRAMED_READER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "service/clock.h"
+#include "util/status.h"
+
+namespace ccs {
+namespace service {
+
+// Deadline-governed line reader for one connection fd (DESIGN.md §13).
+//
+// The daemon's wire unit is a '\n'-terminated request line; a hostile or
+// broken peer can violate that three ways, and each gets a distinct,
+// deterministic Status instead of a hung thread:
+//
+//   * slow loris — bytes trickle (or stop) forever. Two deadlines bound
+//     the assembly of one line: `idle_deadline` since the last byte
+//     arrived and `read_deadline` since line assembly began. Either
+//     tripping returns kDeadlineExceeded.
+//   * oversized frame — a line longer than `max_line_bytes` (the
+//     terminating '\n' not counted) returns kResourceExhausted before
+//     the buffer can grow unboundedly. A line of exactly
+//     `max_line_bytes` is accepted.
+//   * mid-frame disconnect — EOF with a partial line buffered returns
+//     kDataLoss; EOF at a line boundary is a clean end-of-stream.
+//
+// Time never comes from the wall clock directly: every deadline check
+// reads the injected ServiceClock, so ManualClock tests trip deadlines
+// without real waits. The reader wakes every `poll_interval` of real
+// time to re-check the clock and the `stop` predicate (the drain path),
+// so a ManualClock advance is observed within one tick.
+class FramedReader {
+ public:
+  struct Options {
+    // Longest accepted request line, excluding the '\n'.
+    std::size_t max_line_bytes = 1 << 20;
+    // Budget for assembling one whole line; 0 = unbounded.
+    std::chrono::milliseconds read_deadline{0};
+    // Budget between consecutive byte arrivals; 0 = unbounded.
+    std::chrono::milliseconds idle_deadline{0};
+    // Real-time wakeup granularity for clock/stop re-checks.
+    std::chrono::milliseconds poll_interval{20};
+    // Checked every wakeup; true aborts the read with kCancelled
+    // (the server's drain path latches this via shutdown_requested).
+    std::function<bool()> stop;
+  };
+
+  // `fd` and `clock` are borrowed; nullptr clock selects the process
+  // SystemClock.
+  FramedReader(int fd, Options options, const ServiceClock* clock = nullptr);
+
+  FramedReader(const FramedReader&) = delete;
+  FramedReader& operator=(const FramedReader&) = delete;
+
+  // Reads the next request line into *line ('\n' stripped, a trailing
+  // '\r' preserved — the protocol parser handles CRLF). On success with
+  // *eof == true the peer closed cleanly at a line boundary and *line is
+  // empty. Errors:
+  //   kDeadlineExceeded  read/idle deadline hit (slow loris)
+  //   kResourceExhausted line exceeds max_line_bytes
+  //   kDataLoss          EOF mid-line, transport error, or an injected
+  //                      svc_read fault (simulated mid-frame disconnect)
+  //   kCancelled         the stop predicate fired (server draining)
+  [[nodiscard]] Status ReadLine(std::string* line, bool* eof);
+
+ private:
+  const int fd_;
+  const Options options_;
+  const ServiceClock* const clock_;
+  std::string buffer_;
+};
+
+// Governs WriteAll: the send side gets the same discipline as the read
+// side — a peer that stops draining its socket cannot park a connection
+// thread forever.
+struct WriteOptions {
+  // Budget for flushing one whole response; 0 = unbounded.
+  std::chrono::milliseconds write_deadline{0};
+  std::chrono::milliseconds poll_interval{20};
+};
+
+// Sends all of `data` on `fd`, retrying EINTR and waiting out EAGAIN /
+// partial sends with poll(POLLOUT) under the injected clock's deadline.
+// Errors: kDeadlineExceeded (peer stopped draining), kDataLoss
+// (transport error, peer reset, or an injected svc_write fault).
+[[nodiscard]] Status WriteAll(int fd, const std::string& data,
+                              const WriteOptions& options,
+                              const ServiceClock* clock = nullptr);
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_FRAMED_READER_H_

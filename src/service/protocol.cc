@@ -39,6 +39,15 @@ std::string DoubleKey(const std::optional<double>& value) {
 
 }  // namespace
 
+std::string ErrorFrame(const Status& status) {
+  std::string response = "ERR ";
+  response += StatusCodeName(status.code());
+  response += ' ';
+  response += status.message();
+  response += "\nEND\n";
+  return response;
+}
+
 StatusOr<Request> ParseRequestLine(const std::string& line) {
   std::string_view rest = line;
   while (!rest.empty() && rest.back() == '\r') rest.remove_suffix(1);

@@ -58,6 +58,12 @@ struct Request {
 // client typos fail loudly instead of mining the wrong thing.
 [[nodiscard]] StatusOr<Request> ParseRequestLine(const std::string& line);
 
+// A complete error response frame: "ERR <CODE> <message>\nEND\n". Both
+// the service (bad requests, failed runs) and the socket layer (deadline
+// trips, oversized frames, slot exhaustion) speak errors through this one
+// renderer, so clients can parse every failure the same way.
+std::string ErrorFrame(const Status& status);
+
 // The memo key for a MINE request against one database generation: the
 // epoch plus every answer-affecting field. `threads` is deliberately
 // excluded — answers are bit-identical across thread counts (DESIGN.md

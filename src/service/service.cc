@@ -9,19 +9,22 @@
 #include "query/parser.h"
 #include "query/query.h"
 #include "util/executor_pool.h"
+#include "util/fault.h"
 
 namespace ccs {
 namespace service {
 
 namespace {
 
-std::string ErrorResponse(const Status& status) {
-  std::string response = "ERR ";
-  response += StatusCodeName(status.code());
-  response += ' ';
-  response += status.message();
-  response += "\nEND\n";
-  return response;
+std::string ErrorResponse(const Status& status) { return ErrorFrame(status); }
+
+// Whether a run under this control is replayable from the memo: no
+// deadline and no budget. The drain CancelToken is deliberately ignored
+// — it is armed on every request, and a run it actually cancelled never
+// reaches the insert path (termination != kCompleted).
+bool ReplayableControl(const RunControl& control) {
+  return control.timeout.count() <= 0 && control.max_candidates == 0 &&
+         control.max_tables_built == 0 && control.max_result_sets == 0;
 }
 
 std::string MineHeader(std::size_t num_sets, const std::string& termination,
@@ -107,12 +110,22 @@ std::string MiningService::HandleMine(const MineFields& fields) {
   }
 
   const std::string key = CanonicalKey(handle_.epoch(), fields);
+  // svc_memo fault: the memo becomes unavailable for this request — the
+  // degraded path must still mine and answer with identical bytes, just
+  // without the cache. Covers "memo storage lost" scenarios.
+  const bool memo_faulted = ShouldInjectFault("svc_memo");
+  if (memo_faulted) {
+    metrics_.memo_faults.fetch_add(1, std::memory_order_relaxed);
+  }
   // Memo lookup happens BEFORE admission: a hit is a few string copies,
   // so repeated queries stay answerable even when every slot is busy.
-  if (const std::shared_ptr<const CachedAnswer> cached = memo_.Lookup(key)) {
-    return MineHeader(cached->num_sets, cached->termination,
-                      /*memo_hit=*/true) +
-           cached->body + "END\n";
+  if (!memo_faulted) {
+    if (const std::shared_ptr<const CachedAnswer> cached =
+            memo_.Lookup(key)) {
+      return MineHeader(cached->num_sets, cached->termination,
+                        /*memo_hit=*/true) +
+             cached->body + "END\n";
+    }
   }
 
   StatusOr<AdmissionController::Permit> permit = admission_.Admit();
@@ -132,6 +145,9 @@ std::string MiningService::HandleMine(const MineFields& fields) {
   request.control.max_tables_built = fields.max_tables != 0
                                          ? fields.max_tables
                                          : options_.default_max_tables;
+  // Every run is cancellable by the drain path: when the drain deadline
+  // fires, CancelInFlight() stops the run at its next batch boundary.
+  request.control.cancel = &drain_cancel_;
   const MiningResult result = session.Run(request);
   if (result.termination == Termination::kError) {
     return ErrorResponse(result.error);
@@ -160,8 +176,8 @@ std::string MiningService::HandleMine(const MineFields& fields) {
       answer.body + "END\n";
   // Only unlimited completed runs are replayable: a partial answer
   // depends on where the deadline or budget landed.
-  if (result.termination == Termination::kCompleted &&
-      request.control.unlimited()) {
+  if (!memo_faulted && result.termination == Termination::kCompleted &&
+      ReplayableControl(request.control)) {
     memo_.Insert(key, std::move(answer));
   }
   return response;
@@ -201,7 +217,9 @@ std::string MiningService::StatsJson() const {
   json += std::to_string(pool.reused());
   json += ",\"idle\":";
   json += std::to_string(pool.idle_count());
-  json += "}}";
+  json += "},\"service\":";
+  json += metrics_.Snapshot().ToJson();
+  json += "}";
   return json;
 }
 

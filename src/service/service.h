@@ -6,11 +6,13 @@
 #include <string>
 
 #include "core/engine_options.h"
+#include "core/run_control.h"
 #include "core/session.h"
 #include "service/admission.h"
 #include "service/clock.h"
 #include "service/memo.h"
 #include "service/protocol.h"
+#include "service/service_metrics.h"
 
 namespace ccs {
 namespace service {
@@ -60,6 +62,24 @@ class MiningService {
     return shutdown_.load(std::memory_order_acquire);
   }
 
+  // Latches the shutdown flag without a request — the SIGTERM path.
+  // Async-signal-safe (one atomic store) and idempotent.
+  void RequestShutdown() {
+    shutdown_.store(true, std::memory_order_release);
+  }
+
+  // Cancels every in-flight and future mining run via the shared
+  // CancelToken — the drain deadline's teeth. Runs stop at their next
+  // batch boundary and reply with termination=cancelled partials, so
+  // connection threads still unwind through the normal write path.
+  void CancelInFlight() {
+    metrics_.drain_cancelled_runs.fetch_add(1, std::memory_order_relaxed);
+    drain_cancel_.Cancel();
+  }
+
+  // Connection-lifecycle counters, shared with the socket server.
+  ServiceMetrics* metrics() { return &metrics_; }
+
   const DatabaseHandle& handle() const { return handle_; }
 
   // The STATS payload (single-line JSON); also what ccsmined writes to
@@ -73,6 +93,8 @@ class MiningService {
   const ServiceOptions options_;
   AdmissionController admission_;
   MemoCache memo_;
+  ServiceMetrics metrics_;
+  CancelToken drain_cancel_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<bool> shutdown_{false};
 };

@@ -1,0 +1,32 @@
+#include "service/service_metrics.h"
+
+namespace ccs {
+namespace service {
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsRegistry registry(/*num_shards=*/1, /*enabled=*/true);
+  const struct {
+    const char* name;
+    const std::atomic<std::uint64_t>* value;
+  } counters[] = {
+      {"service.connections_accepted", &connections_accepted},
+      {"service.connections_rejected", &connections_rejected},
+      {"service.read_timeouts", &read_timeouts},
+      {"service.oversized_frames", &oversized_frames},
+      {"service.read_errors", &read_errors},
+      {"service.write_errors", &write_errors},
+      {"service.drains_started", &drains_started},
+      {"service.drain_cancelled_runs", &drain_cancelled_runs},
+      {"service.memo_faults", &memo_faults},
+  };
+  for (const auto& counter : counters) {
+    const MetricsRegistry::Id id = registry.Counter(
+        counter.name, MetricStability::kScheduleDependent);
+    registry.Add(id, /*shard=*/0,
+                 counter.value->load(std::memory_order_relaxed));
+  }
+  return registry.Snapshot();
+}
+
+}  // namespace service
+}  // namespace ccs

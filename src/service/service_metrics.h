@@ -1,0 +1,49 @@
+#ifndef CCS_SERVICE_SERVICE_METRICS_H_
+#define CCS_SERVICE_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/metrics.h"
+
+namespace ccs {
+namespace service {
+
+// Connection-lifecycle and drain telemetry for the daemon (DESIGN.md
+// §13). Connection threads are unbounded in identity (any accepted fd
+// gets one), so these counters cannot use MetricsRegistry's
+// one-writer-per-shard discipline directly; they are plain atomics,
+// exported on demand through a MetricsRegistry snapshot so STATS and
+// --metrics-out speak the same schema as the mining metrics.
+//
+// Counter semantics (all monotonic):
+//   service.connections_accepted   fd accepted and given a slot
+//   service.connections_rejected   no free slot: immediate ERR UNAVAILABLE
+//   service.read_timeouts          read/idle deadline tripped (slow loris)
+//   service.oversized_frames       request line over the byte limit
+//   service.read_errors            transport error / mid-frame disconnect
+//   service.write_errors           response write failed or timed out
+//   service.drains_started         Serve() entered the drain phase
+//   service.drain_cancelled_runs   drain deadline forced cancellation
+//   service.memo_faults            svc_memo fault degraded a memo path
+struct ServiceMetrics {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> read_timeouts{0};
+  std::atomic<std::uint64_t> oversized_frames{0};
+  std::atomic<std::uint64_t> read_errors{0};
+  std::atomic<std::uint64_t> write_errors{0};
+  std::atomic<std::uint64_t> drains_started{0};
+  std::atomic<std::uint64_t> drain_cancelled_runs{0};
+  std::atomic<std::uint64_t> memo_faults{0};
+
+  // Point-in-time export through a single-shard MetricsRegistry, so the
+  // values carry the same names/kinds/stability taxonomy as engine
+  // metrics. Counts depend on arrival timing, hence kScheduleDependent.
+  MetricsSnapshot Snapshot() const;
+};
+
+}  // namespace service
+}  // namespace ccs
+
+#endif  // CCS_SERVICE_SERVICE_METRICS_H_

@@ -1,38 +1,29 @@
 #include "service/socket_server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
+
+#include "service/framed_reader.h"
+#include "service/protocol.h"
+#include "util/fault.h"
 
 namespace ccs {
 namespace service {
-
-namespace {
-
-bool WriteAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 SocketServer::~SocketServer() { CloseListener(); }
 
 Status SocketServer::Start() {
   if (options_.socket_path.empty()) {
     return InvalidArgumentError("socket path is empty");
+  }
+  if (options_.max_connections == 0) {
+    return InvalidArgumentError("max_connections must be positive");
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -61,59 +52,170 @@ Status SocketServer::Start() {
     ::unlink(options_.socket_path.c_str());
     return InternalError(std::string("listen: ") + std::strerror(err));
   }
+  slots_.clear();
+  slots_.resize(options_.max_connections);
   listen_fd_.store(fd, std::memory_order_release);
   return OkStatus();
 }
 
 void SocketServer::Serve() {
+  ServiceMetrics* const metrics = service_->metrics();
   while (true) {
     const int listen_fd = listen_fd_.load(std::memory_order_acquire);
-    if (listen_fd < 0) break;
+    if (listen_fd < 0 || service_->shutdown_requested()) break;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // CloseListener (shutdown path) makes accept fail: drain and exit.
-      break;
+      // A transient accept failure (aborted handshake, fd pressure,
+      // signal) must not take the daemon down; only a closed listener —
+      // observed as listen_fd_ going negative at the top of the loop —
+      // ends the accept phase. The short poll keeps a persistent error
+      // from spinning.
+      if (errno != EINTR) {
+        pollfd pfd{};
+        pfd.fd = listen_fd;
+        pfd.events = POLLIN;
+        ::poll(&pfd, 1,
+               static_cast<int>(options_.poll_interval.count()));
+      }
+      continue;
     }
     if (service_->shutdown_requested()) {
       ::close(fd);
       break;
     }
-    connections_.emplace_back(&SocketServer::HandleConnection, this, fd);
+    // svc_accept fault: the daemon ran out of a post-accept resource
+    // (thread, fd slot duplication, ...) — shed the connection cleanly.
+    if (ShouldInjectFault("svc_accept")) {
+      metrics->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    ReapFinished();
+    Slot* slot = nullptr;
+    for (std::unique_ptr<Slot>& candidate : slots_) {
+      if (candidate == nullptr) {
+        candidate = std::make_unique<Slot>();
+        slot = candidate.get();
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      // Slot table full: same contract as admission overflow — an
+      // immediate, parseable rejection instead of an unbounded thread
+      // table. Best effort; a peer that is already gone just loses it.
+      metrics->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      WriteOptions write_options;
+      write_options.write_deadline = options_.write_deadline;
+      write_options.poll_interval = options_.poll_interval;
+      (void)WriteAll(fd,
+                     ErrorFrame(UnavailableError(
+                         "connection slots exhausted (" +
+                         std::to_string(options_.max_connections) + ")")),
+                     write_options, clock_);
+      ::close(fd);
+      continue;
+    }
+    metrics->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    slot->thread =
+        std::thread(&SocketServer::HandleConnection, this, fd, slot);
   }
-  for (std::thread& t : connections_) t.join();
-  connections_.clear();
+  DrainConnections();
   ::unlink(options_.socket_path.c_str());
 }
 
-void SocketServer::HandleConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
+void SocketServer::HandleConnection(int fd, Slot* slot) {
+  ServiceMetrics* const metrics = service_->metrics();
+  FramedReader::Options reader_options;
+  reader_options.max_line_bytes = options_.max_line_bytes;
+  reader_options.read_deadline = options_.read_deadline;
+  reader_options.idle_deadline = options_.idle_deadline;
+  reader_options.poll_interval = options_.poll_interval;
+  reader_options.stop = [this] { return service_->shutdown_requested(); };
+  FramedReader reader(fd, reader_options, clock_);
+  WriteOptions write_options;
+  write_options.write_deadline = options_.write_deadline;
+  write_options.poll_interval = options_.poll_interval;
+
   while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    std::string line;
+    bool eof = false;
+    const Status read = reader.ReadLine(&line, &eof);
+    if (!read.ok()) {
+      switch (read.code()) {
+        case StatusCode::kDeadlineExceeded:
+          // Slow loris: the peer is still connected (just silent or
+          // dribbling), so tell it why before hanging up.
+          metrics->read_timeouts.fetch_add(1, std::memory_order_relaxed);
+          (void)WriteAll(fd, ErrorFrame(read), write_options, clock_);
+          break;
+        case StatusCode::kResourceExhausted:
+          // Oversized frame: the line cannot be resynchronized, so the
+          // reply is followed by a close.
+          metrics->oversized_frames.fetch_add(1, std::memory_order_relaxed);
+          (void)WriteAll(fd, ErrorFrame(read), write_options, clock_);
+          break;
+        case StatusCode::kCancelled:
+          // Server draining; the peer sent no request, nothing owed.
+          break;
+        default:
+          // Transport error or mid-frame disconnect: nobody listening.
+          metrics->read_errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
       break;
     }
-    if (n == 0) break;  // client closed
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!WriteAll(fd, service_->HandleLine(line))) {
-        ::close(fd);
-        return;
-      }
-      if (service_->shutdown_requested()) {
-        ::close(fd);
-        // Unblock the accept loop so Serve() can drain and exit.
-        CloseListener();
-        return;
-      }
+    if (eof) break;
+    const std::string response = service_->HandleLine(line);
+    if (const Status written = WriteAll(fd, response, write_options, clock_);
+        !written.ok()) {
+      metrics->write_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (service_->shutdown_requested()) {
+      // Unblock the accept loop so Serve() can drain and exit.
+      CloseListener();
+      break;
     }
   }
   ::close(fd);
+  slot->done.store(true, std::memory_order_release);
+}
+
+std::size_t SocketServer::ReapFinished() {
+  std::size_t live = 0;
+  for (std::unique_ptr<Slot>& slot : slots_) {
+    if (slot == nullptr) continue;
+    if (slot->done.load(std::memory_order_acquire)) {
+      slot->thread.join();
+      slot.reset();
+    } else {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void SocketServer::DrainConnections() {
+  ServiceMetrics* const metrics = service_->metrics();
+  metrics->drains_started.fetch_add(1, std::memory_order_relaxed);
+  const std::chrono::steady_clock::time_point drain_start = clock_->Now();
+  bool cancelled = false;
+  while (ReapFinished() > 0) {
+    if (!cancelled &&
+        clock_->Now() - drain_start >= options_.drain_deadline) {
+      // Grace period over: stop in-flight runs at their next batch
+      // boundary. Their partial replies still flush (bounded by the
+      // write deadline), so this loop terminates.
+      service_->CancelInFlight();
+      cancelled = true;
+    }
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+}
+
+void SocketServer::RequestShutdown() {
+  service_->RequestShutdown();
+  CloseListener();
 }
 
 void SocketServer::CloseListener() {

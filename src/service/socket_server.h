@@ -2,58 +2,108 @@
 #define CCS_SERVICE_SOCKET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "service/clock.h"
 #include "service/service.h"
 #include "util/status.h"
 
 namespace ccs {
 namespace service {
 
-// Unix-domain-socket front end for MiningService: accepts connections,
-// reads newline-delimited request lines, writes the service's responses
-// back verbatim. One thread per connection — concurrency is bounded where
-// it matters, at the service's admission controller, not at the
-// transport.
+// Unix-domain-socket front end for MiningService (DESIGN.md §13).
 //
-// Lifecycle: Start() binds and listens, Serve() blocks until a SHUTDOWN
-// request latches the service's shutdown flag, then joins every
-// connection thread and unlinks the socket path.
+// Concurrency is bounded at two layers: `max_connections` caps the
+// number of live connection threads (overflow gets an immediate
+// `ERR UNAVAILABLE` frame and a close — the same degrade-deterministically
+// contract as the admission controller behind it), and each connection's
+// reads and writes run under FramedReader/WriteAll deadlines so a
+// slow-loris or never-draining peer costs one bounded slot, never a
+// wedged thread. Finished connection threads are reaped as slots free,
+// so a long-lived daemon under connection churn holds at most
+// `max_connections` threads at any time.
+//
+// Lifecycle: Start() binds and listens; Serve() accepts until a SHUTDOWN
+// request or RequestShutdown() (the SIGTERM path) closes the listener,
+// then drains: in-flight requests get `drain_deadline` to finish, after
+// which the service's CancelToken stops them at the next batch boundary
+// (partial replies still flush); finally every thread is joined and the
+// socket file unlinked.
 class SocketServer {
  public:
   struct Options {
     std::string socket_path;
     int backlog = 64;
+    // Connection-slot table size; 0 is rejected by Start().
+    std::size_t max_connections = 64;
+    // Per-connection frame discipline (see framed_reader.h).
+    std::size_t max_line_bytes = 1 << 20;
+    std::chrono::milliseconds read_deadline{60000};
+    std::chrono::milliseconds idle_deadline{30000};
+    std::chrono::milliseconds write_deadline{10000};
+    // Grace period between "stop accepting" and "cancel in-flight runs".
+    std::chrono::milliseconds drain_deadline{10000};
+    // Real-time granularity of clock/stop re-checks in reads, writes,
+    // accept waits, and the drain loop.
+    std::chrono::milliseconds poll_interval{20};
   };
 
-  // `service` is borrowed and must outlive the server.
-  SocketServer(MiningService* service, Options options)
-      : service_(service), options_(std::move(options)) {}
+  // `service` and `clock` are borrowed and must outlive the server;
+  // nullptr clock selects the process SystemClock.
+  SocketServer(MiningService* service, Options options,
+               const ServiceClock* clock = nullptr)
+      : service_(service),
+        options_(std::move(options)),
+        clock_(clock != nullptr ? clock : &DefaultServiceClock()) {}
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
   // Binds and listens (replacing any stale socket file). kInternal with
-  // the errno text on failure.
+  // the errno text on failure; kInvalidArgument for a bad path or a zero
+  // slot table.
   [[nodiscard]] Status Start();
 
-  // Accept loop; returns after shutdown. Call from one thread only.
+  // Accept loop + drain; returns after shutdown. Call from one thread
+  // only.
   void Serve();
+
+  // Latches service shutdown and closes the listener so Serve() falls
+  // through to its drain phase. Safe from any thread and — because it
+  // only touches atomics and calls shutdown()/close() — from a signal
+  // handler. Idempotent.
+  void RequestShutdown();
 
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
-  void HandleConnection(int fd);
+  // One connection-thread slot. `done` is the thread's completion flag:
+  // written by the connection thread, read by Serve() when reaping.
+  struct Slot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void HandleConnection(int fd, Slot* slot);
+  // Joins every finished slot thread; returns the number still live.
+  std::size_t ReapFinished();
+  // Blocks (in poll_interval ticks) until the slot table drains; after
+  // drain_deadline, cancels in-flight runs through the service.
+  void DrainConnections();
   // Shuts the listener down; safe from any thread, idempotent.
   void CloseListener();
 
   MiningService* const service_;
   const Options options_;
+  const ServiceClock* const clock_;
   std::atomic<int> listen_fd_{-1};
-  std::vector<std::thread> connections_;  // touched only by Serve()
+  std::vector<std::unique_ptr<Slot>> slots_;  // touched only by Serve()
 };
 
 }  // namespace service

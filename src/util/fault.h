@@ -27,9 +27,13 @@
 //   CCS_FAULT="alloc:nth=1;io:nth=2"      multiple sites, ';'-separated
 //
 // Known sites: ct_build (ContingencyTableBuilder::Build), alloc
-// (EvalWorkers construction), io (binary and text loaders). Unknown site
-// names are accepted — they simply never fire — so specs stay forward
-// compatible.
+// (EvalWorkers construction), io (binary and text loaders), and the
+// service layer's non-throwing sites — svc_accept (post-accept resource
+// failure, connection shed), svc_read (mid-frame disconnect in
+// FramedReader), svc_write (failed send in WriteAll), svc_memo (memo
+// unavailable for one request; the degraded path mines without the
+// cache). Unknown site names are accepted — they simply never fire — so
+// specs stay forward compatible.
 namespace ccs {
 
 // Thrown by CCS_FAULT_POINT when a configured fault fires. MiningEngine

@@ -28,6 +28,20 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+StatusCode StatusCodeFromName(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kDataLoss,
+      StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,   StatusCode::kCancelled,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+  };
+  for (const StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/check.h"
@@ -42,6 +43,12 @@ enum class StatusCode : int {
 
 // Stable upper-case name, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName, for decoding codes off the wire. Unknown
+// names map to kInternal — a peer speaking an unrecognized code is a
+// protocol-level surprise, and kInternal is never retried, which is the
+// safe default under the retryability contract (only kUnavailable is).
+StatusCode StatusCodeFromName(std::string_view name);
 
 // [[nodiscard]] at class scope makes *every* function returning Status by
 // value warn on a discarded result — the compiler-enforced half of the

@@ -1,0 +1,257 @@
+// ccs::client retry contract tests: ONLY kUnavailable is retried (ERR
+// frames, refused connects, severed transports), backoff is
+// deterministic under a fixed seed, and a response deadline is NOT
+// grounds for a retry. A scripted in-process fake daemon plays the
+// hostile peer.
+
+#include "client/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccs {
+namespace client {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/ccs-client-test-" + std::to_string(::getpid()) + "-" + tag +
+         ".sock";
+}
+
+// A scripted peer: serves one connection per script entry, reading one
+// request line then sending the entry verbatim and closing. An empty
+// entry means "hang up without replying"; the kHold sentinel means "go
+// quiet but keep the connection open" (the slow-daemon case — only the
+// client's own deadline can end that wait).
+constexpr const char* kHold = "<hold>";
+
+class FakeDaemon {
+ public:
+  FakeDaemon(const std::string& path, std::vector<std::string> script)
+      : path_(path), script_(std::move(script)) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ::unlink(path_.c_str());
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    serving_ = std::thread([this] { Serve(); });
+  }
+
+  ~FakeDaemon() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    serving_.join();
+    for (const int fd : held_) ::close(fd);
+    ::unlink(path_.c_str());
+  }
+
+  // Request lines observed, in order, once serving finished.
+  const std::vector<std::string>& requests() const { return requests_; }
+
+ private:
+  void Serve() {
+    for (const std::string& reply : script_) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener shut down: script abandoned
+      std::string line;
+      char byte = 0;
+      while (::recv(fd, &byte, 1, 0) == 1 && byte != '\n') {
+        line.push_back(byte);
+      }
+      requests_.push_back(line);
+      if (reply == kHold) {
+        held_.push_back(fd);
+        continue;
+      }
+      if (!reply.empty()) {
+        (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      }
+      ::close(fd);
+    }
+  }
+
+  const std::string path_;
+  const std::vector<std::string> script_;
+  std::vector<std::string> requests_;
+  std::vector<int> held_;
+  int listen_fd_ = -1;
+  std::thread serving_;
+};
+
+// Client wired for tests: no real sleeping, recorded backoff delays.
+Client TestClient(const std::string& path,
+                  std::vector<milliseconds>* delays,
+                  std::size_t max_attempts = 5) {
+  ClientOptions options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  options.backoff.max_attempts = max_attempts;
+  options.backoff.seed = 42;
+  return Client(options, nullptr,
+                [delays](milliseconds d) { delays->push_back(d); });
+}
+
+TEST(BackoffTest, DeterministicUnderFixedSeed) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(20);
+  policy.cap = milliseconds(1000);
+  policy.seed = 7;
+  std::uint64_t state_a = policy.seed;
+  std::uint64_t state_b = policy.seed;
+  for (std::size_t retry = 0; retry < 8; ++retry) {
+    EXPECT_EQ(BackoffDelay(policy, retry, &state_a),
+              BackoffDelay(policy, retry, &state_b))
+        << "retry " << retry;
+  }
+}
+
+TEST(BackoffTest, JitterStaysInsideHalfToFullExponentialWindow) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(20);
+  policy.cap = milliseconds(1000);
+  policy.seed = 99;
+  std::uint64_t state = policy.seed;
+  for (std::size_t retry = 0; retry < 12; ++retry) {
+    std::int64_t base = 20;
+    for (std::size_t i = 0; i < retry && base < 1000; ++i) base *= 2;
+    if (base > 1000) base = 1000;
+    const milliseconds delay = BackoffDelay(policy, retry, &state);
+    EXPECT_GE(delay.count(), base / 2) << "retry " << retry;
+    EXPECT_LE(delay.count(), base) << "retry " << retry;
+  }
+}
+
+TEST(ClientTest, ParsesOkFrameWithBody) {
+  const std::string path = TestSocketPath("ok");
+  FakeDaemon daemon(path,
+                    {"OK sets=2 termination=completed memo=miss\n"
+                     "SET {1, 2}\nSET {3, 4}\nEND\n"});
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays);
+  auto response = client.Request("MINE query=all");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->header, "OK sets=2 termination=completed memo=miss");
+  ASSERT_EQ(response->body.size(), 2u);
+  EXPECT_EQ(response->body[0], "SET {1, 2}");
+  EXPECT_EQ(response->body[1], "SET {3, 4}");
+  EXPECT_EQ(response->attempts, 1u);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(ClientTest, ZeroAnswerFrameHasEmptyBody) {
+  const std::string path = TestSocketPath("zero");
+  FakeDaemon daemon(path,
+                    {"OK sets=0 termination=completed memo=miss\nEND\n"});
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays);
+  auto response = client.Request("MINE support=0.999 query=all");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->body.empty());
+}
+
+TEST(ClientTest, RetriesUnavailableFrameThenSucceeds) {
+  const std::string path = TestSocketPath("retry");
+  FakeDaemon daemon(path, {"ERR UNAVAILABLE queue full\nEND\n",
+                           "ERR UNAVAILABLE queue full\nEND\n",
+                           "OK pong\nEND\n"});
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays);
+  auto response = client.Request("PING");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->header, "OK pong");
+  EXPECT_EQ(response->attempts, 3u);
+  EXPECT_EQ(delays.size(), 2u);
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().retries, 2u);
+  // Every attempt re-sent the same request line.
+  EXPECT_EQ(daemon.requests().size(), 3u);
+}
+
+TEST(ClientTest, DoesNotRetryInvalidArgument) {
+  const std::string path = TestSocketPath("invalid");
+  FakeDaemon daemon(path, {"ERR INVALID_ARGUMENT bad verb\nEND\n",
+                           "OK pong\nEND\n"});
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays);
+  auto response = client.Request("GARBAGE");
+  ASSERT_FALSE(response.ok());
+  EXPECT_STREQ(StatusCodeName(response.status().code()),
+               "INVALID_ARGUMENT");
+  EXPECT_EQ(response.status().message(), "bad verb");
+  // One attempt, no sleeps: a non-retryable code returns immediately.
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(ClientTest, TruncatedFrameIsRetriedAsUnavailable) {
+  const std::string path = TestSocketPath("truncated");
+  // First peer dies mid-frame (no END); the retry gets the full answer.
+  FakeDaemon daemon(path, {"OK pong\nEN", "OK pong\nEND\n"});
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays);
+  auto response = client.Request("PING");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->attempts, 2u);
+}
+
+TEST(ClientTest, RefusedConnectRetriedUntilAttemptsExhausted) {
+  // Nothing listens here at all.
+  const std::string path = TestSocketPath("refused");
+  ::unlink(path.c_str());
+  std::vector<milliseconds> delays;
+  Client client = TestClient(path, &delays, /*max_attempts=*/3);
+  auto response = client.Request("PING");
+  ASSERT_FALSE(response.ok());
+  EXPECT_STREQ(StatusCodeName(response.status().code()), "UNAVAILABLE");
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().retries, 2u);
+  ASSERT_EQ(delays.size(), 2u);
+  // The schedule is a pure function of the seed: replaying the same
+  // configuration reproduces it delay for delay.
+  std::vector<milliseconds> replay;
+  Client again = TestClient(path, &replay, /*max_attempts=*/3);
+  ASSERT_FALSE(again.Request("PING").ok());
+  EXPECT_EQ(replay, delays);
+}
+
+TEST(ClientTest, ResponseDeadlineIsNotRetried) {
+  const std::string path = TestSocketPath("deadline");
+  // The peer reads the request then goes quiet without closing; only
+  // the client's own deadline can end the wait, and a deadline must
+  // surface to the caller rather than trigger a blind re-issue.
+  FakeDaemon daemon(path, {kHold});
+  ClientOptions options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  options.response_deadline = milliseconds(80);
+  options.backoff.max_attempts = 5;
+  std::vector<milliseconds> delays;
+  Client client(options, nullptr,
+                [&delays](milliseconds d) { delays.push_back(d); });
+  auto response = client.Request("PING");
+  ASSERT_FALSE(response.ok());
+  EXPECT_STREQ(StatusCodeName(response.status().code()),
+               "DEADLINE_EXCEEDED");
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_TRUE(delays.empty());
+}
+
+}  // namespace
+}  // namespace client
+}  // namespace ccs

@@ -1,0 +1,36 @@
+// Seeded violations for client-retry-only-unavailable and for the
+// service-wall-clock rule's src/client extension: a retry loop keyed on
+// a non-retryable code, plus a raw clock read timing the backoff.
+#include <chrono>
+
+namespace ccs {
+namespace client {
+
+enum class StatusCode { kOk, kUnavailable, kDeadlineExceeded, kInternal };
+
+struct Result {
+  StatusCode code;
+};
+
+Result AttemptOnce();
+
+Result RequestWithBadRetries() {
+  Result result = AttemptOnce();
+  for (int attempt = 1; attempt < 5; ++attempt) {
+    // A deadline means the work may still complete server-side; blindly
+    // re-issuing it is the retry-storm the contract forbids.
+    const bool deadline =
+        result.code == StatusCode::kDeadlineExceeded;  // rule: client-retry-only-unavailable
+    const bool internal =
+        result.code == StatusCode::kInternal;  // rule: client-retry-only-unavailable
+    if (!deadline && !internal) break;
+    const auto started =
+        std::chrono::steady_clock::now();  // rule: service-wall-clock
+    (void)started;
+    result = AttemptOnce();
+  }
+  return result;
+}
+
+}  // namespace client
+}  // namespace ccs

@@ -1,0 +1,44 @@
+// A contract-abiding client: retries keyed only on kUnavailable, peer
+// codes decoded by name (never spelled as enumerators), and all timing
+// through an injected clock. Mentions of kDeadlineExceeded in comments
+// and "DEADLINE_EXCEEDED" in strings must not trip the linter.
+#include <cstdint>
+#include <string>
+
+namespace ccs {
+namespace client {
+
+enum class StatusCode { kOk, kUnavailable, kDeadlineExceeded };
+
+StatusCode StatusCodeFromName(const std::string& name);
+
+struct Result {
+  StatusCode code;
+  std::string header;
+};
+
+struct InjectedClock {
+  std::int64_t (*now_ms)();
+};
+
+Result AttemptOnce(const InjectedClock& clock);
+
+Result RequestWithRetries(const InjectedClock& clock) {
+  Result result = AttemptOnce(clock);
+  for (int attempt = 1; attempt < 5; ++attempt) {
+    // kDeadlineExceeded is deliberately NOT retried: the request may
+    // still be running server-side (see "DEADLINE_EXCEEDED" in the
+    // README failure-mode table).
+    if (result.code != StatusCode::kUnavailable) break;
+    const std::int64_t started = clock.now_ms();
+    (void)started;
+    result = AttemptOnce(clock);
+  }
+  if (result.code == StatusCode::kOk) return result;
+  // Peer codes arrive as names on the wire and are decoded, not spelled.
+  result.code = StatusCodeFromName(result.header);
+  return result;
+}
+
+}  // namespace client
+}  // namespace ccs

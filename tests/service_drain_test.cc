@@ -1,0 +1,253 @@
+// Drain semantics and service-layer fault injection (DESIGN.md §13):
+// every svc_* fault site maps to a well-defined degraded behavior — a
+// shed connection, a silent close, a counted write error, or a memo-less
+// run — never a crash or a hang. Runs under TSan in the thread-sanitizer
+// flavor.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/session.h"
+#include "service/service.h"
+#include "service/socket_server.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace ccs {
+namespace service {
+namespace {
+
+using std::chrono::milliseconds;
+
+// Disarms the global injector however the test exits.
+struct FaultGuard {
+  explicit FaultGuard(const char* spec) {
+    EXPECT_TRUE(FaultInjector::Global().Configure(spec).ok());
+  }
+  ~FaultGuard() { FaultInjector::Global().Disable(); }
+};
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/ccs-drain-test-" + std::to_string(::getpid()) + "-" + tag +
+         ".sock";
+}
+
+int ConnectTo(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+// One request over a fresh connection; whatever arrives (possibly
+// nothing — injected faults close connections) is returned. The send
+// itself may fail: a shed connection (svc_accept) races the server's
+// close against this write, and losing that race is the same observable
+// outcome as a reply-less close.
+std::string RoundTrip(const std::string& path, const std::string& line) {
+  const int fd = ConnectTo(path);
+  const std::string request = line + "\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char chunk[4096];
+  while (response.find("END\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+struct TestServer {
+  explicit TestServer(const std::string& path,
+                      const ServiceClock* clock = nullptr)
+      : service(DatabaseHandle::Create(testutil::SmallRandomDb(41),
+                                       testutil::SmallCatalog()),
+                ServiceOptions()),
+        server(&service, MakeOptions(path), clock) {
+    EXPECT_TRUE(server.Start().ok());
+    serving = std::thread([this] { server.Serve(); });
+  }
+  ~TestServer() {
+    if (serving.joinable()) {
+      server.RequestShutdown();
+      serving.join();
+    }
+  }
+  static SocketServer::Options MakeOptions(const std::string& path) {
+    SocketServer::Options options;
+    options.socket_path = path;
+    options.poll_interval = milliseconds(2);
+    return options;
+  }
+  MiningService service;
+  SocketServer server;
+  std::thread serving;
+};
+
+TEST(ServiceFaultTest, SvcAcceptFaultShedsOneConnection) {
+  const std::string path = TestSocketPath("accept");
+  TestServer harness(path);
+  FaultGuard fault("svc_accept:nth=1");
+
+  // The shed connection sees a bare close — no frame, no crash.
+  EXPECT_EQ(RoundTrip(path, "PING"), "");
+  EXPECT_EQ(harness.service.metrics()->connections_rejected.load(), 1u);
+  // nth=1 fires once; the daemon is whole again.
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+}
+
+TEST(ServiceFaultTest, SvcReadFaultClosesSilentlyAndCounts) {
+  const std::string path = TestSocketPath("read");
+  TestServer harness(path);
+  FaultGuard fault("svc_read:nth=1");
+
+  EXPECT_EQ(RoundTrip(path, "PING"), "");
+  EXPECT_EQ(harness.service.metrics()->read_errors.load(), 1u);
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+}
+
+TEST(ServiceFaultTest, SvcWriteFaultCountsAndRecovers) {
+  const std::string path = TestSocketPath("write");
+  TestServer harness(path);
+  FaultGuard fault("svc_write:nth=1");
+
+  // The reply's send fails; the client sees a truncated (empty) frame.
+  EXPECT_EQ(RoundTrip(path, "PING"), "");
+  EXPECT_EQ(harness.service.metrics()->write_errors.load(), 1u);
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+}
+
+TEST(ServiceFaultTest, SvcMemoFaultMinesWithoutCacheSameAnswer) {
+  // Transport-free: HandleLine is the unit under test.
+  MiningService service(
+      DatabaseHandle::Create(testutil::SmallRandomDb(41),
+                             testutil::SmallCatalog()),
+      ServiceOptions());
+  const std::string request = "MINE query=all with support = 0.05";
+
+  const std::string warm = service.HandleLine(request);
+  ASSERT_EQ(warm.rfind("OK sets=", 0), 0u) << warm.substr(0, 60);
+  ASSERT_NE(warm.find("memo=miss"), std::string::npos);
+  // Warmed: a replay normally hits.
+  const std::string hit = service.HandleLine(request);
+  ASSERT_NE(hit.find("memo=hit"), std::string::npos);
+
+  {
+    FaultGuard fault("svc_memo:nth=1");
+    // Memo down for this request: the degraded path mines from scratch
+    // and must produce byte-identical answers (modulo the memo marker).
+    std::string faulted = service.HandleLine(request);
+    EXPECT_NE(faulted.find("memo=miss"), std::string::npos);
+    const std::size_t at = faulted.find("memo=miss");
+    faulted.replace(at, 9, "memo=hit");
+    EXPECT_EQ(faulted, hit);
+    EXPECT_EQ(service.metrics()->memo_faults.load(), 1u);
+  }
+  // A faulted request must not have poisoned the cache: the entry the
+  // warm run inserted still answers.
+  EXPECT_NE(service.HandleLine(request).find("memo=hit"),
+            std::string::npos);
+}
+
+TEST(ServiceDrainTest, ShutdownDrainsInFlightRequestToACompleteFrame) {
+  const std::string path = TestSocketPath("drain");
+  TestServer harness(path);
+
+  // An in-flight MINE on one connection, SHUTDOWN on another: the run
+  // must finish (or cancel) and flush a complete frame — drain never
+  // abandons a connection mid-reply.
+  std::string mine_response;
+  std::thread mining([&] {
+    mine_response = RoundTrip(path, "MINE query=all with support = 0.05");
+  });
+  std::this_thread::sleep_for(milliseconds(10));
+  const std::string bye = RoundTrip(path, "SHUTDOWN");
+  // The SHUTDOWN frame itself can race the listener close; empty (shed)
+  // or the full goodbye are both clean outcomes.
+  EXPECT_TRUE(bye == "OK bye\nEND\n" || bye.empty()) << bye;
+  mining.join();
+  harness.serving.join();
+  ASSERT_EQ(mine_response.rfind("OK sets=", 0), 0u)
+      << mine_response.substr(0, 60);
+  EXPECT_EQ(mine_response.substr(mine_response.size() - 4), "END\n");
+  // Clean drain removed the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServiceDrainTest, CancelInFlightYieldsCancelledPartialFrame) {
+  // A deliberately heavy run (big universe, low support, no limits) so
+  // the cancel lands while it is still mining; if the machine is fast
+  // enough to finish first, completed is an equally clean outcome.
+  MiningService service(
+      DatabaseHandle::Create(testutil::SmallRandomDb(7, 48, 4000),
+                             testutil::SmallCatalog(48)),
+      ServiceOptions());
+  std::string response;
+  std::thread mining([&] {
+    response = service.HandleLine("MINE query=all with support = 0.01");
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  service.CancelInFlight();
+  mining.join();
+  ASSERT_EQ(response.rfind("OK sets=", 0), 0u) << response.substr(0, 60);
+  EXPECT_TRUE(response.find("termination=cancelled") != std::string::npos ||
+              response.find("termination=completed") != std::string::npos)
+      << response.substr(0, 60);
+  EXPECT_EQ(response.substr(response.size() - 4), "END\n");
+  EXPECT_EQ(service.metrics()->drain_cancelled_runs.load(), 1u);
+}
+
+TEST(ServiceDrainTest, DrainDeadlineCancelsStuckRunUnderManualClock) {
+  const std::string path = TestSocketPath("deadline");
+  ManualClock clock;
+  SocketServer::Options options = TestServer::MakeOptions(path);
+  options.drain_deadline = milliseconds(500);
+  MiningService service(
+      DatabaseHandle::Create(testutil::SmallRandomDb(7, 48, 4000),
+                             testutil::SmallCatalog(48)),
+      ServiceOptions(), &clock);
+  SocketServer server(&service, options, &clock);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&server] { server.Serve(); });
+
+  std::string response;
+  std::thread mining([&] {
+    response = RoundTrip(path, "MINE query=all with support = 0.01");
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  server.RequestShutdown();
+  // Serve() is now draining against the manual clock; advancing past the
+  // drain deadline forces CancelInFlight, after which the run stops at
+  // its next batch boundary and the partial reply flushes.
+  std::this_thread::sleep_for(milliseconds(20));
+  clock.Advance(milliseconds(501));
+  serving.join();
+  mining.join();
+  ASSERT_EQ(response.rfind("OK sets=", 0), 0u) << response.substr(0, 60);
+  EXPECT_EQ(response.substr(response.size() - 4), "END\n");
+  EXPECT_GE(service.metrics()->drains_started.load(), 1u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ccs

@@ -1,0 +1,486 @@
+// Connection-lifecycle hardening tests (DESIGN.md §13): FramedReader
+// deadline/torture behavior under ManualClock, WriteAll on nonblocking
+// sockets, and the SocketServer's bounded slot table. Every deadline in
+// here trips via an injected clock — real time only bounds how long a
+// poll tick takes to observe the advance, so the suite is fast and
+// deterministic. Runs under TSan in the thread-sanitizer flavor.
+
+#include "service/framed_reader.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "service/service.h"
+#include "service/socket_server.h"
+#include "test_util.h"
+
+namespace ccs {
+namespace service {
+namespace {
+
+using std::chrono::milliseconds;
+
+// A connected AF_UNIX pair; [0] is the reader-under-test's end.
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    reader_fd = fds[0];
+    writer_fd = fds[1];
+  }
+  ~SocketPair() {
+    if (reader_fd >= 0) ::close(reader_fd);
+    if (writer_fd >= 0) ::close(writer_fd);
+  }
+  void Send(const std::string& data) const {
+    ASSERT_EQ(::send(writer_fd, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+  void CloseWriter() {
+    ::close(writer_fd);
+    writer_fd = -1;
+  }
+  int reader_fd = -1;
+  int writer_fd = -1;
+};
+
+FramedReader::Options FastOptions() {
+  FramedReader::Options options;
+  options.poll_interval = milliseconds(2);
+  return options;
+}
+
+TEST(FramedReaderTest, ReadsLinesPreservingNulBytesAndCarriageReturns) {
+  SocketPair pair;
+  // One write carrying two lines: a plain one, and one with an embedded
+  // NUL and a CRLF ending. The reader must not treat either byte as
+  // special — the protocol parser decides what a '\r' means.
+  const std::string torture = std::string("PING\n") +
+                              std::string("PI\0NG\r\n", 7);
+  pair.Send(torture);
+  FramedReader reader(pair.reader_fd, FastOptions());
+  std::string line;
+  bool eof = false;
+  ASSERT_TRUE(reader.ReadLine(&line, &eof).ok());
+  EXPECT_EQ(line, "PING");
+  EXPECT_FALSE(eof);
+  ASSERT_TRUE(reader.ReadLine(&line, &eof).ok());
+  EXPECT_EQ(line, std::string("PI\0NG\r", 6));
+  pair.CloseWriter();
+  ASSERT_TRUE(reader.ReadLine(&line, &eof).ok());
+  EXPECT_TRUE(eof);
+  EXPECT_TRUE(line.empty());
+}
+
+TEST(FramedReaderTest, LineExactlyAtLimitAcceptedOneOverRejected) {
+  {
+    SocketPair pair;
+    FramedReader::Options options = FastOptions();
+    options.max_line_bytes = 8;
+    pair.Send("12345678\n");
+    FramedReader reader(pair.reader_fd, options);
+    std::string line;
+    bool eof = false;
+    ASSERT_TRUE(reader.ReadLine(&line, &eof).ok());
+    EXPECT_EQ(line, "12345678");
+  }
+  {
+    SocketPair pair;
+    FramedReader::Options options = FastOptions();
+    options.max_line_bytes = 8;
+    pair.Send("123456789\n");
+    FramedReader reader(pair.reader_fd, options);
+    std::string line;
+    bool eof = false;
+    const Status status = reader.ReadLine(&line, &eof);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FramedReaderTest, OversizeWithoutNewlineRejectedBeforeEof) {
+  SocketPair pair;
+  FramedReader::Options options = FastOptions();
+  options.max_line_bytes = 64;
+  // No newline at all: the reader must bail once the buffer exceeds the
+  // limit instead of accumulating until the peer gives up.
+  pair.Send(std::string(4096, 'a'));
+  FramedReader reader(pair.reader_fd, options);
+  std::string line;
+  bool eof = false;
+  EXPECT_EQ(reader.ReadLine(&line, &eof).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FramedReaderTest, TruncatedFrameIsDataLoss) {
+  SocketPair pair;
+  pair.Send("MIN");  // partial line, then gone
+  pair.CloseWriter();
+  FramedReader reader(pair.reader_fd, FastOptions());
+  std::string line;
+  bool eof = false;
+  EXPECT_EQ(reader.ReadLine(&line, &eof).code(), StatusCode::kDataLoss);
+}
+
+TEST(FramedReaderTest, IdleDeadlineTripsUnderManualClock) {
+  SocketPair pair;
+  ManualClock clock;
+  FramedReader::Options options = FastOptions();
+  options.idle_deadline = milliseconds(100);
+  FramedReader reader(pair.reader_fd, options, &clock);
+  Status result = OkStatus();
+  std::thread reading([&] {
+    std::string line;
+    bool eof = false;
+    result = reader.ReadLine(&line, &eof);
+  });
+  // Let the reader enter its wait loop, then move time past the
+  // deadline; it must notice within one real poll tick.
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(101));
+  reading.join();
+  EXPECT_EQ(result.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FramedReaderTest, ReadDeadlineBoundsSlowLoris) {
+  SocketPair pair;
+  ManualClock clock;
+  FramedReader::Options options = FastOptions();
+  options.read_deadline = milliseconds(200);
+  FramedReader reader(pair.reader_fd, options, &clock);
+  pair.Send("PAR");  // dribble a few bytes, never the newline
+  Status result = OkStatus();
+  std::thread reading([&] {
+    std::string line;
+    bool eof = false;
+    result = reader.ReadLine(&line, &eof);
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(201));
+  reading.join();
+  EXPECT_EQ(result.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FramedReaderTest, TrafficResetsIdleDeadline) {
+  SocketPair pair;
+  ManualClock clock;
+  FramedReader::Options options = FastOptions();
+  options.idle_deadline = milliseconds(100);
+  FramedReader reader(pair.reader_fd, options, &clock);
+  Status result = OkStatus();
+  std::string line;
+  std::thread reading([&] {
+    bool eof = false;
+    result = reader.ReadLine(&line, &eof);
+  });
+  // 60 + 60 ms of manual time passes, but never 100 ms without a byte.
+  std::this_thread::sleep_for(milliseconds(30));
+  pair.Send("A");
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(60));
+  pair.Send("B");
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(60));
+  pair.Send("C\n");
+  reading.join();
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  EXPECT_EQ(line, "ABC");
+}
+
+TEST(FramedReaderTest, StopPredicateCancelsBlockedRead) {
+  SocketPair pair;
+  std::atomic<bool> draining{false};
+  FramedReader::Options options = FastOptions();
+  options.stop = [&draining] { return draining.load(); };
+  FramedReader reader(pair.reader_fd, options);
+  Status result = OkStatus();
+  std::thread reading([&] {
+    std::string line;
+    bool eof = false;
+    result = reader.ReadLine(&line, &eof);
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  draining.store(true);
+  reading.join();
+  EXPECT_EQ(result.code(), StatusCode::kCancelled);
+}
+
+TEST(WriteAllTest, RidesOutEagainOnNonblockingSocket) {
+  SocketPair pair;
+  // Shrink the send buffer and go nonblocking so ::send genuinely
+  // returns EAGAIN mid-payload; the reader drains concurrently.
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(pair.writer_fd, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  const int flags = ::fcntl(pair.writer_fd, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(pair.writer_fd, F_SETFL, flags | O_NONBLOCK), 0);
+
+  std::string payload(1 << 20, 'x');
+  for (std::size_t i = 0; i < payload.size(); i += 4096) {
+    payload[i] = static_cast<char>('a' + (i / 4096) % 26);
+  }
+  std::string received;
+  std::thread draining([&] {
+    char chunk[8192];
+    while (true) {
+      const ssize_t n = ::recv(pair.reader_fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      received.append(chunk, static_cast<std::size_t>(n));
+      if (received.size() == payload.size()) break;
+    }
+  });
+  WriteOptions options;
+  options.poll_interval = milliseconds(2);
+  const Status written = WriteAll(pair.writer_fd, payload, options);
+  draining.join();
+  ASSERT_TRUE(written.ok()) << written.ToString();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(WriteAllTest, DeadlineTripsWhenPeerStopsDraining) {
+  SocketPair pair;
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(pair.writer_fd, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  const int flags = ::fcntl(pair.writer_fd, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(pair.writer_fd, F_SETFL, flags | O_NONBLOCK), 0);
+
+  ManualClock clock;
+  WriteOptions options;
+  options.write_deadline = milliseconds(100);
+  options.poll_interval = milliseconds(2);
+  const std::string payload(1 << 20, 'y');  // never fits, nobody reads
+  Status result = OkStatus();
+  std::thread writing([&] {
+    result = WriteAll(pair.writer_fd, payload, options, &clock);
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(101));
+  writing.join();
+  EXPECT_EQ(result.code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------
+// Server-level lifecycle: bounded slots, per-connection ERR replies.
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/ccs-lifecycle-test-" + std::to_string(::getpid()) + "-" +
+         tag + ".sock";
+}
+
+int ConnectTo(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+std::string RecvFrame(int fd) {
+  std::string response;
+  char chunk[4096];
+  while (response.find("END\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string RoundTrip(const std::string& path, const std::string& line) {
+  const int fd = ConnectTo(path);
+  const std::string request = line + "\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response = RecvFrame(fd);
+  ::close(fd);
+  return response;
+}
+
+struct TestServer {
+  explicit TestServer(SocketServer::Options server_options,
+                      const ServiceClock* clock = nullptr,
+                      ServiceOptions service_options = ServiceOptions())
+      : service(DatabaseHandle::Create(testutil::SmallRandomDb(41),
+                                       testutil::SmallCatalog()),
+                service_options),
+        server(&service, server_options, clock) {
+    EXPECT_TRUE(server.Start().ok());
+    serving = std::thread([this] { server.Serve(); });
+  }
+  ~TestServer() {
+    if (serving.joinable()) {
+      (void)service.HandleLine("SHUTDOWN");
+      server.RequestShutdown();
+      serving.join();
+    }
+  }
+  MiningService service;
+  SocketServer server;
+  std::thread serving;
+};
+
+TEST(SocketServerLifecycleTest, SlotOverflowRejectsThenSlotIsReused) {
+  const std::string path = TestSocketPath("slots");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.max_connections = 1;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  // Hold the single slot with an idle connection...
+  const int holder = ConnectTo(path);
+  std::this_thread::sleep_for(milliseconds(50));
+  // ...so the next connection is turned away at the door, with a
+  // parseable reason rather than a hang or an unbounded thread.
+  const int rejected = ConnectTo(path);
+  EXPECT_EQ(RecvFrame(rejected),
+            "ERR UNAVAILABLE connection slots exhausted (1)\nEND\n");
+  ::close(rejected);
+
+  // Freeing the slot makes the server whole again: the next accept
+  // reaps the finished thread and serves normally.
+  ::close(holder);
+  std::string response;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    response = RoundTrip(path, "PING");
+    if (response == "OK pong\nEND\n") break;
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_EQ(response, "OK pong\nEND\n");
+  EXPECT_GE(harness.service.metrics()->connections_rejected.load(), 1u);
+}
+
+TEST(SocketServerLifecycleTest, OversizedRequestLineGetsErrAndClose) {
+  const std::string path = TestSocketPath("oversize");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.max_line_bytes = 64;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  const std::string response =
+      RoundTrip(path, std::string(200, 'a'));
+  EXPECT_EQ(response.rfind("ERR RESOURCE_EXHAUSTED", 0), 0u) << response;
+  EXPECT_EQ(response.substr(response.size() - 4), "END\n");
+  EXPECT_GE(harness.service.metrics()->oversized_frames.load(), 1u);
+  // The connection is closed after the reply; the server stays healthy.
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+}
+
+TEST(SocketServerLifecycleTest, RequestLineExactlyAtLimitIsServed) {
+  const std::string path = TestSocketPath("limit");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.max_line_bytes = 4;  // "PING" is exactly four bytes
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+  // One byte over the limit is rejected, not silently truncated.
+  const std::string over = RoundTrip(path, "STATS");
+  EXPECT_EQ(over.rfind("ERR RESOURCE_EXHAUSTED", 0), 0u) << over;
+}
+
+TEST(SocketServerLifecycleTest, IdleClientTimesOutUnderManualClock) {
+  const std::string path = TestSocketPath("idle");
+  ManualClock clock;
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.idle_deadline = milliseconds(1000);
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options, &clock);
+
+  const int fd = ConnectTo(path);  // connect, then say nothing
+  std::this_thread::sleep_for(milliseconds(50));
+  clock.Advance(milliseconds(1001));
+  const std::string response = RecvFrame(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("ERR DEADLINE_EXCEEDED", 0), 0u) << response;
+  EXPECT_GE(harness.service.metrics()->read_timeouts.load(), 1u);
+}
+
+TEST(SocketServerLifecycleTest, CrlfRequestLineIsServed) {
+  const std::string path = TestSocketPath("crlf");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  const int fd = ConnectTo(path);
+  const std::string request = "PING\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  const std::string response = RecvFrame(fd);
+  ::close(fd);
+  EXPECT_EQ(response, "OK pong\nEND\n");
+}
+
+TEST(SocketServerLifecycleTest, EmbeddedNulByteRejectedAsInvalidArgument) {
+  const std::string path = TestSocketPath("nul");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  const int fd = ConnectTo(path);
+  const std::string request("PI\0NG\n", 6);
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  const std::string response = RecvFrame(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("ERR INVALID_ARGUMENT", 0), 0u) << response;
+  // Strict parse failures do not poison the server.
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+}
+
+TEST(SocketServerLifecycleTest, ZeroAnswerMineIsStillACompleteFrame) {
+  const std::string path = TestSocketPath("zerosets");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  // A support threshold nothing clears: zero SET payloads, but the
+  // frame must still be header + END with nothing in between.
+  const std::string response =
+      RoundTrip(path, "MINE support=0.999 query=all");
+  EXPECT_EQ(response,
+            "OK sets=0 termination=completed memo=miss\nEND\n");
+}
+
+TEST(SocketServerLifecycleTest, StatsExportsConnectionCounters) {
+  const std::string path = TestSocketPath("stats");
+  SocketServer::Options options;
+  options.socket_path = path;
+  options.poll_interval = milliseconds(2);
+  TestServer harness(options);
+
+  EXPECT_EQ(RoundTrip(path, "PING"), "OK pong\nEND\n");
+  const std::string response = RoundTrip(path, "STATS");
+  EXPECT_NE(response.find("\"service\""), std::string::npos) << response;
+  EXPECT_NE(response.find("service.connections_accepted"),
+            std::string::npos)
+      << response;
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ccs
