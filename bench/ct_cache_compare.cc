@@ -9,7 +9,10 @@
 // diffs are exact). The harness asserts the answer sets are byte-identical
 // across the two paths and writes the series — word ops and wall time per
 // level and path, with on/off ratios — to BENCH_ct_cache.json in the
-// working directory.
+// working directory. The kernel axis (EngineOptions::simd_kernel) rides
+// along: each CT path also runs with the vector kernel + k=2 pair stage,
+// and all four answer sets must agree (bench/simd_kernel_compare.cc owns
+// the kernel cost comparison itself).
 //
 // Scale via CCS_BENCH_SCALE as usual (smoke | default | full).
 
@@ -40,12 +43,13 @@ struct PathRun {
 
 PathRun RunPath(const char* dataset, const TransactionDatabase& db,
                 const ItemCatalog& catalog, const ConstraintSet& constraints,
-                const MiningOptions& base_options, bool cache) {
+                const MiningOptions& base_options, bool cache, bool simd) {
   PathRun run;
   for (std::size_t max_k = 2; max_k <= kMaxLevel; ++max_k) {
     EngineOptions eopts;
     eopts.num_threads = 1;  // keeps ct_word_ops exact and comparable
     eopts.ct_cache = cache;
+    eopts.simd_kernel = simd;
     MiningEngine engine(db, catalog, eopts);
     MiningRequest request;
     request.algorithm = Algorithm::kBmsPlusPlus;
@@ -54,7 +58,9 @@ PathRun RunPath(const char* dataset, const TransactionDatabase& db,
     request.constraints = &constraints;
     Stopwatch timer;
     const MiningResult result = engine.Run(request);
-    RecordEngineRun(dataset, "max_k=" + std::to_string(max_k),
+    RecordEngineRun(dataset,
+                    "max_k=" + std::to_string(max_k) + ",simd=" +
+                        (simd ? "1" : "0"),
                     Algorithm::kBmsPlusPlus, engine, result);
     run.wall_ms[max_k] = timer.ElapsedSeconds() * 1e3;
     run.word_ops[max_k] = result.stats.ct_word_ops;
@@ -80,9 +86,22 @@ bool CompareDataset(const char* name, int method) {
       MaxLe(PriceThresholdForSelectivity(catalog, 0.5)));
   const MiningOptions options = StandardOptions(db);
 
-  const PathRun on = RunPath(name, db, catalog, constraints, options, true);
-  const PathRun off = RunPath(name, db, catalog, constraints, options, false);
-  const bool identical = on.answers == off.answers;
+  // The kernel axis rides along: both CT paths run with the vector
+  // kernel + pair stage and again fully scalar. All four answer sets must
+  // be byte-identical; the level diffs below compare the cache paths with
+  // the kernel held scalar so the attribution stays exact (with the pair
+  // stage on, level 2 does no bulk word ops at all).
+  const PathRun on = RunPath(name, db, catalog, constraints, options,
+                             /*cache=*/true, /*simd=*/false);
+  const PathRun off = RunPath(name, db, catalog, constraints, options,
+                              /*cache=*/false, /*simd=*/false);
+  const PathRun on_simd = RunPath(name, db, catalog, constraints, options,
+                                  /*cache=*/true, /*simd=*/true);
+  const PathRun off_simd = RunPath(name, db, catalog, constraints, options,
+                                   /*cache=*/false, /*simd=*/true);
+  const bool identical = on.answers == off.answers &&
+                         on.answers == on_simd.answers &&
+                         on.answers == off_simd.answers;
 
   std::printf("%s (%zu baskets): answers %s (%zu sets)\n", name, baskets,
               identical ? "identical" : "MISMATCH", on.answers.size());
@@ -98,7 +117,11 @@ bool CompareDataset(const char* name, int method) {
       {"answers_identical", identical ? 1.0 : 0.0},
       {"cache_hits", static_cast<double>(on.cache_hits)},
       {"cache_misses", static_cast<double>(on.cache_misses)},
-      {"cache_evictions", static_cast<double>(on.cache_evictions)}};
+      {"cache_evictions", static_cast<double>(on.cache_evictions)},
+      {"word_ops_cap4_simd_on",
+       static_cast<double>(on_simd.word_ops[kMaxLevel])},
+      {"word_ops_cap4_simd_off",
+       static_cast<double>(off_simd.word_ops[kMaxLevel])}};
   RecordBenchRun(std::move(summary));
   for (std::size_t level = 2; level <= kMaxLevel; ++level) {
     const std::uint64_t on_ops = on.word_ops[level] - on.word_ops[level - 1];

@@ -7,6 +7,7 @@
 #include "common.h"
 #include "core/candidate_gen.h"
 #include "core/ct_builder.h"
+#include "core/simd_kernel.h"
 #include "datagen/ibm_generator.h"
 #include "stats/chi_squared.h"
 #include "util/bitset.h"
@@ -48,6 +49,44 @@ void BM_BitsetAssignAnd(benchmark::State& state) {
 }
 BENCHMARK(BM_BitsetAssignAnd)->Arg(100000)->Arg(1000000);
 
+// Kernel-mode axis for the word-span primitives: range(0) = bit count,
+// range(1) = KernelMode (0 scalar, 1 vector). The scalar rows double as
+// the baseline the vector rows are read against.
+void BM_KernelCountAnd(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto mode = static_cast<KernelMode>(state.range(1));
+  const DynamicBitset a = RandomBitset(bits, 1);
+  const DynamicBitset b = RandomBitset(bits, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelCountAnd(a, b, mode));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 4));
+  state.SetLabel(KernelModeName(mode));
+}
+BENCHMARK(BM_KernelCountAnd)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
+
+void BM_KernelAssignAndCount(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto mode = static_cast<KernelMode>(state.range(1));
+  const DynamicBitset a = RandomBitset(bits, 1);
+  const DynamicBitset b = RandomBitset(bits, 2);
+  DynamicBitset out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelAssignAndCount(out, a, b, mode));
+  }
+  state.SetLabel(KernelModeName(mode));
+}
+BENCHMARK(BM_KernelAssignAndCount)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
+
 TransactionDatabase BenchDb(std::size_t baskets) {
   IbmGeneratorConfig config;
   config.num_transactions = baskets;
@@ -83,6 +122,26 @@ void BM_ContingencyTableBuildScalar(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContingencyTableBuildScalar)->DenseRange(2, 4);
+
+// The candidate-free k=2 path: one horizontal pass filling every pair
+// count, measured against BM_ContingencyTableBuild/2 times the number of
+// pairs it replaces.
+void BM_PairStagePass(benchmark::State& state) {
+  const auto num_items = static_cast<std::size_t>(state.range(0));
+  const TransactionDatabase db = BenchDb(20000);
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < num_items && i < db.num_items(); ++i) {
+    items.push_back(i);
+  }
+  for (auto _ : state) {
+    PairStage stage(db, items);
+    stage.Accumulate(0, db.num_transactions());
+    benchmark::DoNotOptimize(stage.ops());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.num_transactions()));
+}
+BENCHMARK(BM_PairStagePass)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_ChiSquaredStatistic(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));

@@ -1,0 +1,192 @@
+// Head-to-head of the two contingency-table kernels on the figure-1/2
+// workload: the scalar word-wise path (CCS_SIMD=0 equivalent) versus the
+// vector kernel plus the candidate-free k=2 pair stage (DESIGN.md §14).
+//
+// The comparison is pinned at the k=2 level, where the pair stage replaces
+// per-candidate bitset intersections with one horizontal counting pass.
+// The cost currencies are the deterministic work counters, not wall time:
+// the scalar path spends ct_word_ops (bulk 64-bit word operations), the
+// staged path spends ct_pair_stage_ops (one counter increment per
+// co-occurring stage pair) plus whatever residual word ops remain. Both
+// currencies are one integer op over one machine word, so their ratio is a
+// word-op-equivalent speedup — deterministic across machines, unlike
+// wall_ms (which is reported for context but never asserted).
+//
+// The harness exits non-zero if answers differ anywhere in the grid or if
+// the staged path fails the regression floor: never more word-op
+// equivalents per k=2 table than scalar, and >= 1.5x fewer wherever the
+// admission gate engages the stage (the gate itself may deterministically
+// fall back to scalar on workloads where the horizontal pass would lose —
+// data2's dense planted rules exercise exactly that — in which case the
+// two runs are identical and the floor does not apply). At least one
+// workload must engage the stage, so the floor is always actually tested.
+// bench_smoke runs this binary, making all of it a CI gate. Results go to
+// BENCH_simd_kernel.json (schema v1) in the working directory.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "constraints/agg_constraint.h"
+#include "datagen/catalog_generator.h"
+#include "util/stopwatch.h"
+
+namespace ccs::bench {
+namespace {
+
+struct KernelRun {
+  std::uint64_t word_ops = 0;
+  std::uint64_t pair_stage_ops = 0;
+  std::uint64_t pair_stage_tables = 0;
+  std::uint64_t tables_built = 0;
+  double wall_ms = 0.0;
+  std::vector<Itemset> answers;
+};
+
+KernelRun RunKernel(const char* dataset, const TransactionDatabase& db,
+                    const ItemCatalog& catalog,
+                    const ConstraintSet& constraints,
+                    const MiningOptions& base_options, bool simd) {
+  EngineOptions eopts;
+  eopts.num_threads = 1;  // keeps the work counters exact and comparable
+  eopts.ct_cache = false;  // isolate kernel cost from cache reuse
+  eopts.simd_kernel = simd;
+  MiningEngine engine(db, catalog, eopts);
+  MiningRequest request;
+  request.algorithm = Algorithm::kBmsPlusPlus;
+  request.options = base_options;
+  request.options.max_set_size = 2;  // the level the pair stage owns
+  request.constraints = &constraints;
+  Stopwatch timer;
+  const MiningResult result = engine.Run(request);
+  KernelRun run;
+  run.wall_ms = timer.ElapsedSeconds() * 1e3;
+  run.word_ops = result.stats.ct_word_ops;
+  run.pair_stage_ops = result.stats.ct_pair_stage_ops;
+  run.pair_stage_tables = result.stats.ct_pair_stage_tables;
+  run.tables_built = result.stats.TotalTablesBuilt();
+  run.answers = result.answers;
+  RecordEngineRun(dataset, std::string("simd=") + (simd ? "1" : "0"),
+                  Algorithm::kBmsPlusPlus, engine, result);
+  return run;
+}
+
+double PerTable(std::uint64_t ops, std::uint64_t tables) {
+  return tables > 0 ? static_cast<double>(ops) / static_cast<double>(tables)
+                    : 0.0;
+}
+
+struct DatasetVerdict {
+  bool ok = false;
+  bool stage_engaged = false;
+};
+
+DatasetVerdict CompareDataset(const char* name, int method) {
+  const std::size_t baskets = BasketSweep().back();
+  const TransactionDatabase db =
+      method == 1 ? MakeData1(baskets, 42) : MakeData2(baskets, 43);
+  const ItemCatalog catalog = MakeCatalog(method);
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(PriceThresholdForSelectivity(catalog, 0.5)));
+  const MiningOptions options = StandardOptions(db);
+
+  const KernelRun scalar =
+      RunKernel(name, db, catalog, constraints, options, false);
+  const KernelRun simd =
+      RunKernel(name, db, catalog, constraints, options, true);
+
+  const bool identical = scalar.answers == simd.answers;
+  const bool engaged = simd.pair_stage_tables > 0;
+  // Word-op equivalents spent on k=2 tables by each kernel mode.
+  const std::uint64_t scalar_equiv = scalar.word_ops;
+  const std::uint64_t simd_equiv = simd.word_ops + simd.pair_stage_ops;
+  const double scalar_per_table = PerTable(scalar_equiv, scalar.tables_built);
+  const double simd_per_table = PerTable(simd_equiv, simd.tables_built);
+  const double ratio =
+      simd_per_table > 0.0 ? scalar_per_table / simd_per_table : 0.0;
+
+  std::printf(
+      "%s (%zu baskets): answers %s (%zu sets)\n"
+      "  scalar: %llu word ops / %llu tables = %.1f per table (%.1f ms)\n"
+      "  staged: %llu word ops + %llu pair ops / %llu tables = %.1f per "
+      "table (%.1f ms), %llu stage tables\n"
+      "  word-op-equivalent ratio: %.2fx\n",
+      name, baskets, identical ? "identical" : "MISMATCH",
+      scalar.answers.size(),
+      static_cast<unsigned long long>(scalar.word_ops),
+      static_cast<unsigned long long>(scalar.tables_built), scalar_per_table,
+      scalar.wall_ms, static_cast<unsigned long long>(simd.word_ops),
+      static_cast<unsigned long long>(simd.pair_stage_ops),
+      static_cast<unsigned long long>(simd.tables_built), simd_per_table,
+      simd.wall_ms, static_cast<unsigned long long>(simd.pair_stage_tables),
+      ratio);
+
+  BenchRun summary;
+  summary.workload = name;
+  summary.x = std::to_string(baskets);
+  summary.variant = "k2_kernel_compare";
+  summary.answers = simd.answers.size();
+  summary.extra = {
+      {"answers_identical", identical ? 1.0 : 0.0},
+      {"stage_engaged", engaged ? 1.0 : 0.0},
+      {"scalar_word_ops", static_cast<double>(scalar.word_ops)},
+      {"simd_word_ops", static_cast<double>(simd.word_ops)},
+      {"simd_pair_stage_ops", static_cast<double>(simd.pair_stage_ops)},
+      {"simd_pair_stage_tables", static_cast<double>(simd.pair_stage_tables)},
+      {"scalar_tables", static_cast<double>(scalar.tables_built)},
+      {"simd_tables", static_cast<double>(simd.tables_built)},
+      {"scalar_ops_per_table", scalar_per_table},
+      {"simd_ops_per_table", simd_per_table},
+      {"word_op_equiv_ratio", ratio},
+      {"scalar_wall_ms", scalar.wall_ms},
+      {"simd_wall_ms", simd.wall_ms}};
+  RecordBenchRun(std::move(summary));
+
+  DatasetVerdict verdict;
+  verdict.ok = identical;
+  verdict.stage_engaged = engaged;
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: %s answers differ between kernel modes\n",
+                 name);
+  }
+  // Regression floor: the kernel path must never do more per-table work
+  // than scalar (when the admission gate falls back they tie exactly),
+  // and where the stage engages it must clear the 1.5x bar.
+  if (simd_per_table > scalar_per_table) {
+    std::fprintf(stderr,
+                 "FATAL: %s staged path regressed word-op equivalents per "
+                 "table (%.1f > %.1f)\n",
+                 name, simd_per_table, scalar_per_table);
+    verdict.ok = false;
+  }
+  if (engaged && ratio < 1.5) {
+    std::fprintf(stderr,
+                 "FATAL: %s word-op-equivalent ratio %.2fx below the 1.5x "
+                 "floor\n",
+                 name, ratio);
+    verdict.ok = false;
+  }
+  return verdict;
+}
+
+int Main() {
+  const DatasetVerdict d1 = CompareDataset("data1", 1);
+  const DatasetVerdict d2 = CompareDataset("data2", 2);
+  WriteBenchJson("simd_kernel");
+  std::printf("wrote BENCH_simd_kernel.json\n");
+  bool ok = d1.ok && d2.ok;
+  if (!d1.stage_engaged && !d2.stage_engaged) {
+    std::fprintf(stderr,
+                 "FATAL: pair stage engaged on no workload — the 1.5x floor "
+                 "was never tested\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ccs::bench
+
+int main() { return ccs::bench::Main(); }

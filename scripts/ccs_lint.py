@@ -48,6 +48,15 @@ compiler cannot express because they encode *project* invariants:
                         and construct via the status.h factory helpers,
                         so legitimate client code never needs another
                         enumerator.
+  vector-ext-outside-   GCC vector extensions and CPU intrinsics
+  kernel                (vector_size attributes, *intrin.h headers,
+                        _mm*/__m128-256-512/__builtin_ia32_*) may appear
+                        only in src/core/simd_kernel.{h,cc} — the one
+                        dispatch point where the scalar/vector choice is
+                        made and differentially tested (DESIGN.md §14).
+                        Vector code sprinkled anywhere else bypasses the
+                        CCS_SIMD kill switch and the kernel equivalence
+                        suite.
 
 Escape hatches (each use should say why in a neighboring comment):
 
@@ -85,6 +94,11 @@ FILE_ALLOWLIST = {
     # SystemClock::Now() is the one sanctioned real-clock read in the
     # service layer; everything else injects a ServiceClock.
     "service-wall-clock": {"src/service/clock.cc"},
+    # The kernel TU pair is the single sanctioned home of vector
+    # extensions; its scalar twin lives behind the same KernelMode
+    # dispatch, so the differential suite always has a reference path.
+    "vector-ext-outside-kernel": {"src/core/simd_kernel.h",
+                                  "src/core/simd_kernel.cc"},
 }
 
 NONDET_PATTERNS = [
@@ -132,6 +146,17 @@ CONTINUATION_RE = re.compile(r"(?:[,(=+\-*/<>?:&|!]|&&|\|\||\breturn)\s*$")
 # kUnavailable (the retryability contract's compiler-adjacent guard).
 STATUSCODE_ENUM_RE = re.compile(r"\bStatusCode\s*::\s*k(\w+)")
 CLIENT_ALLOWED_CODES = {"Ok", "Unavailable"}
+
+# Vector extensions / CPU intrinsics, in any spelling the toolchain
+# accepts; legal only inside the kernel TU pair (FILE_ALLOWLIST above).
+VECTOR_EXT_PATTERNS = [
+    (re.compile(r"\bvector_size\s*\("), "vector_size attribute"),
+    (re.compile(r"#\s*include\s*<\w*intrin\.h>"), "intrinsics header"),
+    (re.compile(r"#\s*include\s*<arm_neon\.h>"), "NEON intrinsics header"),
+    (re.compile(r"\b_mm\d*_\w+\s*\("), "_mm* intrinsic"),
+    (re.compile(r"\b__m(?:64|128|256|512)[di]?\b"), "__m vector type"),
+    (re.compile(r"\b__builtin_ia32_\w+"), "__builtin_ia32_* builtin"),
+]
 
 
 def is_continuation(code_lines, lineno):
@@ -284,6 +309,14 @@ def check_file(fl, findings):
                                  "std::unordered_* iteration order is "
                                  "unspecified; use a sorted container or an "
                                  "allowlisted alias from core/itemset.h"))
+        for pattern, label in VECTOR_EXT_PATTERNS:
+            if pattern.search(code):
+                findings.append((fl, lineno, "vector-ext-outside-kernel",
+                                 f"{label} outside core/simd_kernel: "
+                                 "vector code must live behind the "
+                                 "KernelMode dispatch so the CCS_SIMD "
+                                 "kill switch and the scalar reference "
+                                 "path keep covering it"))
         if not util_scope and THROW_RE.search(code):
             findings.append((fl, lineno, "throw-outside-util",
                              "throw is reserved for src/util (fault "

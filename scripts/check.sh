@@ -51,11 +51,17 @@ echo "== tier-1 (${BUILD}) =="
 cmake --build "${BUILD}" -j >/dev/null
 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 
+# The same tree once more with the SIMD kernel + pair stage disabled: the
+# scalar fallback is a first-class configuration (the CCS_SIMD kill
+# switch, DESIGN.md §14), so it must stay green, not just compiled.
+echo "== tier-1, scalar kernel (${BUILD}, CCS_SIMD=0) =="
+CCS_SIMD=0 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+
 # Per-flavor suite lists mirror tests/CMakeLists.txt's sanitize entries.
 declare -A SUITES=(
-  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
-  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test"
-  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test"
+  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test"
+  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test"
+  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test core_simd_kernel_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test"
 )
 for flavor in address undefined thread; do
   dir="${BUILD}-${flavor}"

@@ -25,7 +25,7 @@ BmsRunOutput RunBms(const TransactionDatabase& db,
   }
   Stopwatch timer;
   EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
-                      ctx->metrics());
+                      ctx->simd(), ctx->metrics());
   BmsRunOutput out;
 
   for (ItemId i = 0; i < db.num_items(); ++i) {

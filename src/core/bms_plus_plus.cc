@@ -43,7 +43,7 @@ MiningResult MineBmsPlusPlus(const TransactionDatabase& db,
   }
   Stopwatch timer;
   EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
-                      ctx->metrics());
+                      ctx->simd(), ctx->metrics());
   MiningResult result;
 
   // I. Preprocessing: GOOD1 and the L1+/L1- split.

@@ -40,7 +40,7 @@ MiningResult MineBmsStar(const TransactionDatabase& db,
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
   EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
-                      ctx->metrics());
+                      ctx->simd(), ctx->metrics());
 
   // Step 1: full unconstrained BMS run.
   BmsRunOutput run = RunBms(db, options, ctx);

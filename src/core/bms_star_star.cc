@@ -75,7 +75,7 @@ MiningResult MineBmsStarStar(const TransactionDatabase& db,
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
   EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
-                      ctx->metrics());
+                      ctx->simd(), ctx->metrics());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 
@@ -238,7 +238,7 @@ MiningResult MineBmsStarStarOpt(const TransactionDatabase& db,
   CCS_CHECK(!constraints.has_unclassified());
   Stopwatch timer;
   EvalWorkers workers(db, options, ctx->num_threads(), ctx->ct_cache(),
-                      ctx->metrics());
+                      ctx->simd(), ctx->metrics());
   MiningResult result;
   const Universe u = BuildUniverse(db, catalog, constraints, options);
 

@@ -11,6 +11,7 @@
 #include "core/intersection_cache.h"
 #include "core/result.h"
 #include "core/run_control.h"
+#include "core/simd_kernel.h"
 #include "core/trace.h"
 #include "util/executor.h"
 #include "util/metrics.h"
@@ -46,13 +47,14 @@ class MiningContext {
   MiningContext(ParallelExecutor& executor, Algorithm algorithm,
                 const ProgressCallback* progress = nullptr,
                 const RunGovernor* governor = nullptr,
-                CtCacheOptions ct_cache = {},
+                CtCacheOptions ct_cache = {}, SimdOptions simd = {},
                 MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr)
       : executor_(&executor),
         algorithm_(algorithm),
         progress_(progress),
         governor_(governor),
         ct_cache_(ct_cache),
+        simd_(simd),
         metrics_(metrics),
         tracer_(tracer) {}
 
@@ -64,6 +66,11 @@ class MiningContext {
   // engine resolves EngineOptions::ct_cache + the CCS_CT_CACHE override;
   // the legacy free-function entry points take the defaults.
   const CtCacheOptions& ct_cache() const { return ct_cache_; }
+
+  // Kernel selection + pair-stage gating for this run (DESIGN.md §14):
+  // the engine resolves EngineOptions::simd_kernel + the CCS_SIMD
+  // override; the legacy free-function entry points take the defaults.
+  const SimdOptions& simd() const { return simd_; }
 
   // Run-scoped observability sinks (DESIGN.md §10), both nullable: the
   // engine installs a per-run MetricsRegistry and Tracer; the legacy
@@ -107,6 +114,7 @@ class MiningContext {
   const ProgressCallback* progress_;
   const RunGovernor* governor_;
   CtCacheOptions ct_cache_;
+  SimdOptions simd_;
   MetricsRegistry* metrics_;
   Tracer* tracer_;
 };

@@ -23,9 +23,10 @@ Itemset SubsetByMask(const Itemset& prefix, std::size_t mask) {
 }  // namespace
 
 ContingencyTableBuilder::ContingencyTableBuilder(
-    const TransactionDatabase& db, CtCacheOptions cache)
+    const TransactionDatabase& db, CtCacheOptions cache, SimdOptions simd)
     : db_(&db),
       cache_options_(cache),
+      kernel_(SelectKernel(simd, db)),
       cache_(cache.enabled ? cache.budget_words : 0) {}
 
 stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
@@ -65,21 +66,23 @@ void ContingencyTableBuilder::CountRecursive(
     std::vector<std::uint64_t>& cells) {
   const std::size_t k = tids.size();
   if (depth == k - 1) {
-    // Fused last level: popcounts without materializing children.
-    const std::uint64_t with = DynamicBitset::CountAnd(current, *tids[depth]);
+    // Fused last level: popcounts without materializing children. word_ops_
+    // counts words per op regardless of kernel mode, so the accounting is
+    // identical under scalar and vector dispatch (DESIGN.md §14).
+    const std::uint64_t with = KernelCountAnd(current, *tids[depth], kernel_);
     const std::uint64_t without =
-        DynamicBitset::CountAndNot(current, *tids[depth]);
+        KernelCountAndNot(current, *tids[depth], kernel_);
     word_ops_ += 2 * current.num_words();
     cells[mask | (std::uint32_t{1} << depth)] = with;
     cells[mask] = without;
     return;
   }
   DynamicBitset& child = scratch_[depth];
-  child.AssignAnd(current, *tids[depth]);
+  KernelAssignAnd(child, current, *tids[depth], kernel_);
   word_ops_ += child.num_words();
   CountRecursive(tids, depth + 1, child, mask | (std::uint32_t{1} << depth),
                  cells);
-  child.AssignAndNot(current, *tids[depth]);
+  KernelAssignAndNot(child, current, *tids[depth], kernel_);
   word_ops_ += child.num_words();
   CountRecursive(tids, depth + 1, child, mask, cells);
 }
@@ -177,8 +180,8 @@ void ContingencyTableBuilder::PreparePrefix(const Itemset& prefix) {
     // this loop (strictly smaller mask), so its bitset is materialized.
     const std::size_t parent = mask ^ (std::size_t{1} << top);
     DynamicBitset bits;
-    const std::uint64_t count =
-        bits.AssignAndCount(*prefix_bits_[parent], db_->tidset(prefix[top]));
+    const std::uint64_t count = KernelAssignAndCount(
+        bits, *prefix_bits_[parent], db_->tidset(prefix[top]), kernel_);
     word_ops_ += bits.num_words();
     const auto* entry = cache_.InsertPinned(key, std::move(bits), count);
     prefix_bits_[mask] = &entry->bits;
@@ -212,7 +215,8 @@ stats::ContingencyTable ContingencyTableBuilder::TableFromPrefix(
         continue;
       }
     }
-    minterms_[half | mask] = DynamicBitset::CountAnd(*prefix_bits_[mask], last);
+    minterms_[half | mask] =
+        KernelCountAnd(*prefix_bits_[mask], last, kernel_);
     word_ops_ += last.num_words();
   }
 
@@ -241,6 +245,27 @@ stats::ContingencyTable ContingencyTableBuilder::BuildCached(
                result = table;
              });
   return result;
+}
+
+stats::ContingencyTable ContingencyTableBuilder::BuildPairFromStage(
+    const Itemset& s, const PairStage& stage) {
+  CCS_FAULT_POINT("ct_build");
+  CCS_CHECK(db_->finalized());
+  CCS_CHECK_EQ(s.size(), 2u);
+  const std::uint64_t n = db_->num_transactions();
+  const std::uint64_t sa = db_->ItemSupport(s[0]);
+  const std::uint64_t sb = db_->ItemSupport(s[1]);
+  const std::uint64_t sab = stage.PairSupport(s[0], s[1]);
+  // Exact integers, so the cells match the bitset paths bit for bit; the
+  // mask convention is Build's (bit i set == s[i] present).
+  std::vector<std::uint64_t> cells(4, 0);
+  cells[0] = n - sa - sb + sab;
+  cells[1] = sa - sab;
+  cells[2] = sb - sab;
+  cells[3] = sab;
+  ++tables_built_;
+  ++pair_stage_tables_;
+  return stats::ContingencyTable(2, std::move(cells));
 }
 
 stats::ContingencyTable ContingencyTableBuilder::BuildScalar(

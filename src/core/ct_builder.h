@@ -8,6 +8,7 @@
 
 #include "core/intersection_cache.h"
 #include "core/itemset.h"
+#include "core/simd_kernel.h"
 #include "stats/contingency.h"
 #include "txn/database.h"
 #include "util/bitset.h"
@@ -41,8 +42,14 @@ namespace ccs {
 // cross-check the fast path and by callers that have no finalized index.
 class ContingencyTableBuilder {
  public:
+  // `simd` selects the bulk-op kernel once, at construction, against the
+  // database's Finalize-time TID-list layout (core/simd_kernel.h):
+  // unfinalized or SIMD-unfriendly databases — and simd.enabled == false —
+  // run the original scalar word loops. Every path produces bit-identical
+  // cells in either mode.
   explicit ContingencyTableBuilder(const TransactionDatabase& db,
-                                   CtCacheOptions cache = {});
+                                   CtCacheOptions cache = {},
+                                   SimdOptions simd = {});
 
   // Fast path. Requires db.finalized() and 1 <= |s| <= 20.
   stats::ContingencyTable Build(const Itemset& s);
@@ -72,6 +79,15 @@ class ContingencyTableBuilder {
   // Single-candidate convenience over the batch path.
   stats::ContingencyTable BuildCached(const Itemset& s);
 
+  // Recovers the 2x2 table of the pair `s` from a filled PairStage in
+  // O(1), with the same fault-point / tables_built contract as Build:
+  // cells are exact — [N - sa - sb + sab, sa - sab, sb - sab, sab] with
+  // cell-mask bit i meaning s[i] present — so they are bit-identical to
+  // the bitset paths'. Requires db.finalized(), |s| == 2, and both items
+  // covered by the stage.
+  stats::ContingencyTable BuildPairFromStage(const Itemset& s,
+                                             const PairStage& stage);
+
   // Number of tables built through the fast paths since construction.
   std::uint64_t tables_built() const { return tables_built_; }
 
@@ -91,6 +107,21 @@ class ContingencyTableBuilder {
   // consulted before the per-worker cache, so the count depends only on
   // the candidate batches, never on LRU state or the thread schedule.
   std::uint64_t shared_pair_hits() const { return shared_pair_hits_; }
+
+  // Pair-stage accounting (DESIGN.md §14), both deterministic: tables
+  // recovered through BuildPairFromStage (a subset of tables_built()),
+  // and pair-count increments from the stage passes this builder was
+  // billed for via AddPairStageOps. Zero with the SIMD kernel disabled.
+  std::uint64_t pair_stage_tables() const { return pair_stage_tables_; }
+  std::uint64_t pair_stage_ops() const { return pair_stage_ops_; }
+
+  // Bills a finished stage's transaction-pass work to this builder — the
+  // level pass runs one shared serial stage and accounts it here so the
+  // work shows up in the same counters/stats stream as word_ops().
+  void AddPairStageOps(std::uint64_t ops) { pair_stage_ops_ += ops; }
+
+  // The kernel this builder selected at construction.
+  KernelMode kernel() const { return kernel_; }
 
   const IntersectionCacheStats& cache_stats() const { return cache_.stats(); }
   const CtCacheOptions& cache_options() const { return cache_options_; }
@@ -113,6 +144,7 @@ class ContingencyTableBuilder {
 
   const TransactionDatabase* db_;
   CtCacheOptions cache_options_;
+  KernelMode kernel_ = KernelMode::kScalar;
   IntersectionCache cache_;
   // Scratch bitsets per recursion depth, reused across Build calls.
   std::vector<DynamicBitset> scratch_;
@@ -124,6 +156,8 @@ class ContingencyTableBuilder {
   std::uint64_t batches_ = 0;
   std::uint64_t word_ops_ = 0;
   std::uint64_t shared_pair_hits_ = 0;
+  std::uint64_t pair_stage_tables_ = 0;
+  std::uint64_t pair_stage_ops_ = 0;
 };
 
 }  // namespace ccs

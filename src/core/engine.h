@@ -62,6 +62,9 @@ class MiningEngine {
   std::size_t num_threads() const { return executor_.num_threads(); }
   // CT path in effect (EngineOptions::ct_cache + CCS_CT_CACHE resolved).
   const CtCacheOptions& ct_cache() const { return resolved_.ct_cache; }
+  // Kernel/pair-stage selection in effect (EngineOptions::simd_kernel +
+  // CCS_SIMD resolved).
+  const SimdOptions& simd() const { return resolved_.simd; }
   // Observability in effect (EngineOptions + CCS_METRICS / CCS_TRACE
   // resolved).
   bool metrics_enabled() const { return resolved_.metrics; }

@@ -21,6 +21,10 @@ ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options) {
   if (const char* env = std::getenv("CCS_CT_CACHE")) {
     resolved.ct_cache.enabled = std::string(env) != "0";
   }
+  resolved.simd.enabled = options.simd_kernel;
+  if (const char* env = std::getenv("CCS_SIMD")) {
+    resolved.simd.enabled = std::string(env) != "0";
+  }
   resolved.metrics = MetricsEnabledFromEnv(options.metrics);
   resolved.trace = options.trace;
   resolved.trace_capacity = options.trace_capacity;

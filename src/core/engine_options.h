@@ -8,6 +8,7 @@
 #include "core/intersection_cache.h"
 #include "core/options.h"
 #include "core/run_control.h"
+#include "core/simd_kernel.h"
 #include "core/trace.h"
 
 namespace ccs {
@@ -38,6 +39,18 @@ struct EngineOptions {
   // IntersectionCache budget per worker thread, in MiB of cached
   // intersection bitsets.
   std::size_t ct_cache_budget_mib = 32;
+
+  // Vectorized contingency-table kernel + candidate-free k=2 pair stage
+  // (DESIGN.md §14): when true, builders select the vector kernel for
+  // SIMD-friendly databases at construction and all-pair candidate levels
+  // run through the single-pass PairStage; when false, every bulk bitset
+  // op uses the original word-at-a-time loop and the pair stage is off.
+  // Answers and the deterministic counters on the bitset path are
+  // bit-identical either way — this is a kill switch kept for
+  // differential testing and as the escape hatch if a platform's vector
+  // codegen misbehaves. The CCS_SIMD environment variable ("0"/"1"), if
+  // set, overrides this field.
+  bool simd_kernel = true;
 
   // Observability (DESIGN.md §10). `metrics` drives the per-run
   // MetricsRegistry that every Run aggregates into MiningResult::metrics;
@@ -81,15 +94,19 @@ struct ResolvedEngineOptions {
   // shared_pairs stays null here — it is a property of the DatabaseHandle,
   // stamped onto a copy of this struct by MiningSession.
   CtCacheOptions ct_cache;
+  // simd.enabled reflects EngineOptions::simd_kernel + CCS_SIMD; the
+  // admission thresholds keep their defaults (session-invariant).
+  SimdOptions simd;
   bool metrics = true;
   bool trace = false;
   std::size_t trace_capacity = Tracer::kDefaultCapacity;
 };
 
-// The single audited site where the CCS_CT_CACHE / CCS_METRICS / CCS_TRACE
-// environment overrides are read (DESIGN.md §12). Precedence, pinned by
-// core_session_test:
+// The single audited site where the CCS_CT_CACHE / CCS_SIMD / CCS_METRICS /
+// CCS_TRACE environment overrides are read (DESIGN.md §12). Precedence,
+// pinned by core_session_test:
 //   * ct_cache: CCS_CT_CACHE unset → the field; set → enabled iff != "0".
+//   * simd:     CCS_SIMD unset → the field; set → enabled iff != "0".
 //   * metrics:  CCS_METRICS unset → the field; set → enabled iff != "0".
 //   * trace:    CCS_TRACE unset → the fields; "0" → disabled; "1" →
 //               enabled at the field capacity; integer > 1 → enabled with

@@ -20,6 +20,11 @@ class SharedPairTier;
 // keeps the original per-candidate recursion selectable for differential
 // testing; answers are bit-identical either way.
 struct CtCacheOptions {
+  // Note the interplay with the k=2 pair stage (DESIGN.md §14): an
+  // all-pair candidate batch admitted to the PairStage path bypasses both
+  // the LRU and the shared tier entirely — those pairs cost no lookups
+  // and no cached words in either cache mode. The cache paths below serve
+  // every other batch shape unchanged.
   bool enabled = true;
   // LRU budget per builder (per worker thread), in 64-bit words of cached
   // intersection bitsets. 4 Mi words = 32 MiB.

@@ -9,7 +9,8 @@
 namespace ccs {
 
 SharedPairTier SharedPairTier::Build(const TransactionDatabase& db,
-                                     std::size_t budget_words) {
+                                     std::size_t budget_words,
+                                     SimdOptions simd) {
   CCS_CHECK(db.finalized());
   SharedPairTier tier;
   if (budget_words == 0 || db.num_items() < 2) return tier;
@@ -27,14 +28,31 @@ SharedPairTier SharedPairTier::Build(const TransactionDatabase& db,
     return sa != sb ? sa > sb : a < b;
   });
 
+  // One horizontal PairStage pass (core/simd_kernel.h) learns every
+  // pair's co-occurrence count up front, so empty pairs are skipped
+  // without an AND pass and stored pairs memoize the stage's count
+  // instead of re-counting the intersection. Skipped when the stage's
+  // triangular array would outgrow its gate or the kernel is disabled —
+  // the fallback recomputes each count via the fused combine, and the
+  // walk below is count-for-count identical either way.
+  const bool use_stage =
+      simd.enabled &&
+      PairStage::CellsFor(ranked.size()) <= simd.pair_stage_max_cells;
+  PairStage stage(db, use_stage ? ranked : std::vector<ItemId>{});
+  if (use_stage) stage.Accumulate(0, db.num_transactions());
+  const KernelMode kernel = SelectKernel(simd, db);
+
   // Triangular fill: rank m pairs against every better rank, so the top
   // items' pairs enter before the budget can run out.
   for (std::size_t m = 1; m < ranked.size(); ++m) {
     for (std::size_t l = 0; l < m; ++l) {
+      if (use_stage && stage.PairSupport(ranked[l], ranked[m]) == 0) {
+        continue;  // misses recompute cheaply; don't store
+      }
       DynamicBitset bits;
-      const std::uint64_t count =
-          bits.AssignAndCount(db.tidset(ranked[l]), db.tidset(ranked[m]));
-      if (count == 0) continue;  // misses recompute cheaply; don't store
+      const std::uint64_t count = KernelAssignAndCount(
+          bits, db.tidset(ranked[l]), db.tidset(ranked[m]), kernel);
+      if (count == 0) continue;
       if (tier.words_in_use_ + bits.num_words() > budget_words) {
         return tier;  // budget reached: the tier is what fit
       }

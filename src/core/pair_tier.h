@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/itemset.h"
+#include "core/simd_kernel.h"
 #include "txn/database.h"
 #include "util/bitset.h"
 
@@ -39,9 +40,14 @@ class SharedPairTier {
   };
 
   // Requires db.finalized(). budget_words bounds the stored bitset words;
-  // 0 yields an empty tier (every lookup misses).
+  // 0 yields an empty tier (every lookup misses). `simd` only selects how
+  // the intersections are materialized (vector kernel + a PairStage
+  // pre-pass that knows which pairs are empty before any bitset work):
+  // the tier's contents stay a pure function of (database, budget),
+  // bit-identical across kernel modes.
   static SharedPairTier Build(const TransactionDatabase& db,
-                              std::size_t budget_words);
+                              std::size_t budget_words,
+                              SimdOptions simd = {});
 
   // The intersection of the two items' tid-sets, or nullptr if the pair
   // is not in the tier. Item order does not matter. Safe to call from any

@@ -1,6 +1,7 @@
 #ifndef CCS_CORE_PARALLEL_EVAL_H_
 #define CCS_CORE_PARALLEL_EVAL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -34,13 +35,13 @@ class EvalWorkers {
   // destructor allocation-free and safe during unwinding.
   EvalWorkers(const TransactionDatabase& db, const MiningOptions& options,
               std::size_t num_threads, CtCacheOptions ct_cache = {},
-              MetricsRegistry* metrics = nullptr)
+              SimdOptions simd = {}, MetricsRegistry* metrics = nullptr)
       : metrics_(metrics) {
     CCS_FAULT_POINT("alloc");
     builders_.reserve(num_threads);
     judges_.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
-      builders_.emplace_back(db, ct_cache);
+      builders_.emplace_back(db, ct_cache, simd);
       judges_.emplace_back(options);
     }
     if (metrics_ != nullptr) {
@@ -60,6 +61,10 @@ class EvalWorkers {
                                      MetricStability::kScheduleDependent);
       evictions_id_ = metrics_->Counter("ct_cache.evictions",
                                         MetricStability::kScheduleDependent);
+      pair_tables_id_ = metrics_->Counter("ct.pair_stage_tables",
+                                          MetricStability::kDeterministic);
+      pair_ops_id_ = metrics_->Counter("ct.pair_stage_ops",
+                                       MetricStability::kDeterministic);
     }
   }
 
@@ -75,6 +80,8 @@ class EvalWorkers {
       metrics_->Add(hits_id_, t, b.cache_stats().hits);
       metrics_->Add(misses_id_, t, b.cache_stats().misses);
       metrics_->Add(evictions_id_, t, b.cache_stats().evictions);
+      metrics_->Add(pair_tables_id_, t, b.pair_stage_tables());
+      metrics_->Add(pair_ops_id_, t, b.pair_stage_ops());
     }
   }
 
@@ -104,6 +111,8 @@ class EvalWorkers {
       stats.ct_cache_evictions += builders_[t].cache_stats().evictions;
       stats.ct_cache_shared_hits += builders_[t].shared_pair_hits();
       stats.ct_word_ops += builders_[t].word_ops();
+      stats.ct_pair_stage_tables += builders_[t].pair_stage_tables();
+      stats.ct_pair_stage_ops += builders_[t].pair_stage_ops();
     }
   }
 
@@ -119,6 +128,8 @@ class EvalWorkers {
   MetricsRegistry::Id hits_id_ = 0;
   MetricsRegistry::Id misses_id_ = 0;
   MetricsRegistry::Id evictions_id_ = 0;
+  MetricsRegistry::Id pair_tables_id_ = 0;
+  MetricsRegistry::Id pair_ops_id_ = 0;
 };
 
 // The level's table-building pass, shared by all six BMS variants: builds
@@ -146,6 +157,71 @@ inline Termination GovernedBuildTables(
     const std::function<void(std::size_t, std::size_t,
                              const stats::ContingencyTable&)>& eval) {
   PhaseScope ct_phase(ctx, "ct_build");
+  // Candidate-generation-free k=2 path (DESIGN.md §14): when the whole
+  // batch is pairs — the bulk of tables on most workloads, plus BMS++'s
+  // larger probe batches — one serial horizontal pass fills every pair's
+  // co-occurrence count and each table is recovered in O(1), with no
+  // per-candidate bitset work at all. The admission gate (SIMD kernel
+  // enabled, batch size, distinct-item bound, plus the support-density
+  // cost estimate below) is a pure function of (options, candidates,
+  // item supports), so the taken path — and with it answers,
+  // tables_built, and the pair-stage counters — is deterministic at any
+  // thread count and in both cache modes. The stage pass polls the
+  // governor per transaction chunk and the emission loop keeps
+  // GovernedParallelFor's per-1024-candidate cadence, preserving the
+  // deadline granularity and partial-level discard semantics.
+  if (ctx.simd().enabled &&
+      candidates.size() >= ctx.simd().pair_stage_min_candidates) {
+    bool all_pairs = true;
+    std::vector<ItemId> items;
+    items.reserve(candidates.size() * 2);
+    for (const Itemset& s : candidates) {
+      if (s.size() != 2) {
+        all_pairs = false;
+        break;
+      }
+      items.push_back(s[0]);
+      items.push_back(s[1]);
+    }
+    if (all_pairs) {
+      std::sort(items.begin(), items.end());
+      items.erase(std::unique(items.begin(), items.end()), items.end());
+      const TransactionDatabase& db = workers.builder(0).database();
+      // Cost gate: the stage counts every co-occurring stage-item pair,
+      // needed or not, so on dense batches with few candidates (e.g. a
+      // heavily constraint-pruned level) the horizontal pass can cost more
+      // than the bitset intersections it replaces. Admit only when the
+      // estimated pass cost undercuts the scalar cost model
+      // (candidates × ~5 passes over one tid-set width). candidates.size()
+      // overestimates the tables when `want` prunes — the gate errs
+      // toward admitting, matching the bench's per-table floor.
+      if (PairStage::CellsFor(items.size()) <=
+              ctx.simd().pair_stage_max_cells &&
+          PairStageEstimatedOps(db, items) <=
+              candidates.size() * kScalarWordOpsPerPairTable *
+                  db.tidset_words()) {
+        PhaseScope pair_phase(ctx, "pair_stage");
+        PairStage stage(db, std::move(items));
+        constexpr std::size_t kTxnChunk = 4096;
+        for (std::size_t t = 0; t < db.num_transactions(); t += kTxnChunk) {
+          const Termination verdict = ctx.CheckNow();
+          if (verdict != Termination::kCompleted) return verdict;
+          stage.Accumulate(t,
+                           std::min(t + kTxnChunk, db.num_transactions()));
+        }
+        // The shared pass is billed to builder 0; the total is
+        // deterministic even though the builder index is arbitrary.
+        workers.builder(0).AddPairStageOps(stage.ops());
+        return GovernedParallelFor(
+            ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
+              if (want && !want(i)) return;
+              eval(i, thread,
+                   workers.builder(thread).BuildPairFromStage(candidates[i],
+                                                              stage));
+            });
+      }
+    }
+  }
   if (!ctx.ct_cache().enabled) {
     return GovernedParallelFor(
         ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {

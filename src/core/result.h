@@ -89,6 +89,14 @@ struct MiningStats {
   // thread-count-independent at a fixed ct_cache setting only for
   // single-builder runs; the benches compare it at num_threads = 1).
   std::uint64_t ct_word_ops = 0;
+  // Candidate-free k=2 pair stage (DESIGN.md §14): tables recovered in
+  // O(1) from a stage pass (a subset of TotalTablesBuilt()) and the stage
+  // passes' pair-count increments — the stage's currency in the cost
+  // model, alongside ct_word_ops. Both are schedule-independent (the
+  // stage admission gate and the pass itself are deterministic); zero
+  // with the SIMD kernel disabled.
+  std::uint64_t ct_pair_stage_tables = 0;
+  std::uint64_t ct_pair_stage_ops = 0;
 
   LevelStats& Level(std::size_t level);
 

@@ -35,6 +35,8 @@ void RecoverWorkerTelemetry(const MetricsRegistry& registry,
   stats.ct_cache_evictions = snapshot.Value("ct_cache.evictions");
   stats.ct_cache_shared_hits = snapshot.Value("ct_cache.shared_hits");
   stats.ct_word_ops = snapshot.Value("ct.word_ops");
+  stats.ct_pair_stage_tables = snapshot.Value("ct.pair_stage_tables");
+  stats.ct_pair_stage_ops = snapshot.Value("ct.pair_stage_ops");
 }
 
 // Fills in the run-level telemetry after the algorithm returns: exports
@@ -113,7 +115,8 @@ MiningResult RunMiningQuery(const TransactionDatabase& db,
   } detach{&executor};
   const RunGovernor governor(request.control);
   MiningContext ctx(executor, request.algorithm, &options.progress_callback,
-                    &governor, options.ct_cache, &registry, &tracer);
+                    &governor, options.ct_cache, options.simd, &registry,
+                    &tracer);
   Stopwatch run_timer;
   MiningResult result;
   {

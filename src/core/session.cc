@@ -37,8 +37,9 @@ DatabaseHandle DatabaseHandle::Create(TransactionDatabase db,
       std::make_unique<const ItemCatalog>(std::move(catalog));
   payload->db = payload->owned_db.get();
   payload->catalog = payload->owned_catalog.get();
-  payload->tier =
-      SharedPairTier::Build(*payload->db, TierBudgetWords(options));
+  payload->tier = SharedPairTier::Build(*payload->db,
+                                        TierBudgetWords(options),
+                                        options.simd);
   payload->epoch = NextEpoch();
   return DatabaseHandle(std::move(payload));
 }
@@ -50,7 +51,8 @@ DatabaseHandle DatabaseHandle::Borrow(const TransactionDatabase& db,
   auto payload = std::make_shared<Payload>();
   payload->db = &db;
   payload->catalog = &catalog;
-  payload->tier = SharedPairTier::Build(db, TierBudgetWords(options));
+  payload->tier =
+      SharedPairTier::Build(db, TierBudgetWords(options), options.simd);
   payload->epoch = NextEpoch();
   return DatabaseHandle(std::move(payload));
 }

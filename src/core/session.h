@@ -41,6 +41,12 @@ struct HandleOptions {
   // intersections privately, exactly as before; answers are identical
   // either way (core/pair_tier.h).
   std::size_t pair_tier_budget_mib = 0;
+  // How the tier's intersections are materialized (core/pair_tier.h):
+  // vector kernel + PairStage pre-pass when enabled, the scalar loops
+  // when not. The tier's contents are bit-identical either way — this
+  // mirrors EngineOptions::simd_kernel for the Finalize-time layout, and
+  // exists mainly so the kill switch can cover handle creation too.
+  SimdOptions simd;
 };
 
 // Immutable view of one finalized database generation. Copies share one

@@ -1,0 +1,337 @@
+#include "core/simd_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+// GCC's -Wpsabi notes that 256-bit vectors passed or returned by value
+// would change calling convention if AVX were enabled at compile time.
+// Every vector-valued function in this file is internal to this TU and
+// inlined, so no external ABI is involved; the note is not actionable.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace ccs {
+
+namespace {
+
+// 256-bit lane of four uint64 words — GCC vector extensions, which both
+// GCC and Clang lower to the best available ISA without target-specific
+// flags. This translation unit is the only one allowed to use them
+// (ccs-lint rule vector-ext-outside-kernel).
+typedef KernelWord V4 __attribute__((vector_size(32)));
+
+constexpr std::size_t kLanes = 4;        // words per vector
+constexpr std::size_t kUnroll = 4;       // vectors per iteration
+constexpr std::size_t kStep = kLanes * kUnroll;  // 16 words / 128 bytes
+
+// Block the streaming loops so a combine's destination words are still
+// L1-resident when the popcount accumulators read them back: 2048 words =
+// 16 KiB per operand, three operands ≈ half a typical 32–48 KiB L1D.
+constexpr std::size_t kBlockWords = 2048;
+
+// Unaligned vector load/store through memcpy — the sanctioned way to get
+// movdqu-class codegen without alignment UB; the compiler folds the copy.
+inline V4 LoadV4(const KernelWord* p) {
+  V4 v;
+  std::memcpy(&v, p, sizeof(V4));
+  return v;
+}
+
+inline void StoreV4(KernelWord* p, V4 v) { std::memcpy(p, &v, sizeof(V4)); }
+
+// Batched popcount of one vector: four independent scalar popcounts whose
+// results feed four separate accumulators at the call sites, breaking the
+// add dependency chain (the throughput win over a single running sum).
+inline std::uint64_t Pop0(V4 v) { return std::popcount(v[0]); }
+inline std::uint64_t Pop1(V4 v) { return std::popcount(v[1]); }
+inline std::uint64_t Pop2(V4 v) { return std::popcount(v[2]); }
+inline std::uint64_t Pop3(V4 v) { return std::popcount(v[3]); }
+
+// The combine ops, expressed once and instantiated for each kernel shape.
+struct OpAnd {
+  static KernelWord Word(KernelWord a, KernelWord b) { return a & b; }
+  static V4 Vec(V4 a, V4 b) { return a & b; }
+};
+struct OpAndNot {
+  static KernelWord Word(KernelWord a, KernelWord b) { return a & ~b; }
+  static V4 Vec(V4 a, V4 b) { return a & ~b; }
+};
+
+template <typename Op>
+std::uint64_t CountScalar(const KernelWord* a, const KernelWord* b,
+                          std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::popcount(Op::Word(a[i], b[i]));
+  }
+  return total;
+}
+
+template <typename Op>
+std::uint64_t CountVector(const KernelWord* a, const KernelWord* b,
+                          std::size_t n) {
+  std::uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  for (std::size_t block = 0; block < n; block += kBlockWords) {
+    const std::size_t block_end = std::min(n, block + kBlockWords);
+    const std::size_t vec_end =
+        block + (block_end - block) / kStep * kStep;
+    for (; i < vec_end; i += kStep) {
+      const V4 v0 = Op::Vec(LoadV4(a + i), LoadV4(b + i));
+      const V4 v1 = Op::Vec(LoadV4(a + i + kLanes), LoadV4(b + i + kLanes));
+      const V4 v2 =
+          Op::Vec(LoadV4(a + i + 2 * kLanes), LoadV4(b + i + 2 * kLanes));
+      const V4 v3 =
+          Op::Vec(LoadV4(a + i + 3 * kLanes), LoadV4(b + i + 3 * kLanes));
+      acc0 += Pop0(v0) + Pop0(v1) + Pop0(v2) + Pop0(v3);
+      acc1 += Pop1(v0) + Pop1(v1) + Pop1(v2) + Pop1(v3);
+      acc2 += Pop2(v0) + Pop2(v1) + Pop2(v2) + Pop2(v3);
+      acc3 += Pop3(v0) + Pop3(v1) + Pop3(v2) + Pop3(v3);
+    }
+    for (; i < block_end; ++i) {
+      acc0 += std::popcount(Op::Word(a[i], b[i]));
+    }
+  }
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+template <typename Op>
+void CombineScalar(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Op::Word(a[i], b[i]);
+}
+
+template <typename Op>
+void CombineVector(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+                   std::size_t n) {
+  std::size_t i = 0;
+  const std::size_t vec_end = n / kStep * kStep;
+  for (; i < vec_end; i += kStep) {
+    StoreV4(dst + i, Op::Vec(LoadV4(a + i), LoadV4(b + i)));
+    StoreV4(dst + i + kLanes,
+            Op::Vec(LoadV4(a + i + kLanes), LoadV4(b + i + kLanes)));
+    StoreV4(dst + i + 2 * kLanes,
+            Op::Vec(LoadV4(a + i + 2 * kLanes), LoadV4(b + i + 2 * kLanes)));
+    StoreV4(dst + i + 3 * kLanes,
+            Op::Vec(LoadV4(a + i + 3 * kLanes), LoadV4(b + i + 3 * kLanes)));
+  }
+  for (; i < n; ++i) dst[i] = Op::Word(a[i], b[i]);
+}
+
+template <typename Op>
+std::uint64_t CombineCountVector(KernelWord* dst, const KernelWord* a,
+                                 const KernelWord* b, std::size_t n) {
+  std::uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  for (std::size_t block = 0; block < n; block += kBlockWords) {
+    const std::size_t block_end = std::min(n, block + kBlockWords);
+    const std::size_t vec_end = block + (block_end - block) / kStep * kStep;
+    for (; i < vec_end; i += kStep) {
+      const V4 v0 = Op::Vec(LoadV4(a + i), LoadV4(b + i));
+      const V4 v1 = Op::Vec(LoadV4(a + i + kLanes), LoadV4(b + i + kLanes));
+      const V4 v2 =
+          Op::Vec(LoadV4(a + i + 2 * kLanes), LoadV4(b + i + 2 * kLanes));
+      const V4 v3 =
+          Op::Vec(LoadV4(a + i + 3 * kLanes), LoadV4(b + i + 3 * kLanes));
+      StoreV4(dst + i, v0);
+      StoreV4(dst + i + kLanes, v1);
+      StoreV4(dst + i + 2 * kLanes, v2);
+      StoreV4(dst + i + 3 * kLanes, v3);
+      acc0 += Pop0(v0) + Pop0(v1) + Pop0(v2) + Pop0(v3);
+      acc1 += Pop1(v0) + Pop1(v1) + Pop1(v2) + Pop1(v3);
+      acc2 += Pop2(v0) + Pop2(v1) + Pop2(v2) + Pop2(v3);
+      acc3 += Pop3(v0) + Pop3(v1) + Pop3(v2) + Pop3(v3);
+    }
+    for (; i < block_end; ++i) {
+      dst[i] = Op::Word(a[i], b[i]);
+      acc0 += std::popcount(dst[i]);
+    }
+  }
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+}  // namespace
+
+const char* KernelModeName(KernelMode mode) {
+  return mode == KernelMode::kVector ? "vector" : "scalar";
+}
+
+KernelMode SelectKernel(const SimdOptions& options,
+                        const TransactionDatabase& db) {
+  if (!options.enabled) return KernelMode::kScalar;
+  if (!db.finalized() || !db.simd_friendly()) return KernelMode::kScalar;
+  return KernelMode::kVector;
+}
+
+std::uint64_t PairStageEstimatedOps(const TransactionDatabase& db,
+                                    const std::vector<ItemId>& items) {
+  CCS_CHECK(db.finalized());
+  const std::uint64_t txns = db.num_transactions();
+  if (txns == 0) return 0;
+  std::uint64_t support_sum = 0;
+  for (ItemId item : items) support_sum += db.ItemSupport(item);
+  // txns * mean_p * (mean_p - 1) / 2 with mean_p = support_sum / txns,
+  // algebraically support_sum * (support_sum - txns) / (2 * txns); double
+  // arithmetic to dodge the intermediate overflow (the gate compares
+  // magnitudes, not exact counts).
+  const double s = static_cast<double>(support_sum);
+  const double n = static_cast<double>(txns);
+  if (s <= n) return 0;
+  return static_cast<std::uint64_t>(s * (s - n) / (2.0 * n));
+}
+
+std::uint64_t KernelPopcount(const KernelWord* a, std::size_t n,
+                             KernelMode mode) {
+  if (mode == KernelMode::kScalar) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i]);
+    return total;
+  }
+  std::uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  const std::size_t vec_end = n / kLanes * kLanes;
+  for (; i < vec_end; i += kLanes) {
+    const V4 v = LoadV4(a + i);
+    acc0 += Pop0(v);
+    acc1 += Pop1(v);
+    acc2 += Pop2(v);
+    acc3 += Pop3(v);
+  }
+  for (; i < n; ++i) acc0 += std::popcount(a[i]);
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+std::uint64_t KernelAndCount(const KernelWord* a, const KernelWord* b,
+                             std::size_t n, KernelMode mode) {
+  return mode == KernelMode::kScalar ? CountScalar<OpAnd>(a, b, n)
+                                     : CountVector<OpAnd>(a, b, n);
+}
+
+std::uint64_t KernelAndNotCount(const KernelWord* a, const KernelWord* b,
+                                std::size_t n, KernelMode mode) {
+  return mode == KernelMode::kScalar ? CountScalar<OpAndNot>(a, b, n)
+                                     : CountVector<OpAndNot>(a, b, n);
+}
+
+void KernelAnd(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+               std::size_t n, KernelMode mode) {
+  if (mode == KernelMode::kScalar) {
+    CombineScalar<OpAnd>(dst, a, b, n);
+  } else {
+    CombineVector<OpAnd>(dst, a, b, n);
+  }
+}
+
+void KernelAndNot(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+                  std::size_t n, KernelMode mode) {
+  if (mode == KernelMode::kScalar) {
+    CombineScalar<OpAndNot>(dst, a, b, n);
+  } else {
+    CombineVector<OpAndNot>(dst, a, b, n);
+  }
+}
+
+std::uint64_t KernelAndWriteCount(KernelWord* dst, const KernelWord* a,
+                                  const KernelWord* b, std::size_t n,
+                                  KernelMode mode) {
+  if (mode == KernelMode::kScalar) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = a[i] & b[i];
+      total += std::popcount(dst[i]);
+    }
+    return total;
+  }
+  return CombineCountVector<OpAnd>(dst, a, b, n);
+}
+
+std::uint64_t KernelCountAnd(const DynamicBitset& a, const DynamicBitset& b,
+                             KernelMode mode) {
+  CCS_DCHECK(a.size() == b.size());
+  return KernelAndCount(a.words().data(), b.words().data(), a.num_words(),
+                        mode);
+}
+
+std::uint64_t KernelCountAndNot(const DynamicBitset& a,
+                                const DynamicBitset& b, KernelMode mode) {
+  CCS_DCHECK(a.size() == b.size());
+  return KernelAndNotCount(a.words().data(), b.words().data(), a.num_words(),
+                           mode);
+}
+
+void KernelAssignAnd(DynamicBitset& dst, const DynamicBitset& a,
+                     const DynamicBitset& b, KernelMode mode) {
+  CCS_DCHECK(a.size() == b.size());
+  dst.Resize(a.size());
+  KernelAnd(dst.mutable_word_data(), a.words().data(), b.words().data(),
+            a.num_words(), mode);
+}
+
+void KernelAssignAndNot(DynamicBitset& dst, const DynamicBitset& a,
+                        const DynamicBitset& b, KernelMode mode) {
+  CCS_DCHECK(a.size() == b.size());
+  dst.Resize(a.size());
+  // a's trailing bits are already zero, so a & ~b keeps them zero.
+  KernelAndNot(dst.mutable_word_data(), a.words().data(), b.words().data(),
+               a.num_words(), mode);
+}
+
+std::uint64_t KernelAssignAndCount(DynamicBitset& dst, const DynamicBitset& a,
+                                   const DynamicBitset& b, KernelMode mode) {
+  CCS_DCHECK(a.size() == b.size());
+  dst.Resize(a.size());
+  return KernelAndWriteCount(dst.mutable_word_data(), a.words().data(),
+                             b.words().data(), a.num_words(), mode);
+}
+
+PairStage::PairStage(const TransactionDatabase& db, std::vector<ItemId> items)
+    : db_(&db), items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  dense_.assign(db.num_items(), -1);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    CCS_CHECK_LT(items_[i], db.num_items());
+    dense_[items_[i]] = static_cast<std::int32_t>(i);
+  }
+  counts_.assign(CellsFor(items_.size()), 0);
+  present_.reserve(items_.size());
+}
+
+void PairStage::Accumulate(std::size_t t_begin, std::size_t t_end) {
+  CCS_CHECK_LE(t_begin, t_end);
+  CCS_CHECK_LE(t_end, db_->num_transactions());
+  for (std::size_t t = t_begin; t < t_end; ++t) {
+    present_.clear();
+    for (const ItemId item : db_->transaction(t)) {
+      const std::int32_t d = dense_[item];
+      if (d >= 0) present_.push_back(static_cast<std::uint32_t>(d));
+    }
+    // Transactions are sorted and the id -> dense map is monotone, so
+    // present_ is ascending: j strictly dominates every earlier entry.
+    const std::size_t p = present_.size();
+    for (std::size_t j = 1; j < p; ++j) {
+      std::uint64_t* row =
+          counts_.data() +
+          std::uint64_t{present_[j]} * (present_[j] - 1) / 2;
+      for (std::size_t i = 0; i < j; ++i) ++row[present_[i]];
+    }
+    ops_ += p * (p - 1) / 2;
+  }
+}
+
+std::uint64_t PairStage::PairSupport(ItemId a, ItemId b) const {
+  CCS_DCHECK(a != b);
+  const std::int32_t da = dense_[a];
+  const std::int32_t db = dense_[b];
+  CCS_DCHECK(da >= 0 && db >= 0);
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(da, db));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(da, db));
+  return counts_[hi * (hi - 1) / 2 + lo];
+}
+
+}  // namespace ccs

@@ -1,0 +1,192 @@
+#ifndef CCS_CORE_SIMD_KERNEL_H_
+#define CCS_CORE_SIMD_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "txn/database.h"
+#include "txn/item.h"
+#include "util/bitset.h"
+
+namespace ccs {
+
+// The vectorized intersection/popcount kernel behind the contingency-table
+// fast paths (DESIGN.md §14).
+//
+// Two implementations sit behind one dispatch enum:
+//  * kScalar — the word-at-a-time loops DynamicBitset has always used,
+//    kept as the reference path and the kill switch;
+//  * kVector — GCC vector extensions (256-bit uint64 lanes) for the AND /
+//    AND-NOT combine plus batched popcounts over four independent
+//    accumulators, tiled into L1-sized blocks so the combine and the count
+//    of a block share residency.
+//
+// Both paths compute the same exact integers over the same words, so every
+// cell, answer, and deterministic counter is bit-identical across modes —
+// the property pinned by tests/core_simd_kernel_test.cc and the kernel
+// axis of the differential harness. This header is the only place in the
+// tree allowed to use vector extensions or intrinsics (ccs-lint rule
+// vector-ext-outside-kernel).
+enum class KernelMode {
+  kScalar,
+  kVector,
+};
+
+// "scalar" / "vector", for bench labels and test diagnostics.
+const char* KernelModeName(KernelMode mode);
+
+// Session-level kernel knobs, resolved once by ResolveEngineOptions()
+// (EngineOptions::simd_kernel + the CCS_SIMD override) and threaded through
+// MiningContext / EvalWorkers to every ContingencyTableBuilder.
+struct SimdOptions {
+  // Master switch for both the vector kernel and the pair stage. False
+  // forces KernelMode::kScalar everywhere and disables the candidate-free
+  // k=2 path — the original word-wise code, verbatim.
+  bool enabled = true;
+
+  // Pair-stage admission gates (core/parallel_eval.h); alongside the
+  // PairStageEstimatedOps cost gate below, all are functions of the
+  // candidate batch and the fixed item supports alone, so the taken path —
+  // and with it every counter — is deterministic at any thread count.
+  //
+  // Upper bound on the triangular co-occurrence array (8 bytes per cell;
+  // the default 1<<22 caps the stage at 32 MiB). Batches over more
+  // distinct items fall back to the bitset paths.
+  std::size_t pair_stage_max_cells = std::size_t{1} << 22;
+  // Minimum batch size worth a horizontal database pass; smaller batches
+  // (e.g. BMS++'s occasional probe handful) use the bitset paths.
+  std::size_t pair_stage_min_candidates = 4;
+};
+
+// Cost model constant for the admission gate below: the per-candidate
+// recursion spends about this many passes over one tid-set width to build
+// a k=2 table (intersect + count the four minterm splits).
+inline constexpr std::uint64_t kScalarWordOpsPerPairTable = 5;
+
+// Deterministic estimate of PairStage's pass cost over `items`: the stage
+// pays sum over transactions of C(p, 2) increments (p = stage items
+// present), estimated here from the mean stage-item density
+// sum(supports) / num_transactions. Jensen's inequality makes this an
+// underestimate on bursty rows, which is fine for an admission gate — it
+// is a pure function of (database, items), so every thread count and cache
+// mode takes the same path. Requires a finalized database (supports).
+std::uint64_t PairStageEstimatedOps(const TransactionDatabase& db,
+                                    const std::vector<ItemId>& items);
+
+// Kernel selection happens once per builder against a finalized database —
+// the TID-list layout (word count per tid-set) is fixed at Finalize time,
+// and TransactionDatabase::simd_friendly() records whether the tid-sets
+// are long enough for 256-bit lanes to pay. Unfinalized databases (the
+// scalar-reference callers) always select kScalar.
+KernelMode SelectKernel(const SimdOptions& options,
+                        const TransactionDatabase& db);
+
+// --- Raw word-span kernels -----------------------------------------------
+//
+// `n` is the word count; operands may alias only if identical. All return
+// exact popcounts, independent of mode.
+
+using KernelWord = DynamicBitset::Word;
+
+// popcount(a[0..n)).
+std::uint64_t KernelPopcount(const KernelWord* a, std::size_t n,
+                             KernelMode mode);
+
+// popcount(a & b) without materializing the intersection.
+std::uint64_t KernelAndCount(const KernelWord* a, const KernelWord* b,
+                             std::size_t n, KernelMode mode);
+
+// popcount(a & ~b).
+std::uint64_t KernelAndNotCount(const KernelWord* a, const KernelWord* b,
+                                std::size_t n, KernelMode mode);
+
+// dst = a & b.
+void KernelAnd(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+               std::size_t n, KernelMode mode);
+
+// dst = a & ~b.
+void KernelAndNot(KernelWord* dst, const KernelWord* a, const KernelWord* b,
+                  std::size_t n, KernelMode mode);
+
+// dst = a & b, returning popcount(dst) — the fused combine+count used when
+// the intersection is both kept and counted.
+std::uint64_t KernelAndWriteCount(KernelWord* dst, const KernelWord* a,
+                                  const KernelWord* b, std::size_t n,
+                                  KernelMode mode);
+
+// --- DynamicBitset-level wrappers ----------------------------------------
+//
+// Same contracts as the DynamicBitset member/static ops they shadow
+// (operands equal-sized, destination resized to match, trailing bits kept
+// zero because both inputs keep theirs zero), dispatched through `mode`.
+
+std::uint64_t KernelCountAnd(const DynamicBitset& a, const DynamicBitset& b,
+                             KernelMode mode);
+std::uint64_t KernelCountAndNot(const DynamicBitset& a,
+                                const DynamicBitset& b, KernelMode mode);
+void KernelAssignAnd(DynamicBitset& dst, const DynamicBitset& a,
+                     const DynamicBitset& b, KernelMode mode);
+void KernelAssignAndNot(DynamicBitset& dst, const DynamicBitset& a,
+                        const DynamicBitset& b, KernelMode mode);
+std::uint64_t KernelAssignAndCount(DynamicBitset& dst, const DynamicBitset& a,
+                                   const DynamicBitset& b, KernelMode mode);
+
+// --- Candidate-generation-free k=2 stage ---------------------------------
+//
+// One pass over the horizontal transactions fills the co-occurrence count
+// of every item pair drawn from a fixed item subset — He et al.'s
+// all-strongly-correlated-pairs observation (PAPERS.md): at k=2 the full
+// 2x2 table of (a, b) is determined by (N, supp(a), supp(b), supp(ab)),
+// so no per-candidate bitset pass is needed at all. The level pass in
+// GovernedBuildTables runs the stage once and recovers every pair table
+// from it; SharedPairTier::Build uses it to know which pairs are empty
+// before materializing any intersection.
+//
+// The pass is exact integer counting in a fixed order, so its counts and
+// its ops() work counter depend only on (database, items) — never on
+// thread schedule — keeping the determinism contract.
+class PairStage {
+ public:
+  // `items` may be unsorted / contain duplicates; it is normalized. Every
+  // id must be < db.num_items(). The database is borrowed and must
+  // outlive the stage; it does not need to be finalized (the stage reads
+  // only the horizontal transactions).
+  PairStage(const TransactionDatabase& db, std::vector<ItemId> items);
+
+  // Accumulates transactions [t_begin, t_end). Callers chunk the range so
+  // deadline/cancel polls keep their cadence; any chunking yields the
+  // same counts as one whole-range call.
+  void Accumulate(std::size_t t_begin, std::size_t t_end);
+
+  // Number of transactions containing both items. Both ids must be stage
+  // items and distinct; order does not matter. Valid for the transaction
+  // ranges accumulated so far.
+  std::uint64_t PairSupport(ItemId a, ItemId b) const;
+
+  // Pair-count increments performed so far — the stage's currency in the
+  // cost model (docs/ALGORITHMS.md): sum over scanned transactions of
+  // C(p, 2), p = stage items present. Deterministic.
+  std::uint64_t ops() const { return ops_; }
+
+  const std::vector<ItemId>& items() const { return items_; }
+  std::size_t num_items() const { return items_.size(); }
+
+  // Triangular cell count for m distinct items — the admission gate's
+  // memory proxy (8 bytes each).
+  static std::uint64_t CellsFor(std::uint64_t m) {
+    return m < 2 ? 0 : m * (m - 1) / 2;
+  }
+
+ private:
+  const TransactionDatabase* db_;
+  std::vector<ItemId> items_;        // sorted, distinct
+  std::vector<std::int32_t> dense_;  // item id -> dense index, -1 if absent
+  std::vector<std::uint64_t> counts_;  // triangular: (i<j) at j*(j-1)/2 + i
+  std::vector<std::uint32_t> present_;  // per-transaction scratch
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_SIMD_KERNEL_H_

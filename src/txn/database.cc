@@ -63,6 +63,10 @@ Status TransactionDatabase::FinalizeOrError() {
       ++supports_[item];
     }
   }
+  // The TID-list layout is now fixed; record the facts the kernel
+  // selection (core/simd_kernel.h) keys off.
+  tidset_words_ = num_items_ > 0 ? tidsets_[0].num_words() : 0;
+  simd_friendly_ = tidset_words_ >= kSimdFriendlyWords;
   finalized_ = true;
   return OkStatus();
 }

@@ -58,6 +58,21 @@ class TransactionDatabase {
   // Tid-set of an item. Requires finalized().
   const DynamicBitset& tidset(ItemId item) const;
 
+  // TID-list layout facts, fixed when Finalize() builds the vertical
+  // index; the contingency-table kernel (core/simd_kernel.h) selects its
+  // implementation per database from them. Words per tid-set (every item's
+  // tid-set has the same word count); 0 before Finalize().
+  std::size_t tidset_words() const { return tidset_words_; }
+
+  // True iff the tid-sets are long enough that 256-bit vector lanes beat
+  // the word-at-a-time loop (>= kSimdFriendlyWords words). False before
+  // Finalize(). Purely a layout fact — the txn layer knows nothing about
+  // kernels; core/simd_kernel.h combines this with the session options.
+  bool simd_friendly() const { return simd_friendly_; }
+
+  // Minimum tid-set words for simd_friendly(): one full 4-word lane.
+  static constexpr std::size_t kSimdFriendlyWords = 4;
+
   // Number of transactions containing the item. Requires finalized().
   std::uint64_t ItemSupport(ItemId item) const;
 
@@ -74,6 +89,8 @@ class TransactionDatabase {
   std::vector<Transaction> transactions_;
   std::vector<DynamicBitset> tidsets_;
   std::vector<std::uint64_t> supports_;
+  std::size_t tidset_words_ = 0;
+  bool simd_friendly_ = false;
 };
 
 }  // namespace ccs

@@ -96,6 +96,14 @@ class DynamicBitset {
   const std::vector<Word>& words() const { return words_; }
   std::size_t num_words() const { return words_.size(); }
 
+  // Mutable raw word access for the vectorized kernel (core/simd_kernel.*),
+  // which combines whole words in place. Callers must preserve the
+  // trailing-bits-zero invariant: bits past size() in the last word stay
+  // zero (AND/AND-NOT of operands that honor it honor it automatically).
+  // Everything else should go through the typed operations above — they
+  // are the scalar reference the kernel is differentially tested against.
+  Word* mutable_word_data() { return words_.data(); }
+
  private:
   // Zeroes bits past num_bits_ in the last word.
   void ClearTrailingBits();

@@ -1,0 +1,372 @@
+// Property tests for the vectorized intersection/popcount kernel
+// (src/core/simd_kernel.h, DESIGN.md §14).
+//
+// The contract under test: the vector path computes the same exact
+// integers as the scalar path over the same words, for every width and
+// alignment — including the tail words past the last full 256-bit step
+// and the partial final word whose trailing bits must stay zero. The
+// scalar DynamicBitset member ops remain the reference oracle throughout.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ct_builder.h"
+#include "core/simd_kernel.h"
+#include "txn/database.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+constexpr std::size_t kWordBits = DynamicBitset::kBitsPerWord;
+
+// Fills a bitset with seeded random bits (roughly half set).
+DynamicBitset RandomBitset(std::size_t num_bits, Rng& rng) {
+  DynamicBitset bits(num_bits);
+  for (std::size_t i = 0; i < num_bits; ++i) {
+    if (rng.NextBernoulli(0.5)) bits.Set(i);
+  }
+  return bits;
+}
+
+std::uint64_t ScalarPopcountRef(const std::vector<KernelWord>& words,
+                                std::size_t offset, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words[offset + i]));
+  }
+  return total;
+}
+
+// --- Raw word-span kernels -----------------------------------------------
+
+// Word counts that exercise every dispatch regime of the vector path: the
+// scalar tail alone (n < one 256-bit step), exact multiples of the
+// 16-word unrolled step, off-by-one around it, and spans that cross the
+// 2048-word L1 block boundary (so the blocked outer loop runs more than
+// once with a partial final block).
+std::vector<std::size_t> KernelSpanSizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 0; n <= 36; ++n) sizes.push_back(n);
+  for (std::size_t n : {std::size_t{63}, std::size_t{64}, std::size_t{65},
+                        std::size_t{255}, std::size_t{256}, std::size_t{257},
+                        std::size_t{2047}, std::size_t{2048},
+                        std::size_t{2049}, std::size_t{2048 + 17},
+                        std::size_t{2 * 2048 + 3}}) {
+    sizes.push_back(n);
+  }
+  return sizes;
+}
+
+TEST(SimdKernelRaw, CountKernelsMatchScalarAtEveryWidthAndOffset) {
+  Rng rng(20260808);
+  const std::size_t kMaxSpan = 2 * 2048 + 3;
+  // Offsets 0..7 words cover every 64-bit misalignment of a 256-bit lane;
+  // the loads are memcpy-based so none of them may fault or diverge.
+  const std::size_t kMaxOffset = 8;
+  std::vector<KernelWord> a(kMaxOffset + kMaxSpan);
+  std::vector<KernelWord> b(kMaxOffset + kMaxSpan);
+  for (KernelWord& w : a) w = rng.NextU64();
+  for (KernelWord& w : b) w = rng.NextU64();
+
+  for (std::size_t n : KernelSpanSizes()) {
+    for (std::size_t offset = 0; offset < kMaxOffset; ++offset) {
+      const KernelWord* pa = a.data() + offset;
+      const KernelWord* pb = b.data() + offset;
+      std::uint64_t want_pop = ScalarPopcountRef(a, offset, n);
+      std::uint64_t want_and = 0;
+      std::uint64_t want_andnot = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        want_and += static_cast<std::uint64_t>(
+            __builtin_popcountll(pa[i] & pb[i]));
+        want_andnot += static_cast<std::uint64_t>(
+            __builtin_popcountll(pa[i] & ~pb[i]));
+      }
+      for (KernelMode mode : {KernelMode::kScalar, KernelMode::kVector}) {
+        EXPECT_EQ(KernelPopcount(pa, n, mode), want_pop)
+            << KernelModeName(mode) << " n=" << n << " offset=" << offset;
+        EXPECT_EQ(KernelAndCount(pa, pb, n, mode), want_and)
+            << KernelModeName(mode) << " n=" << n << " offset=" << offset;
+        EXPECT_EQ(KernelAndNotCount(pa, pb, n, mode), want_andnot)
+            << KernelModeName(mode) << " n=" << n << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelRaw, CombineKernelsMatchScalarAtEveryWidthAndOffset) {
+  Rng rng(777);
+  const std::size_t kMaxSpan = 2 * 2048 + 3;
+  const std::size_t kMaxOffset = 8;
+  std::vector<KernelWord> a(kMaxOffset + kMaxSpan);
+  std::vector<KernelWord> b(kMaxOffset + kMaxSpan);
+  for (KernelWord& w : a) w = rng.NextU64();
+  for (KernelWord& w : b) w = rng.NextU64();
+  std::vector<KernelWord> want(kMaxSpan);
+  std::vector<KernelWord> got(kMaxSpan);
+
+  for (std::size_t n : KernelSpanSizes()) {
+    for (std::size_t offset = 0; offset < kMaxOffset; ++offset) {
+      const KernelWord* pa = a.data() + offset;
+      const KernelWord* pb = b.data() + offset;
+      for (int which = 0; which < 2; ++which) {
+        std::uint64_t want_count = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          want[i] = which == 0 ? (pa[i] & pb[i]) : (pa[i] & ~pb[i]);
+          want_count +=
+              static_cast<std::uint64_t>(__builtin_popcountll(want[i]));
+        }
+        for (KernelMode mode : {KernelMode::kScalar, KernelMode::kVector}) {
+          // Poison the destination so untouched words are caught.
+          std::fill(got.begin(), got.end(), KernelWord{0xDEADBEEFDEADBEEF});
+          if (which == 0) {
+            KernelAnd(got.data(), pa, pb, n, mode);
+          } else {
+            KernelAndNot(got.data(), pa, pb, n, mode);
+          }
+          EXPECT_TRUE(std::equal(want.begin(), want.begin() + n, got.begin()))
+              << KernelModeName(mode) << " which=" << which << " n=" << n
+              << " offset=" << offset;
+          if (which == 0) {
+            std::fill(got.begin(), got.end(),
+                      KernelWord{0xDEADBEEFDEADBEEF});
+            EXPECT_EQ(KernelAndWriteCount(got.data(), pa, pb, n, mode),
+                      want_count)
+                << KernelModeName(mode) << " n=" << n << " offset=" << offset;
+            EXPECT_TRUE(
+                std::equal(want.begin(), want.begin() + n, got.begin()))
+                << KernelModeName(mode) << " n=" << n << " offset=" << offset;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- DynamicBitset wrappers: exhaustive tail-bit widths ------------------
+
+TEST(SimdKernelBitset, EveryBitWidthZeroToThreeWordsMatchesScalarOps) {
+  // Bit widths 0 .. 3*64 cover: the empty bitset, every partial-word
+  // tail, exact word boundaries, and multi-word sets that still fit
+  // below one vector step. Each width runs against several seeds so the
+  // partial final word sees varied trailing patterns.
+  for (std::size_t num_bits = 0; num_bits <= 3 * kWordBits; ++num_bits) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      Rng rng(seed * 1000003 + num_bits);
+      const DynamicBitset a = RandomBitset(num_bits, rng);
+      const DynamicBitset b = RandomBitset(num_bits, rng);
+      DynamicBitset want(num_bits);
+      DynamicBitset got(num_bits);
+      for (KernelMode mode : {KernelMode::kScalar, KernelMode::kVector}) {
+        EXPECT_EQ(KernelCountAnd(a, b, mode), DynamicBitset::CountAnd(a, b))
+            << KernelModeName(mode) << " bits=" << num_bits;
+        EXPECT_EQ(KernelCountAndNot(a, b, mode),
+                  DynamicBitset::CountAndNot(a, b))
+            << KernelModeName(mode) << " bits=" << num_bits;
+
+        want.AssignAnd(a, b);
+        KernelAssignAnd(got, a, b, mode);
+        EXPECT_EQ(got, want) << KernelModeName(mode) << " bits=" << num_bits;
+        EXPECT_EQ(got.Count(), want.Count())
+            << KernelModeName(mode) << " bits=" << num_bits;
+
+        want.AssignAndNot(a, b);
+        KernelAssignAndNot(got, a, b, mode);
+        EXPECT_EQ(got, want) << KernelModeName(mode) << " bits=" << num_bits;
+
+        want.ResetAll();
+        const std::uint64_t want_count = want.AssignAndCount(a, b);
+        got.ResetAll();
+        EXPECT_EQ(KernelAssignAndCount(got, a, b, mode), want_count)
+            << KernelModeName(mode) << " bits=" << num_bits;
+        EXPECT_EQ(got, want) << KernelModeName(mode) << " bits=" << num_bits;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelBitset, AssignResizesDestinationAndKeepsTrailingBitsZero) {
+  Rng rng(4242);
+  const std::size_t num_bits = 2 * kWordBits + 13;  // partial final word
+  const DynamicBitset a = RandomBitset(num_bits, rng);
+  DynamicBitset b(num_bits);
+  b.SetAll();  // all valid bits set; trailing bits of the last word zero
+  for (KernelMode mode : {KernelMode::kScalar, KernelMode::kVector}) {
+    DynamicBitset dst(5);  // wrong size on purpose
+    KernelAssignAnd(dst, a, b, mode);
+    ASSERT_EQ(dst.size(), num_bits) << KernelModeName(mode);
+    EXPECT_EQ(dst, a) << KernelModeName(mode);
+    // a & all-ones == a, and the popcount must not see phantom trailing
+    // bits: Count() == the wrapper's count == the reference count.
+    EXPECT_EQ(KernelCountAnd(a, b, mode), a.Count()) << KernelModeName(mode);
+    EXPECT_EQ(dst.words().back() >> (num_bits % kWordBits), 0u)
+        << KernelModeName(mode) << " trailing bits leaked";
+  }
+}
+
+TEST(SimdKernelBitset, SeededRandomEquivalenceAcrossSizes) {
+  // Randomized widths up to ~5000 bits (crossing several vector steps),
+  // fixed seeds. Scalar member ops are the oracle for both modes.
+  Rng rng(987654321);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t num_bits =
+        static_cast<std::size_t>(rng.NextBounded(5000));
+    const DynamicBitset a = RandomBitset(num_bits, rng);
+    const DynamicBitset b = RandomBitset(num_bits, rng);
+    const std::uint64_t want_and = DynamicBitset::CountAnd(a, b);
+    const std::uint64_t want_andnot = DynamicBitset::CountAndNot(a, b);
+    for (KernelMode mode : {KernelMode::kScalar, KernelMode::kVector}) {
+      EXPECT_EQ(KernelCountAnd(a, b, mode), want_and)
+          << KernelModeName(mode) << " bits=" << num_bits;
+      EXPECT_EQ(KernelCountAndNot(a, b, mode), want_andnot)
+          << KernelModeName(mode) << " bits=" << num_bits;
+      DynamicBitset dst;
+      EXPECT_EQ(KernelAssignAndCount(dst, a, b, mode), want_and)
+          << KernelModeName(mode) << " bits=" << num_bits;
+    }
+  }
+}
+
+// --- Kernel selection ----------------------------------------------------
+
+TransactionDatabase DenseRandomDb(std::size_t num_items,
+                                  std::size_t num_transactions,
+                                  std::uint64_t seed, double density = 0.3) {
+  Rng rng(seed);
+  TransactionDatabase db(num_items);
+  for (std::size_t t = 0; t < num_transactions; ++t) {
+    Transaction txn;
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(density)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+TEST(SimdKernelSelect, FinalizeRecordsLayoutAndSelectionFollowsIt) {
+  // Wide database: tid-sets span >= kSimdFriendlyWords words.
+  const TransactionDatabase wide = DenseRandomDb(8, 300, 11);
+  ASSERT_TRUE(wide.finalized());
+  EXPECT_EQ(wide.tidset_words(), (300 + kWordBits - 1) / kWordBits);
+  ASSERT_GE(wide.tidset_words(), TransactionDatabase::kSimdFriendlyWords);
+  EXPECT_TRUE(wide.simd_friendly());
+  EXPECT_EQ(SelectKernel(SimdOptions{}, wide), KernelMode::kVector);
+
+  // Kill switch wins over layout.
+  SimdOptions off;
+  off.enabled = false;
+  EXPECT_EQ(SelectKernel(off, wide), KernelMode::kScalar);
+
+  // Narrow database: too few words for 256-bit lanes to pay.
+  const TransactionDatabase narrow = DenseRandomDb(8, 100, 12);
+  ASSERT_LT(narrow.tidset_words(), TransactionDatabase::kSimdFriendlyWords);
+  EXPECT_FALSE(narrow.simd_friendly());
+  EXPECT_EQ(SelectKernel(SimdOptions{}, narrow), KernelMode::kScalar);
+
+  // Unfinalized databases always select scalar.
+  TransactionDatabase unfinalized(4);
+  EXPECT_EQ(SelectKernel(SimdOptions{}, unfinalized), KernelMode::kScalar);
+}
+
+TEST(SimdKernelSelect, ModeNames) {
+  EXPECT_STREQ(KernelModeName(KernelMode::kScalar), "scalar");
+  EXPECT_STREQ(KernelModeName(KernelMode::kVector), "vector");
+}
+
+// --- PairStage -----------------------------------------------------------
+
+TEST(PairStageTest, PairSupportsMatchTidsetIntersections) {
+  const TransactionDatabase db = DenseRandomDb(12, 500, 31);
+  std::vector<ItemId> items{0, 2, 3, 5, 7, 8, 11};
+  PairStage stage(db, items);
+  stage.Accumulate(0, db.num_transactions());
+  std::uint64_t want_ops_currency = 0;
+  for (std::size_t j = 1; j < items.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const std::uint64_t want =
+          DynamicBitset::CountAnd(db.tidset(items[i]), db.tidset(items[j]));
+      EXPECT_EQ(stage.PairSupport(items[i], items[j]), want)
+          << items[i] << "," << items[j];
+      // Argument order must not matter.
+      EXPECT_EQ(stage.PairSupport(items[j], items[i]), want);
+      want_ops_currency += want;
+    }
+  }
+  // ops() == sum over transactions of C(p,2) == sum over stage pairs of
+  // their co-occurrence count.
+  EXPECT_EQ(stage.ops(), want_ops_currency);
+}
+
+TEST(PairStageTest, ItemListIsNormalizedAndChunkingIsInvisible) {
+  const TransactionDatabase db = DenseRandomDb(10, 300, 57);
+  // Unsorted with duplicates; the stage must normalize.
+  PairStage messy(db, {7, 1, 7, 4, 1, 9});
+  EXPECT_EQ(messy.items(), (std::vector<ItemId>{1, 4, 7, 9}));
+  EXPECT_EQ(messy.num_items(), 4u);
+
+  PairStage whole(db, {1, 4, 7, 9});
+  whole.Accumulate(0, db.num_transactions());
+
+  // Accumulate in ragged chunks: identical counts and ops.
+  Rng rng(5);
+  std::size_t t = 0;
+  while (t < db.num_transactions()) {
+    const std::size_t step =
+        1 + static_cast<std::size_t>(rng.NextBounded(97));
+    const std::size_t end = std::min(t + step, db.num_transactions());
+    messy.Accumulate(t, end);
+    t = end;
+  }
+  for (ItemId a : whole.items()) {
+    for (ItemId b : whole.items()) {
+      if (a >= b) continue;
+      EXPECT_EQ(messy.PairSupport(a, b), whole.PairSupport(a, b))
+          << a << "," << b;
+    }
+  }
+  EXPECT_EQ(messy.ops(), whole.ops());
+}
+
+TEST(PairStageTest, CellsForTriangularCounts) {
+  EXPECT_EQ(PairStage::CellsFor(0), 0u);
+  EXPECT_EQ(PairStage::CellsFor(1), 0u);
+  EXPECT_EQ(PairStage::CellsFor(2), 1u);
+  EXPECT_EQ(PairStage::CellsFor(3), 3u);
+  EXPECT_EQ(PairStage::CellsFor(100), 4950u);
+}
+
+TEST(PairStageTest, BuildPairFromStageMatchesRecursiveBuild) {
+  const TransactionDatabase db = DenseRandomDb(12, 700, 91);
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < db.num_items(); ++i) items.push_back(i);
+  PairStage stage(db, items);
+  stage.Accumulate(0, db.num_transactions());
+
+  ContingencyTableBuilder builder(db);
+  std::uint64_t expected_pair_tables = 0;
+  for (ItemId a = 0; a < db.num_items(); ++a) {
+    for (ItemId b = a + 1; b < db.num_items(); ++b) {
+      const Itemset s{a, b};
+      const stats::ContingencyTable want = builder.Build(s);
+      const stats::ContingencyTable got = builder.BuildPairFromStage(s, stage);
+      ++expected_pair_tables;
+      ASSERT_EQ(got.num_vars(), 2);
+      for (std::uint32_t mask = 0; mask < 4; ++mask) {
+        EXPECT_EQ(got.cell(mask), want.cell(mask))
+            << "s={" << a << "," << b << "} mask=" << mask;
+      }
+    }
+  }
+  // Stage-built tables tick both the overall and the stage counters.
+  EXPECT_EQ(builder.pair_stage_tables(), expected_pair_tables);
+  EXPECT_EQ(builder.tables_built(), 2 * expected_pair_tables);
+}
+
+}  // namespace
+}  // namespace ccs

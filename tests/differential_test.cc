@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "assoc/apriori.h"
@@ -164,58 +165,69 @@ std::vector<Itemset> RandomCandidateBatch(Rng& rng, std::size_t num_items) {
   return out;
 }
 
-// The three contingency-table paths must agree cell for cell on every
+// The contingency-table paths must agree cell for cell on every
 // candidate: the scalar reference scan, the recursive bitset path, and
 // the prefix-sharing batch path — the latter both with a default cache
-// and with a starvation-sized one that forces evictions mid-batch.
+// and with a starvation-sized one that forces evictions mid-batch — and
+// all of it under both kernel modes (the 1500-transaction databases are
+// SIMD-friendly, so simd=true really selects the vector kernel).
 TEST_P(DifferentialTest, CtBuilderPathsAgreeCellForCell) {
   const TransactionDatabase db = MakeDb(GetParam());
+  ASSERT_TRUE(db.simd_friendly());
   ContingencyTableBuilder reference(db);
-  ContingencyTableBuilder batch_default(db);
-  CtCacheOptions tiny;
-  tiny.budget_words = 64;  // a couple of 1500-bit tidsets at most
-  ContingencyTableBuilder batch_tiny(db, tiny);
-  CtCacheOptions off;
-  off.enabled = false;
-  ContingencyTableBuilder batch_off(db, off);
-  Rng rng(GetParam().seed ^ 0xd1ffu);
-  for (int round = 0; round < 5; ++round) {
-    const std::vector<Itemset> batch =
-        RandomCandidateBatch(rng, db.num_items());
-    for (ContingencyTableBuilder* builder :
-         {&batch_default, &batch_tiny, &batch_off}) {
-      std::vector<stats::ContingencyTable> tables;
-      builder->BuildBatch(
-          batch, /*want=*/{},
-          [&](std::size_t i, const stats::ContingencyTable& table) {
-            ASSERT_EQ(i, tables.size());  // emitted in candidate order
-            tables.push_back(table);
-          });
-      ASSERT_EQ(tables.size(), batch.size());
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        const auto scalar = reference.BuildScalar(batch[i]);
-        const auto fast = reference.Build(batch[i]);
-        ASSERT_EQ(tables[i].num_cells(), scalar.num_cells());
-        for (std::uint32_t mask = 0; mask < scalar.num_cells(); ++mask) {
-          ASSERT_EQ(fast.cell(mask), scalar.cell(mask))
-              << batch[i].ToString() << " mask=" << mask;
-          ASSERT_EQ(tables[i].cell(mask), scalar.cell(mask))
-              << batch[i].ToString() << " mask=" << mask;
+  for (const bool simd_on : {false, true}) {
+    SCOPED_TRACE(std::string("simd=") + (simd_on ? "1" : "0"));
+    SimdOptions simd;
+    simd.enabled = simd_on;
+    ContingencyTableBuilder batch_default(db, {}, simd);
+    ASSERT_EQ(batch_default.kernel(),
+              simd_on ? KernelMode::kVector : KernelMode::kScalar);
+    CtCacheOptions tiny;
+    tiny.budget_words = 64;  // a couple of 1500-bit tidsets at most
+    ContingencyTableBuilder batch_tiny(db, tiny, simd);
+    CtCacheOptions off;
+    off.enabled = false;
+    ContingencyTableBuilder batch_off(db, off, simd);
+    Rng rng(GetParam().seed ^ 0xd1ffu);
+    for (int round = 0; round < 5; ++round) {
+      const std::vector<Itemset> batch =
+          RandomCandidateBatch(rng, db.num_items());
+      for (ContingencyTableBuilder* builder :
+           {&batch_default, &batch_tiny, &batch_off}) {
+        std::vector<stats::ContingencyTable> tables;
+        builder->BuildBatch(
+            batch, /*want=*/{},
+            [&](std::size_t i, const stats::ContingencyTable& table) {
+              ASSERT_EQ(i, tables.size());  // emitted in candidate order
+              tables.push_back(table);
+            });
+        ASSERT_EQ(tables.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const auto scalar = reference.BuildScalar(batch[i]);
+          const auto fast = reference.Build(batch[i]);
+          ASSERT_EQ(tables[i].num_cells(), scalar.num_cells());
+          for (std::uint32_t mask = 0; mask < scalar.num_cells(); ++mask) {
+            ASSERT_EQ(fast.cell(mask), scalar.cell(mask))
+                << batch[i].ToString() << " mask=" << mask;
+            ASSERT_EQ(tables[i].cell(mask), scalar.cell(mask))
+                << batch[i].ToString() << " mask=" << mask;
+          }
         }
       }
     }
+    // The starved cache must actually have evicted (otherwise the tiny
+    // configuration exercises nothing beyond the default one).
+    EXPECT_GT(batch_tiny.cache_stats().evictions, 0u);
+    EXPECT_LE(batch_tiny.cache_words_in_use(), tiny.budget_words);
+    EXPECT_EQ(batch_off.cache_stats().hits + batch_off.cache_stats().misses,
+              0u);
   }
-  // The starved cache must actually have evicted (otherwise the tiny
-  // configuration exercises nothing beyond the default one).
-  EXPECT_GT(batch_tiny.cache_stats().evictions, 0u);
-  EXPECT_LE(batch_tiny.cache_words_in_use(), tiny.budget_words);
-  EXPECT_EQ(batch_off.cache_stats().hits + batch_off.cache_stats().misses,
-            0u);
 }
 
 // Engine-level differential matrix: for every variant, answers and the
-// deterministic counters are bit-identical across thread counts and with
-// the intersection cache on or off.
+// deterministic counters are bit-identical across thread counts, with the
+// intersection cache on or off, and with the SIMD kernel + pair stage on
+// or off — the {scalar, simd} x cache {on, off} x {1, 2, 8} threads grid.
 TEST_P(DifferentialTest, VariantsAgreeAcrossThreadsAndCtPath) {
   const TransactionDatabase db = MakeDb(GetParam());
   const ItemCatalog catalog = MakeCatalog();
@@ -238,33 +250,36 @@ TEST_P(DifferentialTest, VariantsAgreeAcrossThreadsAndCtPath) {
     bool have_baseline = false;
     for (std::size_t threads : {1u, 2u, 8u}) {
       for (bool cache : {true, false}) {
-        EngineOptions eopts;
-        eopts.num_threads = threads;
-        eopts.ct_cache = cache;
-        MiningEngine engine(db, catalog, eopts);
-        const MiningResult result = engine.Run(request);
-        ASSERT_EQ(result.termination, Termination::kCompleted);
-        if (!have_baseline) {
-          baseline_answers = result.answers;
-          baseline_levels = result.stats.levels;
-          have_baseline = true;
-          continue;
-        }
-        EXPECT_EQ(result.answers, baseline_answers)
-            << AlgorithmName(algorithm) << " threads=" << threads
-            << " cache=" << cache;
-        ASSERT_EQ(result.stats.levels.size(), baseline_levels.size());
-        for (std::size_t l = 0; l < baseline_levels.size(); ++l) {
-          const LevelStats& got = result.stats.levels[l];
-          const LevelStats& want = baseline_levels[l];
-          EXPECT_EQ(got.candidates, want.candidates);
-          EXPECT_EQ(got.pruned_before_ct, want.pruned_before_ct);
-          EXPECT_EQ(got.tables_built, want.tables_built);
-          EXPECT_EQ(got.ct_supported, want.ct_supported);
-          EXPECT_EQ(got.chi2_tests, want.chi2_tests);
-          EXPECT_EQ(got.correlated, want.correlated);
-          EXPECT_EQ(got.sig_added, want.sig_added);
-          EXPECT_EQ(got.notsig_added, want.notsig_added);
+        for (bool simd : {true, false}) {
+          EngineOptions eopts;
+          eopts.num_threads = threads;
+          eopts.ct_cache = cache;
+          eopts.simd_kernel = simd;
+          MiningEngine engine(db, catalog, eopts);
+          const MiningResult result = engine.Run(request);
+          ASSERT_EQ(result.termination, Termination::kCompleted);
+          if (!have_baseline) {
+            baseline_answers = result.answers;
+            baseline_levels = result.stats.levels;
+            have_baseline = true;
+            continue;
+          }
+          EXPECT_EQ(result.answers, baseline_answers)
+              << AlgorithmName(algorithm) << " threads=" << threads
+              << " cache=" << cache << " simd=" << simd;
+          ASSERT_EQ(result.stats.levels.size(), baseline_levels.size());
+          for (std::size_t l = 0; l < baseline_levels.size(); ++l) {
+            const LevelStats& got = result.stats.levels[l];
+            const LevelStats& want = baseline_levels[l];
+            EXPECT_EQ(got.candidates, want.candidates);
+            EXPECT_EQ(got.pruned_before_ct, want.pruned_before_ct);
+            EXPECT_EQ(got.tables_built, want.tables_built);
+            EXPECT_EQ(got.ct_supported, want.ct_supported);
+            EXPECT_EQ(got.chi2_tests, want.chi2_tests);
+            EXPECT_EQ(got.correlated, want.correlated);
+            EXPECT_EQ(got.sig_added, want.sig_added);
+            EXPECT_EQ(got.notsig_added, want.notsig_added);
+          }
         }
       }
     }

@@ -1,0 +1,18 @@
+// ccs-lint fixture: the vector-extension violations from the bad tree,
+// each silenced by an escape hatch — the whole-file hatch for the
+// intrinsics header, inline allow() for the rest. Must scan clean.
+//
+// Prototype staging ground for a kernel before it graduates into
+// src/core/simd_kernel.cc:
+// ccs-lint: allow-file(vector-ext-outside-kernel)
+#include <immintrin.h>
+
+namespace ccs_fixture {
+
+typedef long V4 __attribute__((vector_size(32)));  // silenced by allow-file
+
+inline __m256 WideZero() {
+  return _mm256_setzero_ps();
+}
+
+}  // namespace ccs_fixture

@@ -1,0 +1,22 @@
+// ccs-lint fixture: vector extensions and intrinsics outside the
+// sanctioned kernel TU pair (src/core/simd_kernel.{h,cc}). The rule is
+// scoped to all of src/ — this file sits in src/txn to prove the scope
+// reaches beyond src/core. Every spelling the linter knows is seeded.
+#include <immintrin.h>  // rule: vector-ext-outside-kernel
+#include <arm_neon.h>   // rule: vector-ext-outside-kernel
+
+namespace ccs_fixture {
+
+typedef long V4 __attribute__((vector_size(32)));  // rule: vector-ext-outside-kernel
+
+inline V4 WideAnd(V4 a, V4 b) { return a & b; }
+
+inline __m256 WideZero() {  // rule: vector-ext-outside-kernel
+  return _mm256_setzero_ps();  // rule: vector-ext-outside-kernel
+}
+
+inline long RawBuiltin(long a, long b) {
+  return __builtin_ia32_andn_u64(a, b);  // rule: vector-ext-outside-kernel
+}
+
+}  // namespace ccs_fixture

@@ -1,0 +1,26 @@
+// ccs-lint fixture: code that talks about vector extensions without using
+// them — comments and strings naming vector_size(32), <immintrin.h>,
+// __m256, or _mm256_and_si256() are fine, as are identifiers that merely
+// resemble the banned tokens. Must produce zero findings.
+#include <string>
+#include <vector>
+
+namespace ccs_fixture {
+
+// The real kernel uses __attribute__((vector_size(32))) lanes and could
+// one day use _mm256_* intrinsics from <immintrin.h>; this file only
+// documents that fact.
+inline std::string KernelDoc() {
+  return "dispatches __m256-wide ops via vector_size(32) lanes";
+}
+
+// Case differs, so the attribute pattern must not fire.
+inline std::size_t VectorSize(const std::vector<int>& v) { return v.size(); }
+
+// A member access spelled comm256_reset() shares no token boundary with
+// the _mm* intrinsic namespace.
+struct Channel {
+  void comm256_reset() {}
+};
+
+}  // namespace ccs_fixture

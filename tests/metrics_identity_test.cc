@@ -1,12 +1,14 @@
 // The metrics-identity suite (DESIGN.md §10): every kDeterministic metric
 // must aggregate to a bit-identical total for any executor width, and the
 // engine.* family — derived purely from the answer computation — must also
-// be identical across the two CT paths. Runs every BMS variant over the
-// golden corpus at {1, 2, 8} threads with the CT cache on and off.
+// be identical across the CT paths and across kernel modes. Runs every BMS
+// variant over the golden corpus on the full mode grid: {scalar, simd} x
+// cache {on, off} x {1, 2, 8} threads.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "core/engine.h"
 #include "txn/io.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace ccs {
 namespace {
@@ -104,10 +107,11 @@ std::map<std::string, std::uint64_t> EngineScalars(
 
 MiningResult RunOnce(const TransactionDatabase& db, const ItemCatalog& catalog,
                      const Fixture& fixture, Algorithm algorithm,
-                     std::size_t threads, bool cache) {
+                     std::size_t threads, bool cache, bool simd = true) {
   EngineOptions eopts;
   eopts.num_threads = threads;
   eopts.ct_cache = cache;
+  eopts.simd_kernel = simd;
   MiningEngine engine(db, catalog, eopts);
   MiningRequest request;
   request.algorithm = algorithm;
@@ -127,46 +131,134 @@ TEST_P(MetricsIdentityTest, DeterministicCountersAcrossThreadsAndCacheModes) {
     const TransactionDatabase db = LoadFixtureDb(fixture);
     const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
 
-    // Reference runs at 1 thread, per cache mode.
-    const MiningResult ref_on =
-        RunOnce(db, catalog, fixture, algorithm, 1, true);
-    const MiningResult ref_off =
-        RunOnce(db, catalog, fixture, algorithm, 1, false);
-    ASSERT_TRUE(ref_on.metrics.enabled);
-
-    // Across CT paths only the engine.* family is promised identical —
-    // ct.word_ops and the batching counters legitimately move with the
-    // evaluation strategy. Answers are identical by the determinism
-    // contract.
-    EXPECT_EQ(ref_on.answers, ref_off.answers);
-    EXPECT_EQ(EngineScalars(ref_on.metrics), EngineScalars(ref_off.metrics));
+    // Reference runs at 1 thread, per (cache, kernel) mode.
+    const MiningResult ref_first =
+        RunOnce(db, catalog, fixture, algorithm, 1, true, true);
+    ASSERT_TRUE(ref_first.metrics.enabled);
+    const auto ref_engine = EngineScalars(ref_first.metrics);
 
     for (const bool cache : {true, false}) {
-      const MiningResult& reference = cache ? ref_on : ref_off;
-      const auto ref_scalars = DeterministicScalars(reference.metrics);
-      const HistogramSnapshot* ref_hist =
-          reference.metrics.FindHistogram("engine.level_candidates");
-      ASSERT_NE(ref_hist, nullptr);
-      for (const std::size_t threads : kThreadCounts) {
-        SCOPED_TRACE("threads=" + std::to_string(threads) +
-                     " cache=" + std::to_string(cache));
-        const MiningResult run =
-            RunOnce(db, catalog, fixture, algorithm, threads, cache);
-        EXPECT_EQ(run.answers, reference.answers);
-        // Every deterministic scalar, bit-identical.
-        EXPECT_EQ(DeterministicScalars(run.metrics), ref_scalars);
-        // The per-level candidate histogram is deterministic too.
-        const HistogramSnapshot* hist =
-            run.metrics.FindHistogram("engine.level_candidates");
-        ASSERT_NE(hist, nullptr);
-        EXPECT_EQ(hist->buckets, ref_hist->buckets);
-        EXPECT_EQ(hist->count, ref_hist->count);
-        EXPECT_EQ(hist->sum, ref_hist->sum);
-        EXPECT_EQ(hist->min, ref_hist->min);
-        EXPECT_EQ(hist->max, ref_hist->max);
+      for (const bool simd : {true, false}) {
+        const MiningResult reference =
+            RunOnce(db, catalog, fixture, algorithm, 1, cache, simd);
+        // Across CT paths and kernel modes only the engine.* family is
+        // promised identical — ct.word_ops, the batching counters, and
+        // the pair-stage counters legitimately move with the evaluation
+        // strategy. Answers are identical by the determinism contract.
+        EXPECT_EQ(reference.answers, ref_first.answers);
+        EXPECT_EQ(EngineScalars(reference.metrics), ref_engine);
+        const auto ref_scalars = DeterministicScalars(reference.metrics);
+        const HistogramSnapshot* ref_hist =
+            reference.metrics.FindHistogram("engine.level_candidates");
+        ASSERT_NE(ref_hist, nullptr);
+        for (const std::size_t threads : kThreadCounts) {
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " cache=" + std::to_string(cache) +
+                       " simd=" + std::to_string(simd));
+          const MiningResult run =
+              RunOnce(db, catalog, fixture, algorithm, threads, cache, simd);
+          EXPECT_EQ(run.answers, reference.answers);
+          // Every deterministic scalar, bit-identical.
+          EXPECT_EQ(DeterministicScalars(run.metrics), ref_scalars);
+          // The per-level candidate histogram is deterministic too.
+          const HistogramSnapshot* hist =
+              run.metrics.FindHistogram("engine.level_candidates");
+          ASSERT_NE(hist, nullptr);
+          EXPECT_EQ(hist->buckets, ref_hist->buckets);
+          EXPECT_EQ(hist->count, ref_hist->count);
+          EXPECT_EQ(hist->sum, ref_hist->sum);
+          EXPECT_EQ(hist->min, ref_hist->min);
+          EXPECT_EQ(hist->max, ref_hist->max);
+        }
       }
     }
   }
+}
+
+// A sparse fixture where the pair stage's admission cost gate clearly
+// pays: ~2 stage items per transaction, so the horizontal pass is far
+// cheaper than per-candidate bitset intersections over 63-word tid-sets.
+Fixture SparsePairStageFixture() {
+  Fixture fixture;
+  fixture.name = "sparse_pair_stage";
+  fixture.baskets_file = nullptr;  // in-memory only
+  fixture.num_items = 24;
+  fixture.constraints.Add(SumLe(40.0));
+  fixture.options.significance = 0.9;
+  fixture.options.min_support = 100;
+  fixture.options.min_cell_fraction = 0.25;
+  fixture.options.max_set_size = 4;
+  return fixture;
+}
+
+TransactionDatabase SparsePairStageDb() {
+  Rng rng(20260808);
+  TransactionDatabase db(24);
+  for (int t = 0; t < 4000; ++t) {
+    Transaction txn;
+    for (ItemId i = 0; i < 24; ++i) {
+      if (rng.NextBernoulli(0.08)) txn.push_back(i);
+    }
+    db.Add(std::move(txn));
+  }
+  db.Finalize();
+  return db;
+}
+
+// The pair-stage counters are deterministic and live: with the SIMD
+// kernel on, all-pair levels on sparse data route through the stage
+// (ct.pair_stage_tables > 0) at identical totals for any thread count and
+// cache mode; with the kernel off, both counters are exactly zero. The
+// dense ibm fixture pins the other side of the admission gate: its
+// estimated pass cost exceeds the scalar cost model, so the gate falls
+// back to the bitset paths — deterministically — and the stage counters
+// stay zero even with the kernel on.
+TEST_P(MetricsIdentityTest, PairStageCountersDeterministicAndGated) {
+  // This test pins both sides of the admission gate, so it drives the
+  // kernel switch through EngineOptions alone — a CCS_SIMD override in
+  // the ambient environment (e.g. check.sh's scalar sweep) would mask
+  // the very behavior under test.
+  unsetenv("CCS_SIMD");
+  const Algorithm algorithm = GetParam();
+  const Fixture fixture = SparsePairStageFixture();
+  const TransactionDatabase db = SparsePairStageDb();
+  const ItemCatalog catalog = FixtureCatalog(fixture.num_items);
+  const MiningResult ref =
+      RunOnce(db, catalog, fixture, algorithm, 1, true, true);
+  EXPECT_GT(ref.metrics.Value("ct.pair_stage_tables"), 0u);
+  EXPECT_GT(ref.metrics.Value("ct.pair_stage_ops"), 0u);
+  EXPECT_EQ(ref.stats.ct_pair_stage_tables,
+            ref.metrics.Value("ct.pair_stage_tables"));
+  EXPECT_EQ(ref.stats.ct_pair_stage_ops,
+            ref.metrics.Value("ct.pair_stage_ops"));
+  for (const std::size_t threads : kThreadCounts) {
+    for (const bool cache : {true, false}) {
+      const MiningResult run =
+          RunOnce(db, catalog, fixture, algorithm, threads, cache, true);
+      EXPECT_EQ(run.metrics.Value("ct.pair_stage_tables"),
+                ref.metrics.Value("ct.pair_stage_tables"))
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_EQ(run.metrics.Value("ct.pair_stage_ops"),
+                ref.metrics.Value("ct.pair_stage_ops"))
+          << "threads=" << threads << " cache=" << cache;
+      const MiningResult off =
+          RunOnce(db, catalog, fixture, algorithm, threads, cache, false);
+      EXPECT_EQ(off.metrics.Value("ct.pair_stage_tables"), 0u);
+      EXPECT_EQ(off.metrics.Value("ct.pair_stage_ops"), 0u);
+    }
+  }
+
+  // Dense side of the cost gate: ibm_seed4201's stage-item density makes
+  // the estimated pass cost beat the scalar model, so even with the
+  // kernel enabled the k=2 level keeps the bitset paths.
+  const std::vector<Fixture> fixtures = GoldenFixtures();
+  const Fixture& dense = fixtures[1];  // ibm_seed4201
+  const TransactionDatabase dense_db = LoadFixtureDb(dense);
+  const ItemCatalog dense_catalog = FixtureCatalog(dense.num_items);
+  const MiningResult dense_run =
+      RunOnce(dense_db, dense_catalog, dense, algorithm, 1, true, true);
+  EXPECT_EQ(dense_run.metrics.Value("ct.pair_stage_tables"), 0u);
+  EXPECT_EQ(dense_run.metrics.Value("ct.pair_stage_ops"), 0u);
 }
 
 TEST_P(MetricsIdentityTest, CacheLookupsEqualHitsPlusMisses) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -223,6 +224,32 @@ TEST(GoldenCorpus, PaperExampleAnswersAreFrozen) {
       LoadAnswers("paper_example_minvalid.answers"));
 }
 
+// Renders an answer set in the exact byte format of the committed
+// *.answers fixtures (space-separated items, one set per line, trailing
+// newline), so the comparisons below are byte-identical report checks
+// rather than parsed-value checks.
+std::string RenderAnswers(const std::vector<Itemset>& answers) {
+  std::ostringstream out;
+  for (const Itemset& s : answers) {
+    bool first = true;
+    for (ItemId item : s) {
+      if (!first) out << ' ';
+      out << item;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ReadFileBytes(const std::string& name) {
+  std::ifstream in(DataPath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << DataPath(name);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
 TEST(GoldenCorpus, IbmFixtureAnswersAreFrozen) {
   const TransactionDatabase db = LoadFixture("ibm_seed4201.baskets", 24);
   const ItemCatalog catalog = FixtureCatalog(24);
@@ -233,18 +260,27 @@ TEST(GoldenCorpus, IbmFixtureAnswersAreFrozen) {
   options.min_support = 40;
   options.min_cell_fraction = 0.25;
   options.max_set_size = 4;
+  const std::string golden_bytes = ReadFileBytes("ibm_seed4201.answers");
   const std::vector<Itemset> golden = LoadAnswers("ibm_seed4201.answers");
   ASSERT_FALSE(golden.empty());
-  // Both CT paths must reproduce the committed answers exactly.
+  // Every (CT path x kernel mode) combination must reproduce the committed
+  // report byte for byte.
   for (bool cache : {true, false}) {
-    EngineOptions eopts;
-    eopts.ct_cache = cache;
-    MiningEngine engine(db, catalog, eopts);
-    MiningRequest request;
-    request.algorithm = Algorithm::kBmsPlusPlus;
-    request.options = options;
-    request.constraints = &constraints;
-    EXPECT_EQ(engine.Run(request).answers, golden) << "cache=" << cache;
+    for (bool simd : {true, false}) {
+      EngineOptions eopts;
+      eopts.ct_cache = cache;
+      eopts.simd_kernel = simd;
+      MiningEngine engine(db, catalog, eopts);
+      MiningRequest request;
+      request.algorithm = Algorithm::kBmsPlusPlus;
+      request.options = options;
+      request.constraints = &constraints;
+      const MiningResult result = engine.Run(request);
+      EXPECT_EQ(result.answers, golden)
+          << "cache=" << cache << " simd=" << simd;
+      EXPECT_EQ(RenderAnswers(result.answers), golden_bytes)
+          << "cache=" << cache << " simd=" << simd;
+    }
   }
 }
 
@@ -258,18 +294,65 @@ TEST(GoldenCorpus, ZipfFixtureAnswersAreFrozen) {
   options.min_support = 30;
   options.min_cell_fraction = 0.25;
   options.max_set_size = 4;
+  const std::string golden_bytes = ReadFileBytes("zipf_seed4202.answers");
   const std::vector<Itemset> golden = LoadAnswers("zipf_seed4202.answers");
   ASSERT_FALSE(golden.empty());
   for (bool cache : {true, false}) {
-    EngineOptions eopts;
-    eopts.ct_cache = cache;
-    MiningEngine engine(db, catalog, eopts);
-    MiningRequest request;
-    request.algorithm = Algorithm::kBmsStarStarOpt;
-    request.options = options;
-    request.constraints = &constraints;
-    EXPECT_EQ(engine.Run(request).answers, golden) << "cache=" << cache;
+    for (bool simd : {true, false}) {
+      EngineOptions eopts;
+      eopts.ct_cache = cache;
+      eopts.simd_kernel = simd;
+      MiningEngine engine(db, catalog, eopts);
+      MiningRequest request;
+      request.algorithm = Algorithm::kBmsStarStarOpt;
+      request.options = options;
+      request.constraints = &constraints;
+      const MiningResult result = engine.Run(request);
+      EXPECT_EQ(result.answers, golden)
+          << "cache=" << cache << " simd=" << simd;
+      EXPECT_EQ(RenderAnswers(result.answers), golden_bytes)
+          << "cache=" << cache << " simd=" << simd;
+    }
   }
+}
+
+TEST(GoldenCorpus, CcsSimdEnvironmentOverrideControlsKernelSelection) {
+  // CCS_SIMD is the operational kill switch (DESIGN.md §14): it overrides
+  // EngineOptions::simd_kernel in ResolveEngineOptions, "0" disabling the
+  // vector kernel and any other value enabling it. Either way the frozen
+  // report must come out byte-identical.
+  const TransactionDatabase db = LoadFixture("paper_example.baskets", 5);
+  const ItemCatalog catalog = PaperCatalog();
+  const std::string golden_bytes = ReadFileBytes("paper_example_bms.answers");
+  ConstraintSet none;
+  struct Case {
+    const char* env;     // nullptr = unset
+    bool field;          // EngineOptions::simd_kernel
+    bool expect_enabled; // resolved SimdOptions::enabled
+  };
+  const Case cases[] = {
+      {nullptr, true, true},  {nullptr, false, false},
+      {"0", true, false},     {"1", false, true},
+  };
+  for (const Case& c : cases) {
+    if (c.env != nullptr) {
+      ASSERT_EQ(setenv("CCS_SIMD", c.env, /*overwrite=*/1), 0);
+    } else {
+      unsetenv("CCS_SIMD");
+    }
+    EngineOptions eopts;
+    eopts.simd_kernel = c.field;
+    MiningEngine engine(db, catalog, eopts);
+    EXPECT_EQ(engine.simd().enabled, c.expect_enabled)
+        << "env=" << (c.env ? c.env : "<unset>") << " field=" << c.field;
+    MiningRequest request;
+    request.algorithm = Algorithm::kBms;
+    request.options = PaperOptions();
+    request.constraints = &none;
+    EXPECT_EQ(RenderAnswers(engine.Run(request).answers), golden_bytes)
+        << "env=" << (c.env ? c.env : "<unset>");
+  }
+  unsetenv("CCS_SIMD");
 }
 
 }  // namespace
