@@ -13,6 +13,9 @@
 //               [--save-baskets FILE]
 //   ccsmine_cli --baskets-file FILE --catalog-file FILE [--query ...] ...
 //   ccsmine_cli --socket PATH [--retries N] [--query ...] ...
+//   ccsmine_cli --stream-replay FILE [--stream-fine-frames N]
+//               [--stream-frames-per-level N] [--stream-levels N]
+//               [--stream-delta-fraction F] [--query ...] ...
 //
 // The --query string uses the full ParseQuery grammar (semantics, where-,
 // and with-clauses); bare constraint strings are accepted too. Explicit
@@ -27,6 +30,16 @@
 // overflow, restart window) is retried with jittered backoff per the
 // retryability contract. Answers print exactly as in-process runs do, so
 // the two modes stay byte-diffable.
+//
+// --stream-replay FILE replays a .stream fixture (see src/stream/replay.h
+// for the format) through the streaming pipeline (DESIGN.md §15): the
+// dataset flags then only define the item universe and catalog (loaded or
+// generated baskets are discarded), each TICK line advances the tilted
+// window one epoch and re-evaluates the query through the DeltaMiner.
+// Output is the rendered answer stream — the byte-exact content of a
+// golden .answer_stream fixture — followed by a '#' summary line and the
+// final window's answers, one per line. scripts/stream_smoke.py
+// byte-compares both sections against a daemon driven by APPEND/TICK.
 //
 // The dataset and run-limit flags are parsed by the shared src/cli layer,
 // the same one ccsmined uses — a daemon started with these flags mines
@@ -53,6 +66,9 @@
 #include "core/session.h"
 #include "query/parser.h"
 #include "query/query.h"
+#include "stream/delta_miner.h"
+#include "stream/replay.h"
+#include "stream/streaming_database.h"
 #include "txn/io.h"
 #include "txn/profile.h"
 
@@ -63,6 +79,8 @@ struct CliOptions {
   ccs::cli::DataOptions data;      // --generate/--baskets-file/...
   std::string socket_path;         // --socket: mine via a ccsmined daemon
   std::size_t retries = 5;         // --retries: client attempts (>= 1)
+  std::string stream_replay;       // --stream-replay: drive a .stream file
+  ccs::stream::StreamOptions stream_options;
   std::string save_baskets;
   std::string query;
   std::string algorithm;  // empty: follow the query's semantics
@@ -92,6 +110,9 @@ int Usage(const char* argv0) {
                "          [--baskets-file F --catalog-file F]\n"
                "          [--save-baskets F]\n"
                "          [--socket PATH [--retries N]]\n"
+               "          [--stream-replay F [--stream-fine-frames N]\n"
+               "           [--stream-frames-per-level N] [--stream-levels N]\n"
+               "           [--stream-delta-fraction F]]\n"
                "exit codes: 0 completed, 2 usage, 3 bad input data,\n"
                "            4 malformed query, 5 run error, 6 deadline,\n"
                "            7 budget exhausted (6/7 still print partials)\n",
@@ -157,6 +178,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->socket_path = value;
     } else if (flag == "--retries") {
       out->retries = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-replay") {
+      out->stream_replay = value;
+    } else if (flag == "--stream-fine-frames") {
+      out->stream_options.fine_frames = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-frames-per-level") {
+      out->stream_options.frames_per_level =
+          std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-levels") {
+      out->stream_options.levels = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-delta-fraction") {
+      out->stream_options.max_delta_fraction = std::strtod(value, nullptr);
     } else {
       return false;
     }
@@ -245,6 +277,54 @@ int RunOverSocket(const CliOptions& cli) {
   return 5;
 }
 
+// --stream-replay mode: the loaded data only defines the item universe
+// and catalog (mirroring ccsmined --stream); the fixture's baskets and
+// TICK lines drive the window. Prints the rendered answer stream, then a
+// '#' summary, then the final window's answers — the two sections
+// scripts/stream_smoke.py diffs against a daemon replay.
+int RunStreamReplay(const CliOptions& cli, ccs::cli::LoadedData data,
+                    const ccs::Query& query, ccs::Algorithm algorithm) {
+  ccs::stream::StreamingDatabase db(data.db.num_items(),
+                                    std::move(data.catalog),
+                                    cli.stream_options);
+  ccs::EngineOptions engine_options;
+  engine_options.num_threads = cli.common.threads;
+  if (!cli.common.trace_out.empty()) engine_options.trace = true;
+  ccs::stream::DeltaMiner miner(
+      &db,
+      [&cli, &query, algorithm](const ccs::TransactionDatabase& window) {
+        ccs::MiningRequest request;
+        request.algorithm = algorithm;
+        request.options = query.ResolveOptions(window);
+        request.constraints = &query.constraints;
+        ccs::cli::ApplyRunControl(cli.common, &request.control);
+        return request;
+      },
+      engine_options);
+  const auto replay =
+      ccs::stream::ReplayStreamFile(cli.stream_replay, db, miner);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "stream replay: %s\n",
+                 replay.status().ToString().c_str());
+    switch (replay.status().code()) {
+      case ccs::StatusCode::kNotFound:
+      case ccs::StatusCode::kInvalidArgument:
+        return 3;  // unreadable fixture / bad basket line
+      default:
+        return 5;  // a tick's run failed
+    }
+  }
+  std::printf("%s", replay->rendered.c_str());
+  std::printf("# final epoch=%llu window=%llu pending=%zu answers=%zu\n",
+              static_cast<unsigned long long>(db.epoch()),
+              static_cast<unsigned long long>(db.window_baskets()),
+              db.pending(), miner.answers().size());
+  for (const ccs::Itemset& s : miner.answers()) {
+    std::printf("%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,7 +339,7 @@ int main(int argc, char** argv) {
     return loaded.status().code() == ccs::StatusCode::kInvalidArgument ? 2
                                                                        : 3;
   }
-  const ccs::cli::LoadedData data = std::move(loaded).value();
+  ccs::cli::LoadedData data = std::move(loaded).value();
   if (!cli.save_baskets.empty() &&
       !ccs::WriteBasketsToFile(data.db, cli.save_baskets)) {
     std::fprintf(stderr, "cannot write %s\n", cli.save_baskets.c_str());
@@ -303,6 +383,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     algorithm = *parsed;
+  }
+
+  if (!cli.stream_replay.empty()) {
+    return RunStreamReplay(cli, std::move(data), query, algorithm);
   }
 
   const ccs::MiningOptions options = query.ResolveOptions(data.db);

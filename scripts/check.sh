@@ -19,7 +19,11 @@
 #      under injected svc_* faults, torture inputs, kill -9/restart, and
 #      a SIGTERM drain; every reply must be byte-identical or a clean
 #      ERR, and the daemon must never hang or crash (DESIGN.md §13).
-#   5. bench_smoke: the quick benchmark sweep, which also exercises every
+#   5. stream_smoke: replays the frozen paper-example stream through
+#      ccsmined --stream (APPEND/TICK) and ccsmine_cli --stream-replay
+#      and requires byte-identical answer streams, plus the golden
+#      render fixture (DESIGN.md §15).
+#   6. bench_smoke: the quick benchmark sweep, which also exercises every
 #      BENCH_<name>.json writer.
 #
 # Usage: scripts/check.sh [build-dir]     (default: build)
@@ -59,9 +63,9 @@ CCS_SIMD=0 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 
 # Per-flavor suite lists mirror tests/CMakeLists.txt's sanitize entries.
 declare -A SUITES=(
-  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test"
-  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test"
-  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test core_simd_kernel_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test"
+  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test stream_differential_test stream_window_test"
+  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test stream_differential_test stream_window_test"
+  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test core_simd_kernel_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test stream_differential_test stream_window_test"
 )
 for flavor in address undefined thread; do
   dir="${BUILD}-${flavor}"
@@ -78,6 +82,9 @@ python3 scripts/service_smoke.py "${BUILD}"
 
 echo "== service_chaos (${BUILD}) =="
 python3 scripts/service_chaos.py "${BUILD}"
+
+echo "== stream_smoke (${BUILD}) =="
+python3 scripts/stream_smoke.py "${BUILD}"
 
 echo "== bench_smoke (${BUILD}) =="
 cmake --build "${BUILD}" -j --target bench_smoke

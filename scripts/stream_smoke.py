@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""stream_smoke: streaming parity sweep between ccsmined and the CLI.
+
+Replays the frozen paper-example stream fixture through both streaming
+front ends and requires them to agree byte-for-byte (DESIGN.md §15):
+
+  1. runs `ccsmine_cli --stream-replay` over tests/data/paper_example.stream
+     under the pinned golden query, and checks its rendered answer stream
+     against the frozen tests/data/paper_example.answer_stream;
+  2. boots `ccsmined --stream` over the same universe, feeds each epoch's
+     baskets through APPEND and advances with TICK, reconstructs the
+     canonical per-tick render from the TICK frames (the OK header's
+     added/removed/retained counts plus the ADD/DEL payload lines), and
+     diffs it against the CLI's rendered stream;
+  3. requires the first TICK to report mode=full (no table cache yet) and
+     at least one later TICK to report mode=delta, so the sweep actually
+     exercises the delta path whenever CCS_STREAM is not forced off;
+  4. MINEs the final window through the daemon and diffs the answer sets
+     against the CLI replay's final answer block, then SHUTDOWNs and
+     requires a clean exit.
+
+Usage: scripts/stream_smoke.py [build-dir]     (default: build)
+"""
+
+import os
+import pathlib
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+
+QUERY = "all with alpha=0.95, support=0.05, cells=0.25, maxsize=4"
+DATA_FLAGS = ["--baskets-file", "tests/data/paper_example.baskets",
+              "--catalog-file", "tests/data/paper_example.catalog"]
+STREAM_FIXTURE = "tests/data/paper_example.stream"
+FROZEN_RENDER = "tests/data/paper_example.answer_stream"
+
+
+def fail(msg):
+    print(f"stream_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def roundtrip(path, line, timeout=120.0):
+    """One request on a fresh connection; returns the response lines
+    (END frame stripped)."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"END\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed before END frame for: {line[:40]}")
+            buf += chunk
+    lines = buf.decode().split("\n")
+    return lines[:-2]  # drop "END" and the trailing empty split
+
+
+def parse_epochs(fixture):
+    """The .stream format: one basket per line, a literal TICK closes an
+    epoch, blank and '#' lines are skipped (src/stream/replay.h)."""
+    epochs = []
+    current = []
+    for raw in fixture.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "TICK":
+            epochs.append(current)
+            current = []
+        else:
+            current.append(line)
+    if current:
+        fail(f"{fixture} has trailing baskets after the last TICK")
+    return epochs
+
+
+def cli_replay(cli):
+    """Returns (rendered stream, '# final' header fields, answer lines)."""
+    proc = subprocess.run(
+        [str(cli), "--stream-replay", STREAM_FIXTURE, *DATA_FLAGS,
+         "--query", QUERY],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"cli replay exited {proc.returncode}: {proc.stderr}")
+    rendered, sep, tail = proc.stdout.partition("# final ")
+    if not sep:
+        fail("cli replay output missing the '# final' summary line")
+    final_line, _, answer_block = tail.partition("\n")
+    fields = dict(kv.split("=") for kv in final_line.split())
+    answers = [l for l in answer_block.split("\n") if l]
+    return rendered, fields, answers
+
+
+def tick(sock_path):
+    """One TICK; returns (header fields, reconstructed render block)."""
+    lines = roundtrip(sock_path, "TICK")
+    if not lines or not lines[0].startswith("OK epoch="):
+        fail(f"unexpected TICK response head: {lines[:1]!r}")
+    fields = dict(kv.split("=") for kv in lines[0][len("OK "):].split())
+    block = (f"EPOCH {fields['epoch']} window={fields['window']} "
+             f"added={fields['added']} removed={fields['removed']} "
+             f"retained={fields['retained']}\n")
+    for line in lines[1:]:
+        if line.startswith("ADD "):
+            block += "+ " + line[len("ADD "):] + "\n"
+        elif line.startswith("DEL "):
+            block += "- " + line[len("DEL "):] + "\n"
+        else:
+            fail(f"unexpected TICK payload line: {line!r}")
+    return fields, block
+
+
+def main():
+    build = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    os.chdir(root)
+    daemon = root / build / "src" / "service" / "ccsmined"
+    cli = root / build / "examples" / "ccsmine_cli"
+    for binary in (daemon, cli):
+        if not binary.is_file():
+            fail(f"missing binary {binary}; build the '{build}' tree first")
+
+    # 1. CLI replay vs the frozen golden render.
+    rendered, final_fields, final_answers = cli_replay(cli)
+    frozen = pathlib.Path(FROZEN_RENDER).read_text()
+    if rendered != frozen:
+        fail(f"cli rendered stream diverged from {FROZEN_RENDER}")
+    print(f"stream_smoke: cli replay matches {FROZEN_RENDER} "
+          f"({final_fields['epoch']} epochs, window "
+          f"{final_fields['window']}, {len(final_answers)} answers)")
+
+    epochs = parse_epochs(pathlib.Path(STREAM_FIXTURE))
+
+    sock_path = os.path.join(tempfile.gettempdir(),
+                             f"ccs-stream-smoke-{os.getpid()}.sock")
+    server = subprocess.Popen(
+        [str(daemon), "--socket", sock_path, *DATA_FLAGS, "--stream",
+         "--stream-query", QUERY],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        ready = server.stdout.readline()
+        if not ready.startswith("ccsmined listening on"):
+            fail(f"daemon readiness line missing, got: {ready!r}")
+        print(f"stream_smoke: {ready.strip()}")
+
+        # 2. APPEND/TICK replay, reconstructing the canonical render.
+        daemon_render = ""
+        modes = []
+        for baskets in epochs:
+            reply = roundtrip(sock_path,
+                              "APPEND baskets=" + ";".join(baskets))
+            if not re.fullmatch(r"OK appended=\d+ pending=\d+", reply[0]):
+                fail(f"unexpected APPEND response: {reply[:1]!r}")
+            fields, block = tick(sock_path)
+            if fields["termination"] != "completed":
+                fail(f"TICK terminated {fields['termination']!r}")
+            modes.append(fields["mode"])
+            daemon_render += block
+        if daemon_render != rendered:
+            fail("daemon TICK stream diverged from the cli replay render")
+        print(f"stream_smoke: daemon render byte-identical over "
+              f"{len(epochs)} epochs")
+
+        # 3. The first tick has no table cache, so it must re-mine in
+        # full; later ticks ride the delta path unless the kill switch
+        # (CCS_STREAM=0) forced it off for this environment.
+        if modes[0] != "full":
+            fail(f"first TICK should be mode=full, got {modes[0]!r}")
+        stream_off = os.environ.get("CCS_STREAM") == "0"
+        if not stream_off and "delta" not in modes[1:]:
+            fail(f"no TICK took the delta path: modes={modes}")
+        print(f"stream_smoke: tick modes {modes} "
+              f"(CCS_STREAM={'off' if stream_off else 'default'})")
+
+        # 4. Final-window MINE vs the CLI replay's final answer block.
+        if fields["epoch"] != final_fields["epoch"] or \
+                fields["window"] != final_fields["window"]:
+            fail(f"final tick {fields} disagrees with cli {final_fields}")
+        lines = roundtrip(sock_path, f"MINE query={QUERY}")
+        if not lines or not lines[0].startswith("OK sets="):
+            fail(f"unexpected MINE response head: {lines[:1]!r}")
+        sets = [l[len("SET "):] for l in lines[1:] if l.startswith("SET ")]
+        if sets != final_answers:
+            fail(f"final MINE answers diverged: daemon {len(sets)} vs "
+                 f"cli {len(final_answers)} sets")
+        print(f"stream_smoke: final MINE byte-identical "
+              f"({len(sets)} sets)")
+
+        # 5. Clean shutdown.
+        if roundtrip(sock_path, "SHUTDOWN")[:1] != ["OK bye"]:
+            fail("SHUTDOWN did not answer OK bye")
+        code = server.wait(timeout=60)
+        if code != 0:
+            fail(f"daemon exited {code} after SHUTDOWN")
+        if os.path.exists(sock_path):
+            fail("socket file still present after clean shutdown")
+        print("stream_smoke: clean shutdown, all green")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,8 @@
 
 namespace ccs {
 
+class CtDeltaSource;
+
 // Snapshot emitted after an algorithm finishes a lattice level. Algorithms
 // that revisit a level in a later pass (BMS*'s upward sweep amends the base
 // run's levels; BMS**'s phase 2 re-walks the SUPP levels) emit one event
@@ -48,7 +50,8 @@ class MiningContext {
                 const ProgressCallback* progress = nullptr,
                 const RunGovernor* governor = nullptr,
                 CtCacheOptions ct_cache = {}, SimdOptions simd = {},
-                MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr)
+                MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr,
+                CtDeltaSource* ct_delta = nullptr)
       : executor_(&executor),
         algorithm_(algorithm),
         progress_(progress),
@@ -56,7 +59,8 @@ class MiningContext {
         ct_cache_(ct_cache),
         simd_(simd),
         metrics_(metrics),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        ct_delta_(ct_delta) {}
 
   ParallelExecutor& executor() const { return *executor_; }
   std::size_t num_threads() const { return executor_->num_threads(); }
@@ -79,6 +83,11 @@ class MiningContext {
   // algorithm code never branches on their presence.
   MetricsRegistry* metrics() const { return metrics_; }
   Tracer* tracer() const { return tracer_; }
+
+  // Streaming table oracle (core/ct_delta.h), nullable: installed by
+  // stream::DeltaMiner via MiningRequest::ct_delta; null on every batch
+  // run. Consumed only by GovernedBuildTables.
+  CtDeltaSource* ct_delta() const { return ct_delta_; }
 
   // Deadline/cancellation poll (between candidate batches). kCompleted
   // when no governor is installed (the legacy free-function path).
@@ -117,6 +126,7 @@ class MiningContext {
   SimdOptions simd_;
   MetricsRegistry* metrics_;
   Tracer* tracer_;
+  CtDeltaSource* ct_delta_;
 };
 
 // RAII phase instrumentation for the serial (orchestrating-thread) parts

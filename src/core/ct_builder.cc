@@ -29,6 +29,11 @@ ContingencyTableBuilder::ContingencyTableBuilder(
       kernel_(SelectKernel(simd, db)),
       cache_(cache.enabled ? cache.budget_words : 0) {}
 
+void ContingencyTableBuilder::AccountExternalTable() {
+  CCS_FAULT_POINT("ct_build");
+  ++tables_built_;
+}
+
 stats::ContingencyTable ContingencyTableBuilder::Build(const Itemset& s) {
   CCS_FAULT_POINT("ct_build");
   CCS_CHECK(db_->finalized());

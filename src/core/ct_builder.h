@@ -120,6 +120,14 @@ class ContingencyTableBuilder {
   // work shows up in the same counters/stats stream as word_ops().
   void AddPairStageOps(std::uint64_t ops) { pair_stage_ops_ += ops; }
 
+  // Accounts a table produced outside this builder — the streaming delta
+  // path recovering cached cells (core/ct_delta.h) — exactly as if Build
+  // had made it: same CCS_FAULT_POINT("ct_build"), same tables_built()
+  // tick. Keeps LevelStats, the per-thread table split, and the
+  // fault-injection cadence identical whichever path produced the table;
+  // costs no database work and no word_ops().
+  void AccountExternalTable();
+
   // The kernel this builder selected at construction.
   KernelMode kernel() const { return kernel_; }
 

@@ -1,0 +1,67 @@
+#ifndef CCS_CORE_CT_DELTA_H_
+#define CCS_CORE_CT_DELTA_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "core/itemset.h"
+#include "stats/contingency.h"
+
+namespace ccs {
+
+// Per-tick contingency-table oracle for the streaming path (DESIGN.md
+// §15). Contingency-table cells are additive over disjoint transaction
+// sets, so for a window that changed by an appended and an expired basket
+// set the new table of any itemset is recoverable exactly:
+//
+//   CT_t(S) = CT_{t-1}(S) - CT_expired(S) + CT_appended(S)
+//
+// (integer arithmetic, no approximation — expired is a subset of the
+// previous window, so the subtraction never underflows when evaluated
+// first). A DeltaMiner installs one of these on MiningRequest::ct_delta;
+// GovernedBuildTables then consults it before building each wanted
+// candidate's table and records every table it emits, whichever path
+// produced it — except pure pair batches, which keep the candidate-free
+// k=2 pair stage (one shared horizontal pass per batch, cheaper than any
+// per-candidate arithmetic) and are never recorded or recovered. Because
+// the oracle only substitutes bit-identical cells — never skips a
+// candidate and never changes the candidate order — every downstream
+// judgment, counter of kDeterministic stability, and answer is identical
+// to a fresh batch mine of the same window snapshot, at any thread count.
+//
+// Implementations live outside core (src/stream/delta_miner.cc); core only
+// depends on this interface. Thread contract: Recover/Record are called
+// concurrently from worker threads but always with that worker's distinct
+// `thread` slot, so implementations shard mutable state per thread and
+// need no locks.
+class CtDeltaSource {
+ public:
+  virtual ~CtDeltaSource() = default;
+
+  // False = record-only mode: the run is a full re-mine (cost model
+  // declined the delta path, or no table cache exists yet) but the oracle
+  // still captures every table for the next tick. Constant for the
+  // lifetime of the run.
+  virtual bool lookup_enabled() const = 0;
+
+  // True when `s` contains an item present in this tick's appended or
+  // expired baskets — i.e. any cell other than the all-absent one may have
+  // changed. Pure function of the itemset; called from worker threads.
+  virtual bool IsDirty(const Itemset& s) const = 0;
+
+  // Returns the exact table of `s` over the current window, or nullopt on
+  // a cache miss (the caller then builds from scratch). Only called when
+  // lookup_enabled().
+  virtual std::optional<stats::ContingencyTable> Recover(
+      const Itemset& s, std::size_t thread) = 0;
+
+  // Captures the finished table of `s` for the next tick's cache. Called
+  // for every emitted table, recovered or built, in both modes — except
+  // tables of pure pair batches, which stay on the k=2 fast paths.
+  virtual void Record(const Itemset& s, std::size_t thread,
+                      const stats::ContingencyTable& table) = 0;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_CORE_CT_DELTA_H_

@@ -25,6 +25,10 @@ ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options) {
   if (const char* env = std::getenv("CCS_SIMD")) {
     resolved.simd.enabled = std::string(env) != "0";
   }
+  resolved.streaming = options.streaming;
+  if (const char* env = std::getenv("CCS_STREAM")) {
+    resolved.streaming = std::string(env) != "0";
+  }
   resolved.metrics = MetricsEnabledFromEnv(options.metrics);
   resolved.trace = options.trace;
   resolved.trace_capacity = options.trace_capacity;

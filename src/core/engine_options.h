@@ -14,6 +14,7 @@
 namespace ccs {
 
 class ConstraintSet;
+class CtDeltaSource;
 
 // Session-level knobs, fixed for the lifetime of a MiningEngine or
 // MiningSession. Everything query-level lives in MiningRequest, so adding
@@ -64,6 +65,17 @@ struct EngineOptions {
   // enables at trace_capacity, an integer > 1 enables with that capacity.
   bool trace = false;
   std::size_t trace_capacity = Tracer::kDefaultCapacity;
+
+  // Incremental streaming re-evaluation (DESIGN.md §15): when true, a
+  // DeltaMiner may serve contingency tables from its per-tick delta cache
+  // (through MiningRequest::ct_delta); when false it performs a full
+  // re-mine on every tick and installs no oracle. Answers and the
+  // deterministic counters are bit-identical either way — this is a kill
+  // switch kept for differential testing and as the escape hatch if the
+  // delta path ever misbehaves in production. The CCS_STREAM environment
+  // variable ("0"/"1"), if set, overrides this field. Batch runs ignore
+  // it entirely.
+  bool streaming = true;
 };
 
 // One correlation-mining query: which algorithm, its statistical
@@ -79,6 +91,10 @@ struct MiningRequest {
   // tripped Run returns a partial MiningResult with the reason in
   // MiningResult::termination (see core/run_control.h).
   RunControl control;
+  // Borrowed streaming table oracle (core/ct_delta.h); must outlive the
+  // Run call. nullptr — every batch caller — builds all tables from the
+  // database exactly as before. Installed only by stream::DeltaMiner.
+  CtDeltaSource* ct_delta = nullptr;
 };
 
 // EngineOptions with every environment override folded in — the output of
@@ -100,17 +116,21 @@ struct ResolvedEngineOptions {
   bool metrics = true;
   bool trace = false;
   std::size_t trace_capacity = Tracer::kDefaultCapacity;
+  // streaming reflects EngineOptions::streaming + CCS_STREAM; consumed by
+  // stream::DeltaMiner, inert for batch runs.
+  bool streaming = true;
 };
 
 // The single audited site where the CCS_CT_CACHE / CCS_SIMD / CCS_METRICS /
-// CCS_TRACE environment overrides are read (DESIGN.md §12). Precedence,
-// pinned by core_session_test:
+// CCS_TRACE / CCS_STREAM environment overrides are read (DESIGN.md §12).
+// Precedence, pinned by core_session_test:
 //   * ct_cache: CCS_CT_CACHE unset → the field; set → enabled iff != "0".
 //   * simd:     CCS_SIMD unset → the field; set → enabled iff != "0".
 //   * metrics:  CCS_METRICS unset → the field; set → enabled iff != "0".
 //   * trace:    CCS_TRACE unset → the fields; "0" → disabled; "1" →
 //               enabled at the field capacity; integer > 1 → enabled with
 //               that capacity.
+//   * streaming: CCS_STREAM unset → the field; set → enabled iff != "0".
 // MiningEngine and MiningSession both resolve through this helper exactly
 // once at construction, so the one-shot and service paths cannot diverge.
 ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options);

@@ -3,12 +3,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/candidate_gen.h"
 #include "core/context.h"
 #include "core/ct_builder.h"
+#include "core/ct_delta.h"
 #include "core/judge.h"
 #include "core/options.h"
 #include "core/result.h"
@@ -157,6 +159,111 @@ inline Termination GovernedBuildTables(
     const std::function<void(std::size_t, std::size_t,
                              const stats::ContingencyTable&)>& eval) {
   PhaseScope ct_phase(ctx, "ct_build");
+  // Streaming delta hook (DESIGN.md §15). With a lookup-enabled oracle
+  // installed the level is served through Recover-or-Build: the oracle
+  // returns each candidate's exact window table (previous table adjusted
+  // by the tick's appended/expired baskets — bit-identical cells by
+  // additivity), and only cache misses fall back to the regular batch
+  // build paths below.
+  // Recovered tables tick AccountExternalTable so the per-candidate fault
+  // point and tables_built accounting match the batch paths; `want`
+  // semantics, candidate order, and the eval slots are unchanged, so
+  // answers and every kDeterministic counter equal a fresh batch mine of
+  // the same window at any thread count. A record-only oracle (full
+  // re-mine tick) leaves the batch paths below untouched and just tees
+  // each emitted table into the next tick's cache.
+  //
+  // Pair batches are exempt in both modes: the k=2 pair stage below
+  // amortizes one horizontal pass across the whole batch, which the
+  // per-candidate delta arithmetic cannot undercut, and recovering a
+  // larger candidate never reads a pair table — so pairs are neither
+  // recovered nor recorded and keep their fast paths. The exemption is a
+  // pure function of the candidate batch, hence deterministic.
+  CtDeltaSource* const delta = ctx.ct_delta();
+  MetricsRegistry* delta_metrics = nullptr;
+  MetricsRegistry::Id dirty_id = 0;
+  MetricsRegistry::Id recovered_id = 0;
+  if (delta != nullptr && ctx.metrics() != nullptr &&
+      ctx.metrics()->enabled()) {
+    delta_metrics = ctx.metrics();
+    dirty_id = delta_metrics->Counter("stream.dirty_candidates",
+                                      MetricStability::kDeterministic);
+    recovered_id = delta_metrics->Counter("stream.delta_tables",
+                                          MetricStability::kDeterministic);
+  }
+  const bool pair_batch =
+      !candidates.empty() &&
+      std::all_of(candidates.begin(), candidates.end(),
+                  [](const Itemset& s) { return s.size() == 2; });
+  const bool lookup =
+      delta != nullptr && delta->lookup_enabled() && !pair_batch;
+  // Lookup mode runs as a recovery pass: hits are served (and re-recorded)
+  // immediately, misses are only marked here and then flow through the
+  // regular batch paths below, where prefix sharing amortizes them exactly
+  // as a full re-mine would — a standalone Build per miss costs several
+  // times the shared-path table. Which candidates miss is a pure function
+  // of the previous tick's recorded set, so the split — and with it every
+  // kDeterministic counter — is thread-count independent.
+  std::vector<std::uint8_t> recover_miss;
+  if (lookup) {
+    PhaseScope delta_phase(ctx, "stream_delta");
+    recover_miss.assign(candidates.size(), 0);
+    const Termination verdict = GovernedParallelFor(
+        ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
+          if (want && !want(i)) return;
+          const Itemset& s = candidates[i];
+          if (delta_metrics != nullptr && delta->IsDirty(s)) {
+            delta_metrics->Add(dirty_id, thread, 1);
+          }
+          const std::optional<stats::ContingencyTable> recovered =
+              delta->Recover(s, thread);
+          if (!recovered.has_value()) {
+            recover_miss[i] = 1;
+            return;
+          }
+          workers.builder(thread).AccountExternalTable();
+          if (delta_metrics != nullptr) {
+            delta_metrics->Add(recovered_id, thread, 1);
+          }
+          delta->Record(s, thread, *recovered);
+          eval(i, thread, *recovered);
+        });
+    if (verdict != Termination::kCompleted) return verdict;
+    if (std::find(recover_miss.begin(), recover_miss.end(),
+                  std::uint8_t{1}) == recover_miss.end()) {
+      return Termination::kCompleted;
+    }
+  }
+  std::function<void(std::size_t, std::size_t,
+                     const stats::ContingencyTable&)>
+      recording;
+  const auto* emit = &eval;
+  if (delta != nullptr && !pair_batch) {
+    // In lookup mode the recovery pass above already counted dirty
+    // candidates; the wrapper then only tees the built tables for misses.
+    recording = [&candidates, &eval, delta, delta_metrics, dirty_id,
+                 lookup](std::size_t i, std::size_t thread,
+                         const stats::ContingencyTable& table) {
+      if (!lookup && delta_metrics != nullptr &&
+          delta->IsDirty(candidates[i])) {
+        delta_metrics->Add(dirty_id, thread, 1);
+      }
+      delta->Record(candidates[i], thread, table);
+      eval(i, thread, table);
+    };
+    emit = &recording;
+  }
+  // `want` ran exactly once per candidate in the recovery pass, so the
+  // batch paths below must filter on the recorded miss set instead of
+  // calling it again.
+  ContingencyTableBuilder::BatchFilter miss_want;
+  const ContingencyTableBuilder::BatchFilter* active_want = &want;
+  if (lookup) {
+    miss_want = [&recover_miss](std::size_t i) {
+      return recover_miss[i] != 0;
+    };
+    active_want = &miss_want;
+  }
   // Candidate-generation-free k=2 path (DESIGN.md §14): when the whole
   // batch is pairs — the bulk of tables on most workloads, plus BMS++'s
   // larger probe batches — one serial horizontal pass fills every pair's
@@ -214,10 +321,10 @@ inline Termination GovernedBuildTables(
         workers.builder(0).AddPairStageOps(stage.ops());
         return GovernedParallelFor(
             ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
-              if (want && !want(i)) return;
-              eval(i, thread,
-                   workers.builder(thread).BuildPairFromStage(candidates[i],
-                                                              stage));
+              if (*active_want && !(*active_want)(i)) return;
+              (*emit)(i, thread,
+                      workers.builder(thread).BuildPairFromStage(
+                          candidates[i], stage));
             });
       }
     }
@@ -225,10 +332,10 @@ inline Termination GovernedBuildTables(
   if (!ctx.ct_cache().enabled) {
     return GovernedParallelFor(
         ctx, candidates.size(), [&](std::size_t thread, std::size_t i) {
-          if (want && !want(i)) return;
+          if (*active_want && !(*active_want)(i)) return;
           const stats::ContingencyTable table =
               workers.builder(thread).Build(candidates[i]);
-          eval(i, thread, table);
+          (*emit)(i, thread, table);
         });
   }
   // The whole batch pass is cache work; "cache" nests inside "ct_build".
@@ -238,16 +345,16 @@ inline Termination GovernedBuildTables(
     const std::span<const Itemset> batch(candidates.data() + group.begin,
                                          group.end - group.begin);
     ContingencyTableBuilder::BatchFilter batch_want;
-    if (want) {
-      batch_want = [&want, base = group.begin](std::size_t local) {
-        return want(base + local);
+    if (*active_want) {
+      batch_want = [active_want, base = group.begin](std::size_t local) {
+        return (*active_want)(base + local);
       };
     }
     workers.builder(thread).BuildBatch(
         batch, batch_want,
-        [&eval, thread, base = group.begin](
+        [emit, thread, base = group.begin](
             std::size_t local, const stats::ContingencyTable& table) {
-          eval(base + local, thread, table);
+          (*emit)(base + local, thread, table);
         });
   };
   // Chunk groups by the candidate count they cover so the deadline/cancel

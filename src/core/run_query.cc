@@ -4,6 +4,7 @@
 
 #include "constraints/constraint_set.h"
 #include "core/bms.h"
+#include "core/ct_delta.h"
 #include "core/bms_plus.h"
 #include "core/bms_plus_plus.h"
 #include "core/bms_star.h"
@@ -116,7 +117,15 @@ MiningResult RunMiningQuery(const TransactionDatabase& db,
   const RunGovernor governor(request.control);
   MiningContext ctx(executor, request.algorithm, &options.progress_callback,
                     &governor, options.ct_cache, options.simd, &registry,
-                    &tracer);
+                    &tracer, request.ct_delta);
+  // A record-only oracle marks a streaming full re-mine (cost model
+  // declined the delta path or no table cache existed); count it so the
+  // delta/full split is visible next to stream.delta_tables.
+  if (request.ct_delta != nullptr && !request.ct_delta->lookup_enabled()) {
+    registry.Add(registry.Counter("stream.full_remine",
+                                  MetricStability::kDeterministic),
+                 0, 1);
+  }
   Stopwatch run_timer;
   MiningResult result;
   {

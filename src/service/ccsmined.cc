@@ -17,6 +17,16 @@
 //            [--max-connections N] [--max-line-bytes N]
 //            [--read-timeout-ms N] [--idle-timeout-ms N]
 //            [--write-timeout-ms N] [--drain-timeout-ms N]
+//            [--stream] [--stream-fine-frames N]
+//            [--stream-frames-per-level N] [--stream-levels N]
+//            [--stream-delta-fraction F] [--stream-query Q]
+//
+// --stream starts the daemon in streaming mode (DESIGN.md §15): the data
+// flags then only define the item universe and catalog (any loaded or
+// generated baskets are discarded), the window starts empty, and the
+// APPEND/TICK verbs feed and advance it. --stream-query fixes the query
+// the per-tick DeltaMiner re-evaluates; MINE requests are independent of
+// it and always run against the current window snapshot.
 //
 // SIGTERM/SIGINT request the same graceful drain as a SHUTDOWN request:
 // stop accepting, give in-flight runs --drain-timeout-ms to finish, then
@@ -32,10 +42,16 @@
 #include <string>
 #include <utility>
 
+#include <memory>
+
 #include "cli/options.h"
 #include "core/session.h"
+#include "query/parser.h"
+#include "query/query.h"
 #include "service/service.h"
 #include "service/socket_server.h"
+#include "stream/delta_miner.h"
+#include "stream/streaming_database.h"
 
 namespace {
 
@@ -45,6 +61,9 @@ struct DaemonOptions {
   std::size_t max_queued = 8;
   std::size_t memo_entries = 64;
   std::size_t pair_tier_mib = 8;
+  bool stream = false;
+  std::string stream_query;
+  ccs::stream::StreamOptions stream_options;
   ccs::service::SocketServer::Options server;  // lifecycle knobs
 };
 
@@ -139,6 +158,30 @@ int main(int argc, char** argv) {
       if (value == nullptr) return Usage(argv[0]);
       daemon.server.drain_deadline =
           std::chrono::milliseconds(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--stream") {
+      daemon.stream = true;
+    } else if (flag == "--stream-fine-frames") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.stream_options.fine_frames = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-frames-per-level") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.stream_options.frames_per_level =
+          std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-levels") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.stream_options.levels = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--stream-delta-fraction") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.stream_options.max_delta_fraction =
+          std::strtod(value, nullptr);
+    } else if (flag == "--stream-query") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      daemon.stream_query = value;
     } else if (flag == "--help") {
       Usage(argv[0]);
       return 0;
@@ -161,9 +204,6 @@ int main(int argc, char** argv) {
   }
   ccs::HandleOptions handle_options;
   handle_options.pair_tier_budget_mib = daemon.pair_tier_mib;
-  const ccs::DatabaseHandle handle = ccs::DatabaseHandle::Create(
-      std::move(loaded.value().db), std::move(loaded.value().catalog),
-      handle_options);
 
   ccs::service::ServiceOptions service_options;
   service_options.engine.num_threads = common.threads;
@@ -172,7 +212,56 @@ int main(int argc, char** argv) {
   service_options.memo.max_entries = daemon.memo_entries;
   service_options.default_timeout_ms = common.timeout_ms;
   service_options.default_max_tables = common.max_tables;
-  ccs::service::MiningService service(handle, service_options);
+
+  ccs::DatabaseHandle handle;
+  std::unique_ptr<ccs::stream::StreamingDatabase> stream_db;
+  std::unique_ptr<ccs::stream::DeltaMiner> miner;
+  std::shared_ptr<ccs::Query> stream_query;
+  ccs::service::StreamingBackend backend;
+  if (daemon.stream) {
+    // The dataset flags define the universe; the stream starts empty and
+    // fills through APPEND. The per-tick query mirrors HandleMine's
+    // assembly: full grammar first, bare constraint language as fallback.
+    stream_query = std::make_shared<ccs::Query>();
+    if (!daemon.stream_query.empty()) {
+      ccs::StatusOr<ccs::Query> parsed =
+          ccs::ParseQueryOrError(daemon.stream_query);
+      if (parsed.ok()) {
+        *stream_query = std::move(parsed).value();
+      } else {
+        ccs::StatusOr<ccs::ConstraintSet> constraints =
+            ccs::ParseConstraintsOrError(daemon.stream_query);
+        if (!constraints.ok()) {
+          std::fprintf(stderr, "stream-query: %s\n",
+                       parsed.status().ToString().c_str());
+          return 2;
+        }
+        stream_query->constraints = std::move(constraints).value();
+      }
+    }
+    stream_db = std::make_unique<ccs::stream::StreamingDatabase>(
+        loaded.value().db.num_items(), std::move(loaded.value().catalog),
+        daemon.stream_options);
+    handle = stream_db->SnapshotHandle(handle_options);
+    miner = std::make_unique<ccs::stream::DeltaMiner>(
+        stream_db.get(),
+        [stream_query](const ccs::TransactionDatabase& db) {
+          ccs::MiningRequest request;
+          request.algorithm = stream_query->DefaultAlgorithm();
+          request.options = stream_query->ResolveOptions(db);
+          request.constraints = &stream_query->constraints;
+          return request;
+        },
+        service_options.engine, handle_options);
+    backend.db = stream_db.get();
+    backend.miner = miner.get();
+  } else {
+    handle = ccs::DatabaseHandle::Create(std::move(loaded.value().db),
+                                         std::move(loaded.value().catalog),
+                                         handle_options);
+  }
+  ccs::service::MiningService service(handle, service_options, nullptr,
+                                      backend);
 
   ccs::service::SocketServer::Options server_options = daemon.server;
   server_options.socket_path = daemon.socket_path;

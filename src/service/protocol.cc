@@ -65,8 +65,21 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
     request.verb = Request::Verb::kShutdown;
   } else if (verb == "MINE") {
     request.verb = Request::Verb::kMine;
+  } else if (verb == "APPEND") {
+    request.verb = Request::Verb::kAppend;
+  } else if (verb == "TICK") {
+    request.verb = Request::Verb::kTick;
   } else {
     return InvalidArgumentError("unknown verb '" + std::string(verb) + "'");
+  }
+  if (request.verb == Request::Verb::kAppend) {
+    // APPEND takes exactly baskets=REST-OF-LINE, nothing else.
+    constexpr std::string_view kBaskets = "baskets=";
+    if (rest.substr(0, kBaskets.size()) != kBaskets) {
+      return InvalidArgumentError("APPEND requires a baskets= field");
+    }
+    request.append = std::string(rest.substr(kBaskets.size()));
+    return request;
   }
   if (request.verb != Request::Verb::kMine) {
     if (!rest.empty()) {

@@ -12,13 +12,25 @@
 // request per line, one multi-line response terminated by "END".
 //
 //   request  := verb [' ' field]*
-//   verb     := 'MINE' | 'STATS' | 'PING' | 'SHUTDOWN'
+//   verb     := 'MINE' | 'APPEND' | 'TICK' | 'STATS' | 'PING' | 'SHUTDOWN'
 //   field    := key '=' value          (no spaces, except:)
 //   query    := 'query=' REST-OF-LINE  (consumes everything after '=',
 //                                       spaces included — always last)
 //
 // MINE fields: threads, timeout_ms, max_tables, algorithm, alpha,
 // support, cell, max_size, metrics, trace, query. All optional.
+//
+// APPEND/TICK are the streaming verbs (DESIGN.md §15), accepted only by
+// a daemon started with --stream. APPEND takes exactly one field,
+//   baskets= REST-OF-LINE
+// holding ';'-separated baskets of space-separated item ids (e.g.
+// "baskets=0 1 2;3 4"); the baskets land in the open frame and become
+// visible to MINE only after a TICK. TICK takes no fields: it advances
+// the window one epoch, re-evaluates, swaps in the new window handle
+// (bumping the epoch every MINE memo key hangs off), and answers
+//   OK epoch=… window=… added=… removed=… retained=… mode=delta|full
+// followed by one 'ADD <itemset>' / 'DEL <itemset>' line per answer-set
+// change, sorted, then 'END'.
 //
 //   response := status-line line* 'END'
 //   status   := 'OK' [' ' key '=' value]* | 'ERR ' CODE ' ' message
@@ -48,9 +60,17 @@ struct MineFields {
 };
 
 struct Request {
-  enum class Verb : std::uint8_t { kMine, kStats, kPing, kShutdown };
+  enum class Verb : std::uint8_t {
+    kMine,
+    kAppend,
+    kTick,
+    kStats,
+    kPing,
+    kShutdown
+  };
   Verb verb = Verb::kPing;
-  MineFields mine;  // meaningful only for kMine
+  MineFields mine;     // meaningful only for kMine
+  std::string append;  // kAppend: the raw baskets= payload
 };
 
 // Parses one request line. kInvalidArgument on an unknown verb, unknown

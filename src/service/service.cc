@@ -40,12 +40,18 @@ std::string MineHeader(std::size_t num_sets, const std::string& termination,
 }  // namespace
 
 MiningService::MiningService(DatabaseHandle handle, ServiceOptions options,
-                             const ServiceClock* clock)
+                             const ServiceClock* clock,
+                             StreamingBackend streaming)
     : handle_(std::move(handle)),
       options_(std::move(options)),
+      stream_(streaming),
       admission_(options_.admission,
                  clock != nullptr ? clock : &DefaultServiceClock()),
-      memo_(options_.memo) {}
+      memo_(options_.memo) {
+  // Ticks honor the drain path like every MINE run does: when the drain
+  // deadline fires, an in-flight tick stops at its next batch boundary.
+  if (stream_.miner != nullptr) stream_.miner->set_cancel(&drain_cancel_);
+}
 
 std::string MiningService::HandleLine(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -60,17 +66,129 @@ std::string MiningService::HandleLine(const std::string& line) {
       shutdown_.store(true, std::memory_order_release);
       return "OK bye\nEND\n";
     case Request::Verb::kMine:
+    case Request::Verb::kAppend:
+    case Request::Verb::kTick:
       break;
   }
-  // The mining path degrades to an ERR response rather than taking down
+  // The mining paths degrade to an ERR response rather than taking down
   // the daemon — one bad request must not kill the other sessions.
   try {
-    return HandleMine(parsed.value().mine);
+    switch (parsed.value().verb) {
+      case Request::Verb::kAppend:
+        return HandleAppend(parsed.value().append);
+      case Request::Verb::kTick:
+        return HandleTick();
+      default:
+        return HandleMine(parsed.value().mine);
+    }
   } catch (const std::exception& e) {
     return ErrorResponse(InternalError(e.what()));
   } catch (...) {
     return ErrorResponse(InternalError("unknown exception"));
   }
+}
+
+std::string MiningService::HandleAppend(const std::string& payload) {
+  if (stream_.db == nullptr) {
+    return ErrorResponse(FailedPreconditionError(
+        "streaming disabled; start ccsmined with --stream"));
+  }
+  // Parse and validate everything before touching the stream so an
+  // APPEND is atomic: either every basket lands or none does.
+  std::vector<Transaction> baskets;
+  if (!payload.empty()) {
+    Transaction basket;
+    std::uint64_t value = 0;
+    bool in_number = false;
+    const auto flush_number = [&] {
+      if (in_number) basket.push_back(static_cast<ItemId>(value));
+      value = 0;
+      in_number = false;
+    };
+    for (std::size_t i = 0; i <= payload.size(); ++i) {
+      const char c = i < payload.size() ? payload[i] : ';';
+      if (c >= '0' && c <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        in_number = true;
+      } else if (c == ' ') {
+        flush_number();
+      } else if (c == ';') {
+        flush_number();
+        baskets.push_back(std::move(basket));
+        basket.clear();
+      } else {
+        return ErrorResponse(InvalidArgumentError(
+            std::string("bad character '") + c + "' in baskets"));
+      }
+    }
+    for (const Transaction& parsed_basket : baskets) {
+      for (const ItemId item : parsed_basket) {
+        if (item >= stream_.db->num_items()) {
+          return ErrorResponse(InvalidArgumentError(
+              "item id " + std::to_string(item) + " out of range [0, " +
+              std::to_string(stream_.db->num_items()) + ")"));
+        }
+      }
+    }
+  }
+  std::size_t pending = 0;
+  {
+    const std::lock_guard<std::mutex> lock(stream_mu_);
+    for (Transaction& basket : baskets) {
+      // Ids were range-checked above, so Append cannot fail.
+      const Status status = stream_.db->Append(std::move(basket));
+      if (!status.ok()) return ErrorResponse(status);
+    }
+    pending = stream_.db->pending();
+  }
+  return "OK appended=" + std::to_string(baskets.size()) +
+         " pending=" + std::to_string(pending) + "\nEND\n";
+}
+
+std::string MiningService::HandleTick() {
+  if (stream_.miner == nullptr) {
+    return ErrorResponse(FailedPreconditionError(
+        "streaming disabled; start ccsmined with --stream"));
+  }
+  // A tick is a mining run; it takes an admission slot like MINE does.
+  const StatusOr<AdmissionController::Permit> permit = admission_.Admit();
+  if (!permit.ok()) return ErrorResponse(permit.status());
+  stream::AnswerDelta delta;
+  {
+    const std::lock_guard<std::mutex> lock(stream_mu_);
+    delta = stream_.miner->Tick();
+    if (delta.result.termination != Termination::kError) {
+      // Publish the new window; its fresh epoch retires every memo entry
+      // keyed on the old one.
+      const std::lock_guard<std::mutex> handle_lock(handle_mu_);
+      handle_ = stream_.miner->handle();
+    }
+  }
+  if (delta.result.termination == Termination::kError) {
+    return ErrorResponse(delta.result.error);
+  }
+  std::string response = "OK epoch=" + std::to_string(delta.epoch) +
+                         " window=" + std::to_string(delta.window_baskets) +
+                         " added=" + std::to_string(delta.added.size()) +
+                         " removed=" + std::to_string(delta.removed.size()) +
+                         " retained=" +
+                         std::to_string(delta.retained.size()) +
+                         " termination=" +
+                         TerminationName(delta.result.termination) +
+                         " mode=" + (delta.full_remine ? "full" : "delta") +
+                         "\n";
+  for (const Itemset& s : delta.added) {
+    response += "ADD ";
+    response += s.ToString();
+    response += '\n';
+  }
+  for (const Itemset& s : delta.removed) {
+    response += "DEL ";
+    response += s.ToString();
+    response += '\n';
+  }
+  response += "END\n";
+  return response;
 }
 
 std::string MiningService::HandleMine(const MineFields& fields) {
@@ -109,7 +227,10 @@ std::string MiningService::HandleMine(const MineFields& fields) {
     algorithm = *named;
   }
 
-  const std::string key = CanonicalKey(handle_.epoch(), fields);
+  // One handle copy for the whole request: key, session, and options all
+  // see the same generation even if a TICK swaps the member mid-request.
+  const DatabaseHandle handle = this->handle();
+  const std::string key = CanonicalKey(handle.epoch(), fields);
   // svc_memo fault: the memo becomes unavailable for this request — the
   // degraded path must still mine and answer with identical bytes, just
   // without the cache. Covers "memo storage lost" scenarios.
@@ -134,10 +255,10 @@ std::string MiningService::HandleMine(const MineFields& fields) {
   EngineOptions engine = options_.engine;
   if (fields.threads != 0) engine.num_threads = fields.threads;
   if (fields.trace) engine.trace = true;
-  const MiningSession session(handle_, engine);
+  const MiningSession session(handle, engine);
   MiningRequest request;
   request.algorithm = algorithm;
-  request.options = query.ResolveOptions(handle_.database());
+  request.options = query.ResolveOptions(handle.database());
   request.constraints = &query.constraints;
   request.control.timeout = std::chrono::milliseconds(
       fields.timeout_ms != 0 ? fields.timeout_ms
@@ -190,7 +311,7 @@ std::string MiningService::StatsJson() const {
   std::string json = "{\"requests\":";
   json += std::to_string(requests_.load(std::memory_order_relaxed));
   json += ",\"epoch\":";
-  json += std::to_string(handle_.epoch());
+  json += std::to_string(handle().epoch());
   json += ",\"admission\":{\"admitted\":";
   json += std::to_string(admission.admitted);
   json += ",\"rejected\":";
@@ -219,6 +340,16 @@ std::string MiningService::StatsJson() const {
   json += std::to_string(pool.idle_count());
   json += "},\"service\":";
   json += metrics_.Snapshot().ToJson();
+  if (stream_.db != nullptr) {
+    const std::lock_guard<std::mutex> lock(stream_mu_);
+    json += ",\"stream\":{\"epoch\":";
+    json += std::to_string(stream_.db->epoch());
+    json += ",\"window\":";
+    json += std::to_string(stream_.db->window_baskets());
+    json += ",\"pending\":";
+    json += std::to_string(stream_.db->pending());
+    json += "}";
+  }
   json += "}";
   return json;
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "core/engine_options.h"
@@ -13,6 +14,9 @@
 #include "service/memo.h"
 #include "service/protocol.h"
 #include "service/service_metrics.h"
+#include "stream/delta_miner.h"
+#include "stream/streaming_database.h"
+#include "util/thread_annotations.h"
 
 namespace ccs {
 namespace service {
@@ -43,6 +47,24 @@ struct ServiceOptions {
 //   5. memo insert, only for unlimited (no deadline/budget) completed
 //      runs — partial answers are never replayed.
 //
+// Borrowed streaming pieces for MiningService; both null for a static
+// daemon. When set, both must outlive the service, and `miner` must be
+// backed by `db`.
+struct StreamingBackend {
+  stream::StreamingDatabase* db = nullptr;
+  stream::DeltaMiner* miner = nullptr;
+};
+
+// Streaming mode (DESIGN.md §15): constructed with a StreamingBackend,
+// the service additionally accepts APPEND (baskets into the open frame)
+// and TICK (advance the window one epoch, delta re-evaluate, swap in the
+// new window's handle). APPEND/TICK serialize on one stream mutex — the
+// stream is a single logical timeline — while MINE requests keep running
+// concurrently against whichever handle is current; the epoch baked into
+// every memo key is what keeps pre-tick cache entries from answering
+// post-tick queries. Without a backend both verbs answer
+// ERR FAILED_PRECONDITION.
+//
 // Thread-safe: HandleLine may be called from any number of connection
 // threads concurrently.
 class MiningService {
@@ -50,7 +72,8 @@ class MiningService {
   // `clock` is borrowed (nullptr: process SystemClock) and must outlive
   // the service.
   MiningService(DatabaseHandle handle, ServiceOptions options,
-                const ServiceClock* clock = nullptr);
+                const ServiceClock* clock = nullptr,
+                StreamingBackend streaming = {});
 
   // Handles one request line; returns the full response, every line
   // '\n'-terminated, ending with "END\n". Never throws: internal errors
@@ -80,7 +103,14 @@ class MiningService {
   // Connection-lifecycle counters, shared with the socket server.
   ServiceMetrics* metrics() { return &metrics_; }
 
-  const DatabaseHandle& handle() const { return handle_; }
+  // The current database generation. A copy, not a reference: a TICK may
+  // swap the member at any moment, and handles are cheap shared_ptr
+  // copies that keep their generation alive however long the caller
+  // holds on.
+  DatabaseHandle handle() const CCS_EXCLUDES(handle_mu_) {
+    const std::lock_guard<std::mutex> lock(handle_mu_);
+    return handle_;
+  }
 
   // The STATS payload (single-line JSON); also what ccsmined writes to
   // --metrics-out on shutdown.
@@ -88,9 +118,16 @@ class MiningService {
 
  private:
   std::string HandleMine(const MineFields& fields);
+  std::string HandleAppend(const std::string& payload);
+  std::string HandleTick();
 
-  const DatabaseHandle handle_;
+  mutable std::mutex handle_mu_;
+  DatabaseHandle handle_ CCS_GUARDED_BY(handle_mu_);
   const ServiceOptions options_;
+  const StreamingBackend stream_;
+  // Serializes APPEND/TICK — the stream is one logical timeline.
+  // mutable: StatsJson (const) reads the stream's counters under it.
+  mutable std::mutex stream_mu_;
   AdmissionController admission_;
   MemoCache memo_;
   ServiceMetrics metrics_;

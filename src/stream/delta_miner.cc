@@ -1,0 +1,228 @@
+#include "stream/delta_miner.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/ct_builder.h"
+#include "core/ct_delta.h"
+#include "util/check.h"
+
+namespace ccs {
+namespace stream {
+
+namespace {
+
+// The CtDeltaSource implementation behind DeltaMiner (core/ct_delta.h):
+// holds the previous window's tables plus two tiny finalized databases of
+// this tick's appended and expired baskets. Recovery is exact integer
+// arithmetic on cells:
+//
+//   clean itemset (no dirty item): only the all-absent cell moved —
+//     cells[0] += appended − expired baskets, every other cell untouched.
+//     O(1), no database work.
+//   dirty itemset: cells[m] = prev[m] − expired_table[m] +
+//     appended_table[m], with the two delta tables built over the delta
+//     databases (O(2^k · |delta|/64) words instead of O(2^k · |window|/64)).
+//
+// The subtraction always runs first: the expired baskets were part of the
+// previous window, so prev[m] ≥ expired_table[m] cell-wise and the
+// unsigned arithmetic cannot underflow. Per-thread builders and record
+// maps keep the worker threads lock-free (each worker only touches its
+// own slot, the EvalWorkers contract).
+class TableOracle final : public CtDeltaSource {
+ public:
+  TableOracle(std::size_t num_items, std::size_t num_threads,
+              const std::vector<Transaction>& appended,
+              const std::vector<Transaction>& expired,
+              ItemsetMap<std::vector<std::uint64_t>> prev, bool lookup)
+      : lookup_(lookup),
+        prev_(std::move(prev)),
+        dirty_(num_items, 0),
+        appended_count_(appended.size()),
+        expired_count_(expired.size()),
+        appended_db_(num_items),
+        expired_db_(num_items) {
+    for (const Transaction& basket : appended) {
+      for (const ItemId item : basket) dirty_[item] = 1;
+      appended_db_.Add(basket);
+    }
+    for (const Transaction& basket : expired) {
+      for (const ItemId item : basket) dirty_[item] = 1;
+      expired_db_.Add(basket);
+    }
+    appended_db_.Finalize();
+    expired_db_.Finalize();
+    threads_.resize(num_threads);
+    if (lookup_) {
+      for (PerThread& slot : threads_) {
+        slot.appended =
+            std::make_unique<ContingencyTableBuilder>(appended_db_);
+        slot.expired =
+            std::make_unique<ContingencyTableBuilder>(expired_db_);
+      }
+    }
+  }
+
+  bool lookup_enabled() const override { return lookup_; }
+
+  bool IsDirty(const Itemset& s) const override {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (dirty_[s[i]] != 0) return true;
+    }
+    return false;
+  }
+
+  std::optional<stats::ContingencyTable> Recover(
+      const Itemset& s, std::size_t thread) override {
+    const auto it = prev_.find(s);
+    if (it == prev_.end()) return std::nullopt;
+    std::vector<std::uint64_t> cells = it->second;
+    if (!IsDirty(s)) {
+      CCS_CHECK_GE(cells[0], expired_count_);
+      cells[0] = cells[0] - expired_count_ + appended_count_;
+    } else {
+      PerThread& slot = threads_[thread];
+      const stats::ContingencyTable expired = slot.expired->Build(s);
+      const stats::ContingencyTable appended = slot.appended->Build(s);
+      for (std::uint32_t mask = 0; mask < cells.size(); ++mask) {
+        CCS_CHECK_GE(cells[mask], expired.cell(mask));
+        cells[mask] =
+            cells[mask] - expired.cell(mask) + appended.cell(mask);
+      }
+    }
+    return stats::ContingencyTable(static_cast<int>(s.size()),
+                                   std::move(cells));
+  }
+
+  void Record(const Itemset& s, std::size_t thread,
+              const stats::ContingencyTable& table) override {
+    std::vector<std::uint64_t>& cells = threads_[thread].recorded[s];
+    cells.resize(table.num_cells());
+    for (std::uint32_t mask = 0; mask < cells.size(); ++mask) {
+      cells[mask] = table.cell(mask);
+    }
+  }
+
+  // Merges the per-thread record maps. The key set is the run's wanted
+  // candidate set and every value is the candidate's exact window table,
+  // so the merged map is identical at any thread count; which thread
+  // recorded a key is the only thing the schedule moves.
+  ItemsetMap<std::vector<std::uint64_t>> TakeRecorded() {
+    ItemsetMap<std::vector<std::uint64_t>> merged;
+    for (PerThread& slot : threads_) {
+      for (auto& [key, cells] : slot.recorded) {
+        merged[key] = std::move(cells);
+      }
+      slot.recorded.clear();
+    }
+    return merged;
+  }
+
+  // Word operations spent building delta tables, summed over threads.
+  std::uint64_t delta_word_ops() const {
+    std::uint64_t total = 0;
+    for (const PerThread& slot : threads_) {
+      if (slot.appended != nullptr) total += slot.appended->word_ops();
+      if (slot.expired != nullptr) total += slot.expired->word_ops();
+    }
+    return total;
+  }
+
+ private:
+  struct PerThread {
+    std::unique_ptr<ContingencyTableBuilder> appended;
+    std::unique_ptr<ContingencyTableBuilder> expired;
+    ItemsetMap<std::vector<std::uint64_t>> recorded;
+  };
+
+  bool lookup_;
+  ItemsetMap<std::vector<std::uint64_t>> prev_;
+  std::vector<char> dirty_;  // by item id
+  std::uint64_t appended_count_;
+  std::uint64_t expired_count_;
+  TransactionDatabase appended_db_;
+  TransactionDatabase expired_db_;
+  std::vector<PerThread> threads_;
+};
+
+}  // namespace
+
+std::string RenderAnswerDelta(const AnswerDelta& delta) {
+  std::string out = "EPOCH " + std::to_string(delta.epoch) +
+                    " window=" + std::to_string(delta.window_baskets) +
+                    " added=" + std::to_string(delta.added.size()) +
+                    " removed=" + std::to_string(delta.removed.size()) +
+                    " retained=" + std::to_string(delta.retained.size()) +
+                    "\n";
+  for (const Itemset& s : delta.added) out += "+ " + s.ToString() + "\n";
+  for (const Itemset& s : delta.removed) out += "- " + s.ToString() + "\n";
+  return out;
+}
+
+DeltaMiner::DeltaMiner(StreamingDatabase* db, RequestFactory factory,
+                       EngineOptions engine, HandleOptions handle_options)
+    : db_(db),
+      factory_(std::move(factory)),
+      engine_(std::move(engine)),
+      handle_options_(handle_options),
+      streaming_(ResolveEngineOptions(engine_).streaming) {
+  CCS_CHECK(db_ != nullptr);
+  CCS_CHECK(factory_ != nullptr);
+}
+
+AnswerDelta DeltaMiner::Tick() {
+  AnswerDelta out;
+  StreamingDatabase::WindowDelta delta = db_->Tick();
+  out.epoch = delta.epoch;
+  out.window_baskets = delta.window_baskets;
+  handle_ = db_->SnapshotHandle(handle_options_);
+  const MiningSession session(handle_, engine_);
+  MiningRequest request = factory_(handle_.database());
+  if (cancel_ != nullptr) request.control.cancel = cancel_;
+  // The delta-vs-full gate (docs/ALGORITHMS.md): with most of the window
+  // turned over this tick, nearly every candidate is dirty and the delta
+  // arithmetic approaches the cost of building from scratch — fall back
+  // to a full re-mine that records tables for the next tick instead.
+  const std::uint64_t delta_baskets =
+      delta.appended.size() + delta.expired.size();
+  const bool use_delta =
+      streaming_ && have_tables_ &&
+      static_cast<double>(delta_baskets) <=
+          db_->options().max_delta_fraction *
+              static_cast<double>(delta.window_baskets);
+  out.full_remine = !use_delta;
+  std::optional<TableOracle> oracle;
+  if (streaming_) {
+    oracle.emplace(handle_.database().num_items(), session.num_threads(),
+                   delta.appended, delta.expired, std::move(tables_),
+                   use_delta);
+    tables_.clear();
+    have_tables_ = false;
+    request.ct_delta = &*oracle;
+  }
+  out.result = session.Run(request);
+  if (oracle.has_value()) {
+    out.delta_word_ops = oracle->delta_word_ops();
+    // A tripped run discarded some levels' tables; the cache would be
+    // incomplete, so only a completed run seeds the next tick.
+    if (out.result.termination == Termination::kCompleted) {
+      tables_ = oracle->TakeRecorded();
+      have_tables_ = true;
+    }
+  }
+  const std::vector<Itemset>& next = out.result.answers;
+  std::set_difference(next.begin(), next.end(), answers_.begin(),
+                      answers_.end(), std::back_inserter(out.added));
+  std::set_difference(answers_.begin(), answers_.end(), next.begin(),
+                      next.end(), std::back_inserter(out.removed));
+  std::set_intersection(next.begin(), next.end(), answers_.begin(),
+                        answers_.end(), std::back_inserter(out.retained));
+  answers_ = next;
+  return out;
+}
+
+}  // namespace stream
+}  // namespace ccs

@@ -1,0 +1,118 @@
+#ifndef CCS_STREAM_DELTA_MINER_H_
+#define CCS_STREAM_DELTA_MINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine_options.h"
+#include "core/itemset.h"
+#include "core/result.h"
+#include "core/session.h"
+#include "stream/streaming_database.h"
+#include "txn/database.h"
+
+namespace ccs {
+namespace stream {
+
+// What one epoch tick changed in the answer set, plus the run that
+// produced it. added/removed/retained are each sorted lexicographically
+// (Itemset::operator<), so for a fixed append sequence the whole stream
+// is deterministic — bit-identical at any thread count, in both
+// CCS_STREAM modes, both kernel modes, and both CT-cache modes
+// (tests/stream_differential_test.cc).
+struct AnswerDelta {
+  std::uint64_t epoch = 0;
+  std::uint64_t window_baskets = 0;
+  // True when this tick re-mined from scratch: first tick, kill switch
+  // off, cost model declined, or the previous run did not complete.
+  bool full_remine = false;
+  std::vector<Itemset> added;
+  std::vector<Itemset> removed;
+  std::vector<Itemset> retained;
+  // Bulk word operations spent by the oracle's delta-database builds —
+  // the delta path's own cost, reported next to result.stats.ct_word_ops
+  // (the in-run cost) by bench/stream_compare.cc.
+  std::uint64_t delta_word_ops = 0;
+  // The underlying window run: answers, stats, metrics, termination.
+  MiningResult result;
+};
+
+// The canonical textual form of one tick, as frozen in the golden
+// .answer_stream fixtures: a header line
+//   EPOCH <e> window=<n> added=<a> removed=<r> retained=<k>
+// followed by one "+ {…}" line per added and one "- {…}" line per
+// removed itemset, in sorted order. Deliberately mode-free: delta and
+// full-re-mine ticks render identically, which is what lets one frozen
+// file pin both CCS_STREAM settings.
+std::string RenderAnswerDelta(const AnswerDelta& delta);
+
+// Builds the window's MiningRequest at each tick, after the snapshot is
+// taken — so per-window options (e.g. a support fraction of the current
+// window size) resolve against the data actually mined. Borrowed state
+// referenced by the returned request (the ConstraintSet in particular)
+// must outlive the Tick call.
+using RequestFactory =
+    std::function<MiningRequest(const TransactionDatabase&)>;
+
+// Incremental re-evaluation on top of a StreamingDatabase (DESIGN.md
+// §15). Each Tick() advances the stream one epoch, snapshots the live
+// window behind a fresh DatabaseHandle, and re-runs the batch engine over
+// it — by default through a CtDeltaSource oracle that rebuilds only
+// itemsets containing a dirty item (one present in this tick's appended
+// or expired baskets) and serves every clean cached table with an O(1)
+// all-absent-cell adjustment. Table cells are recovered exactly
+// (core/ct_delta.h), so answers are bit-identical to mining the snapshot
+// from scratch; the oracle only changes how much database work that
+// takes.
+//
+// Cost-model gate, analogous to the k=2 pair-stage gate (DESIGN.md §14):
+// when the tick's (appended + expired) baskets exceed
+// StreamOptions::max_delta_fraction of the window, nearly every table is
+// dirty and the delta arithmetic costs more than it saves, so the tick
+// full-re-mines (record-only oracle) instead. EngineOptions::streaming /
+// CCS_STREAM is the kill switch: off, every tick full-re-mines with no
+// oracle at all.
+//
+// Not internally synchronized; the service layer serializes Tick calls.
+class DeltaMiner {
+ public:
+  // `db` is borrowed and must outlive the miner. `engine` is resolved
+  // once (env overrides folded in) exactly like MiningSession does.
+  DeltaMiner(StreamingDatabase* db, RequestFactory factory,
+             EngineOptions engine = {}, HandleOptions handle_options = {});
+
+  AnswerDelta Tick();
+
+  // The current answer set (sorted) and window handle, as of the last
+  // Tick; the handle is invalid before the first.
+  const std::vector<Itemset>& answers() const { return answers_; }
+  const DatabaseHandle& handle() const { return handle_; }
+  // The resolved kill-switch state this miner runs under.
+  bool streaming_enabled() const { return streaming_; }
+
+  // Borrowed cancellation token stamped onto every tick's request (after
+  // the factory runs, so it wins) — the service layer's drain path. May
+  // be null; must outlive the miner when set.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+
+ private:
+  StreamingDatabase* db_;
+  RequestFactory factory_;
+  EngineOptions engine_;
+  HandleOptions handle_options_;
+  bool streaming_;
+  const CancelToken* cancel_ = nullptr;
+  DatabaseHandle handle_;
+  std::vector<Itemset> answers_;
+  // Previous window's tables, keyed by itemset, cells by mask — the
+  // oracle's cache. Only kept while the previous run completed.
+  ItemsetMap<std::vector<std::uint64_t>> tables_;
+  bool have_tables_ = false;
+};
+
+}  // namespace stream
+}  // namespace ccs
+
+#endif  // CCS_STREAM_DELTA_MINER_H_

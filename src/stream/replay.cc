@@ -1,0 +1,78 @@
+#include "stream/replay.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace ccs {
+namespace stream {
+
+StatusOr<std::vector<StreamEvent>> ParseStreamFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open stream file: " + path);
+  }
+  std::vector<StreamEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "TICK") {
+      StreamEvent event;
+      event.tick = true;
+      events.push_back(std::move(event));
+      continue;
+    }
+    StreamEvent event;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || errno != 0) {
+        return InvalidArgumentError(path + ":" + std::to_string(line_no) +
+                                    ": bad item id '" + token + "'");
+      }
+      event.basket.push_back(static_cast<ItemId>(id));
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+StatusOr<ReplayResult> ReplayStream(const std::vector<StreamEvent>& events,
+                                    StreamingDatabase& db,
+                                    DeltaMiner& miner) {
+  ReplayResult result;
+  for (const StreamEvent& event : events) {
+    if (event.tick) {
+      AnswerDelta delta = miner.Tick();
+      if (delta.result.termination == Termination::kError) {
+        return delta.result.error;
+      }
+      result.rendered += RenderAnswerDelta(delta);
+      result.deltas.push_back(std::move(delta));
+      continue;
+    }
+    const Status status = db.Append(event.basket);
+    if (!status.ok()) return status;
+  }
+  return result;
+}
+
+StatusOr<ReplayResult> ReplayStreamFile(const std::string& path,
+                                        StreamingDatabase& db,
+                                        DeltaMiner& miner) {
+  StatusOr<std::vector<StreamEvent>> events = ParseStreamFile(path);
+  if (!events.ok()) return events.status();
+  return ReplayStream(*events, db, miner);
+}
+
+}  // namespace stream
+}  // namespace ccs

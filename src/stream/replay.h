@@ -1,0 +1,48 @@
+#ifndef CCS_STREAM_REPLAY_H_
+#define CCS_STREAM_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/delta_miner.h"
+#include "stream/streaming_database.h"
+#include "util/status.h"
+
+namespace ccs {
+namespace stream {
+
+// The .stream fixture format (tests/data/*.stream): one basket per line
+// as space-separated item ids, the literal line "TICK" to close an epoch,
+// blank lines and lines starting with '#' ignored. Baskets after the
+// last TICK stay in the open frame, exactly as a daemon APPEND without a
+// following TICK would.
+
+// One parsed replay step.
+struct StreamEvent {
+  bool tick = false;       // true = TICK line; false = basket line
+  Transaction basket;
+};
+
+[[nodiscard]] StatusOr<std::vector<StreamEvent>> ParseStreamFile(
+    const std::string& path);
+
+// Drives `db`/`miner` through the parsed events. `rendered` is the
+// concatenated RenderAnswerDelta of every tick — the byte-exact content
+// of a golden .answer_stream fixture.
+struct ReplayResult {
+  std::vector<AnswerDelta> deltas;
+  std::string rendered;
+};
+
+[[nodiscard]] StatusOr<ReplayResult> ReplayStream(
+    const std::vector<StreamEvent>& events, StreamingDatabase& db,
+    DeltaMiner& miner);
+
+// ParseStreamFile + ReplayStream in one call.
+[[nodiscard]] StatusOr<ReplayResult> ReplayStreamFile(
+    const std::string& path, StreamingDatabase& db, DeltaMiner& miner);
+
+}  // namespace stream
+}  // namespace ccs
+
+#endif  // CCS_STREAM_REPLAY_H_

@@ -1,0 +1,83 @@
+#include "stream/streaming_database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace stream {
+
+StreamingDatabase::StreamingDatabase(std::size_t num_items,
+                                     ItemCatalog catalog,
+                                     StreamOptions options)
+    : log_(num_items),
+      window_(options),
+      catalog_(std::move(catalog)),
+      options_(options) {
+  CCS_CHECK_GE(options_.tick_interval_ms, 1u);
+}
+
+Status StreamingDatabase::Append(Transaction basket) {
+  return log_.Append(std::move(basket));
+}
+
+StreamingDatabase::WindowDelta StreamingDatabase::Tick() {
+  WindowDelta delta;
+  delta.epoch = ++epoch_;
+  const BasketLog::TidRange range = log_.CutFrame();
+  delta.appended.reserve(
+      static_cast<std::size_t>(range.end - range.begin));
+  for (std::uint64_t tid = range.begin; tid < range.end; ++tid) {
+    delta.appended.push_back(log_.basket(tid));
+  }
+  const WindowFrame frame{range.begin, range.end, epoch_ - 1, epoch_};
+  const std::vector<WindowFrame> expired_frames = window_.Push(frame);
+  for (const WindowFrame& expired : expired_frames) {
+    for (std::uint64_t tid = expired.tid_begin; tid < expired.tid_end;
+         ++tid) {
+      delta.expired.push_back(log_.basket(tid));
+    }
+  }
+  log_.DropBelow(window_.window_tid_begin());
+  for (const std::vector<Transaction>* group :
+       {&delta.appended, &delta.expired}) {
+    for (const Transaction& basket : *group) {
+      delta.dirty_items.insert(delta.dirty_items.end(), basket.begin(),
+                               basket.end());
+    }
+  }
+  std::sort(delta.dirty_items.begin(), delta.dirty_items.end());
+  delta.dirty_items.erase(
+      std::unique(delta.dirty_items.begin(), delta.dirty_items.end()),
+      delta.dirty_items.end());
+  delta.window_baskets = window_.window_baskets();
+  return delta;
+}
+
+std::vector<StreamingDatabase::WindowDelta> StreamingDatabase::AdvanceTo(
+    std::uint64_t now_ms) {
+  std::vector<WindowDelta> deltas;
+  const std::uint64_t due = now_ms / options_.tick_interval_ms;
+  while (epoch_ < due) deltas.push_back(Tick());
+  return deltas;
+}
+
+TransactionDatabase StreamingDatabase::WindowSnapshot() const {
+  TransactionDatabase db(log_.num_items());
+  for (const WindowFrame& frame : window_.frames()) {
+    for (std::uint64_t tid = frame.tid_begin; tid < frame.tid_end; ++tid) {
+      db.Add(log_.basket(tid));
+    }
+  }
+  db.Finalize();
+  return db;
+}
+
+DatabaseHandle StreamingDatabase::SnapshotHandle(
+    const HandleOptions& options) const {
+  return DatabaseHandle::Create(WindowSnapshot(), catalog_, options);
+}
+
+}  // namespace stream
+}  // namespace ccs

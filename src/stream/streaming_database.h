@@ -1,0 +1,94 @@
+#ifndef CCS_STREAM_STREAMING_DATABASE_H_
+#define CCS_STREAM_STREAMING_DATABASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/session.h"
+#include "stream/tilted_window.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "txn/stream_log.h"
+#include "util/status.h"
+
+namespace ccs {
+namespace stream {
+
+// The mutable front of the streaming pipeline (DESIGN.md §15): wraps the
+// append-only BasketLog and the TiltedTimeWindow so batch code never sees
+// a mutating database. Append() feeds the open frame; Tick() closes it,
+// runs window compaction/expiry, and reports exactly which baskets
+// entered and left the live window; WindowSnapshot()/SnapshotHandle()
+// materialize the live window as a fresh, finalized, immutable
+// TransactionDatabase — SnapshotHandle stamps a fresh engine epoch, which
+// is the memo/cache invalidation token for everything downstream.
+//
+// Not internally synchronized: callers that share one instance across
+// threads (the service layer) serialize access externally.
+class StreamingDatabase {
+ public:
+  // Everything a tick changed, in deterministic order: appended baskets
+  // in arrival order, expired baskets in TID order, dirty items sorted
+  // and deduplicated.
+  struct WindowDelta {
+    std::uint64_t epoch = 0;  // 1-based tick count after this tick
+    std::vector<Transaction> appended;
+    std::vector<Transaction> expired;
+    // Items occurring in any appended or expired basket — the dirty-item
+    // set whose closure the DeltaMiner re-evaluates.
+    std::vector<ItemId> dirty_items;
+    // Live window size after the tick.
+    std::uint64_t window_baskets = 0;
+  };
+
+  StreamingDatabase(std::size_t num_items, ItemCatalog catalog,
+                    StreamOptions options = {});
+
+  // Appends one basket to the open frame; it becomes visible to mining at
+  // the next Tick(). Invalid ids reject without consuming a TID.
+  [[nodiscard]] Status Append(Transaction basket);
+  // Baskets waiting in the open frame.
+  std::size_t pending() const { return log_.pending(); }
+
+  // Advances one epoch: closes the open frame, pushes it through the
+  // tilted window, expires what the compaction cascade pushed out, and
+  // reclaims expired storage.
+  WindowDelta Tick();
+
+  // Clock-driven ticking: runs one Tick per tick_interval_ms elapsed
+  // since the stream began, deterministically for a given now_ms sequence
+  // (tests drive this from a ManualClock). Returns the deltas in order.
+  std::vector<WindowDelta> AdvanceTo(std::uint64_t now_ms);
+
+  // Completed ticks.
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t window_baskets() const { return window_.window_baskets(); }
+  // Live frames, oldest first.
+  std::vector<WindowFrame> frames() const { return window_.frames(); }
+  const TiltedTimeWindow& window() const { return window_; }
+
+  std::size_t num_items() const { return log_.num_items(); }
+  const ItemCatalog& catalog() const { return catalog_; }
+  const StreamOptions& options() const { return options_; }
+
+  // The live window as a fresh finalized database, baskets in global-TID
+  // (= arrival) order — byte-for-byte the database a batch caller would
+  // get by Add()ing the same baskets in the same order.
+  TransactionDatabase WindowSnapshot() const;
+  // WindowSnapshot wrapped in an owning DatabaseHandle with a fresh
+  // process-unique epoch.
+  DatabaseHandle SnapshotHandle(const HandleOptions& options = {}) const;
+
+ private:
+  BasketLog log_;
+  TiltedTimeWindow window_;
+  ItemCatalog catalog_;
+  StreamOptions options_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace stream
+}  // namespace ccs
+
+#endif  // CCS_STREAM_STREAMING_DATABASE_H_

@@ -1,0 +1,73 @@
+#include "stream/tilted_window.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccs {
+namespace stream {
+
+TiltedTimeWindow::TiltedTimeWindow(const StreamOptions& options)
+    : options_(options) {
+  CCS_CHECK_GE(options_.fine_frames, 1u);
+  CCS_CHECK_GE(options_.frames_per_level, 2u);
+  CCS_CHECK_GE(options_.levels, 1u);
+  levels_.resize(options_.levels);
+}
+
+std::vector<WindowFrame> TiltedTimeWindow::Push(WindowFrame frame) {
+  CCS_CHECK_EQ(frame.tid_begin, next_tid_begin_);
+  next_tid_begin_ = frame.tid_end;
+  levels_[0].push_back(frame);
+  std::vector<WindowFrame> expired;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const std::size_t capacity =
+        level == 0 ? options_.fine_frames : options_.frames_per_level;
+    while (levels_[level].size() > capacity) {
+      if (level + 1 == levels_.size()) {
+        // No coarser level: the oldest frame leaves the window whole.
+        expired.push_back(levels_[level].front());
+        levels_[level].erase(levels_[level].begin());
+        continue;
+      }
+      // The level's two oldest frames are TID- and epoch-adjacent (they
+      // were pushed consecutively), so the merge concatenates ranges.
+      WindowFrame merged = levels_[level][0];
+      const WindowFrame& next = levels_[level][1];
+      CCS_CHECK_EQ(merged.tid_end, next.tid_begin);
+      CCS_CHECK_EQ(merged.epoch_end, next.epoch_begin);
+      merged.tid_end = next.tid_end;
+      merged.epoch_end = next.epoch_end;
+      levels_[level].erase(levels_[level].begin(),
+                           levels_[level].begin() + 2);
+      levels_[level + 1].push_back(merged);
+    }
+  }
+  return expired;
+}
+
+std::vector<WindowFrame> TiltedTimeWindow::frames() const {
+  std::vector<WindowFrame> out;
+  for (std::size_t level = levels_.size(); level-- > 0;) {
+    out.insert(out.end(), levels_[level].begin(), levels_[level].end());
+  }
+  return out;
+}
+
+std::uint64_t TiltedTimeWindow::window_tid_begin() const {
+  for (std::size_t level = levels_.size(); level-- > 0;) {
+    if (!levels_[level].empty()) return levels_[level].front().tid_begin;
+  }
+  return next_tid_begin_;
+}
+
+std::uint64_t TiltedTimeWindow::window_baskets() const {
+  std::uint64_t total = 0;
+  for (const std::vector<WindowFrame>& level : levels_) {
+    for (const WindowFrame& frame : level) total += frame.baskets();
+  }
+  return total;
+}
+
+}  // namespace stream
+}  // namespace ccs

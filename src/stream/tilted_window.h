@@ -1,0 +1,94 @@
+#ifndef CCS_STREAM_TILTED_WINDOW_H_
+#define CCS_STREAM_TILTED_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccs {
+namespace stream {
+
+// Knobs for the streaming layer, fixed at StreamingDatabase construction.
+struct StreamOptions {
+  // Level-0 capacity: the number of fine-grained frames, one epoch tick
+  // each, kept at full resolution before compaction.
+  std::size_t fine_frames = 4;
+  // Capacity of every coarser level. When a level exceeds it, its two
+  // oldest frames merge into one frame of the next level — so a frame at
+  // level L covers frames_per_level-independent runs of 2^L ticks and
+  // the total window spans O(fine_frames + levels * frames_per_level)
+  // frames while covering exponentially more history.
+  std::size_t frames_per_level = 2;
+  // Total level count including the fine level. Overflow past the last
+  // level expires the window's oldest frame outright.
+  std::size_t levels = 4;
+  // DeltaMiner's cost-model gate (docs/ALGORITHMS.md): the delta path is
+  // taken only when (appended + expired baskets) <= fraction * window
+  // baskets after the tick; above it a full re-mine is cheaper because
+  // nearly every candidate is dirty anyway.
+  double max_delta_fraction = 0.5;
+  // AdvanceTo granularity: one epoch tick per elapsed interval.
+  std::uint64_t tick_interval_ms = 1000;
+};
+
+// One closed frame of the window: a contiguous global-TID range and the
+// epoch-tick range it covers. Merging two adjacent frames concatenates
+// both ranges, so contiguity is preserved by construction.
+struct WindowFrame {
+  std::uint64_t tid_begin = 0;
+  std::uint64_t tid_end = 0;    // half-open
+  std::uint64_t epoch_begin = 0;
+  std::uint64_t epoch_end = 0;  // half-open
+  std::uint64_t baskets() const { return tid_end - tid_begin; }
+};
+
+// Tilted-time-window bookkeeping in the FP-Stream style: level 0 holds
+// the most recent ticks at single-tick resolution; each coarser level
+// holds frames covering twice the span of the level below, built by
+// merging that level's two oldest frames when it overflows. Counts are
+// exact — a frame is only ever a TID range; nothing is approximated or
+// subsampled — so the scheme trades *resolution* of history for space,
+// never accuracy of the live window. Frames expire only off the end of
+// the last level, oldest first.
+//
+// Invariant (pinned by stream_window_test): the concatenation of all
+// live frames, oldest level first and oldest-first within each level, is
+// a gap-free partition of one contiguous TID interval
+// [window_tid_begin(), newest tid_end).
+class TiltedTimeWindow {
+ public:
+  explicit TiltedTimeWindow(const StreamOptions& options);
+
+  // Accepts the frame closed at this tick and runs the compaction
+  // cascade; returns the frames the cascade expired, oldest first (empty
+  // until the window is full).
+  std::vector<WindowFrame> Push(WindowFrame frame);
+
+  // All live frames, oldest first.
+  std::vector<WindowFrame> frames() const;
+
+  // TID of the oldest live basket; == next frame's tid_begin when empty.
+  std::uint64_t window_tid_begin() const;
+
+  // Total baskets across live frames.
+  std::uint64_t window_baskets() const;
+
+  std::size_t num_levels() const { return levels_.size(); }
+  // Frames at `level` (0 = finest), oldest first.
+  const std::vector<WindowFrame>& level(std::size_t level) const {
+    return levels_[level];
+  }
+
+ private:
+  StreamOptions options_;
+  // levels_[0] = finest; frames oldest-first within a level.
+  std::vector<std::vector<WindowFrame>> levels_;
+  // tid_begin of the next incoming frame, so window_tid_begin() is
+  // defined even before the first Push / after total expiry.
+  std::uint64_t next_tid_begin_ = 0;
+};
+
+}  // namespace stream
+}  // namespace ccs
+
+#endif  // CCS_STREAM_TILTED_WINDOW_H_

@@ -1,0 +1,43 @@
+#include "txn/stream_log.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccs {
+
+Status BasketLog::Append(Transaction basket) {
+  std::sort(basket.begin(), basket.end());
+  basket.erase(std::unique(basket.begin(), basket.end()), basket.end());
+  if (!basket.empty() && basket.back() >= num_items_) {
+    return InvalidArgumentError("item id " + std::to_string(basket.back()) +
+                                " out of range [0, " +
+                                std::to_string(num_items_) + ")");
+  }
+  baskets_.push_back(std::move(basket));
+  return OkStatus();
+}
+
+BasketLog::TidRange BasketLog::CutFrame() {
+  const TidRange range{frame_begin_, next_tid()};
+  frame_begin_ = range.end;
+  return range;
+}
+
+const Transaction& BasketLog::basket(std::uint64_t tid) const {
+  CCS_CHECK_GE(tid, base_);
+  CCS_CHECK_LT(tid, next_tid());
+  return baskets_[static_cast<std::size_t>(tid - base_)];
+}
+
+void BasketLog::DropBelow(std::uint64_t tid) {
+  CCS_CHECK_LE(tid, frame_begin_);
+  while (base_ < tid) {
+    baskets_.pop_front();
+    ++base_;
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,76 @@
+#ifndef CCS_TXN_STREAM_LOG_H_
+#define CCS_TXN_STREAM_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "txn/database.h"
+#include "util/status.h"
+
+namespace ccs {
+
+// Append-only basket storage for the streaming layer (DESIGN.md §15):
+// frame-aware TID allocation over one global, monotonically increasing
+// TID sequence. Baskets append into an open frame; CutFrame() closes it
+// and returns its half-open TID range, which the tilted-time-window
+// bookkeeping (src/stream/tilted_window.h) then owns. Because frames are
+// cut in arrival order and window compaction only merges adjacent frames
+// or expires the oldest, the live window is always one contiguous TID
+// interval — DropBelow() reclaims everything under its low end while
+// global TIDs keep advancing, so a TID names the same basket for the
+// lifetime of the stream.
+//
+// Baskets are normalized on append exactly as TransactionDatabase::Add
+// does (sorted, deduplicated, ids range-checked), so a window snapshot
+// can replay them into a fresh database without re-validation.
+class BasketLog {
+ public:
+  explicit BasketLog(std::size_t num_items) : num_items_(num_items) {}
+
+  // Appends one basket to the open frame under the next global TID.
+  // Invalid item ids reject without consuming a TID.
+  [[nodiscard]] Status Append(Transaction basket);
+
+  // Closes the open frame: returns its TID range [begin, end) and starts
+  // a new empty open frame at `end`. Empty frames are legal (a tick with
+  // no arrivals).
+  struct TidRange {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  TidRange CutFrame();
+
+  // Total baskets ever appended == the TID the next Append receives.
+  std::uint64_t next_tid() const { return base_ + baskets_.size(); }
+  // Lowest TID still retained (== next_tid() when everything expired).
+  std::uint64_t first_live_tid() const { return base_; }
+  // First TID of the open (not yet cut) frame.
+  std::uint64_t open_frame_begin() const { return frame_begin_; }
+  // Baskets in the open frame.
+  std::size_t pending() const {
+    return static_cast<std::size_t>(next_tid() - frame_begin_);
+  }
+
+  // The basket at `tid`; requires first_live_tid() <= tid < next_tid().
+  const Transaction& basket(std::uint64_t tid) const;
+
+  // Drops storage for every basket with TID < tid (idempotent; `tid` may
+  // not exceed the open frame's begin — expiry never reaches into frames
+  // that have not been cut).
+  void DropBelow(std::uint64_t tid);
+
+  std::size_t num_items() const { return num_items_; }
+
+ private:
+  std::size_t num_items_;
+  // TID of baskets_.front(); live baskets are a contiguous deque suffix
+  // of the global sequence.
+  std::uint64_t base_ = 0;
+  std::uint64_t frame_begin_ = 0;
+  std::deque<Transaction> baskets_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_TXN_STREAM_LOG_H_

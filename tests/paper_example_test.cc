@@ -15,6 +15,10 @@
 #include "core/engine.h"
 #include "core/miner.h"
 #include "core/oracle.h"
+#include "query/query.h"
+#include "stream/delta_miner.h"
+#include "stream/replay.h"
+#include "stream/streaming_database.h"
 #include "txn/io.h"
 #include "util/rng.h"
 
@@ -313,6 +317,62 @@ TEST(GoldenCorpus, ZipfFixtureAnswersAreFrozen) {
       EXPECT_EQ(RenderAnswers(result.answers), golden_bytes)
           << "cache=" << cache << " simd=" << simd;
     }
+  }
+}
+
+TEST(GoldenCorpus, PaperExampleAnswerStreamIsFrozen) {
+  // The streaming pin (DESIGN.md §15): paper_example.stream replays the
+  // Section 2 baskets in five batches, one epoch tick each, and the
+  // concatenated RenderAnswerDelta output must match the committed
+  // .answer_stream byte for byte — with the delta oracle on AND with the
+  // kill switch forcing every tick to full-re-mine. The render is
+  // deliberately mode-free, so one frozen file pins both.
+  // Both modes are driven through EngineOptions::streaming; an ambient
+  // CCS_STREAM override (e.g. a kill-switch tier-1 sweep) would mask the
+  // delta half of the pin.
+  unsetenv("CCS_STREAM");
+  const std::string golden_bytes =
+      ReadFileBytes("paper_example.answer_stream");
+  ASSERT_FALSE(golden_bytes.empty());
+  // The pinned query, spelled the way scripts/stream_smoke.py passes it:
+  //   "all with alpha=0.95, support=0.05, cells=0.25, maxsize=4"
+  Query query;
+  query.semantics = AnswerSemantics::kUnconstrained;
+  query.significance = 0.95;
+  query.support_fraction = 0.05;
+  query.min_cell_fraction = 0.25;
+  query.max_set_size = 4;
+  for (const bool streaming : {true, false}) {
+    EngineOptions engine;
+    engine.streaming = streaming;
+    stream::StreamingDatabase db(5, PaperCatalog());
+    stream::DeltaMiner miner(
+        &db,
+        [&query](const TransactionDatabase& window) {
+          MiningRequest request;
+          request.algorithm = query.DefaultAlgorithm();
+          request.options = query.ResolveOptions(window);
+          request.constraints = &query.constraints;
+          return request;
+        },
+        engine);
+    const auto replay = stream::ReplayStreamFile(
+        DataPath("paper_example.stream"), db, miner);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay->rendered, golden_bytes) << "streaming=" << streaming;
+    ASSERT_EQ(replay->deltas.size(), 5u);
+    // The first tick always re-mines; with the oracle live the cost
+    // model must have taken the delta path on the later, small-turnover
+    // ticks — otherwise this pin never exercised delta recovery.
+    EXPECT_TRUE(replay->deltas.front().full_remine);
+    bool saw_delta = false;
+    for (const stream::AnswerDelta& delta : replay->deltas) {
+      if (!delta.full_remine) saw_delta = true;
+      if (!streaming) {
+        EXPECT_TRUE(delta.full_remine);
+      }
+    }
+    EXPECT_EQ(saw_delta, streaming);
   }
 }
 

@@ -1,0 +1,280 @@
+// The streaming answer-equivalence pin (DESIGN.md §15, the PR's
+// acceptance bar): a seeded randomized append/tick sequence driven
+// through the DeltaMiner produces, at every tick, answers and
+// deterministic per-level counters bit-identical to freshly batch-mining
+// that tick's window snapshot — across all six BMS variants, {1, 2, 8}
+// threads, CT cache on/off, scalar/SIMD kernel, and with the streaming
+// kill switch on or off. The rendered answer stream is additionally
+// byte-compared across every configuration, so one frozen golden file
+// can pin them all (tests/data/*.answer_stream).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "constraints/agg_constraint.h"
+#include "constraints/constraint_set.h"
+#include "core/engine_options.h"
+#include "core/miner.h"
+#include "core/session.h"
+#include "datagen/ibm_generator.h"
+#include "datagen/zipf_generator.h"
+#include "stream/delta_miner.h"
+#include "stream/streaming_database.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+using stream::AnswerDelta;
+using stream::DeltaMiner;
+using stream::RenderAnswerDelta;
+using stream::StreamingDatabase;
+using stream::StreamOptions;
+
+constexpr std::size_t kItems = 24;
+constexpr std::uint64_t kTicks = 6;
+
+// The basket source: a deterministic generated database whose
+// transactions arrive in order, a random 0..9 of them per tick. Both
+// generators show up so the sweep sees dense and skewed streams.
+std::vector<Transaction> SourceBaskets(bool zipf, std::uint64_t seed) {
+  if (zipf) {
+    ZipfGeneratorConfig config;
+    config.num_transactions = 400;
+    config.num_items = kItems;
+    config.avg_transaction_size = 5.0;
+    config.num_groups = 3;
+    config.group_probability = 0.35;
+    config.seed = seed;
+    return ZipfGenerator(config).Generate().transactions();
+  }
+  IbmGeneratorConfig config;
+  config.num_transactions = 400;
+  config.num_items = kItems;
+  config.avg_transaction_size = 5.0;
+  config.avg_pattern_size = 3.0;
+  config.num_patterns = 8;
+  config.seed = seed;
+  return IbmGenerator(config).Generate().transactions();
+}
+
+ItemCatalog MakeCatalog() {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < kItems; ++i) {
+    catalog.AddItem(static_cast<double>(i + 1), types[i % 4]);
+  }
+  return catalog;
+}
+
+// A small window so expiry starts within the replay: 2 fine frames + two
+// 2-frame coarse levels covers at most 6 ticks of history.
+StreamOptions TestWindow() {
+  StreamOptions options;
+  options.fine_frames = 2;
+  options.frames_per_level = 2;
+  options.levels = 3;
+  return options;
+}
+
+// Per-window request assembly, shared verbatim between the DeltaMiner's
+// factory and the batch re-mine it is checked against. Support resolves
+// against the *current* window size, like Query::ResolveOptions would.
+MiningRequest MakeRequest(Algorithm algorithm,
+                          const ConstraintSet* constraints,
+                          const TransactionDatabase& window) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.options.significance = 0.9;
+  request.options.min_support =
+      2 + window.num_transactions() / 12;  // ~8% of the window
+  request.options.min_cell_fraction = 0.25;
+  request.options.max_set_size = 3;
+  request.constraints = constraints;
+  return request;
+}
+
+struct SweepConfig {
+  std::size_t threads;
+  bool cache;
+  bool simd;
+  bool streaming;  // EngineOptions::streaming — the kill switch
+};
+
+std::string ConfigName(const SweepConfig& config) {
+  return "threads=" + std::to_string(config.threads) +
+         " cache=" + std::to_string(config.cache) +
+         " simd=" + std::to_string(config.simd) +
+         " stream=" + std::to_string(config.streaming);
+}
+
+class StreamDifferentialTest : public testing::TestWithParam<Algorithm> {};
+
+// For one algorithm, replay the same seeded sequence under every engine
+// configuration. Per tick: the delta answers must be bit-identical to a
+// fresh batch mine of the same snapshot (answers AND the deterministic
+// level counters), and the rendered stream must be byte-identical across
+// every configuration.
+TEST_P(StreamDifferentialTest, AnswerStreamMatchesBatchMineEveryTick) {
+  // The sweep drives every switch through EngineOptions alone; ambient
+  // overrides (e.g. a CCS_STREAM=0 or CCS_SIMD=0 tier-1 sweep) would
+  // mask half the matrix.
+  unsetenv("CCS_STREAM");
+  unsetenv("CCS_SIMD");
+  const Algorithm algorithm = GetParam();
+  const ItemCatalog catalog = MakeCatalog();
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(18.0));
+  const bool zipf = algorithm == Algorithm::kBmsStar ||
+                    algorithm == Algorithm::kBmsStarStar;
+  const std::vector<Transaction> source = SourceBaskets(zipf, 4242);
+
+  std::vector<std::string> baseline;  // per-tick renders, first config
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const bool cache : {true, false}) {
+      for (const bool simd : {true, false}) {
+        for (const bool streaming : {true, false}) {
+          const SweepConfig config{threads, cache, simd, streaming};
+          SCOPED_TRACE(ConfigName(config));
+          EngineOptions engine;
+          engine.num_threads = config.threads;
+          engine.ct_cache = config.cache;
+          engine.simd_kernel = config.simd;
+          engine.streaming = config.streaming;
+
+          StreamingDatabase db(kItems, catalog, TestWindow());
+          DeltaMiner miner(
+              &db,
+              [&](const TransactionDatabase& window) {
+                return MakeRequest(algorithm, &constraints, window);
+              },
+              engine);
+          ASSERT_EQ(miner.streaming_enabled(), config.streaming);
+
+          // Same seed per configuration: every sweep cell replays the
+          // identical append/tick sequence (0..9 arrivals per tick,
+          // including empty ticks).
+          Rng rng(9000 + static_cast<std::uint64_t>(algorithm));
+          std::size_t cursor = 0;
+          bool saw_delta_tick = false;
+          for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+            const std::size_t arrivals = rng.NextBounded(10);
+            for (std::size_t i = 0; i < arrivals && cursor < source.size();
+                 ++i, ++cursor) {
+              ASSERT_TRUE(db.Append(source[cursor]).ok());
+            }
+            const AnswerDelta delta = miner.Tick();
+            ASSERT_EQ(delta.result.termination, Termination::kCompleted);
+            saw_delta_tick = saw_delta_tick || !delta.full_remine;
+            if (tick == 0) {
+              // No previous tables yet: the first tick always re-mines.
+              EXPECT_TRUE(delta.full_remine);
+            }
+
+            // The oracle is a pure table source: a fresh batch mine of
+            // the same snapshot must agree bit for bit, answers and
+            // deterministic counters alike.
+            const MiningSession batch(db.SnapshotHandle(), engine);
+            const MiningResult full =
+                batch.Run(MakeRequest(algorithm, &constraints,
+                                      batch.handle().database()));
+            ASSERT_EQ(full.termination, Termination::kCompleted);
+            EXPECT_EQ(delta.result.answers, full.answers);
+            ASSERT_EQ(delta.result.stats.levels.size(),
+                      full.stats.levels.size());
+            for (std::size_t l = 0; l < full.stats.levels.size(); ++l) {
+              const LevelStats& got = delta.result.stats.levels[l];
+              const LevelStats& want = full.stats.levels[l];
+              EXPECT_EQ(got.candidates, want.candidates) << "level " << l;
+              EXPECT_EQ(got.pruned_before_ct, want.pruned_before_ct);
+              EXPECT_EQ(got.tables_built, want.tables_built);
+              EXPECT_EQ(got.ct_supported, want.ct_supported);
+              EXPECT_EQ(got.chi2_tests, want.chi2_tests);
+              EXPECT_EQ(got.correlated, want.correlated);
+              EXPECT_EQ(got.sig_added, want.sig_added);
+              EXPECT_EQ(got.notsig_added, want.notsig_added);
+            }
+
+            // Cross-configuration byte identity of the rendered stream.
+            const std::string rendered = RenderAnswerDelta(delta);
+            if (baseline.size() <= tick) {
+              baseline.push_back(rendered);
+            } else {
+              EXPECT_EQ(rendered, baseline[tick]) << "tick " << tick;
+            }
+          }
+          if (config.streaming) {
+            // The cost model must have taken the delta path at least
+            // once, or this sweep cell never exercised the oracle.
+            EXPECT_TRUE(saw_delta_tick);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, StreamDifferentialTest,
+    testing::Values(Algorithm::kBms, Algorithm::kBmsPlus,
+                    Algorithm::kBmsPlusPlus, Algorithm::kBmsStar,
+                    Algorithm::kBmsStarStar, Algorithm::kBmsStarStarOpt),
+    [](const testing::TestParamInfo<Algorithm>& tp_info) {
+      std::string name = AlgorithmName(tp_info.param);
+      for (char& c : name) {
+        if (c == '+') c = 'p';
+        if (c == '*') c = 's';
+      }
+      return name;
+    });
+
+// The kill switch resolves through ResolveEngineOptions like every other
+// audited env override: CCS_STREAM=0 beats the option default at miner
+// construction, and the stream it produces is still byte-identical (every
+// tick simply full-re-mines).
+TEST(StreamKillSwitchTest, EnvOverrideDisablesDeltaPath) {
+  const ItemCatalog catalog = MakeCatalog();
+  ConstraintSet constraints;
+  constraints.Add(MaxLe(18.0));
+  const std::vector<Transaction> source = SourceBaskets(false, 77);
+  const auto replay = [&](DeltaMiner& miner, StreamingDatabase& db) {
+    std::string rendered;
+    std::size_t cursor = 0;
+    for (std::uint64_t tick = 0; tick < 4; ++tick) {
+      for (std::size_t i = 0; i < 6 && cursor < source.size();
+           ++i, ++cursor) {
+        EXPECT_TRUE(db.Append(source[cursor]).ok());
+      }
+      const AnswerDelta delta = miner.Tick();
+      if (!miner.streaming_enabled()) {
+        EXPECT_TRUE(delta.full_remine);
+      }
+      rendered += RenderAnswerDelta(delta);
+    }
+    return rendered;
+  };
+  const auto factory = [&](const TransactionDatabase& window) {
+    return MakeRequest(Algorithm::kBmsPlusPlus, &constraints, window);
+  };
+
+  ASSERT_EQ(setenv("CCS_STREAM", "0", 1), 0);
+  StreamingDatabase db_off(kItems, catalog, TestWindow());
+  DeltaMiner miner_off(&db_off, factory);
+  EXPECT_FALSE(miner_off.streaming_enabled());
+  const std::string rendered_off = replay(miner_off, db_off);
+  ASSERT_EQ(unsetenv("CCS_STREAM"), 0);
+
+  StreamingDatabase db_on(kItems, catalog, TestWindow());
+  DeltaMiner miner_on(&db_on, factory);
+  EXPECT_TRUE(miner_on.streaming_enabled());
+  EXPECT_EQ(replay(miner_on, db_on), rendered_off);
+}
+
+}  // namespace
+}  // namespace ccs

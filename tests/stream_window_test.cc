@@ -1,0 +1,312 @@
+// The streaming substrate's exactness pins (DESIGN.md §15): the
+// tilted-time window keeps *exact* counts — compaction only merges
+// adjacent TID ranges and expiry only drops the oldest — so the live
+// window is always a gap-free partition of one contiguous TID interval,
+// every tick's expiry names precisely the baskets that left, epochs are
+// strictly monotone, and a ManualClock-driven AdvanceTo sequence is a
+// pure function of the timestamps it was fed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "service/clock.h"
+#include "stream/streaming_database.h"
+#include "stream/tilted_window.h"
+#include "txn/catalog.h"
+#include "txn/database.h"
+#include "txn/stream_log.h"
+
+namespace ccs {
+namespace {
+
+using stream::StreamOptions;
+using stream::StreamingDatabase;
+using stream::TiltedTimeWindow;
+using stream::WindowFrame;
+
+ItemCatalog SmallCatalog(std::size_t num_items) {
+  ItemCatalog catalog;
+  const char* types[] = {"a", "b"};
+  for (std::size_t i = 0; i < num_items; ++i) {
+    catalog.AddItem(static_cast<double>(i + 1), types[i % 2]);
+  }
+  return catalog;
+}
+
+// --- BasketLog -----------------------------------------------------------
+
+TEST(BasketLogTest, AppendCutDropLifecycle) {
+  BasketLog log(10);
+  EXPECT_EQ(log.next_tid(), 0u);
+  EXPECT_EQ(log.pending(), 0u);
+  ASSERT_TRUE(log.Append({3, 1, 3}).ok());  // normalized to {1, 3}
+  ASSERT_TRUE(log.Append({5}).ok());
+  EXPECT_EQ(log.pending(), 2u);
+  EXPECT_EQ(log.basket(0), (Transaction{1, 3}));
+  EXPECT_EQ(log.basket(1), (Transaction{5}));
+
+  const BasketLog::TidRange first = log.CutFrame();
+  EXPECT_EQ(first.begin, 0u);
+  EXPECT_EQ(first.end, 2u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.open_frame_begin(), 2u);
+
+  // An empty frame is legal: a tick with no arrivals.
+  const BasketLog::TidRange empty = log.CutFrame();
+  EXPECT_EQ(empty.begin, 2u);
+  EXPECT_EQ(empty.end, 2u);
+
+  ASSERT_TRUE(log.Append({0, 9}).ok());
+  const BasketLog::TidRange second = log.CutFrame();
+  EXPECT_EQ(second.begin, 2u);
+  EXPECT_EQ(second.end, 3u);
+
+  // Reclaim the first frame; TIDs keep naming the same baskets.
+  log.DropBelow(2);
+  EXPECT_EQ(log.first_live_tid(), 2u);
+  EXPECT_EQ(log.basket(2), (Transaction{0, 9}));
+  log.DropBelow(2);  // idempotent
+  EXPECT_EQ(log.first_live_tid(), 2u);
+}
+
+TEST(BasketLogTest, RejectsOutOfRangeWithoutConsumingTid) {
+  BasketLog log(4);
+  EXPECT_FALSE(log.Append({0, 4}).ok());
+  EXPECT_EQ(log.next_tid(), 0u);
+  EXPECT_EQ(log.pending(), 0u);
+  ASSERT_TRUE(log.Append({0, 3}).ok());
+  EXPECT_EQ(log.next_tid(), 1u);
+}
+
+// --- TiltedTimeWindow ----------------------------------------------------
+
+WindowFrame MakeFrame(std::uint64_t tid_begin, std::uint64_t tid_end,
+                      std::uint64_t epoch) {
+  WindowFrame frame;
+  frame.tid_begin = tid_begin;
+  frame.tid_end = tid_end;
+  frame.epoch_begin = epoch;
+  frame.epoch_end = epoch + 1;
+  return frame;
+}
+
+// The contiguity invariant: live frames, oldest first, partition
+// [window_tid_begin, newest tid_end) with no gaps or overlaps.
+void ExpectContiguous(const TiltedTimeWindow& window) {
+  const std::vector<WindowFrame> frames = window.frames();
+  if (frames.empty()) return;
+  EXPECT_EQ(frames.front().tid_begin, window.window_tid_begin());
+  std::uint64_t baskets = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(frames[i].tid_begin, frames[i - 1].tid_end);
+    }
+    baskets += frames[i].baskets();
+  }
+  EXPECT_EQ(baskets, window.window_baskets());
+}
+
+TEST(TiltedTimeWindowTest, CompactionMergesOldestAdjacentPair) {
+  StreamOptions options;
+  options.fine_frames = 2;
+  options.frames_per_level = 2;
+  options.levels = 3;
+  TiltedTimeWindow window(options);
+  EXPECT_EQ(window.num_levels(), 3u);
+
+  // Each tick appends 1 basket: frame i covers [i, i+1).
+  // Pushing frame 2 overflows the fine level (3 > 2) and merges frames
+  // 0+1 — adjacent ranges concatenate — into one level-1 frame [0, 2).
+  EXPECT_TRUE(window.Push(MakeFrame(0, 1, 0)).empty());
+  EXPECT_TRUE(window.Push(MakeFrame(1, 2, 1)).empty());
+  EXPECT_TRUE(window.Push(MakeFrame(2, 3, 2)).empty());
+  ExpectContiguous(window);
+  ASSERT_EQ(window.level(1).size(), 1u);
+  EXPECT_EQ(window.level(1)[0].tid_begin, 0u);
+  EXPECT_EQ(window.level(1)[0].tid_end, 2u);
+  EXPECT_EQ(window.level(1)[0].epoch_begin, 0u);
+  EXPECT_EQ(window.level(1)[0].epoch_end, 2u);
+  ASSERT_EQ(window.level(0).size(), 1u);
+  EXPECT_EQ(window.level(0)[0].tid_begin, 2u);
+
+  // Two more pushes overflow the fine level again (frames 2+3 merge);
+  // two after that the cascade reaches level 1 (3 > 2), merging the two
+  // oldest level-1 frames into a level-2 frame spanning four ticks.
+  EXPECT_TRUE(window.Push(MakeFrame(3, 4, 3)).empty());
+  EXPECT_TRUE(window.Push(MakeFrame(4, 5, 4)).empty());
+  ExpectContiguous(window);
+  ASSERT_EQ(window.level(1).size(), 2u);
+  EXPECT_TRUE(window.Push(MakeFrame(5, 6, 5)).empty());
+  EXPECT_TRUE(window.Push(MakeFrame(6, 7, 6)).empty());
+  ExpectContiguous(window);
+  ASSERT_EQ(window.level(2).size(), 1u);
+  EXPECT_EQ(window.level(2)[0].tid_begin, 0u);
+  EXPECT_EQ(window.level(2)[0].tid_end, 4u);  // a 4-tick span
+  EXPECT_EQ(window.window_baskets(), 7u);
+  EXPECT_EQ(window.window_tid_begin(), 0u);
+}
+
+TEST(TiltedTimeWindowTest, ExpiryDropsOldestFrameExactly) {
+  StreamOptions options;
+  options.fine_frames = 1;
+  options.frames_per_level = 2;
+  options.levels = 2;
+  TiltedTimeWindow window(options);
+  // Capacity: 1 fine frame + 2 level-1 frames. Drive ticks of one basket
+  // each until the cascade expires; expired frames must come off the old
+  // end, whole frames at a time, preserving contiguity of what remains.
+  std::uint64_t expired_through = 0;  // TIDs below this have expired
+  for (std::uint64_t tick = 0; tick < 32; ++tick) {
+    const std::vector<WindowFrame> expired =
+        window.Push(MakeFrame(tick, tick + 1, tick));
+    for (const WindowFrame& frame : expired) {
+      EXPECT_EQ(frame.tid_begin, expired_through);
+      expired_through = frame.tid_end;
+    }
+    ExpectContiguous(window);
+    EXPECT_EQ(window.window_tid_begin(), expired_through);
+    EXPECT_EQ(window.window_baskets(), tick + 1 - expired_through);
+  }
+  EXPECT_GT(expired_through, 0u) << "cascade never expired anything";
+}
+
+// --- StreamingDatabase ---------------------------------------------------
+
+StreamOptions TinyWindow() {
+  StreamOptions options;
+  options.fine_frames = 2;
+  options.frames_per_level = 2;
+  options.levels = 2;
+  return options;
+}
+
+TEST(StreamingDatabaseTest, TickReportsExactAppendsAndExpiry) {
+  StreamingDatabase db(6, SmallCatalog(6), TinyWindow());
+  // Keep an authoritative mirror of every basket ever appended; at every
+  // tick the expired set must equal the mirror's prefix that left the
+  // window and the snapshot must equal the mirror's live suffix.
+  std::vector<Transaction> all;
+  std::uint64_t expired_through = 0;
+  for (std::uint64_t tick = 0; tick < 24; ++tick) {
+    const Transaction basket{static_cast<ItemId>(tick % 6),
+                             static_cast<ItemId>((tick + 1) % 6)};
+    ASSERT_TRUE(db.Append(basket).ok());
+    all.push_back(basket);  // arrival-order mirror
+    EXPECT_EQ(db.pending(), 1u);
+    const StreamingDatabase::WindowDelta delta = db.Tick();
+    EXPECT_EQ(delta.epoch, tick + 1);
+    EXPECT_EQ(db.pending(), 0u);
+    ASSERT_EQ(delta.appended.size(), 1u);
+    // Appends are normalized (sorted/deduped) like TransactionDatabase.
+    Transaction normalized = basket;
+    std::sort(normalized.begin(), normalized.end());
+    normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                     normalized.end());
+    EXPECT_EQ(delta.appended[0], normalized);
+    // Expired baskets are exactly the mirror's next prefix.
+    for (const Transaction& gone : delta.expired) {
+      ASSERT_LT(expired_through, all.size());
+      Transaction want = all[expired_through];
+      std::sort(want.begin(), want.end());
+      want.erase(std::unique(want.begin(), want.end()), want.end());
+      EXPECT_EQ(gone, want);
+      ++expired_through;
+    }
+    EXPECT_EQ(delta.window_baskets, all.size() - expired_through);
+    // The snapshot is the live suffix in arrival order.
+    const TransactionDatabase snapshot = db.WindowSnapshot();
+    ASSERT_EQ(snapshot.num_transactions(), all.size() - expired_through);
+    for (std::size_t i = 0; i < snapshot.num_transactions(); ++i) {
+      Transaction want = all[expired_through + i];
+      std::sort(want.begin(), want.end());
+      want.erase(std::unique(want.begin(), want.end()), want.end());
+      EXPECT_EQ(snapshot.transaction(i), want);
+    }
+    EXPECT_TRUE(snapshot.finalized());
+    // dirty_items = union of appended+expired items, sorted unique.
+    std::vector<ItemId> dirty;
+    for (const Transaction& b : delta.appended) {
+      dirty.insert(dirty.end(), b.begin(), b.end());
+    }
+    for (const Transaction& b : delta.expired) {
+      dirty.insert(dirty.end(), b.begin(), b.end());
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    EXPECT_EQ(delta.dirty_items, dirty);
+  }
+  EXPECT_GT(expired_through, 0u) << "window never filled";
+}
+
+TEST(StreamingDatabaseTest, EpochAndSnapshotHandleMonotone) {
+  StreamingDatabase db(4, SmallCatalog(4), TinyWindow());
+  std::uint64_t last_engine_epoch = 0;
+  for (std::uint64_t tick = 0; tick < 5; ++tick) {
+    ASSERT_TRUE(db.Append({0, 1}).ok());
+    const StreamingDatabase::WindowDelta delta = db.Tick();
+    EXPECT_EQ(delta.epoch, tick + 1);
+    EXPECT_EQ(db.epoch(), tick + 1);
+    // Every snapshot handle carries a fresh, strictly increasing engine
+    // epoch — the memo/cache invalidation token.
+    const DatabaseHandle handle = db.SnapshotHandle();
+    EXPECT_GT(handle.epoch(), last_engine_epoch);
+    last_engine_epoch = handle.epoch();
+  }
+}
+
+TEST(StreamingDatabaseTest, AdvanceToIsDeterministicInTimestamps) {
+  StreamOptions options = TinyWindow();
+  options.tick_interval_ms = 100;
+  StreamingDatabase db(4, SmallCatalog(4), options);
+  service::ManualClock clock;
+  const auto now_ms = [&clock]() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            clock.Now().time_since_epoch())
+            .count());
+  };
+  ASSERT_TRUE(db.Append({0, 1}).ok());
+  // Not yet due: nothing ticks.
+  clock.Advance(std::chrono::milliseconds(99));
+  EXPECT_TRUE(db.AdvanceTo(now_ms()).empty());
+  EXPECT_EQ(db.pending(), 1u);
+  // One interval elapsed: exactly one tick.
+  clock.Advance(std::chrono::milliseconds(1));
+  EXPECT_EQ(db.AdvanceTo(now_ms()).size(), 1u);
+  EXPECT_EQ(db.epoch(), 1u);
+  // Same timestamp again: idempotent.
+  EXPECT_TRUE(db.AdvanceTo(now_ms()).empty());
+  // A long stall catches up with one tick per elapsed interval.
+  clock.Advance(std::chrono::milliseconds(350));
+  const auto deltas = db.AdvanceTo(now_ms());
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_EQ(deltas[0].epoch, 2u);
+  EXPECT_EQ(deltas[2].epoch, 4u);
+  EXPECT_EQ(db.epoch(), 4u);
+}
+
+TEST(StreamingDatabaseTest, SnapshotMatchesBatchBuiltDatabase) {
+  StreamingDatabase db(5, SmallCatalog(5), TinyWindow());
+  ASSERT_TRUE(db.Append({0, 2, 4}).ok());
+  ASSERT_TRUE(db.Append({1, 3}).ok());
+  db.Tick();
+  ASSERT_TRUE(db.Append({2, 3, 4}).ok());
+  db.Tick();
+  // Batch-build the same live window by hand.
+  TransactionDatabase batch(5);
+  batch.Add({0, 2, 4});
+  batch.Add({1, 3});
+  batch.Add({2, 3, 4});
+  batch.Finalize();
+  const TransactionDatabase snapshot = db.WindowSnapshot();
+  ASSERT_EQ(snapshot.num_transactions(), batch.num_transactions());
+  EXPECT_EQ(snapshot.transactions(), batch.transactions());
+  EXPECT_EQ(snapshot.tidset_words(), batch.tidset_words());
+}
+
+}  // namespace
+}  // namespace ccs
