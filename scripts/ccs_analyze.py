@@ -1,0 +1,1071 @@
+#!/usr/bin/env python3
+"""ccs-analyze: token- and scope-aware static analysis for the ccsmine tree.
+
+The successor to the regex-only ccs_lint.py (PR 5, DESIGN.md §11 — that
+script is now a thin shim over this one). All eleven original rules are
+re-hosted unchanged; on top of them a real C++ lexer (comment-, string-,
+and raw-string-stripping) with brace/namespace/class/function scope
+tracking powers five rules a line regex cannot express (DESIGN.md §16):
+
+  lock-rank-order       The static half of util/lock_rank.h. Extracts the
+                        acquire graph from lock_guard/unique_lock/
+                        shared_lock/scoped_lock sites (plus CCS_REQUIRES
+                        annotations), resolves RankedMutex members to
+                        their LockRank, and reports (a) any lexically
+                        nested acquisition that does not strictly descend
+                        the rank hierarchy and (b) any cycle in the
+                        whole-program graph — including a lock pair
+                        acquired in both orders in different functions,
+                        which no single-site check can see.
+  blocking-under-lock   No blocking syscalls (::poll/::read/::write/
+                        connect/accept/recv/send), sleep_for/sleep_until,
+                        or mining-run entry points (ParallelFor, .Run())
+                        while a lock guard is live in the enclosing
+                        scope. Condition-variable waits are exempt: they
+                        release the lock while blocking.
+  deterministic-counter-taint
+                        A counter registered MetricStability::kDeterministic
+                        may only be fed values that are schedule- and
+                        clock-independent: the *value* argument of
+                        Add/GaugeMax/Observe must not read clocks, thread
+                        ids, or randomness. (The shard argument is exempt
+                        — routing by thread index is exactly what the
+                        order-independent aggregation is for.)
+  fault-site-coverage   Every FaultInjector site string in src/
+                        (CCS_FAULT_POINT("x") / ShouldInjectFault("x"))
+                        must appear in at least one file under tests/ or
+                        scripts/ — an uncovered site is a recovery path
+                        no harness ever exercises.
+  ranked-mutex-required Raw std::mutex / std::shared_mutex members are
+                        banned in src/service, src/util, and src/stream:
+                        every long-lived lock there must be a RankedMutex/
+                        RankedSharedMutex so the runtime checker and the
+                        acquire-graph rules can see it.
+
+The re-hosted mutex-guarded-by rule also now recognizes std::shared_mutex,
+std::recursive_mutex, std::condition_variable(_any), and the Ranked
+wrappers as lock-like members needing a CCS_GUARDED_BY in the file.
+
+Escape hatches (each use should say why in a neighboring comment):
+
+  // ccs-lint: allow(rule-id)        suppresses rule-id on that line
+  // ccs-lint: allow-file(rule-id)   suppresses rule-id in the whole file
+
+File discovery is driven off the build tree's compile_commands.json when
+present, falling back to a source glob; headers are always globbed.
+
+  scripts/ccs_analyze.py [--build-dir BUILD] [--root DIR] [--json OUT]
+
+--root redirects scanning to another tree laid out like the repo; the
+fixture tests use this. --json additionally writes the findings as a
+machine-readable report (consumed by scripts/check.sh).
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# rule-id -> repo-relative files exempt without inline comments. Keep this
+# list short: prefer the inline allow() comment, which is visible at the
+# offending line.
+FILE_ALLOWLIST = {
+    # Definition site of ItemsetMap/ItemsetSet. The aliases are legal
+    # because every consumer either copies into a sorted container before
+    # iterating or only does point lookups; new *iteration* sites in
+    # result paths still trip the rule at their own file.
+    "unordered-container": {"src/core/itemset.h"},
+    # SystemClock::Now() is the one sanctioned real-clock read in the
+    # service layer; everything else injects a ServiceClock.
+    "service-wall-clock": {"src/service/clock.cc"},
+    # The kernel TU pair is the single sanctioned home of vector
+    # extensions; its scalar twin lives behind the same KernelMode
+    # dispatch, so the differential suite always has a reference path.
+    "vector-ext-outside-kernel": {"src/core/simd_kernel.h",
+                                  "src/core/simd_kernel.cc"},
+    # The Ranked wrappers themselves own the one raw std::mutex /
+    # std::shared_mutex each; they ARE the capability, so they carry no
+    # CCS_GUARDED_BY field of their own.
+    "ranked-mutex-required": {"src/util/lock_rank.h"},
+    "mutex-guarded-by": {"src/util/lock_rank.h"},
+}
+
+NONDET_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brand_r\s*\("), "rand_r()"),
+    (re.compile(r"\bdrand48\s*\("), "drand48()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle"),
+]
+
+UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b")
+WALLCLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+THROW_RE = re.compile(r"\bthrow\b")
+# Lock-like members needing a CCS_GUARDED_BY in the file: the plain mutex
+# family, shared/recursive/timed variants, condition variables (their
+# predicate state is guarded state), and the Ranked wrappers. `[;{(]`
+# also catches brace/paren-initialized members (RankedMutex m_{...};).
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:std\s*::\s*(?:shared_mutex|recursive_mutex|timed_mutex|mutex|"
+    r"condition_variable_any|condition_variable)"
+    r"|RankedMutex|RankedSharedMutex)\s+\w+\s*[;{(]")
+GUARDED_BY_RE = re.compile(r"\bCCS_GUARDED_BY\s*\(")
+# ranked-mutex-required: raw standard mutexes, members or locals alike.
+RAW_MUTEX_MEMBER_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex)\s+\w+\s*[;{]")
+RANKED_SCOPE = ("src/service/", "src/util/", "src/stream/")
+
+# Declarations of the metric shard-update path, header or definition form.
+SHARD_UPDATE_RE = re.compile(
+    r"\bvoid\s+(?:MetricsRegistry\s*::\s*)?(Add|GaugeMax|Observe)\s*\(\s*Id\b")
+
+# A header declaration returning Status/StatusOr by value. Prefix
+# qualifiers are consumed so the return type anchors the match; a
+# [[nodiscard]] earlier in the joined declaration satisfies the rule.
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:(?:inline|static|virtual|constexpr|friend|explicit)\s+)*"
+    r"(?:Status|StatusOr\s*<[^;={]*>)\s+\w+\s*\(")
+
+# Expression-statement call to a known Status-returning API: optional
+# receiver chain, then the call, then `;` — no assignment, return, or
+# wrapping macro can match this shape on the SAME line. A call that is
+# the continuation of a wrapped statement (previous code line ends
+# mid-expression: `=`, `,`, `(`, an operator, or `return`) is not a
+# statement start; check_file consults is_continuation() before flagging.
+DISCARD_RE = re.compile(
+    r"^\s*(?:[\w\]\[]+(?:\.|->))*"
+    r"(\w*OrError|LoadBaskets\w*|LoadCatalog\w*)\s*\([^;]*\)\s*;\s*$")
+
+CONTINUATION_RE = re.compile(r"(?:[,(=+\-*/<>?:&|!]|&&|\|\||\breturn)\s*$")
+
+# Any spelled-out StatusCode enumerator; src/client may only name kOk and
+# kUnavailable (the retryability contract's compiler-adjacent guard).
+STATUSCODE_ENUM_RE = re.compile(r"\bStatusCode\s*::\s*k(\w+)")
+CLIENT_ALLOWED_CODES = {"Ok", "Unavailable"}
+
+# Vector extensions / CPU intrinsics, in any spelling the toolchain
+# accepts; legal only inside the kernel TU pair (FILE_ALLOWLIST above).
+VECTOR_EXT_PATTERNS = [
+    (re.compile(r"\bvector_size\s*\("), "vector_size attribute"),
+    (re.compile(r"#\s*include\s*<\w*intrin\.h>"), "intrinsics header"),
+    (re.compile(r"#\s*include\s*<arm_neon\.h>"), "NEON intrinsics header"),
+    (re.compile(r"\b_mm\d*_\w+\s*\("), "_mm* intrinsic"),
+    (re.compile(r"\b__m(?:64|128|256|512)[di]?\b"), "__m vector type"),
+    (re.compile(r"\b__builtin_ia32_\w+"), "__builtin_ia32_* builtin"),
+]
+
+# Fault-site markers; the site name is the string-literal first argument.
+FAULT_SITE_CALLS = {"CCS_FAULT_POINT", "ShouldInjectFault"}
+
+
+def is_continuation(code_lines, lineno):
+    """True when 1-based line `lineno` continues the statement above it:
+    the nearest non-blank code line ends mid-expression."""
+    for i in range(lineno - 2, -1, -1):
+        prev = code_lines[i].rstrip()
+        if not prev.strip():
+            continue
+        return bool(CONTINUATION_RE.search(prev))
+    return False
+
+ALLOW_LINE_RE = re.compile(r"//\s*ccs-lint:\s*allow\(([\w-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*ccs-lint:\s*allow-file\(([\w-]+)\)")
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Keeps the same character count per line so column-free findings keep
+    their line numbers; the replacement is spaces.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# The C++ lexer feeding the scope-aware rules. Tokens are (kind, value,
+# line) with kind in {ident, num, str, punct}; comments, preprocessor
+# directives, and raw strings are consumed (raw-string bodies never leak
+# tokens — the legacy char-machine above cannot do that).
+
+PUNCT2 = {"::", "->", "<<", ">>", "&&", "||", "==", "!=", "<=", ">=",
+          "+=", "-=", "*=", "/=", "++", "--", "|=", "&=", "^="}
+RAW_PREFIXES = {"R", "u8R", "uR", "UR", "LR"}
+
+
+def tokenize(text):
+    toks = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 2
+            continue
+        if c == "#":
+            # Preprocessor directive: skip to end of (continued) line.
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        if c == '"' or c == "'":
+            quote = c
+            start_line = line
+            i += 1
+            value = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    value.append(text[i:i + 2])
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    line += 1
+                value.append(text[i])
+                i += 1
+            i += 1
+            toks.append(("str", "".join(value), start_line))
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in RAW_PREFIXES and j < n and text[j] == '"':
+                # Raw string: R"delim( ... )delim"
+                k = j + 1
+                while k < n and text[k] != "(":
+                    k += 1
+                delim = text[j + 1:k]
+                close = ")" + delim + '"'
+                end = text.find(close, k + 1)
+                if end == -1:
+                    end = n
+                start_line = line
+                line += text.count("\n", j, min(end + len(close), n))
+                toks.append(("str", text[k + 1:end], start_line))
+                i = min(end + len(close), n)
+                continue
+            toks.append(("ident", word, line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._'"):
+                j += 1
+            toks.append(("num", text[i:j], line))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in PUNCT2:
+            toks.append(("punct", two, line))
+            i += 2
+        else:
+            toks.append(("punct", c, line))
+            i += 1
+    return toks
+
+
+# ---------------------------------------------------------------------------
+# Scope walker. One pass per file per phase:
+#   collect: LockRank enum values, RankedMutex member -> rank, metric-id
+#            variable -> MetricStability (global maps, order-independent).
+#   check:   guard liveness, acquire edges, and the scope-aware findings.
+
+GUARD_TYPES = {"lock_guard", "unique_lock", "shared_lock", "scoped_lock"}
+CONTROL_KEYWORDS = {"if", "else", "for", "while", "switch", "do", "try",
+                    "catch", "return", "case", "default"}
+METRIC_REGISTER = {"Counter", "Gauge", "Histogram"}
+METRIC_UPDATE = {"Add", "GaugeMax", "Observe"}
+# Value-argument tokens that make a kDeterministic counter update tainted.
+TAINT_TOKENS = {"now", "this_thread", "get_id", "rand", "random_device",
+                "random_shuffle", "hardware_concurrency", "system_clock",
+                "steady_clock", "high_resolution_clock", "rdtsc", "time"}
+# Blocking calls illegal under a live guard. `bare` idents match any call
+# spelling; `global` idents only the ::-qualified syscall spelling (read/
+# write/etc. are common method names, ::read( is unambiguous).
+BLOCKING_BARE = {"sleep_for", "sleep_until", "ParallelFor"}
+BLOCKING_GLOBAL = {"poll", "read", "write", "connect", "accept", "recv",
+                   "send", "select"}
+BLOCKING_METHOD = {"Run"}  # session.Run(...) — a whole mining run
+
+
+class Scope:
+    __slots__ = ("kind", "name", "guards")
+
+    def __init__(self, kind, name=""):
+        self.kind = kind  # namespace | class | enum | func | block
+        self.name = name
+        self.guards = []  # [(key, rank_value_or_None, line)]
+
+
+class Analysis:
+    """Global cross-file state shared by both walker phases."""
+
+    def __init__(self):
+        self.rank_values = {}      # "kServiceStream" -> 90
+        self.member_ranks = {}     # ("MiningService", "stream_mu_") -> name
+        self.metric_stability = {} # "tables_id_" -> "kDeterministic"
+        self.metric_ambiguous = set()
+        self.fault_sites = []      # (site, rel, line), first occurrence
+        self.edges = {}            # (from_key, to_key) -> [(rel, line)]
+
+    def rank_of(self, cls, member):
+        name = self.member_ranks.get((cls, member))
+        if name is None:
+            return None
+        return self.rank_values.get(name)
+
+
+def walk(tokens, rel, analysis, phase, findings=None):
+    scopes = []
+    stmt = []  # tokens since the last ; { }
+
+    def current_class():
+        for scope in reversed(scopes):
+            if scope.kind in ("class", "func") and scope.name:
+                return scope.name
+        return ""
+
+    def live_guards():
+        out = []
+        for scope in scopes:
+            out.extend(scope.guards)
+        return out
+
+    def guard_target(scope_list):
+        return scope_list[-1] if scope_list else None
+
+    def node_key(member):
+        cls = current_class()
+        return f"{cls}::{member}" if cls else member
+
+    def note_acquire(member, line):
+        cls = current_class()
+        rank = analysis.rank_of(cls, member)
+        key = node_key(member)
+        held = live_guards()
+        if phase == "check" and held:
+            known = [g for g in held if g[1] is not None]
+            if rank is not None and known:
+                floor = min(g[1] for g in known)
+                if rank >= floor:
+                    lowest = min((g for g in known), key=lambda g: g[1])
+                    findings.append(
+                        (rel, line, "lock-rank-order",
+                         f"acquiring {key} (rank {rank}) while holding "
+                         f"{lowest[0]} (rank {lowest[1]}): acquisitions "
+                         "must strictly descend the LockRank hierarchy "
+                         "(util/lock_rank.h)"))
+            for g in held:
+                analysis.edges.setdefault((g[0], key), []).append(
+                    (rel, line))
+        target = guard_target(scopes)
+        if target is not None:
+            target.guards.append((key, rank, line))
+
+    def parse_guard_args(idx):
+        """Args of the call starting at tokens[idx] == '('; returns
+        (list of last-ident-per-arg with lines, index after ')')."""
+        depth = 0
+        args, cur_ident = [], None
+        i = idx
+        while i < len(tokens):
+            kind, value, line = tokens[i]
+            if value == "(" and kind == "punct":
+                depth += 1
+            elif value == ")" and kind == "punct":
+                depth -= 1
+                if depth == 0:
+                    if cur_ident is not None:
+                        args.append(cur_ident)
+                    return args, i + 1
+            elif value == "," and kind == "punct" and depth == 1:
+                if cur_ident is not None:
+                    args.append(cur_ident)
+                cur_ident = None
+            elif kind == "ident":
+                cur_ident = (value, line)
+            i += 1
+        return args, i
+
+    def collect_call_args(idx):
+        """Token lists per top-level argument of call at tokens[idx]=='('."""
+        depth = 0
+        args, cur = [], []
+        i = idx
+        while i < len(tokens):
+            kind, value, line = tokens[i]
+            if kind == "punct" and value == "(":
+                depth += 1
+                if depth > 1:
+                    cur.append(tokens[i])
+            elif kind == "punct" and value == ")":
+                depth -= 1
+                if depth == 0:
+                    if cur:
+                        args.append(cur)
+                    return args, i + 1
+                cur.append(tokens[i])
+            elif kind == "punct" and value == "," and depth == 1:
+                args.append(cur)
+                cur = []
+            else:
+                cur.append(tokens[i])
+            i += 1
+        return args, i
+
+    def classify_brace():
+        words = [v for k, v, _ in stmt if k == "ident"]
+        if "namespace" in words:
+            return Scope("namespace", words[-1] if words[-1] != "namespace"
+                         else "")
+        if "enum" in words:
+            name = ""
+            for j, (k, v, _) in enumerate(stmt):
+                if k == "ident" and v not in ("enum", "class", "struct"):
+                    name = v
+                    break
+            return Scope("enum", name)
+        if words and words[0] in CONTROL_KEYWORDS:
+            return Scope("block")
+        if "class" in words or "struct" in words:
+            # Name: first plain ident after the keyword that is not a
+            # macro call and not `final`.
+            name = ""
+            j = 0
+            while j < len(stmt):
+                k, v, _ = stmt[j]
+                if k == "ident" and v in ("class", "struct"):
+                    j += 1
+                    while j < len(stmt):
+                        k2, v2, _ = stmt[j]
+                        if k2 == "ident" and v2 != "final":
+                            if (j + 1 < len(stmt)
+                                    and stmt[j + 1][1] == "("):
+                                # macro like CCS_CAPABILITY("mutex")
+                                depth = 0
+                                while j < len(stmt):
+                                    if stmt[j][1] == "(":
+                                        depth += 1
+                                    elif stmt[j][1] == ")":
+                                        depth -= 1
+                                        if depth == 0:
+                                            break
+                                    j += 1
+                                j += 1
+                                continue
+                            name = v2
+                            break
+                        if v2 in (":", "{"):
+                            break
+                        j += 1
+                    break
+                j += 1
+            return Scope("class", name)
+        # Function definition? look for `name (` at top level, optionally
+        # `Class :: name (`.
+        depth = 0
+        for j, (k, v, _) in enumerate(stmt):
+            if k == "punct" and v == "(":
+                if depth == 0 and j > 0 and stmt[j - 1][0] == "ident":
+                    cls = ""
+                    if (j >= 3 and stmt[j - 2][1] == "::"
+                            and stmt[j - 3][0] == "ident"):
+                        cls = stmt[j - 3][1]
+                    if not cls:
+                        cls = current_class()
+                    scope = Scope("func", cls)
+                    # CCS_REQUIRES(mu) on the definition: the body runs
+                    # with mu held — seed it as a live guard.
+                    for r, (rk, rv, _) in enumerate(stmt):
+                        if rk == "ident" and rv == "CCS_REQUIRES" and \
+                                r + 1 < len(stmt) and stmt[r + 1][1] == "(":
+                            for s in range(r + 2, len(stmt)):
+                                if stmt[s][1] == ")":
+                                    break
+                                if stmt[s][0] == "ident":
+                                    member = stmt[s][1]
+                                    rank = analysis.rank_of(
+                                        cls, member)
+                                    key = (f"{cls}::{member}" if cls
+                                           else member)
+                                    scope.guards.append(
+                                        (key, rank, stmt[s][2]))
+                    return scope
+                depth += 1
+            elif k == "punct" and v == ")":
+                depth -= 1
+        return Scope("block")
+
+    i = 0
+    while i < len(tokens):
+        kind, value, line = tokens[i]
+
+        if kind == "punct" and value == "{":
+            scopes.append(classify_brace())
+            stmt = []
+            i += 1
+            continue
+        if kind == "punct" and value == "}":
+            if scopes:
+                scopes.pop()
+            stmt = []
+            i += 1
+            continue
+        if kind == "punct" and value == ";":
+            stmt = []
+            i += 1
+            continue
+
+        in_enum = scopes and scopes[-1].kind == "enum" and \
+            scopes[-1].name == "LockRank"
+        if phase == "collect":
+            # LockRank enumerator values: `kName = 90`.
+            if in_enum and kind == "ident" and value.startswith("k"):
+                if (i + 2 < len(tokens) and tokens[i + 1][1] == "="
+                        and tokens[i + 2][0] == "num"):
+                    try:
+                        analysis.rank_values[value] = int(
+                            tokens[i + 2][1].rstrip("uUlL"))
+                    except ValueError:
+                        pass
+            # RankedMutex member{LockRank::kX} / (LockRank::kX).
+            if kind == "ident" and value in ("RankedMutex",
+                                             "RankedSharedMutex"):
+                if (i + 2 < len(tokens) and tokens[i + 1][0] == "ident"
+                        and tokens[i + 2][1] in ("{", "(")):
+                    member = tokens[i + 1][1]
+                    for j in range(i + 3, min(i + 8, len(tokens))):
+                        if tokens[j][0] == "ident" and \
+                                tokens[j][1].startswith("k") and \
+                                tokens[j - 1][1] == "::" and \
+                                tokens[j - 2][1] == "LockRank":
+                            analysis.member_ranks[
+                                (current_class(), member)] = tokens[j][1]
+                            break
+            # Metric registration: `target = ...->Counter(..., kX)`.
+            if kind == "ident" and value in METRIC_REGISTER and \
+                    i + 1 < len(tokens) and tokens[i + 1][1] == "(" and \
+                    i > 0 and tokens[i - 1][1] in (".", "->"):
+                target = None
+                for j in range(len(stmt) - 1, 0, -1):
+                    if stmt[j][1] == "=" and stmt[j - 1][0] == "ident":
+                        target = stmt[j - 1][1]
+                        break
+                args, _ = collect_call_args(i + 1)
+                stability = None
+                for arg in args:
+                    for t, (ak, av, _) in enumerate(arg):
+                        if ak == "ident" and av == "MetricStability" and \
+                                t + 2 < len(arg) and arg[t + 1][1] == "::":
+                            stability = arg[t + 2][1]
+                if target and stability:
+                    prev = analysis.metric_stability.get(target)
+                    if prev is not None and prev != stability:
+                        analysis.metric_ambiguous.add(target)
+                    analysis.metric_stability[target] = stability
+
+        if phase == "check":
+            # Guard declarations: [const] std::lock_guard<...> name(args);
+            if kind == "ident" and value in GUARD_TYPES:
+                j = i + 1
+                if j < len(tokens) and tokens[j][1] == "<":
+                    depth = 0
+                    while j < len(tokens):
+                        if tokens[j][1] == "<":
+                            depth += 1
+                        elif tokens[j][1] == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif tokens[j][1] == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                if j < len(tokens) and tokens[j][0] == "ident" and \
+                        j + 1 < len(tokens) and tokens[j + 1][1] == "(":
+                    args, after = parse_guard_args(j + 1)
+                    take = args if value == "scoped_lock" else args[:1]
+                    for member, aline in take:
+                        note_acquire(member, aline)
+                    stmt.append((kind, value, line))
+                    i = after
+                    continue
+            # Blocking calls under a live guard.
+            if kind == "ident" and live_guards() and \
+                    i + 1 < len(tokens) and tokens[i + 1][1] == "(":
+                prev = tokens[i - 1][1] if i > 0 else ""
+                prev2 = tokens[i - 2][1] if i > 1 else ""
+                blocked = None
+                if value in BLOCKING_BARE:
+                    blocked = value
+                elif value in BLOCKING_GLOBAL and prev == "::" and not (
+                        i > 1 and tokens[i - 2][0] == "ident"):
+                    blocked = "::" + value
+                elif value in BLOCKING_GLOBAL and value not in (
+                        "read", "write") and prev not in (".", "->", "::"):
+                    blocked = value
+                elif value in BLOCKING_METHOD and prev in (".", "->"):
+                    blocked = prev2 + prev + value if prev2 else value
+                if blocked is not None:
+                    held = live_guards()[-1]
+                    findings.append(
+                        (rel, line, "blocking-under-lock",
+                         f"{blocked}() may block while holding {held[0]} "
+                         "(acquired line "
+                         f"{held[2]}): move the blocking call outside "
+                         "the guard or hand off to an unlocked stage"))
+            # Deterministic-counter taint: Add/GaugeMax/Observe value arg.
+            if kind == "ident" and value in METRIC_UPDATE and \
+                    i > 0 and tokens[i - 1][1] in (".", "->") and \
+                    i + 1 < len(tokens) and tokens[i + 1][1] == "(":
+                args, _ = collect_call_args(i + 1)
+                if len(args) >= 3 and len(args[0]) == 1 and \
+                        args[0][0][0] == "ident":
+                    id_var = args[0][0][1]
+                    stability = analysis.metric_stability.get(id_var)
+                    if stability == "kDeterministic" and \
+                            id_var not in analysis.metric_ambiguous:
+                        tainted = [v for k2, v, _ in args[2]
+                                   if k2 == "ident" and v in TAINT_TOKENS]
+                        if tainted:
+                            findings.append(
+                                (rel, line, "deterministic-counter-taint",
+                                 f"counter id '{id_var}' is registered "
+                                 "MetricStability::kDeterministic but this "
+                                 f"{value}() feeds it a value derived from "
+                                 f"{'/'.join(sorted(set(tainted)))} — "
+                                 "schedule- or clock-dependent input breaks "
+                                 "the bit-identical counter guarantee"))
+
+        stmt.append((kind, value, line))
+        i += 1
+
+
+# ---------------------------------------------------------------------------
+
+
+class FileLint:
+    def __init__(self, path, rel):
+        self.path = path
+        self.rel = rel  # repo-relative posix path, used for scoping
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw = raw
+        self.raw_lines = raw.split("\n")
+        self.code_lines = strip_code(raw).split("\n")
+        self.tokens = tokenize(raw)
+        self.file_allows = set(ALLOW_FILE_RE.findall(raw))
+
+    def allowed(self, rule, lineno):
+        if rule in self.file_allows:
+            return True
+        if self.rel in FILE_ALLOWLIST.get(rule, ()):
+            return True
+        if not 1 <= lineno <= len(self.raw_lines):
+            return False
+        line = self.raw_lines[lineno - 1]
+        return any(m == rule for m in ALLOW_LINE_RE.findall(line))
+
+    def joined_decl(self, lineno):
+        """The declaration around 1-based `lineno`, joined until ; or {."""
+        start = lineno - 1
+        # Pull in up to two preceding attribute/qualifier-only lines.
+        while start > 0 and lineno - 1 - start < 2:
+            prev = self.code_lines[start - 1].strip()
+            if prev.endswith((";", "{", "}", ")")) or prev == "":
+                break
+            start -= 1
+        parts = []
+        for i in range(start, min(start + 8, len(self.code_lines))):
+            parts.append(self.code_lines[i])
+            if ";" in self.code_lines[i] or "{" in self.code_lines[i]:
+                break
+        return " ".join(parts)
+
+
+def in_scope(rel, prefixes):
+    return any(rel.startswith(p) for p in prefixes)
+
+
+def check_file(fl, findings):
+    rel = fl.rel
+    is_header = rel.endswith(".h")
+    core_scope = in_scope(rel, ("src/core/", "src/stats/"))
+    util_scope = in_scope(rel, ("src/util/",))
+    service_scope = in_scope(rel, ("src/service/",))
+    client_scope = in_scope(rel, ("src/client/",))
+    ranked_scope = in_scope(rel, RANKED_SCOPE) and \
+        rel != "src/util/thread_annotations.h"
+
+    for lineno, code in enumerate(fl.code_lines, start=1):
+        if (service_scope or client_scope) and WALLCLOCK_RE.search(code):
+            findings.append((rel, lineno, "service-wall-clock",
+                             "raw clock read in the service layer; time "
+                             "must flow through the injected ServiceClock "
+                             "(service/clock.h) so admission/memo/retry "
+                             "timing is testable and deterministic"))
+        if client_scope:
+            cm = STATUSCODE_ENUM_RE.search(code)
+            if cm and cm.group(1) not in CLIENT_ALLOWED_CODES:
+                findings.append((rel, lineno, "client-retry-only-unavailable",
+                                 f"StatusCode::k{cm.group(1)} spelled in "
+                                 "src/client; only kUnavailable is "
+                                 "retryable, so the client may name only "
+                                 "kOk/kUnavailable — decode peer codes "
+                                 "via StatusCodeFromName and construct "
+                                 "errors via the status.h factories"))
+        if core_scope:
+            for pattern, label in NONDET_PATTERNS:
+                if pattern.search(code):
+                    findings.append((rel, lineno, "nondeterminism",
+                                     f"{label} is nondeterministic; use "
+                                     "util/rng.h (seeded) or steady_clock"))
+            if UNORDERED_RE.search(code):
+                findings.append((rel, lineno, "unordered-container",
+                                 "std::unordered_* iteration order is "
+                                 "unspecified; use a sorted container or an "
+                                 "allowlisted alias from core/itemset.h"))
+        for pattern, label in VECTOR_EXT_PATTERNS:
+            if pattern.search(code):
+                findings.append((rel, lineno, "vector-ext-outside-kernel",
+                                 f"{label} outside core/simd_kernel: "
+                                 "vector code must live behind the "
+                                 "KernelMode dispatch so the CCS_SIMD "
+                                 "kill switch and the scalar reference "
+                                 "path keep covering it"))
+        if not util_scope and THROW_RE.search(code):
+            findings.append((rel, lineno, "throw-outside-util",
+                             "throw is reserved for src/util (fault "
+                             "injection); report errors via Status"))
+        m = SHARD_UPDATE_RE.search(code)
+        if m and "noexcept" not in fl.joined_decl(lineno):
+            findings.append((rel, lineno, "noexcept-shard-update",
+                             f"MetricsRegistry::{m.group(1)} must be "
+                             "noexcept: shard updates run in destructors "
+                             "during unwinding"))
+        if is_header and STATUS_DECL_RE.match(code):
+            decl = fl.joined_decl(lineno)
+            if "[[nodiscard]]" not in decl:
+                findings.append((rel, lineno, "status-nodiscard",
+                                 "Status/StatusOr-returning declaration "
+                                 "must be [[nodiscard]]"))
+        dm = DISCARD_RE.match(code)
+        if dm and not is_continuation(fl.code_lines, lineno):
+            findings.append((rel, lineno, "discarded-status",
+                             f"result of {dm.group(1)}() is discarded; "
+                             "assign it or propagate the Status"))
+        if MUTEX_MEMBER_RE.search(code):
+            if not any(GUARDED_BY_RE.search(l) for l in fl.code_lines):
+                findings.append((rel, lineno, "mutex-guarded-by",
+                                 "lock-like member without any "
+                                 "CCS_GUARDED_BY annotation in this file "
+                                 "(see util/thread_annotations.h)"))
+        if ranked_scope:
+            rm = RAW_MUTEX_MEMBER_RE.search(code)
+            if rm:
+                findings.append((rel, lineno, "ranked-mutex-required",
+                                 f"raw std::{rm.group(1)} in the ranked "
+                                 "scope (src/service, src/util, "
+                                 "src/stream): use RankedMutex/"
+                                 "RankedSharedMutex with a LockRank so "
+                                 "the deadlock checkers can see it "
+                                 "(util/lock_rank.h)"))
+
+
+def graph_findings(analysis, findings):
+    """Cycle / both-orders detection over the whole-program acquire graph."""
+    adjacency = {}
+    for (src, dst) in analysis.edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+
+    # Tarjan SCC, iterative, deterministic via sorted iteration order.
+    index_of, low, on_stack = {}, {}, set()
+    stack, sccs, counter = [], [], [0]
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(adjacency[root])))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index_of:
+                    index_of[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adjacency[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node in sorted(adjacency):
+        if node not in index_of:
+            strongconnect(node)
+
+    for component in sccs:
+        members = set(component)
+        cyclic = len(component) > 1 or any(
+            (node, node) in analysis.edges for node in component)
+        if not cyclic:
+            continue
+        cycle_name = " <-> ".join(sorted(members))
+        for (src, dst), sites in sorted(analysis.edges.items()):
+            if src in members and dst in members:
+                other = ""
+                reverse = analysis.edges.get((dst, src))
+                if reverse:
+                    other = (f"; the reverse order appears at "
+                             f"{reverse[0][0]}:{reverse[0][1]}")
+                for rel, line in sites:
+                    findings.append(
+                        (rel, line, "lock-rank-order",
+                         f"lock ordering cycle [{cycle_name}]: {dst} is "
+                         f"acquired while holding {src} here{other} — a "
+                         "cyclic acquire graph can deadlock"))
+
+
+def coverage_findings(root, analysis, findings):
+    corpus = []
+    for sub in ("tests", "scripts"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.suffix in (
+                    ".cc", ".cpp", ".h", ".py", ".sh", ".txt"):
+                try:
+                    corpus.append(path.read_text(encoding="utf-8",
+                                                 errors="replace"))
+                except OSError:
+                    continue
+    blob = "\n".join(corpus)
+    seen = set()
+    for site, rel, line in analysis.fault_sites:
+        if site in seen:
+            continue
+        seen.add(site)
+        if f'"{site}"' not in blob and site not in blob:
+            findings.append(
+                (rel, line, "fault-site-coverage",
+                 f"fault site '{site}' appears in no file under tests/ or "
+                 "scripts/: the failure path it guards is never "
+                 "exercised — add a test that arms it via "
+                 "FaultInjector::Configure or CCS_FAULT"))
+
+
+def discover_files(root, build_dir):
+    """Source set: compile_commands.json TUs under <root>/src when the
+    database exists (keeps lint in sync with the build), plus a glob as
+    the fallback/union for headers and unbuilt sources."""
+    files = set()
+    db = build_dir / "compile_commands.json"
+    if db.is_file():
+        try:
+            for entry in json.loads(db.read_text()):
+                p = pathlib.Path(entry["file"])
+                if not p.is_absolute():
+                    p = pathlib.Path(entry["directory"]) / p
+                p = p.resolve()
+                if p.is_file() and (root / "src") in p.parents:
+                    files.add(p)
+        except (json.JSONDecodeError, KeyError, OSError) as err:
+            print(f"ccs-analyze: ignoring unreadable {db}: {err}",
+                  file=sys.stderr)
+    for pattern in ("src/**/*.h", "src/**/*.cc", "src/**/*.cpp"):
+        files.update(p.resolve() for p in root.glob(pattern))
+    return sorted(files)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="tree to scan (expects <root>/src/...)")
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="also write findings as JSON to OUT"
+                             " ('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve()
+    files = discover_files(root, pathlib.Path(args.build_dir))
+    if not files:
+        print(f"ccs-analyze: no sources under {root}/src", file=sys.stderr)
+        return 2
+
+    lints = {}
+    analysis = Analysis()
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        lints[rel] = FileLint(path, rel)
+
+    # Pass 1: global maps (ranks, members, metric stabilities, fault
+    # sites) — order-independent, so one sweep suffices.
+    for rel, fl in sorted(lints.items()):
+        walk(fl.tokens, rel, analysis, phase="collect")
+        # Fault sites off the token stream: comments can mention
+        # CCS_FAULT_POINT("x") without creating a coverage obligation.
+        toks = fl.tokens
+        for i, (kind, value, _) in enumerate(toks):
+            if kind == "ident" and value in FAULT_SITE_CALLS and \
+                    i + 2 < len(toks) and toks[i + 1][1] == "(" and \
+                    toks[i + 2][0] == "str":
+                analysis.fault_sites.append(
+                    (toks[i + 2][1], rel, toks[i + 2][2]))
+
+    # Pass 2: per-file findings (line rules + scope-aware rules), then the
+    # whole-program graph rules.
+    findings = []
+    for rel, fl in sorted(lints.items()):
+        check_file(fl, findings)
+        walk(fl.tokens, rel, analysis, phase="check", findings=findings)
+    graph_findings(analysis, findings)
+    coverage_findings(root, analysis, findings)
+
+    reported = []
+    for rel, lineno, rule, message in findings:
+        fl = lints.get(rel)
+        if fl is not None and fl.allowed(rule, lineno):
+            continue
+        if (rel, lineno, rule) in {(r, l, ru) for r, l, ru, _ in reported}:
+            continue
+        reported.append((rel, lineno, rule, message))
+    reported.sort(key=lambda f: (f[0], f[1], f[2]))
+
+    for rel, lineno, rule, message in reported:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+
+    if reported:
+        print(f"ccs-analyze: {len(reported)} violation(s) in "
+              f"{len(files)} file(s)")
+    else:
+        print(f"ccs-analyze: {len(files)} file(s) clean")
+
+    if args.json is not None:
+        payload = {
+            "tool": "ccs-analyze",
+            "root": str(root),
+            "files": len(files),
+            "findings": [
+                {"file": rel, "line": lineno, "rule": rule,
+                 "message": message}
+                for rel, lineno, rule, message in reported
+            ],
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        if args.json == "-":
+            # Written last so stdout ends with the payload: a consumer can
+            # split at the first "{" without tripping over the summary.
+            sys.stdout.write(text)
+        else:
+            pathlib.Path(args.json).write_text(text)
+
+    return 1 if reported else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

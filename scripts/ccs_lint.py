@@ -1,405 +1,20 @@
 #!/usr/bin/env python3
-"""ccs-lint: project-specific determinism and error-handling rules.
+"""ccs-lint: compatibility shim over scripts/ccs_analyze.py.
 
-The compiler-enforced half of the static-analysis gate (DESIGN.md §11)
-lives in -DCCS_LINT=ON; this script is the other half — rules a general
-compiler cannot express because they encode *project* invariants:
-
-  nondeterminism        src/core + src/stats must not call nondeterministic
-                        APIs (rand/srand/random_device/time()/system_clock/
-                        random_shuffle). Bit-identical answers at any thread
-                        count are a headline guarantee; wall-clock may only
-                        enter through the steady_clock deadline plumbing.
-  unordered-container   std::unordered_* is banned in src/core + src/stats
-                        outside allowlisted definition sites: iteration
-                        order is unspecified, so any result path that walks
-                        one silently becomes schedule-dependent.
-  throw-outside-util    `throw` may appear only under src/util (the fault
-                        injector). Everything else reports failure through
-                        Status or CCS_CHECK; worker exceptions are
-                        transported, never originated, by the engine.
-  noexcept-shard-update The metric shard-update path (MetricsRegistry::Add/
-                        GaugeMax/Observe) must be declared noexcept — it is
-                        called from destructors during unwinding.
-  status-nodiscard      Header declarations returning Status/StatusOr must
-                        carry [[nodiscard]] so discards fail compilation.
-  discarded-status      A bare expression-statement call to a known
-                        Status-returning API (*OrError, Load*) is a
-                        discarded error even before the compiler sees it.
-  mutex-guarded-by      A file declaring a std::mutex member must annotate
-                        at least one field CCS_GUARDED_BY(...) (see
-                        src/util/thread_annotations.h) — an unannotated
-                        mutex is invisible to Clang's thread-safety
-                        analysis.
-  service-wall-clock    src/service and src/client must not read a clock
-                        directly (steady_clock/system_clock/
-                        high_resolution_clock ::now()): admission, memo,
-                        connection-deadline, and client-retry timing flows
-                        through the injected ServiceClock so tests can
-                        drive it deterministically. The sanctioned
-                        real-clock call site is src/service/clock.cc,
-                        allowlisted below.
-  client-retry-only-    src/client must not name any StatusCode
-  unavailable           enumerator besides kOk/kUnavailable. The
-                        retryability contract (util/status.h) makes
-                        kUnavailable the ONLY retryable code; a client
-                        that can spell kDeadlineExceeded can key a retry
-                        loop on it. Errors decode via StatusCodeFromName
-                        and construct via the status.h factory helpers,
-                        so legitimate client code never needs another
-                        enumerator.
-  vector-ext-outside-   GCC vector extensions and CPU intrinsics
-  kernel                (vector_size attributes, *intrin.h headers,
-                        _mm*/__m128-256-512/__builtin_ia32_*) may appear
-                        only in src/core/simd_kernel.{h,cc} — the one
-                        dispatch point where the scalar/vector choice is
-                        made and differentially tested (DESIGN.md §14).
-                        Vector code sprinkled anywhere else bypasses the
-                        CCS_SIMD kill switch and the kernel equivalence
-                        suite.
-
-Escape hatches (each use should say why in a neighboring comment):
-
-  // ccs-lint: allow(rule-id)        suppresses rule-id on that line
-  // ccs-lint: allow-file(rule-id)   suppresses rule-id in the whole file
-
-File discovery is driven off the build tree's compile_commands.json when
-present (so the lint set tracks the build set), falling back to a source
-glob; headers are always globbed. Usage:
-
-  scripts/ccs_lint.py [--build-dir BUILD] [--root DIR]
-
---root redirects scanning to another tree laid out like the repo
-(<root>/src/...); the fixture tests use this to run every rule against
-seeded-violation files without touching real sources.
+The regex-only linter introduced in PR 5 grew into a token- and
+scope-aware analyzer (DESIGN.md §16); every rule it enforced lives on in
+ccs_analyze.py under the same rule ids, together with the lock-rank /
+blocking / taint / coverage rules a line regex cannot express. This entry
+point stays so existing invocations (`make lint`, muscle memory, CI
+configs) keep working; it forwards its arguments verbatim.
 """
 
-import argparse
-import json
-import pathlib
-import re
+import os
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# rule-id -> repo-relative files exempt without inline comments. Keep this
-# list short: prefer the inline allow() comment, which is visible at the
-# offending line.
-FILE_ALLOWLIST = {
-    # Definition site of ItemsetMap/ItemsetSet. The aliases are legal
-    # because every consumer either copies into a sorted container before
-    # iterating or only does point lookups; new *iteration* sites in
-    # result paths still trip the rule at their own file.
-    "unordered-container": {"src/core/itemset.h"},
-    # SystemClock::Now() is the one sanctioned real-clock read in the
-    # service layer; everything else injects a ServiceClock.
-    "service-wall-clock": {"src/service/clock.cc"},
-    # The kernel TU pair is the single sanctioned home of vector
-    # extensions; its scalar twin lives behind the same KernelMode
-    # dispatch, so the differential suite always has a reference path.
-    "vector-ext-outside-kernel": {"src/core/simd_kernel.h",
-                                  "src/core/simd_kernel.cc"},
-}
-
-NONDET_PATTERNS = [
-    (re.compile(r"\brand\s*\("), "rand()"),
-    (re.compile(r"\bsrand\s*\("), "srand()"),
-    (re.compile(r"\brand_r\s*\("), "rand_r()"),
-    (re.compile(r"\bdrand48\s*\("), "drand48()"),
-    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
-    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
-    (re.compile(r"\btime\s*\("), "time()"),
-    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle"),
-]
-
-UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b")
-WALLCLOCK_RE = re.compile(
-    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
-THROW_RE = re.compile(r"\bthrow\b")
-MUTEX_MEMBER_RE = re.compile(r"\bstd\s*::\s*mutex\s+\w+\s*;")
-GUARDED_BY_RE = re.compile(r"\bCCS_GUARDED_BY\s*\(")
-
-# Declarations of the metric shard-update path, header or definition form.
-SHARD_UPDATE_RE = re.compile(
-    r"\bvoid\s+(?:MetricsRegistry\s*::\s*)?(Add|GaugeMax|Observe)\s*\(\s*Id\b")
-
-# A header declaration returning Status/StatusOr by value. Prefix
-# qualifiers are consumed so the return type anchors the match; a
-# [[nodiscard]] earlier in the joined declaration satisfies the rule.
-STATUS_DECL_RE = re.compile(
-    r"^\s*(?:(?:inline|static|virtual|constexpr|friend|explicit)\s+)*"
-    r"(?:Status|StatusOr\s*<[^;={]*>)\s+\w+\s*\(")
-
-# Expression-statement call to a known Status-returning API: optional
-# receiver chain, then the call, then `;` — no assignment, return, or
-# wrapping macro can match this shape on the SAME line. A call that is
-# the continuation of a wrapped statement (previous code line ends
-# mid-expression: `=`, `,`, `(`, an operator, or `return`) is not a
-# statement start; check_file consults is_continuation() before flagging.
-DISCARD_RE = re.compile(
-    r"^\s*(?:[\w\]\[]+(?:\.|->))*"
-    r"(\w*OrError|LoadBaskets\w*|LoadCatalog\w*)\s*\([^;]*\)\s*;\s*$")
-
-CONTINUATION_RE = re.compile(r"(?:[,(=+\-*/<>?:&|!]|&&|\|\||\breturn)\s*$")
-
-# Any spelled-out StatusCode enumerator; src/client may only name kOk and
-# kUnavailable (the retryability contract's compiler-adjacent guard).
-STATUSCODE_ENUM_RE = re.compile(r"\bStatusCode\s*::\s*k(\w+)")
-CLIENT_ALLOWED_CODES = {"Ok", "Unavailable"}
-
-# Vector extensions / CPU intrinsics, in any spelling the toolchain
-# accepts; legal only inside the kernel TU pair (FILE_ALLOWLIST above).
-VECTOR_EXT_PATTERNS = [
-    (re.compile(r"\bvector_size\s*\("), "vector_size attribute"),
-    (re.compile(r"#\s*include\s*<\w*intrin\.h>"), "intrinsics header"),
-    (re.compile(r"#\s*include\s*<arm_neon\.h>"), "NEON intrinsics header"),
-    (re.compile(r"\b_mm\d*_\w+\s*\("), "_mm* intrinsic"),
-    (re.compile(r"\b__m(?:64|128|256|512)[di]?\b"), "__m vector type"),
-    (re.compile(r"\b__builtin_ia32_\w+"), "__builtin_ia32_* builtin"),
-]
-
-
-def is_continuation(code_lines, lineno):
-    """True when 1-based line `lineno` continues the statement above it:
-    the nearest non-blank code line ends mid-expression."""
-    for i in range(lineno - 2, -1, -1):
-        prev = code_lines[i].rstrip()
-        if not prev.strip():
-            continue
-        return bool(CONTINUATION_RE.search(prev))
-    return False
-
-ALLOW_LINE_RE = re.compile(r"//\s*ccs-lint:\s*allow\(([\w-]+)\)")
-ALLOW_FILE_RE = re.compile(r"//\s*ccs-lint:\s*allow-file\(([\w-]+)\)")
-
-
-def strip_code(text):
-    """Blanks comments and string/char literals, preserving line structure.
-
-    Keeps the same character count per line so column-free findings keep
-    their line numbers; the replacement is spaces.
-    """
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-            elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        else:  # string or char
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-class FileLint:
-    def __init__(self, path, rel):
-        self.path = path
-        self.rel = rel  # repo-relative posix path, used for scoping
-        raw = path.read_text(encoding="utf-8", errors="replace")
-        self.raw_lines = raw.split("\n")
-        self.code_lines = strip_code(raw).split("\n")
-        self.file_allows = set(ALLOW_FILE_RE.findall(raw))
-
-    def allowed(self, rule, lineno):
-        if rule in self.file_allows:
-            return True
-        if self.rel in FILE_ALLOWLIST.get(rule, ()):
-            return True
-        line = self.raw_lines[lineno - 1]
-        return any(m == rule for m in ALLOW_LINE_RE.findall(line))
-
-    def joined_decl(self, lineno):
-        """The declaration around 1-based `lineno`, joined until ; or {."""
-        start = lineno - 1
-        # Pull in up to two preceding attribute/qualifier-only lines.
-        while start > 0 and lineno - 1 - start < 2:
-            prev = self.code_lines[start - 1].strip()
-            if prev.endswith((";", "{", "}", ")")) or prev == "":
-                break
-            start -= 1
-        parts = []
-        for i in range(start, min(start + 8, len(self.code_lines))):
-            parts.append(self.code_lines[i])
-            if ";" in self.code_lines[i] or "{" in self.code_lines[i]:
-                break
-        return " ".join(parts)
-
-
-def in_scope(rel, prefixes):
-    return any(rel.startswith(p) for p in prefixes)
-
-
-def check_file(fl, findings):
-    rel = fl.rel
-    is_header = rel.endswith(".h")
-    core_scope = in_scope(rel, ("src/core/", "src/stats/"))
-    util_scope = in_scope(rel, ("src/util/",))
-    service_scope = in_scope(rel, ("src/service/",))
-    client_scope = in_scope(rel, ("src/client/",))
-
-    for lineno, code in enumerate(fl.code_lines, start=1):
-        if (service_scope or client_scope) and WALLCLOCK_RE.search(code):
-            findings.append((fl, lineno, "service-wall-clock",
-                             "raw clock read in the service layer; time "
-                             "must flow through the injected ServiceClock "
-                             "(service/clock.h) so admission/memo/retry "
-                             "timing is testable and deterministic"))
-        if client_scope:
-            cm = STATUSCODE_ENUM_RE.search(code)
-            if cm and cm.group(1) not in CLIENT_ALLOWED_CODES:
-                findings.append((fl, lineno, "client-retry-only-unavailable",
-                                 f"StatusCode::k{cm.group(1)} spelled in "
-                                 "src/client; only kUnavailable is "
-                                 "retryable, so the client may name only "
-                                 "kOk/kUnavailable — decode peer codes "
-                                 "via StatusCodeFromName and construct "
-                                 "errors via the status.h factories"))
-        if core_scope:
-            for pattern, label in NONDET_PATTERNS:
-                if pattern.search(code):
-                    findings.append((fl, lineno, "nondeterminism",
-                                     f"{label} is nondeterministic; use "
-                                     "util/rng.h (seeded) or steady_clock"))
-            if UNORDERED_RE.search(code):
-                findings.append((fl, lineno, "unordered-container",
-                                 "std::unordered_* iteration order is "
-                                 "unspecified; use a sorted container or an "
-                                 "allowlisted alias from core/itemset.h"))
-        for pattern, label in VECTOR_EXT_PATTERNS:
-            if pattern.search(code):
-                findings.append((fl, lineno, "vector-ext-outside-kernel",
-                                 f"{label} outside core/simd_kernel: "
-                                 "vector code must live behind the "
-                                 "KernelMode dispatch so the CCS_SIMD "
-                                 "kill switch and the scalar reference "
-                                 "path keep covering it"))
-        if not util_scope and THROW_RE.search(code):
-            findings.append((fl, lineno, "throw-outside-util",
-                             "throw is reserved for src/util (fault "
-                             "injection); report errors via Status"))
-        m = SHARD_UPDATE_RE.search(code)
-        if m and "noexcept" not in fl.joined_decl(lineno):
-            findings.append((fl, lineno, "noexcept-shard-update",
-                             f"MetricsRegistry::{m.group(1)} must be "
-                             "noexcept: shard updates run in destructors "
-                             "during unwinding"))
-        if is_header and STATUS_DECL_RE.match(code):
-            decl = fl.joined_decl(lineno)
-            if "[[nodiscard]]" not in decl:
-                findings.append((fl, lineno, "status-nodiscard",
-                                 "Status/StatusOr-returning declaration "
-                                 "must be [[nodiscard]]"))
-        dm = DISCARD_RE.match(code)
-        if dm and not is_continuation(fl.code_lines, lineno):
-            findings.append((fl, lineno, "discarded-status",
-                             f"result of {dm.group(1)}() is discarded; "
-                             "assign it or propagate the Status"))
-        if MUTEX_MEMBER_RE.search(code):
-            if not any(GUARDED_BY_RE.search(l) for l in fl.code_lines):
-                findings.append((fl, lineno, "mutex-guarded-by",
-                                 "std::mutex member without any "
-                                 "CCS_GUARDED_BY annotation in this file "
-                                 "(see util/thread_annotations.h)"))
-
-
-def discover_files(root, build_dir):
-    """Source set: compile_commands.json TUs under <root>/src when the
-    database exists (keeps lint in sync with the build), plus a glob as
-    the fallback/union for headers and unbuilt sources."""
-    files = set()
-    db = build_dir / "compile_commands.json"
-    if db.is_file():
-        try:
-            for entry in json.loads(db.read_text()):
-                p = pathlib.Path(entry["file"])
-                if not p.is_absolute():
-                    p = pathlib.Path(entry["directory"]) / p
-                p = p.resolve()
-                if p.is_file() and (root / "src") in p.parents:
-                    files.add(p)
-        except (json.JSONDecodeError, KeyError, OSError) as err:
-            print(f"ccs-lint: ignoring unreadable {db}: {err}",
-                  file=sys.stderr)
-    for pattern in ("src/**/*.h", "src/**/*.cc", "src/**/*.cpp"):
-        files.update(p.resolve() for p in root.glob(pattern))
-    return sorted(files)
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
-                        help="build tree holding compile_commands.json")
-    parser.add_argument("--root", default=str(REPO_ROOT),
-                        help="tree to scan (expects <root>/src/...)")
-    args = parser.parse_args(argv)
-
-    root = pathlib.Path(args.root).resolve()
-    files = discover_files(root, pathlib.Path(args.build_dir))
-    if not files:
-        print(f"ccs-lint: no sources under {root}/src", file=sys.stderr)
-        return 2
-
-    findings = []
-    for path in files:
-        rel = path.relative_to(root).as_posix()
-        check_file(FileLint(path, rel), findings)
-
-    reported = 0
-    for fl, lineno, rule, message in findings:
-        if fl.allowed(rule, lineno):
-            continue
-        print(f"{fl.rel}:{lineno}: [{rule}] {message}")
-        reported += 1
-    if reported:
-        print(f"ccs-lint: {reported} violation(s) in {len(files)} file(s)")
-        return 1
-    print(f"ccs-lint: {len(files)} file(s) clean")
-    return 0
-
+import ccs_analyze
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(ccs_analyze.main(sys.argv[1:]))

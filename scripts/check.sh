@@ -1,38 +1,62 @@
 #!/usr/bin/env bash
 # One-command verification sweep, in increasing order of cost:
 #
-#   0. lint: the static-analysis gate (DESIGN.md §11) — the tier-1 tree is
-#      configured with -DCCS_LINT=ON (-Wextra -Wshadow -Werror, plus Clang
-#      thread-safety analysis when the compiler is Clang), then
-#      scripts/ccs_lint.py (determinism/error-handling rules), clang-tidy
-#      and clang-format run over src/ (the latter two self-skip with a
-#      message when the LLVM toolchain is absent).
-#   1. tier-1: the full gtest suite in the regular build flavor, which now
-#      includes the ccs-lint fixture suite as ctest entries.
-#   2. sanitizer flavors of the suites aimed at the executor, I/O, and
-#      metrics surfaces (the "sanitize" ctest label): address + undefined,
-#      plus thread for the ParallelExecutor/metrics-shard paths.
-#   3. service_smoke: boots ccsmined on a private Unix socket and diffs
-#      its answers (scripted queries, a memo replay, and 32 concurrent
-#      clients) byte-for-byte against the one-shot CLI.
-#   4. service_chaos: the seeded ~30s chaos soak — concurrent clients
-#      under injected svc_* faults, torture inputs, kill -9/restart, and
-#      a SIGTERM drain; every reply must be byte-identical or a clean
-#      ERR, and the daemon must never hang or crash (DESIGN.md §13).
-#   5. stream_smoke: replays the frozen paper-example stream through
-#      ccsmined --stream (APPEND/TICK) and ccsmine_cli --stream-replay
-#      and requires byte-identical answer streams, plus the golden
-#      render fixture (DESIGN.md §15).
-#   6. bench_smoke: the quick benchmark sweep, which also exercises every
-#      BENCH_<name>.json writer.
+#   lint           the static-analysis gate (DESIGN.md §11, §16) — the
+#                  tier-1 tree is configured with -DCCS_LINT=ON (-Wextra
+#                  -Wshadow -Werror, plus Clang thread-safety analysis
+#                  when the compiler is Clang), then scripts/ccs_analyze.py
+#                  (determinism / error-handling / lock-rank / blocking /
+#                  taint rules, writing <build>/ccs-analyze.json),
+#                  clang-tidy and clang-format over src/ (the latter two
+#                  self-skip with a message when LLVM is absent).
+#   tier1          the full gtest suite in the regular build flavor,
+#                  including the ccs-analyze fixture suite.
+#   tier1_scalar   the same tree with the SIMD kernel + pair stage
+#                  disabled: the scalar fallback is a first-class
+#                  configuration (CCS_SIMD kill switch, DESIGN.md §14).
+#   sanitize_address / sanitize_undefined / sanitize_thread
+#                  sanitizer flavors of the suites aimed at the executor,
+#                  I/O, and metrics surfaces (the "sanitize" ctest label);
+#                  these flavors also force CCS_LOCK_RANK_CHECKS=1, so the
+#                  runtime lock-rank checker is live in every run.
+#   service_smoke  boots ccsmined on a private Unix socket and diffs its
+#                  answers byte-for-byte against the one-shot CLI.
+#   service_chaos  the seeded ~30s chaos soak (DESIGN.md §13).
+#   stream_smoke   replays the frozen paper-example stream through
+#                  ccsmined --stream and the CLI replay (DESIGN.md §15).
+#   bench_smoke    the quick benchmark sweep (also exercises every
+#                  BENCH_<name>.json writer).
 #
-# Usage: scripts/check.sh [build-dir]     (default: build)
-# Sanitizer flavors build into <build-dir>-address / <build-dir>-undefined
-# / <build-dir>-thread.
+# Usage: scripts/check.sh [--stage <name>] [build-dir]
+#   --stage <name>   run exactly one stage (names above; repeatable)
+#   build-dir        default: build. Sanitizer flavors build into
+#                    <build-dir>-address / -undefined / -thread.
+#
+# Every run ends with a per-stage wall-time table, so cost regressions in
+# the gate itself are visible at a glance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD="${1:-build}"
+BUILD="build"
+STAGE_FILTERS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --stage)
+      [ $# -ge 2 ] || { echo "check.sh: --stage needs a name" >&2; exit 2; }
+      STAGE_FILTERS+=("$2"); shift 2 ;;
+    --stage=*)
+      STAGE_FILTERS+=("${1#*=}"); shift ;;
+    -h|--help)
+      sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -*)
+      echo "check.sh: unknown option $1" >&2; exit 2 ;;
+    *)
+      BUILD="$1"; shift ;;
+  esac
+done
+
+ALL_STAGES=(lint tier1 tier1_scalar sanitize_address sanitize_undefined
+  sanitize_thread service_smoke service_chaos stream_smoke bench_smoke)
 
 # -GNinja only on first configure: an existing cache keeps its generator.
 configure() {
@@ -45,48 +69,106 @@ configure() {
   fi
 }
 
-echo "== stage 0: lint (${BUILD}) =="
-configure "${BUILD}" -DCCS_LINT=ON
-python3 scripts/ccs_lint.py --build-dir "${BUILD}"
-scripts/run_clang_tidy.sh "${BUILD}"
-scripts/format_check.sh
+stage_lint() {
+  configure "${BUILD}" -DCCS_LINT=ON
+  local report="${BUILD}/ccs-analyze.json"
+  if ! python3 scripts/ccs_analyze.py --build-dir "${BUILD}" \
+      --json "${report}"; then
+    # The JSON report powers the failure digest: per-rule counts beat a
+    # wall of findings when deciding where to look first.
+    python3 - "${report}" <<'PY'
+import collections, json, sys
+payload = json.load(open(sys.argv[1]))
+counts = collections.Counter(f["rule"] for f in payload["findings"])
+print("ccs-analyze findings by rule:")
+for rule, n in counts.most_common():
+    print(f"  {n:4d}  {rule}")
+PY
+    return 1
+  fi
+  echo "ccs-analyze: clean (report: ${report})"
+  scripts/run_clang_tidy.sh "${BUILD}"
+  scripts/format_check.sh
+}
 
-echo "== tier-1 (${BUILD}) =="
-cmake --build "${BUILD}" -j >/dev/null
-ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+stage_tier1() {
+  cmake --build "${BUILD}" -j >/dev/null
+  ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+}
 
-# The same tree once more with the SIMD kernel + pair stage disabled: the
-# scalar fallback is a first-class configuration (the CCS_SIMD kill
-# switch, DESIGN.md §14), so it must stay green, not just compiled.
-echo "== tier-1, scalar kernel (${BUILD}, CCS_SIMD=0) =="
-CCS_SIMD=0 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+stage_tier1_scalar() {
+  cmake --build "${BUILD}" -j >/dev/null
+  CCS_SIMD=0 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
+}
 
 # Per-flavor suite lists mirror tests/CMakeLists.txt's sanitize entries.
-declare -A SUITES=(
-  [address]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test stream_differential_test stream_window_test"
-  [undefined]="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test stream_differential_test stream_window_test"
-  [thread]="core_engine_test differential_test util_metrics_test metrics_identity_test core_simd_kernel_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test stream_differential_test stream_window_test"
-)
-for flavor in address undefined thread; do
-  dir="${BUILD}-${flavor}"
-  echo "== sanitize: ${flavor} (${dir}) =="
+SAN_SUITES_address="core_engine_test txn_binary_io_test differential_test metrics_identity_test core_simd_kernel_test stream_differential_test stream_window_test"
+SAN_SUITES_undefined="${SAN_SUITES_address}"
+SAN_SUITES_thread="core_engine_test differential_test util_metrics_test util_lock_rank_test metrics_identity_test core_simd_kernel_test service_concurrency_test service_socket_test service_lifecycle_test service_drain_test client_test stream_differential_test stream_window_test"
+
+run_sanitizer() {
+  local flavor="$1" suites_var="SAN_SUITES_$1"
+  local dir="${BUILD}-${flavor}"
   configure "${dir}" -DCCS_SANITIZE="${flavor}"
   # shellcheck disable=SC2086
-  cmake --build "${dir}" -j --target ${SUITES[${flavor}]} >/dev/null
+  cmake --build "${dir}" -j --target ${!suites_var} >/dev/null
   ctest --test-dir "${dir}" -L sanitize --output-on-failure
+}
+
+stage_sanitize_address()   { run_sanitizer address; }
+stage_sanitize_undefined() { run_sanitizer undefined; }
+stage_sanitize_thread()    { run_sanitizer thread; }
+
+stage_service_smoke() {
+  cmake --build "${BUILD}" -j --target ccsmined ccsmine_cli >/dev/null
+  python3 scripts/service_smoke.py "${BUILD}"
+}
+
+stage_service_chaos() { python3 scripts/service_chaos.py "${BUILD}"; }
+stage_stream_smoke()  { python3 scripts/stream_smoke.py "${BUILD}"; }
+stage_bench_smoke()   { cmake --build "${BUILD}" -j --target bench_smoke; }
+
+# --- driver -----------------------------------------------------------------
+
+stage_known() {
+  local name
+  for name in "${ALL_STAGES[@]}"; do
+    [ "$name" = "$1" ] && return 0
+  done
+  return 1
+}
+
+for filter in "${STAGE_FILTERS[@]:-}"; do
+  [ -z "$filter" ] && continue
+  if ! stage_known "$filter"; then
+    echo "check.sh: unknown stage '$filter' (stages: ${ALL_STAGES[*]})" >&2
+    exit 2
+  fi
 done
 
-echo "== service_smoke (${BUILD}) =="
-cmake --build "${BUILD}" -j --target ccsmined ccsmine_cli >/dev/null
-python3 scripts/service_smoke.py "${BUILD}"
+RAN_NAMES=()
+RAN_TIMES=()
 
-echo "== service_chaos (${BUILD}) =="
-python3 scripts/service_chaos.py "${BUILD}"
+wants_stage() {
+  [ ${#STAGE_FILTERS[@]} -eq 0 ] && return 0
+  local filter
+  for filter in "${STAGE_FILTERS[@]}"; do
+    [ "$filter" = "$1" ] && return 0
+  done
+  return 1
+}
 
-echo "== stream_smoke (${BUILD}) =="
-python3 scripts/stream_smoke.py "${BUILD}"
+for stage in "${ALL_STAGES[@]}"; do
+  wants_stage "$stage" || continue
+  echo "== stage: ${stage} (${BUILD}) =="
+  start=$SECONDS
+  "stage_${stage}"
+  RAN_NAMES+=("$stage")
+  RAN_TIMES+=($((SECONDS - start)))
+done
 
-echo "== bench_smoke (${BUILD}) =="
-cmake --build "${BUILD}" -j --target bench_smoke
-
-echo "check.sh: all green"
+echo "== stage timings =="
+for i in "${!RAN_NAMES[@]}"; do
+  printf '  %-20s %5ds\n' "${RAN_NAMES[$i]}" "${RAN_TIMES[$i]}"
+done
+echo "check.sh: all green (${#RAN_NAMES[@]} stage(s))"

@@ -89,7 +89,7 @@ Status ReadFrame(int fd, const ClientOptions& options,
     const int ready = ::poll(&pfd, 1,
                              static_cast<int>(options.poll_interval.count()));
     if (ready < 0 && errno != EINTR) {
-      return UnavailableError(std::string("poll: ") + std::strerror(errno));
+      return UnavailableError(std::string("poll: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     if (ready <= 0) continue;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -101,7 +101,7 @@ Status ReadFrame(int fd, const ClientOptions& options,
       return UnavailableError("connection closed before a complete frame");
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+    return UnavailableError(std::string("recv: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
 }
 
@@ -157,7 +157,7 @@ StatusOr<Response> Client::Attempt(const std::string& line) {
   ++stats_.attempts;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
   FdCloser closer(fd);
 
@@ -174,7 +174,7 @@ StatusOr<Response> Client::Attempt(const std::string& line) {
                 sizeof(addr)) != 0) {
     // A refused or missing socket is the daemon's restart window —
     // transient by definition, so retryable.
-    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
 
   service::WriteOptions write_options;

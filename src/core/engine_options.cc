@@ -18,15 +18,15 @@ ResolvedEngineOptions ResolveEngineOptions(const EngineOptions& options) {
   resolved.ct_cache.budget_words =
       options.ct_cache_budget_mib *
       ((std::size_t{1} << 20) / sizeof(std::uint64_t));
-  if (const char* env = std::getenv("CCS_CT_CACHE")) {
+  if (const char* env = std::getenv("CCS_CT_CACHE")) {  // NOLINT(concurrency-mt-unsafe)
     resolved.ct_cache.enabled = std::string(env) != "0";
   }
   resolved.simd.enabled = options.simd_kernel;
-  if (const char* env = std::getenv("CCS_SIMD")) {
+  if (const char* env = std::getenv("CCS_SIMD")) {  // NOLINT(concurrency-mt-unsafe)
     resolved.simd.enabled = std::string(env) != "0";
   }
   resolved.streaming = options.streaming;
-  if (const char* env = std::getenv("CCS_STREAM")) {
+  if (const char* env = std::getenv("CCS_STREAM")) {  // NOLINT(concurrency-mt-unsafe)
     resolved.streaming = std::string(env) != "0";
   }
   resolved.metrics = MetricsEnabledFromEnv(options.metrics);

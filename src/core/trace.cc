@@ -82,7 +82,7 @@ TraceLog Tracer::Log() const {
 }
 
 void ResolveTraceFromEnv(bool& enabled, std::size_t& capacity) {
-  const char* env = std::getenv("CCS_TRACE");
+  const char* env = std::getenv("CCS_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return;
   const std::string value(env);
   if (value == "0") {

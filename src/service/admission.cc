@@ -12,7 +12,7 @@ AdmissionController::AdmissionController(Options options,
       clock_(clock != nullptr ? clock : &DefaultServiceClock()) {}
 
 StatusOr<AdmissionController::Permit> AdmissionController::Admit() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<RankedMutex> lock(mutex_);
   if (running_ < options_.max_concurrent && queue_.empty()) {
     ++running_;
     ++admitted_;
@@ -46,14 +46,14 @@ StatusOr<AdmissionController::Permit> AdmissionController::Admit() {
 
 void AdmissionController::Release() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     --running_;
   }
   slot_freed_.notify_all();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   Stats stats;
   stats.admitted = admitted_;
   stats.rejected = rejected_;

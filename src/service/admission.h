@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "service/clock.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -91,8 +92,12 @@ class AdmissionController {
 
   const Options options_;
   const ServiceClock* const clock_;
-  mutable std::mutex mutex_;
-  std::condition_variable slot_freed_;
+  // kAdmission: held across clock_->Now() (a ManualClock locks kClock
+  // underneath) and above everything a mining run may lock.
+  // condition_variable_any because plain condition_variable only accepts
+  // std::mutex.
+  mutable RankedMutex mutex_{LockRank::kAdmission};
+  std::condition_variable_any slot_freed_;
   std::deque<std::uint64_t> queue_ CCS_GUARDED_BY(mutex_);
   std::uint64_t next_ticket_ CCS_GUARDED_BY(mutex_) = 0;
   std::size_t running_ CCS_GUARDED_BY(mutex_) = 0;

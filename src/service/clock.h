@@ -4,6 +4,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace ccs {
@@ -33,16 +34,18 @@ class ManualClock final : public ServiceClock {
  public:
   std::chrono::steady_clock::time_point Now() const override
       CCS_EXCLUDES(mutex_) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     return now_;
   }
   void Advance(std::chrono::milliseconds delta) CCS_EXCLUDES(mutex_) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     now_ += delta;
   }
 
  private:
-  mutable std::mutex mutex_;
+  // kClock: the bottom of the hierarchy — AdmissionController reads the
+  // clock while holding kAdmission for queue-wait telemetry.
+  mutable RankedMutex mutex_{LockRank::kClock};
   std::chrono::steady_clock::time_point now_ CCS_GUARDED_BY(mutex_){};
 };
 

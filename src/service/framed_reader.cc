@@ -88,7 +88,7 @@ Status FramedReader::ReadLine(std::string* line, bool* eof) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
-      return DataLossError(std::string("recv: ") + std::strerror(errno));
+      return DataLossError(std::string("recv: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     if (n == 0) {
       if (buffer_.empty()) {
@@ -122,7 +122,7 @@ Status WriteAll(int fd, const std::string& data, const WriteOptions& options,
     }
     if (n < 0 && errno != EINTR && errno != EAGAIN &&
         errno != EWOULDBLOCK) {
-      return DataLossError(std::string("send: ") + std::strerror(errno));
+      return DataLossError(std::string("send: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     // EINTR/EAGAIN (or an implausible 0): wait for writability, bounded
     // by the injected clock's deadline so a peer that never drains its

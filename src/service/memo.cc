@@ -5,7 +5,7 @@ namespace service {
 
 std::shared_ptr<const CachedAnswer> MemoCache::Lookup(
     const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -19,7 +19,7 @@ std::shared_ptr<const CachedAnswer> MemoCache::Lookup(
 void MemoCache::Insert(const std::string& key, CachedAnswer answer) {
   if (options_.max_entries == 0) return;
   auto shared = std::make_shared<const CachedAnswer>(std::move(answer));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(shared);
@@ -37,7 +37,7 @@ void MemoCache::Insert(const std::string& key, CachedAnswer answer) {
 }
 
 MemoCache::Stats MemoCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace ccs {
@@ -70,7 +71,10 @@ class MemoCache {
       std::list<std::pair<std::string, std::shared_ptr<const CachedAnswer>>>;
 
   const Options options_;
-  mutable std::mutex mutex_;
+  // kMemo: leaf on the MINE path (lookup before admission, insert after
+  // the run, neither nested); ranked between admission and the pool so a
+  // future under-lock composition stays ordered.
+  mutable RankedMutex mutex_{LockRank::kMemo};
   LruList lru_ CCS_GUARDED_BY(mutex_);  // front = most recent
   std::unordered_map<std::string, LruList::iterator> index_
       CCS_GUARDED_BY(mutex_);

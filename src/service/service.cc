@@ -133,7 +133,7 @@ std::string MiningService::HandleAppend(const std::string& payload) {
   }
   std::size_t pending = 0;
   {
-    const std::lock_guard<std::mutex> lock(stream_mu_);
+    const std::lock_guard<RankedMutex> lock(stream_mu_);
     for (Transaction& basket : baskets) {
       // Ids were range-checked above, so Append cannot fail.
       const Status status = stream_.db->Append(std::move(basket));
@@ -155,12 +155,12 @@ std::string MiningService::HandleTick() {
   if (!permit.ok()) return ErrorResponse(permit.status());
   stream::AnswerDelta delta;
   {
-    const std::lock_guard<std::mutex> lock(stream_mu_);
+    const std::lock_guard<RankedMutex> lock(stream_mu_);
     delta = stream_.miner->Tick();
     if (delta.result.termination != Termination::kError) {
       // Publish the new window; its fresh epoch retires every memo entry
       // keyed on the old one.
-      const std::lock_guard<std::mutex> handle_lock(handle_mu_);
+      const std::lock_guard<RankedMutex> handle_lock(handle_mu_);
       handle_ = stream_.miner->handle();
     }
   }
@@ -341,7 +341,7 @@ std::string MiningService::StatsJson() const {
   json += "},\"service\":";
   json += metrics_.Snapshot().ToJson();
   if (stream_.db != nullptr) {
-    const std::lock_guard<std::mutex> lock(stream_mu_);
+    const std::lock_guard<RankedMutex> lock(stream_mu_);
     json += ",\"stream\":{\"epoch\":";
     json += std::to_string(stream_.db->epoch());
     json += ",\"window\":";

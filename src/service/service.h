@@ -16,6 +16,7 @@
 #include "service/service_metrics.h"
 #include "stream/delta_miner.h"
 #include "stream/streaming_database.h"
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace ccs {
@@ -108,7 +109,7 @@ class MiningService {
   // copies that keep their generation alive however long the caller
   // holds on.
   DatabaseHandle handle() const CCS_EXCLUDES(handle_mu_) {
-    const std::lock_guard<std::mutex> lock(handle_mu_);
+    const std::lock_guard<RankedMutex> lock(handle_mu_);
     return handle_;
   }
 
@@ -121,13 +122,17 @@ class MiningService {
   std::string HandleAppend(const std::string& payload);
   std::string HandleTick();
 
-  mutable std::mutex handle_mu_;
+  // kServiceHandle: taken under stream_mu_ when a TICK publishes the new
+  // window's handle — the one deliberate nesting in the service layer.
+  mutable RankedMutex handle_mu_{LockRank::kServiceHandle};
   DatabaseHandle handle_ CCS_GUARDED_BY(handle_mu_);
   const ServiceOptions options_;
   const StreamingBackend stream_;
   // Serializes APPEND/TICK — the stream is one logical timeline.
   // mutable: StatsJson (const) reads the stream's counters under it.
-  mutable std::mutex stream_mu_;
+  // kServiceStream: the top of the hierarchy — a TICK holds it across a
+  // whole mining run (admission, pool, executor, fault all nest below).
+  mutable RankedMutex stream_mu_{LockRank::kServiceStream};
   AdmissionController admission_;
   MemoCache memo_;
   ServiceMetrics metrics_;

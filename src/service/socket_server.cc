@@ -36,7 +36,7 @@ Status SocketServer::Start() {
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    return InternalError(std::string("socket: ") + std::strerror(errno));
+    return InternalError(std::string("socket: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
   ::unlink(options_.socket_path.c_str());  // replace a stale socket file
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
@@ -44,13 +44,13 @@ Status SocketServer::Start() {
     const int err = errno;
     ::close(fd);
     return InternalError("bind " + options_.socket_path + ": " +
-                         std::strerror(err));
+                         std::strerror(err));  // NOLINT(concurrency-mt-unsafe)
   }
   if (::listen(fd, options_.backlog) < 0) {
     const int err = errno;
     ::close(fd);
     ::unlink(options_.socket_path.c_str());
-    return InternalError(std::string("listen: ") + std::strerror(err));
+    return InternalError(std::string("listen: ") + std::strerror(err));  // NOLINT(concurrency-mt-unsafe)
   }
   slots_.clear();
   slots_.resize(options_.max_connections);

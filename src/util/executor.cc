@@ -19,7 +19,7 @@ ParallelExecutor::ParallelExecutor(std::size_t num_threads)
 
 ParallelExecutor::~ParallelExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<RankedMutex> lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -27,7 +27,7 @@ ParallelExecutor::~ParallelExecutor() {
 }
 
 void ParallelExecutor::SetMetrics(MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<RankedMutex> lock(mutex_);
   metrics_ = metrics;
   if (metrics_ != nullptr) {
     loops_id_ =
@@ -47,7 +47,7 @@ void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<RankedMutex> lock(mutex_);
     body_ = &body;
     n_ = n;
     // Chunks several times smaller than a per-thread share keep the tail
@@ -61,7 +61,7 @@ void ParallelExecutor::ParallelFor(std::size_t n, const Body& body) {
   }
   start_cv_.notify_all();
   RunChunks(0);
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<RankedMutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return active_workers_ == 0; });
   body_ = nullptr;
   if (first_error_ != nullptr) {
@@ -76,7 +76,7 @@ void ParallelExecutor::WorkerLoop(std::size_t thread_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<RankedMutex> lock(mutex_);
       start_cv_.wait(lock, [this, seen_generation] {
         return shutdown_ || generation_ != seen_generation;
       });
@@ -85,7 +85,7 @@ void ParallelExecutor::WorkerLoop(std::size_t thread_index) {
     }
     RunChunks(thread_index);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<RankedMutex> lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_one();
     }
   }
@@ -106,7 +106,7 @@ void ParallelExecutor::RunChunks(std::size_t thread_index) {
       for (std::size_t i = begin; i < end; ++i) body(thread_index, i);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<RankedMutex> lock(mutex_);
         if (first_error_ == nullptr) {
           first_error_ = std::current_exception();
         }

@@ -7,10 +7,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/metrics.h"
 #include "util/thread_annotations.h"
 
@@ -90,10 +90,13 @@ class ParallelExecutor {
   MetricsRegistry::Id chunks_id_ = 0;
 
   // mutex_ orders the start/done handshake with the worker threads and
-  // guards the loop-lifecycle state below.
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  // guards the loop-lifecycle state below. kExecutor: acquired under the
+  // pool (Release) and the service's stream lock (a Tick's mining run),
+  // above nothing — bodies run lock-free. condition_variable_any because
+  // the plain condition_variable only accepts std::mutex.
+  RankedMutex mutex_{LockRank::kExecutor};
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
   std::uint64_t generation_ CCS_GUARDED_BY(mutex_) = 0;
   std::size_t active_workers_ CCS_GUARDED_BY(mutex_) = 0;
   bool shutdown_ CCS_GUARDED_BY(mutex_) = false;

@@ -10,7 +10,7 @@ ExecutorPool::Lease ExecutorPool::Acquire(std::size_t num_threads) {
   const std::size_t width =
       num_threads != 0 ? num_threads : ParallelExecutor::HardwareThreads();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     const auto it = idle_.find(width);
     if (it != idle_.end() && !it->second.empty()) {
       std::unique_ptr<ParallelExecutor> executor =
@@ -28,7 +28,7 @@ ExecutorPool::Lease ExecutorPool::Acquire(std::size_t num_threads) {
 
 void ExecutorPool::Release(std::unique_ptr<ParallelExecutor> executor) {
   const std::size_t width = executor->num_threads();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   std::vector<std::unique_ptr<ParallelExecutor>>& bucket = idle_[width];
   if (bucket.size() < options_.max_idle_per_width) {
     bucket.push_back(std::move(executor));
@@ -38,19 +38,19 @@ void ExecutorPool::Release(std::unique_ptr<ParallelExecutor> executor) {
 }
 
 std::size_t ExecutorPool::idle_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [width, bucket] : idle_) total += bucket.size();
   return total;
 }
 
 std::uint64_t ExecutorPool::created() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   return created_;
 }
 
 std::uint64_t ExecutorPool::reused() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   return reused_;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/executor.h"
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace ccs {
@@ -97,7 +98,9 @@ class ExecutorPool {
       CCS_EXCLUDES(mutex_);
 
   const Options options_;
-  mutable std::mutex mutex_;
+  // kExecutorPool: acquired during a run's setup (under the service's
+  // stream lock on the TICK path) and above the executors it caches.
+  mutable RankedMutex mutex_{LockRank::kExecutorPool};
   std::unordered_map<std::size_t,
                      std::vector<std::unique_ptr<ParallelExecutor>>>
       idle_ CCS_GUARDED_BY(mutex_);

@@ -98,14 +98,14 @@ Status FaultInjector::Configure(std::string_view spec) {
     rules.push_back(std::move(rule));
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<RankedMutex> lock(mutex_);
   rules_ = std::move(rules);
   enabled_.store(!rules_.empty(), std::memory_order_relaxed);
   return OkStatus();
 }
 
 void FaultInjector::ConfigureFromEnv() {
-  const char* spec = std::getenv("CCS_FAULT");
+  const char* spec = std::getenv("CCS_FAULT");  // NOLINT(concurrency-mt-unsafe)
   if (spec == nullptr || spec[0] == '\0') return;
   const Status status = Configure(spec);
   if (!status.ok()) {
@@ -115,13 +115,13 @@ void FaultInjector::ConfigureFromEnv() {
 }
 
 void FaultInjector::Disable() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<RankedMutex> lock(mutex_);
   rules_.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ShouldFail(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<RankedMutex> lock(mutex_);
   bool fire = false;
   for (Rule& rule : rules_) {
     if (rule.site != site) continue;
@@ -142,7 +142,7 @@ bool FaultInjector::ShouldFail(std::string_view site) {
 }
 
 std::uint64_t FaultInjector::calls(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<RankedMutex> lock(mutex_);
   std::uint64_t n = 0;
   for (const Rule& rule : rules_) {
     if (rule.site == site) n = rule.call_count > n ? rule.call_count : n;

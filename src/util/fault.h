@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -91,8 +92,10 @@ class FaultInjector {
   };
 
   // mutex_ guards the rule table; the lock-free fast path is the static
-  // enabled_ flag below, checked before ever touching the rules.
-  mutable std::mutex mutex_;
+  // enabled_ flag below, checked before ever touching the rules. kFault:
+  // fault points fire from nearly anywhere, so this ranks below every
+  // other lock (only the clock is lower).
+  mutable RankedMutex mutex_{LockRank::kFault};
   std::vector<Rule> rules_ CCS_GUARDED_BY(mutex_);
 
   static std::atomic<bool> enabled_;

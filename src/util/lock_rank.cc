@@ -1,0 +1,108 @@
+#include "util/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ccs {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kServiceStream:
+      return "kServiceStream(90)";
+    case LockRank::kServiceHandle:
+      return "kServiceHandle(80)";
+    case LockRank::kAdmission:
+      return "kAdmission(70)";
+    case LockRank::kMemo:
+      return "kMemo(60)";
+    case LockRank::kExecutorPool:
+      return "kExecutorPool(50)";
+    case LockRank::kExecutor:
+      return "kExecutor(40)";
+    case LockRank::kFault:
+      return "kFault(30)";
+    case LockRank::kClock:
+      return "kClock(20)";
+  }
+  return "<unknown rank>";
+}
+
+namespace lock_rank_internal {
+namespace {
+
+// Deep enough for every real chain (the longest today is
+// kServiceStream > kServiceHandle at depth 2) plus generous test headroom.
+constexpr int kMaxHeld = 16;
+
+struct HeldStack {
+  LockRank ranks[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack tls_held;
+
+void DefaultHandler(const char* message) {
+  // Route through the CCS_CHECK failure path: one stderr line (flushed —
+  // see util/check.h on why), observable via SetFailureSink, then abort.
+  internal::CheckFailed("lock_rank", 0, message);
+}
+
+std::atomic<ViolationHandler> g_handler{&DefaultHandler};
+
+void ReportViolation(LockRank held, LockRank acquiring) {
+  char message[160];
+  std::snprintf(message, sizeof(message),
+                "lock-rank violation: acquiring %s while holding %s "
+                "(acquisitions must strictly descend the LockRank "
+                "hierarchy)",
+                LockRankName(acquiring), LockRankName(held));
+  g_handler.load(std::memory_order_acquire)(message);
+}
+
+}  // namespace
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler,
+                            std::memory_order_acq_rel);
+}
+
+void NoteAcquire(LockRank rank) {
+  HeldStack& held = tls_held;
+  if (held.depth > 0) {
+    const LockRank top = held.ranks[held.depth - 1];
+    if (static_cast<int>(rank) >= static_cast<int>(top)) {
+      // A capturing (test) handler may return; the acquisition then
+      // proceeds and is recorded so release bookkeeping stays balanced.
+      ReportViolation(top, rank);
+    }
+  }
+  CCS_CHECK(held.depth < kMaxHeld);
+  held.ranks[held.depth++] = rank;
+}
+
+void NoteRelease(LockRank rank) {
+  HeldStack& held = tls_held;
+  // Releases need not be LIFO; drop the most recent instance of `rank`.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.ranks[i] != rank) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.ranks[j] = held.ranks[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+  // Releasing a rank never noted means lock/unlock calls are mismatched.
+  char message[120];
+  std::snprintf(message, sizeof(message),
+                "lock-rank violation: releasing %s which this thread does "
+                "not hold (mismatched lock/unlock)",
+                LockRankName(rank));
+  g_handler.load(std::memory_order_acquire)(message);
+}
+
+int HeldCount() { return tls_held.depth; }
+
+}  // namespace lock_rank_internal
+}  // namespace ccs

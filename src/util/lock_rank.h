@@ -1,0 +1,194 @@
+#ifndef CCS_UTIL_LOCK_RANK_H_
+#define CCS_UTIL_LOCK_RANK_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+// Runtime lock-rank enforcement (DESIGN.md §16). Every long-lived mutex in
+// the service/executor surface is a RankedMutex carrying a LockRank from
+// the central hierarchy below. Debug and sanitizer builds keep a
+// thread-local stack of held ranks and report any acquisition that does
+// not *strictly descend* the hierarchy — the classic lock-ordering
+// discipline under which a cycle (and therefore a deadlock) is impossible.
+// The check fires on the ACQUISITION ORDER, before blocking on the
+// underlying mutex, so a latent ABBA inversion is reported deterministically
+// on its first occurrence on any schedule, not only on the schedule where
+// the two threads actually interleave into the deadlock.
+//
+// Release builds compile the bookkeeping out entirely: RankedMutex is a
+// std::mutex plus one stored enum, and lock() is exactly std::mutex::lock().
+//
+// scripts/ccs_analyze.py closes the static half of the loop: the
+// `ranked-mutex-required` rule keeps raw std::mutex members out of
+// src/service, src/util, and src/stream, and `lock-rank-order` extracts the
+// static acquire graph from guard sites and rejects cycles and both-order
+// pairs at lint time, before any test runs.
+
+// CCS_LOCK_RANK_CHECKS: 1 = bookkeeping + enforcement on, 0 = zero-cost
+// pass-through. Defaults on exactly when assertions are on (!NDEBUG); the
+// sanitizer build flavors force it on from CMake so TSan/ASan runs always
+// exercise the checker even though they build RelWithDebInfo.
+#if !defined(CCS_LOCK_RANK_CHECKS)
+#if defined(NDEBUG)
+#define CCS_LOCK_RANK_CHECKS 0
+#else
+#define CCS_LOCK_RANK_CHECKS 1
+#endif
+#endif
+
+namespace ccs {
+
+// The global lock hierarchy, highest rank first. A thread may acquire a
+// mutex only while every mutex it already holds has a STRICTLY HIGHER
+// rank; same-rank nesting is a violation too (no mutex pair in the tree
+// shares a rank today, and same-rank nesting is how "harmless" sibling
+// locks grow into cycles). Gaps between values leave room for new domains
+// (ROADMAP item 1's shard locks) without renumbering.
+//
+// See DESIGN.md §16 for the owner/what-it-protects table.
+enum class LockRank : int {
+  kServiceStream = 90,  // MiningService::stream_mu_ (APPEND/TICK timeline)
+  kServiceHandle = 80,  // MiningService::handle_mu_ (current DatabaseHandle)
+  kAdmission = 70,      // AdmissionController::mutex_
+  kMemo = 60,           // MemoCache::mutex_
+  kExecutorPool = 50,   // ExecutorPool::mutex_ (idle cache)
+  kExecutor = 40,       // ParallelExecutor::mutex_ (loop handshake)
+  kFault = 30,          // FaultInjector::mutex_ (rule table)
+  kClock = 20,          // ManualClock::mutex_ (read under kAdmission)
+};
+
+// Human-readable name for violation reports ("kAdmission(70)").
+const char* LockRankName(LockRank rank);
+
+inline constexpr bool kLockRankChecksEnabled = CCS_LOCK_RANK_CHECKS != 0;
+
+namespace lock_rank_internal {
+
+// Receives one fully formatted violation line. The default handler routes
+// through CCS_CHECK's failure path and aborts; tests install a capturing
+// handler (which may return — the acquisition then proceeds, so a test can
+// observe the report without dying and without deadlocking).
+using ViolationHandler = void (*)(const char* message);
+
+// Installs a handler, returning the previous one; nullptr restores the
+// default aborting handler. Not thread-safe against concurrent violations;
+// meant for test setup.
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+// Records an acquisition on this thread, reporting a violation when `rank`
+// does not strictly descend below every rank already held. Called BEFORE
+// the underlying mutex blocks (see header block).
+void NoteAcquire(LockRank rank);
+
+// Forgets one held instance of `rank` (the most recently acquired one —
+// releases need not be LIFO; ParallelFor unlocks out of scope order on the
+// error path).
+void NoteRelease(LockRank rank);
+
+// Ranks currently held by this thread; 0 when the checker is compiled out.
+int HeldCount();
+
+}  // namespace lock_rank_internal
+
+// Drop-in std::mutex with a rank. Meets Lockable, so std::lock_guard,
+// std::unique_lock, and std::condition_variable_any work unchanged; it is
+// also a Clang thread-safety capability, so existing CCS_GUARDED_BY
+// annotations keep their meaning.
+class CCS_CAPABILITY("mutex") RankedMutex {
+ public:
+  explicit RankedMutex(LockRank rank) : rank_(rank) {}
+
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() CCS_ACQUIRE() {
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    mu_.lock();
+  }
+  void unlock() CCS_RELEASE() {
+    mu_.unlock();
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteRelease(rank_);
+    }
+  }
+  bool try_lock() CCS_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock cannot deadlock, but it still participates in
+    // the discipline: anything acquired under it must descend from here.
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  const LockRank rank_;
+  std::mutex mu_;
+};
+
+// std::shared_mutex counterpart. Shared (reader) acquisitions obey the
+// same ordering: readers block writers, so a reader acquired against the
+// hierarchy deadlocks exactly like a writer would.
+class CCS_CAPABILITY("shared_mutex") RankedSharedMutex {
+ public:
+  explicit RankedSharedMutex(LockRank rank) : rank_(rank) {}
+
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() CCS_ACQUIRE() {
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    mu_.lock();
+  }
+  void unlock() CCS_RELEASE() {
+    mu_.unlock();
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteRelease(rank_);
+    }
+  }
+  bool try_lock() CCS_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    return true;
+  }
+
+  void lock_shared() CCS_ACQUIRE_SHARED() {
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    mu_.lock_shared();
+  }
+  void unlock_shared() CCS_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteRelease(rank_);
+    }
+  }
+  bool try_lock_shared() CCS_TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    if constexpr (kLockRankChecksEnabled) {
+      lock_rank_internal::NoteAcquire(rank_);
+    }
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  const LockRank rank_;
+  std::shared_mutex mu_;
+};
+
+}  // namespace ccs
+
+#endif  // CCS_UTIL_LOCK_RANK_H_

@@ -287,7 +287,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 bool MetricsEnabledFromEnv(bool fallback) {
-  const char* env = std::getenv("CCS_METRICS");
+  const char* env = std::getenv("CCS_METRICS");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return fallback;
   return std::string(env) != "0";
 }

@@ -41,11 +41,21 @@
   CCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 
 // Acquire/release annotations for functions that lock on behalf of the
-// caller (RAII wrappers, scoped capabilities).
+// caller (RAII wrappers, scoped capabilities). The _SHARED forms annotate
+// reader-side acquisition of a shared capability (RankedSharedMutex); the
+// TRY_ forms take the success value first, like absl's.
 #define CCS_ACQUIRE(...) \
   CCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
 #define CCS_RELEASE(...) \
   CCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CCS_ACQUIRE_SHARED(...) \
+  CCS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define CCS_RELEASE_SHARED(...) \
+  CCS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define CCS_TRY_ACQUIRE(...) \
+  CCS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define CCS_TRY_ACQUIRE_SHARED(...) \
+  CCS_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
 
 // Marks a class as a capability (lock-like type) for the analysis.
 #define CCS_CAPABILITY(x) CCS_THREAD_ANNOTATION_(capability(x))

@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
-"""Fixture tests for scripts/ccs_lint.py (registered as a tier1 ctest).
+"""Fixture tests for scripts/ccs_analyze.py (registered as a tier1 ctest).
 
 Three fixture trees under tests/lint/fixtures/, each laid out like the
-repo (<tree>/src/core, ...), so the linter's path-based rule scoping is
+repo (<tree>/src/core, ...), so the analyzer's path-based rule scoping is
 exercised exactly as in production:
 
-  bad/      every rule seeded at least once. The expected findings are
-            declared *in the fixtures themselves* via `// rule: <id>`
-            marker comments on the offending lines; this test asserts the
-            linter's findings equal the marker set exactly (same file,
+  bad/      every rule seeded at least once — including the scope-aware
+            rules (lock-rank-order both as a per-site inversion and as a
+            whole-program ABBA cycle, blocking-under-lock,
+            deterministic-counter-taint, fault-site-coverage,
+            ranked-mutex-required). The expected findings are declared
+            *in the fixtures themselves* via `// rule: <id>` marker
+            comments on the offending lines; this test asserts the
+            analyzer's findings equal the marker set exactly (same file,
             same line, same rule — no misses, no extras).
   allowed/  the same violations silenced by `// ccs-lint: allow(<id>)`
             and `// ccs-lint: allow-file(<id>)` — must be clean.
-  clean/    idiomatic look-alikes (steady_clock, "time" in identifiers,
-            banned tokens inside comments/strings) — must be clean,
-            guarding against rule over-reach.
+  clean/    idiomatic look-alikes (descending lock nesting, cv waits
+            under a lock, kTiming counters fed clock values, covered
+            fault sites, banned tokens inside comments/strings) — must
+            be clean, guarding against rule over-reach.
+
+scripts/ccs_lint.py lives on as a shim over the analyzer; one test pins
+that the old entry point still reports the same findings.
 """
 
+import json
 import pathlib
 import re
 import subprocess
@@ -25,17 +34,18 @@ import unittest
 
 HERE = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = HERE.parent.parent
-LINTER = REPO_ROOT / "scripts" / "ccs_lint.py"
+ANALYZER = REPO_ROOT / "scripts" / "ccs_analyze.py"
+SHIM = REPO_ROOT / "scripts" / "ccs_lint.py"
 FIXTURES = HERE / "fixtures"
 
 MARKER_RE = re.compile(r"//\s*rule:\s*([\w-]+)")
 FINDING_RE = re.compile(r"^(.+?):(\d+): \[([\w-]+)\]")
 
 
-def run_linter(tree):
+def run_analyzer(tree, entry=ANALYZER, extra=()):
     return subprocess.run(
-        [sys.executable, str(LINTER), "--root", str(FIXTURES / tree),
-         "--build-dir", str(FIXTURES / tree / "no-such-build")],
+        [sys.executable, str(entry), "--root", str(FIXTURES / tree),
+         "--build-dir", str(FIXTURES / tree / "no-such-build"), *extra],
         capture_output=True, text=True)
 
 
@@ -63,31 +73,52 @@ def expected_markers(tree):
     return expected
 
 
-class CcsLintFixtureTest(unittest.TestCase):
+class CcsAnalyzeFixtureTest(unittest.TestCase):
     def test_bad_tree_reports_exactly_the_marked_violations(self):
         expected = expected_markers("bad")
         self.assertGreaterEqual(
-            len({rule for _, _, rule in expected}), 7,
+            len({rule for _, _, rule in expected}), 12,
             "fixture rot: the bad tree should seed every rule")
-        result = run_linter("bad")
+        result = run_analyzer("bad")
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertEqual(parse_findings(result.stdout), expected,
                          result.stdout)
 
     def test_allow_comments_suppress_each_finding(self):
-        result = run_linter("allowed")
+        result = run_analyzer("allowed")
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
         self.assertEqual(parse_findings(result.stdout), set(), result.stdout)
 
     def test_clean_lookalikes_produce_no_findings(self):
-        result = run_linter("clean")
+        result = run_analyzer("clean")
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
         self.assertEqual(parse_findings(result.stdout), set(), result.stdout)
+
+    def test_json_report_matches_the_text_findings(self):
+        # --json - writes the same findings machine-readably (check.sh
+        # consumes this); file/line/rule must agree with the text output.
+        result = run_analyzer("bad", extra=("--json", "-"))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        start = result.stdout.index("{")
+        payload = json.loads(result.stdout[start:])
+        self.assertEqual(payload["tool"], "ccs-analyze")
+        from_json = {(f["file"], f["line"], f["rule"])
+                     for f in payload["findings"]}
+        self.assertEqual(from_json, expected_markers("bad"))
+        for f in payload["findings"]:
+            self.assertTrue(f["message"], f)
+
+    def test_legacy_shim_reports_the_same_findings(self):
+        shim = run_analyzer("bad", entry=SHIM)
+        direct = run_analyzer("bad")
+        self.assertEqual(shim.returncode, 1, shim.stdout + shim.stderr)
+        self.assertEqual(parse_findings(shim.stdout),
+                         parse_findings(direct.stdout))
 
     def test_real_sources_are_clean(self):
         # The acceptance gate itself: src/ under the default root.
         result = subprocess.run(
-            [sys.executable, str(LINTER), "--build-dir",
+            [sys.executable, str(ANALYZER), "--build-dir",
              str(REPO_ROOT / "build")],
             capture_output=True, text=True)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)

@@ -1,0 +1,27 @@
+// The unranked ABBA pair from the bad tree, silenced with the file-wide
+// hatch — the acquire-graph findings land on two different lines, and
+// allow-file must cover graph-derived findings like any other.
+// ccs-lint: allow-file(lock-rank-order)
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class AbbaPair {
+ public:
+  void AThenB() {
+    const std::lock_guard<RankedMutex> la(a_mu_);
+    const std::lock_guard<RankedMutex> lb(b_mu_);
+  }
+  void BThenA() {
+    const std::lock_guard<RankedMutex> lb(b_mu_);
+    const std::lock_guard<RankedMutex> la(a_mu_);
+  }
+
+ private:
+  int state_ CCS_GUARDED_BY(a_mu_) = 0;
+  RankedMutex a_mu_;
+  RankedMutex b_mu_;
+};
+
+}  // namespace ccs

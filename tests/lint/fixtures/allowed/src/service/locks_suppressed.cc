@@ -1,0 +1,22 @@
+// The ranked inversion from the bad tree, silenced by the inline hatch
+// (say why: this fixture pretends the outer lock is released before the
+// inner one is used in anger).
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class RankedPair {
+ public:
+  void Ascend() {
+    const std::lock_guard<RankedMutex> low(low_mu_);
+    const std::lock_guard<RankedMutex> high(high_mu_);  // ccs-lint: allow(lock-rank-order)
+  }
+
+ private:
+  int data_ CCS_GUARDED_BY(low_mu_) = 0;
+  RankedMutex low_mu_{LockRank::kFault};
+  RankedMutex high_mu_{LockRank::kServiceStream};
+};
+
+}  // namespace ccs

@@ -1,0 +1,19 @@
+// The ranked-mutex-required violation from the bad tree, silenced inline.
+#ifndef FIXTURE_STREAM_RAW_SUPPRESSED_H_
+#define FIXTURE_STREAM_RAW_SUPPRESSED_H_
+
+#include <mutex>
+
+#define CCS_GUARDED_BY(x)
+
+namespace ccs {
+
+class RawWindow {
+ private:
+  std::mutex mu_;  // ccs-lint: allow(ranked-mutex-required)
+  int epoch_ CCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_STREAM_RAW_SUPPRESSED_H_

@@ -1,0 +1,16 @@
+// Fixture stand-in for util/lock_rank.h (see the bad tree's copy): the
+// rank values the analyzer resolves RankedMutex members against.
+#ifndef FIXTURE_UTIL_LOCK_RANK_H_
+#define FIXTURE_UTIL_LOCK_RANK_H_
+
+namespace ccs {
+
+enum class LockRank : int {
+  kServiceStream = 90,
+  kServiceHandle = 80,
+  kFault = 30,
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_UTIL_LOCK_RANK_H_

@@ -1,0 +1,13 @@
+// Fixture: a fault-injection site no test or script ever arms — the
+// recovery path behind it is dead weight until a harness exercises it.
+// (This fixture tree has no tests/ directory, so the corpus is empty.)
+#include "util/fault.h"
+
+namespace ccs {
+
+bool LoadShard() {
+  CCS_FAULT_POINT("fixture_uncovered_site");  // rule: fault-site-coverage
+  return true;
+}
+
+}  // namespace ccs

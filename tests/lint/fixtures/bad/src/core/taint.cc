@@ -1,0 +1,23 @@
+// Fixture: a MetricStability::kDeterministic counter fed a clock-derived
+// value — the update would differ run to run, breaking the bit-identical
+// counter guarantee the stability class promises.
+#include "util/metrics.h"
+
+namespace ccs {
+
+class PhaseCounters {
+ public:
+  explicit PhaseCounters(MetricsRegistry* metrics) {
+    tables_built_id_ =
+        metrics->Counter("fixture.tables", MetricStability::kDeterministic);
+  }
+
+  void Record(MetricsRegistry* metrics, int shard) {
+    metrics->Add(tables_built_id_, shard, std::chrono::steady_clock::now().time_since_epoch().count());  // rule: deterministic-counter-taint
+  }
+
+ private:
+  MetricsRegistry::Id tables_built_id_;
+};
+
+}  // namespace ccs

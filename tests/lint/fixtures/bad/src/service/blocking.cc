@@ -1,0 +1,25 @@
+// Fixture: blocking calls while a lock guard is live in the enclosing
+// scope.
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class Publisher {
+ public:
+  void PollUnderLock() {
+    const std::lock_guard<RankedMutex> lock(mu_);
+    ::poll(nullptr, 0, 100);  // rule: blocking-under-lock
+  }
+
+  void SleepUnderLock() {
+    const std::lock_guard<RankedMutex> lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // rule: blocking-under-lock
+  }
+
+ private:
+  int state_ CCS_GUARDED_BY(mu_) = 0;
+  RankedMutex mu_{LockRank::kServiceHandle};
+};
+
+}  // namespace ccs

@@ -1,0 +1,41 @@
+// Fixture: lock-rank-order violations — one ranked inversion caught at
+// the acquisition site, and one unranked ABBA pair only the whole-program
+// acquire graph can see (each order looks locally innocent).
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class RankedPair {
+ public:
+  void Ascend() {
+    const std::lock_guard<RankedMutex> low(low_mu_);
+    const std::lock_guard<RankedMutex> high(high_mu_);  // rule: lock-rank-order
+  }
+
+ private:
+  int data_ CCS_GUARDED_BY(low_mu_) = 0;
+  RankedMutex low_mu_{LockRank::kFault};
+  RankedMutex high_mu_{LockRank::kServiceStream};
+};
+
+class AbbaPair {
+ public:
+  void AThenB() {
+    const std::lock_guard<RankedMutex> la(a_mu_);
+    const std::lock_guard<RankedMutex> lb(b_mu_);  // rule: lock-rank-order
+  }
+  void BThenA() {
+    const std::lock_guard<RankedMutex> lb(b_mu_);
+    const std::lock_guard<RankedMutex> la(a_mu_);  // rule: lock-rank-order
+  }
+
+ private:
+  int state_ CCS_GUARDED_BY(a_mu_) = 0;
+  // Ranks assigned at construction, invisible to the collect pass: the
+  // per-site check cannot fire, the acquire-graph cycle check must.
+  RankedMutex a_mu_;
+  RankedMutex b_mu_;
+};
+
+}  // namespace ccs

@@ -1,0 +1,22 @@
+// Fixture: a raw std::mutex member inside the ranked scope (src/stream) —
+// annotated, so mutex-guarded-by is satisfied, but invisible to the
+// runtime rank checker and the acquire-graph rules, which is exactly what
+// ranked-mutex-required forbids.
+#ifndef FIXTURE_STREAM_RAW_H_
+#define FIXTURE_STREAM_RAW_H_
+
+#include <mutex>
+
+#define CCS_GUARDED_BY(x)
+
+namespace ccs {
+
+class RawWindow {
+ private:
+  std::mutex mu_;  // rule: ranked-mutex-required
+  int epoch_ CCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_STREAM_RAW_H_

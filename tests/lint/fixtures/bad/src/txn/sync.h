@@ -1,0 +1,22 @@
+// Fixture: the widened mutex-guarded-by rule — shared/recursive mutexes
+// and condition variables are lock-like members too, and this file has no
+// CCS_GUARDED_BY annotation at all.
+#ifndef FIXTURE_TXN_SYNC_H_
+#define FIXTURE_TXN_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace ccs {
+
+class TxnSync {
+ private:
+  std::shared_mutex table_mu_;  // rule: mutex-guarded-by
+  std::recursive_mutex log_mu_;  // rule: mutex-guarded-by
+  std::condition_variable ready_cv_;  // rule: mutex-guarded-by
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_TXN_SYNC_H_

@@ -1,0 +1,17 @@
+// Fixture stand-in for util/lock_rank.h: just enough of the hierarchy for
+// the analyzer's collect pass to resolve RankedMutex member ranks in this
+// tree. Deliberately violation-free.
+#ifndef FIXTURE_UTIL_LOCK_RANK_H_
+#define FIXTURE_UTIL_LOCK_RANK_H_
+
+namespace ccs {
+
+enum class LockRank : int {
+  kServiceStream = 90,
+  kServiceHandle = 80,
+  kFault = 30,
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_UTIL_LOCK_RANK_H_

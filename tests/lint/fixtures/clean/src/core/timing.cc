@@ -1,0 +1,29 @@
+// Clean look-alike for deterministic-counter-taint: a kTiming counter may
+// legitimately record clock-derived values — that is what the stability
+// class is for (metrics_identity_test excludes kTiming ids).
+#include "util/metrics.h"
+
+namespace ccs {
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(MetricsRegistry* metrics) {
+    wall_id_ = metrics->Counter("phase.fixture_ns", MetricStability::kTiming);
+    work_id_ =
+        metrics->Counter("fixture.work_items", MetricStability::kDeterministic);
+  }
+
+  void Finish(MetricsRegistry* metrics, int shard, long items) {
+    // Deterministic id, deterministic value: clean.
+    metrics->Add(work_id_, shard, items);
+    // Clock value into a kTiming id: clean by design.
+    metrics->Add(wall_id_, shard,
+                 std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+ private:
+  MetricsRegistry::Id wall_id_;
+  MetricsRegistry::Id work_id_;
+};
+
+}  // namespace ccs

@@ -1,0 +1,39 @@
+// Clean look-alikes for the lock-rank and blocking rules: strictly
+// descending nested acquisition, a condition-variable wait under a lock
+// (which releases while blocking, so it is exempt), and a blocking
+// syscall with no guard live.
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class OrderedPublisher {
+ public:
+  void PublishTick() {
+    const std::lock_guard<RankedMutex> outer(stream_mu_);
+    const std::lock_guard<RankedMutex> inner(handle_mu_);
+    generation_ = generation_ + 1;
+  }
+
+  void WaitForWork() {
+    std::unique_lock<RankedMutex> lock(handle_mu_);
+    work_cv_.wait(lock, [this] { return generation_ > 0; });
+  }
+
+  void PollOutsideLock() {
+    int fds = 0;
+    {
+      const std::lock_guard<RankedMutex> lock(handle_mu_);
+      fds = generation_;
+    }
+    ::poll(nullptr, static_cast<unsigned long>(fds), 100);
+  }
+
+ private:
+  int generation_ CCS_GUARDED_BY(handle_mu_) = 0;
+  RankedMutex stream_mu_{LockRank::kServiceStream};
+  RankedMutex handle_mu_{LockRank::kServiceHandle};
+  std::condition_variable_any work_cv_;
+};
+
+}  // namespace ccs

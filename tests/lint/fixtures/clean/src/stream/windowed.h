@@ -1,0 +1,20 @@
+// Clean look-alike for ranked-mutex-required: a RankedMutex in the
+// ranked scope (src/stream) with its CCS_GUARDED_BY annotation — nothing
+// to report. "std::mutex" in this comment must not count as a member.
+#ifndef FIXTURE_STREAM_WINDOWED_H_
+#define FIXTURE_STREAM_WINDOWED_H_
+
+#define CCS_GUARDED_BY(x)
+#include "util/lock_rank.h"
+
+namespace ccs {
+
+class WindowedBuffer {
+ private:
+  RankedMutex mu_{LockRank::kFault};
+  int epoch_ CCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ccs
+
+#endif  // FIXTURE_STREAM_WINDOWED_H_

@@ -1,0 +1,11 @@
+// Fixture test corpus for fault-site-coverage: arming the site named in
+// src/core/covered.cc the way a real recovery test would.
+#include "util/fault.h"
+
+namespace ccs {
+
+void ArmFixtureFault() {
+  FaultInjector::Configure("fixture_covered_site=1");
+}
+
+}  // namespace ccs

@@ -1,0 +1,208 @@
+// Tests for util/lock_rank.h: the runtime half of the lock-ordering gate
+// (DESIGN.md §16). The suite runs in every flavor — in release builds
+// (CCS_LOCK_RANK_CHECKS=0) it pins the no-op contract; in debug and
+// sanitizer builds it pins that inversions are reported deterministically,
+// via a capturing handler so nothing aborts and nothing deadlocks.
+
+#include "util/lock_rank.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ccs {
+namespace {
+
+using lock_rank_internal::HeldCount;
+using lock_rank_internal::SetViolationHandler;
+
+// The handler is a plain function pointer, so captures go through a
+// global. A raw std::mutex (not Ranked: it must not feed back into the
+// bookkeeping under test) guards it — violations can fire on any thread.
+std::mutex* ViolationLogMutex() {
+  static std::mutex* mu = new std::mutex();
+  return mu;
+}
+std::vector<std::string>& ViolationLog() {
+  static std::vector<std::string>* log = new std::vector<std::string>();
+  return *log;
+}
+void CaptureViolation(const char* message) {
+  const std::lock_guard<std::mutex> lock(*ViolationLogMutex());
+  ViolationLog().emplace_back(message);
+}
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      const std::lock_guard<std::mutex> lock(*ViolationLogMutex());
+      ViolationLog().clear();
+    }
+    previous_ = SetViolationHandler(&CaptureViolation);
+  }
+  void TearDown() override { SetViolationHandler(previous_); }
+
+  std::vector<std::string> violations() {
+    const std::lock_guard<std::mutex> lock(*ViolationLogMutex());
+    return ViolationLog();
+  }
+
+ private:
+  lock_rank_internal::ViolationHandler previous_ = nullptr;
+};
+
+TEST_F(LockRankTest, DescendingAcquisitionIsClean) {
+  RankedMutex high(LockRank::kAdmission);
+  RankedMutex low(LockRank::kClock);
+  {
+    const std::lock_guard<RankedMutex> a(high);
+    const std::lock_guard<RankedMutex> b(low);
+    if (kLockRankChecksEnabled) {
+      EXPECT_EQ(HeldCount(), 2);
+    } else {
+      EXPECT_EQ(HeldCount(), 0);  // release builds keep no bookkeeping
+    }
+  }
+  EXPECT_EQ(HeldCount(), 0);
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, InversionCaughtInDebugNoOpInRelease) {
+  RankedMutex high(LockRank::kAdmission);
+  RankedMutex low(LockRank::kClock);
+  {
+    const std::lock_guard<RankedMutex> a(low);
+    const std::lock_guard<RankedMutex> b(high);  // ascending: a violation
+  }
+  if (kLockRankChecksEnabled) {
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_NE(violations()[0].find("kAdmission(70)"), std::string::npos);
+    EXPECT_NE(violations()[0].find("kClock(20)"), std::string::npos);
+  } else {
+    // Release no-op: same code, zero reports, zero bookkeeping.
+    EXPECT_TRUE(violations().empty());
+  }
+}
+
+TEST_F(LockRankTest, SameRankNestingIsAViolation) {
+  if (!kLockRankChecksEnabled) GTEST_SKIP() << "checker compiled out";
+  RankedMutex a(LockRank::kMemo);
+  RankedMutex b(LockRank::kMemo);
+  {
+    const std::lock_guard<RankedMutex> la(a);
+    const std::lock_guard<RankedMutex> lb(b);
+  }
+  ASSERT_EQ(violations().size(), 1u);
+  EXPECT_NE(violations()[0].find("kMemo(60)"), std::string::npos);
+}
+
+TEST_F(LockRankTest, TwoThreadAbbaIsReportedDeterministically) {
+  if (!kLockRankChecksEnabled) GTEST_SKIP() << "checker compiled out";
+  // t1 takes A(high) and holds it; t2 takes B(low) then requests A — the
+  // inversion. NoteAcquire runs BEFORE the underlying lock blocks, so the
+  // report lands on every run of every schedule; t1 releases A only after
+  // the report, so the test itself can never deadlock.
+  RankedMutex a(LockRank::kServiceHandle);
+  RankedMutex b(LockRank::kFault);
+  std::atomic<bool> a_held{false};
+  std::atomic<bool> reported{false};
+
+  std::thread t1([&] {
+    a.lock();
+    a_held.store(true);
+    while (!reported.load()) std::this_thread::yield();
+    a.unlock();
+  });
+  std::thread t2([&] {
+    b.lock();
+    while (!a_held.load()) std::this_thread::yield();
+    a.lock();  // B(30) held, acquiring A(80): reported, then blocks
+    a.unlock();
+    b.unlock();
+  });
+  // The violation is visible before t2 ever gets A.
+  while (violations().empty()) std::this_thread::yield();
+  reported.store(true);
+  t1.join();
+  t2.join();
+
+  const std::vector<std::string> seen = violations();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_NE(seen[0].find("acquiring kServiceHandle(80)"), std::string::npos);
+  EXPECT_NE(seen[0].find("holding kFault(30)"), std::string::npos);
+  EXPECT_EQ(HeldCount(), 0);
+}
+
+TEST_F(LockRankTest, SharedMutexReadersFollowTheSameOrder) {
+  RankedSharedMutex high(LockRank::kServiceStream);
+  RankedSharedMutex low(LockRank::kExecutorPool);
+  {
+    high.lock_shared();
+    low.lock_shared();
+    low.unlock_shared();
+    high.unlock_shared();
+  }
+  EXPECT_TRUE(violations().empty());
+  {
+    low.lock_shared();
+    high.lock();  // reader below, writer above: same inversion
+    high.unlock();
+    low.unlock_shared();
+  }
+  if (kLockRankChecksEnabled) {
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_NE(violations()[0].find("kServiceStream(90)"), std::string::npos);
+  } else {
+    EXPECT_TRUE(violations().empty());
+  }
+  EXPECT_EQ(HeldCount(), 0);
+}
+
+TEST_F(LockRankTest, TryLockParticipatesInBookkeeping) {
+  RankedMutex m(LockRank::kExecutor);
+  ASSERT_TRUE(m.try_lock());
+  if (kLockRankChecksEnabled) {
+    EXPECT_EQ(HeldCount(), 1);
+  }
+  m.unlock();
+  EXPECT_EQ(HeldCount(), 0);
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, ConditionVariableWaitKeepsBookkeepingBalanced) {
+  // condition_variable_any's wait unlocks and relocks through RankedMutex,
+  // exactly the AdmissionController/ParallelExecutor pattern.
+  RankedMutex m(LockRank::kAdmission);
+  std::condition_variable_any cv;
+  bool ready = false;
+
+  std::thread signaller([&] {
+    const std::lock_guard<RankedMutex> lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<RankedMutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+    if (kLockRankChecksEnabled) {
+      EXPECT_EQ(HeldCount(), 1);
+    }
+  }
+  signaller.join();
+  EXPECT_EQ(HeldCount(), 0);
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, RankNamesCoverTheHierarchy) {
+  EXPECT_STREQ(LockRankName(LockRank::kServiceStream), "kServiceStream(90)");
+  EXPECT_STREQ(LockRankName(LockRank::kClock), "kClock(20)");
+}
+
+}  // namespace
+}  // namespace ccs
